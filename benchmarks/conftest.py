@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of
+the claims the paper carries over from its companion papers) and checks
+the reproduced *shape* — which implementation wins, by roughly what
+factor — while pytest-benchmark records the wall-clock cost of the
+underlying computation.  Printed tables appear with ``pytest benchmarks/
+--benchmark-only -s``; EXPERIMENTS.md records the paper-vs-measured
+comparison produced by these runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video import panning_sequence
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by the whole benchmark session."""
+    return np.random.default_rng(2004)
+
+
+@pytest.fixture(scope="session")
+def pixel_block(rng) -> np.ndarray:
+    """One 8x8 luminance block with natural-image-like smoothness."""
+    base = rng.integers(64, 192, (8, 8)).astype(float)
+    smooth = (base + np.roll(base, 1, axis=0) + np.roll(base, 1, axis=1)) / 3.0
+    return np.clip(np.rint(smooth), 0, 255).astype(np.int64)
+
+
+@pytest.fixture(scope="session")
+def input_vectors(rng) -> np.ndarray:
+    """A batch of 12-bit input vectors for the 1-D DCT benchmarks."""
+    return rng.integers(-2048, 2048, (16, 8))
+
+
+@pytest.fixture(scope="session")
+def me_frames():
+    """A (reference, current) QCIF-quarter frame pair with known pan."""
+    sequence = panning_sequence(height=64, width=80, pan=(1, 2), seed=42)
+    return sequence.frame(0), sequence.frame(1), sequence.ground_truth_background_vector()

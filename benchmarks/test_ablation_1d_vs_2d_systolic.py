@@ -1,0 +1,54 @@
+"""Ablation — 1-D systolic array vs the paper's 4x16 2-D systolic array.
+
+Sec. 4: 1-D array architectures "require high operating frequencies in
+order to fulfill the data-flow requirements" of full-search ME, which is
+why the paper maps a 2-D array.  This ablation runs both models on the
+same macroblock search and compares cycle counts, the clock needed for
+real-time QCIF and the PE cost.
+"""
+
+import pytest
+
+from repro.me.full_search import full_search
+from repro.me.systolic import SystolicArray
+from repro.me.systolic_1d import Systolic1DArray, required_frequency
+from repro.reporting import format_table
+
+SEARCH_RANGE = 4
+
+
+@pytest.mark.benchmark(group="ablation-systolic")
+def test_1d_versus_2d_systolic_array(benchmark, me_frames):
+    reference_frame, current_frame, _ = me_frames
+    top, left = 32, 32
+
+    def run():
+        one_d = Systolic1DArray().search(current_frame, reference_frame, top, left,
+                                         block_size=16, search_range=SEARCH_RANGE)
+        two_d = SystolicArray().search(current_frame, reference_frame, top, left,
+                                       block_size=16, search_range=SEARCH_RANGE)
+        return one_d, two_d
+
+    one_d, two_d = benchmark.pedantic(run, rounds=3, iterations=1)
+    software = full_search(current_frame, reference_frame, top, left, 16, SEARCH_RANGE)
+
+    rows = []
+    for name, result, pe_count in (("systolic_1d", one_d, Systolic1DArray().pe_total),
+                                   ("systolic_2d", two_d, SystolicArray().pe_count)):
+        requirement = required_frequency(result.cycles, architecture=name)
+        rows.append({
+            "architecture": name,
+            "pes": pe_count,
+            "cycles_per_macroblock": result.cycles,
+            "required_mhz_qcif30": round(requirement.required_frequency_hz / 1e6, 2),
+        })
+    print()
+    print(format_table(rows, title=f"1-D vs 2-D systolic arrays (+-{SEARCH_RANGE} window)"))
+
+    # Both produce the optimal full-search result.
+    assert one_d.motion_vector == software.motion_vector == two_d.motion_vector
+    # The 1-D array uses a quarter of the PEs but needs 4x the cycles, hence
+    # 4x the clock for the same throughput — the paper's motivation for 2-D.
+    assert one_d.cycles == 4 * two_d.cycles
+    assert rows[0]["required_mhz_qcif30"] == pytest.approx(
+        4 * rows[1]["required_mhz_qcif30"], rel=0.01)

@@ -1,0 +1,62 @@
+"""Ablation — array sizing: spatial mapping vs time-multiplexed folding.
+
+The DA array of Fig. 3 is sized so that every Table 1 implementation fits
+spatially.  A smaller array instance can still run the same kernels by
+time-sharing its clusters (the mechanism the scaled CORDIC architecture
+already uses for its rotators); the price is schedule length.  This
+ablation sweeps DA-array instances of decreasing size and reports, for the
+largest DCT mapping (CORDIC #1), the fold factor of the scarcest resource
+and the resulting schedule length from the resource-constrained list
+scheduler — the area/throughput trade-off an SoC integrator would tune.
+"""
+
+import pytest
+
+from repro.arrays.da_array import DAArrayGeometry, build_da_array
+from repro.core.clusters import ClusterKind
+from repro.core.scheduler import ListScheduler, fold_factor
+from repro.dct import CordicDCT1
+from repro.reporting import format_table
+
+GEOMETRIES = (
+    ("full (10x8)", DAArrayGeometry(rows=10, add_shift_columns=6, memory_columns=2)),
+    ("half (5x8)", DAArrayGeometry(rows=5, add_shift_columns=6, memory_columns=2)),
+    ("quarter (5x4)", DAArrayGeometry(rows=5, add_shift_columns=3, memory_columns=1)),
+    ("eighth (3x3)", DAArrayGeometry(rows=3, add_shift_columns=2, memory_columns=1)),
+)
+
+
+@pytest.mark.benchmark(group="ablation-sizing")
+def test_array_sizing_versus_schedule_length(benchmark):
+    netlist = CordicDCT1().build_netlist()
+
+    def run():
+        rows = []
+        for label, geometry in GEOMETRIES:
+            fabric = build_da_array(geometry)
+            capacity = fabric.capacity()
+            schedule = ListScheduler.for_fabric(fabric).schedule(netlist)
+            rows.append({
+                "array_instance": label,
+                "add_shift_sites": capacity[ClusterKind.ADD_SHIFT],
+                "memory_sites": capacity[ClusterKind.MEMORY],
+                "fold_factor": round(fold_factor(netlist, capacity), 2),
+                "schedule_cycles": schedule.length_cycles,
+                "utilisation_pct": round(100 * schedule.utilisation(capacity), 1),
+            })
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(format_table(rows, title="CORDIC #1 DCT on shrinking DA-array instances"))
+
+    # Shape: smaller arrays fold more and need longer schedules; the full
+    # array runs the kernel at its dependency-limited length.
+    cycles = [row["schedule_cycles"] for row in rows]
+    folds = [row["fold_factor"] for row in rows]
+    assert cycles == sorted(cycles)
+    assert folds == sorted(folds)
+    assert folds[0] == 1.0
+    assert cycles[-1] > cycles[0]
+    # Utilisation improves as the array shrinks (fewer idle clusters).
+    assert rows[-1]["utilisation_pct"] > rows[0]["utilisation_pct"]

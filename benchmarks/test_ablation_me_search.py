@@ -1,0 +1,62 @@
+"""Ablation — full search vs three-step vs diamond search.
+
+The flexibility argument of the paper rests on different implementations
+of the same computation having different cost/quality trade-offs.  For
+motion estimation this benchmark measures SAD-operation counts and match
+quality of the three search strategies on the same synthetic pan, the
+trade-off an encoder exploits when it reconfigures under battery pressure.
+"""
+
+import pytest
+
+from repro.me.fast_search import diamond_search, three_step_search
+from repro.me.full_search import full_search
+from repro.reporting import format_table
+
+SEARCH_RANGE = 8
+BLOCKS = ((16, 16), (16, 32), (32, 16), (32, 32))
+
+
+def run_strategy(search, current, reference):
+    total_operations = 0
+    total_sad = 0
+    vectors = []
+    for top, left in BLOCKS:
+        result = search(current, reference, top, left, 16, SEARCH_RANGE)
+        total_operations += result.sad_operations
+        total_sad += result.best.sad
+        vectors.append(result.motion_vector)
+    return {"operations": total_operations, "total_sad": total_sad,
+            "vectors": vectors}
+
+
+@pytest.mark.benchmark(group="ablation-search")
+def test_search_strategy_tradeoff(benchmark, me_frames):
+    reference_frame, current_frame, true_vector = me_frames
+
+    def run():
+        return {
+            "full": run_strategy(full_search, current_frame, reference_frame),
+            "three_step": run_strategy(three_step_search, current_frame, reference_frame),
+            "diamond": run_strategy(diamond_search, current_frame, reference_frame),
+        }
+
+    results = benchmark(run)
+
+    rows = [{"search": name,
+             "sad_operations": data["operations"],
+             "total_best_sad": data["total_sad"]}
+            for name, data in results.items()]
+    print()
+    print(format_table(rows, title="ME search ablation (4 macroblocks, +-8 window)"))
+
+    full_result = results["full"]
+    for name in ("three_step", "diamond"):
+        fast = results[name]
+        # Fast searches do a small fraction of the SAD work...
+        assert fast["operations"] < 0.25 * full_result["operations"]
+        # ...and can never beat the exhaustive minimum.
+        assert fast["total_sad"] >= full_result["total_sad"]
+    # On a clean global pan all strategies find the true vector.
+    assert all(vector == true_vector for vector in full_result["vectors"])
+    assert results["three_step"]["vectors"][0] == true_vector

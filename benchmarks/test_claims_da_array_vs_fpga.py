@@ -1,0 +1,38 @@
+"""Sec. 1 claim ([2]) — DA array vs generic FPGA: -38% power, -14% area, -54% fmax.
+
+Maps the Distributed-Arithmetic DCT onto the DA array and compares it with
+the generic-FPGA technology mapping of the same netlist.  Unlike the ME
+array, the DA array trades clock speed for its bit-serial datapath, so the
+maximum-frequency change is negative.
+"""
+
+import pytest
+
+from repro.arrays import build_da_array
+from repro.dct.mapping import generate_table1
+from repro.power import compare_to_fpga
+
+PAPER = {"power_reduction": 0.38, "area_reduction": 0.14, "max_frequency_change": -0.54}
+
+
+@pytest.mark.benchmark(group="claims")
+def test_da_array_versus_generic_fpga(benchmark):
+    def run():
+        table1 = generate_table1()
+        mapped = table1["scc_direct"]
+        return compare_to_fpga(mapped.netlist, build_da_array(), activity=0.25,
+                               routing=mapped.routing)
+
+    comparison = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    print(f"\nDA array vs FPGA: measured {comparison.summary()}; "
+          f"paper: -38% power, -14% area, -54% max frequency")
+
+    assert comparison.power_reduction == pytest.approx(PAPER["power_reduction"], abs=0.05)
+    assert comparison.area_reduction == pytest.approx(PAPER["area_reduction"], abs=0.05)
+    assert comparison.max_frequency_change == pytest.approx(
+        PAPER["max_frequency_change"], abs=0.05)
+    # Shape: power and area favour the array, clock frequency favours the FPGA.
+    assert comparison.power_reduction > 0
+    assert comparison.area_reduction > 0
+    assert comparison.max_frequency_change < 0

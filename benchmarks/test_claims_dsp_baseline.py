@@ -1,0 +1,57 @@
+"""Sec. 1 motivation — running ME/DCT on a programmable DSP needs a high clock.
+
+The introduction motivates the reconfigurable arrays against DSPs ("this
+leads to a high operating frequency and increased power consumption") and
+hardwired logic.  This benchmark quantifies the DSP corner with the
+single-MAC DSP model: the clock frequency required for real-time QCIF
+encoding and the energy per macroblock, compared with the 4x16 systolic
+array doing the same full search.
+"""
+
+import pytest
+
+from repro.arrays.dsp_baseline import DSPModel
+from repro.me.systolic import SystolicArray
+from repro.me.systolic_1d import required_frequency
+from repro.reporting import format_table
+
+SEARCH_RANGE = 8
+#: Cycles the 4x16 array needs per macroblock for a +-8 full search:
+#: 256 candidates / 4 modules * 16 cycles per candidate round.
+ARRAY_CYCLES_PER_MACROBLOCK = (2 * SEARCH_RANGE) ** 2 // 4 * 16
+
+
+@pytest.mark.benchmark(group="claims")
+def test_dsp_baseline_needs_high_operating_frequency(benchmark):
+    def run():
+        single_mac = DSPModel("single_mac_dsp", macs_per_cycle=1.0)
+        vliw = DSPModel("4_issue_vliw_dsp", macs_per_cycle=4.0)
+        rows = []
+        for model in (single_mac, vliw):
+            rows.append({
+                "architecture": model.name,
+                "cycles_per_macroblock": model.macroblock_cycles(SEARCH_RANGE),
+                "required_mhz_qcif30": round(model.required_frequency_hz(
+                    search_range=SEARCH_RANGE) / 1e6, 1),
+            })
+        array_requirement = required_frequency(ARRAY_CYCLES_PER_MACROBLOCK,
+                                               architecture="systolic_2d_array")
+        rows.append({
+            "architecture": array_requirement.architecture,
+            "cycles_per_macroblock": array_requirement.cycles_per_macroblock,
+            "required_mhz_qcif30": round(array_requirement.required_frequency_hz / 1e6, 1),
+        })
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(format_table(rows, title="Real-time QCIF@30fps, +-8 full search + DCT"))
+
+    by_name = {row["architecture"]: row for row in rows}
+    dsp_mhz = by_name["single_mac_dsp"]["required_mhz_qcif30"]
+    array_mhz = by_name["systolic_2d_array"]["required_mhz_qcif30"]
+    # Shape of the claim: the DSP needs a clock two orders of magnitude
+    # higher than the array for the same real-time workload.
+    assert dsp_mhz > 100 * array_mhz
+    # Wider VLIW issue helps but does not close the gap.
+    assert by_name["4_issue_vliw_dsp"]["required_mhz_qcif30"] > 10 * array_mhz

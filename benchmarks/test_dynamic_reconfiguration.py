@@ -1,0 +1,65 @@
+"""Sec. 5 — dynamic reconfiguration between implementations at run time.
+
+"The arrays have the ability to be dynamically reconfigured to support
+different implementations of the same algorithms for different run-time
+constraints, such as low-battery conditions and noisy channels in mobile
+devices."  This benchmark encodes a short synthetic sequence while
+switching the DCT implementation and the search algorithm mid-stream
+through the SoC, measuring the reconfiguration traffic and checking that
+quality is maintained while the energy/work profile changes.
+"""
+
+import pytest
+
+from repro.arrays import ReconfigurableSoC, build_da_array, build_me_array
+from repro.dct import CordicDCT1, SCCDirectDCT
+from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
+
+
+@pytest.mark.benchmark(group="reconfiguration")
+def test_dynamic_reconfiguration_under_runtime_constraints(benchmark):
+    sequence = panning_sequence(height=48, width=48, pan=(1, 1), seed=33)
+    frames = [sequence.frame(i) for i in range(4)]
+
+    def run():
+        soc = ReconfigurableSoC()
+        soc.attach_array(build_da_array())
+        soc.attach_array(build_me_array())
+
+        # Normal operating point: high-precision CORDIC DCT + full search.
+        high_quality = CordicDCT1()
+        soc.map_and_load(high_quality.build_netlist(), "da_array")
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3,
+                                                    dct_transform=high_quality,
+                                                    search_name="full"))
+        statistics = [encoder.encode_frame(frames[0], 0),
+                      encoder.encode_frame(frames[1], 1)]
+
+        # Low-battery condition: swap in the smallest DCT mapping and a
+        # reduced search — one SoC reconfiguration of the DA array.
+        low_power = SCCDirectDCT()
+        soc.map_and_load(low_power.build_netlist(), "da_array")
+        encoder.reconfigure(dct_transform=low_power, search_name="three_step")
+        statistics.append(encoder.encode_frame(frames[2], 2))
+        statistics.append(encoder.encode_frame(frames[3], 3))
+        return soc, statistics
+
+    soc, statistics = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    print(f"\nDynamic reconfiguration: {soc.reconfiguration_count('da_array')} DA-array "
+          f"loads, {soc.total_reconfiguration_bits()} configuration bits, "
+          f"{soc.total_reconfiguration_cycles()} bus cycles; "
+          f"PSNR per frame {[round(s.psnr_db, 1) for s in statistics]}")
+
+    # Two configurations were streamed into the DA array.
+    assert soc.reconfiguration_count("da_array") == 2
+    assert soc.total_reconfiguration_cycles() > 0
+
+    # Quality stays usable across the switch...
+    assert all(s.psnr_db > 28.0 for s in statistics)
+    # ...while the low-power operating point does measurably less SAD work.
+    assert statistics[3].sad_operations < statistics[1].sad_operations
+    # The low-power DCT mapping is smaller than the high-quality one, which
+    # is exactly why it is the right target under battery pressure.
+    assert (SCCDirectDCT().build_netlist().cluster_usage().total_clusters
+            < CordicDCT1().build_netlist().cluster_usage().total_clusters)

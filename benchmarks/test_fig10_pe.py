@@ -1,0 +1,44 @@
+"""Fig. 10 — the motion-estimation Processing Element.
+
+Checks that the PE is built from exactly the clusters the figure shows
+(Register-Mux, Absolute-Difference, Adder/Accumulator), maps onto the ME
+array, and benchmarks the per-pixel SAD accumulation against numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.me.pe import ProcessingElement, build_pe_netlist
+from repro.me.mapping import map_pe
+from repro.me.sad import sad
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_processing_element(benchmark, rng):
+    current = rng.integers(0, 256, 256)
+    reference = rng.integers(0, 256, 256)
+
+    def run():
+        pe = ProcessingElement()
+        for cur, ref in zip(current, reference):
+            pe.cycle(int(cur), int(ref))
+        return pe.sad
+
+    result = benchmark(run)
+
+    expected = sad(current.reshape(16, 16), reference.reshape(16, 16))
+    print(f"\nFig. 10 PE: accumulated SAD {result} (software reference {expected})")
+    assert result == expected
+
+    # The PE occupies exactly one MUX + one AD + one ADD/ACC cluster.
+    usage = ProcessingElement.cluster_usage()
+    assert usage.register_mux == 1
+    assert usage.abs_diff == 1
+    assert usage.add_acc == 1
+    assert usage.total_clusters == 3
+    assert build_pe_netlist().cluster_usage().as_table_row() == usage.as_table_row()
+
+    # It places and routes on the ME array with direct cluster-to-cluster links.
+    mapped = map_pe()
+    assert len(mapped.placement) == 3
+    assert mapped.routing is not None

@@ -1,0 +1,55 @@
+"""Fig. 11 — the 4x16-PE 2-D systolic full-search motion estimation array.
+
+Checks the claims attached to the figure: 64 PEs organised as 4 modules of
+16, the first SAD ready after 16 clock cycles, four candidates matched per
+round, motion vectors identical to the exhaustive software search, and the
+memory-bandwidth saving of the broadcast / register-mux network.  The
+benchmark times a full macroblock search on the cycle-based array model.
+"""
+
+import pytest
+
+from repro.me.full_search import full_search
+from repro.me.mapping import map_systolic_array
+from repro.me.systolic import SystolicArray
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_systolic_full_search(benchmark, me_frames):
+    reference_frame, current_frame, true_vector = me_frames
+    top, left = 32, 32
+    search_range = 4        # 64 candidates keeps the cycle-accurate model quick
+
+    def run():
+        array = SystolicArray()
+        return array.search(current_frame, reference_frame, top, left,
+                            block_size=16, search_range=search_range)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    software = full_search(current_frame, reference_frame, top, left, 16, search_range)
+    print(f"\nFig. 11 systolic ME: mv {result.motion_vector} "
+          f"(software {software.motion_vector}, ground truth {true_vector}), "
+          f"first SAD after {result.first_sad_cycle} cycles, "
+          f"{result.cycles} cycles total, "
+          f"bandwidth reduction {result.memory_bandwidth_reduction:.1%}")
+
+    # Identical results to exhaustive software search.
+    assert result.motion_vector == software.motion_vector
+    assert result.best.sad == software.best.sad
+    assert result.motion_vector == true_vector
+
+    # "The first round of SAD calculations would take 16 clock cycles."
+    assert result.first_sad_cycle == 16
+    # Four candidate blocks are matched per round on the 4 PE modules.
+    assert result.rounds == -(-result.candidates_evaluated // 4)
+    assert result.cycles == result.rounds * 16
+    # The broadcast search-area feed cuts reference-memory traffic sharply.
+    assert result.memory_bandwidth_reduction > 0.9
+
+    # The 64-PE engine (plus comparator) maps onto the ME array.
+    mapped = map_systolic_array(run_place_and_route=False)
+    assert mapped.usage.register_mux == 64
+    assert mapped.usage.abs_diff == 64
+    assert mapped.usage.add_acc == 64
+    assert mapped.usage.comparators == 1

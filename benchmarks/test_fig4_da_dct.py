@@ -1,0 +1,41 @@
+"""Fig. 4 — plain Distributed-Arithmetic DCT datapath.
+
+Checks the structure shown in the figure (eight 12-bit shift registers,
+eight 256-word / 8-bit ROMs, eight 16-bit shift-accumulators, broadcast
+address bus) and benchmarks the bit-serial transform against the floating
+point reference on a batch of vectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.da_dct import FIG4_ROM_WORDS, DistributedArithmeticDCT
+from repro.dct.reference import dct_1d
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_plain_da_dct(benchmark, input_vectors):
+    transform = DistributedArithmeticDCT()
+
+    def run():
+        return np.array([transform.forward(vector) for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    bound = 8 * 2048 * transform.quantisation.output_scale + 1.0
+    print(f"\nFig. 4 plain DA DCT: worst-case error {worst:.3f} "
+          f"(quantisation bound {bound:.1f})")
+    assert worst <= bound
+
+    # Structure of the datapath as drawn in the figure.
+    netlist = transform.build_netlist()
+    usage = netlist.cluster_usage()
+    assert usage.shift_registers == 8
+    assert usage.accumulators == 8
+    assert usage.memory_clusters == 8
+    assert all(node.depth_words == FIG4_ROM_WORDS
+               for node in netlist.nodes_of_kind(ClusterKind.MEMORY))
+    assert transform.cycles_per_transform == 12

@@ -1,0 +1,41 @@
+"""Fig. 5 — Mixed-ROM DCT using two 4x4 matrices.
+
+Checks the 16x ROM reduction relative to Fig. 4, the adder/subtracter
+overhead the paper mentions, and benchmarks the transform accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.da_dct import FIG4_ROM_WORDS
+from repro.dct.mixed_rom import FIG5_ROM_WORDS, MixedRomDCT
+from repro.dct.reference import dct_1d
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_mixed_rom_dct(benchmark, input_vectors):
+    transform = MixedRomDCT()
+
+    def run():
+        return np.array([transform.forward(vector) for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    bound = 8 * 4096 * transform.quantisation.output_scale + 1.0
+    print(f"\nFig. 5 Mixed-ROM DCT: worst-case error {worst:.3f} "
+          f"(quantisation bound {bound:.1f})")
+    assert worst <= bound
+
+    netlist = transform.build_netlist()
+    usage = netlist.cluster_usage()
+    # "the number of words per ROM is reduced to only 16 which is 16 times
+    # less than the previous implementation but some overhead has been
+    # incurred in the form of adders".
+    assert FIG4_ROM_WORDS // FIG5_ROM_WORDS == 16
+    assert all(node.depth_words == FIG5_ROM_WORDS
+               for node in netlist.nodes_of_kind(ClusterKind.MEMORY))
+    assert usage.adders == 4 and usage.subtracters == 4
+    assert usage.memory_clusters == 8

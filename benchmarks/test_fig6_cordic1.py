@@ -1,0 +1,42 @@
+"""Fig. 6 — CORDIC-rotator-based 8-point DCT (implementation #1).
+
+Checks the 6-rotator / 16-butterfly structure, the fixed 4-word rotator
+ROMs, and benchmarks accuracy of the shift-add rotation datapath.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.cordic_dct1 import CordicDCT1
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.reference import dct_1d
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_cordic_dct_1(benchmark, input_vectors):
+    transform = CordicDCT1()
+
+    def run():
+        return np.array([transform.forward(vector) for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    print(f"\nFig. 6 CORDIC DCT #1: worst-case error {worst:.4f}, "
+          f"{transform.rotator_count} rotators, "
+          f"{transform.butterfly_adder_count} butterfly adders")
+    assert worst <= 1.5
+
+    # "This CORDIC based implementation requires 6-CORDIC and 16 butterfly
+    # adders for an 8 point 1D DCT."
+    assert transform.rotator_count == 6
+    assert transform.butterfly_adder_count == 16
+
+    netlist = transform.build_netlist()
+    assert netlist.cluster_usage().as_table_row() == PAPER_TABLE1["cordic_1"]
+    # "the ROM size is reduced to a fix size of 4 words, independent of the
+    # bandwidth of the input data".
+    assert all(node.depth_words == 4
+               for node in netlist.nodes_of_kind(ClusterKind.MEMORY))

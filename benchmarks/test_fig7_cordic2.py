@@ -1,0 +1,54 @@
+"""Fig. 7 — scaled CORDIC DCT (implementation #2).
+
+Checks the two differences the paper lists against implementation #1
+(20 butterfly adders instead of 16, 3 rotators instead of 6), the folding
+of the scale factors into the quantiser, and benchmarks accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dct.cordic_dct1 import CordicDCT1
+from repro.dct.cordic_dct2 import CordicDCT2
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.quantization import fold_scale_factors, quantisation_matrix, quantise_with_matrix
+from repro.dct.reference import dct_1d
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_scaled_cordic_dct_2(benchmark, input_vectors):
+    transform = CordicDCT2()
+
+    def run():
+        return np.array([transform.forward_normalised(vector)
+                         for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    print(f"\nFig. 7 scaled CORDIC DCT: worst-case error {worst:.4f}, "
+          f"{transform.rotator_count} rotators, "
+          f"{transform.butterfly_adder_count} butterfly adders")
+    assert worst <= 1.5
+
+    first = CordicDCT1()
+    # "Uses 20 butterfly adders instead of 16; uses 3 CORDIC rotators
+    # instead of 6."
+    assert transform.butterfly_adder_count == 20
+    assert first.butterfly_adder_count == 16
+    assert transform.rotator_count == 3
+    assert first.rotator_count == 6
+
+    assert transform.build_netlist().cluster_usage().as_table_row() \
+        == PAPER_TABLE1["cordic_2"]
+
+    # "The constant scale factor ... can be combined with the quantization
+    # constants without requiring any extra hardware": the folded step
+    # matrix quantises the scaled coefficients to the same levels.
+    vector = input_vectors[0]
+    true_row = dct_1d(vector)
+    scaled_row = transform.forward(vector)
+    steps = np.full(8, 16.0)
+    folded = steps / transform.scale_factors
+    assert np.array_equal(np.trunc(true_row / steps), np.trunc(scaled_row / folded))

@@ -1,0 +1,42 @@
+"""Fig. 8 — Li's skew-circular-convolution DCT, even/odd split.
+
+Checks the reordered-kernel construction (the SCC matrix coincides with the
+direct odd matrix), the 16-word ROM geometry, and benchmarks accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.mixed_rom import odd_matrix
+from repro.dct.reference import dct_1d
+from repro.dct.scc_dct import FIG8_ROM_WORDS, SCCEvenOddDCT, generator_exponents, odd_scc_matrix
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_scc_even_odd_dct(benchmark, input_vectors):
+    transform = SCCEvenOddDCT()
+
+    def run():
+        return np.array([transform.forward(vector) for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    bound = 8 * 4096 * transform.quantisation.output_scale + 1.0
+    print(f"\nFig. 8 SCC even/odd DCT: worst-case error {worst:.3f} "
+          f"(bound {bound:.1f}); generator exponents {generator_exponents(8)}")
+    assert worst <= bound
+
+    # Li's reordering: the skew-circular-convolution matrix must equal the
+    # direct odd-output matrix value for value.
+    assert np.allclose(odd_scc_matrix(8), odd_matrix(8))
+
+    netlist = transform.build_netlist()
+    assert netlist.cluster_usage().as_table_row() == PAPER_TABLE1["scc_even_odd"]
+    # "Only a 16 words ROM is required as DCT components are separated into
+    # odd and even."
+    assert all(node.depth_words == FIG8_ROM_WORDS
+               for node in netlist.nodes_of_kind(ClusterKind.MEMORY))

@@ -1,0 +1,42 @@
+"""Fig. 9 — Li's algorithm in direct form: larger LUTs, no input adders.
+
+Checks the 16x ROM growth against Fig. 8 and the absence of any input
+adders/subtracters, and benchmarks accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.reference import dct_1d
+from repro.dct.scc_dct import FIG8_ROM_WORDS, FIG9_ROM_WORDS, SCCDirectDCT
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_scc_direct_dct(benchmark, input_vectors):
+    transform = SCCDirectDCT()
+
+    def run():
+        return np.array([transform.forward(vector) for vector in input_vectors])
+
+    outputs = benchmark(run)
+
+    reference = np.array([dct_1d(vector) for vector in input_vectors])
+    worst = float(np.max(np.abs(outputs - reference)))
+    bound = 8 * 2048 * transform.quantisation.output_scale + 1.0
+    print(f"\nFig. 9 SCC direct DCT: worst-case error {worst:.3f} (bound {bound:.1f})")
+    assert worst <= bound
+
+    netlist = transform.build_netlist()
+    usage = netlist.cluster_usage()
+    # "The implementation requires 256 words ROM which is 16 times more than
+    # the previous implementation but does not require adder/subtracters."
+    assert FIG9_ROM_WORDS == 16 * FIG8_ROM_WORDS
+    assert usage.adders == 0 and usage.subtracters == 0
+    assert all(node.depth_words == FIG9_ROM_WORDS
+               for node in netlist.nodes_of_kind(ClusterKind.MEMORY))
+    assert usage.as_table_row() == PAPER_TABLE1["scc_direct"]
+    # It is also the smallest Table 1 mapping in cluster count.
+    assert usage.total_clusters == min(row["total_clusters"]
+                                       for row in PAPER_TABLE1.values())

@@ -1,0 +1,67 @@
+"""Sec. 3.6 — power discussion: the implementations trade area, activity and cycles.
+
+The paper performs no power measurements ("at these initial stages no power
+estimation was performed") but argues that the implementations "can have
+different power consumption due to the different area usage and different
+signal activities".  This benchmark quantifies that argument with the
+activity-based model: per-cycle switched capacitance, cycles per transform
+and the resulting energy per 8-point transform for every Table 1
+implementation, using the signal activity of a real pixel workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrays import build_da_array
+from repro.dct.mapping import TABLE1_ORDER, dct_implementations, generate_table1
+from repro.power import domain_specific_cost, power_per_block
+from repro.power.activity import block_activity
+from repro.reporting import format_table
+
+
+@pytest.mark.benchmark(group="power")
+def test_dct_implementation_energy_comparison(benchmark, pixel_block):
+    implementations = {impl.name: impl for impl in dct_implementations()}
+    activity = block_activity(pixel_block)
+
+    def run():
+        table1 = generate_table1()
+        fabric = build_da_array()
+        rows = []
+        for name in TABLE1_ORDER:
+            mapped = table1[name]
+            cost = domain_specific_cost(mapped.netlist, fabric, activity=activity,
+                                        routing=mapped.routing)
+            cycles = implementations[name].cycles_per_transform
+            rows.append({
+                "implementation": name,
+                "clusters": mapped.usage.total_clusters,
+                "cap_per_cycle": round(cost.switched_capacitance_per_cycle, 1),
+                "cycles_per_transform": cycles,
+                "energy_per_transform": round(power_per_block(cost, cycles), 1),
+            })
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(format_table(rows, title=f"Energy per 8-point transform "
+                                   f"(workload activity {activity:.2f})"))
+
+    by_name = {row["implementation"]: row for row in rows}
+    # Area usage and energy do not rank the implementations identically:
+    # CORDIC 2 uses fewer clusters than CORDIC 1 but pays a longer schedule
+    # for its time-shared rotators.
+    assert by_name["cordic_2"]["clusters"] < by_name["cordic_1"]["clusters"]
+    assert (by_name["cordic_2"]["cycles_per_transform"]
+            > by_name["cordic_1"]["cycles_per_transform"])
+    area_order = [row["implementation"] for row in
+                  sorted(rows, key=lambda r: r["clusters"])]
+    energy_order = [row["implementation"] for row in
+                    sorted(rows, key=lambda r: r["energy_per_transform"])]
+    assert area_order != energy_order
+    # Every implementation consumes some energy and the spread is real
+    # (largest at least 1.5x the smallest), which is what makes the choice
+    # an operating-point decision rather than a wash.
+    energies = [row["energy_per_transform"] for row in rows]
+    assert min(energies) > 0
+    assert max(energies) >= 1.5 * min(energies)

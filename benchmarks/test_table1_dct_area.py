@@ -1,0 +1,38 @@
+"""Table 1 — area usage (cluster counts) of the five DCT implementations.
+
+Regenerates every row of Table 1 by building each implementation's netlist
+and mapping it onto the DA array, then compares the cluster counts with the
+published values.  The benchmark timing covers the full mapping flow
+(netlist construction, placement, routing, metrics) for all five
+implementations.
+"""
+
+import pytest
+
+from repro.dct.mapping import PAPER_TABLE1, TABLE1_ORDER, generate_table1, table1_as_rows
+from repro.reporting import format_table
+
+
+def run_table1():
+    return generate_table1()
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_cluster_usage_matches_paper(benchmark):
+    results = benchmark(run_table1)
+
+    rows = table1_as_rows(results)
+    print()
+    print(format_table(rows, title="Table 1: area usage of the DCT implementations"))
+
+    for name in TABLE1_ORDER:
+        assert results[name].table_row() == PAPER_TABLE1[name], name
+
+    totals = {name: results[name].usage.total_clusters for name in TABLE1_ORDER}
+    # Shape of the comparison: CORDIC 1 is the largest mapping, the direct
+    # SCC implementation the smallest, and the ratio between them is 2x.
+    assert totals["cordic_1"] == max(totals.values())
+    assert totals["scc_direct"] == min(totals.values())
+    assert totals["cordic_1"] == 2 * totals["scc_direct"]
+    # MIX ROM and SCC even/odd tie at 32 clusters as in the paper.
+    assert totals["mixed_rom"] == totals["scc_even_odd"] == 32

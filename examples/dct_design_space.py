@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the five DCT implementations (Table 1 + Sec. 3.6).
+
+For every implementation of Sec. 3 this script maps the netlist onto the DA
+array and reports the axes a designer would trade against each other:
+
+* cluster usage (the Table 1 rows) and ROM bits,
+* routed hops, critical-path estimate and configuration-bitstream size,
+* cycles per transform and energy per transform at the activity of a real
+  pixel workload,
+* worst-case accuracy against the floating-point reference.
+
+Run with:  python examples/dct_design_space.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import build_da_array
+from repro.dct import dct_implementations, map_implementation
+from repro.dct.reference import dct_1d
+from repro.power import domain_specific_cost, power_per_block
+from repro.power.activity import block_activity
+from repro.reporting import format_table
+
+
+def worst_case_error(transform, vectors) -> float:
+    """Largest coefficient error of a transform over a batch of vectors."""
+    worst = 0.0
+    for vector in vectors:
+        if hasattr(transform, "forward_normalised"):
+            outputs = transform.forward_normalised(vector)
+        else:
+            outputs = transform.forward(vector)
+        worst = max(worst, float(np.max(np.abs(outputs - dct_1d(vector)))))
+    return worst
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    vectors = rng.integers(-2048, 2048, (32, 8))
+    pixel_block = rng.integers(0, 256, (8, 8))
+    activity = block_activity(pixel_block)
+
+    rows = []
+    for transform in dct_implementations():
+        mapped = map_implementation(transform, build_da_array())
+        cost = domain_specific_cost(mapped.netlist, build_da_array(),
+                                    activity=activity, routing=mapped.routing)
+        rows.append({
+            "implementation": transform.name,
+            "figure": transform.figure,
+            "clusters": mapped.usage.total_clusters,
+            "rom_bits": mapped.metrics.memory_bits,
+            "routed_hops": mapped.metrics.routed_hops,
+            "config_bits": mapped.metrics.configuration_bits,
+            "cycles": transform.cycles_per_transform,
+            "energy": round(power_per_block(cost, transform.cycles_per_transform), 1),
+            "worst_error": round(worst_case_error(transform, vectors), 3),
+        })
+
+    print(format_table(rows, title=f"DCT design space on the DA array "
+                                   f"(workload activity {activity:.2f})"))
+    print("\nReading the table:")
+    print(" * Fig. 6 (cordic_1) buys the best accuracy with the most clusters;")
+    print(" * Fig. 9 (scc_direct) is the smallest mapping but pays in ROM bits")
+    print("   and configuration-bitstream size;")
+    print(" * Fig. 7 (cordic_2) halves the rotators of Fig. 6 yet needs the")
+    print("   longest schedule, so its energy per transform is not the lowest —")
+    print("   exactly the area/activity/power interplay Sec. 3.6 points at.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Hybrid video encoding with the mapped kernels (the MPEG-4/H.263 use case).
+
+Encodes a short synthetic QCIF-like sequence with the hybrid encoder of
+:mod:`repro.video.codec`, once per DCT implementation, and reports per-frame
+PSNR, the motion-estimation work and the energy estimate of the DCT kernel
+on the DA array.  This is the workload the paper's introduction motivates:
+the same encoder runs with any of the Table 1 implementations, because the
+array can host all of them.
+
+Run with:  python examples/video_encoding.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import build_da_array
+from repro.dct import dct_implementations, map_implementation
+from repro.power import domain_specific_cost, power_per_block
+from repro.power.activity import block_activity
+from repro.reporting import format_table
+from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
+
+FRAME_COUNT = 3
+QP = 6
+SEARCH_RANGE = 4
+
+
+def encode_with(transform, frames) -> dict:
+    """Encode the sequence with one DCT implementation; return summary stats."""
+    encoder = VideoEncoder(EncoderConfiguration(
+        qp=QP, search_range=SEARCH_RANGE, search_name="full",
+        dct_transform=transform,
+        dct_cycles_per_block=transform.cycles_per_transform))
+    statistics = encoder.encode_sequence(frames)
+    return {
+        "mean_psnr_db": float(np.mean([s.psnr_db for s in statistics])),
+        "dct_blocks": sum(s.dct_blocks for s in statistics),
+        "dct_cycles": sum(s.dct_cycles for s in statistics),
+        "sad_operations": sum(s.sad_operations for s in statistics),
+        "inter_fraction": statistics[-1].inter_fraction,
+    }
+
+
+def main() -> None:
+    sequence = panning_sequence(height=64, width=80, pan=(1, 2), seed=17)
+    frames = [sequence.frame(i) for i in range(FRAME_COUNT)]
+    activity = block_activity(frames[0][:8, :8])
+    fabric = build_da_array()
+
+    rows = []
+    for transform in dct_implementations():
+        summary = encode_with(transform, frames)
+        mapped = map_implementation(transform, fabric)
+        cost = domain_specific_cost(mapped.netlist, build_da_array(),
+                                    activity=activity, routing=mapped.routing)
+        energy = power_per_block(cost, transform.cycles_per_transform)
+        rows.append({
+            "dct_implementation": transform.name,
+            "figure": transform.figure,
+            "clusters": mapped.usage.total_clusters,
+            "mean_psnr_db": round(summary["mean_psnr_db"], 2),
+            "dct_cycles": summary["dct_cycles"],
+            "energy_per_transform": round(energy, 1),
+            "inter_mb_fraction": round(summary["inter_fraction"], 2),
+        })
+
+    print(format_table(
+        rows,
+        title=f"Encoding {FRAME_COUNT} frames of a {frames[0].shape[1]}x"
+              f"{frames[0].shape[0]} pan with every Table 1 DCT implementation"))
+    print("\nAll implementations deliver essentially the same quality; they buy it")
+    print("with different mixes of clusters, cycles and energy — which is the")
+    print("flexibility argument of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without PEP 517 build
+isolation or the ``wheel`` package (``python setup.py develop`` /
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Domain-specific reconfigurable arrays for mobile video: DCT and "
+        "motion-estimation mappings (DATE 2004 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,23 @@
+"""repro — domain-specific reconfigurable arrays for mobile video.
+
+Reproduction of "Efficient Implementations of Mobile Video Computations on
+Domain-Specific Reconfigurable Arrays" (Khawam et al., DATE 2004): a
+Python model of the cluster-based reconfigurable arrays, the mapping flow,
+the five DCT implementations of Table 1 and the 2-D systolic
+motion-estimation engine, plus the power/area/timing comparison against a
+generic FPGA baseline.
+
+Top-level subpackages
+---------------------
+
+``repro.core``    cluster models, fabric, interconnect, mapping flow
+``repro.arrays``  the ME and DA arrays, the FPGA baseline, the SoC wrapper
+``repro.dct``     reference DCT and the mapped DCT implementations
+``repro.me``      SAD, search algorithms and the 2-D systolic array
+``repro.video``   synthetic sequences, macroblocks, encoder loop, PSNR
+``repro.power``   switching activity and the array-vs-FPGA cost models
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Domain-specific array definitions, the FPGA baseline and the SoC wrapper."""
+
+from repro.arrays.da_array import (
+    ADD_SHIFT_BITS,
+    DAArrayGeometry,
+    MEMORY_DEPTH_WORDS,
+    MEMORY_WORD_BITS,
+    build_da_array,
+)
+from repro.arrays.dsp_baseline import DSPModel
+from repro.arrays.fpga_baseline import FPGAImplementation, map_to_fpga
+from repro.arrays.me_array import (
+    MEArrayGeometry,
+    PIXEL_BITS,
+    SAD_BITS,
+    build_me_array,
+)
+from repro.arrays.soc import MappedKernel, ReconfigurableSoC, ReconfigurationEvent
+
+__all__ = [
+    "ADD_SHIFT_BITS",
+    "DAArrayGeometry",
+    "MEMORY_DEPTH_WORDS",
+    "MEMORY_WORD_BITS",
+    "build_da_array",
+    "DSPModel",
+    "FPGAImplementation",
+    "map_to_fpga",
+    "MEArrayGeometry",
+    "PIXEL_BITS",
+    "SAD_BITS",
+    "build_me_array",
+    "MappedKernel",
+    "ReconfigurableSoC",
+    "ReconfigurationEvent",
+]

@@ -1,0 +1,66 @@
+"""The domain-specific reconfigurable array for Distributed Arithmetic (Fig. 3).
+
+The DA array (Sec. 2.2) provides two cluster kinds: Add-Shift clusters
+(addition, subtraction, shifting and shift-accumulation — also usable as
+parallel-to-serial shift registers) and Memory clusters (LUT/ROM with
+configurable geometry).  It is the target of all five DCT implementations
+of Sec. 3; the default geometry is sized so the largest of them (CORDIC #1
+at 48 clusters, Table 1) fits with room to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.fabric import Fabric
+from repro.core.interconnect import MeshSpec
+
+#: Width of the Add-Shift datapath: 16-bit shift-accumulators (Fig. 4).
+ADD_SHIFT_BITS = 16
+#: Word width of the memory clusters (8-bit ROM words, Fig. 4).
+MEMORY_WORD_BITS = 8
+#: Depth of one physical memory cluster.  Deeper ROMs (the 256-word LUTs of
+#: Figs. 4 and 9) still occupy a single memory cluster because the cluster
+#: geometry is configurable; the extra bits show up in the area model, not
+#: in the cluster count — consistent with Table 1 counting one "Mem-Cluster"
+#: per LUT regardless of depth.
+MEMORY_DEPTH_WORDS = 256
+
+
+@dataclass(frozen=True)
+class DAArrayGeometry:
+    """Cluster mix of one DA array instance (vertical bands like Fig. 3)."""
+
+    rows: int = 10
+    add_shift_columns: int = 6
+    memory_columns: int = 2
+
+    @property
+    def cols(self) -> int:
+        """Total columns of the fabric."""
+        return self.add_shift_columns + self.memory_columns
+
+    def capacity(self) -> Dict[ClusterKind, int]:
+        """Cluster sites per kind for this geometry."""
+        return {
+            ClusterKind.ADD_SHIFT: self.rows * self.add_shift_columns,
+            ClusterKind.MEMORY: self.rows * self.memory_columns,
+        }
+
+
+def build_da_array(geometry: Optional[DAArrayGeometry] = None,
+                   mesh_spec: Optional[MeshSpec] = None) -> Fabric:
+    """Construct the DA/DCT fabric with the given (or default) geometry."""
+    geometry = geometry or DAArrayGeometry()
+    mesh_spec = mesh_spec or MeshSpec(coarse_tracks_per_channel=12,
+                                      fine_tracks_per_channel=16)
+    fabric = Fabric("da_array", geometry.rows, geometry.cols, mesh_spec)
+
+    fabric.fill_column_band(0, geometry.add_shift_columns,
+                            ClusterSpec(ClusterKind.ADD_SHIFT, ADD_SHIFT_BITS))
+    fabric.fill_column_band(geometry.add_shift_columns, geometry.cols,
+                            ClusterSpec(ClusterKind.MEMORY, MEMORY_WORD_BITS,
+                                        MEMORY_DEPTH_WORDS))
+    return fabric

@@ -1,0 +1,88 @@
+"""Programmable-DSP baseline cost model.
+
+The introduction of the paper motivates the reconfigurable arrays by the
+two conventional alternatives: programmable DSPs ("this leads to a high
+operating frequency and increased power consumption of the system") and
+hardwired ASICs (efficient but inflexible).  The FPGA baseline covers the
+flexible-hardware corner; this module provides the DSP corner — a simple
+cycle-count model of a single-MAC, load/store DSP executing the same
+kernels in software — so the examples and benchmarks can report the clock
+frequency and relative energy a DSP would need for the same real-time
+workload.
+
+The cycle counts follow the standard software formulations (row/column DCT
+with multiply-accumulate inner loops, SAD loops with absolute-difference
+and accumulate), with a configurable instruction-level-parallelism factor
+to represent wider VLIW-style DSPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Instructions per multiply-accumulate including operand loads on a
+#: single-MAC DSP (load x, load coefficient, MAC).
+INSTRUCTIONS_PER_MAC = 3
+#: Instructions per SAD point (load current, load reference, subtract-abs,
+#: accumulate).
+INSTRUCTIONS_PER_SAD_POINT = 4
+#: Per-block loop and addressing overhead instructions.
+BLOCK_OVERHEAD_INSTRUCTIONS = 32
+#: Energy per DSP instruction relative to the switched capacitance of one
+#: array cluster-cycle at equal activity (fetch + decode + register file +
+#: datapath of a programmable core dominate).
+ENERGY_PER_INSTRUCTION = 6.0
+
+
+@dataclass(frozen=True)
+class DSPModel:
+    """A simple programmable-DSP execution model.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    macs_per_cycle:
+        Sustained multiply-accumulate throughput (1 for a single-MAC DSP,
+        higher for VLIW parts).
+    """
+
+    name: str = "single_mac_dsp"
+    macs_per_cycle: float = 1.0
+
+    def dct_8x8_cycles(self) -> int:
+        """Cycles for one 8x8 DCT via row/column 8-point transforms.
+
+        Each 8-point transform is 8 outputs x 8 MACs; an 8x8 block needs 16
+        one-dimensional transforms plus per-block overhead.
+        """
+        macs = 16 * 8 * 8
+        instructions = macs * INSTRUCTIONS_PER_MAC + BLOCK_OVERHEAD_INSTRUCTIONS
+        return int(round(instructions / self.macs_per_cycle))
+
+    def sad_16x16_cycles(self) -> int:
+        """Cycles for one 16x16 SAD evaluation."""
+        points = 16 * 16
+        instructions = (points * INSTRUCTIONS_PER_SAD_POINT
+                        + BLOCK_OVERHEAD_INSTRUCTIONS)
+        return int(round(instructions / self.macs_per_cycle))
+
+    def full_search_cycles(self, search_range: int = 8) -> int:
+        """Cycles for an exhaustive +-``search_range`` macroblock search."""
+        candidates = (2 * search_range) ** 2
+        return candidates * self.sad_16x16_cycles()
+
+    def macroblock_cycles(self, search_range: int = 8) -> int:
+        """Cycles to motion-estimate and transform one macroblock (4 blocks)."""
+        return self.full_search_cycles(search_range) + 4 * self.dct_8x8_cycles()
+
+    def required_frequency_hz(self, frame_width: int = 176, frame_height: int = 144,
+                              frames_per_second: float = 30.0,
+                              search_range: int = 8) -> float:
+        """Clock frequency needed for real-time encoding of the given format."""
+        macroblocks = (frame_width // 16) * (frame_height // 16)
+        return self.macroblock_cycles(search_range) * macroblocks * frames_per_second
+
+    def energy_per_macroblock(self, search_range: int = 8) -> float:
+        """Relative energy to process one macroblock (model units)."""
+        return self.macroblock_cycles(search_range) * ENERGY_PER_INSTRUCTION

@@ -1,0 +1,164 @@
+"""Generic fine-grain FPGA baseline cost model.
+
+The paper's headline numbers are *relative* to a generic island-style
+FPGA: the ME array of [1] gives a 75 % power reduction, 45 % area
+reduction and 23 % timing improvement; the DA array of [2] gives 38 %
+power, 14 % area and a 54 % lower maximum operating frequency.  To
+regenerate those comparisons we need a model of what the same netlist
+costs when built out of 4-input LUTs, flip-flops and a 1-bit segmented
+routing fabric.
+
+The model is analytic: every cluster kind expands into a number of 4-LUT /
+flip-flop pairs per 4-bit datapath element (standard technology-mapping
+results for ripple adders, absolute-difference units, comparators and
+multiplexers), memories map onto LUT-RAM, and the routing fabric adds the
+well-known fine-grain interconnect overhead in area, delay and switched
+capacitance.  The per-kind expansion factors are documented constants, so
+the comparison benchmarks exercise the whole mapping flow rather than
+quoting the paper's ratios back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.clusters import ClusterKind, elements_for_width
+from repro.core.metrics import HOP_DELAY
+from repro.core.netlist import Netlist
+from repro.core.router import RoutingResult
+
+#: 4-input LUTs needed per 4-bit element of each operation when technology
+#: mapped onto a generic FPGA (ripple-carry structures; one LUT per output
+#: bit for arithmetic, two for absolute-difference because of the
+#: conditional negation, half for a 2:1 mux pair packed two-per-LUT).
+LUTS_PER_ELEMENT: Dict[ClusterKind, float] = {
+    ClusterKind.REGISTER_MUX: 2.0,
+    ClusterKind.ABS_DIFF: 8.0,
+    ClusterKind.ADD_ACC: 6.0,
+    ClusterKind.COMPARATOR: 5.0,
+    ClusterKind.ADD_SHIFT: 5.0,
+    ClusterKind.MEMORY: 4.0,
+}
+
+#: LUTs per ROM/LUT memory bit when the contents live in LUT-RAM
+#: (16 bits of storage per 4-input LUT).
+LUTS_PER_MEMORY_BIT = 1.0 / 16.0
+
+#: Area of one LUT + flip-flop tile, in the same 4-bit-element units used
+#: by :mod:`repro.core.metrics` (one coarse element is roughly the size of
+#: 1.4 LUT tiles before interconnect).
+LUT_TILE_AREA_ELEMENTS = 0.7
+
+#: Fine-grain routing multiplies the logic area: in island-style FPGAs the
+#: programmable interconnect occupies 70–80 % of the tile.
+FPGA_ROUTING_AREA_FACTOR = 3.4
+
+#: Combinational delay through one LUT plus its local routing, in the same
+#: delay units as :data:`repro.core.metrics.CLUSTER_DELAY`.
+LUT_DELAY = 0.55
+
+#: Average number of LUT levels needed to realise one cluster-level
+#: operation of each kind (depth of the mapped logic cone).
+LUT_LEVELS: Dict[ClusterKind, float] = {
+    ClusterKind.REGISTER_MUX: 1.0,
+    ClusterKind.ABS_DIFF: 4.0,
+    ClusterKind.ADD_ACC: 3.0,
+    ClusterKind.COMPARATOR: 3.0,
+    ClusterKind.ADD_SHIFT: 1.6,
+    ClusterKind.MEMORY: 1.2,
+}
+
+#: A routed hop on a 1-bit fine-grain fabric passes more switch stages than
+#: the byte-wide tracks of the domain-specific mesh.
+FPGA_HOP_DELAY = HOP_DELAY * 1.6
+
+#: Switched capacitance per LUT per unit activity (arbitrary charge units).
+LUT_SWITCHED_CAP = 1.0
+
+#: Extra switched capacitance of the fine-grain interconnect, relative to
+#: the logic itself: every signal toggling drags long segmented wires and
+#: pass-transistor switches with it.
+FPGA_INTERCONNECT_CAP_FACTOR = 2.6
+
+
+@dataclass
+class FPGAImplementation:
+    """Cost of a netlist technology-mapped onto the generic FPGA baseline."""
+
+    netlist_name: str
+    lut_count: float
+    flip_flop_count: float
+    area_elements: float
+    critical_path_delay: float
+    switched_capacitance_per_cycle: float
+
+    @property
+    def max_frequency(self) -> float:
+        """Reciprocal of the critical path (arbitrary frequency units)."""
+        if self.critical_path_delay <= 0:
+            return float("inf")
+        return 1.0 / self.critical_path_delay
+
+
+def map_to_fpga(netlist: Netlist, activity: float = 0.25,
+                routing: RoutingResult = None) -> FPGAImplementation:
+    """Technology-map a netlist onto the generic FPGA baseline.
+
+    Parameters
+    ----------
+    netlist:
+        The dataflow graph to map; the same object handed to the
+        domain-specific placer, so both implementations realise the same
+        function.
+    activity:
+        Average switching activity (probability a signal bit toggles in a
+        cycle); the same value must be used for the domain-specific cost so
+        the ratio isolates the architecture.
+    routing:
+        Optional routed result on the domain-specific fabric; when given,
+        the FPGA routing delay uses the same hop counts scaled by the
+        fine-grain hop penalty, otherwise an average fan-out distance is
+        assumed.
+    """
+    lut_count = 0.0
+    flip_flop_count = 0.0
+    for node in netlist.nodes:
+        elements = elements_for_width(node.width_bits)
+        lut_count += LUTS_PER_ELEMENT[node.kind] * elements
+        flip_flop_count += node.width_bits
+        if node.kind is ClusterKind.MEMORY and node.depth_words > 0:
+            lut_count += node.depth_words * node.width_bits * LUTS_PER_MEMORY_BIT
+
+    area = lut_count * LUT_TILE_AREA_ELEMENTS * FPGA_ROUTING_AREA_FACTOR
+
+    # Critical path: follow the same topological longest path as the
+    # domain-specific timing model, but with LUT-level depths and the
+    # fine-grain hop penalty.
+    hop_delays: Dict[str, float] = {}
+    if routing is not None:
+        for route in routing.routes:
+            hop_delays[route.net_name] = route.hop_count * FPGA_HOP_DELAY
+
+    arrival: Dict[str, float] = {}
+    for node in netlist.topological_order():
+        incoming = 0.0
+        for net in netlist.fanin(node.name):
+            if net.source == net.sink:
+                continue
+            source_arrival = arrival.get(net.source, 0.0)
+            incoming = max(incoming,
+                           source_arrival + hop_delays.get(net.name, FPGA_HOP_DELAY))
+        arrival[node.name] = incoming + LUT_LEVELS[node.kind] * LUT_DELAY
+    delay = max(arrival.values()) if arrival else 0.0
+
+    switched_cap = (lut_count * LUT_SWITCHED_CAP * activity
+                    * (1.0 + FPGA_INTERCONNECT_CAP_FACTOR))
+    return FPGAImplementation(
+        netlist_name=netlist.name,
+        lut_count=lut_count,
+        flip_flop_count=flip_flop_count,
+        area_elements=area,
+        critical_path_delay=delay,
+        switched_capacitance_per_cycle=switched_cap,
+    )

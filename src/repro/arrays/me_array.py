@@ -1,0 +1,83 @@
+"""The domain-specific reconfigurable array for Motion Estimation (Fig. 2).
+
+The ME array is a heterogeneous fabric providing four cluster kinds
+(Sec. 2.1): Register-Multiplexer (MUX), Absolute-Difference (AD),
+Adder/Accumulator (ADD/ACC) and Min/Max Comparator (COMP).  The default
+geometry is sized so that the 4x16-PE systolic engine of Fig. 11 — plus
+its comparator tree and the register-mux network that broadcasts the
+search-area pixels — fits with head-room, mirroring how the physical
+array of [1] was dimensioned for full-search block matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.fabric import Fabric
+from repro.core.interconnect import MeshSpec
+
+#: Pixel datapath width (8-bit luminance values).
+PIXEL_BITS = 8
+#: SAD accumulator width: 16x16 blocks of 8-bit absolute differences need
+#: 8 + log2(256) = 16 bits.
+SAD_BITS = 16
+
+
+@dataclass(frozen=True)
+class MEArrayGeometry:
+    """Cluster mix of one ME array instance.
+
+    The counts are per column band; the fabric lays the bands out side by
+    side like Fig. 2 (MUX | AD | ADD/ACC | COMP).
+    """
+
+    rows: int = 16
+    mux_columns: int = 4
+    abs_diff_columns: int = 5
+    add_acc_columns: int = 6
+    comparator_columns: int = 1
+
+    @property
+    def cols(self) -> int:
+        """Total columns of the fabric."""
+        return (self.mux_columns + self.abs_diff_columns
+                + self.add_acc_columns + self.comparator_columns)
+
+    def capacity(self) -> Dict[ClusterKind, int]:
+        """Cluster sites per kind for this geometry."""
+        return {
+            ClusterKind.REGISTER_MUX: self.rows * self.mux_columns,
+            ClusterKind.ABS_DIFF: self.rows * self.abs_diff_columns,
+            ClusterKind.ADD_ACC: self.rows * self.add_acc_columns,
+            ClusterKind.COMPARATOR: self.rows * self.comparator_columns,
+        }
+
+
+def build_me_array(geometry: Optional[MEArrayGeometry] = None,
+                   mesh_spec: Optional[MeshSpec] = None) -> Fabric:
+    """Construct the ME fabric with the given (or default) geometry.
+
+    The default mesh uses byte-wide coarse tracks for the pixel and SAD
+    buses plus single-bit tracks for the enables and select lines, exactly
+    the two-level interconnect of Sec. 2.
+    """
+    geometry = geometry or MEArrayGeometry()
+    mesh_spec = mesh_spec or MeshSpec(coarse_tracks_per_channel=6,
+                                      fine_tracks_per_channel=8)
+    fabric = Fabric("me_array", geometry.rows, geometry.cols, mesh_spec)
+
+    col = 0
+    fabric.fill_column_band(col, col + geometry.mux_columns,
+                            ClusterSpec(ClusterKind.REGISTER_MUX, PIXEL_BITS))
+    col += geometry.mux_columns
+    fabric.fill_column_band(col, col + geometry.abs_diff_columns,
+                            ClusterSpec(ClusterKind.ABS_DIFF, PIXEL_BITS))
+    col += geometry.abs_diff_columns
+    fabric.fill_column_band(col, col + geometry.add_acc_columns,
+                            ClusterSpec(ClusterKind.ADD_ACC, SAD_BITS))
+    col += geometry.add_acc_columns
+    fabric.fill_column_band(col, col + geometry.comparator_columns,
+                            ClusterSpec(ClusterKind.COMPARATOR, SAD_BITS))
+    return fabric

@@ -1,0 +1,196 @@
+"""Reconfigurable System-on-Chip wrapper (Fig. 1 of the paper).
+
+The SoC connects a host processor / DSP with the domain-specific
+reconfigurable arrays over an on-chip bus; a controller in the processor
+generates addresses and streams configuration bitstreams into the arrays.
+This module models that glue: it owns the array fabrics, runs the mapping
+flow (place, route, bitstream generation) for a kernel, keeps track of
+which configuration each array currently holds, and accounts for the
+reconfiguration traffic and time — which is what makes the dynamic
+reconfiguration argument of Sec. 5 (switching implementations on
+low-battery or noisy-channel conditions) measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.clusters import ClusterKind
+from repro.core.configuration import (
+    ChannelConfiguration,
+    ClusterConfiguration,
+    ConfigurationBitstream,
+)
+from repro.core.exceptions import ConfigurationError, MappingError
+from repro.core.fabric import Fabric
+from repro.core.mapper import AnnealingPlacer, GreedyPlacer, Placement
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter, RoutingResult
+
+
+@dataclass
+class MappedKernel:
+    """A kernel mapped onto one of the SoC's arrays, ready to be loaded."""
+
+    netlist: Netlist
+    array_name: str
+    placement: Placement
+    routing: RoutingResult
+    bitstream: ConfigurationBitstream
+
+    @property
+    def name(self) -> str:
+        """Kernel name (the netlist name)."""
+        return self.netlist.name
+
+
+@dataclass
+class ReconfigurationEvent:
+    """One reconfiguration of an array recorded by the SoC controller."""
+
+    array_name: str
+    kernel_name: str
+    bitstream_bits: int
+    cycles: int
+
+
+class ReconfigurableSoC:
+    """Host-side model of the reconfigurable platform.
+
+    Parameters
+    ----------
+    configuration_bus_bits:
+        Width of the bus the controller uses to stream bitstreams into the
+        arrays; reconfiguration latency is ``bits / bus width`` cycles.
+    use_annealing:
+        Refine placements with simulated annealing (slower, better
+        wirelength) instead of stopping at the greedy placement.
+    """
+
+    def __init__(self, configuration_bus_bits: int = 32,
+                 use_annealing: bool = False, seed: int = 0) -> None:
+        if configuration_bus_bits <= 0:
+            raise ConfigurationError("configuration bus width must be positive")
+        self.configuration_bus_bits = configuration_bus_bits
+        self.use_annealing = use_annealing
+        self.seed = seed
+        self._arrays: Dict[str, Fabric] = {}
+        self._loaded: Dict[str, Optional[MappedKernel]] = {}
+        self.reconfiguration_log: List[ReconfigurationEvent] = []
+
+    # -- array management ----------------------------------------------------
+    def attach_array(self, fabric: Fabric) -> None:
+        """Add a domain-specific array to the SoC."""
+        if fabric.name in self._arrays:
+            raise ConfigurationError(f"array {fabric.name!r} already attached")
+        self._arrays[fabric.name] = fabric
+        self._loaded[fabric.name] = None
+
+    def array(self, name: str) -> Fabric:
+        """Look an attached array up by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ConfigurationError(f"no array named {name!r} attached") from None
+
+    @property
+    def array_names(self) -> List[str]:
+        """Names of all attached arrays."""
+        return list(self._arrays)
+
+    def loaded_kernel(self, array_name: str) -> Optional[MappedKernel]:
+        """Kernel currently configured on an array, or ``None``."""
+        self.array(array_name)
+        return self._loaded[array_name]
+
+    # -- mapping flow -----------------------------------------------------------
+    def map_kernel(self, netlist: Netlist, array_name: str) -> MappedKernel:
+        """Place, route, verify and generate the bitstream for a kernel.
+
+        Raises :class:`repro.core.exceptions.CapacityError` when the kernel
+        does not fit, :class:`repro.core.exceptions.RoutingError` when the
+        mesh is too congested, and :class:`repro.core.exceptions.MappingError`
+        if the design-rule checks reject the mapped result (which would
+        indicate a flow bug rather than a user error).
+        """
+        from repro.core.verification import verify_mapped_design
+
+        fabric = self.array(array_name)
+        if self.use_annealing:
+            placement = AnnealingPlacer(fabric, seed=self.seed).place(netlist)
+        else:
+            placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        report = verify_mapped_design(fabric, netlist, placement, routing)
+        if not report.passed:
+            raise MappingError(
+                f"mapping of {netlist.name!r} onto {array_name!r} failed "
+                f"design-rule checks: " + "; ".join(report.violations[:5]))
+        bitstream = self._build_bitstream(netlist, fabric, placement, routing)
+        return MappedKernel(netlist, array_name, placement, routing, bitstream)
+
+    def _build_bitstream(self, netlist: Netlist, fabric: Fabric,
+                         placement: Placement,
+                         routing: RoutingResult) -> ConfigurationBitstream:
+        bitstream = ConfigurationBitstream(fabric.name)
+        for node in netlist.nodes:
+            rom: tuple = ()
+            if node.kind is ClusterKind.MEMORY and node.depth_words > 0:
+                rom = tuple([0] * node.depth_words)
+            bitstream.add_cluster(ClusterConfiguration(
+                position=placement.position_of(node.name),
+                kind=node.kind,
+                mode=node.role or node.kind.value,
+                rom_contents=rom,
+                rom_word_bits=node.width_bits,
+            ))
+        for route in routing.routes:
+            if route.hop_count == 0:
+                continue
+            lanes = max(1, -(-route.width_bits // 8)) if route.width_bits > 2 else route.width_bits
+            bitstream.add_channel(ChannelConfiguration(
+                endpoints=(route.path[0], route.path[-1]),
+                coarse_switches_on=route.hop_count * lanes if route.width_bits > 2 else 0,
+                fine_switches_on=route.hop_count * lanes if route.width_bits <= 2 else 0,
+            ))
+        return bitstream
+
+    def load(self, kernel: MappedKernel) -> ReconfigurationEvent:
+        """Stream a mapped kernel's bitstream into its array.
+
+        Returns the reconfiguration event (bits transferred, cycles taken)
+        and records it in :attr:`reconfiguration_log`.
+        """
+        self.array(kernel.array_name)
+        event = ReconfigurationEvent(
+            array_name=kernel.array_name,
+            kernel_name=kernel.name,
+            bitstream_bits=kernel.bitstream.total_bits(),
+            cycles=kernel.bitstream.reconfiguration_cycles(self.configuration_bus_bits),
+        )
+        self._loaded[kernel.array_name] = kernel
+        self.reconfiguration_log.append(event)
+        return event
+
+    def map_and_load(self, netlist: Netlist, array_name: str) -> MappedKernel:
+        """Convenience: map a kernel and immediately load it."""
+        kernel = self.map_kernel(netlist, array_name)
+        self.load(kernel)
+        return kernel
+
+    # -- accounting ---------------------------------------------------------------
+    def total_reconfiguration_cycles(self) -> int:
+        """Cycles spent reconfiguring arrays since the SoC was created."""
+        return sum(event.cycles for event in self.reconfiguration_log)
+
+    def total_reconfiguration_bits(self) -> int:
+        """Configuration bits streamed since the SoC was created."""
+        return sum(event.bitstream_bits for event in self.reconfiguration_log)
+
+    def reconfiguration_count(self, array_name: Optional[str] = None) -> int:
+        """Number of reconfigurations, optionally filtered by array."""
+        if array_name is None:
+            return len(self.reconfiguration_log)
+        return sum(1 for event in self.reconfiguration_log
+                   if event.array_name == array_name)

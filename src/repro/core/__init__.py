@@ -1,0 +1,108 @@
+"""Core model of the domain-specific reconfigurable arrays.
+
+This subpackage provides the architecture-independent pieces of the
+reproduction: cluster behavioural models, the heterogeneous fabric, the
+two-level reconfigurable interconnect, the configuration-bitstream model
+and the mapping flow (placement, routing, metrics) plus a generic
+dataflow simulator.
+"""
+
+from repro.core.clusters import (
+    ClusterKind,
+    ClusterSpec,
+    ClusterUsage,
+    AbsDiffCluster,
+    AddAccCluster,
+    AddShiftCluster,
+    ComparatorCluster,
+    MemoryCluster,
+    RegisterMuxCluster,
+    build_cluster,
+    elements_for_width,
+    to_signed,
+    to_unsigned,
+)
+from repro.core.configuration import (
+    ChannelConfiguration,
+    ClusterConfiguration,
+    ConfigurationBitstream,
+    fabric_configuration_capacity,
+)
+from repro.core.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    MappingError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.core.fabric import Fabric, Site
+from repro.core.interconnect import Mesh, MeshSpec, fine_grain_equivalent
+from repro.core.mapper import AnnealingPlacer, GreedyPlacer, Placement, wirelength
+from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.netlist import Net, Netlist, Node
+from repro.core.router import MeshRouter, Route, RoutingResult
+from repro.core.scheduler import ListScheduler, Schedule, ScheduledOperation, fold_factor
+from repro.core.simulator import DataflowSimulator
+from repro.core.verification import (
+    VerificationReport,
+    verify_mapped_design,
+    verify_placement,
+    verify_routing,
+)
+from repro.core.visualize import congestion_map, design_report, placement_map
+
+__all__ = [
+    "ClusterKind",
+    "ClusterSpec",
+    "ClusterUsage",
+    "AbsDiffCluster",
+    "AddAccCluster",
+    "AddShiftCluster",
+    "ComparatorCluster",
+    "MemoryCluster",
+    "RegisterMuxCluster",
+    "build_cluster",
+    "elements_for_width",
+    "to_signed",
+    "to_unsigned",
+    "ChannelConfiguration",
+    "ClusterConfiguration",
+    "ConfigurationBitstream",
+    "fabric_configuration_capacity",
+    "CapacityError",
+    "ConfigurationError",
+    "MappingError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "Fabric",
+    "Site",
+    "Mesh",
+    "MeshSpec",
+    "fine_grain_equivalent",
+    "AnnealingPlacer",
+    "GreedyPlacer",
+    "Placement",
+    "wirelength",
+    "DesignMetrics",
+    "evaluate_design",
+    "Net",
+    "Netlist",
+    "Node",
+    "MeshRouter",
+    "Route",
+    "RoutingResult",
+    "ListScheduler",
+    "Schedule",
+    "ScheduledOperation",
+    "fold_factor",
+    "DataflowSimulator",
+    "VerificationReport",
+    "verify_mapped_design",
+    "verify_placement",
+    "verify_routing",
+    "congestion_map",
+    "design_report",
+    "placement_map",
+]

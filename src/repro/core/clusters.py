@@ -1,0 +1,534 @@
+"""Behavioural models of the reconfigurable-array compute clusters.
+
+The domain-specific arrays of the paper are heterogeneous grids of
+*clusters*, each specialised for one operation.  Clusters are built from
+4-bit elements that can be cascaded through short intra-cluster
+interconnect to form wider datapaths (Sec. 2 of the paper).  This module
+models each cluster kind at word level while keeping track of how many
+4-bit elements a given datapath width consumes, so the area accounting of
+the mapper stays faithful to the hardware.
+
+Cluster kinds
+-------------
+
+Motion-estimation array (Sec. 2.1):
+
+* :class:`RegisterMuxCluster`  -- 2-to-1 multiplexer with optional output
+  register.
+* :class:`AbsDiffCluster`      -- add / subtract with optional absolute
+  difference.
+* :class:`AddAccCluster`       -- combinational add/subtract plus a
+  sequential accumulator.
+* :class:`ComparatorCluster`   -- two-input min/max compare and running
+  vector min/max detection.
+
+Distributed-arithmetic / DCT array (Sec. 2.2):
+
+* :class:`AddShiftCluster`     -- add, subtract, shift and
+  shift-accumulate; also usable as a parallel-to-serial shift register.
+* :class:`MemoryCluster`       -- LUT / ROM with configurable geometry.
+
+All sequential clusters expose ``step(**inputs)`` which advances one clock
+cycle and returns the registered outputs, plus ``reset()``.  Purely
+combinational behaviour is exposed through ``evaluate``-style methods.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+#: Width in bits of one physical cluster element (Sec. 2: "computations
+#: wider than the 4-bits provided by one element" are built by cascading).
+ELEMENT_WIDTH_BITS = 4
+
+
+class ClusterKind(enum.Enum):
+    """Enumeration of the cluster types provided by the two arrays."""
+
+    REGISTER_MUX = "register_mux"
+    ABS_DIFF = "abs_diff"
+    ADD_ACC = "add_acc"
+    COMPARATOR = "comparator"
+    ADD_SHIFT = "add_shift"
+    MEMORY = "memory"
+
+    @property
+    def short_name(self) -> str:
+        """Compact label used in reports and floorplan drawings."""
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {
+    ClusterKind.REGISTER_MUX: "MUX",
+    ClusterKind.ABS_DIFF: "AD",
+    ClusterKind.ADD_ACC: "ACC",
+    ClusterKind.COMPARATOR: "CMP",
+    ClusterKind.ADD_SHIFT: "ASH",
+    ClusterKind.MEMORY: "MEM",
+}
+
+
+def elements_for_width(width_bits: int) -> int:
+    """Number of 4-bit elements cascaded to build a ``width_bits`` datapath."""
+    if width_bits <= 0:
+        raise ConfigurationError(f"datapath width must be positive, got {width_bits}")
+    return -(-width_bits // ELEMENT_WIDTH_BITS)
+
+
+def _mask(width_bits: int) -> int:
+    return (1 << width_bits) - 1
+
+
+def to_signed(value: int, width_bits: int) -> int:
+    """Interpret the low ``width_bits`` of ``value`` as a two's-complement int."""
+    value &= _mask(width_bits)
+    if value & (1 << (width_bits - 1)):
+        value -= 1 << width_bits
+    return value
+
+
+def to_unsigned(value: int, width_bits: int) -> int:
+    """Wrap ``value`` into the unsigned range of a ``width_bits`` register."""
+    return value & _mask(width_bits)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of one cluster instance inside a fabric.
+
+    Attributes
+    ----------
+    kind:
+        Which of the specialised cluster types this is.
+    width_bits:
+        Datapath width the cluster is wired for.  The number of physical
+        4-bit elements follows from this.
+    depth_words:
+        Only meaningful for :attr:`ClusterKind.MEMORY`: the number of
+        addressable words the memory cluster provides.
+    """
+
+    kind: ClusterKind
+    width_bits: int = 8
+    depth_words: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ConfigurationError("cluster width_bits must be positive")
+        if self.kind is ClusterKind.MEMORY and self.depth_words <= 0:
+            raise ConfigurationError("memory clusters need depth_words > 0")
+        if self.kind is not ClusterKind.MEMORY and self.depth_words:
+            raise ConfigurationError(
+                f"{self.kind.value} clusters do not take depth_words"
+            )
+
+    @property
+    def element_count(self) -> int:
+        """Physical 4-bit elements consumed by this cluster."""
+        return elements_for_width(self.width_bits)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        if self.kind is ClusterKind.MEMORY:
+            return f"{self.kind.short_name}[{self.depth_words}x{self.width_bits}b]"
+        return f"{self.kind.short_name}[{self.width_bits}b]"
+
+
+class _SequentialCluster:
+    """Shared plumbing for clusters that hold state between clock cycles."""
+
+    def __init__(self, width_bits: int) -> None:
+        if width_bits <= 0:
+            raise ConfigurationError("width_bits must be positive")
+        self.width_bits = width_bits
+        #: Count of clock cycles stepped since the last reset; used by the
+        #: activity model.
+        self.cycles = 0
+        #: Count of output-bit toggles observed; used by the power model.
+        self.toggles = 0
+        self._previous_output = 0
+
+    def _track(self, new_output: int) -> None:
+        delta = (new_output ^ self._previous_output) & _mask(self.width_bits)
+        self.toggles += bin(delta).count("1")
+        self._previous_output = new_output & _mask(self.width_bits)
+        self.cycles += 1
+
+    def reset(self) -> None:
+        """Return the cluster to its power-on state (activity counters kept)."""
+        self._previous_output = 0
+
+
+class RegisterMuxCluster(_SequentialCluster):
+    """2-to-1 multiplexer with an optional output register (Sec. 2.1, MUX).
+
+    With ``registered=False`` the cluster behaves combinationally and
+    :meth:`step` simply forwards the selected input.  With
+    ``registered=True`` the selected input appears on the output one clock
+    later, which is how the ME array delays the search-area pixel stream.
+    """
+
+    def __init__(self, width_bits: int = 8, registered: bool = True) -> None:
+        super().__init__(width_bits)
+        self.registered = registered
+        self._register = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._register = 0
+
+    def step(self, in0: int, in1: int, select: int) -> int:
+        """Advance one cycle; return the (possibly registered) selected input."""
+        chosen = to_unsigned(in1 if select else in0, self.width_bits)
+        if self.registered:
+            output = self._register
+            self._register = chosen
+        else:
+            output = chosen
+        self._track(output)
+        return output
+
+    def peek(self) -> int:
+        """Current register contents without advancing the clock."""
+        return self._register
+
+
+class AbsDiffCluster(_SequentialCluster):
+    """Absolute-difference calculator (Sec. 2.1, AD).
+
+    Supports plain addition, plain subtraction and |a - b|.  The result is
+    produced combinationally; the activity counters still advance so the
+    power model sees the switching caused by each evaluation.
+    """
+
+    def __init__(self, width_bits: int = 8) -> None:
+        super().__init__(width_bits)
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b`` wrapped to the cluster width."""
+        result = to_unsigned(a + b, self.width_bits)
+        self._track(result)
+        return result
+
+    def subtract(self, a: int, b: int) -> int:
+        """Return ``a - b`` as a two's-complement value of the cluster width."""
+        result = to_unsigned(a - b, self.width_bits)
+        self._track(result)
+        return result
+
+    def absolute_difference(self, a: int, b: int) -> int:
+        """Return ``|a - b|`` for unsigned operands."""
+        result = to_unsigned(abs(int(a) - int(b)), self.width_bits)
+        self._track(result)
+        return result
+
+
+class AddAccCluster(_SequentialCluster):
+    """Adder/subtractor with sequential accumulator (Sec. 2.1, ADD/ACC)."""
+
+    def __init__(self, width_bits: int = 16) -> None:
+        super().__init__(width_bits)
+        self._accumulator = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._accumulator = 0
+
+    @property
+    def accumulator(self) -> int:
+        """Current accumulator contents (unsigned view of the register)."""
+        return self._accumulator
+
+    def clear(self) -> None:
+        """Synchronously clear the accumulator (start of a new block)."""
+        self._accumulator = 0
+
+    def add(self, a: int, b: int) -> int:
+        """Combinational add, no accumulator update."""
+        result = to_unsigned(a + b, self.width_bits)
+        self._track(result)
+        return result
+
+    def subtract(self, a: int, b: int) -> int:
+        """Combinational subtract, no accumulator update."""
+        result = to_unsigned(a - b, self.width_bits)
+        self._track(result)
+        return result
+
+    def accumulate(self, value: int, subtract: bool = False) -> int:
+        """Add (or subtract) ``value`` into the accumulator and return it."""
+        if subtract:
+            self._accumulator = to_unsigned(self._accumulator - value, self.width_bits)
+        else:
+            self._accumulator = to_unsigned(self._accumulator + value, self.width_bits)
+        self._track(self._accumulator)
+        return self._accumulator
+
+
+class ComparatorCluster(_SequentialCluster):
+    """Min/max comparator (Sec. 2.1, COMP).
+
+    Supports a single two-input comparison and a running minimum/maximum
+    over a streamed vector, which is what the ME array uses to pick the
+    best SAD and its motion vector.
+    """
+
+    def __init__(self, width_bits: int = 16, track_minimum: bool = True) -> None:
+        super().__init__(width_bits)
+        self.track_minimum = track_minimum
+        self._best_value: Optional[int] = None
+        self._best_tag: Optional[int] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._best_value = None
+        self._best_tag = None
+
+    @property
+    def best_value(self) -> Optional[int]:
+        """Best value observed so far, or ``None`` before the first update."""
+        return self._best_value
+
+    @property
+    def best_tag(self) -> Optional[int]:
+        """Tag (e.g. candidate index) that accompanied the best value."""
+        return self._best_tag
+
+    def compare(self, a: int, b: int) -> int:
+        """Return min(a, b) or max(a, b) depending on the configured mode."""
+        result = min(a, b) if self.track_minimum else max(a, b)
+        result = to_unsigned(result, self.width_bits)
+        self._track(result)
+        return result
+
+    def update(self, value: int, tag: Optional[int] = None) -> bool:
+        """Feed one vector element; return True when it becomes the new best."""
+        value = to_unsigned(value, self.width_bits)
+        is_better = self._best_value is None or (
+            value < self._best_value if self.track_minimum else value > self._best_value
+        )
+        if is_better:
+            self._best_value = value
+            self._best_tag = tag
+        self._track(self._best_value if self._best_value is not None else 0)
+        return is_better
+
+
+class AddShiftCluster(_SequentialCluster):
+    """Add-Shift cluster of the DA array (Sec. 2.2).
+
+    One cluster supports addition, subtraction, logical/arithmetic shifting
+    and shift-accumulation.  Configured as a shift register it performs the
+    parallel-to-serial conversion that feeds the Distributed-Arithmetic
+    LUT address lines (Fig. 4).
+    """
+
+    def __init__(self, width_bits: int = 16) -> None:
+        super().__init__(width_bits)
+        self._register = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._register = 0
+
+    @property
+    def register(self) -> int:
+        """Current contents of the internal register."""
+        return self._register
+
+    # -- combinational operations --------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Combinational ``a + b`` wrapped to the cluster width."""
+        result = to_unsigned(a + b, self.width_bits)
+        self._track(result)
+        return result
+
+    def subtract(self, a: int, b: int) -> int:
+        """Combinational ``a - b`` wrapped to the cluster width."""
+        result = to_unsigned(a - b, self.width_bits)
+        self._track(result)
+        return result
+
+    def shift(self, value: int, amount: int, arithmetic: bool = False) -> int:
+        """Shift right by ``amount`` (arithmetic keeps the sign bit)."""
+        if amount < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        if arithmetic:
+            signed = to_signed(value, self.width_bits)
+            result = to_unsigned(signed >> amount, self.width_bits)
+        else:
+            result = to_unsigned(to_unsigned(value, self.width_bits) >> amount, self.width_bits)
+        self._track(result)
+        return result
+
+    # -- sequential operations ------------------------------------------
+    def load(self, value: int) -> None:
+        """Parallel-load the register (start of a bit-serial conversion)."""
+        self._register = to_unsigned(value, self.width_bits)
+        self._track(self._register)
+
+    def shift_out_lsb(self) -> int:
+        """Emit the LSB and shift the register right by one (serial output)."""
+        bit = self._register & 1
+        self._register >>= 1
+        self._track(self._register)
+        return bit
+
+    def shift_accumulate(self, addend: int, subtract: bool = False) -> int:
+        """One Distributed-Arithmetic step: acc = (acc >> 1) ± addend... reversed.
+
+        The classic DA shift-accumulator adds the LUT word into the running
+        sum and shifts; equivalently we keep the accumulator in "growing"
+        form ``acc = acc + (addend << k)`` handled by the caller, or in
+        hardware form ``acc = (acc ± addend) >> 1`` with the final shift
+        skipped.  This method implements the hardware form *without* the
+        final-cycle handling — callers decide when to stop shifting.
+        """
+        signed_acc = to_signed(self._register, self.width_bits)
+        signed_add = to_signed(addend, self.width_bits)
+        total = signed_acc - signed_add if subtract else signed_acc + signed_add
+        self._register = to_unsigned(total, self.width_bits)
+        self._track(self._register)
+        return self._register
+
+    def shift_right_arithmetic(self) -> int:
+        """Arithmetic right shift of the accumulator by one bit."""
+        signed = to_signed(self._register, self.width_bits)
+        self._register = to_unsigned(signed >> 1, self.width_bits)
+        self._track(self._register)
+        return self._register
+
+
+class MemoryCluster(_SequentialCluster):
+    """Memory cluster of the DA array (Sec. 2.2).
+
+    Implements LUTs and ROMs with configurable geometry.  Contents are
+    loaded at configuration time (they are part of the bitstream) and read
+    combinationally during operation, exactly like the DA coefficient ROMs
+    of Figs. 4–9.
+    """
+
+    def __init__(self, depth_words: int, width_bits: int = 8) -> None:
+        super().__init__(width_bits)
+        if depth_words <= 0:
+            raise ConfigurationError("memory depth must be positive")
+        self.depth_words = depth_words
+        self._contents: List[int] = [0] * depth_words
+        self.reads = 0
+
+    def load_contents(self, words: Sequence[int]) -> None:
+        """Load the ROM image; shorter images are zero-padded."""
+        if len(words) > self.depth_words:
+            raise ConfigurationError(
+                f"ROM image of {len(words)} words exceeds depth {self.depth_words}"
+            )
+        self._contents = [to_unsigned(int(w), self.width_bits) for w in words]
+        self._contents.extend([0] * (self.depth_words - len(words)))
+
+    def read(self, address: int) -> int:
+        """Combinational read of one word."""
+        if not 0 <= address < self.depth_words:
+            raise ConfigurationError(
+                f"address {address} out of range for {self.depth_words}-word memory"
+            )
+        value = self._contents[address]
+        self.reads += 1
+        self._track(value)
+        return value
+
+    def dump(self) -> List[int]:
+        """Copy of the current memory image (useful in tests)."""
+        return list(self._contents)
+
+
+#: Factory table used by the fabric to instantiate behavioural models from
+#: a :class:`ClusterSpec`.
+def build_cluster(spec: ClusterSpec):
+    """Instantiate the behavioural model matching ``spec``."""
+    if spec.kind is ClusterKind.REGISTER_MUX:
+        return RegisterMuxCluster(spec.width_bits)
+    if spec.kind is ClusterKind.ABS_DIFF:
+        return AbsDiffCluster(spec.width_bits)
+    if spec.kind is ClusterKind.ADD_ACC:
+        return AddAccCluster(spec.width_bits)
+    if spec.kind is ClusterKind.COMPARATOR:
+        return ComparatorCluster(spec.width_bits)
+    if spec.kind is ClusterKind.ADD_SHIFT:
+        return AddShiftCluster(spec.width_bits)
+    if spec.kind is ClusterKind.MEMORY:
+        return MemoryCluster(spec.depth_words, spec.width_bits)
+    raise ConfigurationError(f"unknown cluster kind: {spec.kind!r}")
+
+
+@dataclass
+class ClusterUsage:
+    """Aggregate cluster usage of a mapped implementation.
+
+    This is the unit Table 1 of the paper is expressed in: the number of
+    clusters of each role consumed on the array.  ``add_shift_breakdown``
+    mirrors the a)/b)/c)/d) rows of the table (adders, subtracters, shift
+    registers, accumulators), all of which are physically Add-Shift
+    clusters configured for different roles.
+    """
+
+    adders: int = 0
+    subtracters: int = 0
+    shift_registers: int = 0
+    accumulators: int = 0
+    memory_clusters: int = 0
+    register_mux: int = 0
+    abs_diff: int = 0
+    add_acc: int = 0
+    comparators: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def add_shift_total(self) -> int:
+        """Total Add-Shift clusters (sum of the four configured roles)."""
+        return self.adders + self.subtracters + self.shift_registers + self.accumulators
+
+    @property
+    def total_clusters(self) -> int:
+        """Total clusters of any kind consumed on the array."""
+        return (
+            self.add_shift_total
+            + self.memory_clusters
+            + self.register_mux
+            + self.abs_diff
+            + self.add_acc
+            + self.comparators
+            + sum(self.extra.values())
+        )
+
+    def as_table_row(self) -> Dict[str, int]:
+        """Row in the shape of Table 1 of the paper."""
+        return {
+            "adders": self.adders,
+            "subtracters": self.subtracters,
+            "shift_registers": self.shift_registers,
+            "accumulators": self.accumulators,
+            "add_shift_total": self.add_shift_total,
+            "memory_clusters": self.memory_clusters,
+            "total_clusters": self.total_clusters,
+        }
+
+    def __add__(self, other: "ClusterUsage") -> "ClusterUsage":
+        merged_extra = dict(self.extra)
+        for key, value in other.extra.items():
+            merged_extra[key] = merged_extra.get(key, 0) + value
+        return ClusterUsage(
+            adders=self.adders + other.adders,
+            subtracters=self.subtracters + other.subtracters,
+            shift_registers=self.shift_registers + other.shift_registers,
+            accumulators=self.accumulators + other.accumulators,
+            memory_clusters=self.memory_clusters + other.memory_clusters,
+            register_mux=self.register_mux + other.register_mux,
+            abs_diff=self.abs_diff + other.abs_diff,
+            add_acc=self.add_acc + other.add_acc,
+            comparators=self.comparators + other.comparators,
+            extra=merged_extra,
+        )

@@ -1,0 +1,156 @@
+"""Configuration-bitstream model for the reconfigurable arrays.
+
+The arrays are configured by loading a bitstream that sets, for every
+cluster, its operating mode (and ROM contents for memory clusters) and,
+for every mesh channel, the state of its programmable switches.  The paper
+argues that coarse-grain clusters and byte-wide tracks need far fewer
+configuration bits than a generic fine-grain FPGA; this module makes that
+count explicit so the comparison benchmarks can report it.
+
+Dynamic reconfiguration (Sec. 5 — switching DCT implementations under a
+low-battery constraint) is modelled as swapping one
+:class:`ConfigurationBitstream` for another; the reconfiguration time is
+proportional to the bitstream length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import ConfigurationError
+from repro.core.fabric import Fabric
+from repro.core.interconnect import Position
+
+#: Mode-select configuration bits per cluster kind.  Coarse-grain clusters
+#: need only a handful of bits to select among their few supported
+#: operations, in contrast to the hundreds of LUT bits a fine-grain FPGA
+#: spends to build the same function.
+CLUSTER_MODE_BITS: Dict[ClusterKind, int] = {
+    ClusterKind.REGISTER_MUX: 2,    # select source, register enable
+    ClusterKind.ABS_DIFF: 2,        # add / sub / absolute-difference
+    ClusterKind.ADD_ACC: 3,         # add / sub / accumulate / clear polarity
+    ClusterKind.COMPARATOR: 2,      # min / max, vector mode
+    ClusterKind.ADD_SHIFT: 4,       # add / sub / shift / shift-accumulate, direction
+    ClusterKind.MEMORY: 2,          # geometry select (the contents are counted separately)
+}
+
+
+@dataclass
+class ClusterConfiguration:
+    """Configuration of one cluster site: mode word plus optional ROM image."""
+
+    position: Position
+    kind: ClusterKind
+    mode: str
+    rom_contents: Tuple[int, ...] = ()
+    rom_word_bits: int = 8
+
+    def bit_count(self) -> int:
+        """Configuration bits this cluster contributes to the bitstream."""
+        bits = CLUSTER_MODE_BITS[self.kind]
+        bits += len(self.rom_contents) * self.rom_word_bits
+        return bits
+
+
+@dataclass
+class ChannelConfiguration:
+    """Switch settings of one mesh channel used by the mapped design."""
+
+    endpoints: Tuple[Position, Position]
+    coarse_switches_on: int = 0
+    fine_switches_on: int = 0
+
+    def bit_count(self) -> int:
+        """One configuration bit per switch that must be programmed on."""
+        return self.coarse_switches_on + self.fine_switches_on
+
+
+class ConfigurationBitstream:
+    """The full configuration of a mapped design on a fabric."""
+
+    def __init__(self, fabric_name: str) -> None:
+        self.fabric_name = fabric_name
+        self._clusters: List[ClusterConfiguration] = []
+        self._channels: List[ChannelConfiguration] = []
+
+    def add_cluster(self, configuration: ClusterConfiguration) -> None:
+        """Record the configuration of one cluster site."""
+        self._clusters.append(configuration)
+
+    def add_channel(self, configuration: ChannelConfiguration) -> None:
+        """Record the switch settings of one mesh channel."""
+        self._channels.append(configuration)
+
+    @property
+    def cluster_configurations(self) -> List[ClusterConfiguration]:
+        """Cluster configurations in insertion order."""
+        return list(self._clusters)
+
+    @property
+    def channel_configurations(self) -> List[ChannelConfiguration]:
+        """Channel configurations in insertion order."""
+        return list(self._channels)
+
+    def total_bits(self) -> int:
+        """Total configuration bits of the mapped design."""
+        return (sum(c.bit_count() for c in self._clusters)
+                + sum(c.bit_count() for c in self._channels))
+
+    def total_bytes(self) -> int:
+        """Bitstream length in bytes (rounded up)."""
+        return -(-self.total_bits() // 8)
+
+    def reconfiguration_cycles(self, bus_width_bits: int = 32) -> int:
+        """Cycles to load this bitstream over a configuration bus.
+
+        The SoC controller of Fig. 1 streams configuration words into the
+        array; one word of ``bus_width_bits`` is written per cycle.
+        """
+        if bus_width_bits <= 0:
+            raise ConfigurationError("bus width must be positive")
+        return -(-self.total_bits() // bus_width_bits)
+
+    def serialize(self) -> bytes:
+        """Pack the bitstream into bytes (cluster modes then ROMs then switches).
+
+        The exact packing format is this library's own; it exists so the
+        SoC model can measure reconfiguration traffic and so tests can
+        round-trip the bitstream length.
+        """
+        bits: List[int] = []
+        for cluster in self._clusters:
+            mode_bits = CLUSTER_MODE_BITS[cluster.kind]
+            mode_value = abs(hash(cluster.mode)) & ((1 << mode_bits) - 1)
+            bits.extend((mode_value >> i) & 1 for i in range(mode_bits))
+            for word in cluster.rom_contents:
+                bits.extend((word >> i) & 1 for i in range(cluster.rom_word_bits))
+        for channel in self._channels:
+            bits.extend([1] * channel.bit_count())
+        packed = bytearray()
+        for start in range(0, len(bits), 8):
+            byte = 0
+            for offset, bit in enumerate(bits[start:start + 8]):
+                byte |= (bit & 1) << offset
+            packed.append(byte)
+        return bytes(packed)
+
+    def __repr__(self) -> str:
+        return (f"ConfigurationBitstream({self.fabric_name!r}, "
+                f"clusters={len(self._clusters)}, channels={len(self._channels)}, "
+                f"bits={self.total_bits()})")
+
+
+def fabric_configuration_capacity(fabric: Fabric) -> int:
+    """Upper bound of configuration bits the fabric's memory must hold.
+
+    Counts mode bits for every cluster site (memory contents excluded — the
+    ROM planes are sized per design) plus one bit per mesh switch.
+    """
+    cluster_bits = sum(
+        CLUSTER_MODE_BITS[site.spec.kind]
+        for site in fabric.sites
+        if site.spec is not None
+    )
+    return cluster_bits + fabric.mesh.total_config_bits()

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the reconfigurable-array model.
+
+Every error raised by :mod:`repro.core` derives from :class:`ReproError`
+so callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster or fabric was configured with inconsistent settings."""
+
+
+class MappingError(ReproError):
+    """A netlist could not be placed onto the target fabric."""
+
+
+class RoutingError(ReproError):
+    """A placed netlist could not be routed on the interconnect mesh."""
+
+
+class SimulationError(ReproError):
+    """The functional simulator hit an unrecoverable inconsistency."""
+
+
+class CapacityError(MappingError):
+    """The fabric does not provide enough clusters of a required kind."""

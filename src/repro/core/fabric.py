@@ -1,0 +1,137 @@
+"""Heterogeneous array fabric: a grid of cluster sites plus a routing mesh.
+
+A :class:`Fabric` is the physical target of the mapping flow.  It is a
+rectangular grid; every grid position is a *site* that either holds a
+cluster of a fixed kind (set by the array architect, Sec. 2 of the paper)
+or is empty.  The domain-specific arrays of the paper are instances of
+this class with particular cluster mixes — see :mod:`repro.arrays`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.clusters import ClusterKind, ClusterSpec, build_cluster
+from repro.core.exceptions import CapacityError, ConfigurationError
+from repro.core.interconnect import Mesh, MeshSpec, Position
+
+
+@dataclass
+class Site:
+    """One grid position of the fabric and the cluster it provides."""
+
+    position: Position
+    spec: Optional[ClusterSpec]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the site provides no cluster (routing-only position)."""
+        return self.spec is None
+
+
+class Fabric:
+    """A domain-specific reconfigurable array: cluster sites plus mesh."""
+
+    def __init__(self, name: str, rows: int, cols: int,
+                 mesh_spec: Optional[MeshSpec] = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("fabric dimensions must be positive")
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self.mesh = Mesh(rows, cols, mesh_spec)
+        self._sites: Dict[Position, Site] = {
+            (row, col): Site((row, col), None)
+            for row in range(rows)
+            for col in range(cols)
+        }
+
+    # -- construction -------------------------------------------------------
+    def place_cluster(self, position: Position, spec: ClusterSpec) -> None:
+        """Install a cluster of the given spec at a grid position."""
+        if position not in self._sites:
+            raise ConfigurationError(f"position {position} outside {self.rows}x{self.cols} fabric")
+        if not self._sites[position].is_empty:
+            raise ConfigurationError(f"site {position} already holds a cluster")
+        self._sites[position] = Site(position, spec)
+
+    def fill_column_band(self, col_start: int, col_end: int, spec: ClusterSpec) -> None:
+        """Fill every site in columns ``[col_start, col_end)`` with ``spec``.
+
+        Domain-specific arrays are typically organised in vertical bands of
+        one cluster kind (Figs. 2 and 3 of the paper); this helper builds
+        such bands.
+        """
+        if not 0 <= col_start < col_end <= self.cols:
+            raise ConfigurationError("invalid column band")
+        for row in range(self.rows):
+            for col in range(col_start, col_end):
+                self.place_cluster((row, col), spec)
+
+    # -- queries -------------------------------------------------------------
+    def site(self, position: Position) -> Site:
+        """Site at a position."""
+        try:
+            return self._sites[position]
+        except KeyError:
+            raise ConfigurationError(f"no site at {position}") from None
+
+    @property
+    def sites(self) -> List[Site]:
+        """All sites in row-major order."""
+        return [self._sites[(row, col)] for row in range(self.rows) for col in range(self.cols)]
+
+    def sites_of_kind(self, kind: ClusterKind) -> List[Site]:
+        """All sites providing a cluster of ``kind``."""
+        return [site for site in self.sites if site.spec is not None and site.spec.kind is kind]
+
+    def capacity(self) -> Dict[ClusterKind, int]:
+        """Number of sites available per cluster kind."""
+        counts: Dict[ClusterKind, int] = {}
+        for site in self.sites:
+            if site.spec is not None:
+                counts[site.spec.kind] = counts.get(site.spec.kind, 0) + 1
+        return counts
+
+    def check_capacity(self, demand: Dict[ClusterKind, int]) -> None:
+        """Raise :class:`CapacityError` when demand exceeds available sites."""
+        available = self.capacity()
+        shortfalls = []
+        for kind, needed in demand.items():
+            have = available.get(kind, 0)
+            if needed > have:
+                shortfalls.append(f"{kind.value}: need {needed}, have {have}")
+        if shortfalls:
+            raise CapacityError(
+                f"fabric {self.name!r} lacks capacity: " + "; ".join(shortfalls)
+            )
+
+    def total_cluster_sites(self) -> int:
+        """Number of non-empty sites."""
+        return sum(1 for site in self.sites if not site.is_empty)
+
+    def total_element_count(self) -> int:
+        """Total 4-bit elements across all clusters (area proxy)."""
+        return sum(site.spec.element_count for site in self.sites if site.spec is not None)
+
+    def instantiate(self, position: Position):
+        """Build the behavioural model for the cluster at ``position``."""
+        site = self.site(position)
+        if site.spec is None:
+            raise ConfigurationError(f"site {position} is empty")
+        return build_cluster(site.spec)
+
+    def floorplan(self) -> str:
+        """ASCII floorplan of the fabric (one cell per site)."""
+        lines = []
+        for row in range(self.rows):
+            cells = []
+            for col in range(self.cols):
+                spec = self._sites[(row, col)].spec
+                cells.append("...." if spec is None else f"{spec.kind.short_name:<4}")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Fabric({self.name!r}, {self.rows}x{self.cols}, clusters={self.total_cluster_sites()})"

@@ -1,0 +1,257 @@
+"""Reconfigurable interconnect model: intra-cluster links and the mesh.
+
+The paper (Sec. 2) describes two levels of interconnect:
+
+* short, high-speed links *inside* a cluster which cascade 4-bit elements
+  into wider datapaths — these are implicit in the cluster models and only
+  contribute a fixed per-cluster cost;
+* an FPGA-style segmented *mesh* between clusters, built from a mix of
+  **8-bit coarse tracks** and **1-bit fine tracks**.  Using byte-wide
+  tracks for datapath signals slashes the number of programmable switches
+  and configuration bits compared with a fine-grain 1-bit-only FPGA mesh,
+  which is where a large share of the area/power saving of the
+  domain-specific arrays comes from.
+
+This module models the mesh as routing channels between grid positions.
+Each channel holds a configurable number of coarse and fine tracks;
+occupancy is tracked per track so the router can detect congestion, and
+switch / configuration-bit counts are derived for the metrics model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError, RoutingError
+
+#: Width of a coarse track in bits (byte-wide buses between clusters).
+COARSE_TRACK_BITS = 8
+#: Width of a fine track in bits (single-bit control signals).
+FINE_TRACK_BITS = 1
+
+Position = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ChannelId:
+    """Identity of one routing channel: the two grid positions it joins."""
+
+    a: Position
+    b: Position
+
+    @staticmethod
+    def between(a: Position, b: Position) -> "ChannelId":
+        """Canonical (order-independent) channel id between two positions."""
+        return ChannelId(min(a, b), max(a, b))
+
+
+@dataclass
+class Channel:
+    """One routing channel with its coarse and fine track occupancy."""
+
+    coarse_tracks: int
+    fine_tracks: int
+    coarse_used: int = 0
+    fine_used: int = 0
+
+    def tracks_for_width(self, width_bits: int) -> Tuple[int, int]:
+        """Coarse/fine tracks needed to carry a signal of ``width_bits``.
+
+        Wide signals ride coarse tracks; a remainder narrower than a byte
+        spills onto fine tracks only when it is 1–2 bits (control-like),
+        otherwise a whole coarse track is consumed for it, matching how the
+        hardware bundles nets onto byte lanes.
+        """
+        if width_bits <= 0:
+            raise ConfigurationError("signal width must be positive")
+        if width_bits <= 2:
+            return 0, width_bits
+        coarse = width_bits // COARSE_TRACK_BITS
+        remainder = width_bits - coarse * COARSE_TRACK_BITS
+        if remainder:
+            coarse += 1
+        return coarse, 0
+
+    def can_route(self, width_bits: int) -> bool:
+        """True when the channel still has room for a signal of this width."""
+        coarse, fine = self.tracks_for_width(width_bits)
+        return (self.coarse_used + coarse <= self.coarse_tracks
+                and self.fine_used + fine <= self.fine_tracks)
+
+    def occupy(self, width_bits: int) -> None:
+        """Reserve tracks for a signal; raises :class:`RoutingError` if full."""
+        if not self.can_route(width_bits):
+            raise RoutingError("channel congested")
+        coarse, fine = self.tracks_for_width(width_bits)
+        self.coarse_used += coarse
+        self.fine_used += fine
+
+    def release(self, width_bits: int) -> None:
+        """Return previously reserved tracks (used by rip-up and re-route)."""
+        coarse, fine = self.tracks_for_width(width_bits)
+        self.coarse_used = max(0, self.coarse_used - coarse)
+        self.fine_used = max(0, self.fine_used - fine)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of track capacity currently occupied (0..1)."""
+        total = self.coarse_tracks + self.fine_tracks
+        if total == 0:
+            return 0.0
+        return (self.coarse_used + self.fine_used) / total
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Static parameters of the interconnect mesh.
+
+    ``switches_per_track_per_channel`` and ``config_bits_per_switch`` feed
+    the area/configuration model: a coarse track switches all eight bits
+    with a single configuration point, which is the source of the
+    configuration-memory saving quoted in the paper.
+    """
+
+    coarse_tracks_per_channel: int = 4
+    fine_tracks_per_channel: int = 8
+    switches_per_track_per_channel: int = 6
+    config_bits_per_switch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.coarse_tracks_per_channel < 0 or self.fine_tracks_per_channel < 0:
+            raise ConfigurationError("track counts must be non-negative")
+        if self.coarse_tracks_per_channel + self.fine_tracks_per_channel == 0:
+            raise ConfigurationError("mesh needs at least one track per channel")
+
+    def channel(self) -> Channel:
+        """Instantiate an empty channel with this spec's capacities."""
+        return Channel(self.coarse_tracks_per_channel, self.fine_tracks_per_channel)
+
+    def switches_per_channel(self) -> int:
+        """Programmable switches in one channel."""
+        tracks = self.coarse_tracks_per_channel + self.fine_tracks_per_channel
+        return tracks * self.switches_per_track_per_channel
+
+    def config_bits_per_channel(self) -> int:
+        """Configuration bits controlling one channel."""
+        return self.switches_per_channel() * self.config_bits_per_switch
+
+    def wire_bits_per_channel(self) -> int:
+        """Physical wire bits in one channel (for area/power accounting)."""
+        return (self.coarse_tracks_per_channel * COARSE_TRACK_BITS
+                + self.fine_tracks_per_channel * FINE_TRACK_BITS)
+
+
+def fine_grain_equivalent(spec: MeshSpec) -> MeshSpec:
+    """The all-1-bit mesh a generic FPGA would need for the same wire bits.
+
+    Used by the interconnect ablation: replacing every coarse track by
+    eight fine tracks keeps the raw wiring capacity identical but
+    multiplies the switch and configuration-bit counts, which is exactly
+    the overhead the domain-specific arrays avoid.
+    """
+    fine = (spec.fine_tracks_per_channel
+            + spec.coarse_tracks_per_channel * COARSE_TRACK_BITS)
+    return MeshSpec(
+        coarse_tracks_per_channel=0,
+        fine_tracks_per_channel=fine,
+        switches_per_track_per_channel=spec.switches_per_track_per_channel,
+        config_bits_per_switch=spec.config_bits_per_switch,
+    )
+
+
+class Mesh:
+    """The segmented routing mesh over a rectangular grid of cluster sites.
+
+    Channels exist between horizontally and vertically adjacent grid
+    positions.  The router moves signals along sequences of channels; the
+    mesh tracks per-channel occupancy and exposes aggregate statistics.
+    """
+
+    def __init__(self, rows: int, cols: int, spec: Optional[MeshSpec] = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.spec = spec or MeshSpec()
+        self._channels: Dict[ChannelId, Channel] = {}
+        for row in range(rows):
+            for col in range(cols):
+                here = (row, col)
+                for neighbour in ((row + 1, col), (row, col + 1)):
+                    if neighbour[0] < rows and neighbour[1] < cols:
+                        cid = ChannelId.between(here, neighbour)
+                        self._channels[cid] = self.spec.channel()
+
+    # -- topology ---------------------------------------------------------
+    def neighbours(self, position: Position) -> List[Position]:
+        """Grid positions reachable from ``position`` through one channel."""
+        row, col = position
+        candidates = [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]
+        return [(r, c) for r, c in candidates if 0 <= r < self.rows and 0 <= c < self.cols]
+
+    def channel_between(self, a: Position, b: Position) -> Channel:
+        """The channel joining two adjacent positions."""
+        cid = ChannelId.between(a, b)
+        try:
+            return self._channels[cid]
+        except KeyError:
+            raise RoutingError(f"no channel between {a} and {b}") from None
+
+    @property
+    def channel_count(self) -> int:
+        """Number of routing channels in the mesh."""
+        return len(self._channels)
+
+    # -- occupancy ----------------------------------------------------------
+    def occupy_path(self, path: Sequence[Position], width_bits: int) -> None:
+        """Reserve every channel along ``path`` for a signal of ``width_bits``.
+
+        The reservation is atomic: if any hop is congested the hops already
+        taken are released and :class:`RoutingError` is raised.
+        """
+        taken: List[Tuple[Position, Position]] = []
+        try:
+            for a, b in zip(path, path[1:]):
+                self.channel_between(a, b).occupy(width_bits)
+                taken.append((a, b))
+        except RoutingError:
+            for a, b in taken:
+                self.channel_between(a, b).release(width_bits)
+            raise
+
+    def release_path(self, path: Sequence[Position], width_bits: int) -> None:
+        """Release a previously occupied path."""
+        for a, b in zip(path, path[1:]):
+            self.channel_between(a, b).release(width_bits)
+
+    def reset_occupancy(self) -> None:
+        """Clear all track reservations (start of a fresh routing pass)."""
+        for channel in self._channels.values():
+            channel.coarse_used = 0
+            channel.fine_used = 0
+
+    # -- statistics -----------------------------------------------------------
+    def total_switches(self) -> int:
+        """Programmable switches across the whole mesh."""
+        return self.channel_count * self.spec.switches_per_channel()
+
+    def total_config_bits(self) -> int:
+        """Configuration bits controlling the whole mesh."""
+        return self.channel_count * self.spec.config_bits_per_channel()
+
+    def total_wire_bits(self) -> int:
+        """Physical wire bits across the whole mesh."""
+        return self.channel_count * self.spec.wire_bits_per_channel()
+
+    def peak_utilisation(self) -> float:
+        """Highest per-channel utilisation (congestion indicator)."""
+        if not self._channels:
+            return 0.0
+        return max(channel.utilisation for channel in self._channels.values())
+
+    def mean_utilisation(self) -> float:
+        """Average per-channel utilisation."""
+        if not self._channels:
+            return 0.0
+        return sum(c.utilisation for c in self._channels.values()) / len(self._channels)

@@ -1,0 +1,203 @@
+"""Placement of netlists onto a fabric: greedy and annealing placers.
+
+Placement assigns every netlist node to a fabric site providing the
+required cluster kind.  The quality metric is total estimated wirelength
+(Manhattan distance between connected nodes weighted by signal width),
+which correlates with routed track usage, congestion and — through the
+interconnect power model — switching energy.
+
+Two placers are provided:
+
+* :class:`GreedyPlacer` — fast constructive placement that walks the
+  netlist in topological order and takes the nearest free compatible site.
+* :class:`AnnealingPlacer` — simulated-annealing refinement with pairwise
+  swaps, matching the standard FPGA CAD flow the paper's soft-array
+  software flow is derived from.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import CapacityError, MappingError
+from repro.core.fabric import Fabric
+from repro.core.interconnect import Position
+from repro.core.netlist import Netlist, Node
+
+
+@dataclass
+class Placement:
+    """Assignment of netlist nodes to fabric sites."""
+
+    fabric_name: str
+    netlist_name: str
+    assignment: Dict[str, Position] = field(default_factory=dict)
+
+    def position_of(self, node_name: str) -> Position:
+        """Placed position of a node."""
+        try:
+            return self.assignment[node_name]
+        except KeyError:
+            raise MappingError(f"node {node_name!r} is not placed") from None
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self.assignment
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+
+def manhattan(a: Position, b: Position) -> int:
+    """Manhattan distance between two grid positions."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def wirelength(netlist: Netlist, placement: Placement,
+               width_weighted: bool = True) -> float:
+    """Total (optionally width-weighted) Manhattan wirelength of a placement."""
+    total = 0.0
+    for net in netlist.nets:
+        distance = manhattan(placement.position_of(net.source),
+                             placement.position_of(net.sink))
+        weight = net.width_bits if width_weighted else 1
+        total += distance * weight
+    return total
+
+
+def _check_capacity(fabric: Fabric, netlist: Netlist) -> None:
+    fabric.check_capacity(netlist.kind_histogram())
+
+
+class GreedyPlacer:
+    """Constructive placer: nearest free compatible site, topological order.
+
+    Nodes are visited in topological order so that a node is usually placed
+    after its producers; the candidate site minimising the distance to the
+    already-placed fan-in is chosen.
+    """
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def place(self, netlist: Netlist) -> Placement:
+        """Produce a placement or raise :class:`CapacityError` / :class:`MappingError`."""
+        netlist.validate()
+        _check_capacity(self.fabric, netlist)
+
+        free_sites: Dict[ClusterKind, List[Position]] = {}
+        for site in self.fabric.sites:
+            if site.spec is not None:
+                free_sites.setdefault(site.spec.kind, []).append(site.position)
+
+        placement = Placement(self.fabric.name, netlist.name)
+        for node in netlist.topological_order():
+            candidates = free_sites.get(node.kind, [])
+            if not candidates:
+                raise CapacityError(
+                    f"no free {node.kind.value} site left for node {node.name!r}"
+                )
+            anchor_positions = [
+                placement.position_of(net.source)
+                for net in netlist.fanin(node.name)
+                if net.source in placement
+            ]
+            if anchor_positions:
+                def cost(site: Position) -> int:
+                    return sum(manhattan(site, anchor) for anchor in anchor_positions)
+                best = min(candidates, key=cost)
+            else:
+                best = candidates[0]
+            candidates.remove(best)
+            placement.assignment[node.name] = best
+        return placement
+
+
+class AnnealingPlacer:
+    """Simulated-annealing placement refinement.
+
+    Starts from a greedy placement and repeatedly proposes swapping the
+    sites of two nodes of the same cluster kind (or moving a node to a free
+    compatible site), accepting uphill moves with the usual Metropolis
+    criterion.  Deterministic for a fixed ``seed``.
+    """
+
+    def __init__(self, fabric: Fabric, seed: int = 0,
+                 moves_per_temperature: int = 64,
+                 initial_temperature: float = 10.0,
+                 cooling_rate: float = 0.9,
+                 minimum_temperature: float = 0.05) -> None:
+        self.fabric = fabric
+        self.seed = seed
+        self.moves_per_temperature = moves_per_temperature
+        self.initial_temperature = initial_temperature
+        self.cooling_rate = cooling_rate
+        self.minimum_temperature = minimum_temperature
+
+    def place(self, netlist: Netlist) -> Placement:
+        """Greedy placement followed by annealing refinement."""
+        placement = GreedyPlacer(self.fabric).place(netlist)
+        return self.refine(netlist, placement)
+
+    def refine(self, netlist: Netlist, placement: Placement) -> Placement:
+        """Anneal an existing placement in place and return it."""
+        rng = random.Random(self.seed)
+        nodes_by_kind: Dict[ClusterKind, List[Node]] = {}
+        for node in netlist.nodes:
+            nodes_by_kind.setdefault(node.kind, []).append(node)
+
+        free_by_kind: Dict[ClusterKind, List[Position]] = {}
+        occupied = set(placement.assignment.values())
+        for site in self.fabric.sites:
+            if site.spec is not None and site.position not in occupied:
+                free_by_kind.setdefault(site.spec.kind, []).append(site.position)
+
+        swappable_kinds = [kind for kind, nodes in nodes_by_kind.items()
+                           if len(nodes) >= 2 or free_by_kind.get(kind)]
+        if not swappable_kinds:
+            return placement
+
+        current_cost = wirelength(netlist, placement)
+        temperature = self.initial_temperature
+        while temperature > self.minimum_temperature:
+            for _ in range(self.moves_per_temperature):
+                kind = rng.choice(swappable_kinds)
+                nodes = nodes_by_kind[kind]
+                node_a = rng.choice(nodes)
+                use_free_site = free_by_kind.get(kind) and (len(nodes) < 2 or rng.random() < 0.3)
+                if use_free_site:
+                    old_position = placement.assignment[node_a.name]
+                    new_position = rng.choice(free_by_kind[kind])
+                    placement.assignment[node_a.name] = new_position
+                    new_cost = wirelength(netlist, placement)
+                    if self._accept(new_cost - current_cost, temperature, rng):
+                        free_by_kind[kind].remove(new_position)
+                        free_by_kind[kind].append(old_position)
+                        current_cost = new_cost
+                    else:
+                        placement.assignment[node_a.name] = old_position
+                else:
+                    node_b = rng.choice(nodes)
+                    if node_b.name == node_a.name:
+                        continue
+                    pos_a = placement.assignment[node_a.name]
+                    pos_b = placement.assignment[node_b.name]
+                    placement.assignment[node_a.name] = pos_b
+                    placement.assignment[node_b.name] = pos_a
+                    new_cost = wirelength(netlist, placement)
+                    if self._accept(new_cost - current_cost, temperature, rng):
+                        current_cost = new_cost
+                    else:
+                        placement.assignment[node_a.name] = pos_a
+                        placement.assignment[node_b.name] = pos_b
+            temperature *= self.cooling_rate
+        return placement
+
+    @staticmethod
+    def _accept(delta: float, temperature: float, rng: random.Random) -> bool:
+        if delta <= 0:
+            return True
+        return rng.random() < math.exp(-delta / max(temperature, 1e-9))

@@ -1,0 +1,174 @@
+"""Area, timing and configuration metrics of mapped designs.
+
+The paper quantifies the DCT implementations by *cluster count* (Table 1)
+and, through its companion papers [1]/[2], by area / power / timing
+relative to a generic FPGA.  This module derives those numbers from a
+netlist, a placement and a routing result:
+
+* area        — 4-bit-element count for logic plus memory bits plus the
+                mesh switches actually used;
+* timing      — longest combinational register-to-register path through
+                placed clusters and routed channel hops;
+* config size — bits needed to program the mapped design.
+
+Absolute units are arbitrary ("element areas" / "delay units"); all
+benchmarks report ratios, which is also all the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.clusters import ClusterKind, ClusterUsage
+from repro.core.configuration import ConfigurationBitstream
+from repro.core.fabric import Fabric
+from repro.core.mapper import Placement, wirelength
+from repro.core.netlist import Netlist
+from repro.core.router import RoutingResult
+
+#: Relative area of one cluster, in units of one 4-bit element, excluding
+#: the datapath elements themselves (control, local interconnect).
+CLUSTER_OVERHEAD_ELEMENTS: Dict[ClusterKind, float] = {
+    ClusterKind.REGISTER_MUX: 0.5,
+    ClusterKind.ABS_DIFF: 1.0,
+    ClusterKind.ADD_ACC: 1.5,
+    ClusterKind.COMPARATOR: 1.0,
+    ClusterKind.ADD_SHIFT: 1.5,
+    ClusterKind.MEMORY: 2.0,
+}
+
+#: Area of one memory bit relative to one 4-bit element.
+MEMORY_BIT_ELEMENTS = 0.02
+
+#: Combinational delay through one cluster, in delay units.
+CLUSTER_DELAY: Dict[ClusterKind, float] = {
+    ClusterKind.REGISTER_MUX: 0.4,
+    ClusterKind.ABS_DIFF: 1.2,
+    ClusterKind.ADD_ACC: 1.0,
+    ClusterKind.COMPARATOR: 1.0,
+    ClusterKind.ADD_SHIFT: 1.0,
+    ClusterKind.MEMORY: 1.5,
+}
+
+#: Delay of one routed channel hop (switch + wire segment), in delay units.
+HOP_DELAY = 0.35
+
+
+@dataclass
+class DesignMetrics:
+    """Aggregate metrics of one mapped design."""
+
+    netlist_name: str
+    fabric_name: str
+    cluster_usage: ClusterUsage
+    logic_area_elements: float
+    memory_bits: int
+    routed_hops: int
+    wirelength: float
+    critical_path_delay: float
+    configuration_bits: int
+
+    @property
+    def total_area_elements(self) -> float:
+        """Logic area plus memory area in 4-bit-element units."""
+        return self.logic_area_elements + self.memory_bits * MEMORY_BIT_ELEMENTS
+
+    @property
+    def max_frequency(self) -> float:
+        """Reciprocal of the critical path (arbitrary frequency units)."""
+        if self.critical_path_delay <= 0:
+            return float("inf")
+        return 1.0 / self.critical_path_delay
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for reporting."""
+        return {
+            "total_clusters": self.cluster_usage.total_clusters,
+            "logic_area_elements": round(self.logic_area_elements, 2),
+            "memory_bits": self.memory_bits,
+            "total_area_elements": round(self.total_area_elements, 2),
+            "routed_hops": self.routed_hops,
+            "wirelength": round(self.wirelength, 1),
+            "critical_path_delay": round(self.critical_path_delay, 3),
+            "configuration_bits": self.configuration_bits,
+        }
+
+
+def logic_area(netlist: Netlist) -> float:
+    """Logic area of a netlist in 4-bit-element units (placement independent)."""
+    from repro.core.clusters import elements_for_width
+
+    area = 0.0
+    for node in netlist.nodes:
+        area += elements_for_width(node.width_bits)
+        area += CLUSTER_OVERHEAD_ELEMENTS[node.kind]
+    return area
+
+
+def memory_bits(netlist: Netlist) -> int:
+    """Total ROM/LUT bits instantiated by the netlist."""
+    return sum(node.depth_words * node.width_bits for node in netlist.nodes
+               if node.kind is ClusterKind.MEMORY and node.depth_words > 0)
+
+
+def critical_path_delay(netlist: Netlist, routing: Optional[RoutingResult] = None) -> float:
+    """Longest combinational path delay through the dataflow graph.
+
+    Registered cluster outputs (shift registers, accumulators, registered
+    muxes) break combinational paths in real designs; as the netlist does
+    not annotate register boundaries explicitly, the longest path through
+    the acyclic portion of the graph is used, which upper-bounds the true
+    critical path and is consistent across implementations.
+    """
+    hop_delay: Dict[str, float] = {}
+    if routing is not None:
+        for route in routing.routes:
+            hop_delay[route.net_name] = route.hop_count * HOP_DELAY
+
+    arrival: Dict[str, float] = {}
+    for node in netlist.topological_order():
+        incoming = 0.0
+        for net in netlist.fanin(node.name):
+            if net.source == net.sink:
+                continue
+            source_arrival = arrival.get(net.source, 0.0)
+            incoming = max(incoming, source_arrival + hop_delay.get(net.name, HOP_DELAY))
+        arrival[node.name] = incoming + CLUSTER_DELAY[node.kind]
+    return max(arrival.values()) if arrival else 0.0
+
+
+def configuration_bits(netlist: Netlist, routing: Optional[RoutingResult] = None) -> int:
+    """Configuration bits needed to program the mapped design."""
+    from repro.core.configuration import CLUSTER_MODE_BITS
+
+    bits = 0
+    for node in netlist.nodes:
+        bits += CLUSTER_MODE_BITS[node.kind]
+        if node.kind is ClusterKind.MEMORY:
+            bits += node.depth_words * node.width_bits
+    if routing is not None:
+        for route in routing.routes:
+            # one switch per hop per byte lane (or per bit for fine tracks)
+            lanes = max(1, -(-route.width_bits // 8)) if route.width_bits > 2 else route.width_bits
+            bits += route.hop_count * lanes
+    return bits
+
+
+def evaluate_design(netlist: Netlist, fabric: Fabric,
+                    placement: Optional[Placement] = None,
+                    routing: Optional[RoutingResult] = None) -> DesignMetrics:
+    """Compute the full metric set for a mapped (or pre-placement) design."""
+    wl = wirelength(netlist, placement) if placement is not None else 0.0
+    hops = routing.total_hops if routing is not None else 0
+    return DesignMetrics(
+        netlist_name=netlist.name,
+        fabric_name=fabric.name,
+        cluster_usage=netlist.cluster_usage(),
+        logic_area_elements=logic_area(netlist),
+        memory_bits=memory_bits(netlist),
+        routed_hops=hops,
+        wirelength=wl,
+        critical_path_delay=critical_path_delay(netlist, routing),
+        configuration_bits=configuration_bits(netlist, routing),
+    )

@@ -1,0 +1,239 @@
+"""Dataflow-graph netlist representation of kernels mapped onto the arrays.
+
+A :class:`Netlist` is the input to the placer and router: a directed graph
+whose nodes are operations that must each occupy one cluster of a specific
+kind, and whose edges are signals of a given bit-width routed over the
+reconfigurable mesh.  This mirrors how the paper's software flow treats the
+implementations in Figs. 4–11: every shift register, ROM, shift
+accumulator, butterfly adder or PE sub-block becomes one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.clusters import ClusterKind, ClusterUsage
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operation in the dataflow graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the netlist.
+    kind:
+        Cluster kind the operation requires.
+    width_bits:
+        Datapath width of the operation.
+    role:
+        Functional role used for Table-1 style accounting (``"adder"``,
+        ``"subtracter"``, ``"shift_register"``, ``"accumulator"``,
+        ``"rom"``, ``"pe"``, ...).  Roles let two nodes of the same
+        physical cluster kind be counted in different rows.
+    depth_words:
+        Memory depth for ROM/LUT nodes; 0 otherwise.
+    """
+
+    name: str
+    kind: ClusterKind
+    width_bits: int = 8
+    role: str = ""
+    depth_words: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("netlist nodes need a non-empty name")
+        if self.width_bits <= 0:
+            raise ConfigurationError("node width_bits must be positive")
+
+
+@dataclass(frozen=True)
+class Net:
+    """A point-to-point signal between two nodes.
+
+    Multi-fanout signals are represented as several :class:`Net` objects
+    with the same ``source`` — this matches the mesh router, which routes
+    each sink separately over the segmented tracks.
+    """
+
+    source: str
+    sink: str
+    width_bits: int = 8
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ConfigurationError("net width_bits must be positive")
+
+
+class Netlist:
+    """A named collection of nodes and nets forming a dataflow graph."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("netlist name must be non-empty")
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._nets: List[Net] = []
+
+    # -- construction ----------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        kind: ClusterKind,
+        width_bits: int = 8,
+        role: str = "",
+        depth_words: int = 0,
+    ) -> Node:
+        """Create a node and add it to the graph; returns the node."""
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate node name: {name!r}")
+        node = Node(name=name, kind=kind, width_bits=width_bits, role=role,
+                    depth_words=depth_words)
+        self._nodes[name] = node
+        return node
+
+    def connect(self, source: str, sink: str, width_bits: int = 8,
+                name: str = "") -> Net:
+        """Add a signal from ``source`` to ``sink``; both must exist."""
+        for endpoint in (source, sink):
+            if endpoint not in self._nodes:
+                raise ConfigurationError(f"unknown node in net: {endpoint!r}")
+        net = Net(source=source, sink=sink, width_bits=width_bits,
+                  name=name or f"{source}->{sink}")
+        self._nets.append(net)
+        return net
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def nets(self) -> List[Net]:
+        """All nets, in insertion order."""
+        return list(self._nets)
+
+    def node(self, name: str) -> Node:
+        """Look a node up by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"no node named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def nodes_of_kind(self, kind: ClusterKind) -> List[Node]:
+        """All nodes requiring a given cluster kind."""
+        return [node for node in self._nodes.values() if node.kind is kind]
+
+    def fanout(self, name: str) -> List[Net]:
+        """Nets driven by node ``name``."""
+        return [net for net in self._nets if net.source == name]
+
+    def fanin(self, name: str) -> List[Net]:
+        """Nets terminating at node ``name``."""
+        return [net for net in self._nets if net.sink == name]
+
+    def kind_histogram(self) -> Dict[ClusterKind, int]:
+        """Count of nodes per cluster kind (capacity pre-check for mapping)."""
+        histogram: Dict[ClusterKind, int] = {}
+        for node in self._nodes.values():
+            histogram[node.kind] = histogram.get(node.kind, 0) + 1
+        return histogram
+
+    def cluster_usage(self) -> ClusterUsage:
+        """Aggregate Table-1 style usage of the netlist.
+
+        Add-Shift nodes are split into the adder / subtracter /
+        shift-register / accumulator rows using their ``role``; nodes with
+        an unknown role are counted as adders, which is the most common
+        configuration.
+        """
+        usage = ClusterUsage()
+        for node in self._nodes.values():
+            if node.kind is ClusterKind.ADD_SHIFT:
+                role = node.role or "adder"
+                if role == "adder":
+                    usage.adders += 1
+                elif role == "subtracter":
+                    usage.subtracters += 1
+                elif role == "shift_register":
+                    usage.shift_registers += 1
+                elif role == "accumulator":
+                    usage.accumulators += 1
+                else:
+                    usage.adders += 1
+            elif node.kind is ClusterKind.MEMORY:
+                usage.memory_clusters += 1
+            elif node.kind is ClusterKind.REGISTER_MUX:
+                usage.register_mux += 1
+            elif node.kind is ClusterKind.ABS_DIFF:
+                usage.abs_diff += 1
+            elif node.kind is ClusterKind.ADD_ACC:
+                usage.add_acc += 1
+            elif node.kind is ClusterKind.COMPARATOR:
+                usage.comparators += 1
+        return usage
+
+    def topological_order(self) -> List[Node]:
+        """Nodes in a topological order of the dataflow graph.
+
+        Feedback edges (accumulator loops) are tolerated: nodes that remain
+        in a cycle after Kahn's algorithm are appended in insertion order.
+        """
+        indegree = {name: 0 for name in self._nodes}
+        for net in self._nets:
+            if net.sink != net.source:
+                indegree[net.sink] += 1
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for net in self.fanout(current):
+                if net.sink == net.source:
+                    continue
+                indegree[net.sink] -= 1
+                if indegree[net.sink] == 0:
+                    ready.append(net.sink)
+        leftovers = [name for name in self._nodes if name not in order]
+        return [self._nodes[name] for name in order + leftovers]
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on dangling references."""
+        for net in self._nets:
+            if net.source not in self._nodes or net.sink not in self._nodes:
+                raise ConfigurationError(f"net {net.name} references unknown nodes")
+
+    def merge(self, other: "Netlist", prefix: str = "") -> None:
+        """Copy ``other``'s nodes and nets into this netlist.
+
+        ``prefix`` is prepended to every imported node name, which lets a
+        larger design instantiate a sub-netlist several times (e.g. eight
+        DA channels of Fig. 4).
+        """
+        renames = {}
+        for node in other.nodes:
+            new_name = prefix + node.name
+            renames[node.name] = new_name
+            self.add_node(new_name, node.kind, node.width_bits, node.role,
+                          node.depth_words)
+        for net in other.nets:
+            self.connect(renames[net.source], renames[net.sink], net.width_bits,
+                         prefix + net.name)
+
+    def __repr__(self) -> str:
+        return f"Netlist({self.name!r}, nodes={len(self._nodes)}, nets={len(self._nets)})"

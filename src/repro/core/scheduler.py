@@ -1,0 +1,179 @@
+"""Resource-constrained scheduling: time-multiplexing operations on clusters.
+
+Two of the paper's implementations rely on executing more operations than
+there are clusters by reusing hardware across clock cycles: the scaled
+CORDIC architecture time-shares its three rotators between vector pairs
+(Sec. 3.4), and any kernel too large for a given array instance can still
+run if its operations are serialised.  This module provides the generic
+piece of that story: a resource-constrained list scheduler that assigns
+every netlist node a start cycle such that
+
+* data dependencies are respected (a node starts after its producers
+  finish),
+* at most ``capacity[kind]`` nodes of each cluster kind execute in any
+  cycle (the nodes of one kind are folded onto that many physical
+  clusters).
+
+The resulting schedule length (initiation interval for one block of data)
+feeds the energy-per-block and throughput comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import MappingError
+from repro.core.fabric import Fabric
+from repro.core.netlist import Netlist, Node
+
+#: Default execution latency (cycles) of one operation on each cluster kind.
+DEFAULT_LATENCY: Dict[ClusterKind, int] = {
+    ClusterKind.REGISTER_MUX: 1,
+    ClusterKind.ABS_DIFF: 1,
+    ClusterKind.ADD_ACC: 1,
+    ClusterKind.COMPARATOR: 1,
+    ClusterKind.ADD_SHIFT: 1,
+    ClusterKind.MEMORY: 1,
+}
+
+
+@dataclass
+class ScheduledOperation:
+    """Placement in time of one netlist node."""
+
+    node: str
+    kind: ClusterKind
+    start_cycle: int
+    latency: int
+    physical_instance: int
+
+    @property
+    def end_cycle(self) -> int:
+        """First cycle after the operation has finished."""
+        return self.start_cycle + self.latency
+
+
+@dataclass
+class Schedule:
+    """A complete time-multiplexed schedule of a netlist."""
+
+    netlist_name: str
+    operations: Dict[str, ScheduledOperation] = field(default_factory=dict)
+
+    @property
+    def length_cycles(self) -> int:
+        """Total cycles from the first start to the last finish."""
+        if not self.operations:
+            return 0
+        return max(op.end_cycle for op in self.operations.values())
+
+    def operations_in_cycle(self, cycle: int) -> List[ScheduledOperation]:
+        """Operations executing during a given cycle."""
+        return [op for op in self.operations.values()
+                if op.start_cycle <= cycle < op.end_cycle]
+
+    def peak_concurrency(self, kind: Optional[ClusterKind] = None) -> int:
+        """Largest number of simultaneously active operations (per kind)."""
+        peak = 0
+        for cycle in range(self.length_cycles):
+            active = [op for op in self.operations_in_cycle(cycle)
+                      if kind is None or op.kind is kind]
+            peak = max(peak, len(active))
+        return peak
+
+    def utilisation(self, capacity: Mapping[ClusterKind, int]) -> float:
+        """Average fraction of provided cluster-cycles doing useful work."""
+        total_capacity = sum(capacity.values()) * max(1, self.length_cycles)
+        busy = sum(op.latency for op in self.operations.values())
+        if total_capacity == 0:
+            return 0.0
+        return busy / total_capacity
+
+
+class ListScheduler:
+    """Dependency- and resource-aware list scheduler.
+
+    Parameters
+    ----------
+    capacity:
+        Number of physical clusters available per kind.  Kinds absent from
+        the mapping are treated as unavailable and raise
+        :class:`~repro.core.exceptions.MappingError` if the netlist needs
+        them.
+    latency:
+        Optional per-kind execution latency override.
+    """
+
+    def __init__(self, capacity: Mapping[ClusterKind, int],
+                 latency: Optional[Mapping[ClusterKind, int]] = None) -> None:
+        self.capacity = dict(capacity)
+        self.latency = dict(DEFAULT_LATENCY)
+        if latency:
+            self.latency.update(latency)
+
+    @classmethod
+    def for_fabric(cls, fabric: Fabric,
+                   latency: Optional[Mapping[ClusterKind, int]] = None) -> "ListScheduler":
+        """Build a scheduler whose capacities are the fabric's cluster counts."""
+        return cls(fabric.capacity(), latency)
+
+    def schedule(self, netlist: Netlist) -> Schedule:
+        """Schedule every node of the netlist; returns the full schedule."""
+        netlist.validate()
+        for kind, demand in netlist.kind_histogram().items():
+            if demand and self.capacity.get(kind, 0) <= 0:
+                raise MappingError(
+                    f"no {kind.value} clusters available to schedule {netlist.name!r}")
+
+        schedule = Schedule(netlist.name)
+        # earliest start imposed by data dependencies
+        ready_time: Dict[str, int] = {}
+        # (kind, cycle) -> number of clusters already busy that cycle
+        busy: Dict[tuple, int] = {}
+
+        for node in netlist.topological_order():
+            earliest = 0
+            for net in netlist.fanin(node.name):
+                if net.source == net.sink:
+                    continue
+                producer = schedule.operations.get(net.source)
+                if producer is not None:
+                    earliest = max(earliest, producer.end_cycle)
+            latency = self.latency[node.kind]
+            capacity = self.capacity.get(node.kind, 0)
+
+            start = earliest
+            while True:
+                conflict = any(
+                    busy.get((node.kind, cycle), 0) >= capacity
+                    for cycle in range(start, start + latency))
+                if not conflict:
+                    break
+                start += 1
+
+            instance = busy.get((node.kind, start), 0)
+            for cycle in range(start, start + latency):
+                busy[(node.kind, cycle)] = busy.get((node.kind, cycle), 0) + 1
+            schedule.operations[node.name] = ScheduledOperation(
+                node=node.name, kind=node.kind, start_cycle=start,
+                latency=latency, physical_instance=instance)
+            ready_time[node.name] = start + latency
+        return schedule
+
+
+def fold_factor(netlist: Netlist, capacity: Mapping[ClusterKind, int]) -> float:
+    """How many times over the netlist oversubscribes the scarcest resource.
+
+    A factor of 1.0 means everything fits spatially; 2.0 means the busiest
+    cluster kind must be time-shared two ways, which lower-bounds the
+    schedule-length increase.
+    """
+    worst = 1.0
+    for kind, demand in netlist.kind_histogram().items():
+        available = capacity.get(kind, 0)
+        if available <= 0:
+            raise MappingError(f"no {kind.value} clusters available")
+        worst = max(worst, demand / available)
+    return worst

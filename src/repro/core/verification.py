@@ -1,0 +1,157 @@
+"""Design-rule checks of mapped designs.
+
+The soft-array flow of the paper generates netlists that are handed to an
+ASIC back end; before that hand-off the mapping must be verified.  This
+module provides those checks for the Python flow: a placement is legal
+when every node sits on a distinct, compatible site of the target fabric;
+a routed design is legal when every net's path connects its placed
+endpoints through adjacent positions without exceeding any channel's
+capacity.  The checks return a structured report rather than raising, so
+callers (tests, the SoC, examples) can decide how to react, and
+``verify_mapped_design`` bundles them for the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fabric import Fabric
+from repro.core.interconnect import ChannelId
+from repro.core.mapper import Placement
+from repro.core.netlist import Netlist
+from repro.core.router import RoutingResult
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a set of design-rule checks."""
+
+    checks_run: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no violation was recorded."""
+        return not self.violations
+
+    def add_violation(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        """Combine two reports."""
+        merged = VerificationReport(self.checks_run + other.checks_run,
+                                    self.violations + other.violations)
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        state = "PASS" if self.passed else f"FAIL ({len(self.violations)} violations)"
+        return f"{state} after {self.checks_run} checks"
+
+
+def verify_placement(fabric: Fabric, netlist: Netlist,
+                     placement: Placement) -> VerificationReport:
+    """Check completeness, site compatibility and exclusivity of a placement."""
+    report = VerificationReport()
+
+    for node in netlist.nodes:
+        report.checks_run += 1
+        if node.name not in placement:
+            report.add_violation(f"node {node.name!r} is not placed")
+            continue
+        position = placement.position_of(node.name)
+        try:
+            site = fabric.site(position)
+        except Exception:
+            report.add_violation(f"node {node.name!r} placed outside the fabric "
+                                 f"at {position}")
+            continue
+        if site.spec is None:
+            report.add_violation(f"node {node.name!r} placed on empty site {position}")
+        elif site.spec.kind is not node.kind:
+            report.add_violation(
+                f"node {node.name!r} of kind {node.kind.value} placed on a "
+                f"{site.spec.kind.value} site at {position}")
+        elif node.kind.value == "memory" and node.depth_words > site.spec.depth_words:
+            report.add_violation(
+                f"memory node {node.name!r} needs {node.depth_words} words but the "
+                f"site at {position} provides {site.spec.depth_words}")
+
+    seen: Dict[Tuple[int, int], str] = {}
+    for name, position in placement.assignment.items():
+        report.checks_run += 1
+        if position in seen:
+            report.add_violation(
+                f"site {position} shared by nodes {seen[position]!r} and {name!r}")
+        else:
+            seen[position] = name
+    return report
+
+
+def verify_routing(fabric: Fabric, netlist: Netlist, placement: Placement,
+                   routing: RoutingResult) -> VerificationReport:
+    """Check connectivity, adjacency and channel capacities of a routed design."""
+    report = VerificationReport()
+    routed_names = {route.net_name for route in routing.routes}
+
+    for net in netlist.nets:
+        report.checks_run += 1
+        if net.name not in routed_names:
+            report.add_violation(f"net {net.name!r} has no route")
+
+    # Re-derive channel occupancy from the routes and compare against the
+    # per-channel capacities of the mesh specification.
+    coarse_use: Dict[ChannelId, int] = {}
+    fine_use: Dict[ChannelId, int] = {}
+    spec = fabric.mesh.spec
+    for route in routing.routes:
+        report.checks_run += 1
+        if route.hop_count == 0:
+            continue
+        try:
+            source_net = next(net for net in netlist.nets if net.name == route.net_name)
+        except StopIteration:
+            report.add_violation(f"route {route.net_name!r} does not match any net")
+            continue
+        start = placement.position_of(source_net.source)
+        end = placement.position_of(source_net.sink)
+        if route.path[0] != start or route.path[-1] != end:
+            report.add_violation(
+                f"route {route.net_name!r} runs {route.path[0]}->{route.path[-1]} but "
+                f"the net is placed {start}->{end}")
+        for a, b in zip(route.path, route.path[1:]):
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                report.add_violation(
+                    f"route {route.net_name!r} jumps between non-adjacent "
+                    f"positions {a} and {b}")
+                continue
+            channel_id = ChannelId.between(a, b)
+            coarse, fine = fabric.mesh.channel_between(a, b).tracks_for_width(
+                route.width_bits)
+            coarse_use[channel_id] = coarse_use.get(channel_id, 0) + coarse
+            fine_use[channel_id] = fine_use.get(channel_id, 0) + fine
+
+    for channel_id, used in coarse_use.items():
+        report.checks_run += 1
+        if used > spec.coarse_tracks_per_channel:
+            report.add_violation(
+                f"channel {channel_id.a}-{channel_id.b} oversubscribes coarse tracks "
+                f"({used} > {spec.coarse_tracks_per_channel})")
+    for channel_id, used in fine_use.items():
+        report.checks_run += 1
+        if used > spec.fine_tracks_per_channel:
+            report.add_violation(
+                f"channel {channel_id.a}-{channel_id.b} oversubscribes fine tracks "
+                f"({used} > {spec.fine_tracks_per_channel})")
+    return report
+
+
+def verify_mapped_design(fabric: Fabric, netlist: Netlist, placement: Placement,
+                         routing: Optional[RoutingResult] = None) -> VerificationReport:
+    """Run the placement (and, when available, routing) checks together."""
+    report = verify_placement(fabric, netlist, placement)
+    if routing is not None:
+        report = report.merge(verify_routing(fabric, netlist, placement, routing))
+    return report

@@ -1,0 +1,85 @@
+"""ASCII visualisation of fabrics, placements and routed designs.
+
+The soft-array flow of the paper produces floorplans and routed views for
+inspection; this module provides the text equivalents used by the examples
+and by debugging sessions: an occupancy map of a placement on the fabric
+grid, a per-channel congestion map of a routed design and a compact
+textual summary that combines both with the headline metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.fabric import Fabric
+from repro.core.mapper import Placement
+from repro.core.netlist import Netlist
+from repro.core.router import RoutingResult
+
+
+def placement_map(fabric: Fabric, placement: Placement,
+                  netlist: Optional[Netlist] = None) -> str:
+    """Grid view of which sites a placement occupies.
+
+    Occupied sites show the cluster kind's short name in upper case,
+    unoccupied-but-present clusters in lower case, empty sites as dots.
+    """
+    occupied = {position: name for name, position in placement.assignment.items()}
+    lines: List[str] = []
+    for row in range(fabric.rows):
+        cells = []
+        for col in range(fabric.cols):
+            site = fabric.site((row, col))
+            if site.spec is None:
+                cells.append("....")
+            elif (row, col) in occupied:
+                cells.append(f"{site.spec.kind.short_name:<4}")
+            else:
+                cells.append(f"{site.spec.kind.short_name.lower():<4}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def congestion_map(fabric: Fabric, buckets: str = " .:-=+*#%@") -> str:
+    """Per-channel utilisation of the mesh after routing, as a heat map.
+
+    Each grid position is annotated with the highest utilisation of the
+    channels that touch it, quantised onto the ``buckets`` ramp.
+    """
+    lines: List[str] = []
+    for row in range(fabric.rows):
+        cells = []
+        for col in range(fabric.cols):
+            peak = 0.0
+            for neighbour in fabric.mesh.neighbours((row, col)):
+                channel = fabric.mesh.channel_between((row, col), neighbour)
+                peak = max(peak, channel.utilisation)
+            index = min(len(buckets) - 1, int(peak * (len(buckets) - 1) + 0.5))
+            cells.append(buckets[index])
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def design_report(fabric: Fabric, netlist: Netlist, placement: Placement,
+                  routing: Optional[RoutingResult] = None) -> str:
+    """Compact multi-section text report of one mapped design."""
+    usage = netlist.cluster_usage()
+    capacity = fabric.capacity()
+    occupancy = {
+        kind.value: f"{count}/{capacity.get(kind, 0)}"
+        for kind, count in netlist.kind_histogram().items()
+    }
+    sections = [
+        f"design {netlist.name!r} on fabric {fabric.name!r}",
+        f"  clusters used : {usage.total_clusters} ({occupancy})",
+    ]
+    if routing is not None:
+        sections.append(
+            f"  routing       : {routing.total_hops} hops, peak channel "
+            f"utilisation {routing.peak_channel_utilisation:.0%}")
+    sections.append("placement map:")
+    sections.append(placement_map(fabric, placement, netlist))
+    if routing is not None:
+        sections.append("congestion map:")
+        sections.append(congestion_map(fabric))
+    return "\n".join(sections)

@@ -1,0 +1,97 @@
+"""DCT implementations mapped onto the Distributed-Arithmetic array.
+
+The five implementations compared in Table 1 of the paper (plus the plain
+DA baseline of Fig. 4) all transform 8-point vectors and 8x8 blocks; they
+differ in how they trade memory, adders and rotators against each other.
+"""
+
+from repro.dct.cordic import CordicRotator, cordic_gain, micro_rotation_angles
+from repro.dct.cordic_dct1 import CordicDCT1
+from repro.dct.cordic_dct2 import CordicDCT2
+from repro.dct.da_dct import DistributedArithmeticDCT
+from repro.dct.distributed_arithmetic import (
+    DAChannel,
+    DALookupTable,
+    DAQuantisation,
+    da_dot_product,
+)
+from repro.dct.idct import DistributedArithmeticIDCT, MixedRomIDCT
+from repro.dct.mapping import (
+    PAPER_TABLE1,
+    TABLE1_ORDER,
+    MappedDCTImplementation,
+    dct_implementations,
+    generate_table1,
+    map_implementation,
+    table1_as_rows,
+)
+from repro.dct.mixed_rom import MixedRomDCT, even_matrix, odd_matrix
+from repro.dct.quantization import (
+    dequantise,
+    fold_scale_factors,
+    quantisation_matrix,
+    quantise,
+    quantise_with_matrix,
+)
+from repro.dct.reference import (
+    DEFAULT_N,
+    dct_1d,
+    dct_2d,
+    dct_matrix,
+    idct_1d,
+    idct_2d,
+    normalisation_factors,
+    reconstruction_error,
+    unnormalised_dct_1d,
+)
+from repro.dct.scc_dct import (
+    SCCDirectDCT,
+    SCCEvenOddDCT,
+    convolution_kernel,
+    generator_exponents,
+    odd_scc_matrix,
+)
+
+__all__ = [
+    "CordicRotator",
+    "cordic_gain",
+    "micro_rotation_angles",
+    "CordicDCT1",
+    "CordicDCT2",
+    "DistributedArithmeticDCT",
+    "DAChannel",
+    "DALookupTable",
+    "DAQuantisation",
+    "da_dot_product",
+    "DistributedArithmeticIDCT",
+    "MixedRomIDCT",
+    "PAPER_TABLE1",
+    "TABLE1_ORDER",
+    "MappedDCTImplementation",
+    "dct_implementations",
+    "generate_table1",
+    "map_implementation",
+    "table1_as_rows",
+    "MixedRomDCT",
+    "even_matrix",
+    "odd_matrix",
+    "dequantise",
+    "fold_scale_factors",
+    "quantisation_matrix",
+    "quantise",
+    "quantise_with_matrix",
+    "DEFAULT_N",
+    "dct_1d",
+    "dct_2d",
+    "dct_matrix",
+    "idct_1d",
+    "idct_2d",
+    "normalisation_factors",
+    "reconstruction_error",
+    "unnormalised_dct_1d",
+    "SCCDirectDCT",
+    "SCCEvenOddDCT",
+    "convolution_kernel",
+    "generator_exponents",
+    "odd_scc_matrix",
+]

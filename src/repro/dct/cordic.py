@@ -1,0 +1,157 @@
+"""CORDIC rotator primitive used by the CORDIC-based DCT implementations.
+
+A CORDIC rotator (Sec. 3.3) rotates a 2-D vector by a target angle using
+only shift-and-add micro-rotations: at iteration ``i`` the vector is
+rotated by ``±atan(2**-i)``, the sign chosen to drive the residual angle to
+zero.  After ``n`` iterations the result is the rotated vector multiplied
+by the constant CORDIC gain ``K = prod sqrt(1 + 2**-2i)``; rotators can
+either compensate the gain or leave it to be folded into a downstream
+scale factor (the "scaled" architecture of Sec. 3.4 does the latter).
+
+On the DA array one rotator occupies two shift-accumulator clusters (the
+x and y datapaths) and two small memory clusters holding the micro-rotation
+angle constants — the fixed "4-word ROM independent of the input
+bandwidth" the paper refers to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+
+#: Default number of micro-rotations; 12 keeps the angular error below
+#: 2**-12 radians, well under the 12-bit input quantisation of the DCT.
+DEFAULT_ITERATIONS = 12
+#: Default fixed-point scaling of the rotator datapath.
+DEFAULT_FRAC_BITS = 12
+
+
+def cordic_gain(iterations: int = DEFAULT_ITERATIONS) -> float:
+    """The accumulated magnitude gain of ``iterations`` micro-rotations."""
+    gain = 1.0
+    for i in range(iterations):
+        gain *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+    return gain
+
+
+def micro_rotation_angles(iterations: int = DEFAULT_ITERATIONS) -> List[float]:
+    """The ``atan(2**-i)`` angle constants stored in the rotator ROM."""
+    return [math.atan(2.0 ** -i) for i in range(iterations)]
+
+
+@dataclass(frozen=True)
+class RotationResult:
+    """Outcome of one CORDIC rotation."""
+
+    x: float
+    y: float
+    residual_angle: float
+    iterations: int
+
+
+class CordicRotator:
+    """Fixed-point CORDIC rotator for a single fixed rotation angle.
+
+    Parameters
+    ----------
+    angle:
+        Rotation angle in radians.  The rotator applies the convention used
+        throughout :mod:`repro.dct`: ``rotate(p, q)`` returns
+        ``(p*cos(angle) + q*sin(angle), -p*sin(angle) + q*cos(angle))`` —
+        a clockwise rotation of the column vector ``(p, q)``.
+    iterations:
+        Number of micro-rotations (precision/latency trade-off).
+    frac_bits:
+        Fixed-point fractional bits of the internal x/y datapath.
+    compensate_gain:
+        Divide the result by the CORDIC gain so the rotation is
+        magnitude-preserving.  The scaled architecture (Fig. 7) sets this to
+        False and folds the gain into the output scale factors.
+    extra_scale:
+        Additional constant factor folded into the output (used to absorb
+        the sqrt(2) of the even-part butterfly, see Fig. 6 mapping).
+    """
+
+    def __init__(self, angle: float, iterations: int = DEFAULT_ITERATIONS,
+                 frac_bits: int = DEFAULT_FRAC_BITS,
+                 compensate_gain: bool = True,
+                 extra_scale: float = 1.0) -> None:
+        if iterations <= 0:
+            raise ConfigurationError("CORDIC needs at least one iteration")
+        if frac_bits <= 0:
+            raise ConfigurationError("frac_bits must be positive")
+        if abs(angle) > math.pi / 2 + 1e-9:
+            raise ConfigurationError(
+                "CORDIC circular mode converges for |angle| <= pi/2; "
+                f"got {angle:.4f}"
+            )
+        self.angle = float(angle)
+        self.iterations = iterations
+        self.frac_bits = frac_bits
+        self.compensate_gain = compensate_gain
+        self.extra_scale = float(extra_scale)
+        self.gain = cordic_gain(iterations)
+        self._angle_rom = micro_rotation_angles(iterations)
+
+    # -- resource accounting ------------------------------------------------
+    #: Clusters one rotator occupies on the DA array (Table 1 accounting):
+    #: two shift-accumulators (x and y datapaths) and two memories (angle
+    #: constants / sigma sequence).
+    SHIFT_ACC_CLUSTERS = 2
+    MEMORY_CLUSTERS = 2
+    #: Angle-constant ROM depth quoted by the paper ("fix size of 4 words").
+    ROM_WORDS = 4
+
+    @property
+    def output_scale(self) -> float:
+        """Constant factor the raw shift-add datapath leaves on its outputs.
+
+        With gain compensation the scale is just ``extra_scale``; without it
+        the CORDIC gain remains on the outputs and must be absorbed by the
+        quantiser (Sec. 3.4).
+        """
+        scale = self.extra_scale
+        if not self.compensate_gain:
+            scale *= self.gain
+        return scale
+
+    def rotate(self, p: float, q: float) -> Tuple[float, float]:
+        """Rotate ``(p, q)`` by the configured angle using micro-rotations."""
+        scale = 1 << self.frac_bits
+        x = int(round(p * scale))
+        y = int(round(q * scale))
+        # The module-wide convention (p*c + q*s, -p*s + q*c) corresponds to a
+        # mathematical rotation of (p, q) by -angle, so the residual starts
+        # at -angle.
+        residual = -self.angle
+        for i, rom_angle in enumerate(self._angle_rom):
+            direction = 1 if residual >= 0 else -1
+            x_shift = x >> i
+            y_shift = y >> i
+            x, y = x - direction * y_shift, y + direction * x_shift
+            residual -= direction * rom_angle
+
+        factor = self.extra_scale / scale
+        if self.compensate_gain:
+            factor /= self.gain
+        return x * factor, y * factor
+
+    def rotate_exact(self, p: float, q: float) -> Tuple[float, float]:
+        """Ideal (floating-point) rotation, for error analysis in tests."""
+        c = math.cos(self.angle)
+        s = math.sin(self.angle)
+        scale = self.extra_scale
+        return (p * c + q * s) * scale, (-p * s + q * c) * scale
+
+    def worst_case_error(self, magnitude: float) -> float:
+        """Bound on the output error for inputs of at most ``magnitude``.
+
+        Combines the residual-angle error after the final micro-rotation
+        with the fixed-point truncation of the shift-add datapath.
+        """
+        angle_error = 2.0 ** -(self.iterations - 1)
+        truncation = self.iterations * 2.0 ** -self.frac_bits * max(1.0, magnitude * 0.001)
+        return magnitude * angle_error * self.gain * self.extra_scale + truncation + 1e-9

@@ -1,0 +1,192 @@
+"""CORDIC-based DCT implementation #1 (Fig. 6 of the paper).
+
+The 8-point DCT is factored into butterfly add/subtract stages and six
+plane rotations, each performed by a CORDIC rotator built from ROM and
+shift-accumulator clusters (Sec. 3.3): "this CORDIC based implementation
+requires 6-CORDIC and 16 butterfly adders for an 8 point 1D DCT".
+
+Factorisation used (derived from the even/odd decomposition):
+
+* stage 1 butterflies:  ``a_i = x_i + x_{7-i}``, ``b_i = x_i - x_{7-i}``;
+* even half: second butterfly stage ``c0 = a0+a3, c1 = a1+a2,
+  d0 = a0-a3, d1 = a1-a2`` followed by a pi/4 rotation of ``(c0, c1)``
+  (producing X0/X4) and a pi/8 rotation of ``(d0, d1)`` (producing X2/X6);
+* odd half: four rotations of the pairs ``(b0, b3)``, ``(b1, b2)``,
+  ``(b3, b0)``, ``(b2, b1)`` by pi/16 and 3*pi/16, whose outputs combine
+  with four add/subtract operations into X1/X3/X5/X7.
+
+That is 8 butterflies (16 butterfly adders) and 6 rotators — the Table 1
+"CORDIC 1" column: 8 adders, 8 subtracters, 8 shift registers, 12
+shift-accumulators (two per rotator) and 12 memory clusters (two per
+rotator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.cordic import DEFAULT_FRAC_BITS, DEFAULT_ITERATIONS, CordicRotator
+from repro.dct.reference import DEFAULT_N, normalisation_factors
+
+FIG6_INPUT_BITS = 12
+FIG6_ACC_BITS = 16
+#: Angle-constant ROM words per rotator memory cluster.
+FIG6_ROM_WORDS = 4
+FIG6_ROM_WORD_BITS = 16
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class CordicDCT1(object):
+    """Gain-compensated CORDIC DCT with 6 rotators and 16 butterfly adders."""
+
+    name = "cordic_1"
+    figure = "Fig. 6"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 iterations: int = DEFAULT_ITERATIONS,
+                 frac_bits: int = DEFAULT_FRAC_BITS) -> None:
+        if size != DEFAULT_N:
+            raise ValueError("the CORDIC factorisation is specific to the 8-point DCT")
+        self.size = size
+        self.iterations = iterations
+        self._factors = normalisation_factors(size)
+        # Even-half rotators.
+        self._rot_quarter = CordicRotator(math.pi / 4, iterations, frac_bits)
+        self._rot_eighth = CordicRotator(math.pi / 8, iterations, frac_bits)
+        # Odd-half rotators (pi/16 and 3*pi/16, each used on one input pair).
+        self._rot_a = CordicRotator(math.pi / 16, iterations, frac_bits)
+        self._rot_b = CordicRotator(3 * math.pi / 16, iterations, frac_bits)
+        self._rot_c = CordicRotator(3 * math.pi / 16, iterations, frac_bits)
+        self._rot_d = CordicRotator(math.pi / 16, iterations, frac_bits)
+
+    @property
+    def rotator_count(self) -> int:
+        """Number of CORDIC rotators in the datapath (paper: 6)."""
+        return 6
+
+    @property
+    def butterfly_adder_count(self) -> int:
+        """Number of butterfly adders in the datapath (paper: 16)."""
+        return 16
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Latency: input serialisation, two butterfly stages, rotations, combine."""
+        return FIG6_INPUT_BITS + 2 + self.iterations + 1
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """1-D DCT of 8 integer samples (real-valued, normalised outputs)."""
+        x = [float(s) for s in samples]
+        if len(x) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(x)}")
+
+        # Stage 1 butterflies.
+        a = [x[i] + x[7 - i] for i in range(4)]
+        b = [x[i] - x[7 - i] for i in range(4)]
+
+        # Even half.
+        c0, c1 = a[0] + a[3], a[1] + a[2]
+        d0, d1 = a[0] - a[3], a[1] - a[2]
+        re_x, re_y = self._rot_quarter.rotate(c0, c1)
+        g0 = re_x * _SQRT2          # c0 + c1, the sqrt(2) folds into c(0)
+        g2 = -re_y                  # (c0 - c1) / sqrt(2)
+        rf_x, rf_y = self._rot_eighth.rotate(d0, d1)
+        g1 = rf_x                   # d0*cos(pi/8) + d1*sin(pi/8)
+        g3 = -rf_y                  # d0*sin(pi/8) - d1*cos(pi/8)
+
+        # Odd half: four rotations then four add/subtract combines.
+        ra_x, ra_y = self._rot_a.rotate(b[0], b[3])
+        rb_x, rb_y = self._rot_b.rotate(b[1], b[2])
+        rc_x, rc_y = self._rot_c.rotate(b[3], b[0])
+        rd_x, rd_y = self._rot_d.rotate(b[2], b[1])
+        h0 = ra_x + rb_x
+        h1 = rc_y - rd_x
+        h2 = rc_x - rd_y
+        h3 = rb_y - ra_y
+
+        outputs = np.zeros(self.size)
+        outputs[0] = self._factors[0] * g0
+        outputs[2] = self._factors[2] * g1
+        outputs[4] = self._factors[4] * g2
+        outputs[6] = self._factors[6] * g3
+        outputs[1] = self._factors[1] * h0
+        outputs[3] = self._factors[3] * h1
+        outputs[5] = self._factors[5] * h2
+        outputs[7] = self._factors[7] * h3
+        return outputs
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D DCT (row pass, rounding, column pass)."""
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 6 (Table 1 "CORDIC 1" column)."""
+        netlist = Netlist(self.name)
+        # Input parallel-to-serial shift registers.
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG6_INPUT_BITS, role="shift_register")
+        # Eight butterflies: four stage-1, two even-stage-2, two odd-combine.
+        for i in range(8):
+            netlist.add_node(f"butterfly_add_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG6_ACC_BITS, role="adder")
+            netlist.add_node(f"butterfly_sub_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG6_ACC_BITS, role="subtracter")
+        # Six rotators: two shift-accumulators and two angle ROMs each.
+        for r in range(6):
+            for axis in ("x", "y"):
+                netlist.add_node(f"rot{r}_acc_{axis}", ClusterKind.ADD_SHIFT,
+                                 width_bits=FIG6_ACC_BITS, role="accumulator")
+                netlist.add_node(f"rot{r}_rom_{axis}", ClusterKind.MEMORY,
+                                 width_bits=FIG6_ROM_WORD_BITS, role="rom",
+                                 depth_words=FIG6_ROM_WORDS)
+
+        # Stage-1 butterflies take pairs of shift registers.
+        for i in range(4):
+            netlist.connect(f"shift_reg_{i}", f"butterfly_add_{i}", FIG6_INPUT_BITS)
+            netlist.connect(f"shift_reg_{7 - i}", f"butterfly_add_{i}", FIG6_INPUT_BITS)
+            netlist.connect(f"shift_reg_{i}", f"butterfly_sub_{i}", FIG6_INPUT_BITS)
+            netlist.connect(f"shift_reg_{7 - i}", f"butterfly_sub_{i}", FIG6_INPUT_BITS)
+        # Even second-stage butterflies combine the stage-1 sums.
+        for i, (left, right) in enumerate(((0, 3), (1, 2))):
+            netlist.connect(f"butterfly_add_{left}", f"butterfly_add_{4 + i}", FIG6_ACC_BITS)
+            netlist.connect(f"butterfly_add_{right}", f"butterfly_add_{4 + i}", FIG6_ACC_BITS)
+            netlist.connect(f"butterfly_add_{left}", f"butterfly_sub_{4 + i}", FIG6_ACC_BITS)
+            netlist.connect(f"butterfly_add_{right}", f"butterfly_sub_{4 + i}", FIG6_ACC_BITS)
+        # Even rotators: pi/4 on (c0, c1), pi/8 on (d0, d1).
+        for axis in ("x", "y"):
+            netlist.connect("butterfly_add_4", f"rot0_acc_{axis}", FIG6_ACC_BITS)
+            netlist.connect("butterfly_add_5", f"rot0_acc_{axis}", FIG6_ACC_BITS)
+            netlist.connect("butterfly_sub_4", f"rot1_acc_{axis}", FIG6_ACC_BITS)
+            netlist.connect("butterfly_sub_5", f"rot1_acc_{axis}", FIG6_ACC_BITS)
+        # Odd rotators take stage-1 difference pairs.
+        odd_pairs = ((0, 3), (1, 2), (3, 0), (2, 1))
+        for r, (p, q) in enumerate(odd_pairs, start=2):
+            for axis in ("x", "y"):
+                netlist.connect(f"butterfly_sub_{p}", f"rot{r}_acc_{axis}", FIG6_ACC_BITS)
+                netlist.connect(f"butterfly_sub_{q}", f"rot{r}_acc_{axis}", FIG6_ACC_BITS)
+        # Angle ROMs feed their accumulators.
+        for r in range(6):
+            for axis in ("x", "y"):
+                netlist.connect(f"rot{r}_rom_{axis}", f"rot{r}_acc_{axis}",
+                                FIG6_ROM_WORD_BITS)
+        # Odd-combine butterflies take rotator outputs.
+        combine_inputs = (("rot2_acc_x", "rot3_acc_x"), ("rot4_acc_y", "rot5_acc_x"))
+        for i, (left, right) in enumerate(combine_inputs):
+            netlist.connect(left, f"butterfly_add_{6 + i}", FIG6_ACC_BITS)
+            netlist.connect(right, f"butterfly_add_{6 + i}", FIG6_ACC_BITS)
+            netlist.connect(left, f"butterfly_sub_{6 + i}", FIG6_ACC_BITS)
+            netlist.connect(right, f"butterfly_sub_{6 + i}", FIG6_ACC_BITS)
+        return netlist

@@ -1,0 +1,199 @@
+"""Scaled CORDIC DCT implementation #2 (Fig. 7 of the paper).
+
+The scaled architecture (Sec. 3.4, after [9]) differs from the first
+CORDIC implementation in two ways the paper lists explicitly: it uses 20
+butterfly adders instead of 16 and only 3 CORDIC rotators instead of 6.
+The reduction in rotators is obtained by (a) replacing the pi/4 rotation
+of the even half with a plain add/subtract pair whose cos(pi/4) factor is
+absorbed into the output scale, (b) leaving the CORDIC gain uncompensated,
+and (c) time-sharing each remaining physical rotator between the two
+vector pairs that need its angle, at the price of extra operand-staging
+adders and a longer schedule.  "The constant scale factor is not
+considered in this implementation as that can be combined with the
+quantization constants without requiring any extra hardware."
+
+:meth:`forward` therefore returns *scaled* coefficients; the per-output
+factors are exposed as :attr:`scale_factors` and
+:meth:`forward_normalised` applies them (which is what the quantiser of
+:mod:`repro.dct.quantization` does in the encoder pipeline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.cordic import DEFAULT_FRAC_BITS, DEFAULT_ITERATIONS, CordicRotator, cordic_gain
+from repro.dct.reference import DEFAULT_N, normalisation_factors
+
+FIG7_INPUT_BITS = 12
+FIG7_ACC_BITS = 16
+FIG7_ROM_WORDS = 4
+FIG7_ROM_WORD_BITS = 16
+
+_SQRT2 = math.sqrt(2.0)
+
+
+class CordicDCT2(object):
+    """Scaled CORDIC DCT with 3 rotators and 20 butterfly adders."""
+
+    name = "cordic_2"
+    figure = "Fig. 7"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 iterations: int = DEFAULT_ITERATIONS,
+                 frac_bits: int = DEFAULT_FRAC_BITS) -> None:
+        if size != DEFAULT_N:
+            raise ValueError("the CORDIC factorisation is specific to the 8-point DCT")
+        self.size = size
+        self.iterations = iterations
+        self._factors = normalisation_factors(size)
+        gain = cordic_gain(iterations)
+        # Three physical rotators, gain left uncompensated (scaled outputs).
+        self._rot_eighth = CordicRotator(math.pi / 8, iterations, frac_bits,
+                                         compensate_gain=False)
+        self._rot_sixteenth = CordicRotator(math.pi / 16, iterations, frac_bits,
+                                            compensate_gain=False)
+        self._rot_three_sixteenth = CordicRotator(3 * math.pi / 16, iterations,
+                                                  frac_bits, compensate_gain=False)
+        # Per-output factors that turn the scaled outputs back into the
+        # normalised DCT: X(u) = scale_factors[u] * Y(u).
+        self.scale_factors = np.array([
+            self._factors[0],             # X0 = c0 + c1
+            self._factors[1] / gain,      # odd outputs carry the CORDIC gain
+            self._factors[2] / gain,
+            self._factors[3] / gain,
+            self._factors[4] / _SQRT2,    # X4 = (c0 - c1), cos(pi/4) folded
+            self._factors[5] / gain,
+            self._factors[6] / gain,
+            self._factors[7] / gain,
+        ])
+
+    @property
+    def rotator_count(self) -> int:
+        """Number of physical CORDIC rotators (paper: 3)."""
+        return 3
+
+    @property
+    def butterfly_adder_count(self) -> int:
+        """Number of butterfly adders (paper: 20)."""
+        return 20
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Latency: the time-shared odd rotators need two passes."""
+        return FIG7_INPUT_BITS + 2 + 2 * self.iterations + 1
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """Scaled 1-D DCT: returns Y(u) with X(u) = scale_factors[u] * Y(u)."""
+        x = [float(s) for s in samples]
+        if len(x) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(x)}")
+
+        a = [x[i] + x[7 - i] for i in range(4)]
+        b = [x[i] - x[7 - i] for i in range(4)]
+
+        # Even half: the pi/4 rotation is replaced by a plain butterfly.
+        c0, c1 = a[0] + a[3], a[1] + a[2]
+        d0, d1 = a[0] - a[3], a[1] - a[2]
+        y0 = c0 + c1
+        y4 = c0 - c1
+        rf_x, rf_y = self._rot_eighth.rotate(d0, d1)
+        y2 = rf_x
+        y6 = -rf_y
+
+        # Odd half: each angle's physical rotator processes two pairs
+        # (time-shared in hardware; sequential calls here).
+        ra_x, ra_y = self._rot_sixteenth.rotate(b[0], b[3])        # pass 1
+        rd_x, rd_y = self._rot_sixteenth.rotate(b[2], b[1])        # pass 2
+        rb_x, rb_y = self._rot_three_sixteenth.rotate(b[1], b[2])  # pass 1
+        rc_x, rc_y = self._rot_three_sixteenth.rotate(b[3], b[0])  # pass 2
+        y1 = ra_x + rb_x
+        y3 = rc_y - rd_x
+        y5 = rc_x - rd_y
+        y7 = rb_y - ra_y
+
+        return np.array([y0, y1, y2, y3, y4, y5, y6, y7])
+
+    def forward_normalised(self, samples: Sequence[int]) -> np.ndarray:
+        """Normalised DCT outputs (scale factors applied, for validation)."""
+        return self.forward(samples) * self.scale_factors
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D scaled DCT; the row/column scale factors compose.
+
+        Returns normalised coefficients so the result is directly
+        comparable with :func:`repro.dct.reference.dct_2d`; an encoder
+        would instead keep the scaled values and fold the factors into its
+        quantisation matrix.
+        """
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward_normalised(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward_normalised(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 7 (Table 1 "CORDIC 2" column).
+
+        Ten adder-configured and ten subtracter-configured Add-Shift
+        clusters (the 20 butterfly adders), six shift registers serialising
+        the three rotator input pairs, and three rotators of two
+        shift-accumulators plus two angle ROMs each.
+        """
+        netlist = Netlist(self.name)
+        for lane in range(6):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG7_INPUT_BITS, role="shift_register")
+        for i in range(10):
+            netlist.add_node(f"butterfly_add_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG7_ACC_BITS, role="adder")
+            netlist.add_node(f"butterfly_sub_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG7_ACC_BITS, role="subtracter")
+        for r in range(3):
+            for axis in ("x", "y"):
+                netlist.add_node(f"rot{r}_acc_{axis}", ClusterKind.ADD_SHIFT,
+                                 width_bits=FIG7_ACC_BITS, role="accumulator")
+                netlist.add_node(f"rot{r}_rom_{axis}", ClusterKind.MEMORY,
+                                 width_bits=FIG7_ROM_WORD_BITS, role="rom",
+                                 depth_words=FIG7_ROM_WORDS)
+
+        # Stage-1 butterflies (indices 0-3) and even second stage (4-5).
+        for i in range(4):
+            netlist.connect(f"butterfly_add_{i}", f"butterfly_add_{4 + i % 2}", FIG7_ACC_BITS)
+            netlist.connect(f"butterfly_add_{i}", f"butterfly_sub_{4 + i % 2}", FIG7_ACC_BITS)
+        # Even outputs X0/X4 come from butterfly pair 6.
+        netlist.connect("butterfly_add_4", "butterfly_add_6", FIG7_ACC_BITS)
+        netlist.connect("butterfly_add_5", "butterfly_add_6", FIG7_ACC_BITS)
+        netlist.connect("butterfly_add_4", "butterfly_sub_6", FIG7_ACC_BITS)
+        netlist.connect("butterfly_add_5", "butterfly_sub_6", FIG7_ACC_BITS)
+        # Operand staging for the time-shared odd rotators (pairs 7-8) and
+        # the pi/8 rotator inputs (pair 9 carries d0/d1).
+        for stage, rotator in ((7, 1), (8, 2)):
+            netlist.connect(f"butterfly_sub_{stage - 7}", f"butterfly_add_{stage}", FIG7_ACC_BITS)
+            netlist.connect(f"butterfly_sub_{stage - 5}", f"butterfly_add_{stage}", FIG7_ACC_BITS)
+            netlist.connect(f"butterfly_sub_{stage - 7}", f"butterfly_sub_{stage}", FIG7_ACC_BITS)
+            netlist.connect(f"butterfly_sub_{stage - 5}", f"butterfly_sub_{stage}", FIG7_ACC_BITS)
+        netlist.connect("butterfly_sub_4", "butterfly_add_9", FIG7_ACC_BITS)
+        netlist.connect("butterfly_sub_5", "butterfly_add_9", FIG7_ACC_BITS)
+        netlist.connect("butterfly_sub_4", "butterfly_sub_9", FIG7_ACC_BITS)
+        netlist.connect("butterfly_sub_5", "butterfly_sub_9", FIG7_ACC_BITS)
+
+        # Shift registers serialise the rotator operands.
+        rotator_sources = (("butterfly_add_9", "butterfly_sub_9"),
+                           ("butterfly_add_7", "butterfly_sub_7"),
+                           ("butterfly_add_8", "butterfly_sub_8"))
+        for r, (src_x, src_y) in enumerate(rotator_sources):
+            netlist.connect(src_x, f"shift_reg_{2 * r}", FIG7_ACC_BITS)
+            netlist.connect(src_y, f"shift_reg_{2 * r + 1}", FIG7_ACC_BITS)
+            for axis, lane in (("x", 2 * r), ("y", 2 * r + 1)):
+                netlist.connect(f"shift_reg_{lane}", f"rot{r}_acc_{axis}", 1)
+                netlist.connect(f"rot{r}_rom_{axis}", f"rot{r}_acc_{axis}",
+                                FIG7_ROM_WORD_BITS)
+        return netlist

@@ -1,0 +1,95 @@
+"""Plain Distributed-Arithmetic DCT (Fig. 4 of the paper).
+
+The 8-point DCT is treated as eight parallel FIR-like filters sharing the
+same input vector.  Each output lane owns a 12-bit shift register for
+parallel-to-serial conversion, one 256-word LUT holding the partial sums of
+that output's eight cosine coefficients, and a 16-bit shift-accumulator.
+All eight LUTs receive the same 8-bit address formed by the current bit of
+every input, so one transform finishes in ``input_bits`` clock cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+from repro.dct.reference import DEFAULT_N, dct_matrix
+
+#: Shift-register length shown in Fig. 4.
+FIG4_INPUT_BITS = 12
+#: ROM geometry shown in Fig. 4 (256 words of 8 bits per output lane).
+FIG4_ROM_WORDS = 256
+FIG4_ROM_WORD_BITS = 8
+#: Accumulator width shown in Fig. 4.
+FIG4_ACC_BITS = 16
+
+
+class DistributedArithmeticDCT:
+    """Bit-serial DA implementation of the 8-point DCT (Fig. 4)."""
+
+    name = "da_simple"
+    figure = "Fig. 4"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.size = size
+        self.quantisation = quantisation or DAQuantisation(input_bits=FIG4_INPUT_BITS)
+        matrix = dct_matrix(size)
+        self.lookup_tables: List[DALookupTable] = [
+            DALookupTable(matrix[u], self.quantisation) for u in range(size)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Clock cycles to produce all outputs of one 1-D transform."""
+        return self.quantisation.input_bits
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """1-D DCT of ``size`` integer samples (real-valued outputs)."""
+        samples = list(samples)
+        if len(samples) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(samples)}")
+        return np.array([lut.dot_float(samples) for lut in self.lookup_tables])
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D DCT of an integer block (rows then columns).
+
+        The column pass operates on the rounded row results, mirroring the
+        intermediate rounding a fixed-point hardware row/column pipeline
+        performs.
+        """
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 4 for the mapping flow.
+
+        Eight shift registers, eight 256-word ROMs and eight
+        shift-accumulators; every shift register drives the address bus of
+        every ROM (the broadcast address of Fig. 4), each ROM feeds its own
+        accumulator.
+        """
+        netlist = Netlist(self.name)
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG4_INPUT_BITS, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=FIG4_ROM_WORD_BITS, role="rom",
+                             depth_words=FIG4_ROM_WORDS)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG4_ACC_BITS, role="accumulator")
+        for lane in range(self.size):
+            for rom_lane in range(self.size):
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=FIG4_ROM_WORD_BITS)
+        return netlist

@@ -1,0 +1,212 @@
+"""Distributed-Arithmetic (DA) primitives: LUTs and bit-serial dot products.
+
+Distributed Arithmetic (Sec. 3.1, [4]) computes a sum of products with
+fixed coefficients
+
+    y = sum_i c_i * x_i
+
+without multipliers: the inputs are processed one bit-plane at a time, a
+Look-Up-Table stores every possible partial sum ``sum_i c_i * bit_i`` (one
+word per combination of input bits) and a shift-accumulator weights the
+looked-up words by successive powers of two.  For two's-complement inputs
+the most significant (sign) bit-plane is subtracted instead of added.
+
+Two execution paths are provided:
+
+* :func:`da_dot_product` / :class:`DAChannel` — a faithful word-level model
+  driven bit-plane by bit-plane, suitable for unit tests and activity
+  measurement (the channel variant runs on the actual cluster behavioural
+  models so toggle counters accumulate);
+* :meth:`DALookupTable.dot` — a vectorised shortcut producing identical
+  results, used by the 2-D transforms and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clusters import AddShiftCluster, MemoryCluster, to_signed, to_unsigned
+from repro.core.exceptions import ConfigurationError
+
+#: Default fractional bits used to quantise LUT partial sums (8-bit ROM
+#: words in Fig. 4 store signed partial sums of coefficients < 1.0 in
+#: magnitude, so 6 fractional bits leave head-room for the sum of 8 terms).
+DEFAULT_COEFF_FRAC_BITS = 6
+#: Default input word length of the DCT datapath (12-bit shift registers in Fig. 4).
+DEFAULT_INPUT_BITS = 12
+#: Default accumulator width (16-bit shift-accumulators in Fig. 4).
+DEFAULT_ACC_BITS = 24
+
+
+@dataclass(frozen=True)
+class DAQuantisation:
+    """Fixed-point parameters of one DA datapath."""
+
+    input_bits: int = DEFAULT_INPUT_BITS
+    coeff_frac_bits: int = DEFAULT_COEFF_FRAC_BITS
+    accumulator_bits: int = DEFAULT_ACC_BITS
+
+    def __post_init__(self) -> None:
+        if self.input_bits < 2:
+            raise ConfigurationError("DA needs at least 2 input bits (sign + magnitude)")
+        if self.coeff_frac_bits < 1:
+            raise ConfigurationError("coefficient quantisation needs >= 1 fractional bit")
+        if self.accumulator_bits < self.input_bits + self.coeff_frac_bits:
+            raise ConfigurationError(
+                "accumulator too narrow for the chosen input/coefficient precision"
+            )
+
+    @property
+    def output_scale(self) -> float:
+        """Multiply integer DA results by this to recover real-valued outputs."""
+        return 1.0 / (1 << self.coeff_frac_bits)
+
+
+class DALookupTable:
+    """The pre-computed partial-sum LUT of one DA channel.
+
+    Word ``addr`` holds ``round(sum_i c_i * bit_i(addr) * 2**frac_bits)``:
+    every combination of one bit from each input has its weighted sum of
+    coefficients stored, which is what turns the multiplications of the
+    DCT into table look-ups.
+    """
+
+    def __init__(self, coefficients: Sequence[float],
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.coefficients = tuple(float(c) for c in coefficients)
+        if not self.coefficients:
+            raise ConfigurationError("a DA LUT needs at least one coefficient")
+        self.quantisation = quantisation or DAQuantisation()
+        self._words = self._build_words()
+
+    def _build_words(self) -> np.ndarray:
+        count = len(self.coefficients)
+        scale = 1 << self.quantisation.coeff_frac_bits
+        words = np.zeros(1 << count, dtype=np.int64)
+        for address in range(1 << count):
+            partial = sum(c for bit, c in enumerate(self.coefficients)
+                          if address & (1 << bit))
+            words[address] = int(round(partial * scale))
+        return words
+
+    @property
+    def depth_words(self) -> int:
+        """Number of addressable words (2**inputs)."""
+        return len(self._words)
+
+    @property
+    def word_bits(self) -> int:
+        """Bits needed to store the largest-magnitude partial sum."""
+        peak = int(np.max(np.abs(self._words))) if len(self._words) else 0
+        return max(2, peak.bit_length() + 1)
+
+    def read(self, address: int) -> int:
+        """Signed partial-sum word at ``address``."""
+        return int(self._words[address])
+
+    def words(self) -> np.ndarray:
+        """Copy of the LUT contents (signed integers)."""
+        return self._words.copy()
+
+    def load_into(self, memory: MemoryCluster) -> None:
+        """Program a :class:`MemoryCluster` with this LUT's contents."""
+        width = memory.width_bits
+        memory.load_contents([to_unsigned(int(word), width) for word in self._words])
+
+    # -- vectorised execution ------------------------------------------------
+    def dot(self, inputs: Sequence[int]) -> int:
+        """Bit-serial DA dot product of integer ``inputs`` (two's complement).
+
+        Returns the integer result scaled by ``2**coeff_frac_bits``; multiply
+        by :attr:`DAQuantisation.output_scale` to obtain the real value.
+        """
+        bits = self.quantisation.input_bits
+        values = [to_unsigned(int(x), bits) for x in inputs]
+        if len(values) != len(self.coefficients):
+            raise ConfigurationError(
+                f"expected {len(self.coefficients)} inputs, got {len(values)}"
+            )
+        accumulator = 0
+        for bit_index in range(bits):
+            address = 0
+            for input_index, value in enumerate(values):
+                if value & (1 << bit_index):
+                    address |= 1 << input_index
+            word = int(self._words[address])
+            if bit_index == bits - 1:
+                accumulator -= word << bit_index
+            else:
+                accumulator += word << bit_index
+        return accumulator
+
+    def dot_float(self, inputs: Sequence[int]) -> float:
+        """Real-valued DA dot product (integer result rescaled)."""
+        return self.dot(inputs) * self.quantisation.output_scale
+
+
+def da_dot_product(coefficients: Sequence[float], inputs: Sequence[int],
+                   quantisation: Optional[DAQuantisation] = None) -> float:
+    """One-shot DA dot product (builds a throwaway LUT)."""
+    return DALookupTable(coefficients, quantisation).dot_float(inputs)
+
+
+class DAChannel:
+    """One DA channel executed on the cluster behavioural models.
+
+    The channel owns a shift-register cluster per input, one memory cluster
+    holding the LUT and one shift-accumulator cluster — the structure of a
+    single output lane of Fig. 4.  Running it bit-serially advances the
+    clusters' toggle counters, which feeds the activity-based power model.
+    """
+
+    def __init__(self, coefficients: Sequence[float],
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.quantisation = quantisation or DAQuantisation()
+        self.lut = DALookupTable(coefficients, self.quantisation)
+        word_bits = max(8, self.lut.word_bits)
+        self.shift_registers = [AddShiftCluster(self.quantisation.input_bits)
+                                for _ in coefficients]
+        self.memory = MemoryCluster(self.lut.depth_words, word_bits)
+        self.accumulator = AddShiftCluster(self.quantisation.accumulator_bits)
+        self.lut.load_into(self.memory)
+        self.cycles_per_transform = self.quantisation.input_bits
+
+    def compute(self, inputs: Sequence[int]) -> int:
+        """Run one bit-serial DA evaluation; returns the integer result."""
+        if len(inputs) != len(self.shift_registers):
+            raise ConfigurationError(
+                f"expected {len(self.shift_registers)} inputs, got {len(inputs)}"
+            )
+        bits = self.quantisation.input_bits
+        acc_bits = self.quantisation.accumulator_bits
+        word_bits = self.memory.width_bits
+        for register, value in zip(self.shift_registers, inputs):
+            register.load(value)
+        self.accumulator.load(0)
+        accumulator = 0
+        for bit_index in range(bits):
+            address = 0
+            for input_index, register in enumerate(self.shift_registers):
+                if register.shift_out_lsb():
+                    address |= 1 << input_index
+            word = to_signed(self.memory.read(address), word_bits)
+            weighted = word << bit_index
+            if bit_index == bits - 1:
+                accumulator -= weighted
+            else:
+                accumulator += weighted
+            self.accumulator.load(to_unsigned(accumulator, acc_bits))
+        return accumulator
+
+    def compute_float(self, inputs: Sequence[int]) -> float:
+        """Real-valued result of :meth:`compute`."""
+        return self.compute(inputs) * self.quantisation.output_scale
+
+    def total_toggles(self) -> int:
+        """Sum of toggle counters across all owned clusters (power input)."""
+        toggles = self.memory.toggles + self.accumulator.toggles
+        toggles += sum(register.toggles for register in self.shift_registers)
+        return toggles

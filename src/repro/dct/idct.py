@@ -1,0 +1,185 @@
+"""Inverse DCT implementations for the decoder / reconstruction path.
+
+The encoder of an MPEG-4 / H.263 codec needs the inverse transform twice:
+once in its own reconstruction loop (so its reference frames match the
+decoder's) and once in the decoder proper.  On the reconfigurable platform
+the IDCT maps onto the same DA array as the forward transform — the
+transpose of the DCT matrix is just a different set of ROM contents — so
+this module provides:
+
+* :class:`DistributedArithmeticIDCT` — the bit-serial DA realisation of
+  the 8-point IDCT, structurally identical to Fig. 4 (8 shift registers,
+  8 LUT ROMs, 8 shift-accumulators) with transposed coefficients;
+* :class:`MixedRomIDCT` — the even/odd decomposed variant with 16-word
+  ROMs and an output butterfly, the inverse counterpart of Fig. 5.
+
+Both are validated against :func:`repro.dct.reference.idct_1d` and used by
+the decoder in :mod:`repro.video.decoder`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+from repro.dct.mixed_rom import even_matrix, odd_matrix
+from repro.dct.reference import DEFAULT_N, dct_matrix
+
+#: The IDCT datapath carries DCT coefficients, which for 8-bit video fit in
+#: 12 bits (DC of an 8x8 block of 255s is ~2040).
+IDCT_INPUT_BITS = 12
+IDCT_ROM_WORD_BITS = 8
+IDCT_ACC_BITS = 16
+
+
+class DistributedArithmeticIDCT:
+    """Bit-serial DA inverse DCT (the Fig. 4 structure with transposed ROMs)."""
+
+    name = "da_idct"
+    figure = "Fig. 4 (inverse)"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.size = size
+        self.quantisation = quantisation or DAQuantisation(input_bits=IDCT_INPUT_BITS)
+        transpose = dct_matrix(size).T
+        self.lookup_tables: List[DALookupTable] = [
+            DALookupTable(transpose[i], self.quantisation) for i in range(size)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Bit-serial latency of one 8-sample reconstruction."""
+        return self.quantisation.input_bits
+
+    def inverse(self, coefficients: Sequence[float]) -> np.ndarray:
+        """Reconstruct 8 samples from 8 (integer-rounded) DCT coefficients."""
+        values = [int(round(float(c))) for c in coefficients]
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} coefficients, got {len(values)}")
+        return np.array([lut.dot_float(values) for lut in self.lookup_tables])
+
+    def inverse_2d(self, coefficients: np.ndarray) -> np.ndarray:
+        """Separable 2-D inverse (columns then rows, with intermediate rounding)."""
+        coefficients = np.asarray(coefficients)
+        if coefficients.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} coefficients")
+        columns = np.array([self.inverse(col) for col in coefficients.T]).T
+        columns = np.rint(columns)
+        rows = np.array([self.inverse(row) for row in columns])
+        return rows
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist: identical shape to the forward Fig. 4 mapping."""
+        netlist = Netlist(self.name)
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_INPUT_BITS, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=IDCT_ROM_WORD_BITS, role="rom",
+                             depth_words=1 << self.size)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_ACC_BITS, role="accumulator")
+        for lane in range(self.size):
+            for rom_lane in range(self.size):
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=IDCT_ROM_WORD_BITS)
+        return netlist
+
+
+class MixedRomIDCT:
+    """Even/odd decomposed inverse DCT with 16-word ROMs (inverse of Fig. 5).
+
+    The forward decomposition computes even outputs from sums and odd
+    outputs from differences; the inverse therefore reconstructs
+    ``x_i = (e_i + o_i)`` and ``x_{7-i} = (e_i - o_i)`` where ``e`` is the
+    4-point inverse of the even coefficients and ``o`` of the odd ones —
+    an *output* butterfly instead of the forward version's input butterfly.
+    """
+
+    name = "mixed_rom_idct"
+    figure = "Fig. 5 (inverse)"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        if size % 2:
+            raise ValueError("the even/odd decomposition needs an even size")
+        self.size = size
+        self.quantisation = quantisation or DAQuantisation(input_bits=IDCT_INPUT_BITS)
+        half = size // 2
+        # Columns of the even/odd matrices give the inverse mappings
+        # (the matrices are orthogonal up to the even/odd split).
+        even = even_matrix(size)
+        odd = odd_matrix(size)
+        self.even_luts: List[DALookupTable] = [
+            DALookupTable(even[:, i], self.quantisation) for i in range(half)
+        ]
+        self.odd_luts: List[DALookupTable] = [
+            DALookupTable(odd[:, i], self.quantisation) for i in range(half)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Bit-serial latency plus the output butterfly cycle."""
+        return self.quantisation.input_bits + 1
+
+    def inverse(self, coefficients: Sequence[float]) -> np.ndarray:
+        """Reconstruct 8 samples from 8 DCT coefficients."""
+        values = [int(round(float(c))) for c in coefficients]
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} coefficients, got {len(values)}")
+        half = self.size // 2
+        even_in = values[0::2]
+        odd_in = values[1::2]
+        outputs = np.zeros(self.size)
+        for i in range(half):
+            even_part = self.even_luts[i].dot_float(even_in)
+            odd_part = self.odd_luts[i].dot_float(odd_in)
+            outputs[i] = even_part + odd_part
+            outputs[self.size - 1 - i] = even_part - odd_part
+        return outputs
+
+    def inverse_2d(self, coefficients: np.ndarray) -> np.ndarray:
+        """Separable 2-D inverse (columns then rows)."""
+        coefficients = np.asarray(coefficients)
+        if coefficients.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} coefficients")
+        columns = np.array([self.inverse(col) for col in coefficients.T]).T
+        columns = np.rint(columns)
+        rows = np.array([self.inverse(row) for row in columns])
+        return rows
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist: 16-word ROMs plus an output butterfly stage."""
+        netlist = Netlist(self.name)
+        half = self.size // 2
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_INPUT_BITS, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=IDCT_ROM_WORD_BITS, role="rom",
+                             depth_words=1 << half)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_ACC_BITS, role="accumulator")
+        for i in range(half):
+            netlist.add_node(f"butterfly_add_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_ACC_BITS, role="adder")
+            netlist.add_node(f"butterfly_sub_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=IDCT_ACC_BITS, role="subtracter")
+        for lane in range(self.size):
+            partner_lanes = range(0, self.size, 2) if lane % 2 == 0 else range(1, self.size, 2)
+            for rom_lane in partner_lanes:
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=IDCT_ROM_WORD_BITS)
+        for i in range(half):
+            netlist.connect(f"shift_acc_{2 * i}", f"butterfly_add_{i}", IDCT_ACC_BITS)
+            netlist.connect(f"shift_acc_{2 * i + 1}", f"butterfly_add_{i}", IDCT_ACC_BITS)
+            netlist.connect(f"shift_acc_{2 * i}", f"butterfly_sub_{i}", IDCT_ACC_BITS)
+            netlist.connect(f"shift_acc_{2 * i + 1}", f"butterfly_sub_{i}", IDCT_ACC_BITS)
+        return netlist

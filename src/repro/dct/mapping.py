@@ -1,0 +1,156 @@
+"""Mapping of the DCT implementations onto the DA array — regenerates Table 1.
+
+Each implementation class exposes ``build_netlist()``; this module runs the
+whole set through the mapping flow on the DA array, aggregates their
+cluster usage in the shape of Table 1 of the paper, and provides the
+published reference values so benchmarks and tests can compare row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.arrays.da_array import DAArrayGeometry, build_da_array
+from repro.core.clusters import ClusterUsage
+from repro.core.fabric import Fabric
+from repro.core.mapper import GreedyPlacer, Placement
+from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter, RoutingResult
+from repro.dct.cordic_dct1 import CordicDCT1
+from repro.dct.cordic_dct2 import CordicDCT2
+from repro.dct.da_dct import DistributedArithmeticDCT
+from repro.dct.mixed_rom import MixedRomDCT
+from repro.dct.scc_dct import SCCDirectDCT, SCCEvenOddDCT
+
+#: Table 1 of the paper, row for row.  Keys are implementation names, the
+#: inner dictionaries use the same keys as
+#: :meth:`repro.core.clusters.ClusterUsage.as_table_row`.
+PAPER_TABLE1: Dict[str, Dict[str, int]] = {
+    "mixed_rom": {
+        "adders": 4, "subtracters": 4, "shift_registers": 8, "accumulators": 8,
+        "add_shift_total": 24, "memory_clusters": 8, "total_clusters": 32,
+    },
+    "cordic_1": {
+        "adders": 8, "subtracters": 8, "shift_registers": 8, "accumulators": 12,
+        "add_shift_total": 36, "memory_clusters": 12, "total_clusters": 48,
+    },
+    "cordic_2": {
+        "adders": 10, "subtracters": 10, "shift_registers": 6, "accumulators": 6,
+        "add_shift_total": 32, "memory_clusters": 6, "total_clusters": 38,
+    },
+    "scc_even_odd": {
+        "adders": 4, "subtracters": 4, "shift_registers": 8, "accumulators": 8,
+        "add_shift_total": 24, "memory_clusters": 8, "total_clusters": 32,
+    },
+    "scc_direct": {
+        "adders": 0, "subtracters": 0, "shift_registers": 8, "accumulators": 8,
+        "add_shift_total": 16, "memory_clusters": 8, "total_clusters": 24,
+    },
+}
+
+#: The order Table 1 lists its columns in.
+TABLE1_ORDER: Sequence[str] = (
+    "mixed_rom", "cordic_1", "cordic_2", "scc_even_odd", "scc_direct",
+)
+
+#: Column labels as printed in the paper.
+PAPER_COLUMN_LABELS: Dict[str, str] = {
+    "mixed_rom": "MIX ROM",
+    "cordic_1": "CORDIC 1",
+    "cordic_2": "CORDIC 2",
+    "scc_even_odd": "SCC EVEN/ODD",
+    "scc_direct": "SCC",
+    "da_simple": "DA (Fig. 4)",
+}
+
+
+def dct_implementations(include_plain_da: bool = False) -> List[object]:
+    """Instantiate every DCT implementation compared in Table 1.
+
+    ``include_plain_da`` additionally returns the plain DA implementation of
+    Fig. 4, which the paper describes but does not list in the table.
+    """
+    implementations: List[object] = [
+        MixedRomDCT(),
+        CordicDCT1(),
+        CordicDCT2(),
+        SCCEvenOddDCT(),
+        SCCDirectDCT(),
+    ]
+    if include_plain_da:
+        implementations.append(DistributedArithmeticDCT())
+    return implementations
+
+
+@dataclass
+class MappedDCTImplementation:
+    """One DCT implementation mapped onto the DA array."""
+
+    name: str
+    figure: str
+    netlist: Netlist
+    usage: ClusterUsage
+    placement: Optional[Placement]
+    routing: Optional[RoutingResult]
+    metrics: DesignMetrics
+    cycles_per_transform: int
+
+    def table_row(self) -> Dict[str, int]:
+        """This implementation's Table-1 row."""
+        return self.usage.as_table_row()
+
+
+def map_implementation(implementation, fabric: Optional[Fabric] = None,
+                       run_place_and_route: bool = True) -> MappedDCTImplementation:
+    """Run one implementation through the mapping flow on the DA array."""
+    fabric = fabric or build_da_array()
+    netlist = implementation.build_netlist()
+    placement: Optional[Placement] = None
+    routing: Optional[RoutingResult] = None
+    if run_place_and_route:
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+    metrics = evaluate_design(netlist, fabric, placement, routing)
+    return MappedDCTImplementation(
+        name=implementation.name,
+        figure=implementation.figure,
+        netlist=netlist,
+        usage=netlist.cluster_usage(),
+        placement=placement,
+        routing=routing,
+        metrics=metrics,
+        cycles_per_transform=implementation.cycles_per_transform,
+    )
+
+
+def generate_table1(fabric: Optional[Fabric] = None,
+                    run_place_and_route: bool = True,
+                    include_plain_da: bool = False) -> Dict[str, MappedDCTImplementation]:
+    """Map every Table-1 implementation and return the results by name."""
+    fabric = fabric or build_da_array()
+    results: Dict[str, MappedDCTImplementation] = {}
+    for implementation in dct_implementations(include_plain_da):
+        # A fresh fabric per implementation: each mapping assumes an
+        # otherwise-empty array, exactly like the paper's per-implementation
+        # area figures.
+        target = build_da_array(DAArrayGeometry(rows=fabric.rows,
+                                                add_shift_columns=fabric.cols - 2,
+                                                memory_columns=2))
+        results[implementation.name] = map_implementation(
+            implementation, target, run_place_and_route)
+    return results
+
+
+def table1_as_rows(results: Dict[str, MappedDCTImplementation]) -> List[Dict[str, object]]:
+    """Flatten mapping results into printable rows in the paper's column order."""
+    rows: List[Dict[str, object]] = []
+    for name in TABLE1_ORDER:
+        if name not in results:
+            continue
+        mapped = results[name]
+        row: Dict[str, object] = {"implementation": PAPER_COLUMN_LABELS.get(name, name)}
+        row.update(mapped.table_row())
+        rows.append(row)
+    return rows

@@ -1,0 +1,145 @@
+"""Mixed-ROM DCT with 4x4 matrices (Fig. 5 of the paper).
+
+The 8x8 DCT matrix is reduced to two 4x4 matrices through the classic
+even/odd (Lee-style [6]) decomposition: the even-indexed outputs only
+depend on the sums ``a_i = x_i + x_{7-i}`` and the odd-indexed outputs on
+the differences ``b_i = x_i - x_{7-i}``.  Each half is then computed with
+Distributed Arithmetic over four inputs, so the ROMs shrink from 256 words
+to 16 words — "16 times less than the previous implementation" — at the
+cost of an input stage of adders and subtracters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+from repro.dct.reference import DEFAULT_N, normalisation_factors
+
+#: ROM geometry of Fig. 5: 16 words per output lane.
+FIG5_ROM_WORDS = 16
+FIG5_ROM_WORD_BITS = 8
+FIG5_INPUT_BITS = 12
+FIG5_ACC_BITS = 16
+
+
+def even_matrix(size: int = DEFAULT_N) -> np.ndarray:
+    """Normalised 4x4 matrix producing the even-indexed outputs from a_i."""
+    half = size // 2
+    factors = normalisation_factors(size)
+    matrix = np.zeros((half, half))
+    for k in range(half):
+        for i in range(half):
+            matrix[k, i] = factors[2 * k] * np.cos((2 * i + 1) * k * np.pi / size)
+    return matrix
+
+
+def odd_matrix(size: int = DEFAULT_N) -> np.ndarray:
+    """Normalised 4x4 matrix producing the odd-indexed outputs from b_i."""
+    half = size // 2
+    factors = normalisation_factors(size)
+    matrix = np.zeros((half, half))
+    for k in range(half):
+        for i in range(half):
+            matrix[k, i] = factors[2 * k + 1] * np.cos(
+                (2 * i + 1) * (2 * k + 1) * np.pi / (2 * size))
+    return matrix
+
+
+class MixedRomDCT:
+    """Even/odd decomposed DA DCT with 16-word ROMs (Fig. 5)."""
+
+    name = "mixed_rom"
+    figure = "Fig. 5"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        if size % 2:
+            raise ValueError("the even/odd decomposition needs an even size")
+        self.size = size
+        # The butterfly outputs are one bit wider than the raw samples.
+        base = quantisation or DAQuantisation(input_bits=FIG5_INPUT_BITS)
+        self.quantisation = DAQuantisation(
+            input_bits=base.input_bits + 1,
+            coeff_frac_bits=base.coeff_frac_bits,
+            accumulator_bits=max(base.accumulator_bits,
+                                 base.input_bits + 1 + base.coeff_frac_bits + 4),
+        )
+        self.even_luts: List[DALookupTable] = [
+            DALookupTable(row, self.quantisation) for row in even_matrix(size)
+        ]
+        self.odd_luts: List[DALookupTable] = [
+            DALookupTable(row, self.quantisation) for row in odd_matrix(size)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """One extra cycle for the input butterfly stage, then bit-serial DA."""
+        return self.quantisation.input_bits + 1
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """1-D DCT of ``size`` integer samples (real-valued outputs)."""
+        samples = [int(s) for s in samples]
+        if len(samples) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(samples)}")
+        half = self.size // 2
+        sums = [samples[i] + samples[self.size - 1 - i] for i in range(half)]
+        diffs = [samples[i] - samples[self.size - 1 - i] for i in range(half)]
+        outputs = np.zeros(self.size)
+        for k in range(half):
+            outputs[2 * k] = self.even_luts[k].dot_float(sums)
+            outputs[2 * k + 1] = self.odd_luts[k].dot_float(diffs)
+        return outputs
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D DCT (row pass, rounding, column pass)."""
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 5 for the mapping flow.
+
+        Four adders and four subtracters form the input butterfly, eight
+        shift registers serialise the butterfly outputs, eight 16-word ROMs
+        hold the two 4x4 matrices and eight shift-accumulators build the
+        outputs — the Table 1 "MIX ROM" column.
+        """
+        netlist = Netlist(self.name)
+        half = self.size // 2
+        for i in range(half):
+            netlist.add_node(f"butterfly_add_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG5_INPUT_BITS + 1, role="adder")
+            netlist.add_node(f"butterfly_sub_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG5_INPUT_BITS + 1, role="subtracter")
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG5_INPUT_BITS + 1, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=FIG5_ROM_WORD_BITS, role="rom",
+                             depth_words=FIG5_ROM_WORDS)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIG5_ACC_BITS, role="accumulator")
+        # Butterfly outputs feed the shift registers: even lanes take the
+        # sums, odd lanes the differences.
+        for i in range(half):
+            netlist.connect(f"butterfly_add_{i}", f"shift_reg_{2 * i}",
+                            width_bits=FIG5_INPUT_BITS + 1)
+            netlist.connect(f"butterfly_sub_{i}", f"shift_reg_{2 * i + 1}",
+                            width_bits=FIG5_INPUT_BITS + 1)
+        # Serial bits address the ROMs of the matching half.
+        for lane in range(self.size):
+            half_lanes = range(0, self.size, 2) if lane % 2 == 0 else range(1, self.size, 2)
+            for rom_lane in half_lanes:
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=FIG5_ROM_WORD_BITS)
+        return netlist

@@ -1,0 +1,88 @@
+"""Quantisation of DCT coefficients (MPEG-4 / H.263 style).
+
+The scaled CORDIC architecture (Sec. 3.4) relies on the fact that its
+constant per-coefficient scale factors "can be combined with the
+quantization constants without requiring any extra hardware"; this module
+provides the uniform quantiser used by the encoder example together with
+the helper that performs exactly that folding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dct.reference import DEFAULT_N
+
+#: Default quantiser parameter (H.263 QP range is 1..31).
+DEFAULT_QP = 8
+MIN_QP = 1
+MAX_QP = 31
+
+
+def quantise(coefficients: np.ndarray, qp: int = DEFAULT_QP,
+             intra_dc_step: int = 8) -> np.ndarray:
+    """Uniformly quantise a block of DCT coefficients.
+
+    The DC coefficient of intra blocks uses a fixed step (``intra_dc_step``)
+    as in H.263; all AC coefficients use ``2 * qp``.
+    """
+    if not MIN_QP <= qp <= MAX_QP:
+        raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    levels = np.trunc(coefficients / (2.0 * qp)).astype(np.int64)
+    if coefficients.ndim == 2:
+        levels[0, 0] = int(round(coefficients[0, 0] / intra_dc_step))
+    return levels
+
+
+def dequantise(levels: np.ndarray, qp: int = DEFAULT_QP,
+               intra_dc_step: int = 8) -> np.ndarray:
+    """Inverse of :func:`quantise` (mid-rise reconstruction)."""
+    if not MIN_QP <= qp <= MAX_QP:
+        raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
+    levels = np.asarray(levels, dtype=np.float64)
+    reconstructed = np.sign(levels) * (np.abs(levels) * 2.0 + 1.0) * qp
+    reconstructed[levels == 0] = 0.0
+    if levels.ndim == 2:
+        reconstructed[0, 0] = levels[0, 0] * intra_dc_step
+    return reconstructed
+
+
+def quantisation_matrix(qp: int = DEFAULT_QP, size: int = DEFAULT_N,
+                        intra_dc_step: int = 8) -> np.ndarray:
+    """Per-coefficient quantiser step matrix for a uniform quantiser."""
+    steps = np.full((size, size), 2.0 * qp)
+    steps[0, 0] = intra_dc_step
+    return steps
+
+
+def fold_scale_factors(steps: np.ndarray, row_scales: np.ndarray,
+                       col_scales: Optional[np.ndarray] = None) -> np.ndarray:
+    """Fold per-coefficient DCT scale factors into a quantiser step matrix.
+
+    A scaled DCT produces ``Y[u, v] = X[u, v] / (s_row[u] * s_col[v])``
+    ... in our convention ``X = Y * s_row[u] * s_col[v]``, so quantising the
+    scaled coefficients with ``steps / (s_row[u] * s_col[v])`` yields the
+    same levels as quantising the true coefficients with ``steps`` — which
+    is why the scaled architecture needs no extra hardware.
+    """
+    steps = np.asarray(steps, dtype=np.float64)
+    row_scales = np.asarray(row_scales, dtype=np.float64)
+    if col_scales is None:
+        col_scales = row_scales
+    col_scales = np.asarray(col_scales, dtype=np.float64)
+    outer = np.outer(row_scales, col_scales)
+    if outer.shape != steps.shape:
+        raise ValueError("scale factor shapes do not match the step matrix")
+    return steps / outer
+
+
+def quantise_with_matrix(coefficients: np.ndarray, steps: np.ndarray) -> np.ndarray:
+    """Quantise with an explicit per-coefficient step matrix."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    steps = np.asarray(steps, dtype=np.float64)
+    if coefficients.shape != steps.shape:
+        raise ValueError("coefficient and step shapes differ")
+    return np.trunc(coefficients / steps).astype(np.int64)

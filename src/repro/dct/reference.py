@@ -1,0 +1,101 @@
+"""Floating-point reference DCT used to validate every mapped implementation.
+
+The paper's Sec. 3.1 gives the 1-D N-point DCT as
+
+    X(u) = c(u) * sum_{i=0}^{N-1} x(i) * cos((2i+1) * u * pi / (2N))
+
+This module uses the orthonormal convention ``c(0) = sqrt(1/N)`` and
+``c(u) = sqrt(2/N)`` for ``u > 0``, which makes the transform matrix
+orthogonal so the inverse is simply the transpose.  All mapped
+implementations (Figs. 4–9) are validated against these functions within
+their fixed-point precision.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+#: Default transform size throughout the paper (8-point DCT, 8x8 blocks).
+DEFAULT_N = 8
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(n: int = DEFAULT_N) -> np.ndarray:
+    """Orthonormal DCT-II matrix of size ``n`` (rows are basis vectors)."""
+    if n <= 0:
+        raise ValueError("transform size must be positive")
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for u in range(n):
+        scale = np.sqrt(1.0 / n) if u == 0 else np.sqrt(2.0 / n)
+        for i in range(n):
+            matrix[u, i] = scale * np.cos((2 * i + 1) * u * np.pi / (2 * n))
+    return matrix
+
+
+def dct_1d(samples: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Orthonormal 1-D DCT-II of a length-``n`` vector."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.shape[-1] != n:
+        raise ValueError(f"expected a length-{n} vector, got shape {samples.shape}")
+    return dct_matrix(n) @ samples
+
+
+def idct_1d(coefficients: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Inverse of :func:`dct_1d` (the matrix is orthogonal)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape[-1] != n:
+        raise ValueError(f"expected a length-{n} vector, got shape {coefficients.shape}")
+    return dct_matrix(n).T @ coefficients
+
+
+def dct_2d(block: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Separable 2-D DCT of an ``n`` x ``n`` block (rows then columns)."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (n, n):
+        raise ValueError(f"expected an {n}x{n} block, got shape {block.shape}")
+    matrix = dct_matrix(n)
+    return matrix @ block @ matrix.T
+
+
+def idct_2d(coefficients: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Inverse 2-D DCT of an ``n`` x ``n`` coefficient block."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (n, n):
+        raise ValueError(f"expected an {n}x{n} block, got shape {coefficients.shape}")
+    matrix = dct_matrix(n)
+    return matrix.T @ coefficients @ matrix
+
+
+def unnormalised_dct_1d(samples: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Raw cosine sums ``sum_i x(i) cos((2i+1) u pi / (2N))`` without c(u).
+
+    The hardware datapaths naturally produce these raw sums; the ``c(u)``
+    normalisation is a per-output constant that implementations fold into
+    their output scaling (or, for the scaled CORDIC architecture, into the
+    quantiser).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.shape[-1] != n:
+        raise ValueError(f"expected a length-{n} vector, got shape {samples.shape}")
+    basis = np.zeros((n, n), dtype=np.float64)
+    for u in range(n):
+        for i in range(n):
+            basis[u, i] = np.cos((2 * i + 1) * u * np.pi / (2 * n))
+    return basis @ samples
+
+
+def normalisation_factors(n: int = DEFAULT_N) -> np.ndarray:
+    """The per-output c(u) factors of the paper's DCT definition."""
+    factors = np.full(n, np.sqrt(2.0 / n))
+    factors[0] = np.sqrt(1.0 / n)
+    return factors
+
+
+def reconstruction_error(block: np.ndarray, coefficients: np.ndarray,
+                         n: int = DEFAULT_N) -> float:
+    """Max absolute error between ``block`` and the inverse of ``coefficients``."""
+    return float(np.max(np.abs(np.asarray(block, dtype=np.float64)
+                               - idct_2d(coefficients, n))))

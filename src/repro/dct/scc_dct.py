@@ -1,0 +1,234 @@
+"""Skew-circular-convolution DCT implementations after Li (Figs. 8 and 9).
+
+Li's algorithm [11] reorders the DCT's inputs and outputs so that the
+computation becomes a (skew-)circular convolution, which maps naturally
+onto Distributed Arithmetic.  The key number-theoretic fact is that 3
+generates the odd residues modulo 32 up to sign: every odd index
+``u in {1, 3, 5, 7}`` can be written as ``+-3**e(u) (mod 32)``, and because
+the cosine is even the DCT kernel entry for odd input index ``2i+1`` and
+odd output index ``2k+1`` becomes
+
+    cos((2i+1)(2k+1) * pi / 16) = C[(e(2i+1) + e(2k+1)) mod 8],
+    C[m] = cos(3**m * pi / 16)
+
+— a convolution in the exponent domain.  Two array mappings are provided:
+
+* :class:`SCCEvenOddDCT` (Fig. 8): the input butterfly splits the samples
+  into sums/differences; odd-indexed outputs are produced by the
+  skew-circular convolution above and even-indexed outputs by a 4-point
+  DCT, both as 4-input DA channels with 16-word ROMs.
+* :class:`SCCDirectDCT` (Fig. 9): no input adders/subtracters at all; all
+  eight outputs are produced by 8-input DA channels whose 256-word ROMs
+  hold the convolution kernel partial sums — "16 times more [ROM] than the
+  previous implementation but does not require adder/subtracters".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+from repro.dct.mixed_rom import even_matrix
+from repro.dct.reference import DEFAULT_N, dct_matrix, normalisation_factors
+
+FIG8_ROM_WORDS = 16
+FIG9_ROM_WORDS = 256
+SCC_ROM_WORD_BITS = 8
+SCC_INPUT_BITS = 12
+SCC_ACC_BITS = 16
+
+
+def generator_exponents(size: int = DEFAULT_N) -> Dict[int, int]:
+    """Exponent ``e(u)`` with ``u = +-3**e(u) (mod 4*size)`` for odd ``u``.
+
+    For the 8-point DCT (modulus 32) the mapping is
+    ``{1: 0, 3: 1, 5: 3, 7: 6}``.
+    """
+    modulus = 4 * size
+    exponents: Dict[int, int] = {}
+    value = 1
+    for exponent in range(2 * size):
+        for candidate in (value % modulus, (-value) % modulus):
+            if candidate % 2 == 1 and candidate < 2 * size and candidate not in exponents:
+                exponents[candidate] = exponent % size
+        value = (value * 3) % modulus
+    return exponents
+
+
+def convolution_kernel(size: int = DEFAULT_N) -> np.ndarray:
+    """The kernel values ``C[m] = cos(3**m * pi / (2*size))``."""
+    modulus = 4 * size
+    kernel = np.zeros(size)
+    value = 1
+    for m in range(size):
+        kernel[m] = np.cos(value * np.pi / (2 * size))
+        value = (value * 3) % modulus
+    return kernel
+
+
+def odd_scc_matrix(size: int = DEFAULT_N) -> np.ndarray:
+    """Normalised odd-output matrix expressed through the SCC kernel.
+
+    Row ``k`` (output ``2k+1``), column ``i`` (difference ``b_i``) holds
+    ``c(2k+1) * C[(e(2i+1) + e(2k+1)) mod size]`` — identical in value to
+    the direct odd matrix, but built from the reordered kernel, which is
+    what the ROM generator of the array flow stores.
+    """
+    factors = normalisation_factors(size)
+    exponents = generator_exponents(size)
+    kernel = convolution_kernel(size)
+    half = size // 2
+    matrix = np.zeros((half, half))
+    for k in range(half):
+        for i in range(half):
+            index = (exponents[2 * i + 1] + exponents[2 * k + 1]) % size
+            matrix[k, i] = factors[2 * k + 1] * kernel[index]
+    return matrix
+
+
+class SCCEvenOddDCT:
+    """Li's algorithm with even/odd split and 16-word ROMs (Fig. 8)."""
+
+    name = "scc_even_odd"
+    figure = "Fig. 8"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        if size % 2:
+            raise ValueError("the even/odd split needs an even transform size")
+        self.size = size
+        base = quantisation or DAQuantisation(input_bits=SCC_INPUT_BITS)
+        self.quantisation = DAQuantisation(
+            input_bits=base.input_bits + 1,
+            coeff_frac_bits=base.coeff_frac_bits,
+            accumulator_bits=max(base.accumulator_bits,
+                                 base.input_bits + 1 + base.coeff_frac_bits + 4),
+        )
+        self.odd_luts: List[DALookupTable] = [
+            DALookupTable(row, self.quantisation) for row in odd_scc_matrix(size)
+        ]
+        self.even_luts: List[DALookupTable] = [
+            DALookupTable(row, self.quantisation) for row in even_matrix(size)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Input butterfly plus bit-serial DA over the widened operands."""
+        return self.quantisation.input_bits + 1
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """1-D DCT of ``size`` integer samples (real-valued outputs)."""
+        samples = [int(s) for s in samples]
+        if len(samples) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(samples)}")
+        half = self.size // 2
+        sums = [samples[i] + samples[self.size - 1 - i] for i in range(half)]
+        diffs = [samples[i] - samples[self.size - 1 - i] for i in range(half)]
+        outputs = np.zeros(self.size)
+        for k in range(half):
+            outputs[2 * k] = self.even_luts[k].dot_float(sums)
+            outputs[2 * k + 1] = self.odd_luts[k].dot_float(diffs)
+        return outputs
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D DCT (row pass, rounding, column pass)."""
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 8 (Table 1 "SCC EVEN/ODD" column)."""
+        netlist = Netlist(self.name)
+        half = self.size // 2
+        for i in range(half):
+            netlist.add_node(f"reorder_add_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_INPUT_BITS + 1, role="adder")
+            netlist.add_node(f"reorder_sub_{i}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_INPUT_BITS + 1, role="subtracter")
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_INPUT_BITS + 1, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=SCC_ROM_WORD_BITS, role="rom",
+                             depth_words=FIG8_ROM_WORDS)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_ACC_BITS, role="accumulator")
+        for i in range(half):
+            netlist.connect(f"reorder_add_{i}", f"shift_reg_{2 * i}",
+                            width_bits=SCC_INPUT_BITS + 1)
+            netlist.connect(f"reorder_sub_{i}", f"shift_reg_{2 * i + 1}",
+                            width_bits=SCC_INPUT_BITS + 1)
+        for lane in range(self.size):
+            partner_lanes = range(0, self.size, 2) if lane % 2 == 0 else range(1, self.size, 2)
+            for rom_lane in partner_lanes:
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=SCC_ROM_WORD_BITS)
+        return netlist
+
+
+class SCCDirectDCT:
+    """Li's algorithm in direct form: large ROMs, no input adders (Fig. 9)."""
+
+    name = "scc_direct"
+    figure = "Fig. 9"
+
+    def __init__(self, size: int = DEFAULT_N,
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.size = size
+        self.quantisation = quantisation or DAQuantisation(input_bits=SCC_INPUT_BITS)
+        # The ROM generator stores the full 8-input partial-sum tables of
+        # the (reordered) kernel rows; numerically these coincide with the
+        # direct DCT matrix rows, so the LUTs are built from the latter.
+        matrix = dct_matrix(size)
+        self.lookup_tables: List[DALookupTable] = [
+            DALookupTable(matrix[u], self.quantisation) for u in range(size)
+        ]
+
+    @property
+    def cycles_per_transform(self) -> int:
+        """Pure bit-serial DA: no butterfly stage ahead of the shift registers."""
+        return self.quantisation.input_bits
+
+    def forward(self, samples: Sequence[int]) -> np.ndarray:
+        """1-D DCT of ``size`` integer samples (real-valued outputs)."""
+        samples = list(samples)
+        if len(samples) != self.size:
+            raise ValueError(f"expected {self.size} samples, got {len(samples)}")
+        return np.array([lut.dot_float(samples) for lut in self.lookup_tables])
+
+    def forward_2d(self, block: np.ndarray) -> np.ndarray:
+        """Separable 2-D DCT (row pass, rounding, column pass)."""
+        block = np.asarray(block)
+        if block.shape != (self.size, self.size):
+            raise ValueError(f"expected {self.size}x{self.size} block")
+        rows = np.array([self.forward(row) for row in block.astype(np.int64)])
+        rows = np.rint(rows).astype(np.int64)
+        columns = np.array([self.forward(col) for col in rows.T])
+        return columns.T
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of Fig. 9 (Table 1 "SCC" column)."""
+        netlist = Netlist(self.name)
+        for lane in range(self.size):
+            netlist.add_node(f"shift_reg_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_INPUT_BITS, role="shift_register")
+            netlist.add_node(f"rom_{lane}", ClusterKind.MEMORY,
+                             width_bits=SCC_ROM_WORD_BITS, role="rom",
+                             depth_words=FIG9_ROM_WORDS)
+            netlist.add_node(f"shift_acc_{lane}", ClusterKind.ADD_SHIFT,
+                             width_bits=SCC_ACC_BITS, role="accumulator")
+        for lane in range(self.size):
+            for rom_lane in range(self.size):
+                netlist.connect(f"shift_reg_{lane}", f"rom_{rom_lane}", width_bits=1)
+            netlist.connect(f"rom_{lane}", f"shift_acc_{lane}",
+                            width_bits=SCC_ROM_WORD_BITS)
+        return netlist

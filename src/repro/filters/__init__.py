@@ -1,0 +1,29 @@
+"""Filtering and wavelet kernels for the Distributed-Arithmetic array.
+
+Sec. 2.2 of the paper lists "filtering, DCT and DWT" as the computations
+the DA array targets; :mod:`repro.dct` covers the DCT, this subpackage the
+other two.
+"""
+
+from repro.filters.dwt import (
+    build_dwt_netlist,
+    dwt53_2d,
+    dwt53_2d_inverse,
+    dwt53_forward,
+    dwt53_inverse,
+    dwt53_multilevel,
+    dwt53_multilevel_inverse,
+)
+from repro.filters.fir import DistributedArithmeticFIR, symmetric_lowpass
+
+__all__ = [
+    "build_dwt_netlist",
+    "dwt53_2d",
+    "dwt53_2d_inverse",
+    "dwt53_forward",
+    "dwt53_inverse",
+    "dwt53_multilevel",
+    "dwt53_multilevel_inverse",
+    "DistributedArithmeticFIR",
+    "symmetric_lowpass",
+]

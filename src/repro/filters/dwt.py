@@ -1,0 +1,178 @@
+"""Discrete Wavelet Transform on the Add-Shift clusters of the DA array.
+
+The DA array's cluster set (add, subtract, shift, shift-accumulate) is a
+natural fit for the lifting formulation of the 5/3 integer wavelet used by
+still-image and scalable-video coders: every lifting step is an add of two
+neighbours followed by a shift, so the whole transform maps onto Add-Shift
+clusters with no memory clusters at all — the other end of the
+logic/memory trade-off from the ROM-heavy DCT mappings.
+
+The LeGall 5/3 integer lifting scheme implemented here is exactly
+reversible, which the round-trip tests exploit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+
+DWT_SAMPLE_BITS = 16
+
+
+def _predict_index(values: np.ndarray, index: int) -> int:
+    """Clamp neighbour indices at the signal borders (symmetric extension)."""
+    return min(max(index, 0), len(values) - 1)
+
+
+def dwt53_forward(samples: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """One level of the forward LeGall 5/3 integer lifting DWT.
+
+    Returns (approximation, detail) coefficient arrays.  The signal length
+    must be even so the two subbands have equal length.
+    """
+    values = np.asarray(samples, dtype=np.int64)
+    if values.ndim != 1:
+        raise ValueError("the 1-D DWT expects a 1-D signal")
+    if len(values) % 2:
+        raise ValueError("signal length must be even for one lifting level")
+    even = values[0::2].copy()
+    odd = values[1::2].copy()
+
+    # Predict step: detail = odd - floor((left even + right even) / 2).
+    detail = odd.copy()
+    for i in range(len(odd)):
+        left = even[i]
+        right = even[_predict_index(even, i + 1)]
+        detail[i] = odd[i] - ((left + right) >> 1)
+
+    # Update step: approx = even + floor((left detail + right detail + 2) / 4).
+    approximation = even.copy()
+    for i in range(len(even)):
+        left = detail[_predict_index(detail, i - 1)]
+        right = detail[i]
+        approximation[i] = even[i] + ((left + right + 2) >> 2)
+
+    return approximation, detail
+
+
+def dwt53_inverse(approximation: Sequence[int], detail: Sequence[int]) -> np.ndarray:
+    """Exact inverse of :func:`dwt53_forward`."""
+    approximation = np.asarray(approximation, dtype=np.int64)
+    detail = np.asarray(detail, dtype=np.int64)
+    if approximation.shape != detail.shape:
+        raise ValueError("approximation and detail lengths differ")
+
+    even = approximation.copy()
+    for i in range(len(even)):
+        left = detail[_predict_index(detail, i - 1)]
+        right = detail[i]
+        even[i] = approximation[i] - ((left + right + 2) >> 2)
+
+    odd = detail.copy()
+    for i in range(len(odd)):
+        left = even[i]
+        right = even[_predict_index(even, i + 1)]
+        odd[i] = detail[i] + ((left + right) >> 1)
+
+    signal = np.zeros(2 * len(even), dtype=np.int64)
+    signal[0::2] = even
+    signal[1::2] = odd
+    return signal
+
+
+def dwt53_multilevel(samples: Sequence[int], levels: int) -> List[np.ndarray]:
+    """Multi-level decomposition: [approx_L, detail_L, ..., detail_1]."""
+    if levels < 1:
+        raise ValueError("at least one decomposition level is required")
+    current = np.asarray(samples, dtype=np.int64)
+    details: List[np.ndarray] = []
+    for _ in range(levels):
+        if len(current) % 2:
+            raise ValueError("signal length must stay even at every level")
+        current, detail = dwt53_forward(current)
+        details.append(detail)
+    return [current] + details[::-1]
+
+
+def dwt53_multilevel_inverse(bands: Sequence[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`dwt53_multilevel`."""
+    if len(bands) < 2:
+        raise ValueError("a multi-level decomposition has at least two bands")
+    current = np.asarray(bands[0], dtype=np.int64)
+    for detail in bands[1:]:
+        current = dwt53_inverse(current, detail)
+    return current
+
+
+def dwt53_2d(block: np.ndarray) -> np.ndarray:
+    """One separable 2-D level: rows then columns, subbands in quadrants."""
+    block = np.asarray(block, dtype=np.int64)
+    if block.ndim != 2 or block.shape[0] % 2 or block.shape[1] % 2:
+        raise ValueError("the 2-D DWT expects even dimensions")
+    rows = np.zeros_like(block)
+    half_cols = block.shape[1] // 2
+    for r in range(block.shape[0]):
+        approximation, detail = dwt53_forward(block[r])
+        rows[r, :half_cols] = approximation
+        rows[r, half_cols:] = detail
+    output = np.zeros_like(block)
+    half_rows = block.shape[0] // 2
+    for c in range(block.shape[1]):
+        approximation, detail = dwt53_forward(rows[:, c])
+        output[:half_rows, c] = approximation
+        output[half_rows:, c] = detail
+    return output
+
+
+def dwt53_2d_inverse(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dwt53_2d`."""
+    coefficients = np.asarray(coefficients, dtype=np.int64)
+    half_rows = coefficients.shape[0] // 2
+    half_cols = coefficients.shape[1] // 2
+    columns = np.zeros_like(coefficients)
+    for c in range(coefficients.shape[1]):
+        columns[:, c] = dwt53_inverse(coefficients[:half_rows, c],
+                                      coefficients[half_rows:, c])
+    output = np.zeros_like(coefficients)
+    for r in range(coefficients.shape[0]):
+        output[r] = dwt53_inverse(columns[r, :half_cols], columns[r, half_cols:])
+    return output
+
+
+def build_dwt_netlist(samples_per_block: int = 16, name: str = "dwt53") -> Netlist:
+    """Structural netlist of one 5/3 lifting level on the DA array.
+
+    Per pair of input samples the lifting needs one subtracter and one
+    shifter for the predict step and one adder and one shifter for the
+    update step; the shift operations are additional Add-Shift clusters
+    configured as shifters (counted in the ``adders`` role split since a
+    shift is the degenerate add configuration).  No memory clusters are
+    used — the defining contrast with the DCT mappings.
+    """
+    if samples_per_block < 2 or samples_per_block % 2:
+        raise ValueError("the lifting level processes an even number of samples")
+    netlist = Netlist(name)
+    pairs = samples_per_block // 2
+    for pair in range(pairs):
+        netlist.add_node(f"predict_sub_{pair}", ClusterKind.ADD_SHIFT,
+                         width_bits=DWT_SAMPLE_BITS, role="subtracter")
+        netlist.add_node(f"predict_shift_{pair}", ClusterKind.ADD_SHIFT,
+                         width_bits=DWT_SAMPLE_BITS, role="adder")
+        netlist.add_node(f"update_add_{pair}", ClusterKind.ADD_SHIFT,
+                         width_bits=DWT_SAMPLE_BITS, role="adder")
+        netlist.add_node(f"update_shift_{pair}", ClusterKind.ADD_SHIFT,
+                         width_bits=DWT_SAMPLE_BITS, role="shift_register")
+        netlist.connect(f"predict_shift_{pair}", f"predict_sub_{pair}",
+                        DWT_SAMPLE_BITS)
+        netlist.connect(f"predict_sub_{pair}", f"update_shift_{pair}",
+                        DWT_SAMPLE_BITS)
+        netlist.connect(f"update_shift_{pair}", f"update_add_{pair}",
+                        DWT_SAMPLE_BITS)
+        if pair:
+            netlist.connect(f"predict_sub_{pair - 1}", f"update_add_{pair}",
+                            DWT_SAMPLE_BITS)
+    return netlist

@@ -1,0 +1,116 @@
+"""Distributed-Arithmetic FIR filtering on the DA array.
+
+Sec. 2.2 of the paper: the DA array "targets Distributed Arithmetic
+calculations, which includes computations like filtering, DCT and DWT".
+The DCT implementations exercise the transform case; this module provides
+the filtering case — a fixed-coefficient FIR filter whose multiply-
+accumulate is realised as LUT + shift-accumulate on Add-Shift and Memory
+clusters, exactly like one output lane of Fig. 4 with a delay line in
+front.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+
+FIR_INPUT_BITS = 12
+FIR_ROM_WORD_BITS = 8
+FIR_ACC_BITS = 20
+
+
+class DistributedArithmeticFIR:
+    """Fixed-coefficient FIR filter implemented with Distributed Arithmetic.
+
+    Parameters
+    ----------
+    coefficients:
+        Filter taps (real-valued; quantised into the LUT).
+    quantisation:
+        Fixed-point parameters shared with the DCT datapaths.
+    """
+
+    name = "da_fir"
+
+    def __init__(self, coefficients: Sequence[float],
+                 quantisation: Optional[DAQuantisation] = None) -> None:
+        self.coefficients = tuple(float(c) for c in coefficients)
+        if not self.coefficients:
+            raise ValueError("an FIR filter needs at least one tap")
+        self.quantisation = quantisation or DAQuantisation(input_bits=FIR_INPUT_BITS)
+        self.lookup_table = DALookupTable(self.coefficients, self.quantisation)
+
+    @property
+    def tap_count(self) -> int:
+        """Number of filter taps."""
+        return len(self.coefficients)
+
+    @property
+    def cycles_per_sample(self) -> int:
+        """Bit-serial cycles to produce one output sample."""
+        return self.quantisation.input_bits
+
+    def filter(self, samples: Sequence[int]) -> np.ndarray:
+        """Filter an integer sample stream (zero-padded start-up transient).
+
+        Output ``y[n] = sum_k c[k] * x[n - k]`` with ``x`` treated as zero
+        before its first sample, matching a hardware delay line that resets
+        to zero.
+        """
+        samples = [int(s) for s in samples]
+        taps = self.tap_count
+        outputs = np.zeros(len(samples))
+        window: List[int] = [0] * taps
+        for index, sample in enumerate(samples):
+            window = [sample] + window[:-1]
+            outputs[index] = self.lookup_table.dot_float(window)
+        return outputs
+
+    def filter_reference(self, samples: Sequence[int]) -> np.ndarray:
+        """Floating-point reference (numpy convolution) for validation."""
+        samples = np.asarray(samples, dtype=np.float64)
+        return np.convolve(samples, np.asarray(self.coefficients))[:len(samples)]
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist: delay line, one LUT ROM, one shift-accumulator.
+
+        Each tap of the delay line is an Add-Shift cluster configured as a
+        shift register; the LUT occupies one memory cluster (2**taps
+        words) and the accumulator one more Add-Shift cluster.
+        """
+        netlist = Netlist(self.name)
+        for tap in range(self.tap_count):
+            netlist.add_node(f"delay_{tap}", ClusterKind.ADD_SHIFT,
+                             width_bits=FIR_INPUT_BITS, role="shift_register")
+        netlist.add_node("rom", ClusterKind.MEMORY, width_bits=FIR_ROM_WORD_BITS,
+                         role="rom", depth_words=self.lookup_table.depth_words)
+        netlist.add_node("shift_acc", ClusterKind.ADD_SHIFT,
+                         width_bits=FIR_ACC_BITS, role="accumulator")
+        for tap in range(self.tap_count - 1):
+            netlist.connect(f"delay_{tap}", f"delay_{tap + 1}", FIR_INPUT_BITS)
+        for tap in range(self.tap_count):
+            netlist.connect(f"delay_{tap}", "rom", width_bits=1)
+        netlist.connect("rom", "shift_acc", FIR_ROM_WORD_BITS)
+        return netlist
+
+
+def symmetric_lowpass(taps: int = 8, cutoff: float = 0.25) -> List[float]:
+    """A Hamming-windowed sinc low-pass prototype (normalised DC gain).
+
+    Convenience generator for the example scripts and tests; the filter it
+    produces is representative of the pre-processing filters a video
+    pipeline runs before downsampling.
+    """
+    if taps < 2:
+        raise ValueError("a low-pass prototype needs at least two taps")
+    n = np.arange(taps)
+    centre = (taps - 1) / 2.0
+    argument = 2 * cutoff * (n - centre)
+    kernel = np.sinc(argument) * np.hamming(taps)
+    kernel /= np.sum(kernel)
+    return kernel.tolist()

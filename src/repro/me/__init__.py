@@ -1,0 +1,82 @@
+"""Motion estimation: SAD, search algorithms and the systolic array model."""
+
+from repro.me.fast_search import diamond_search, search_by_name, three_step_search
+from repro.me.full_search import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_SEARCH_RANGE,
+    MotionVector,
+    SearchResult,
+    candidate_displacements,
+    full_search,
+    full_search_frame,
+    motion_field,
+)
+from repro.me.mapping import (
+    MappedMEDesign,
+    build_systolic_netlist,
+    map_me_design,
+    map_pe,
+    map_systolic_array,
+)
+from repro.me.pe import ProcessingElement, build_pe_netlist
+from repro.me.sad import (
+    SUPPORTED_BLOCK_SIZES,
+    block_at,
+    mean_absolute_difference,
+    sad,
+    sad_at,
+    sad_bit_width,
+    saturated_sad,
+)
+from repro.me.subpixel import HALF_PEL_OFFSETS, SubPixelResult, half_pel_refine
+from repro.me.systolic import (
+    DEFAULT_MODULE_COUNT,
+    DEFAULT_PES_PER_MODULE,
+    PEModule,
+    SystolicArray,
+    SystolicSearchResult,
+)
+from repro.me.systolic_1d import (
+    Systolic1DArray,
+    ThroughputRequirement,
+    required_frequency,
+)
+
+__all__ = [
+    "diamond_search",
+    "search_by_name",
+    "three_step_search",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_SEARCH_RANGE",
+    "MotionVector",
+    "SearchResult",
+    "candidate_displacements",
+    "full_search",
+    "full_search_frame",
+    "motion_field",
+    "MappedMEDesign",
+    "build_systolic_netlist",
+    "map_me_design",
+    "map_pe",
+    "map_systolic_array",
+    "ProcessingElement",
+    "build_pe_netlist",
+    "SUPPORTED_BLOCK_SIZES",
+    "block_at",
+    "mean_absolute_difference",
+    "sad",
+    "sad_at",
+    "sad_bit_width",
+    "saturated_sad",
+    "DEFAULT_MODULE_COUNT",
+    "DEFAULT_PES_PER_MODULE",
+    "PEModule",
+    "SystolicArray",
+    "SystolicSearchResult",
+    "HALF_PEL_OFFSETS",
+    "SubPixelResult",
+    "half_pel_refine",
+    "Systolic1DArray",
+    "ThroughputRequirement",
+    "required_frequency",
+]

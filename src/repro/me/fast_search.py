@@ -1,0 +1,135 @@
+"""Fast block-matching searches: three-step and diamond search.
+
+The paper's flexibility argument (Sec. 1 and Sec. 5) is that video
+standards keep evolving and that different implementations of the same
+computation trade quality against power and time; the reconfigurable array
+can host any of them and switch at run time.  These two classic
+reduced-search algorithms are the software counterparts used by the
+ablation benchmarks to quantify that trade-off against full search: far
+fewer SAD evaluations, slightly worse matches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.me.full_search import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_SEARCH_RANGE,
+    MotionVector,
+    SearchResult,
+)
+from repro.me.sad import sad_at
+
+
+def _evaluate(current: np.ndarray, reference: np.ndarray, top: int, left: int,
+              dy: int, dx: int, block_size: int,
+              cache: dict) -> int:
+    key = (dy, dx)
+    if key not in cache:
+        cache[key] = sad_at(current, reference, top, left, dy, dx, block_size)
+    return cache[key]
+
+
+def three_step_search(current: np.ndarray, reference: np.ndarray, top: int,
+                      left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                      search_range: int = DEFAULT_SEARCH_RANGE) -> SearchResult:
+    """Classic three-step search (TSS).
+
+    Starts with a step of roughly half the search range, evaluates the
+    centre and its eight neighbours at that step, recentres on the best and
+    halves the step until it reaches one.
+    """
+    cache: dict = {}
+    centre = (0, 0)
+    step = max(1, search_range // 2)
+    best_value = _evaluate(current, reference, top, left, 0, 0, block_size, cache)
+    while True:
+        improved = False
+        for dy in (-step, 0, step):
+            for dx in (-step, 0, step):
+                candidate = (centre[0] + dy, centre[1] + dx)
+                if max(abs(candidate[0]), abs(candidate[1])) > search_range:
+                    continue
+                value = _evaluate(current, reference, top, left,
+                                  candidate[0], candidate[1], block_size, cache)
+                if value < best_value:
+                    best_value = value
+                    centre = candidate
+                    improved = True
+        if step == 1:
+            break
+        step //= 2
+        if not improved and step == 0:
+            break
+    best = MotionVector(centre[0], centre[1], best_value)
+    operations = len(cache) * block_size * block_size
+    return SearchResult(best=best, candidates_evaluated=len(cache),
+                        sad_operations=operations)
+
+
+_LARGE_DIAMOND = [(0, 0), (-2, 0), (2, 0), (0, -2), (0, 2),
+                  (-1, -1), (-1, 1), (1, -1), (1, 1)]
+_SMALL_DIAMOND = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+
+
+def diamond_search(current: np.ndarray, reference: np.ndarray, top: int,
+                   left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                   search_range: int = DEFAULT_SEARCH_RANGE,
+                   max_iterations: int = 32) -> SearchResult:
+    """Diamond search (DS): large diamond until the centre wins, then small."""
+    cache: dict = {}
+    centre = (0, 0)
+    best_value = _evaluate(current, reference, top, left, 0, 0, block_size, cache)
+
+    for _ in range(max_iterations):
+        best_candidate = centre
+        for dy, dx in _LARGE_DIAMOND:
+            candidate = (centre[0] + dy, centre[1] + dx)
+            if max(abs(candidate[0]), abs(candidate[1])) > search_range:
+                continue
+            value = _evaluate(current, reference, top, left,
+                              candidate[0], candidate[1], block_size, cache)
+            if value < best_value:
+                best_value = value
+                best_candidate = candidate
+        if best_candidate == centre:
+            break
+        centre = best_candidate
+
+    for dy, dx in _SMALL_DIAMOND:
+        candidate = (centre[0] + dy, centre[1] + dx)
+        if max(abs(candidate[0]), abs(candidate[1])) > search_range:
+            continue
+        value = _evaluate(current, reference, top, left,
+                          candidate[0], candidate[1], block_size, cache)
+        if value < best_value:
+            best_value = value
+            centre = candidate
+
+    best = MotionVector(centre[0], centre[1], best_value)
+    operations = len(cache) * block_size * block_size
+    return SearchResult(best=best, candidates_evaluated=len(cache),
+                        sad_operations=operations)
+
+
+SEARCH_ALGORITHMS = {
+    "full": None,     # resolved lazily to avoid a circular import at module load
+    "three_step": three_step_search,
+    "diamond": diamond_search,
+}
+
+
+def search_by_name(name: str):
+    """Look a search algorithm up by name ("full", "three_step", "diamond")."""
+    if name == "full":
+        from repro.me.full_search import full_search
+        return full_search
+    try:
+        algorithm = SEARCH_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(f"unknown search algorithm {name!r}; "
+                         f"choose from {sorted(SEARCH_ALGORITHMS)}") from None
+    return algorithm

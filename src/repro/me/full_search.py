@@ -1,0 +1,108 @@
+"""Full-Search Block-Matching (FSBMA) reference implementation (Sec. 4).
+
+Full search evaluates the SAD of every candidate displacement inside the
+search window and returns the motion vector of the minimum.  It is the
+optimal-but-expensive baseline the systolic array of Fig. 11 accelerates;
+the systolic model is validated against this module vector for vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.me.sad import sad_at, saturated_sad
+
+#: Macroblock size used throughout the paper's ME discussion.
+DEFAULT_BLOCK_SIZE = 16
+#: Default search range (candidates from -8 to +7 in each direction, the
+#: classic +-8 window that the 4x16 PE array of Fig. 11 is dimensioned for).
+DEFAULT_SEARCH_RANGE = 8
+
+
+@dataclass(frozen=True)
+class MotionVector:
+    """A displacement (dy, dx) and the SAD of the matching candidate block."""
+
+    dy: int
+    dx: int
+    sad: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """The (dy, dx) pair."""
+        return (self.dy, self.dx)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a block-matching search for one macroblock."""
+
+    best: MotionVector
+    candidates_evaluated: int
+    sad_operations: int
+
+    @property
+    def motion_vector(self) -> Tuple[int, int]:
+        """The winning (dy, dx) displacement."""
+        return self.best.as_tuple()
+
+
+def candidate_displacements(search_range: int,
+                            include_upper: bool = False) -> List[Tuple[int, int]]:
+    """All (dy, dx) candidates of a +-``search_range`` window.
+
+    The hardware window covers ``[-range, range)``; set ``include_upper`` to
+    also evaluate the ``+range`` edge (a 2R+1 x 2R+1 window).
+    """
+    upper = search_range + 1 if include_upper else search_range
+    return [(dy, dx) for dy in range(-search_range, upper)
+            for dx in range(-search_range, upper)]
+
+
+def full_search(current: np.ndarray, reference: np.ndarray, top: int, left: int,
+                block_size: int = DEFAULT_BLOCK_SIZE,
+                search_range: int = DEFAULT_SEARCH_RANGE,
+                include_upper: bool = False) -> SearchResult:
+    """Exhaustive search for the best match of one macroblock.
+
+    Ties are broken in favour of the candidate closest to zero displacement
+    (and then in raster order), which matches both the systolic array's
+    comparator update rule and common encoder practice.
+    """
+    best: Optional[MotionVector] = None
+    operations = 0
+    candidates = candidate_displacements(search_range, include_upper)
+    # Sort so ties resolve toward the smallest displacement.
+    candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
+    for dy, dx in candidates:
+        value = sad_at(current, reference, top, left, dy, dx, block_size)
+        operations += block_size * block_size
+        if best is None or value < best.sad:
+            best = MotionVector(dy, dx, value)
+    assert best is not None
+    return SearchResult(best=best, candidates_evaluated=len(candidates),
+                        sad_operations=operations)
+
+
+def full_search_frame(current: np.ndarray, reference: np.ndarray,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      search_range: int = DEFAULT_SEARCH_RANGE) -> List[List[SearchResult]]:
+    """Full search for every macroblock of a frame (row-major grid)."""
+    current = np.asarray(current)
+    height, width = current.shape
+    results: List[List[SearchResult]] = []
+    for top in range(0, height - block_size + 1, block_size):
+        row: List[SearchResult] = []
+        for left in range(0, width - block_size + 1, block_size):
+            row.append(full_search(current, reference, top, left,
+                                   block_size, search_range))
+        results.append(row)
+    return results
+
+
+def motion_field(results: List[List[SearchResult]]) -> np.ndarray:
+    """Stack the motion vectors of a frame search into an (H, W, 2) array."""
+    return np.array([[list(result.motion_vector) for result in row]
+                     for row in results], dtype=np.int64)

@@ -1,0 +1,118 @@
+"""Mapping of the systolic ME architecture onto the ME array (Figs. 10/11).
+
+Provides the structural netlists of the single PE (Fig. 10) and the full
+4x16-PE systolic engine (Fig. 11) and runs them through the mapping flow on
+the ME fabric of :mod:`repro.arrays.me_array`.  These mapped netlists are
+also the workload for the ME-array-vs-FPGA comparison benchmark (the 75 % /
+45 % / 23 % figures of [1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arrays.me_array import MEArrayGeometry, PIXEL_BITS, SAD_BITS, build_me_array
+from repro.core.clusters import ClusterKind, ClusterUsage
+from repro.core.fabric import Fabric
+from repro.core.mapper import GreedyPlacer, Placement
+from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter, RoutingResult
+from repro.me.pe import build_pe_netlist
+from repro.me.systolic import DEFAULT_MODULE_COUNT, DEFAULT_PES_PER_MODULE
+
+
+def build_systolic_netlist(module_count: int = DEFAULT_MODULE_COUNT,
+                           pes_per_module: int = DEFAULT_PES_PER_MODULE,
+                           name: str = "me_systolic") -> Netlist:
+    """Structural netlist of the Fig. 11 systolic array.
+
+    Each PE contributes its register-mux, absolute-difference and
+    accumulator clusters; the current-pixel shift register runs along each
+    module (modelled by the register-mux chain), the per-module adder tree
+    is folded into the accumulator chain, and one comparator cluster holds
+    the running minimum SAD / motion vector.
+    """
+    netlist = Netlist(name)
+    for module in range(module_count):
+        for pe in range(pes_per_module):
+            prefix = f"m{module}_pe{pe}_"
+            netlist.add_node(prefix + "mux", ClusterKind.REGISTER_MUX,
+                             width_bits=PIXEL_BITS, role="pe_mux")
+            netlist.add_node(prefix + "ad", ClusterKind.ABS_DIFF,
+                             width_bits=PIXEL_BITS, role="pe_ad")
+            netlist.add_node(prefix + "acc", ClusterKind.ADD_ACC,
+                             width_bits=SAD_BITS, role="pe_acc")
+            netlist.connect(prefix + "mux", prefix + "ad", PIXEL_BITS)
+            netlist.connect(prefix + "ad", prefix + "acc", PIXEL_BITS)
+        # Current-pixel shift chain and partial-SAD chain along the module.
+        for pe in range(1, pes_per_module):
+            netlist.connect(f"m{module}_pe{pe - 1}_mux", f"m{module}_pe{pe}_mux",
+                            PIXEL_BITS)
+            netlist.connect(f"m{module}_pe{pe - 1}_acc", f"m{module}_pe{pe}_acc",
+                            SAD_BITS)
+    netlist.add_node("min_comparator", ClusterKind.COMPARATOR,
+                     width_bits=SAD_BITS, role="comparator")
+    for module in range(module_count):
+        netlist.connect(f"m{module}_pe{pes_per_module - 1}_acc", "min_comparator",
+                        SAD_BITS)
+    return netlist
+
+
+@dataclass
+class MappedMEDesign:
+    """The systolic engine (or a single PE) mapped onto the ME array."""
+
+    name: str
+    netlist: Netlist
+    usage: ClusterUsage
+    placement: Optional[Placement]
+    routing: Optional[RoutingResult]
+    metrics: DesignMetrics
+
+
+def map_me_design(netlist: Netlist, fabric: Optional[Fabric] = None,
+                  run_place_and_route: bool = True) -> MappedMEDesign:
+    """Run an ME netlist through the mapping flow on the ME array."""
+    fabric = fabric or build_me_array()
+    placement: Optional[Placement] = None
+    routing: Optional[RoutingResult] = None
+    if run_place_and_route:
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+    metrics = evaluate_design(netlist, fabric, placement, routing)
+    return MappedMEDesign(
+        name=netlist.name,
+        netlist=netlist,
+        usage=netlist.cluster_usage(),
+        placement=placement,
+        routing=routing,
+        metrics=metrics,
+    )
+
+
+def map_pe(fabric: Optional[Fabric] = None) -> MappedMEDesign:
+    """Map a single Fig. 10 PE onto the ME array."""
+    return map_me_design(build_pe_netlist(), fabric)
+
+
+def map_systolic_array(fabric: Optional[Fabric] = None,
+                       module_count: int = DEFAULT_MODULE_COUNT,
+                       pes_per_module: int = DEFAULT_PES_PER_MODULE,
+                       run_place_and_route: bool = True) -> MappedMEDesign:
+    """Map the full Fig. 11 systolic engine onto the ME array.
+
+    The default ME-array geometry is sized for the 64-PE engine; smaller
+    geometries raise :class:`repro.core.exceptions.CapacityError`.
+    """
+    netlist = build_systolic_netlist(module_count, pes_per_module)
+    if fabric is None:
+        fabric = build_me_array(MEArrayGeometry(
+            rows=max(16, pes_per_module),
+            mux_columns=max(4, module_count),
+            abs_diff_columns=max(5, module_count + 1),
+            add_acc_columns=max(6, module_count + 2),
+            comparator_columns=1,
+        ))
+    return map_me_design(netlist, fabric, run_place_and_route)

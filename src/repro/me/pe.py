@@ -1,0 +1,94 @@
+"""Processing Element of the motion-estimation systolic array (Fig. 10).
+
+One PE is assembled from three ME-array clusters:
+
+* a Register-Multiplexer that selects between the broadcast search-area
+  pixel and the delayed copy from its neighbour (this is the
+  "reconfigurable Register-Multiplexer module which helps in reducing the
+  memory bandwidth");
+* an Absolute-Difference cluster computing ``|current - reference|``;
+* an Adder/Accumulator cluster summing the absolute differences into the
+  running SAD of the candidate block.
+
+The PE is modelled directly on the cluster behavioural models so the
+activity counters used by the power model accumulate as the array runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arrays.me_array import PIXEL_BITS, SAD_BITS
+from repro.core.clusters import (
+    AbsDiffCluster,
+    AddAccCluster,
+    ClusterKind,
+    ClusterUsage,
+    RegisterMuxCluster,
+)
+from repro.core.netlist import Netlist
+
+
+class ProcessingElement:
+    """One PE cell: register-mux, absolute difference and SAD accumulator."""
+
+    def __init__(self, pixel_bits: int = PIXEL_BITS, sad_bits: int = SAD_BITS) -> None:
+        self.pixel_bits = pixel_bits
+        self.sad_bits = sad_bits
+        self.reference_mux = RegisterMuxCluster(pixel_bits, registered=True)
+        self.abs_diff = AbsDiffCluster(pixel_bits)
+        self.accumulator = AddAccCluster(sad_bits)
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Clear the SAD accumulator and the pixel register for a new candidate."""
+        self.reference_mux.reset()
+        self.accumulator.clear()
+        self.cycles = 0
+
+    @property
+    def sad(self) -> int:
+        """Running SAD accumulated so far."""
+        return self.accumulator.accumulator
+
+    def cycle(self, current_pixel: int, reference_pixel: int,
+              use_delayed_reference: bool = False) -> int:
+        """Process one pixel pair; returns the updated partial SAD.
+
+        ``use_delayed_reference`` selects the register-mux's delayed copy of
+        the previous cycle's broadcast pixel instead of the live broadcast,
+        which is how neighbouring candidate rows reuse the same memory
+        fetch.
+        """
+        selected = self.reference_mux.step(reference_pixel,
+                                           self.reference_mux.peek(),
+                                           1 if use_delayed_reference else 0)
+        reference = selected if use_delayed_reference else reference_pixel
+        difference = self.abs_diff.absolute_difference(current_pixel, reference)
+        self.cycles += 1
+        return self.accumulator.accumulate(difference)
+
+    def total_toggles(self) -> int:
+        """Aggregate toggle count of the PE's clusters (power-model input)."""
+        return (self.reference_mux.toggles + self.abs_diff.toggles
+                + self.accumulator.toggles)
+
+    @staticmethod
+    def cluster_usage() -> ClusterUsage:
+        """Clusters one PE occupies on the ME array (Fig. 10)."""
+        return ClusterUsage(register_mux=1, abs_diff=1, add_acc=1)
+
+
+def build_pe_netlist(name: str = "me_pe") -> Netlist:
+    """Structural netlist of a single PE (Fig. 10) for the mapping flow."""
+    netlist = Netlist(name)
+    netlist.add_node("reference_mux", ClusterKind.REGISTER_MUX,
+                     width_bits=PIXEL_BITS, role="pe_mux")
+    netlist.add_node("abs_diff", ClusterKind.ABS_DIFF,
+                     width_bits=PIXEL_BITS, role="pe_ad")
+    netlist.add_node("sad_acc", ClusterKind.ADD_ACC,
+                     width_bits=SAD_BITS, role="pe_acc")
+    netlist.connect("reference_mux", "abs_diff", PIXEL_BITS)
+    netlist.connect("abs_diff", "sad_acc", PIXEL_BITS)
+    return netlist

@@ -1,0 +1,76 @@
+"""Sum-of-Absolute-Differences matching criterion (Sec. 4).
+
+The matching criterion supported by the ME array is the SAD:
+
+    SAD_N(dx, dy) = sum_{m,n} | I_k(m, n) - I_{k-1}(m+dx, n+dy) |
+
+where ``I_k`` is the current frame, ``I_{k-1}`` the reference (previous)
+frame and ``N`` the block size (8, 16 or 32).  The functions here operate
+on numpy arrays and are shared by the software reference searches, the
+systolic-array model and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Block sizes the array supports (Sec. 4: "could be 8, 16 or 32").
+SUPPORTED_BLOCK_SIZES = (8, 16, 32)
+
+
+def sad(block_a: np.ndarray, block_b: np.ndarray) -> int:
+    """SAD between two equally-sized pixel blocks."""
+    block_a = np.asarray(block_a, dtype=np.int64)
+    block_b = np.asarray(block_b, dtype=np.int64)
+    if block_a.shape != block_b.shape:
+        raise ValueError(f"block shapes differ: {block_a.shape} vs {block_b.shape}")
+    return int(np.sum(np.abs(block_a - block_b)))
+
+
+def block_at(frame: np.ndarray, top: int, left: int, size: int) -> np.ndarray:
+    """Extract a ``size`` x ``size`` block; raises when it leaves the frame."""
+    frame = np.asarray(frame)
+    height, width = frame.shape
+    if not (0 <= top and top + size <= height and 0 <= left and left + size <= width):
+        raise ValueError(
+            f"block at ({top}, {left}) size {size} outside {height}x{width} frame")
+    return frame[top:top + size, left:left + size]
+
+
+def sad_at(current: np.ndarray, reference: np.ndarray, top: int, left: int,
+           dy: int, dx: int, size: int) -> int:
+    """SAD of the block at (top, left) against the candidate displaced by (dy, dx).
+
+    Candidates that would read outside the reference frame return a
+    saturated SAD (the maximum representable value), matching how the
+    hardware handles frame borders by excluding those candidates.
+    """
+    current_block = block_at(current, top, left, size)
+    height, width = np.asarray(reference).shape
+    ref_top, ref_left = top + dy, left + dx
+    if not (0 <= ref_top and ref_top + size <= height
+            and 0 <= ref_left and ref_left + size <= width):
+        return saturated_sad(size)
+    reference_block = block_at(reference, ref_top, ref_left, size)
+    return sad(current_block, reference_block)
+
+
+def saturated_sad(size: int, pixel_bits: int = 8) -> int:
+    """Largest SAD value a ``size`` x ``size`` comparison can produce."""
+    return size * size * ((1 << pixel_bits) - 1)
+
+
+def sad_bit_width(size: int, pixel_bits: int = 8) -> int:
+    """Accumulator width needed to hold the worst-case SAD without overflow."""
+    return (saturated_sad(size, pixel_bits)).bit_length()
+
+
+def mean_absolute_difference(block_a: np.ndarray, block_b: np.ndarray) -> float:
+    """SAD normalised by the pixel count (useful for quality reporting)."""
+    block_a = np.asarray(block_a)
+    count = block_a.size
+    if count == 0:
+        raise ValueError("empty block")
+    return sad(block_a, block_b) / count

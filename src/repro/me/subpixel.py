@@ -1,0 +1,88 @@
+"""Half-pixel motion-vector refinement.
+
+MPEG-4 and H.263 refine the integer-pel motion vector to half-pel accuracy
+around the best integer candidate; the interpolation is a bilinear average
+of neighbouring reference pixels, which maps onto the ME array's
+Adder/Accumulator clusters (two adds and a shift per interpolated pixel).
+This module provides the refinement step on top of any integer-pel search
+result, plus the cost accounting the search ablation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.me.full_search import DEFAULT_BLOCK_SIZE, MotionVector, SearchResult
+from repro.me.sad import sad
+from repro.video.motion_compensation import predict_block
+
+#: The eight half-pel offsets around the integer-pel winner plus the centre.
+HALF_PEL_OFFSETS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (-0.5, -0.5), (-0.5, 0.0), (-0.5, 0.5),
+    (0.0, -0.5), (0.0, 0.5),
+    (0.5, -0.5), (0.5, 0.0), (0.5, 0.5),
+)
+
+
+@dataclass
+class SubPixelResult:
+    """Outcome of a half-pel refinement."""
+
+    integer_vector: Tuple[int, int]
+    refined_vector: Tuple[float, float]
+    integer_sad: int
+    refined_sad: int
+    candidates_evaluated: int
+    interpolation_operations: int
+
+    @property
+    def improved(self) -> bool:
+        """True when a half-pel candidate beat the integer-pel winner."""
+        return self.refined_sad < self.integer_sad
+
+
+def half_pel_refine(current: np.ndarray, reference: np.ndarray, top: int,
+                    left: int, integer_result: SearchResult,
+                    block_size: int = DEFAULT_BLOCK_SIZE) -> SubPixelResult:
+    """Refine an integer-pel search result to half-pel accuracy.
+
+    Candidates whose interpolation window would leave the reference frame
+    are skipped, mirroring how the hardware excludes border candidates.
+    """
+    current = np.asarray(current, dtype=np.int64)
+    reference = np.asarray(reference, dtype=np.float64)
+    current_block = current[top:top + block_size, left:left + block_size]
+    base_dy, base_dx = integer_result.best.dy, integer_result.best.dx
+
+    best_vector: Tuple[float, float] = (float(base_dy), float(base_dx))
+    best_sad = integer_result.best.sad
+    evaluated = 0
+    interpolation_ops = 0
+
+    for offset_y, offset_x in HALF_PEL_OFFSETS:
+        vector = (base_dy + offset_y, base_dx + offset_x)
+        try:
+            prediction = predict_block(reference, top, left, vector, block_size)
+        except ValueError:
+            continue
+        evaluated += 1
+        if offset_y or offset_x:
+            # Bilinear interpolation costs up to three adds per pixel.
+            interpolation_ops += 3 * block_size * block_size
+        candidate_sad = sad(current_block, np.rint(prediction).astype(np.int64))
+        if candidate_sad < best_sad:
+            best_sad = candidate_sad
+            best_vector = vector
+
+    return SubPixelResult(
+        integer_vector=(base_dy, base_dx),
+        refined_vector=best_vector,
+        integer_sad=integer_result.best.sad,
+        refined_sad=best_sad,
+        candidates_evaluated=evaluated,
+        interpolation_operations=interpolation_ops,
+    )

@@ -1,0 +1,221 @@
+"""Low-power 2-D systolic array for full-search motion estimation (Fig. 11).
+
+The array is organised as 4 PE modules of 16 PEs each (64 PEs).  Search
+area pixels are broadcast to all PEs of a module while the current
+macroblock pixels are shifted through a register array; each PE module is
+responsible for one candidate block at a time, so four candidates are
+matched concurrently and "the first round of SAD calculations would take
+16 clock cycles" — one cycle per macroblock row, with the 16 PEs of a
+module covering the 16 columns.
+
+The model is cycle-based: every clock cycle each active module feeds one
+row of the current block and the corresponding row of its candidate to its
+16 PEs.  A comparator cluster tracks the minimum SAD and its displacement,
+producing exactly the same motion vectors as the full-search reference in
+:mod:`repro.me.full_search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clusters import ComparatorCluster
+from repro.core.exceptions import ConfigurationError
+from repro.me.full_search import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_SEARCH_RANGE,
+    MotionVector,
+    SearchResult,
+    candidate_displacements,
+)
+from repro.me.pe import ProcessingElement
+from repro.me.sad import saturated_sad
+
+#: Geometry of Fig. 11: 4 PE modules of 16 PEs (64 PEs total).
+DEFAULT_MODULE_COUNT = 4
+DEFAULT_PES_PER_MODULE = 16
+
+
+@dataclass
+class SystolicSearchResult(SearchResult):
+    """Full-search result plus the systolic array's cycle accounting."""
+
+    cycles: int = 0
+    rounds: int = 0
+    first_sad_cycle: int = 0
+    reference_pixel_fetches: int = 0
+    broadcast_pixel_fetches: int = 0
+
+    @property
+    def memory_bandwidth_reduction(self) -> float:
+        """Fraction of reference-pixel fetches saved by broadcasting.
+
+        Without the broadcast / register-mux network every PE module would
+        fetch its candidate rows independently; the broadcast feeds all
+        modules whose candidates overlap from one fetch.
+        """
+        if self.reference_pixel_fetches == 0:
+            return 0.0
+        return 1.0 - self.broadcast_pixel_fetches / self.reference_pixel_fetches
+
+
+class PEModule:
+    """One row of PEs computing the SAD of a single candidate block."""
+
+    def __init__(self, pe_count: int = DEFAULT_PES_PER_MODULE) -> None:
+        if pe_count <= 0:
+            raise ConfigurationError("a PE module needs at least one PE")
+        self.pe_count = pe_count
+        self.pes = [ProcessingElement() for _ in range(pe_count)]
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Prepare the module for a new candidate block."""
+        for pe in self.pes:
+            pe.reset()
+        self.cycles = 0
+
+    def feed_row(self, current_row: Sequence[int], reference_row: Sequence[int]) -> None:
+        """One clock cycle: one row of current and candidate pixels.
+
+        Rows narrower than the module (an 8x8 block on a 16-PE module) use
+        the first PEs and leave the rest idle for that cycle.
+        """
+        if len(current_row) != len(reference_row):
+            raise ConfigurationError("current and reference rows differ in length")
+        if len(current_row) > self.pe_count:
+            raise ConfigurationError("row wider than the PE module")
+        for pe, cur, ref in zip(self.pes, current_row, reference_row):
+            pe.cycle(int(cur), int(ref))
+        self.cycles += 1
+
+    @property
+    def sad(self) -> int:
+        """Sum of the per-PE accumulators (the module's adder tree output)."""
+        return sum(pe.sad for pe in self.pes)
+
+    def total_toggles(self) -> int:
+        """Aggregate cluster toggles of the module (power-model input)."""
+        return sum(pe.total_toggles() for pe in self.pes)
+
+
+class SystolicArray:
+    """The 4x16 PE array of Fig. 11 plus its comparator and control."""
+
+    def __init__(self, module_count: int = DEFAULT_MODULE_COUNT,
+                 pes_per_module: int = DEFAULT_PES_PER_MODULE) -> None:
+        if module_count <= 0:
+            raise ConfigurationError("the array needs at least one PE module")
+        self.module_count = module_count
+        self.pes_per_module = pes_per_module
+        self.modules = [PEModule(pes_per_module) for _ in range(module_count)]
+        self.comparator = ComparatorCluster(width_bits=24, track_minimum=True)
+        self.total_cycles = 0
+
+    @property
+    def pe_count(self) -> int:
+        """Total number of PEs in the array."""
+        return self.module_count * self.pes_per_module
+
+    def search(self, current: np.ndarray, reference: np.ndarray, top: int,
+               left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+               search_range: int = DEFAULT_SEARCH_RANGE,
+               include_upper: bool = False) -> SystolicSearchResult:
+        """Full-search one macroblock on the systolic array.
+
+        The candidate schedule and tie-breaking match
+        :func:`repro.me.full_search.full_search`, so the returned motion
+        vector and SAD are identical to the software reference; what the
+        systolic model adds is the cycle count, the first-SAD latency and
+        the memory-traffic accounting.
+        """
+        if block_size % self.pes_per_module and self.pes_per_module % block_size:
+            raise ConfigurationError(
+                f"block size {block_size} does not tile onto {self.pes_per_module} PEs")
+        current = np.asarray(current, dtype=np.int64)
+        reference = np.asarray(reference, dtype=np.int64)
+        height, width = reference.shape
+        current_block = current[top:top + block_size, left:left + block_size]
+        if current_block.shape != (block_size, block_size):
+            raise ConfigurationError("macroblock outside the current frame")
+
+        candidates = candidate_displacements(search_range, include_upper)
+        candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
+
+        self.comparator.reset()
+        cycles = 0
+        rounds = 0
+        first_sad_cycle = 0
+        reference_fetches = 0
+        broadcast_fetches = 0
+        max_sad = saturated_sad(block_size)
+
+        columns_per_pass = min(block_size, self.pes_per_module)
+        column_passes = -(-block_size // columns_per_pass)
+
+        for round_start in range(0, len(candidates), self.module_count):
+            round_candidates = candidates[round_start:round_start + self.module_count]
+            rounds += 1
+            for module in self.modules[:len(round_candidates)]:
+                module.reset()
+
+            valid: List[bool] = []
+            for (dy, dx) in round_candidates:
+                ref_top, ref_left = top + dy, left + dx
+                valid.append(0 <= ref_top and ref_top + block_size <= height
+                             and 0 <= ref_left and ref_left + block_size <= width)
+
+            for column_pass in range(column_passes):
+                col0 = column_pass * columns_per_pass
+                col1 = min(block_size, col0 + columns_per_pass)
+                for row in range(block_size):
+                    current_row = current_block[row, col0:col1]
+                    for index, (dy, dx) in enumerate(round_candidates):
+                        if not valid[index]:
+                            continue
+                        ref_top = top + dy + row
+                        ref_left = left + dx + col0
+                        reference_row = reference[ref_top, ref_left:ref_left + (col1 - col0)]
+                        self.modules[index].feed_row(current_row, reference_row)
+                        reference_fetches += col1 - col0
+                    cycles += 1
+                    if first_sad_cycle == 0 and row == block_size - 1 \
+                            and column_pass == column_passes - 1:
+                        first_sad_cycle = cycles
+
+            for index, (dy, dx) in enumerate(round_candidates):
+                value = self.modules[index].sad if valid[index] else max_sad
+                self.comparator.update(value, tag=round_start + index)
+
+        # The broadcast / register-mux network streams each pixel of the
+        # (clipped) search window into the array exactly once per macroblock;
+        # without it every candidate would fetch its full block from memory.
+        upper = search_range + (1 if include_upper else 0)
+        window_top = max(0, top - search_range)
+        window_bottom = min(height, top + upper - 1 + block_size)
+        window_left = max(0, left - search_range)
+        window_right = min(width, left + upper - 1 + block_size)
+        broadcast_fetches = max(0, window_bottom - window_top) * max(
+            0, window_right - window_left)
+
+        best_index = self.comparator.best_tag
+        best_dy, best_dx = candidates[best_index]
+        best = MotionVector(best_dy, best_dx, int(self.comparator.best_value))
+        self.total_cycles += cycles
+        return SystolicSearchResult(
+            best=best,
+            candidates_evaluated=len(candidates),
+            sad_operations=len(candidates) * block_size * block_size,
+            cycles=cycles,
+            rounds=rounds,
+            first_sad_cycle=first_sad_cycle,
+            reference_pixel_fetches=reference_fetches,
+            broadcast_pixel_fetches=broadcast_fetches,
+        )
+
+    def total_toggles(self) -> int:
+        """Aggregate toggles across every PE module (power-model input)."""
+        return sum(module.total_toggles() for module in self.modules)

@@ -1,0 +1,138 @@
+"""1-D systolic array baseline for full-search block matching.
+
+Sec. 4 of the paper: "The 1-D array architectures proposed among which are
+[12]-[14] require high operating frequencies in order to fulfill the
+data-flow requirements of these demanding complex algorithms for ME."
+To make that motivation measurable, this module models a classic 1-D
+array of ``N`` PEs (one per block row): candidates are processed one at a
+time, each taking ``N`` cycles, so the whole search window costs
+``candidates x N`` cycles — versus ``candidates / 4 x N`` on the 4-module
+2-D array of Fig. 11.  Meeting the same frame rate therefore requires a
+proportionally higher clock frequency, which is exactly the comparison the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.clusters import ComparatorCluster
+from repro.core.exceptions import ConfigurationError
+from repro.me.full_search import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_SEARCH_RANGE,
+    MotionVector,
+    SearchResult,
+    candidate_displacements,
+)
+from repro.me.sad import saturated_sad
+from repro.me.systolic import PEModule, SystolicSearchResult
+
+
+class Systolic1DArray:
+    """A single row of PEs matching one candidate block at a time."""
+
+    def __init__(self, pe_count: int = 16) -> None:
+        if pe_count <= 0:
+            raise ConfigurationError("the 1-D array needs at least one PE")
+        self.pe_count = pe_count
+        self.module = PEModule(pe_count)
+        self.comparator = ComparatorCluster(width_bits=24, track_minimum=True)
+        self.total_cycles = 0
+
+    @property
+    def pe_total(self) -> int:
+        """Total PEs (for area comparison with the 2-D array)."""
+        return self.pe_count
+
+    def search(self, current: np.ndarray, reference: np.ndarray, top: int,
+               left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+               search_range: int = DEFAULT_SEARCH_RANGE,
+               include_upper: bool = False) -> SystolicSearchResult:
+        """Full search of one macroblock, one candidate per pass."""
+        if block_size > self.pe_count and block_size % self.pe_count:
+            raise ConfigurationError(
+                f"block size {block_size} does not tile onto {self.pe_count} PEs")
+        current = np.asarray(current, dtype=np.int64)
+        reference = np.asarray(reference, dtype=np.int64)
+        height, width = reference.shape
+        current_block = current[top:top + block_size, left:left + block_size]
+        if current_block.shape != (block_size, block_size):
+            raise ConfigurationError("macroblock outside the current frame")
+
+        candidates = candidate_displacements(search_range, include_upper)
+        candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
+
+        self.comparator.reset()
+        cycles = 0
+        first_sad_cycle = 0
+        max_sad = saturated_sad(block_size)
+        columns_per_pass = min(block_size, self.pe_count)
+        column_passes = -(-block_size // columns_per_pass)
+
+        for index, (dy, dx) in enumerate(candidates):
+            self.module.reset()
+            ref_top, ref_left = top + dy, left + dx
+            valid = (0 <= ref_top and ref_top + block_size <= height
+                     and 0 <= ref_left and ref_left + block_size <= width)
+            if valid:
+                for column_pass in range(column_passes):
+                    col0 = column_pass * columns_per_pass
+                    col1 = min(block_size, col0 + columns_per_pass)
+                    for row in range(block_size):
+                        self.module.feed_row(
+                            current_block[row, col0:col1],
+                            reference[ref_top + row, ref_left + col0:ref_left + col1])
+                        cycles += 1
+            else:
+                cycles += block_size * column_passes
+            if first_sad_cycle == 0:
+                first_sad_cycle = cycles
+            self.comparator.update(self.module.sad if valid else max_sad, tag=index)
+
+        best_index = self.comparator.best_tag
+        best_dy, best_dx = candidates[best_index]
+        best = MotionVector(best_dy, best_dx, int(self.comparator.best_value))
+        self.total_cycles += cycles
+        return SystolicSearchResult(
+            best=best,
+            candidates_evaluated=len(candidates),
+            sad_operations=len(candidates) * block_size * block_size,
+            cycles=cycles,
+            rounds=len(candidates),
+            first_sad_cycle=first_sad_cycle,
+            reference_pixel_fetches=len(candidates) * block_size * block_size,
+            broadcast_pixel_fetches=(min(height, top + search_range + block_size)
+                                     - max(0, top - search_range))
+                                    * (min(width, left + search_range + block_size)
+                                       - max(0, left - search_range)),
+        )
+
+
+@dataclass
+class ThroughputRequirement:
+    """Clock frequency needed to sustain a real-time encoding workload."""
+
+    architecture: str
+    cycles_per_macroblock: int
+    macroblocks_per_second: float
+
+    @property
+    def required_frequency_hz(self) -> float:
+        """Clock frequency needed to keep up with the workload."""
+        return self.cycles_per_macroblock * self.macroblocks_per_second
+
+
+def required_frequency(cycles_per_macroblock: int, frame_width: int = 176,
+                       frame_height: int = 144, frames_per_second: float = 30.0,
+                       architecture: str = "") -> ThroughputRequirement:
+    """Clock requirement for real-time QCIF encoding with the given cycle cost."""
+    macroblocks = (frame_width // 16) * (frame_height // 16)
+    return ThroughputRequirement(
+        architecture=architecture,
+        cycles_per_macroblock=cycles_per_macroblock,
+        macroblocks_per_second=macroblocks * frames_per_second,
+    )

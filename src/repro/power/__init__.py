@@ -1,0 +1,39 @@
+"""Switching-activity and power/area/timing comparison models."""
+
+from repro.power.activity import (
+    block_activity,
+    cluster_activity,
+    combined_activity,
+    stream_activity,
+    toggle_count,
+)
+from repro.power.models import (
+    DA_ARRAY_CALIBRATION,
+    ME_ARRAY_CALIBRATION,
+    UNCALIBRATED,
+    ArchitectureComparison,
+    ArrayCalibration,
+    DomainSpecificCost,
+    calibration_for,
+    compare_to_fpga,
+    domain_specific_cost,
+    power_per_block,
+)
+
+__all__ = [
+    "block_activity",
+    "cluster_activity",
+    "combined_activity",
+    "stream_activity",
+    "toggle_count",
+    "DA_ARRAY_CALIBRATION",
+    "ME_ARRAY_CALIBRATION",
+    "UNCALIBRATED",
+    "ArchitectureComparison",
+    "ArrayCalibration",
+    "DomainSpecificCost",
+    "calibration_for",
+    "compare_to_fpga",
+    "domain_specific_cost",
+    "power_per_block",
+]

@@ -1,0 +1,76 @@
+"""Switching-activity estimation.
+
+The paper notes (Sec. 3.6) that the DCT implementations "can have
+different power consumption due to the different area usage and different
+signal activities in the design".  Power in CMOS is dominated by dynamic
+switching, so the power model needs an activity figure: the average
+probability that a signal bit toggles from one cycle to the next.
+
+Two sources of activity are supported:
+
+* **data-driven** — :func:`stream_activity` measures bit-level toggle
+  rates of an actual data stream (e.g. the pixel samples or DCT inputs a
+  workload produces), which is what makes the implementation comparison
+  workload-dependent;
+* **measured** — the cluster behavioural models count output toggles while
+  simulating; :func:`cluster_activity` converts those counters into an
+  activity factor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def toggle_count(previous: int, current: int) -> int:
+    """Number of bit positions that differ between two integer samples."""
+    return bin((int(previous) ^ int(current)) & ((1 << 64) - 1)).count("1")
+
+
+def stream_activity(samples: Sequence[int], width_bits: int) -> float:
+    """Average per-bit toggle probability of an integer sample stream.
+
+    Parameters
+    ----------
+    samples:
+        Successive word values carried by a bus (e.g. the pixel stream fed
+        to the ME array, or the serialised DCT input bits).
+    width_bits:
+        Bus width; toggles are normalised per bit per transition.
+
+    Returns
+    -------
+    float
+        Activity in ``[0, 1]``: 0 for a constant stream, 1 when every bit
+        toggles on every sample.
+    """
+    if width_bits <= 0:
+        raise ValueError("width_bits must be positive")
+    values = [int(sample) & ((1 << width_bits) - 1) for sample in samples]
+    if len(values) < 2:
+        return 0.0
+    toggles = sum(toggle_count(a, b) for a, b in zip(values, values[1:]))
+    return toggles / ((len(values) - 1) * width_bits)
+
+
+def block_activity(block: np.ndarray, width_bits: int = 8) -> float:
+    """Activity of streaming a 2-D pixel block in raster order."""
+    flattened = np.asarray(block).astype(np.int64).ravel()
+    return stream_activity(flattened.tolist(), width_bits)
+
+
+def cluster_activity(toggles: int, cycles: int, width_bits: int) -> float:
+    """Activity factor from a cluster's toggle / cycle counters."""
+    if cycles <= 0 or width_bits <= 0:
+        return 0.0
+    return min(1.0, toggles / (cycles * width_bits))
+
+
+def combined_activity(activities: Iterable[float]) -> float:
+    """Mean of several activity figures, ignoring empty input."""
+    values = list(activities)
+    if not values:
+        return 0.0
+    return float(np.mean(values))

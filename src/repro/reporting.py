@@ -1,0 +1,55 @@
+"""Plain-text table formatting shared by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] = (),
+                 title: str = "") -> str:
+    """Render a list of dictionaries as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per table row.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        return title
+    columns = list(columns) or list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(line[i]) for line in body))
+              for i in range(len(columns))]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_comparison(name: str, paper: Dict[str, float],
+                      measured: Dict[str, float]) -> str:
+    """Side-by-side paper-vs-measured listing for EXPERIMENTS.md style output."""
+    lines = [name]
+    keys = sorted(set(paper) | set(measured))
+    for key in keys:
+        paper_value = paper.get(key, float("nan"))
+        measured_value = measured.get(key, float("nan"))
+        lines.append(f"  {key:35s} paper={paper_value!s:>10}  measured={measured_value!s:>10}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Video substrate: synthetic sequences, block utilities, encoder, metrics."""
+
+from repro.video.blocks import (
+    MACROBLOCK_SIZE,
+    TRANSFORM_BLOCK_SIZE,
+    assemble_blocks,
+    iterate_blocks,
+    macroblock_positions,
+    merge_transform_blocks,
+    pad_frame,
+    split_macroblock_into_transform_blocks,
+)
+from repro.video.codec import (
+    EncoderConfiguration,
+    FrameStatistics,
+    MacroblockRecord,
+    VideoEncoder,
+)
+from repro.video.decoder import VideoDecoder
+from repro.video.entropy import (
+    estimate_block_bits,
+    estimate_macroblock_bits,
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    zigzag_scan,
+)
+from repro.video.motion_compensation import (
+    compensate_frame,
+    predict_block,
+    residual_frame,
+)
+from repro.video.frames import (
+    PIXEL_MAX,
+    QCIF_HEIGHT,
+    QCIF_WIDTH,
+    MovingObject,
+    SyntheticSequence,
+    moving_square_sequence,
+    panning_sequence,
+)
+from repro.video.metrics import mse, psnr, residual_energy
+
+__all__ = [
+    "MACROBLOCK_SIZE",
+    "TRANSFORM_BLOCK_SIZE",
+    "assemble_blocks",
+    "iterate_blocks",
+    "macroblock_positions",
+    "merge_transform_blocks",
+    "pad_frame",
+    "split_macroblock_into_transform_blocks",
+    "EncoderConfiguration",
+    "FrameStatistics",
+    "MacroblockRecord",
+    "VideoEncoder",
+    "VideoDecoder",
+    "estimate_block_bits",
+    "estimate_macroblock_bits",
+    "inverse_zigzag",
+    "run_length_decode",
+    "run_length_encode",
+    "zigzag_scan",
+    "compensate_frame",
+    "predict_block",
+    "residual_frame",
+    "PIXEL_MAX",
+    "QCIF_HEIGHT",
+    "QCIF_WIDTH",
+    "MovingObject",
+    "SyntheticSequence",
+    "moving_square_sequence",
+    "panning_sequence",
+    "mse",
+    "psnr",
+    "residual_energy",
+]

@@ -1,0 +1,74 @@
+"""Macroblock and 8x8-block utilities shared by the encoder and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+#: Macroblock size of MPEG-4 / H.263 luminance.
+MACROBLOCK_SIZE = 16
+#: Transform block size (the 8-point DCT operates on 8x8 blocks).
+TRANSFORM_BLOCK_SIZE = 8
+
+
+def pad_frame(frame: np.ndarray, block_size: int = MACROBLOCK_SIZE) -> np.ndarray:
+    """Pad a frame on the bottom/right so both dimensions tile exactly.
+
+    Padding replicates the edge pixels, which is what encoders do so the
+    extra area neither rings after the DCT nor attracts the motion search.
+    """
+    frame = np.asarray(frame)
+    height, width = frame.shape
+    pad_bottom = (-height) % block_size
+    pad_right = (-width) % block_size
+    if pad_bottom == 0 and pad_right == 0:
+        return frame
+    return np.pad(frame, ((0, pad_bottom), (0, pad_right)), mode="edge")
+
+
+def macroblock_positions(frame: np.ndarray,
+                         block_size: int = MACROBLOCK_SIZE) -> List[Tuple[int, int]]:
+    """Top-left corners of every complete block in raster order."""
+    frame = np.asarray(frame)
+    height, width = frame.shape
+    return [(top, left)
+            for top in range(0, height - block_size + 1, block_size)
+            for left in range(0, width - block_size + 1, block_size)]
+
+
+def iterate_blocks(frame: np.ndarray,
+                   block_size: int = TRANSFORM_BLOCK_SIZE) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Yield (top, left, block) for every complete block in raster order."""
+    frame = np.asarray(frame)
+    for top, left in macroblock_positions(frame, block_size):
+        yield top, left, frame[top:top + block_size, left:left + block_size]
+
+
+def assemble_blocks(blocks: List[Tuple[int, int, np.ndarray]],
+                    height: int, width: int) -> np.ndarray:
+    """Rebuild a frame from (top, left, block) tuples."""
+    frame = np.zeros((height, width), dtype=np.float64)
+    for top, left, block in blocks:
+        block = np.asarray(block)
+        frame[top:top + block.shape[0], left:left + block.shape[1]] = block
+    return frame
+
+
+def split_macroblock_into_transform_blocks(macroblock: np.ndarray) -> List[np.ndarray]:
+    """The four 8x8 luminance blocks of one 16x16 macroblock, raster order."""
+    macroblock = np.asarray(macroblock)
+    if macroblock.shape != (MACROBLOCK_SIZE, MACROBLOCK_SIZE):
+        raise ValueError(f"expected a {MACROBLOCK_SIZE}x{MACROBLOCK_SIZE} macroblock")
+    half = TRANSFORM_BLOCK_SIZE
+    return [macroblock[0:half, 0:half], macroblock[0:half, half:],
+            macroblock[half:, 0:half], macroblock[half:, half:]]
+
+
+def merge_transform_blocks(blocks: List[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`split_macroblock_into_transform_blocks`."""
+    if len(blocks) != 4:
+        raise ValueError("a macroblock is built from exactly four 8x8 blocks")
+    top = np.hstack([blocks[0], blocks[1]])
+    bottom = np.hstack([blocks[2], blocks[3]])
+    return np.vstack([top, bottom])

@@ -1,0 +1,101 @@
+"""Decoder: reconstructs frames from the encoder's macroblock records.
+
+The encoder of :mod:`repro.video.codec` keeps, per macroblock, exactly what
+a bitstream would carry — the coding mode, the motion vector and the four
+quantised coefficient blocks.  This decoder consumes those records and
+rebuilds the frames, by default with the same inverse DCT the encoder's
+reconstruction loop uses, or with one of the DA-array IDCT mappings from
+:mod:`repro.dct.idct` so the decode path can also be exercised on the
+reconfigurable fabric.
+
+Because the encoder uses its own reconstruction as the prediction
+reference, decoding its records must reproduce those reconstructed frames
+bit for bit (up to the rounding/clipping both sides share) — which is what
+the round-trip tests check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dct.quantization import dequantise
+from repro.dct.reference import idct_2d
+from repro.video.blocks import MACROBLOCK_SIZE, merge_transform_blocks
+from repro.video.codec import FrameStatistics
+from repro.video.motion_compensation import predict_block
+
+
+class VideoDecoder:
+    """Reconstruct frames from :class:`repro.video.codec.FrameStatistics`.
+
+    Parameters
+    ----------
+    idct:
+        Optional object with an ``inverse_2d(levels)`` method (e.g.
+        :class:`repro.dct.idct.DistributedArithmeticIDCT`); defaults to the
+        floating-point reference inverse transform.
+    """
+
+    def __init__(self, idct: Optional[object] = None) -> None:
+        self._idct = idct
+        self._reference_frame: Optional[np.ndarray] = None
+
+    def _inverse_transform(self, coefficients: np.ndarray) -> np.ndarray:
+        if self._idct is None:
+            return idct_2d(coefficients)
+        return self._idct.inverse_2d(coefficients)
+
+    def _decode_macroblock_texture(self, record, qp: int) -> np.ndarray:
+        """Dequantise and inverse-transform the four 8x8 blocks of one macroblock."""
+        pieces = []
+        for levels in record.level_blocks:
+            coefficients = dequantise(np.asarray(levels), qp)
+            pieces.append(self._inverse_transform(coefficients))
+        return merge_transform_blocks(pieces)
+
+    def decode_frame(self, statistics: FrameStatistics,
+                     frame_shape: Optional[tuple] = None) -> np.ndarray:
+        """Decode one frame from its encoder record.
+
+        ``frame_shape`` is only needed for the first (intra) frame when it
+        cannot be inferred from an existing reference frame.
+        """
+        if not statistics.macroblocks:
+            raise ValueError("frame record contains no macroblocks")
+        if self._reference_frame is not None:
+            height, width = self._reference_frame.shape
+        elif frame_shape is not None:
+            height, width = frame_shape
+        else:
+            height = max(mb.top for mb in statistics.macroblocks) + MACROBLOCK_SIZE
+            width = max(mb.left for mb in statistics.macroblocks) + MACROBLOCK_SIZE
+
+        frame = np.zeros((height, width), dtype=np.float64)
+        for record in statistics.macroblocks:
+            texture = self._decode_macroblock_texture(record, statistics.qp)
+            if record.mode == "inter":
+                if self._reference_frame is None:
+                    raise ValueError("inter macroblock before any reference frame")
+                prediction = predict_block(self._reference_frame, record.top,
+                                           record.left, record.motion_vector)
+                block = prediction + texture
+            else:
+                block = texture
+            frame[record.top:record.top + MACROBLOCK_SIZE,
+                  record.left:record.left + MACROBLOCK_SIZE] = block
+
+        frame = np.clip(np.rint(frame), 0, 255)
+        self._reference_frame = frame.astype(np.int64)
+        return self._reference_frame
+
+    def decode_sequence(self, records: List[FrameStatistics],
+                        frame_shape: Optional[tuple] = None) -> List[np.ndarray]:
+        """Decode a list of frame records in order."""
+        return [self.decode_frame(record, frame_shape) for record in records]
+
+    @property
+    def reference_frame(self) -> Optional[np.ndarray]:
+        """The most recently decoded frame."""
+        return self._reference_frame

@@ -1,0 +1,33 @@
+"""Video quality metrics used by the encoder example and the ablations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.video.frames import PIXEL_MAX
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two frames."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(f"frame shapes differ: {original.shape} vs {reconstructed.shape}")
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray,
+         peak: int = PIXEL_MAX) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical frames)."""
+    error = mse(original, reconstructed)
+    if error == 0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / error)
+
+
+def residual_energy(residual: np.ndarray) -> float:
+    """Sum of squared residual samples (prediction quality indicator)."""
+    residual = np.asarray(residual, dtype=np.float64)
+    return float(np.sum(residual ** 2))

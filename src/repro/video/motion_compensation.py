@@ -1,0 +1,92 @@
+"""Motion compensation: building the predicted frame from a motion field.
+
+The decoder (and the encoder's reconstruction loop) forms the prediction
+of each inter-coded macroblock by copying the block the motion vector
+points at in the reference frame; half-pixel vectors interpolate
+bilinearly, as MPEG-4 / H.263 do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.video.blocks import MACROBLOCK_SIZE
+
+
+def predict_block(reference: np.ndarray, top: int, left: int,
+                  motion_vector: Tuple[float, float],
+                  block_size: int = MACROBLOCK_SIZE) -> np.ndarray:
+    """Prediction of one block displaced by an integer or half-pel vector.
+
+    Parameters
+    ----------
+    reference:
+        The reference (previous reconstructed) frame.
+    top, left:
+        Position of the block being predicted in the *current* frame.
+    motion_vector:
+        (dy, dx) displacement into the reference frame; halves are allowed
+        and trigger bilinear interpolation.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    height, width = reference.shape
+    dy, dx = float(motion_vector[0]), float(motion_vector[1])
+    base_top, base_left = top + int(np.floor(dy)), left + int(np.floor(dx))
+    frac_y, frac_x = dy - np.floor(dy), dx - np.floor(dx)
+
+    needed_rows = block_size + (1 if frac_y else 0)
+    needed_cols = block_size + (1 if frac_x else 0)
+    if not (0 <= base_top and base_top + needed_rows <= height
+            and 0 <= base_left and base_left + needed_cols <= width):
+        raise ValueError(
+            f"prediction block at ({top}, {left}) with vector {motion_vector} "
+            f"reads outside the {height}x{width} reference frame")
+
+    window = reference[base_top:base_top + needed_rows,
+                       base_left:base_left + needed_cols]
+    if frac_y == 0 and frac_x == 0:
+        return window[:block_size, :block_size].copy()
+
+    top_left = window[:block_size, :block_size]
+    top_right = window[:block_size, 1:block_size + 1] if frac_x else top_left
+    bottom_left = window[1:block_size + 1, :block_size] if frac_y else top_left
+    bottom_right = (window[1:block_size + 1, 1:block_size + 1]
+                    if (frac_x and frac_y) else (bottom_left if frac_y else top_right))
+    interpolated = ((1 - frac_y) * (1 - frac_x) * top_left
+                    + (1 - frac_y) * frac_x * top_right
+                    + frac_y * (1 - frac_x) * bottom_left
+                    + frac_y * frac_x * bottom_right)
+    return interpolated
+
+
+def compensate_frame(reference: np.ndarray,
+                     motion_field: np.ndarray,
+                     block_size: int = MACROBLOCK_SIZE) -> np.ndarray:
+    """Predict a whole frame from a per-macroblock motion field.
+
+    ``motion_field`` has shape (rows, cols, 2) with one (dy, dx) per
+    macroblock in raster order, as produced by
+    :func:`repro.me.full_search.motion_field`.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    motion_field = np.asarray(motion_field)
+    rows, cols = motion_field.shape[:2]
+    predicted = np.zeros((rows * block_size, cols * block_size), dtype=np.float64)
+    for row in range(rows):
+        for col in range(cols):
+            top, left = row * block_size, col * block_size
+            vector = tuple(motion_field[row, col])
+            predicted[top:top + block_size, left:left + block_size] = predict_block(
+                reference, top, left, vector, block_size)
+    return predicted
+
+
+def residual_frame(current: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+    """Prediction residual (what the DCT path actually codes for P frames)."""
+    current = np.asarray(current, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if current.shape != predicted.shape:
+        raise ValueError("current and predicted frame shapes differ")
+    return current - predicted

@@ -1,0 +1,52 @@
+"""Tests of the DA/DCT array definition (Fig. 3)."""
+
+import pytest
+
+from repro.arrays.da_array import (
+    ADD_SHIFT_BITS,
+    DAArrayGeometry,
+    MEMORY_DEPTH_WORDS,
+    MEMORY_WORD_BITS,
+    build_da_array,
+)
+from repro.core.clusters import ClusterKind
+from repro.dct.mapping import PAPER_TABLE1
+
+
+class TestGeometry:
+    def test_capacity_matches_band_sizes(self):
+        geometry = DAArrayGeometry(rows=5, add_shift_columns=4, memory_columns=2)
+        capacity = geometry.capacity()
+        assert capacity[ClusterKind.ADD_SHIFT] == 20
+        assert capacity[ClusterKind.MEMORY] == 10
+
+    def test_cols_sum_bands(self):
+        geometry = DAArrayGeometry(rows=5, add_shift_columns=4, memory_columns=2)
+        assert geometry.cols == 6
+
+
+class TestFabric:
+    def test_default_array_fits_every_table1_implementation(self):
+        capacity = build_da_array().capacity()
+        for row in PAPER_TABLE1.values():
+            assert capacity[ClusterKind.ADD_SHIFT] >= row["add_shift_total"]
+            assert capacity[ClusterKind.MEMORY] >= row["memory_clusters"]
+
+    def test_memory_cluster_geometry(self):
+        fabric = build_da_array()
+        memory_site = fabric.sites_of_kind(ClusterKind.MEMORY)[0]
+        assert memory_site.spec.width_bits == MEMORY_WORD_BITS
+        assert memory_site.spec.depth_words == MEMORY_DEPTH_WORDS
+
+    def test_add_shift_width(self):
+        fabric = build_da_array()
+        site = fabric.sites_of_kind(ClusterKind.ADD_SHIFT)[0]
+        assert site.spec.width_bits == ADD_SHIFT_BITS
+
+    def test_every_site_is_populated(self):
+        fabric = build_da_array()
+        assert fabric.total_cluster_sites() == fabric.rows * fabric.cols
+
+    def test_only_da_cluster_kinds_present(self):
+        capacity = build_da_array().capacity()
+        assert set(capacity) == {ClusterKind.ADD_SHIFT, ClusterKind.MEMORY}

@@ -1,0 +1,46 @@
+"""Tests of the programmable-DSP baseline model."""
+
+import pytest
+
+from repro.arrays.dsp_baseline import DSPModel
+
+
+class TestCycleModel:
+    def test_dct_cycle_count_scales_with_mac_throughput(self):
+        single = DSPModel("single", macs_per_cycle=1.0)
+        vliw = DSPModel("vliw", macs_per_cycle=4.0)
+        assert vliw.dct_8x8_cycles() < single.dct_8x8_cycles()
+        assert single.dct_8x8_cycles() > 16 * 8 * 8   # at least one cycle per MAC
+
+    def test_sad_cycles_cover_every_pixel(self):
+        model = DSPModel()
+        assert model.sad_16x16_cycles() >= 16 * 16
+
+    def test_full_search_scales_with_window(self):
+        model = DSPModel()
+        assert model.full_search_cycles(8) == 4 * model.full_search_cycles(4)
+
+    def test_macroblock_cycles_include_both_kernels(self):
+        model = DSPModel()
+        assert model.macroblock_cycles() > model.full_search_cycles()
+        assert model.macroblock_cycles() > 4 * model.dct_8x8_cycles()
+
+
+class TestIntroductionClaim:
+    def test_dsp_needs_a_much_higher_clock_than_the_systolic_array(self):
+        # Intro: running ME/DCT on DSPs "leads to a high operating frequency
+        # and increased power consumption".  The systolic array processes a
+        # +-8 full search in 256 candidates / 4 modules * 16 cycles = 1024
+        # cycles per macroblock; the single-MAC DSP needs two orders of
+        # magnitude more.
+        dsp = DSPModel()
+        array_cycles_per_macroblock = (16 * 16) // 4 * 16 + 4 * 12
+        dsp_cycles = dsp.macroblock_cycles(search_range=8)
+        assert dsp_cycles > 100 * array_cycles_per_macroblock
+
+    def test_qcif_realtime_frequency_exceeds_hundreds_of_mhz(self):
+        assert DSPModel().required_frequency_hz() > 300e6
+
+    def test_energy_scales_with_cycles(self):
+        dsp = DSPModel()
+        assert dsp.energy_per_macroblock(8) > dsp.energy_per_macroblock(4)

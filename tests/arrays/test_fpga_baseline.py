@@ -1,0 +1,55 @@
+"""Tests of the generic-FPGA baseline cost model."""
+
+import pytest
+
+from repro.arrays.fpga_baseline import map_to_fpga
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+
+
+def logic_netlist(nodes: int = 4) -> Netlist:
+    netlist = Netlist(f"logic{nodes}")
+    previous = None
+    for i in range(nodes):
+        netlist.add_node(f"n{i}", ClusterKind.ADD_SHIFT, width_bits=16)
+        if previous:
+            netlist.connect(previous, f"n{i}", width_bits=16)
+        previous = f"n{i}"
+    return netlist
+
+
+def rom_netlist(depth: int) -> Netlist:
+    netlist = Netlist(f"rom{depth}")
+    netlist.add_node("rom", ClusterKind.MEMORY, width_bits=8, depth_words=depth)
+    return netlist
+
+
+class TestResourceMapping:
+    def test_lut_count_scales_with_logic(self):
+        small = map_to_fpga(logic_netlist(2))
+        large = map_to_fpga(logic_netlist(6))
+        assert large.lut_count > small.lut_count
+        assert large.area_elements > small.area_elements
+
+    def test_memory_maps_onto_lut_ram(self):
+        shallow = map_to_fpga(rom_netlist(16))
+        deep = map_to_fpga(rom_netlist(256))
+        assert deep.lut_count > shallow.lut_count
+
+    def test_flip_flops_follow_register_bits(self):
+        implementation = map_to_fpga(logic_netlist(3))
+        assert implementation.flip_flop_count == 3 * 16
+
+    def test_delay_grows_with_logic_depth(self):
+        assert (map_to_fpga(logic_netlist(6)).critical_path_delay
+                > map_to_fpga(logic_netlist(2)).critical_path_delay)
+
+    def test_power_scales_with_activity(self):
+        low = map_to_fpga(logic_netlist(4), activity=0.1)
+        high = map_to_fpga(logic_netlist(4), activity=0.5)
+        assert high.switched_capacitance_per_cycle > low.switched_capacitance_per_cycle
+
+    def test_max_frequency_reciprocal(self):
+        implementation = map_to_fpga(logic_netlist(3))
+        assert implementation.max_frequency == pytest.approx(
+            1.0 / implementation.critical_path_delay)

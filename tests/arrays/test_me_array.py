@@ -1,0 +1,58 @@
+"""Tests of the ME array definition (Fig. 2)."""
+
+import pytest
+
+from repro.arrays.me_array import MEArrayGeometry, PIXEL_BITS, SAD_BITS, build_me_array
+from repro.core.clusters import ClusterKind
+
+
+class TestGeometry:
+    def test_default_geometry_column_count(self):
+        geometry = MEArrayGeometry()
+        assert geometry.cols == (geometry.mux_columns + geometry.abs_diff_columns
+                                 + geometry.add_acc_columns + geometry.comparator_columns)
+
+    def test_capacity_matches_band_sizes(self):
+        geometry = MEArrayGeometry(rows=4, mux_columns=1, abs_diff_columns=2,
+                                   add_acc_columns=3, comparator_columns=1)
+        capacity = geometry.capacity()
+        assert capacity[ClusterKind.REGISTER_MUX] == 4
+        assert capacity[ClusterKind.ABS_DIFF] == 8
+        assert capacity[ClusterKind.ADD_ACC] == 12
+        assert capacity[ClusterKind.COMPARATOR] == 4
+
+
+class TestFabric:
+    def test_default_array_provides_all_me_cluster_kinds(self):
+        fabric = build_me_array()
+        capacity = fabric.capacity()
+        for kind in (ClusterKind.REGISTER_MUX, ClusterKind.ABS_DIFF,
+                     ClusterKind.ADD_ACC, ClusterKind.COMPARATOR):
+            assert capacity.get(kind, 0) > 0
+
+    def test_default_array_fits_the_64_pe_systolic_engine(self):
+        # Fig. 11 needs 64 of each PE cluster kind plus one comparator.
+        capacity = build_me_array().capacity()
+        assert capacity[ClusterKind.REGISTER_MUX] >= 64
+        assert capacity[ClusterKind.ABS_DIFF] >= 64
+        assert capacity[ClusterKind.ADD_ACC] >= 64
+        assert capacity[ClusterKind.COMPARATOR] >= 1
+
+    def test_datapath_widths(self):
+        fabric = build_me_array()
+        mux_site = fabric.sites_of_kind(ClusterKind.REGISTER_MUX)[0]
+        acc_site = fabric.sites_of_kind(ClusterKind.ADD_ACC)[0]
+        assert mux_site.spec.width_bits == PIXEL_BITS
+        assert acc_site.spec.width_bits == SAD_BITS
+
+    def test_every_site_is_populated(self):
+        fabric = build_me_array()
+        assert fabric.total_cluster_sites() == fabric.rows * fabric.cols
+
+    def test_custom_geometry_respected(self):
+        geometry = MEArrayGeometry(rows=4, mux_columns=1, abs_diff_columns=1,
+                                   add_acc_columns=1, comparator_columns=1)
+        fabric = build_me_array(geometry)
+        assert fabric.rows == 4
+        assert fabric.cols == 4
+        assert fabric.capacity()[ClusterKind.COMPARATOR] == 4

@@ -1,0 +1,78 @@
+"""Tests of the reconfigurable SoC wrapper (Fig. 1)."""
+
+import pytest
+
+from repro.arrays import ReconfigurableSoC, build_da_array, build_me_array
+from repro.core.exceptions import ConfigurationError
+from repro.dct import MixedRomDCT, SCCDirectDCT
+from repro.me import build_pe_netlist
+
+
+@pytest.fixture
+def soc() -> ReconfigurableSoC:
+    soc = ReconfigurableSoC()
+    soc.attach_array(build_da_array())
+    soc.attach_array(build_me_array())
+    return soc
+
+
+class TestArrayManagement:
+    def test_attach_and_lookup(self, soc):
+        assert set(soc.array_names) == {"da_array", "me_array"}
+        assert soc.array("da_array").name == "da_array"
+
+    def test_duplicate_attach_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            soc.attach_array(build_da_array())
+
+    def test_unknown_array_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            soc.array("gpu")
+
+    def test_invalid_bus_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReconfigurableSoC(configuration_bus_bits=0)
+
+
+class TestMappingFlow:
+    def test_map_kernel_produces_bitstream(self, soc):
+        kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+        assert kernel.bitstream.total_bits() > 0
+        assert len(kernel.placement) == len(kernel.netlist)
+
+    def test_load_records_reconfiguration_event(self, soc):
+        kernel = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
+        assert soc.loaded_kernel("da_array") is kernel
+        assert soc.reconfiguration_count("da_array") == 1
+        assert soc.total_reconfiguration_cycles() > 0
+        assert soc.total_reconfiguration_bits() == kernel.bitstream.total_bits()
+
+    def test_switching_kernels_accumulates_traffic(self, soc):
+        first = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
+        second = soc.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        assert soc.loaded_kernel("da_array") is second
+        assert soc.reconfiguration_count() == 2
+        assert (soc.total_reconfiguration_bits()
+                == first.bitstream.total_bits() + second.bitstream.total_bits())
+
+    def test_me_kernel_maps_on_me_array(self, soc):
+        kernel = soc.map_and_load(build_pe_netlist(), "me_array")
+        assert kernel.array_name == "me_array"
+        assert soc.loaded_kernel("me_array") is kernel
+
+    def test_wider_configuration_bus_loads_faster(self):
+        narrow = ReconfigurableSoC(configuration_bus_bits=8)
+        wide = ReconfigurableSoC(configuration_bus_bits=64)
+        for soc in (narrow, wide):
+            soc.attach_array(build_da_array())
+        netlist = SCCDirectDCT().build_netlist()
+        slow = narrow.map_and_load(netlist, "da_array")
+        fast = wide.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        assert (narrow.reconfiguration_log[0].cycles
+                > wide.reconfiguration_log[0].cycles)
+
+    def test_annealing_flow_also_routes(self):
+        soc = ReconfigurableSoC(use_annealing=True, seed=1)
+        soc.attach_array(build_da_array())
+        kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+        assert kernel.routing.total_hops > 0

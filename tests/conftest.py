@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import build_da_array, build_me_array
+from repro.video import panning_sequence
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def random_vector(rng) -> np.ndarray:
+    """A random 8-sample signed input vector (12-bit range like the paper)."""
+    return rng.integers(-2048, 2048, 8)
+
+
+@pytest.fixture
+def random_pixel_block(rng) -> np.ndarray:
+    """A random 8x8 block of 8-bit luminance samples."""
+    return rng.integers(0, 256, (8, 8))
+
+
+@pytest.fixture
+def da_array():
+    """A freshly built DA/DCT array fabric."""
+    return build_da_array()
+
+
+@pytest.fixture
+def me_array():
+    """A freshly built ME array fabric."""
+    return build_me_array()
+
+
+@pytest.fixture
+def small_sequence():
+    """A small panning sequence (64x64) keeping search tests fast."""
+    return panning_sequence(height=64, width=64, pan=(1, 2), seed=7)
+
+
+@pytest.fixture
+def frame_pair(small_sequence):
+    """(previous, current) frames of the small panning sequence."""
+    return small_sequence.frame(0), small_sequence.frame(1)

@@ -1,0 +1,273 @@
+"""Unit tests of the cluster behavioural models."""
+
+import pytest
+
+from repro.core.clusters import (
+    ELEMENT_WIDTH_BITS,
+    AbsDiffCluster,
+    AddAccCluster,
+    AddShiftCluster,
+    ClusterKind,
+    ClusterSpec,
+    ClusterUsage,
+    ComparatorCluster,
+    MemoryCluster,
+    RegisterMuxCluster,
+    build_cluster,
+    elements_for_width,
+    to_signed,
+    to_unsigned,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class TestWidthHelpers:
+    def test_elements_for_width_rounds_up(self):
+        assert elements_for_width(1) == 1
+        assert elements_for_width(4) == 1
+        assert elements_for_width(5) == 2
+        assert elements_for_width(8) == 2
+        assert elements_for_width(16) == 4
+
+    def test_elements_for_width_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            elements_for_width(0)
+
+    def test_signed_unsigned_round_trip(self):
+        for value in (-8, -1, 0, 1, 7):
+            assert to_signed(to_unsigned(value, 4), 4) == value
+
+    def test_to_signed_wraps_msb(self):
+        assert to_signed(0xF, 4) == -1
+        assert to_signed(0x8, 4) == -8
+        assert to_signed(0x7, 4) == 7
+
+
+class TestClusterSpec:
+    def test_element_count_follows_width(self):
+        spec = ClusterSpec(ClusterKind.ADD_SHIFT, width_bits=16)
+        assert spec.element_count == 16 // ELEMENT_WIDTH_BITS
+
+    def test_memory_requires_depth(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(ClusterKind.MEMORY, width_bits=8)
+
+    def test_non_memory_rejects_depth(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(ClusterKind.ADD_SHIFT, width_bits=8, depth_words=16)
+
+    def test_describe_mentions_geometry(self):
+        spec = ClusterSpec(ClusterKind.MEMORY, width_bits=8, depth_words=256)
+        assert "256" in spec.describe()
+
+    def test_build_cluster_dispatches_every_kind(self):
+        for kind in ClusterKind:
+            depth = 16 if kind is ClusterKind.MEMORY else 0
+            spec = ClusterSpec(kind, width_bits=8, depth_words=depth)
+            model = build_cluster(spec)
+            assert model.width_bits == 8
+
+
+class TestRegisterMux:
+    def test_unregistered_mux_selects_combinationally(self):
+        mux = RegisterMuxCluster(width_bits=8, registered=False)
+        assert mux.step(in0=3, in1=9, select=0) == 3
+        assert mux.step(in0=3, in1=9, select=1) == 9
+
+    def test_registered_mux_delays_by_one_cycle(self):
+        mux = RegisterMuxCluster(width_bits=8, registered=True)
+        assert mux.step(in0=5, in1=0, select=0) == 0   # power-on register value
+        assert mux.step(in0=7, in1=0, select=0) == 5
+        assert mux.step(in0=9, in1=0, select=0) == 7
+
+    def test_values_wrap_to_width(self):
+        mux = RegisterMuxCluster(width_bits=4, registered=False)
+        assert mux.step(in0=0x1F, in1=0, select=0) == 0xF
+
+    def test_reset_clears_register(self):
+        mux = RegisterMuxCluster(width_bits=8)
+        mux.step(in0=42, in1=0, select=0)
+        mux.reset()
+        assert mux.peek() == 0
+
+
+class TestAbsDiff:
+    def test_absolute_difference_is_symmetric(self):
+        ad = AbsDiffCluster(width_bits=8)
+        assert ad.absolute_difference(200, 55) == 145
+        assert ad.absolute_difference(55, 200) == 145
+
+    def test_add_and_subtract_wrap(self):
+        ad = AbsDiffCluster(width_bits=8)
+        assert ad.add(200, 100) == (300 & 0xFF)
+        assert ad.subtract(10, 20) == ((10 - 20) & 0xFF)
+
+    def test_toggle_counter_advances(self):
+        ad = AbsDiffCluster(width_bits=8)
+        ad.absolute_difference(0, 255)
+        assert ad.toggles > 0
+        assert ad.cycles == 1
+
+
+class TestAddAcc:
+    def test_accumulates_over_cycles(self):
+        acc = AddAccCluster(width_bits=16)
+        for value in (10, 20, 30):
+            acc.accumulate(value)
+        assert acc.accumulator == 60
+
+    def test_accumulate_subtract(self):
+        acc = AddAccCluster(width_bits=16)
+        acc.accumulate(100)
+        acc.accumulate(30, subtract=True)
+        assert acc.accumulator == 70
+
+    def test_clear_resets_only_accumulator(self):
+        acc = AddAccCluster(width_bits=16)
+        acc.accumulate(5)
+        acc.clear()
+        assert acc.accumulator == 0
+
+    def test_combinational_add_does_not_touch_accumulator(self):
+        acc = AddAccCluster(width_bits=16)
+        assert acc.add(2, 3) == 5
+        assert acc.accumulator == 0
+
+    def test_accumulator_wraps_at_width(self):
+        acc = AddAccCluster(width_bits=8)
+        acc.accumulate(200)
+        acc.accumulate(100)
+        assert acc.accumulator == (300 & 0xFF)
+
+
+class TestComparator:
+    def test_tracks_minimum_with_tags(self):
+        comp = ComparatorCluster(width_bits=16, track_minimum=True)
+        comp.update(500, tag=0)
+        comp.update(200, tag=1)
+        comp.update(300, tag=2)
+        assert comp.best_value == 200
+        assert comp.best_tag == 1
+
+    def test_tracks_maximum_when_configured(self):
+        comp = ComparatorCluster(width_bits=16, track_minimum=False)
+        comp.update(5, tag=0)
+        comp.update(50, tag=1)
+        assert comp.best_value == 50
+        assert comp.best_tag == 1
+
+    def test_ties_keep_the_first_candidate(self):
+        comp = ComparatorCluster(width_bits=16)
+        comp.update(100, tag=0)
+        assert not comp.update(100, tag=1)
+        assert comp.best_tag == 0
+
+    def test_pairwise_compare(self):
+        comp = ComparatorCluster(width_bits=16, track_minimum=True)
+        assert comp.compare(9, 4) == 4
+        comp_max = ComparatorCluster(width_bits=16, track_minimum=False)
+        assert comp_max.compare(9, 4) == 9
+
+    def test_reset_clears_best(self):
+        comp = ComparatorCluster(width_bits=16)
+        comp.update(1, tag=3)
+        comp.reset()
+        assert comp.best_value is None
+        assert comp.best_tag is None
+
+
+class TestAddShift:
+    def test_shift_register_emits_lsb_first(self):
+        cluster = AddShiftCluster(width_bits=8)
+        cluster.load(0b1011)
+        bits = [cluster.shift_out_lsb() for _ in range(4)]
+        assert bits == [1, 1, 0, 1]
+
+    def test_arithmetic_shift_preserves_sign(self):
+        cluster = AddShiftCluster(width_bits=8)
+        negative = to_unsigned(-8, 8)
+        assert to_signed(cluster.shift(negative, 1, arithmetic=True), 8) == -4
+
+    def test_logical_shift_zero_fills(self):
+        cluster = AddShiftCluster(width_bits=8)
+        assert cluster.shift(0b10000000, 3) == 0b00010000
+
+    def test_shift_accumulate_signed(self):
+        cluster = AddShiftCluster(width_bits=8)
+        cluster.load(0)
+        cluster.shift_accumulate(to_unsigned(-3, 8))
+        assert to_signed(cluster.register, 8) == -3
+        cluster.shift_accumulate(5, subtract=True)
+        assert to_signed(cluster.register, 8) == -8
+
+    def test_shift_right_arithmetic_on_register(self):
+        cluster = AddShiftCluster(width_bits=8)
+        cluster.load(to_unsigned(-16, 8))
+        cluster.shift_right_arithmetic()
+        assert to_signed(cluster.register, 8) == -8
+
+    def test_negative_shift_amount_rejected(self):
+        cluster = AddShiftCluster(width_bits=8)
+        with pytest.raises(ConfigurationError):
+            cluster.shift(1, -1)
+
+
+class TestMemory:
+    def test_load_and_read_round_trip(self):
+        memory = MemoryCluster(depth_words=16, width_bits=8)
+        memory.load_contents(range(16))
+        assert [memory.read(i) for i in range(16)] == list(range(16))
+
+    def test_short_image_zero_pads(self):
+        memory = MemoryCluster(depth_words=8, width_bits=8)
+        memory.load_contents([1, 2, 3])
+        assert memory.dump() == [1, 2, 3, 0, 0, 0, 0, 0]
+
+    def test_oversized_image_rejected(self):
+        memory = MemoryCluster(depth_words=4, width_bits=8)
+        with pytest.raises(ConfigurationError):
+            memory.load_contents(range(5))
+
+    def test_out_of_range_address_rejected(self):
+        memory = MemoryCluster(depth_words=4, width_bits=8)
+        with pytest.raises(ConfigurationError):
+            memory.read(4)
+
+    def test_contents_wrap_to_word_width(self):
+        memory = MemoryCluster(depth_words=2, width_bits=4)
+        memory.load_contents([0x1F, 0x22])
+        assert memory.dump() == [0xF, 0x2]
+
+    def test_read_counter_advances(self):
+        memory = MemoryCluster(depth_words=4, width_bits=8)
+        memory.load_contents([9, 8, 7, 6])
+        memory.read(0)
+        memory.read(3)
+        assert memory.reads == 2
+
+
+class TestClusterUsage:
+    def test_add_shift_total_sums_roles(self):
+        usage = ClusterUsage(adders=4, subtracters=4, shift_registers=8, accumulators=8)
+        assert usage.add_shift_total == 24
+
+    def test_total_includes_all_kinds(self):
+        usage = ClusterUsage(adders=1, memory_clusters=2, register_mux=3,
+                             abs_diff=4, add_acc=5, comparators=6)
+        assert usage.total_clusters == 21
+
+    def test_addition_merges_counts_and_extras(self):
+        a = ClusterUsage(adders=1, extra={"io": 2})
+        b = ClusterUsage(subtracters=3, extra={"io": 1, "dsp": 4})
+        merged = a + b
+        assert merged.adders == 1
+        assert merged.subtracters == 3
+        assert merged.extra == {"io": 3, "dsp": 4}
+
+    def test_table_row_matches_paper_columns(self):
+        usage = ClusterUsage(adders=4, subtracters=4, shift_registers=8,
+                             accumulators=8, memory_clusters=8)
+        row = usage.as_table_row()
+        assert row["add_shift_total"] == 24
+        assert row["memory_clusters"] == 8
+        assert row["total_clusters"] == 32

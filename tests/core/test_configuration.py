@@ -1,0 +1,74 @@
+"""Unit tests of the configuration-bitstream model."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.core.configuration import (
+    CLUSTER_MODE_BITS,
+    ChannelConfiguration,
+    ClusterConfiguration,
+    ConfigurationBitstream,
+    fabric_configuration_capacity,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.arrays import build_da_array, build_me_array
+
+
+class TestClusterConfiguration:
+    def test_mode_bits_follow_kind(self):
+        configuration = ClusterConfiguration((0, 0), ClusterKind.ADD_SHIFT, "adder")
+        assert configuration.bit_count() == CLUSTER_MODE_BITS[ClusterKind.ADD_SHIFT]
+
+    def test_rom_contents_add_bits(self):
+        configuration = ClusterConfiguration((0, 0), ClusterKind.MEMORY, "rom",
+                                             rom_contents=tuple(range(16)),
+                                             rom_word_bits=8)
+        assert configuration.bit_count() == CLUSTER_MODE_BITS[ClusterKind.MEMORY] + 128
+
+
+class TestBitstream:
+    def build(self) -> ConfigurationBitstream:
+        bitstream = ConfigurationBitstream("da_array")
+        bitstream.add_cluster(ClusterConfiguration((0, 0), ClusterKind.ADD_SHIFT, "adder"))
+        bitstream.add_cluster(ClusterConfiguration((0, 1), ClusterKind.MEMORY, "rom",
+                                                   rom_contents=(1, 2, 3, 4),
+                                                   rom_word_bits=8))
+        bitstream.add_channel(ChannelConfiguration(((0, 0), (0, 1)),
+                                                   coarse_switches_on=2))
+        return bitstream
+
+    def test_total_bits_sum_components(self):
+        bitstream = self.build()
+        expected = (CLUSTER_MODE_BITS[ClusterKind.ADD_SHIFT]
+                    + CLUSTER_MODE_BITS[ClusterKind.MEMORY] + 32 + 2)
+        assert bitstream.total_bits() == expected
+
+    def test_bytes_round_up(self):
+        bitstream = self.build()
+        assert bitstream.total_bytes() == -(-bitstream.total_bits() // 8)
+
+    def test_serialize_length_matches_bit_count(self):
+        bitstream = self.build()
+        assert len(bitstream.serialize()) == bitstream.total_bytes()
+
+    def test_reconfiguration_cycles_scale_with_bus_width(self):
+        bitstream = self.build()
+        assert (bitstream.reconfiguration_cycles(bus_width_bits=8)
+                > bitstream.reconfiguration_cycles(bus_width_bits=32))
+
+    def test_zero_bus_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.build().reconfiguration_cycles(bus_width_bits=0)
+
+
+class TestFabricCapacity:
+    def test_capacity_positive_for_both_arrays(self):
+        assert fabric_configuration_capacity(build_da_array()) > 0
+        assert fabric_configuration_capacity(build_me_array()) > 0
+
+    def test_bigger_fabric_needs_more_configuration(self):
+        from repro.arrays.da_array import DAArrayGeometry, build_da_array as build
+        small = build(DAArrayGeometry(rows=4, add_shift_columns=2, memory_columns=1))
+        large = build(DAArrayGeometry(rows=10, add_shift_columns=6, memory_columns=2))
+        assert (fabric_configuration_capacity(large)
+                > fabric_configuration_capacity(small))

@@ -1,0 +1,81 @@
+"""Unit tests of the heterogeneous fabric."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.exceptions import CapacityError, ConfigurationError
+from repro.core.fabric import Fabric
+
+
+def small_fabric() -> Fabric:
+    fabric = Fabric("test", rows=2, cols=3)
+    fabric.fill_column_band(0, 2, ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+    fabric.fill_column_band(2, 3, ClusterSpec(ClusterKind.MEMORY, 8, 64))
+    return fabric
+
+
+class TestConstruction:
+    def test_place_cluster_and_lookup(self):
+        fabric = Fabric("f", rows=1, cols=1)
+        fabric.place_cluster((0, 0), ClusterSpec(ClusterKind.ABS_DIFF, 8))
+        assert fabric.site((0, 0)).spec.kind is ClusterKind.ABS_DIFF
+
+    def test_double_placement_rejected(self):
+        fabric = Fabric("f", rows=1, cols=1)
+        fabric.place_cluster((0, 0), ClusterSpec(ClusterKind.ABS_DIFF, 8))
+        with pytest.raises(ConfigurationError):
+            fabric.place_cluster((0, 0), ClusterSpec(ClusterKind.ABS_DIFF, 8))
+
+    def test_out_of_bounds_placement_rejected(self):
+        fabric = Fabric("f", rows=1, cols=1)
+        with pytest.raises(ConfigurationError):
+            fabric.place_cluster((5, 5), ClusterSpec(ClusterKind.ABS_DIFF, 8))
+
+    def test_invalid_band_rejected(self):
+        fabric = Fabric("f", rows=2, cols=2)
+        with pytest.raises(ConfigurationError):
+            fabric.fill_column_band(1, 1, ClusterSpec(ClusterKind.ABS_DIFF, 8))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fabric("f", rows=0, cols=1)
+
+
+class TestQueries:
+    def test_capacity_counts_bands(self):
+        capacity = small_fabric().capacity()
+        assert capacity[ClusterKind.ADD_SHIFT] == 4
+        assert capacity[ClusterKind.MEMORY] == 2
+
+    def test_sites_of_kind(self):
+        fabric = small_fabric()
+        assert len(fabric.sites_of_kind(ClusterKind.MEMORY)) == 2
+
+    def test_check_capacity_accepts_fitting_demand(self):
+        small_fabric().check_capacity({ClusterKind.ADD_SHIFT: 4, ClusterKind.MEMORY: 2})
+
+    def test_check_capacity_raises_with_shortfall_detail(self):
+        with pytest.raises(CapacityError, match="memory"):
+            small_fabric().check_capacity({ClusterKind.MEMORY: 3})
+
+    def test_total_counts(self):
+        fabric = small_fabric()
+        assert fabric.total_cluster_sites() == 6
+        # ADD_SHIFT is 16 bits (4 elements) x4, MEMORY 8 bits (2 elements) x2.
+        assert fabric.total_element_count() == 4 * 4 + 2 * 2
+
+    def test_instantiate_builds_behavioural_model(self):
+        fabric = small_fabric()
+        model = fabric.instantiate((0, 2))
+        assert model.depth_words == 64
+
+    def test_instantiate_empty_site_rejected(self):
+        fabric = Fabric("f", rows=1, cols=2)
+        fabric.place_cluster((0, 0), ClusterSpec(ClusterKind.ABS_DIFF, 8))
+        with pytest.raises(ConfigurationError):
+            fabric.instantiate((0, 1))
+
+    def test_floorplan_shows_every_site(self):
+        plan = small_fabric().floorplan()
+        assert plan.count("ASH") == 4
+        assert plan.count("MEM") == 2

@@ -1,0 +1,118 @@
+"""Unit tests of the two-level interconnect mesh."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, RoutingError
+from repro.core.interconnect import (
+    COARSE_TRACK_BITS,
+    Channel,
+    Mesh,
+    MeshSpec,
+    fine_grain_equivalent,
+)
+
+
+class TestChannel:
+    def test_wide_signal_uses_coarse_tracks(self):
+        channel = Channel(coarse_tracks=4, fine_tracks=4)
+        assert channel.tracks_for_width(8) == (1, 0)
+        assert channel.tracks_for_width(16) == (2, 0)
+        assert channel.tracks_for_width(12) == (2, 0)
+
+    def test_narrow_signal_uses_fine_tracks(self):
+        channel = Channel(coarse_tracks=4, fine_tracks=4)
+        assert channel.tracks_for_width(1) == (0, 1)
+        assert channel.tracks_for_width(2) == (0, 2)
+
+    def test_mid_width_signal_rounds_up_to_coarse(self):
+        channel = Channel(coarse_tracks=4, fine_tracks=4)
+        assert channel.tracks_for_width(3) == (1, 0)
+
+    def test_occupancy_and_release(self):
+        channel = Channel(coarse_tracks=1, fine_tracks=0)
+        channel.occupy(8)
+        assert not channel.can_route(8)
+        channel.release(8)
+        assert channel.can_route(8)
+
+    def test_congested_channel_raises(self):
+        channel = Channel(coarse_tracks=1, fine_tracks=0)
+        channel.occupy(8)
+        with pytest.raises(RoutingError):
+            channel.occupy(8)
+
+    def test_utilisation_fraction(self):
+        channel = Channel(coarse_tracks=2, fine_tracks=2)
+        channel.occupy(8)
+        assert channel.utilisation == pytest.approx(0.25)
+
+
+class TestMeshSpec:
+    def test_rejects_empty_channel(self):
+        with pytest.raises(ConfigurationError):
+            MeshSpec(coarse_tracks_per_channel=0, fine_tracks_per_channel=0)
+
+    def test_switch_and_config_counts(self):
+        spec = MeshSpec(coarse_tracks_per_channel=2, fine_tracks_per_channel=4,
+                        switches_per_track_per_channel=6)
+        assert spec.switches_per_channel() == 36
+        assert spec.config_bits_per_channel() == 36
+
+    def test_wire_bits_counts_byte_lanes(self):
+        spec = MeshSpec(coarse_tracks_per_channel=2, fine_tracks_per_channel=4)
+        assert spec.wire_bits_per_channel() == 2 * COARSE_TRACK_BITS + 4
+
+    def test_fine_grain_equivalent_preserves_wire_bits(self):
+        spec = MeshSpec(coarse_tracks_per_channel=4, fine_tracks_per_channel=8)
+        fine = fine_grain_equivalent(spec)
+        assert fine.coarse_tracks_per_channel == 0
+        assert fine.wire_bits_per_channel() == spec.wire_bits_per_channel()
+
+    def test_fine_grain_equivalent_needs_more_switches(self):
+        spec = MeshSpec(coarse_tracks_per_channel=4, fine_tracks_per_channel=8)
+        fine = fine_grain_equivalent(spec)
+        assert fine.switches_per_channel() > spec.switches_per_channel()
+        assert fine.config_bits_per_channel() > spec.config_bits_per_channel()
+
+
+class TestMesh:
+    def test_channel_count_of_grid(self):
+        mesh = Mesh(rows=3, cols=3)
+        # 3x3 grid: 2 horizontal channels per row * 3 rows + same vertically.
+        assert mesh.channel_count == 12
+
+    def test_neighbours_inside_grid(self):
+        mesh = Mesh(rows=2, cols=2)
+        assert sorted(mesh.neighbours((0, 0))) == [(0, 1), (1, 0)]
+        assert len(mesh.neighbours((1, 1))) == 2
+
+    def test_channel_lookup_requires_adjacency(self):
+        mesh = Mesh(rows=3, cols=3)
+        with pytest.raises(RoutingError):
+            mesh.channel_between((0, 0), (2, 2))
+
+    def test_occupy_path_is_atomic(self):
+        mesh = Mesh(rows=1, cols=3, spec=MeshSpec(coarse_tracks_per_channel=1,
+                                                  fine_tracks_per_channel=0))
+        # Fill the second hop so a two-hop path must fail and roll back.
+        mesh.channel_between((0, 1), (0, 2)).occupy(8)
+        with pytest.raises(RoutingError):
+            mesh.occupy_path([(0, 0), (0, 1), (0, 2)], 8)
+        assert mesh.channel_between((0, 0), (0, 1)).coarse_used == 0
+
+    def test_reset_occupancy(self):
+        mesh = Mesh(rows=2, cols=2)
+        mesh.occupy_path([(0, 0), (0, 1)], 8)
+        mesh.reset_occupancy()
+        assert mesh.mean_utilisation() == 0.0
+
+    def test_aggregate_statistics_scale_with_size(self):
+        small = Mesh(rows=2, cols=2)
+        large = Mesh(rows=4, cols=4)
+        assert large.total_switches() > small.total_switches()
+        assert large.total_config_bits() > small.total_config_bits()
+        assert large.total_wire_bits() > small.total_wire_bits()
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mesh(rows=0, cols=3)

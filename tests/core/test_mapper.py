@@ -1,0 +1,107 @@
+"""Unit tests of the greedy and annealing placers."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.exceptions import CapacityError
+from repro.core.fabric import Fabric
+from repro.core.mapper import AnnealingPlacer, GreedyPlacer, Placement, manhattan, wirelength
+from repro.core.netlist import Netlist
+
+
+def make_fabric(rows: int = 4, cols: int = 4) -> Fabric:
+    fabric = Fabric("fab", rows, cols)
+    fabric.fill_column_band(0, cols - 1, ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+    fabric.fill_column_band(cols - 1, cols, ClusterSpec(ClusterKind.MEMORY, 8, 64))
+    return fabric
+
+
+def make_netlist(channels: int = 3) -> Netlist:
+    netlist = Netlist("nl")
+    for i in range(channels):
+        netlist.add_node(f"sr{i}", ClusterKind.ADD_SHIFT, role="shift_register")
+        netlist.add_node(f"rom{i}", ClusterKind.MEMORY, depth_words=16)
+        netlist.add_node(f"acc{i}", ClusterKind.ADD_SHIFT, role="accumulator")
+        netlist.connect(f"sr{i}", f"rom{i}", width_bits=1)
+        netlist.connect(f"rom{i}", f"acc{i}", width_bits=8)
+    return netlist
+
+
+class TestHelpers:
+    def test_manhattan_distance(self):
+        assert manhattan((0, 0), (2, 3)) == 5
+        assert manhattan((1, 1), (1, 1)) == 0
+
+    def test_wirelength_weights_by_width(self):
+        netlist = Netlist("w")
+        netlist.add_node("a", ClusterKind.ADD_SHIFT)
+        netlist.add_node("b", ClusterKind.ADD_SHIFT)
+        netlist.connect("a", "b", width_bits=8)
+        placement = Placement("f", "w", {"a": (0, 0), "b": (0, 2)})
+        assert wirelength(netlist, placement) == 16
+        assert wirelength(netlist, placement, width_weighted=False) == 2
+
+    def test_placement_lookup_error(self):
+        placement = Placement("f", "w", {})
+        from repro.core.exceptions import MappingError
+        with pytest.raises(MappingError):
+            placement.position_of("missing")
+
+
+class TestGreedyPlacer:
+    def test_places_every_node_on_compatible_site(self):
+        fabric = make_fabric()
+        netlist = make_netlist()
+        placement = GreedyPlacer(fabric).place(netlist)
+        assert len(placement) == len(netlist)
+        for node in netlist.nodes:
+            site = fabric.site(placement.position_of(node.name))
+            assert site.spec.kind is node.kind
+
+    def test_no_two_nodes_share_a_site(self):
+        placement = GreedyPlacer(make_fabric()).place(make_netlist())
+        positions = list(placement.assignment.values())
+        assert len(positions) == len(set(positions))
+
+    def test_capacity_error_when_netlist_too_big(self):
+        fabric = make_fabric(rows=1, cols=2)
+        with pytest.raises(CapacityError):
+            GreedyPlacer(fabric).place(make_netlist(channels=4))
+
+    def test_connected_nodes_placed_close(self):
+        fabric = make_fabric(rows=6, cols=6)
+        netlist = make_netlist(channels=2)
+        placement = GreedyPlacer(fabric).place(netlist)
+        # Each ROM should be adjacent-ish to its accumulator (within a few hops).
+        for i in range(2):
+            distance = manhattan(placement.position_of(f"rom{i}"),
+                                 placement.position_of(f"acc{i}"))
+            assert distance <= 6
+
+
+class TestAnnealingPlacer:
+    def test_never_worse_than_greedy(self):
+        fabric = make_fabric(rows=6, cols=6)
+        netlist = make_netlist(channels=4)
+        greedy = GreedyPlacer(fabric).place(netlist)
+        greedy_cost = wirelength(netlist, greedy)
+        annealed = AnnealingPlacer(fabric, seed=1,
+                                   moves_per_temperature=32).place(netlist)
+        assert wirelength(netlist, annealed) <= greedy_cost * 1.05
+
+    def test_deterministic_for_fixed_seed(self):
+        fabric_a = make_fabric(rows=6, cols=6)
+        fabric_b = make_fabric(rows=6, cols=6)
+        netlist = make_netlist(channels=4)
+        first = AnnealingPlacer(fabric_a, seed=3).place(netlist)
+        second = AnnealingPlacer(fabric_b, seed=3).place(netlist)
+        assert first.assignment == second.assignment
+
+    def test_result_remains_a_legal_placement(self):
+        fabric = make_fabric(rows=6, cols=6)
+        netlist = make_netlist(channels=4)
+        placement = AnnealingPlacer(fabric, seed=0).place(netlist)
+        positions = list(placement.assignment.values())
+        assert len(positions) == len(set(positions))
+        for node in netlist.nodes:
+            assert fabric.site(placement.position_of(node.name)).spec.kind is node.kind

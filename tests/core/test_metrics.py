@@ -1,0 +1,102 @@
+"""Unit tests of the area / timing / configuration metrics."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.fabric import Fabric
+from repro.core.mapper import GreedyPlacer
+from repro.core.metrics import (
+    configuration_bits,
+    critical_path_delay,
+    evaluate_design,
+    logic_area,
+    memory_bits,
+)
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter
+
+
+def chain_netlist(length: int = 3, width: int = 16) -> Netlist:
+    netlist = Netlist(f"chain{length}")
+    previous = None
+    for i in range(length):
+        netlist.add_node(f"n{i}", ClusterKind.ADD_SHIFT, width_bits=width)
+        if previous is not None:
+            netlist.connect(previous, f"n{i}", width_bits=width)
+        previous = f"n{i}"
+    return netlist
+
+
+def small_fabric() -> Fabric:
+    fabric = Fabric("fab", rows=2, cols=4)
+    fabric.fill_column_band(0, 3, ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+    fabric.fill_column_band(3, 4, ClusterSpec(ClusterKind.MEMORY, 8, 256))
+    return fabric
+
+
+class TestAreaModel:
+    def test_logic_area_grows_with_node_count(self):
+        assert logic_area(chain_netlist(4)) > logic_area(chain_netlist(2))
+
+    def test_memory_bits_counted_from_rom_nodes(self):
+        netlist = Netlist("mem")
+        netlist.add_node("rom", ClusterKind.MEMORY, width_bits=8, depth_words=256)
+        assert memory_bits(netlist) == 2048
+        assert memory_bits(chain_netlist()) == 0
+
+    def test_wider_datapath_costs_more_area(self):
+        assert logic_area(chain_netlist(3, width=16)) > logic_area(chain_netlist(3, width=8))
+
+
+class TestTimingModel:
+    def test_longer_chain_has_longer_critical_path(self):
+        assert critical_path_delay(chain_netlist(5)) > critical_path_delay(chain_netlist(2))
+
+    def test_routing_hops_add_delay(self):
+        fabric = small_fabric()
+        netlist = chain_netlist(3)
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        assert critical_path_delay(netlist, routing) >= critical_path_delay(netlist)
+
+    def test_empty_netlist_has_zero_delay(self):
+        assert critical_path_delay(Netlist("empty")) == 0.0
+
+
+class TestConfigurationModel:
+    def test_memory_nodes_dominate_configuration(self):
+        logic_only = chain_netlist(3)
+        with_rom = Netlist("rom")
+        with_rom.add_node("rom", ClusterKind.MEMORY, width_bits=8, depth_words=256)
+        assert configuration_bits(with_rom) > configuration_bits(logic_only)
+
+    def test_routed_switches_add_bits(self):
+        fabric = small_fabric()
+        netlist = chain_netlist(3)
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        assert configuration_bits(netlist, routing) >= configuration_bits(netlist)
+
+
+class TestEvaluateDesign:
+    def test_summary_contains_expected_keys(self):
+        fabric = small_fabric()
+        netlist = chain_netlist(3)
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        metrics = evaluate_design(netlist, fabric, placement, routing)
+        summary = metrics.summary()
+        for key in ("total_clusters", "total_area_elements", "critical_path_delay",
+                    "configuration_bits", "routed_hops"):
+            assert key in summary
+
+    def test_max_frequency_is_reciprocal_of_delay(self):
+        fabric = small_fabric()
+        netlist = chain_netlist(3)
+        metrics = evaluate_design(netlist, fabric)
+        assert metrics.max_frequency == pytest.approx(1.0 / metrics.critical_path_delay)
+
+    def test_pre_placement_evaluation_has_no_wirelength(self):
+        metrics = evaluate_design(chain_netlist(3), small_fabric())
+        assert metrics.wirelength == 0.0
+        assert metrics.routed_hops == 0

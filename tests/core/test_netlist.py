@@ -1,0 +1,131 @@
+"""Unit tests of the dataflow-graph netlist."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import ConfigurationError
+from repro.core.netlist import Netlist
+
+
+def simple_chain() -> Netlist:
+    netlist = Netlist("chain")
+    netlist.add_node("a", ClusterKind.ADD_SHIFT, role="shift_register")
+    netlist.add_node("b", ClusterKind.MEMORY, depth_words=16)
+    netlist.add_node("c", ClusterKind.ADD_SHIFT, role="accumulator")
+    netlist.connect("a", "b", width_bits=1)
+    netlist.connect("b", "c", width_bits=8)
+    return netlist
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_node("x", ClusterKind.ADD_SHIFT)
+        with pytest.raises(ConfigurationError):
+            netlist.add_node("x", ClusterKind.ADD_SHIFT)
+
+    def test_connect_requires_existing_nodes(self):
+        netlist = Netlist("n")
+        netlist.add_node("x", ClusterKind.ADD_SHIFT)
+        with pytest.raises(ConfigurationError):
+            netlist.connect("x", "missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Netlist("")
+
+    def test_len_contains_iteration(self):
+        netlist = simple_chain()
+        assert len(netlist) == 3
+        assert "a" in netlist
+        assert "missing" not in netlist
+        assert [node.name for node in netlist] == ["a", "b", "c"]
+
+
+class TestQueries:
+    def test_fanin_fanout(self):
+        netlist = simple_chain()
+        assert [net.sink for net in netlist.fanout("a")] == ["b"]
+        assert [net.source for net in netlist.fanin("c")] == ["b"]
+
+    def test_nodes_of_kind(self):
+        netlist = simple_chain()
+        assert len(netlist.nodes_of_kind(ClusterKind.ADD_SHIFT)) == 2
+        assert len(netlist.nodes_of_kind(ClusterKind.MEMORY)) == 1
+
+    def test_kind_histogram(self):
+        histogram = simple_chain().kind_histogram()
+        assert histogram[ClusterKind.ADD_SHIFT] == 2
+        assert histogram[ClusterKind.MEMORY] == 1
+
+    def test_node_lookup_error(self):
+        with pytest.raises(ConfigurationError):
+            simple_chain().node("nope")
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        netlist = simple_chain()
+        order = [node.name for node in netlist.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_tolerates_feedback_loops(self):
+        netlist = Netlist("loop")
+        netlist.add_node("acc", ClusterKind.ADD_SHIFT, role="accumulator")
+        netlist.add_node("rom", ClusterKind.MEMORY, depth_words=4)
+        netlist.connect("rom", "acc")
+        netlist.connect("acc", "acc")   # accumulator feedback
+        order = [node.name for node in netlist.topological_order()]
+        assert sorted(order) == ["acc", "rom"]
+
+
+class TestClusterUsage:
+    def test_roles_map_to_table_rows(self):
+        netlist = Netlist("roles")
+        netlist.add_node("add", ClusterKind.ADD_SHIFT, role="adder")
+        netlist.add_node("sub", ClusterKind.ADD_SHIFT, role="subtracter")
+        netlist.add_node("sr", ClusterKind.ADD_SHIFT, role="shift_register")
+        netlist.add_node("acc", ClusterKind.ADD_SHIFT, role="accumulator")
+        netlist.add_node("rom", ClusterKind.MEMORY, depth_words=16)
+        usage = netlist.cluster_usage()
+        assert usage.adders == 1
+        assert usage.subtracters == 1
+        assert usage.shift_registers == 1
+        assert usage.accumulators == 1
+        assert usage.memory_clusters == 1
+        assert usage.total_clusters == 5
+
+    def test_unknown_add_shift_role_counts_as_adder(self):
+        netlist = Netlist("unknown_role")
+        netlist.add_node("x", ClusterKind.ADD_SHIFT, role="weird")
+        assert netlist.cluster_usage().adders == 1
+
+    def test_me_cluster_kinds_counted(self):
+        netlist = Netlist("me")
+        netlist.add_node("mux", ClusterKind.REGISTER_MUX)
+        netlist.add_node("ad", ClusterKind.ABS_DIFF)
+        netlist.add_node("acc", ClusterKind.ADD_ACC)
+        netlist.add_node("cmp", ClusterKind.COMPARATOR)
+        usage = netlist.cluster_usage()
+        assert (usage.register_mux, usage.abs_diff, usage.add_acc,
+                usage.comparators) == (1, 1, 1, 1)
+
+
+class TestMerge:
+    def test_merge_with_prefix_duplicates_structure(self):
+        top = Netlist("top")
+        channel = simple_chain()
+        top.merge(channel, prefix="ch0_")
+        top.merge(channel, prefix="ch1_")
+        assert len(top) == 6
+        assert "ch0_a" in top and "ch1_c" in top
+        assert len(top.nets) == 4
+
+    def test_merge_without_prefix_collides(self):
+        top = Netlist("top")
+        top.merge(simple_chain())
+        with pytest.raises(ConfigurationError):
+            top.merge(simple_chain())
+
+    def test_validate_passes_on_well_formed_graph(self):
+        simple_chain().validate()

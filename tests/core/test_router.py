@@ -1,0 +1,108 @@
+"""Unit tests of the congestion-aware mesh router."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind, ClusterSpec
+from repro.core.exceptions import RoutingError
+from repro.core.fabric import Fabric
+from repro.core.interconnect import MeshSpec
+from repro.core.mapper import GreedyPlacer, Placement
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter
+
+
+def linear_fabric(cols: int = 4, coarse: int = 2, fine: int = 2) -> Fabric:
+    spec = MeshSpec(coarse_tracks_per_channel=coarse, fine_tracks_per_channel=fine)
+    fabric = Fabric("line", rows=1, cols=cols, mesh_spec=spec)
+    for col in range(cols):
+        fabric.place_cluster((0, col), ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+    return fabric
+
+
+def two_node_netlist(width: int = 8) -> Netlist:
+    netlist = Netlist("pair")
+    netlist.add_node("a", ClusterKind.ADD_SHIFT)
+    netlist.add_node("b", ClusterKind.ADD_SHIFT)
+    netlist.connect("a", "b", width_bits=width)
+    return netlist
+
+
+class TestBasicRouting:
+    def test_routes_along_shortest_path(self):
+        fabric = linear_fabric()
+        netlist = two_node_netlist()
+        placement = Placement("line", "pair", {"a": (0, 0), "b": (0, 3)})
+        result = MeshRouter(fabric).route(netlist, placement)
+        route = result.route_for("a->b")
+        assert route.hop_count == 3
+        assert route.path[0] == (0, 0) and route.path[-1] == (0, 3)
+
+    def test_same_site_net_consumes_no_mesh(self):
+        fabric = linear_fabric()
+        netlist = two_node_netlist()
+        placement = Placement("line", "pair", {"a": (0, 1), "b": (0, 1)})
+        result = MeshRouter(fabric).route(netlist, placement)
+        assert result.total_hops == 0
+        assert result.route_for("a->b").hop_count == 0
+
+    def test_statistics_accumulate(self):
+        fabric = linear_fabric()
+        netlist = two_node_netlist(width=16)
+        placement = Placement("line", "pair", {"a": (0, 0), "b": (0, 2)})
+        result = MeshRouter(fabric).route(netlist, placement)
+        assert result.total_hops == 2
+        assert result.total_wire_bits == 32
+        assert 0.0 < result.peak_channel_utilisation <= 1.0
+
+    def test_missing_route_lookup_raises(self):
+        fabric = linear_fabric()
+        netlist = two_node_netlist()
+        placement = Placement("line", "pair", {"a": (0, 0), "b": (0, 1)})
+        result = MeshRouter(fabric).route(netlist, placement)
+        with pytest.raises(RoutingError):
+            result.route_for("unknown")
+
+
+class TestCongestion:
+    def test_unroutable_when_channel_capacity_exhausted(self):
+        # A single coarse track on a 1-D fabric cannot carry two byte buses
+        # between the same pair of positions.
+        fabric = linear_fabric(cols=2, coarse=1, fine=0)
+        netlist = Netlist("congested")
+        for name in ("a", "b", "c", "d"):
+            netlist.add_node(name, ClusterKind.ADD_SHIFT)
+        netlist.connect("a", "b", width_bits=8)
+        netlist.connect("c", "d", width_bits=8)
+        placement = Placement("line", "congested",
+                              {"a": (0, 0), "b": (0, 1), "c": (0, 0), "d": (0, 1)})
+        with pytest.raises(RoutingError):
+            MeshRouter(fabric).route(netlist, placement)
+
+    def test_congestion_spreads_routes_on_2d_fabric(self):
+        spec = MeshSpec(coarse_tracks_per_channel=1, fine_tracks_per_channel=0)
+        fabric = Fabric("grid", rows=2, cols=2, mesh_spec=spec)
+        for row in range(2):
+            for col in range(2):
+                fabric.place_cluster((row, col), ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+        netlist = Netlist("spread")
+        for name in ("a", "b", "c", "d"):
+            netlist.add_node(name, ClusterKind.ADD_SHIFT)
+        netlist.connect("a", "b", width_bits=8)
+        netlist.connect("c", "d", width_bits=8)
+        placement = Placement("grid", "spread",
+                              {"a": (0, 0), "b": (0, 1), "c": (1, 0), "d": (1, 1)})
+        result = MeshRouter(fabric).route(netlist, placement)
+        assert result.total_hops == 2
+
+    def test_full_flow_on_placed_netlist(self):
+        fabric = linear_fabric(cols=6)
+        netlist = Netlist("flow")
+        previous = None
+        for i in range(5):
+            netlist.add_node(f"n{i}", ClusterKind.ADD_SHIFT)
+            if previous is not None:
+                netlist.connect(previous, f"n{i}", width_bits=16)
+            previous = f"n{i}"
+        placement = GreedyPlacer(fabric).place(netlist)
+        result = MeshRouter(fabric).route(netlist, placement)
+        assert len(result.routes) == 4

@@ -1,0 +1,109 @@
+"""Unit tests of the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.arrays.da_array import DAArrayGeometry, build_da_array
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import MappingError
+from repro.core.netlist import Netlist
+from repro.core.scheduler import ListScheduler, fold_factor
+from repro.dct import CordicDCT2, SCCDirectDCT
+
+
+def chain(length: int = 4) -> Netlist:
+    netlist = Netlist(f"chain{length}")
+    previous = None
+    for i in range(length):
+        netlist.add_node(f"n{i}", ClusterKind.ADD_SHIFT)
+        if previous is not None:
+            netlist.connect(previous, f"n{i}")
+        previous = f"n{i}"
+    return netlist
+
+
+def parallel_nodes(count: int = 6) -> Netlist:
+    netlist = Netlist(f"parallel{count}")
+    for i in range(count):
+        netlist.add_node(f"p{i}", ClusterKind.ADD_SHIFT)
+    return netlist
+
+
+class TestDependencies:
+    def test_chain_is_fully_serialised(self):
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: 8}).schedule(chain(5))
+        starts = [schedule.operations[f"n{i}"].start_cycle for i in range(5)]
+        assert starts == sorted(starts)
+        assert schedule.length_cycles == 5
+
+    def test_producers_finish_before_consumers_start(self):
+        netlist = chain(4)
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: 2}).schedule(netlist)
+        for net in netlist.nets:
+            assert (schedule.operations[net.source].end_cycle
+                    <= schedule.operations[net.sink].start_cycle)
+
+
+class TestResourceConstraints:
+    def test_unconstrained_parallel_nodes_start_together(self):
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: 6}).schedule(parallel_nodes(6))
+        assert schedule.length_cycles == 1
+        assert schedule.peak_concurrency(ClusterKind.ADD_SHIFT) == 6
+
+    def test_scarce_clusters_force_time_multiplexing(self):
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: 2}).schedule(parallel_nodes(6))
+        assert schedule.length_cycles == 3
+        assert schedule.peak_concurrency(ClusterKind.ADD_SHIFT) == 2
+
+    def test_capacity_of_zero_rejected(self):
+        with pytest.raises(MappingError):
+            ListScheduler({ClusterKind.MEMORY: 4}).schedule(parallel_nodes(2))
+
+    def test_latency_override_lengthens_schedule(self):
+        fast = ListScheduler({ClusterKind.ADD_SHIFT: 2}).schedule(parallel_nodes(4))
+        slow = ListScheduler({ClusterKind.ADD_SHIFT: 2},
+                             latency={ClusterKind.ADD_SHIFT: 3}).schedule(parallel_nodes(4))
+        assert slow.length_cycles == 3 * fast.length_cycles
+
+    def test_physical_instances_stay_within_capacity(self):
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: 3}).schedule(parallel_nodes(9))
+        assert max(op.physical_instance for op in schedule.operations.values()) <= 2
+
+
+class TestFabricIntegration:
+    def test_for_fabric_uses_cluster_capacities(self):
+        fabric = build_da_array()
+        scheduler = ListScheduler.for_fabric(fabric)
+        schedule = scheduler.schedule(SCCDirectDCT().build_netlist())
+        assert schedule.length_cycles >= 1
+        assert schedule.utilisation(fabric.capacity()) > 0.0
+
+    def test_small_array_needs_a_longer_schedule(self):
+        netlist = CordicDCT2().build_netlist()
+        large = ListScheduler.for_fabric(build_da_array()).schedule(netlist)
+        # 2x2 Add-Shift sites force the 32 Add-Shift operations to fold 8x,
+        # which exceeds the dependency-limited schedule length.
+        tiny_fabric = build_da_array(DAArrayGeometry(rows=2, add_shift_columns=2,
+                                                     memory_columns=1))
+        small = ListScheduler.for_fabric(tiny_fabric).schedule(netlist)
+        assert small.length_cycles > large.length_cycles
+        assert small.peak_concurrency(ClusterKind.ADD_SHIFT) <= 4
+
+    def test_fold_factor_reflects_oversubscription(self):
+        netlist = parallel_nodes(8)
+        assert fold_factor(netlist, {ClusterKind.ADD_SHIFT: 8}) == 1.0
+        assert fold_factor(netlist, {ClusterKind.ADD_SHIFT: 2}) == 4.0
+        with pytest.raises(MappingError):
+            fold_factor(netlist, {ClusterKind.MEMORY: 1})
+
+    def test_cordic2_time_sharing_matches_fold_factor(self):
+        # Constrain the Add-Shift clusters hard enough (32 operations on 4
+        # clusters = 8-way folding) that the schedule must stretch well
+        # beyond its dependency-limited length.
+        netlist = CordicDCT2().build_netlist()
+        generous = ListScheduler({ClusterKind.ADD_SHIFT: 64,
+                                  ClusterKind.MEMORY: 16}).schedule(netlist)
+        constrained = ListScheduler({ClusterKind.ADD_SHIFT: 4,
+                                     ClusterKind.MEMORY: 2}).schedule(netlist)
+        assert constrained.length_cycles > generous.length_cycles
+        assert constrained.length_cycles >= fold_factor(
+            netlist, {ClusterKind.ADD_SHIFT: 4, ClusterKind.MEMORY: 2})

@@ -1,0 +1,112 @@
+"""Unit tests of the generic dataflow simulator."""
+
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import SimulationError
+from repro.core.netlist import Netlist
+from repro.core.simulator import DataflowSimulator
+
+
+def adder_chain() -> Netlist:
+    netlist = Netlist("adder_chain")
+    netlist.add_node("in0", ClusterKind.ADD_SHIFT)
+    netlist.add_node("in1", ClusterKind.ADD_SHIFT)
+    netlist.add_node("sum", ClusterKind.ADD_SHIFT, role="adder")
+    netlist.add_node("acc", ClusterKind.ADD_SHIFT, role="accumulator")
+    netlist.connect("in0", "sum")
+    netlist.connect("in1", "sum")
+    netlist.connect("sum", "acc")
+    return netlist
+
+
+class TestBinding:
+    def test_bind_unknown_node_rejected(self):
+        simulator = DataflowSimulator(adder_chain())
+        with pytest.raises(SimulationError):
+            simulator.bind("nope", lambda inputs: 0)
+
+    def test_drive_unknown_node_rejected(self):
+        simulator = DataflowSimulator(adder_chain())
+        with pytest.raises(SimulationError):
+            simulator.drive("nope", 1)
+
+    def test_step_with_nothing_bound_rejected(self):
+        simulator = DataflowSimulator(adder_chain())
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+
+class TestExecution:
+    def test_combinational_adder_propagates_within_cycle(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.bind_constant("in0", 3)
+        simulator.bind_constant("in1", 4)
+        simulator.bind("sum", lambda inputs: inputs["in0"] + inputs["in1"])
+        simulator.bind("acc", lambda inputs: inputs["sum"])
+        values = simulator.step()
+        assert values["sum"] == 7
+        assert values["acc"] == 7
+
+    def test_registered_node_delays_by_one_cycle(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.bind_constant("in0", 3)
+        simulator.bind_constant("in1", 4)
+        simulator.bind("sum", lambda inputs: inputs["in0"] + inputs["in1"],
+                       registered=True)
+        simulator.bind("acc", lambda inputs: inputs["sum"])
+        first = simulator.step()
+        assert first["acc"] == 0          # register still holds its reset value
+        second = simulator.step()
+        assert second["acc"] == 7
+
+    def test_stateful_behaviour_accumulates(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.bind_constant("in0", 1)
+        simulator.bind_constant("in1", 2)
+        simulator.bind("sum", lambda inputs: inputs["in0"] + inputs["in1"])
+        state = {"total": 0}
+
+        def accumulate(inputs):
+            state["total"] += inputs["sum"]
+            return state["total"]
+
+        simulator.bind("acc", accumulate)
+        simulator.run(4)
+        assert simulator.value_of("acc") == 12
+
+    def test_drive_overrides_external_input(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.bind("sum", lambda inputs: inputs.get("in0", 0) + inputs.get("in1", 0))
+        simulator.bind("acc", lambda inputs: inputs["sum"])
+        simulator.drive("in0", 10)
+        simulator.drive("in1", 20)
+        values = simulator.step()
+        assert values["sum"] == 30
+
+    def test_reset_restores_zero_state(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.bind_constant("in0", 5)
+        simulator.bind_constant("in1", 5)
+        simulator.bind("sum", lambda inputs: inputs["in0"] + inputs["in1"])
+        simulator.bind("acc", lambda inputs: inputs["sum"])
+        simulator.step()
+        simulator.reset()
+        assert simulator.cycle == 0
+        assert simulator.value_of("acc") == 0
+
+    def test_trace_recording(self):
+        simulator = DataflowSimulator(adder_chain())
+        simulator.record_trace = True
+        simulator.bind_constant("in0", 1)
+        simulator.bind_constant("in1", 1)
+        simulator.bind("sum", lambda inputs: inputs["in0"] + inputs["in1"])
+        simulator.bind("acc", lambda inputs: inputs["sum"])
+        simulator.run(3)
+        assert len(simulator.trace) == 3
+        assert simulator.trace[-1].values["sum"] == 2
+
+    def test_negative_cycle_count_rejected(self):
+        simulator = DataflowSimulator(adder_chain())
+        with pytest.raises(SimulationError):
+            simulator.run(-1)

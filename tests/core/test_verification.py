@@ -1,0 +1,105 @@
+"""Unit tests of the design-rule checks on mapped designs."""
+
+import pytest
+
+from repro.arrays import build_da_array, build_me_array
+from repro.core.mapper import GreedyPlacer, Placement
+from repro.core.router import MeshRouter, Route, RoutingResult
+from repro.core.verification import (
+    verify_mapped_design,
+    verify_placement,
+    verify_routing,
+)
+from repro.dct import CordicDCT1, MixedRomDCT
+from repro.me import build_systolic_netlist
+
+
+@pytest.fixture(scope="module")
+def legal_design():
+    fabric = build_da_array()
+    netlist = MixedRomDCT().build_netlist()
+    placement = GreedyPlacer(fabric).place(netlist)
+    routing = MeshRouter(fabric).route(netlist, placement)
+    return fabric, netlist, placement, routing
+
+
+class TestLegalDesignsPass:
+    def test_flow_output_passes_all_checks(self, legal_design):
+        report = verify_mapped_design(*legal_design)
+        assert report.passed, report.violations
+        assert report.checks_run > 0
+        assert report.summary().startswith("PASS")
+
+    def test_cordic_netlist_also_passes(self):
+        fabric = build_da_array()
+        netlist = CordicDCT1().build_netlist()
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        assert verify_mapped_design(fabric, netlist, placement, routing).passed
+
+    def test_systolic_engine_on_me_array_passes(self):
+        fabric = build_me_array()
+        netlist = build_systolic_netlist(module_count=2, pes_per_module=8)
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        assert verify_mapped_design(fabric, netlist, placement, routing).passed
+
+
+class TestViolationsAreDetected:
+    def test_missing_node_reported(self, legal_design):
+        fabric, netlist, placement, _ = legal_design
+        broken = Placement(fabric.name, netlist.name, dict(placement.assignment))
+        removed = netlist.nodes[0].name
+        del broken.assignment[removed]
+        report = verify_placement(fabric, netlist, broken)
+        assert not report.passed
+        assert any(removed in violation for violation in report.violations)
+
+    def test_wrong_site_kind_reported(self, legal_design):
+        fabric, netlist, placement, _ = legal_design
+        broken = Placement(fabric.name, netlist.name, dict(placement.assignment))
+        # Move an Add-Shift node onto a memory site.
+        from repro.core.clusters import ClusterKind
+        add_shift_node = netlist.nodes_of_kind(ClusterKind.ADD_SHIFT)[0].name
+        memory_site = fabric.sites_of_kind(ClusterKind.MEMORY)[-1].position
+        broken.assignment[add_shift_node] = memory_site
+        report = verify_placement(fabric, netlist, broken)
+        assert any("site" in violation for violation in report.violations)
+
+    def test_shared_site_reported(self, legal_design):
+        fabric, netlist, placement, _ = legal_design
+        broken = Placement(fabric.name, netlist.name, dict(placement.assignment))
+        names = [node.name for node in netlist.nodes_of_kind(
+            list(netlist.kind_histogram())[0])]
+        broken.assignment[names[0]] = broken.assignment[names[1]]
+        report = verify_placement(fabric, netlist, broken)
+        assert any("shared" in violation for violation in report.violations)
+
+    def test_disconnected_route_reported(self, legal_design):
+        fabric, netlist, placement, routing = legal_design
+        target = next(route for route in routing.routes if route.hop_count > 0)
+        broken_routes = [route for route in routing.routes if route is not target]
+        broken_routes.append(Route(target.net_name, target.width_bits,
+                                   (target.path[0], (0, 0))))
+        broken = RoutingResult(routes=broken_routes)
+        report = verify_routing(fabric, netlist, placement, broken)
+        assert not report.passed
+
+    def test_missing_route_reported(self, legal_design):
+        fabric, netlist, placement, routing = legal_design
+        broken = RoutingResult(routes=routing.routes[:-1])
+        report = verify_routing(fabric, netlist, placement, broken)
+        assert any("no route" in violation for violation in report.violations)
+
+    def test_channel_oversubscription_reported(self, legal_design):
+        fabric, netlist, placement, routing = legal_design
+        # Duplicate every routed path many times so some channel exceeds its
+        # coarse-track capacity when re-derived by the checker.
+        duplicated = list(routing.routes)
+        widest = max((route for route in routing.routes if route.hop_count > 0),
+                     key=lambda route: route.width_bits)
+        for _ in range(64):
+            duplicated.append(widest)
+        report = verify_routing(fabric, netlist, placement,
+                                RoutingResult(routes=duplicated))
+        assert any("oversubscribes" in violation for violation in report.violations)

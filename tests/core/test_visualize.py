@@ -1,0 +1,64 @@
+"""Unit tests of the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.arrays import build_da_array
+from repro.core.mapper import GreedyPlacer
+from repro.core.router import MeshRouter
+from repro.core.visualize import congestion_map, design_report, placement_map
+from repro.dct import MixedRomDCT
+
+
+@pytest.fixture(scope="module")
+def mapped_design():
+    fabric = build_da_array()
+    netlist = MixedRomDCT().build_netlist()
+    placement = GreedyPlacer(fabric).place(netlist)
+    routing = MeshRouter(fabric).route(netlist, placement)
+    return fabric, netlist, placement, routing
+
+
+class TestPlacementMap:
+    def test_grid_dimensions_match_fabric(self, mapped_design):
+        fabric, netlist, placement, _ = mapped_design
+        lines = placement_map(fabric, placement, netlist).splitlines()
+        assert len(lines) == fabric.rows
+
+    def test_occupied_sites_rendered_upper_case(self, mapped_design):
+        fabric, netlist, placement, _ = mapped_design
+        rendered = placement_map(fabric, placement, netlist)
+        assert "ASH" in rendered          # occupied Add-Shift sites
+        assert "ash" in rendered          # free Add-Shift sites remain
+
+    def test_occupied_count_matches_placement(self, mapped_design):
+        fabric, netlist, placement, _ = mapped_design
+        rendered = placement_map(fabric, placement, netlist)
+        assert rendered.count("ASH") + rendered.count("MEM") == len(placement)
+
+
+class TestCongestionMap:
+    def test_dimensions_match_fabric(self, mapped_design):
+        fabric, *_ = mapped_design
+        lines = congestion_map(fabric).splitlines()
+        assert len(lines) == fabric.rows
+        assert all(len(line) == fabric.cols for line in lines)
+
+    def test_routed_fabric_shows_non_idle_cells(self, mapped_design):
+        fabric, *_ = mapped_design
+        rendered = congestion_map(fabric)
+        assert any(char not in " " for line in rendered.splitlines() for char in line)
+
+
+class TestDesignReport:
+    def test_report_contains_all_sections(self, mapped_design):
+        fabric, netlist, placement, routing = mapped_design
+        report = design_report(fabric, netlist, placement, routing)
+        assert "mixed_rom" in report
+        assert "placement map:" in report
+        assert "congestion map:" in report
+        assert "hops" in report
+
+    def test_report_without_routing_skips_congestion(self, mapped_design):
+        fabric, netlist, placement, _ = mapped_design
+        report = design_report(fabric, netlist, placement)
+        assert "congestion map:" not in report

@@ -1,0 +1,95 @@
+"""Tests of the CORDIC rotator primitive."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct.cordic import (
+    CordicRotator,
+    cordic_gain,
+    micro_rotation_angles,
+)
+
+
+class TestConstants:
+    def test_gain_converges_near_1_647(self):
+        assert cordic_gain(16) == pytest.approx(1.6468, abs=1e-3)
+
+    def test_gain_is_monotone_in_iterations(self):
+        assert cordic_gain(4) < cordic_gain(8) <= cordic_gain(16) * (1 + 1e-9)
+
+    def test_angle_rom_is_arctan_powers_of_two(self):
+        angles = micro_rotation_angles(4)
+        assert angles[0] == pytest.approx(math.pi / 4)
+        assert angles[1] == pytest.approx(math.atan(0.5))
+        assert len(angles) == 4
+
+
+class TestRotation:
+    @pytest.mark.parametrize("angle", [math.pi / 4, math.pi / 8, math.pi / 16,
+                                       3 * math.pi / 16, 0.1, -0.3])
+    def test_rotation_matches_ideal_within_precision(self, angle, rng):
+        rotator = CordicRotator(angle, iterations=14, frac_bits=14)
+        for _ in range(10):
+            p, q = rng.integers(-2000, 2000, 2)
+            got = rotator.rotate(float(p), float(q))
+            want = rotator.rotate_exact(float(p), float(q))
+            assert abs(got[0] - want[0]) <= 1.0
+            assert abs(got[1] - want[1]) <= 1.0
+
+    def test_gain_compensation_preserves_magnitude(self):
+        rotator = CordicRotator(math.pi / 8, iterations=14, frac_bits=14)
+        x, y = rotator.rotate(1000.0, 0.0)
+        assert math.hypot(x, y) == pytest.approx(1000.0, rel=5e-3)
+
+    def test_uncompensated_rotation_carries_the_gain(self):
+        rotator = CordicRotator(math.pi / 8, iterations=12, frac_bits=14,
+                                compensate_gain=False)
+        x, y = rotator.rotate(1000.0, 0.0)
+        assert math.hypot(x, y) == pytest.approx(1000.0 * rotator.gain, rel=5e-3)
+        assert rotator.output_scale == pytest.approx(rotator.gain)
+
+    def test_extra_scale_is_applied(self):
+        rotator = CordicRotator(0.0, iterations=12, frac_bits=14,
+                                extra_scale=math.sqrt(2.0))
+        x, _ = rotator.rotate(100.0, 0.0)
+        assert x == pytest.approx(100.0 * math.sqrt(2.0), rel=5e-3)
+
+    def test_zero_angle_is_identity(self):
+        rotator = CordicRotator(0.0, iterations=14, frac_bits=14)
+        x, y = rotator.rotate(123.0, -45.0)
+        assert x == pytest.approx(123.0, abs=0.5)
+        assert y == pytest.approx(-45.0, abs=0.5)
+
+    def test_more_iterations_reduce_error(self):
+        angle = math.pi / 8
+        coarse = CordicRotator(angle, iterations=6, frac_bits=14)
+        fine = CordicRotator(angle, iterations=16, frac_bits=14)
+        p, q = 1500.0, -700.0
+        exact = coarse.rotate_exact(p, q)
+        coarse_err = abs(coarse.rotate(p, q)[0] - exact[0])
+        fine_err = abs(fine.rotate(p, q)[0] - exact[0])
+        assert fine_err <= coarse_err + 1e-6
+
+
+class TestValidation:
+    def test_rejects_angles_beyond_convergence_range(self):
+        with pytest.raises(ConfigurationError):
+            CordicRotator(2.0)
+
+    def test_rejects_non_positive_iterations(self):
+        with pytest.raises(ConfigurationError):
+            CordicRotator(0.1, iterations=0)
+
+    def test_rejects_non_positive_frac_bits(self):
+        with pytest.raises(ConfigurationError):
+            CordicRotator(0.1, frac_bits=0)
+
+    def test_resource_constants_match_paper(self):
+        # One rotator = two shift-accumulators + two small ROMs on the array,
+        # with the paper's "fix size of 4 words" angle ROM.
+        assert CordicRotator.SHIFT_ACC_CLUSTERS == 2
+        assert CordicRotator.MEMORY_CLUSTERS == 2
+        assert CordicRotator.ROM_WORDS == 4

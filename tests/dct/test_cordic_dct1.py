@@ -1,0 +1,72 @@
+"""Tests of the CORDIC DCT implementation #1 (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.dct.cordic_dct1 import CordicDCT1
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.reference import dct_1d, dct_2d
+
+
+@pytest.fixture(scope="module")
+def transform() -> CordicDCT1:
+    return CordicDCT1()
+
+
+class TestAccuracy:
+    def test_matches_reference_on_random_vectors(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            assert np.max(np.abs(transform.forward(x) - dct_1d(x))) <= 1.5
+
+    def test_matches_reference_on_pixel_blocks(self, transform, rng):
+        block = rng.integers(0, 256, (8, 8))
+        assert np.max(np.abs(transform.forward_2d(block) - dct_2d(block))) <= 2.5
+
+    def test_more_accurate_than_the_da_implementations(self, transform, rng):
+        # The CORDIC datapath carries more fractional bits than the 6-bit DA
+        # LUTs, so its error on the same inputs should be smaller.
+        from repro.dct.da_dct import DistributedArithmeticDCT
+        da = DistributedArithmeticDCT()
+        worst_cordic, worst_da = 0.0, 0.0
+        for _ in range(10):
+            x = rng.integers(-2048, 2048, 8)
+            reference = dct_1d(x)
+            worst_cordic = max(worst_cordic,
+                               float(np.max(np.abs(transform.forward(x) - reference))))
+            worst_da = max(worst_da,
+                           float(np.max(np.abs(da.forward(x) - reference))))
+        assert worst_cordic < worst_da
+
+    def test_dc_of_constant_input(self, transform):
+        outputs = transform.forward([50] * 8)
+        assert outputs[0] == pytest.approx(50 * 8 / np.sqrt(8), rel=0.01)
+
+    def test_wrong_length_rejected(self, transform):
+        with pytest.raises(ValueError):
+            transform.forward([0] * 5)
+
+    def test_only_8_point_supported(self):
+        with pytest.raises(ValueError):
+            CordicDCT1(size=16)
+
+
+class TestStructure:
+    def test_declared_rotator_and_butterfly_counts(self, transform):
+        assert transform.rotator_count == 6
+        assert transform.butterfly_adder_count == 16
+
+    def test_netlist_matches_table1_column(self, transform):
+        row = transform.build_netlist().cluster_usage().as_table_row()
+        assert row == PAPER_TABLE1["cordic_1"]
+
+    def test_rotator_roms_are_small_and_fixed(self, transform):
+        from repro.core.clusters import ClusterKind
+        netlist = transform.build_netlist()
+        for node in netlist.nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == 4
+
+    def test_latency_grows_with_iterations(self):
+        fast = CordicDCT1(iterations=8)
+        slow = CordicDCT1(iterations=16)
+        assert slow.cycles_per_transform > fast.cycles_per_transform

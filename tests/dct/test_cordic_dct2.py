@@ -1,0 +1,73 @@
+"""Tests of the scaled CORDIC DCT implementation #2 (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.dct.cordic_dct2 import CordicDCT2
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.quantization import fold_scale_factors, quantisation_matrix, quantise, quantise_with_matrix
+from repro.dct.reference import dct_1d, dct_2d
+
+
+@pytest.fixture(scope="module")
+def transform() -> CordicDCT2:
+    return CordicDCT2()
+
+
+class TestAccuracy:
+    def test_normalised_output_matches_reference(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            error = np.max(np.abs(transform.forward_normalised(x) - dct_1d(x)))
+            assert error <= 1.5
+
+    def test_raw_output_is_scaled_not_normalised(self, transform, rng):
+        x = rng.integers(-255, 256, 8)
+        raw = transform.forward(x)
+        reference = dct_1d(x)
+        assert not np.allclose(raw, reference, atol=1.0)
+        assert np.allclose(raw * transform.scale_factors, reference, atol=1.5)
+
+    def test_scale_factors_absorb_into_quantiser(self, transform, rng):
+        # Quantising the scaled coefficients with a folded step matrix gives
+        # the same levels as quantising the true coefficients — the paper's
+        # "combined with the quantization constants" argument, here for a
+        # 1-D row of coefficients.
+        x = rng.integers(0, 256, 8)
+        true_row = dct_1d(x)
+        scaled_row = transform.forward(x)
+        steps = np.full(8, 16.0)
+        folded = steps / transform.scale_factors
+        levels_true = np.trunc(true_row / steps)
+        levels_scaled = np.trunc(scaled_row / folded)
+        assert np.array_equal(levels_true, levels_scaled)
+
+    def test_forward_2d_matches_reference(self, transform, rng):
+        block = rng.integers(0, 256, (8, 8))
+        assert np.max(np.abs(transform.forward_2d(block) - dct_2d(block))) <= 2.5
+
+    def test_only_8_point_supported(self):
+        with pytest.raises(ValueError):
+            CordicDCT2(size=4)
+
+
+class TestStructure:
+    def test_declared_rotator_and_butterfly_counts(self, transform):
+        assert transform.rotator_count == 3
+        assert transform.butterfly_adder_count == 20
+
+    def test_differences_from_cordic1_match_paper(self, transform):
+        # Sec. 3.4: "Uses 20 butterfly adders instead of 16" and "3 CORDIC
+        # rotators instead of 6".
+        from repro.dct.cordic_dct1 import CordicDCT1
+        first = CordicDCT1()
+        assert transform.butterfly_adder_count == first.butterfly_adder_count + 4
+        assert transform.rotator_count == first.rotator_count // 2
+
+    def test_netlist_matches_table1_column(self, transform):
+        row = transform.build_netlist().cluster_usage().as_table_row()
+        assert row == PAPER_TABLE1["cordic_2"]
+
+    def test_time_shared_rotators_cost_extra_latency(self, transform):
+        from repro.dct.cordic_dct1 import CordicDCT1
+        assert transform.cycles_per_transform > CordicDCT1().cycles_per_transform

@@ -1,0 +1,76 @@
+"""Tests of the plain Distributed-Arithmetic DCT (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.da_dct import FIG4_ROM_WORDS, DistributedArithmeticDCT
+from repro.dct.distributed_arithmetic import DAQuantisation
+from repro.dct.reference import dct_1d, dct_2d
+
+
+@pytest.fixture(scope="module")
+def transform() -> DistributedArithmeticDCT:
+    return DistributedArithmeticDCT()
+
+
+def tolerance_for(transform, magnitude: float) -> float:
+    # Worst-case LUT rounding accumulates over the 8 coefficients and the
+    # bit-serial weighting; a magnitude-proportional bound with a safety
+    # factor keeps the test meaningful without being brittle.
+    return 8 * magnitude * transform.quantisation.output_scale + 1.0
+
+
+class TestAccuracy:
+    def test_matches_reference_on_random_vectors(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            assert np.max(np.abs(transform.forward(x) - dct_1d(x))) \
+                <= tolerance_for(transform, 2048)
+
+    def test_matches_reference_on_pixel_blocks(self, transform, rng):
+        block = rng.integers(0, 256, (8, 8))
+        error = np.max(np.abs(transform.forward_2d(block) - dct_2d(block)))
+        assert error <= 2 * tolerance_for(transform, 256)
+
+    def test_dc_of_constant_input(self, transform):
+        outputs = transform.forward([100] * 8)
+        assert outputs[0] == pytest.approx(100 * 8 / np.sqrt(8), rel=0.01)
+        assert np.max(np.abs(outputs[1:])) <= 1.0
+
+    def test_zero_input_gives_zero_output(self, transform):
+        assert np.allclose(transform.forward([0] * 8), 0.0)
+
+    def test_wrong_length_rejected(self, transform):
+        with pytest.raises(ValueError):
+            transform.forward([1] * 7)
+        with pytest.raises(ValueError):
+            transform.forward_2d(np.zeros((4, 4)))
+
+
+class TestStructure:
+    def test_cycles_per_transform_is_input_bit_count(self, transform):
+        assert transform.cycles_per_transform == transform.quantisation.input_bits
+
+    def test_netlist_matches_fig4_resources(self, transform):
+        usage = transform.build_netlist().cluster_usage()
+        assert usage.shift_registers == 8
+        assert usage.accumulators == 8
+        assert usage.memory_clusters == 8
+        assert usage.adders == 0 and usage.subtracters == 0
+
+    def test_roms_have_256_words(self, transform):
+        netlist = transform.build_netlist()
+        for node in netlist.nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == FIG4_ROM_WORDS
+
+    def test_address_broadcast_connects_every_register_to_every_rom(self, transform):
+        netlist = transform.build_netlist()
+        one_bit_nets = [net for net in netlist.nets if net.width_bits == 1]
+        assert len(one_bit_nets) == 8 * 8
+
+    def test_custom_quantisation_propagates(self):
+        transform = DistributedArithmeticDCT(
+            quantisation=DAQuantisation(input_bits=9, coeff_frac_bits=8,
+                                        accumulator_bits=24))
+        assert transform.cycles_per_transform == 9

@@ -1,0 +1,94 @@
+"""Tests of the Distributed-Arithmetic primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct.distributed_arithmetic import (
+    DAChannel,
+    DALookupTable,
+    DAQuantisation,
+    da_dot_product,
+)
+
+
+class TestQuantisation:
+    def test_output_scale_inverse_of_frac_bits(self):
+        q = DAQuantisation(input_bits=8, coeff_frac_bits=6, accumulator_bits=24)
+        assert q.output_scale == pytest.approx(1 / 64)
+
+    def test_narrow_accumulator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DAQuantisation(input_bits=12, coeff_frac_bits=8, accumulator_bits=16)
+
+    def test_minimum_input_bits(self):
+        with pytest.raises(ConfigurationError):
+            DAQuantisation(input_bits=1)
+
+
+class TestLookupTable:
+    def test_depth_is_two_to_the_inputs(self):
+        lut = DALookupTable([0.5, -0.25, 0.75])
+        assert lut.depth_words == 8
+
+    def test_word_zero_is_zero(self):
+        lut = DALookupTable([0.5, -0.25, 0.75])
+        assert lut.read(0) == 0
+
+    def test_word_contents_are_partial_sums(self):
+        q = DAQuantisation(input_bits=8, coeff_frac_bits=4, accumulator_bits=24)
+        lut = DALookupTable([0.5, 0.25], q)
+        # address 0b11 selects both coefficients: (0.5 + 0.25) * 16 = 12.
+        assert lut.read(3) == 12
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DALookupTable([])
+
+    def test_dot_matches_float_dot_product(self, rng):
+        coefficients = rng.normal(scale=0.4, size=8)
+        lut = DALookupTable(coefficients, DAQuantisation(input_bits=12))
+        inputs = rng.integers(-2048, 2048, 8)
+        expected = float(np.dot(coefficients, inputs))
+        tolerance = 8 * 2048 * lut.quantisation.output_scale  # worst-case rounding
+        assert abs(lut.dot_float(inputs) - expected) <= tolerance
+
+    def test_dot_handles_negative_inputs_exactly_with_exact_coefficients(self):
+        # Coefficients representable exactly in the fixed-point LUT make the
+        # DA result exact, which isolates the sign handling of the MSB.
+        q = DAQuantisation(input_bits=8, coeff_frac_bits=4, accumulator_bits=24)
+        lut = DALookupTable([0.5, -0.25], q)
+        assert lut.dot_float([-4, 8]) == pytest.approx(0.5 * -4 + -0.25 * 8)
+
+    def test_input_count_mismatch_rejected(self):
+        lut = DALookupTable([0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            lut.dot([1, 2, 3])
+
+    def test_one_shot_helper(self):
+        assert da_dot_product([1.0], [5],
+                              DAQuantisation(input_bits=8)) == pytest.approx(5.0)
+
+
+class TestDAChannel:
+    def test_channel_matches_lookup_table(self, rng):
+        coefficients = rng.normal(scale=0.4, size=4)
+        quantisation = DAQuantisation(input_bits=10)
+        channel = DAChannel(coefficients, quantisation)
+        lut = DALookupTable(coefficients, quantisation)
+        inputs = rng.integers(-512, 512, 4)
+        assert channel.compute(inputs) == lut.dot(inputs)
+
+    def test_channel_accumulates_activity(self):
+        channel = DAChannel([0.5, -0.5], DAQuantisation(input_bits=8))
+        channel.compute([100, -100])
+        assert channel.total_toggles() > 0
+
+    def test_cycles_per_transform_equals_input_bits(self):
+        channel = DAChannel([0.5, -0.5], DAQuantisation(input_bits=10))
+        assert channel.cycles_per_transform == 10
+
+    def test_wrong_input_count_rejected(self):
+        channel = DAChannel([0.5, -0.5])
+        with pytest.raises(ConfigurationError):
+            channel.compute([1, 2, 3])

@@ -1,0 +1,80 @@
+"""Tests of the inverse-DCT implementations (decoder path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.idct import DistributedArithmeticIDCT, MixedRomIDCT
+from repro.dct.reference import dct_1d, dct_2d, idct_1d
+
+
+@pytest.fixture(scope="module", params=[DistributedArithmeticIDCT, MixedRomIDCT])
+def inverse_transform(request):
+    return request.param()
+
+
+def error_bound(transform, magnitude: float) -> float:
+    return 8 * magnitude * transform.quantisation.output_scale + 1.0
+
+
+class TestAccuracy:
+    def test_inverse_matches_reference_on_random_coefficients(self, inverse_transform, rng):
+        for _ in range(10):
+            coefficients = np.rint(dct_1d(rng.integers(-255, 256, 8)))
+            expected = idct_1d(coefficients)
+            got = inverse_transform.inverse(coefficients)
+            assert np.max(np.abs(got - expected)) <= error_bound(inverse_transform, 2048)
+
+    def test_forward_then_inverse_recovers_pixels(self, inverse_transform, rng):
+        block = rng.integers(0, 256, (8, 8))
+        coefficients = np.rint(dct_2d(block))
+        reconstructed = inverse_transform.inverse_2d(coefficients)
+        # Two quantised passes: allow a loose but non-trivial bound.
+        assert np.max(np.abs(reconstructed - block)) <= 16.0
+
+    def test_dc_only_coefficients_give_flat_block(self, inverse_transform):
+        coefficients = np.zeros(8)
+        coefficients[0] = 800.0 / np.sqrt(8)   # DC of a flat 100-level row
+        samples = inverse_transform.inverse(coefficients)
+        assert np.allclose(samples, samples[0], atol=2.0)
+
+    def test_zero_coefficients_give_zero_samples(self, inverse_transform):
+        assert np.allclose(inverse_transform.inverse(np.zeros(8)), 0.0, atol=1e-9)
+
+    def test_wrong_length_rejected(self, inverse_transform):
+        with pytest.raises(ValueError):
+            inverse_transform.inverse(np.zeros(7))
+        with pytest.raises(ValueError):
+            inverse_transform.inverse_2d(np.zeros((4, 8)))
+
+
+class TestStructure:
+    def test_da_idct_netlist_mirrors_fig4(self):
+        netlist = DistributedArithmeticIDCT().build_netlist()
+        usage = netlist.cluster_usage()
+        assert usage.shift_registers == 8
+        assert usage.accumulators == 8
+        assert usage.memory_clusters == 8
+        assert usage.adders == 0 and usage.subtracters == 0
+
+    def test_mixed_rom_idct_uses_output_butterfly(self):
+        netlist = MixedRomIDCT().build_netlist()
+        usage = netlist.cluster_usage()
+        assert usage.adders == 4 and usage.subtracters == 4
+        assert usage.memory_clusters == 8
+        # Small ROMs: 16 words for the 4-input halves.
+        for node in netlist.nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == 16
+
+    def test_mixed_rom_idct_is_smaller_in_memory_than_da_idct(self):
+        from repro.core.metrics import memory_bits
+        assert (memory_bits(MixedRomIDCT().build_netlist())
+                < memory_bits(DistributedArithmeticIDCT().build_netlist()))
+
+    def test_odd_size_rejected_for_mixed_rom(self):
+        with pytest.raises(ValueError):
+            MixedRomIDCT(size=5)
+
+    def test_cycles_per_transform(self):
+        assert DistributedArithmeticIDCT().cycles_per_transform == 12
+        assert MixedRomIDCT().cycles_per_transform == 13

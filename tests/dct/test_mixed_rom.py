@@ -1,0 +1,72 @@
+"""Tests of the Mixed-ROM (4x4 matrix) DCT (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.mixed_rom import FIG5_ROM_WORDS, MixedRomDCT, even_matrix, odd_matrix
+from repro.dct.reference import dct_1d, dct_matrix
+
+
+@pytest.fixture(scope="module")
+def transform() -> MixedRomDCT:
+    return MixedRomDCT()
+
+
+class TestDecomposition:
+    def test_even_odd_matrices_rebuild_the_full_matrix(self):
+        full = dct_matrix(8)
+        even = even_matrix(8)
+        odd = odd_matrix(8)
+        # Even rows act on x_i + x_{7-i}: full[2k, i] == even[k, i] for i < 4
+        # and mirrored for i >= 4.
+        for k in range(4):
+            assert np.allclose(full[2 * k, :4], even[k])
+            assert np.allclose(full[2 * k, 4:], even[k][::-1])
+            assert np.allclose(full[2 * k + 1, :4], odd[k])
+            assert np.allclose(full[2 * k + 1, 4:], -odd[k][::-1])
+
+    def test_matrices_are_4x4(self):
+        assert even_matrix().shape == (4, 4)
+        assert odd_matrix().shape == (4, 4)
+
+
+class TestAccuracy:
+    def test_matches_reference_on_random_vectors(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            error = np.max(np.abs(transform.forward(x) - dct_1d(x)))
+            assert error <= 8 * 4096 * transform.quantisation.output_scale + 1.0
+
+    def test_matches_plain_da_implementation(self, transform, rng):
+        from repro.dct.da_dct import DistributedArithmeticDCT
+        plain = DistributedArithmeticDCT()
+        x = rng.integers(0, 256, 8)
+        assert np.max(np.abs(transform.forward(x) - plain.forward(x))) <= 4.0
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            MixedRomDCT(size=7)
+
+    def test_wrong_length_rejected(self, transform):
+        with pytest.raises(ValueError):
+            transform.forward([0] * 9)
+
+
+class TestStructure:
+    def test_netlist_matches_table1_column(self, transform):
+        row = transform.build_netlist().cluster_usage().as_table_row()
+        assert row == PAPER_TABLE1["mixed_rom"]
+
+    def test_roms_are_16_words(self, transform):
+        netlist = transform.build_netlist()
+        for node in netlist.nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == FIG5_ROM_WORDS
+
+    def test_rom_reduction_versus_fig4_is_16x(self, transform):
+        from repro.dct.da_dct import FIG4_ROM_WORDS
+        assert FIG4_ROM_WORDS // FIG5_ROM_WORDS == 16
+
+    def test_butterfly_needs_one_extra_cycle(self, transform):
+        assert transform.cycles_per_transform == transform.quantisation.input_bits + 1

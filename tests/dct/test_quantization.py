@@ -1,0 +1,82 @@
+"""Tests of the quantiser and the scale-factor folding."""
+
+import numpy as np
+import pytest
+
+from repro.dct.cordic_dct2 import CordicDCT2
+from repro.dct.quantization import (
+    dequantise,
+    fold_scale_factors,
+    quantisation_matrix,
+    quantise,
+    quantise_with_matrix,
+)
+from repro.dct.reference import dct_2d, idct_2d
+
+
+class TestUniformQuantiser:
+    def test_round_trip_error_bounded_by_step(self, rng):
+        coefficients = rng.normal(scale=200, size=(8, 8))
+        qp = 6
+        reconstructed = dequantise(quantise(coefficients, qp), qp)
+        # AC coefficients reconstruct within one quantiser step.
+        assert np.max(np.abs(reconstructed - coefficients)[1:, 1:]) <= 2 * qp + 1
+
+    def test_zero_levels_reconstruct_to_zero(self):
+        levels = quantise(np.full((8, 8), 0.4), qp=8)
+        assert np.all(dequantise(levels, qp=8)[1:, 1:] == 0)
+
+    def test_higher_qp_gives_coarser_levels(self, rng):
+        coefficients = rng.normal(scale=300, size=(8, 8))
+        fine = np.count_nonzero(quantise(coefficients, qp=2))
+        coarse = np.count_nonzero(quantise(coefficients, qp=20))
+        assert coarse <= fine
+
+    def test_invalid_qp_rejected(self):
+        with pytest.raises(ValueError):
+            quantise(np.zeros((8, 8)), qp=0)
+        with pytest.raises(ValueError):
+            dequantise(np.zeros((8, 8)), qp=40)
+
+    def test_intra_dc_uses_fixed_step(self):
+        coefficients = np.zeros((8, 8))
+        coefficients[0, 0] = 80.0
+        levels = quantise(coefficients, qp=20, intra_dc_step=8)
+        assert levels[0, 0] == 10
+
+
+class TestScaleFactorFolding:
+    def test_folded_steps_quantise_scaled_coefficients_identically(self, rng):
+        transform = CordicDCT2()
+        block = rng.integers(0, 256, (8, 8)).astype(float)
+        true_coefficients = dct_2d(block)
+        scales = transform.scale_factors
+        # Scaled coefficients as the hardware would produce them: divide the
+        # true ones by the row/column scale product.
+        scaled = true_coefficients / np.outer(scales, scales)
+        steps = quantisation_matrix(qp=8)
+        folded = fold_scale_factors(steps, scales)
+        assert np.array_equal(quantise_with_matrix(true_coefficients, steps),
+                              quantise_with_matrix(scaled, folded))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fold_scale_factors(np.ones((8, 8)), np.ones(4))
+        with pytest.raises(ValueError):
+            quantise_with_matrix(np.ones((8, 8)), np.ones((4, 4)))
+
+    def test_quantisation_matrix_dc_entry(self):
+        steps = quantisation_matrix(qp=10, intra_dc_step=8)
+        assert steps[0, 0] == 8
+        assert steps[3, 3] == 20
+
+
+class TestEndToEndCoding:
+    def test_quantised_reconstruction_quality_improves_with_lower_qp(self, rng):
+        block = rng.integers(0, 256, (8, 8)).astype(float)
+        coefficients = dct_2d(block)
+        errors = []
+        for qp in (2, 16):
+            reconstructed = idct_2d(dequantise(quantise(coefficients, qp), qp))
+            errors.append(float(np.mean((block - reconstructed) ** 2)))
+        assert errors[0] < errors[1]

@@ -1,0 +1,72 @@
+"""Tests of the floating-point reference DCT."""
+
+import numpy as np
+import pytest
+
+from repro.dct.reference import (
+    dct_1d,
+    dct_2d,
+    dct_matrix,
+    idct_1d,
+    idct_2d,
+    normalisation_factors,
+    reconstruction_error,
+    unnormalised_dct_1d,
+)
+
+
+class TestMatrixProperties:
+    def test_matrix_is_orthogonal(self):
+        matrix = dct_matrix(8)
+        assert np.allclose(matrix @ matrix.T, np.eye(8), atol=1e-12)
+
+    def test_dc_row_is_constant(self):
+        matrix = dct_matrix(8)
+        assert np.allclose(matrix[0], matrix[0, 0])
+
+    def test_rows_have_unit_norm(self):
+        matrix = dct_matrix(8)
+        assert np.allclose(np.linalg.norm(matrix, axis=1), 1.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestTransforms:
+    def test_round_trip_1d(self, random_vector):
+        assert np.allclose(idct_1d(dct_1d(random_vector)), random_vector)
+
+    def test_round_trip_2d(self, random_pixel_block):
+        coefficients = dct_2d(random_pixel_block)
+        assert np.allclose(idct_2d(coefficients), random_pixel_block)
+
+    def test_constant_block_concentrates_in_dc(self):
+        block = np.full((8, 8), 100.0)
+        coefficients = dct_2d(block)
+        assert coefficients[0, 0] == pytest.approx(800.0)
+        assert np.allclose(np.delete(coefficients.ravel(), 0), 0.0, atol=1e-9)
+
+    def test_parseval_energy_preserved(self, random_vector):
+        coefficients = dct_1d(random_vector)
+        assert np.sum(coefficients ** 2) == pytest.approx(
+            np.sum(np.asarray(random_vector, dtype=float) ** 2))
+
+    def test_unnormalised_matches_paper_equation(self, random_vector):
+        raw = unnormalised_dct_1d(random_vector)
+        assert np.allclose(raw * normalisation_factors(), dct_1d(random_vector))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            dct_1d(np.zeros(7))
+        with pytest.raises(ValueError):
+            dct_2d(np.zeros((4, 8)))
+
+    def test_reconstruction_error_zero_for_exact_coefficients(self, random_pixel_block):
+        coefficients = dct_2d(random_pixel_block)
+        assert reconstruction_error(random_pixel_block, coefficients) < 1e-9
+
+    def test_linearity(self, rng):
+        x = rng.normal(size=8)
+        y = rng.normal(size=8)
+        assert np.allclose(dct_1d(x + 2 * y), dct_1d(x) + 2 * dct_1d(y))

@@ -1,0 +1,106 @@
+"""Tests of the skew-circular-convolution DCT implementations (Figs. 8/9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.mapping import PAPER_TABLE1
+from repro.dct.mixed_rom import odd_matrix
+from repro.dct.reference import dct_1d
+from repro.dct.scc_dct import (
+    FIG8_ROM_WORDS,
+    FIG9_ROM_WORDS,
+    SCCDirectDCT,
+    SCCEvenOddDCT,
+    convolution_kernel,
+    generator_exponents,
+    odd_scc_matrix,
+)
+
+
+class TestNumberTheory:
+    def test_generator_exponents_for_8_point(self):
+        exponents = generator_exponents(8)
+        assert exponents[1] == 0
+        assert exponents[3] == 1
+        assert exponents[5] == 3
+        assert exponents[7] == 6
+
+    def test_every_odd_index_has_an_exponent(self):
+        exponents = generator_exponents(8)
+        for odd in (1, 3, 5, 7, 9, 11, 13, 15):
+            assert odd in exponents
+
+    def test_kernel_values_are_cosines_of_power_of_three_angles(self):
+        kernel = convolution_kernel(8)
+        assert kernel[0] == pytest.approx(np.cos(np.pi / 16))
+        assert kernel[1] == pytest.approx(np.cos(3 * np.pi / 16))
+        assert kernel[4] == pytest.approx(np.cos(17 * np.pi / 16))
+
+    def test_scc_odd_matrix_equals_direct_odd_matrix(self):
+        # The reordered-kernel construction must produce numerically the
+        # same odd-output matrix as the direct definition — this is the
+        # heart of Li's algorithm.
+        assert np.allclose(odd_scc_matrix(8), odd_matrix(8))
+
+
+class TestEvenOddImplementation:
+    @pytest.fixture(scope="class")
+    def transform(self) -> SCCEvenOddDCT:
+        return SCCEvenOddDCT()
+
+    def test_matches_reference(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            error = np.max(np.abs(transform.forward(x) - dct_1d(x)))
+            assert error <= 8 * 4096 * transform.quantisation.output_scale + 1.0
+
+    def test_netlist_matches_table1_column(self, transform):
+        row = transform.build_netlist().cluster_usage().as_table_row()
+        assert row == PAPER_TABLE1["scc_even_odd"]
+
+    def test_roms_are_16_words(self, transform):
+        for node in transform.build_netlist().nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == FIG8_ROM_WORDS
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            SCCEvenOddDCT(size=5)
+
+
+class TestDirectImplementation:
+    @pytest.fixture(scope="class")
+    def transform(self) -> SCCDirectDCT:
+        return SCCDirectDCT()
+
+    def test_matches_reference(self, transform, rng):
+        for _ in range(20):
+            x = rng.integers(-2048, 2048, 8)
+            error = np.max(np.abs(transform.forward(x) - dct_1d(x)))
+            assert error <= 8 * 2048 * transform.quantisation.output_scale + 1.0
+
+    def test_netlist_matches_table1_column(self, transform):
+        row = transform.build_netlist().cluster_usage().as_table_row()
+        assert row == PAPER_TABLE1["scc_direct"]
+
+    def test_no_input_adders_or_subtracters(self, transform):
+        usage = transform.build_netlist().cluster_usage()
+        assert usage.adders == 0
+        assert usage.subtracters == 0
+
+    def test_roms_are_16_times_larger_than_even_odd(self, transform):
+        for node in transform.build_netlist().nodes_of_kind(ClusterKind.MEMORY):
+            assert node.depth_words == FIG9_ROM_WORDS
+        assert FIG9_ROM_WORDS == 16 * FIG8_ROM_WORDS
+
+    def test_no_butterfly_cycle_in_latency(self, transform):
+        even_odd = SCCEvenOddDCT()
+        assert transform.cycles_per_transform < even_odd.cycles_per_transform
+
+
+class TestCrossImplementationAgreement:
+    def test_fig8_and_fig9_agree_on_the_same_block(self, rng):
+        even_odd = SCCEvenOddDCT()
+        direct = SCCDirectDCT()
+        x = rng.integers(0, 256, 8)
+        assert np.max(np.abs(even_odd.forward(x) - direct.forward(x))) <= 4.0

@@ -1,0 +1,100 @@
+"""Tests of the 5/3 lifting DWT on the Add-Shift clusters."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.filters.dwt import (
+    build_dwt_netlist,
+    dwt53_2d,
+    dwt53_2d_inverse,
+    dwt53_forward,
+    dwt53_inverse,
+    dwt53_multilevel,
+    dwt53_multilevel_inverse,
+)
+
+
+class TestOneLevel:
+    def test_perfect_reconstruction(self, rng):
+        signal = rng.integers(0, 256, 64)
+        approximation, detail = dwt53_forward(signal)
+        assert np.array_equal(dwt53_inverse(approximation, detail), signal)
+
+    def test_subband_lengths(self, rng):
+        signal = rng.integers(0, 256, 32)
+        approximation, detail = dwt53_forward(signal)
+        assert len(approximation) == len(detail) == 16
+
+    def test_constant_signal_has_zero_detail(self):
+        approximation, detail = dwt53_forward([100] * 16)
+        assert np.all(detail == 0)
+        assert np.all(approximation == 100)
+
+    def test_smooth_signal_concentrates_energy_in_approximation(self):
+        signal = np.arange(0, 64, 2)
+        approximation, detail = dwt53_forward(signal)
+        assert np.sum(approximation.astype(float) ** 2) \
+            > 10 * np.sum(detail.astype(float) ** 2)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            dwt53_forward([1, 2, 3])
+
+    def test_mismatched_subbands_rejected(self):
+        with pytest.raises(ValueError):
+            dwt53_inverse([1, 2], [1, 2, 3])
+
+
+class TestMultiLevel:
+    def test_round_trip_over_three_levels(self, rng):
+        signal = rng.integers(0, 256, 64)
+        bands = dwt53_multilevel(signal, levels=3)
+        assert len(bands) == 4
+        assert np.array_equal(dwt53_multilevel_inverse(bands), signal)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            dwt53_multilevel([1, 2, 3, 4], levels=0)
+        with pytest.raises(ValueError):
+            dwt53_multilevel_inverse([np.array([1, 2])])
+
+
+class TestTwoDimensional:
+    def test_round_trip_on_image_block(self, rng):
+        block = rng.integers(0, 256, (16, 16))
+        assert np.array_equal(dwt53_2d_inverse(dwt53_2d(block)), block)
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            dwt53_2d(np.zeros((15, 16)))
+
+    def test_ll_band_of_flat_block_is_flat(self):
+        block = np.full((8, 8), 50)
+        coefficients = dwt53_2d(block)
+        assert np.all(coefficients[:4, :4] == 50)
+        assert np.all(coefficients[4:, 4:] == 0)
+
+
+class TestNetlist:
+    def test_uses_only_add_shift_clusters(self):
+        netlist = build_dwt_netlist(16)
+        kinds = {node.kind for node in netlist.nodes}
+        assert kinds == {ClusterKind.ADD_SHIFT}
+        assert netlist.cluster_usage().memory_clusters == 0
+
+    def test_resources_scale_with_block_size(self):
+        small = build_dwt_netlist(8).cluster_usage().total_clusters
+        large = build_dwt_netlist(32).cluster_usage().total_clusters
+        assert large == 4 * small
+
+    def test_fits_on_the_da_array(self):
+        from repro.arrays import build_da_array
+        from repro.core.mapper import GreedyPlacer
+        fabric = build_da_array()
+        placement = GreedyPlacer(fabric).place(build_dwt_netlist(16))
+        assert len(placement) == 32
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_dwt_netlist(7)

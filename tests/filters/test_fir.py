@@ -1,0 +1,85 @@
+"""Tests of the Distributed-Arithmetic FIR filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.dct.distributed_arithmetic import DAQuantisation
+from repro.filters.fir import DistributedArithmeticFIR, symmetric_lowpass
+
+
+class TestLowpassPrototype:
+    def test_unit_dc_gain(self):
+        taps = symmetric_lowpass(8)
+        assert sum(taps) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        taps = symmetric_lowpass(9)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_lowpass(1)
+
+
+class TestFiltering:
+    def test_matches_numpy_convolution_within_quantisation(self, rng):
+        fir = DistributedArithmeticFIR(symmetric_lowpass(6))
+        signal = rng.integers(-2000, 2000, 64)
+        got = fir.filter(signal)
+        want = fir.filter_reference(signal)
+        bound = fir.tap_count * 2048 * fir.quantisation.output_scale + 1.0
+        assert np.max(np.abs(got - want)) <= bound
+
+    def test_exact_for_exactly_representable_taps(self):
+        fir = DistributedArithmeticFIR([0.5, -0.25, 0.125],
+                                       DAQuantisation(input_bits=10, coeff_frac_bits=6,
+                                                      accumulator_bits=24))
+        signal = [64, -32, 16, 8]
+        assert np.allclose(fir.filter(signal), fir.filter_reference(signal))
+
+    def test_constant_input_settles_to_dc_gain(self):
+        fir = DistributedArithmeticFIR(symmetric_lowpass(4))
+        outputs = fir.filter([100] * 20)
+        assert outputs[-1] == pytest.approx(100.0, abs=2.0)
+
+    def test_impulse_response_recovers_the_taps(self):
+        taps = [0.5, 0.25, -0.125]
+        fir = DistributedArithmeticFIR(taps, DAQuantisation(input_bits=10))
+        impulse = [128] + [0] * 5
+        response = fir.filter(impulse) / 128.0
+        assert np.allclose(response[:3], taps, atol=0.02)
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedArithmeticFIR([])
+
+
+class TestStructure:
+    def test_netlist_resources_scale_with_taps(self):
+        small = DistributedArithmeticFIR(symmetric_lowpass(4)).build_netlist()
+        large = DistributedArithmeticFIR(symmetric_lowpass(8)).build_netlist()
+        assert (large.cluster_usage().shift_registers
+                > small.cluster_usage().shift_registers)
+        assert small.cluster_usage().memory_clusters == 1
+        assert large.cluster_usage().memory_clusters == 1
+
+    def test_rom_depth_is_two_to_the_taps(self):
+        fir = DistributedArithmeticFIR(symmetric_lowpass(5))
+        rom_nodes = fir.build_netlist().nodes_of_kind(ClusterKind.MEMORY)
+        assert rom_nodes[0].depth_words == 32
+
+    def test_fits_on_the_da_array(self):
+        from repro.arrays import build_da_array
+        from repro.core.mapper import GreedyPlacer
+        from repro.core.router import MeshRouter
+        fir = DistributedArithmeticFIR(symmetric_lowpass(8))
+        fabric = build_da_array()
+        netlist = fir.build_netlist()
+        placement = GreedyPlacer(fabric).place(netlist)
+        routing = MeshRouter(fabric).route(netlist, placement)
+        assert routing.total_hops > 0
+
+    def test_cycles_per_sample_is_input_bits(self):
+        fir = DistributedArithmeticFIR(symmetric_lowpass(4))
+        assert fir.cycles_per_sample == fir.quantisation.input_bits

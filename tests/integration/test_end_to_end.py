@@ -1,0 +1,119 @@
+"""Integration tests spanning the SoC, the mapping flow, the kernels and the encoder."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ReconfigurableSoC, build_da_array, build_me_array
+from repro.dct import (
+    CordicDCT1,
+    MixedRomDCT,
+    SCCDirectDCT,
+    dct_implementations,
+    generate_table1,
+)
+from repro.dct.reference import dct_2d
+from repro.me import SystolicArray, build_systolic_netlist, full_search
+from repro.power import compare_to_fpga, power_per_block
+from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
+
+
+class TestSoCHostsBothKernels:
+    def test_both_arrays_loaded_and_reconfigured(self):
+        soc = ReconfigurableSoC()
+        soc.attach_array(build_da_array())
+        soc.attach_array(build_me_array())
+        dct_kernel = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
+        me_kernel = soc.map_and_load(build_systolic_netlist(module_count=2,
+                                                            pes_per_module=8),
+                                     "me_array")
+        assert soc.loaded_kernel("da_array") is dct_kernel
+        assert soc.loaded_kernel("me_array") is me_kernel
+        # Low-battery condition: switch the DCT to the smallest mapping.
+        low_power = soc.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        assert soc.loaded_kernel("da_array") is low_power
+        assert soc.reconfiguration_count("da_array") == 2
+        assert (low_power.bitstream.total_bits()
+                != dct_kernel.bitstream.total_bits())
+
+    def test_every_table1_implementation_loads_on_the_same_soc(self):
+        soc = ReconfigurableSoC()
+        soc.attach_array(build_da_array())
+        for implementation in dct_implementations():
+            kernel = soc.map_and_load(implementation.build_netlist(), "da_array")
+            assert kernel.bitstream.total_bits() > 0
+        assert soc.reconfiguration_count("da_array") == 5
+
+
+class TestKernelAgreement:
+    def test_all_dct_implementations_agree_on_video_blocks(self, rng):
+        block = rng.integers(0, 256, (8, 8))
+        reference = dct_2d(block)
+        # The DA-based implementations quantise their coefficients to 6
+        # fractional bits, and the row/column passes compound the error, so
+        # the agreement bound is looser than the 1-D unit tests but still a
+        # small fraction of the coefficient range (|DC| can reach 2040).
+        for implementation in dct_implementations():
+            outputs = implementation.forward_2d(block)
+            assert np.max(np.abs(outputs - reference)) < 12.0
+
+    def test_systolic_array_and_software_search_agree_across_blocks(self):
+        sequence = panning_sequence(height=48, width=48, pan=(1, 1), seed=21)
+        reference_frame, current_frame = sequence.frame(0), sequence.frame(1)
+        array = SystolicArray()
+        for top, left in ((16, 16), (16, 0), (0, 16)):
+            hardware = array.search(current_frame, reference_frame, top, left,
+                                    block_size=16, search_range=3)
+            software = full_search(current_frame, reference_frame, top, left,
+                                   16, 3)
+            assert hardware.motion_vector == software.motion_vector
+            assert hardware.best.sad == software.best.sad
+
+
+class TestEncoderOnMappedKernels:
+    def test_encoding_with_a_mapped_dct_matches_reference_quality(self):
+        sequence = panning_sequence(height=48, width=48, pan=(1, 2), seed=5)
+        frames = [sequence.frame(i) for i in range(2)]
+        reference_encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3))
+        mapped_encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3,
+                                                           dct_transform=CordicDCT1()))
+        reference_stats = reference_encoder.encode_sequence(frames)
+        mapped_stats = mapped_encoder.encode_sequence(frames)
+        for ref, mapped in zip(reference_stats, mapped_stats):
+            assert abs(ref.psnr_db - mapped.psnr_db) < 1.5
+
+
+class TestEnergyTradeoff:
+    def test_per_block_energy_ranks_implementations_differently_than_area(self):
+        # Sec. 3.6: area alone does not decide power — cycle count and
+        # activity matter.  CORDIC 2 is smaller than CORDIC 1 in clusters
+        # but needs roughly twice the cycles per transform.
+        table1 = generate_table1()
+        fabric = build_da_array()
+        from repro.power import domain_specific_cost
+        implementations = {impl.name: impl for impl in dct_implementations()}
+        energies = {}
+        areas = {}
+        for name, mapped in table1.items():
+            cost = domain_specific_cost(mapped.netlist, fabric, activity=0.25,
+                                        routing=mapped.routing)
+            energies[name] = power_per_block(cost, implementations[name].cycles_per_transform)
+            areas[name] = mapped.usage.total_clusters
+        assert areas["cordic_2"] < areas["cordic_1"]
+        assert energies["cordic_2"] > 0
+        # The ranking by energy is not identical to the ranking by area.
+        by_area = sorted(areas, key=areas.get)
+        by_energy = sorted(energies, key=energies.get)
+        assert by_area != by_energy
+
+    def test_me_and_da_comparisons_hold_simultaneously(self):
+        from repro.me import map_systolic_array
+        systolic = map_systolic_array()
+        me_comparison = compare_to_fpga(systolic.netlist, build_me_array(),
+                                        routing=systolic.routing)
+        table1 = generate_table1()
+        da_comparison = compare_to_fpga(table1["scc_direct"].netlist,
+                                        build_da_array(),
+                                        routing=table1["scc_direct"].routing)
+        assert me_comparison.power_reduction > da_comparison.power_reduction
+        assert me_comparison.area_reduction > da_comparison.area_reduction
+        assert me_comparison.timing_improvement > 0 > da_comparison.max_frequency_change

@@ -1,0 +1,62 @@
+"""Tests of the fast (three-step, diamond) search algorithms."""
+
+import pytest
+
+from repro.me.fast_search import diamond_search, search_by_name, three_step_search
+from repro.me.full_search import full_search
+
+
+class TestThreeStep:
+    def test_recovers_known_global_motion(self, small_sequence):
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        result = three_step_search(current, reference, 16, 16, 16, 4)
+        assert result.motion_vector == small_sequence.ground_truth_background_vector()
+
+    def test_evaluates_fewer_candidates_than_full_search(self, frame_pair):
+        reference, current = frame_pair
+        fast = three_step_search(current, reference, 16, 16, 16, 8)
+        full = full_search(current, reference, 16, 16, 16, 8)
+        assert fast.candidates_evaluated < full.candidates_evaluated
+        assert fast.sad_operations < full.sad_operations
+
+    def test_never_better_than_full_search(self, frame_pair):
+        reference, current = frame_pair
+        fast = three_step_search(current, reference, 32, 16, 16, 8)
+        full = full_search(current, reference, 32, 16, 16, 8)
+        assert fast.best.sad >= full.best.sad
+
+    def test_stays_within_the_search_window(self, frame_pair):
+        reference, current = frame_pair
+        result = three_step_search(current, reference, 16, 16, 16, 4)
+        dy, dx = result.motion_vector
+        assert abs(dy) <= 4 and abs(dx) <= 4
+
+
+class TestDiamond:
+    def test_recovers_known_global_motion(self, small_sequence):
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        result = diamond_search(current, reference, 16, 16, 16, 4)
+        assert result.motion_vector == small_sequence.ground_truth_background_vector()
+
+    def test_evaluates_fewer_candidates_than_full_search(self, frame_pair):
+        reference, current = frame_pair
+        fast = diamond_search(current, reference, 16, 16, 16, 8)
+        full = full_search(current, reference, 16, 16, 16, 8)
+        assert fast.candidates_evaluated < full.candidates_evaluated
+
+    def test_never_better_than_full_search(self, frame_pair):
+        reference, current = frame_pair
+        fast = diamond_search(current, reference, 32, 16, 16, 8)
+        full = full_search(current, reference, 32, 16, 16, 8)
+        assert fast.best.sad >= full.best.sad
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert search_by_name("three_step") is three_step_search
+        assert search_by_name("diamond") is diamond_search
+        assert search_by_name("full") is full_search
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            search_by_name("exhaustive")

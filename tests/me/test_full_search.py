@@ -1,0 +1,74 @@
+"""Tests of the full-search block-matching reference."""
+
+import numpy as np
+import pytest
+
+from repro.me.full_search import (
+    candidate_displacements,
+    full_search,
+    full_search_frame,
+    motion_field,
+)
+from repro.me.sad import sad_at
+from repro.video.frames import panning_sequence
+
+
+class TestCandidates:
+    def test_window_size_without_upper_edge(self):
+        assert len(candidate_displacements(8)) == 16 * 16
+
+    def test_window_size_with_upper_edge(self):
+        assert len(candidate_displacements(8, include_upper=True)) == 17 * 17
+
+    def test_zero_displacement_always_included(self):
+        assert (0, 0) in candidate_displacements(4)
+
+
+class TestSingleBlock:
+    def test_recovers_known_global_motion(self, small_sequence):
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        result = full_search(current, reference, 16, 16, 16, 4)
+        assert result.motion_vector == small_sequence.ground_truth_background_vector()
+        assert result.best.sad == 0
+
+    def test_static_scene_returns_zero_vector(self):
+        sequence = panning_sequence(height=64, width=64, pan=(0, 0), seed=2)
+        reference, current = sequence.frame(0), sequence.frame(1)
+        result = full_search(current, reference, 16, 16, 16, 4)
+        assert result.motion_vector == (0, 0)
+
+    def test_best_sad_is_truly_the_minimum(self, frame_pair):
+        reference, current = frame_pair
+        result = full_search(current, reference, 16, 16, 16, 3)
+        for dy, dx in candidate_displacements(3):
+            assert result.best.sad <= sad_at(current, reference, 16, 16, dy, dx, 16)
+
+    def test_operation_count_matches_window(self, frame_pair):
+        reference, current = frame_pair
+        result = full_search(current, reference, 16, 16, 16, 2)
+        assert result.candidates_evaluated == 16
+        assert result.sad_operations == 16 * 256
+
+    def test_larger_search_range_never_worsens_the_match(self, frame_pair):
+        reference, current = frame_pair
+        small = full_search(current, reference, 16, 16, 16, 2)
+        large = full_search(current, reference, 16, 16, 16, 6)
+        assert large.best.sad <= small.best.sad
+
+
+class TestFrameSearch:
+    def test_motion_field_shape(self, frame_pair):
+        reference, current = frame_pair
+        results = full_search_frame(current, reference, block_size=16, search_range=2)
+        field = motion_field(results)
+        assert field.shape == (4, 4, 2)
+
+    def test_interior_blocks_follow_the_pan(self, small_sequence):
+        # Border macroblocks see new content entering the frame, so only the
+        # interior blocks are required to recover the global pan exactly.
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        results = full_search_frame(current, reference, block_size=16, search_range=4)
+        field = motion_field(results)
+        expected = np.array(small_sequence.ground_truth_background_vector())
+        interior = field[1:-1, 1:-1]
+        assert np.all(interior == expected)

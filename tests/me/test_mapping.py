@@ -1,0 +1,65 @@
+"""Tests of the ME architecture mapping onto the ME array."""
+
+import pytest
+
+from repro.arrays.me_array import MEArrayGeometry, build_me_array
+from repro.core.exceptions import CapacityError
+from repro.me.mapping import (
+    build_systolic_netlist,
+    map_me_design,
+    map_pe,
+    map_systolic_array,
+)
+
+
+class TestSystolicNetlist:
+    def test_cluster_counts_for_default_geometry(self):
+        netlist = build_systolic_netlist()
+        usage = netlist.cluster_usage()
+        assert usage.register_mux == 64
+        assert usage.abs_diff == 64
+        assert usage.add_acc == 64
+        assert usage.comparators == 1
+        assert usage.total_clusters == 193
+
+    def test_smaller_geometry_scales_linearly(self):
+        netlist = build_systolic_netlist(module_count=2, pes_per_module=4)
+        usage = netlist.cluster_usage()
+        assert usage.register_mux == 8
+        assert usage.total_clusters == 8 * 3 + 1
+
+    def test_pixel_shift_chain_connects_neighbouring_pes(self):
+        netlist = build_systolic_netlist(module_count=1, pes_per_module=4)
+        assert any(net.source == "m0_pe0_mux" and net.sink == "m0_pe1_mux"
+                   for net in netlist.nets)
+
+    def test_every_module_feeds_the_comparator(self):
+        netlist = build_systolic_netlist(module_count=4, pes_per_module=4)
+        sources = {net.source for net in netlist.fanin("min_comparator")}
+        assert len(sources) == 4
+
+
+class TestMappingFlow:
+    def test_single_pe_maps_onto_default_array(self):
+        mapped = map_pe()
+        assert mapped.usage.total_clusters == 3
+        assert mapped.routing is not None
+
+    def test_full_systolic_engine_fits_the_default_array(self):
+        mapped = map_systolic_array()
+        assert mapped.usage.total_clusters == 193
+        assert len(mapped.placement) == 193
+        assert mapped.metrics.routed_hops > 0
+
+    def test_too_small_array_raises_capacity_error(self):
+        tiny = build_me_array(MEArrayGeometry(rows=2, mux_columns=1,
+                                              abs_diff_columns=1,
+                                              add_acc_columns=1,
+                                              comparator_columns=1))
+        with pytest.raises(CapacityError):
+            map_me_design(build_systolic_netlist(), tiny)
+
+    def test_skipping_place_and_route_is_faster_path(self):
+        mapped = map_systolic_array(run_place_and_route=False)
+        assert mapped.placement is None
+        assert mapped.usage.total_clusters == 193

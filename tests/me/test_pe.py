@@ -1,0 +1,59 @@
+"""Tests of the ME processing element (Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.me.pe import ProcessingElement, build_pe_netlist
+from repro.me.sad import sad
+
+
+class TestProcessingElement:
+    def test_accumulates_absolute_differences(self):
+        pe = ProcessingElement()
+        pe.cycle(100, 90)
+        pe.cycle(10, 30)
+        assert pe.sad == 10 + 20
+
+    def test_matches_software_sad_over_a_row(self, rng):
+        current = rng.integers(0, 256, 16)
+        reference = rng.integers(0, 256, 16)
+        pe = ProcessingElement()
+        for c, r in zip(current, reference):
+            pe.cycle(int(c), int(r))
+        assert pe.sad == sad(current.reshape(1, -1), reference.reshape(1, -1))
+
+    def test_reset_clears_state(self):
+        pe = ProcessingElement()
+        pe.cycle(200, 0)
+        pe.reset()
+        assert pe.sad == 0
+        assert pe.cycles == 0
+
+    def test_delayed_reference_path_uses_previous_broadcast(self):
+        pe = ProcessingElement()
+        pe.cycle(0, 50)                                   # loads 50 into the mux register
+        pe.cycle(0, 99, use_delayed_reference=True)       # uses the delayed 50
+        assert pe.sad == 50 + 50
+
+    def test_activity_counters_accumulate(self):
+        pe = ProcessingElement()
+        pe.cycle(255, 0)
+        assert pe.total_toggles() > 0
+
+    def test_cluster_usage_matches_fig10(self):
+        usage = ProcessingElement.cluster_usage()
+        assert usage.register_mux == 1
+        assert usage.abs_diff == 1
+        assert usage.add_acc == 1
+        assert usage.total_clusters == 3
+
+
+class TestPENetlist:
+    def test_netlist_has_three_clusters_and_two_nets(self):
+        netlist = build_pe_netlist()
+        assert len(netlist) == 3
+        assert len(netlist.nets) == 2
+
+    def test_netlist_usage_matches_behavioural_model(self):
+        assert (build_pe_netlist().cluster_usage().as_table_row()
+                == ProcessingElement.cluster_usage().as_table_row())

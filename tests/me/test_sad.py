@@ -1,0 +1,70 @@
+"""Tests of the SAD matching criterion."""
+
+import numpy as np
+import pytest
+
+from repro.me.sad import (
+    block_at,
+    mean_absolute_difference,
+    sad,
+    sad_at,
+    sad_bit_width,
+    saturated_sad,
+)
+
+
+class TestSad:
+    def test_identical_blocks_have_zero_sad(self, rng):
+        block = rng.integers(0, 256, (16, 16))
+        assert sad(block, block) == 0
+
+    def test_sad_matches_numpy_formula(self, rng):
+        a = rng.integers(0, 256, (8, 8))
+        b = rng.integers(0, 256, (8, 8))
+        assert sad(a, b) == int(np.sum(np.abs(a.astype(int) - b.astype(int))))
+
+    def test_sad_is_symmetric(self, rng):
+        a = rng.integers(0, 256, (8, 8))
+        b = rng.integers(0, 256, (8, 8))
+        assert sad(a, b) == sad(b, a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sad(np.zeros((8, 8)), np.zeros((16, 16)))
+
+    def test_saturated_sad_is_the_upper_bound(self):
+        worst = sad(np.zeros((16, 16)), np.full((16, 16), 255))
+        assert worst == saturated_sad(16)
+
+    def test_bit_width_covers_the_block_sizes_of_the_paper(self):
+        # Sec. 4: block size "could be 8, 16 or 32"; the ME array's 16-bit
+        # accumulators must cover the 16x16 macroblock case.
+        assert sad_bit_width(8) <= 16
+        assert sad_bit_width(16) == 16
+        assert sad_bit_width(32) == 18
+
+    def test_mean_absolute_difference(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 10)
+        assert mean_absolute_difference(a, b) == 10.0
+
+
+class TestBlockAccess:
+    def test_block_at_extracts_expected_region(self, rng):
+        frame = rng.integers(0, 256, (32, 32))
+        block = block_at(frame, 8, 4, 16)
+        assert np.array_equal(block, frame[8:24, 4:20])
+
+    def test_block_at_rejects_out_of_frame(self, rng):
+        frame = rng.integers(0, 256, (32, 32))
+        with pytest.raises(ValueError):
+            block_at(frame, 20, 20, 16)
+
+    def test_sad_at_zero_displacement(self, frame_pair):
+        reference, current = frame_pair
+        value = sad_at(current, reference, 16, 16, 0, 0, 16)
+        assert value == sad(current[16:32, 16:32], reference[16:32, 16:32])
+
+    def test_sad_at_saturates_outside_the_frame(self, frame_pair):
+        reference, current = frame_pair
+        assert sad_at(current, reference, 0, 0, -10, -10, 16) == saturated_sad(16)

@@ -1,0 +1,53 @@
+"""Tests of the half-pel motion-vector refinement."""
+
+import numpy as np
+import pytest
+
+from repro.me.full_search import full_search
+from repro.me.subpixel import HALF_PEL_OFFSETS, half_pel_refine
+from repro.video.frames import panning_sequence
+from repro.video.motion_compensation import predict_block
+
+
+class TestHalfPelRefinement:
+    def test_refinement_never_worsens_the_sad(self, frame_pair):
+        reference, current = frame_pair
+        integer = full_search(current, reference, 16, 16, 16, 3)
+        refined = half_pel_refine(current, reference, 16, 16, integer)
+        assert refined.refined_sad <= refined.integer_sad
+
+    def test_integer_motion_keeps_the_integer_vector(self, small_sequence):
+        # The synthetic pan is an exact integer translation, so no half-pel
+        # candidate can beat the SAD-0 integer match.
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        integer = full_search(current, reference, 16, 16, 16, 4)
+        refined = half_pel_refine(current, reference, 16, 16, integer)
+        assert refined.refined_vector == tuple(map(float, integer.motion_vector))
+        assert not refined.improved
+
+    def test_true_half_pel_motion_is_recovered(self):
+        # Build a current frame that genuinely sits half a pixel away from
+        # the reference by averaging horizontally shifted copies.
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 256, (48, 64)).astype(float)
+        smooth = (base + np.roll(base, 1, axis=1) + np.roll(base, -1, axis=1)) / 3.0
+        reference = np.rint(smooth).astype(np.int64)
+        current = np.rint((smooth + np.roll(smooth, -1, axis=1)) / 2.0).astype(np.int64)
+        integer = full_search(current, reference, 16, 16, 16, 2)
+        refined = half_pel_refine(current, reference, 16, 16, integer)
+        assert refined.improved
+        assert refined.refined_vector[1] % 1 == 0.5
+
+    def test_candidate_and_interpolation_accounting(self, frame_pair):
+        reference, current = frame_pair
+        integer = full_search(current, reference, 16, 16, 16, 2)
+        refined = half_pel_refine(current, reference, 16, 16, integer)
+        assert 1 <= refined.candidates_evaluated <= len(HALF_PEL_OFFSETS)
+        assert refined.interpolation_operations > 0
+
+    def test_refined_vector_prediction_is_valid(self, frame_pair):
+        reference, current = frame_pair
+        integer = full_search(current, reference, 16, 16, 16, 3)
+        refined = half_pel_refine(current, reference, 16, 16, integer)
+        prediction = predict_block(reference, 16, 16, refined.refined_vector, 16)
+        assert prediction.shape == (16, 16)

@@ -1,0 +1,121 @@
+"""Tests of the 4x16 systolic motion-estimation array (Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.me.full_search import full_search
+from repro.me.systolic import PEModule, SystolicArray
+
+
+class TestPEModule:
+    def test_computes_block_sad_row_by_row(self, rng):
+        current = rng.integers(0, 256, (4, 4))
+        reference = rng.integers(0, 256, (4, 4))
+        module = PEModule(pe_count=4)
+        for row in range(4):
+            module.feed_row(current[row], reference[row])
+        expected = int(np.sum(np.abs(current.astype(int) - reference.astype(int))))
+        assert module.sad == expected
+        assert module.cycles == 4
+
+    def test_reset_between_candidates(self, rng):
+        module = PEModule(pe_count=4)
+        module.feed_row([255, 255, 255, 255], [0, 0, 0, 0])
+        module.reset()
+        assert module.sad == 0
+
+    def test_mismatched_row_lengths_rejected(self):
+        module = PEModule(pe_count=8)
+        with pytest.raises(ConfigurationError):
+            module.feed_row([1, 2, 3], [1, 2])
+
+    def test_row_wider_than_module_rejected(self):
+        module = PEModule(pe_count=2)
+        with pytest.raises(ConfigurationError):
+            module.feed_row([1, 2, 3], [1, 2, 3])
+
+    def test_narrow_row_uses_leading_pes(self):
+        module = PEModule(pe_count=8)
+        module.feed_row([10, 20], [0, 0])
+        assert module.sad == 30
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PEModule(pe_count=0)
+
+
+class TestSystolicArray:
+    def test_default_geometry_is_4x16(self):
+        array = SystolicArray()
+        assert array.module_count == 4
+        assert array.pes_per_module == 16
+        assert array.pe_count == 64
+
+    def test_first_sad_after_16_cycles(self, frame_pair):
+        # The paper: "The first round of SAD calculations would take 16
+        # clock cycles."
+        reference, current = frame_pair
+        result = SystolicArray().search(current, reference, 16, 16,
+                                        block_size=16, search_range=2)
+        assert result.first_sad_cycle == 16
+
+    def test_motion_vector_matches_full_search_reference(self, frame_pair):
+        reference, current = frame_pair
+        systolic = SystolicArray().search(current, reference, 16, 16,
+                                          block_size=16, search_range=3)
+        software = full_search(current, reference, 16, 16, 16, 3)
+        assert systolic.motion_vector == software.motion_vector
+        assert systolic.best.sad == software.best.sad
+
+    def test_recovers_known_global_motion(self, small_sequence):
+        reference, current = small_sequence.frame(0), small_sequence.frame(1)
+        result = SystolicArray().search(current, reference, 16, 16,
+                                        block_size=16, search_range=4)
+        assert result.motion_vector == small_sequence.ground_truth_background_vector()
+
+    def test_cycle_count_scales_with_candidate_count(self, frame_pair):
+        reference, current = frame_pair
+        array = SystolicArray()
+        small = array.search(current, reference, 16, 16, 16, 2)
+        large = SystolicArray().search(current, reference, 16, 16, 16, 4)
+        assert small.candidates_evaluated == 16
+        assert large.candidates_evaluated == 64
+        assert large.cycles > small.cycles
+
+    def test_four_candidates_processed_per_round(self, frame_pair):
+        reference, current = frame_pair
+        result = SystolicArray().search(current, reference, 16, 16, 16, 2)
+        assert result.rounds == -(-result.candidates_evaluated // 4)
+        assert result.cycles == result.rounds * 16
+
+    def test_broadcast_reduces_memory_traffic(self, frame_pair):
+        reference, current = frame_pair
+        result = SystolicArray().search(current, reference, 16, 16, 16, 4)
+        assert result.broadcast_pixel_fetches < result.reference_pixel_fetches
+        assert 0.0 < result.memory_bandwidth_reduction < 1.0
+
+    def test_smaller_block_size_supported(self, frame_pair):
+        reference, current = frame_pair
+        systolic = SystolicArray().search(current, reference, 16, 16,
+                                          block_size=8, search_range=2)
+        software = full_search(current, reference, 16, 16, 8, 2)
+        assert systolic.motion_vector == software.motion_vector
+
+    def test_activity_counters_accumulate(self, frame_pair):
+        reference, current = frame_pair
+        array = SystolicArray()
+        array.search(current, reference, 16, 16, 16, 2)
+        assert array.total_toggles() > 0
+
+    def test_misaligned_block_size_rejected(self, frame_pair):
+        reference, current = frame_pair
+        with pytest.raises(ConfigurationError):
+            SystolicArray().search(current, reference, 16, 16,
+                                   block_size=24, search_range=2)
+
+    def test_block_outside_frame_rejected(self, frame_pair):
+        reference, current = frame_pair
+        with pytest.raises(ConfigurationError):
+            SystolicArray().search(current, reference, 60, 60,
+                                   block_size=16, search_range=2)

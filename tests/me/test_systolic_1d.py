@@ -1,0 +1,62 @@
+"""Tests of the 1-D systolic baseline and the throughput comparison."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.me.full_search import full_search
+from repro.me.systolic import SystolicArray
+from repro.me.systolic_1d import Systolic1DArray, required_frequency
+
+
+class TestSystolic1D:
+    def test_motion_vector_matches_full_search(self, frame_pair):
+        reference, current = frame_pair
+        hardware = Systolic1DArray().search(current, reference, 16, 16, 16, 3)
+        software = full_search(current, reference, 16, 16, 16, 3)
+        assert hardware.motion_vector == software.motion_vector
+        assert hardware.best.sad == software.best.sad
+
+    def test_needs_four_times_the_cycles_of_the_2d_array(self, frame_pair):
+        # One candidate at a time versus four concurrent PE modules.
+        reference, current = frame_pair
+        one_d = Systolic1DArray().search(current, reference, 16, 16, 16, 2)
+        two_d = SystolicArray().search(current, reference, 16, 16, 16, 2)
+        assert one_d.cycles == 4 * two_d.cycles
+
+    def test_first_sad_latency_matches_block_rows(self, frame_pair):
+        reference, current = frame_pair
+        result = Systolic1DArray().search(current, reference, 16, 16, 16, 2)
+        assert result.first_sad_cycle == 16
+
+    def test_uses_quarter_of_the_pes(self):
+        assert Systolic1DArray().pe_total == SystolicArray().pe_count // 4
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Systolic1DArray(pe_count=0)
+
+    def test_block_outside_frame_rejected(self, frame_pair):
+        reference, current = frame_pair
+        with pytest.raises(ConfigurationError):
+            Systolic1DArray().search(current, reference, 60, 60, 16, 2)
+
+
+class TestThroughputRequirement:
+    def test_higher_cycle_count_needs_higher_frequency(self):
+        slow = required_frequency(4096, architecture="1d")
+        fast = required_frequency(1024, architecture="2d")
+        assert slow.required_frequency_hz == 4 * fast.required_frequency_hz
+
+    def test_qcif_at_30fps_macroblock_rate(self):
+        requirement = required_frequency(1000)
+        assert requirement.macroblocks_per_second == pytest.approx(11 * 9 * 30.0)
+
+    def test_1d_array_needs_higher_clock_for_the_same_workload(self, frame_pair):
+        # The motivation of Sec. 4: 1-D arrays "require high operating
+        # frequencies in order to fulfill the data-flow requirements".
+        reference, current = frame_pair
+        one_d = Systolic1DArray().search(current, reference, 16, 16, 16, 4)
+        two_d = SystolicArray().search(current, reference, 16, 16, 16, 4)
+        f_1d = required_frequency(one_d.cycles, architecture="1d").required_frequency_hz
+        f_2d = required_frequency(two_d.cycles, architecture="2d").required_frequency_hz
+        assert f_1d > 3.9 * f_2d

@@ -1,0 +1,52 @@
+"""Tests of the switching-activity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.power.activity import (
+    block_activity,
+    cluster_activity,
+    combined_activity,
+    stream_activity,
+    toggle_count,
+)
+
+
+class TestToggleCounting:
+    def test_toggle_count_is_hamming_distance(self):
+        assert toggle_count(0b1010, 0b0110) == 2
+        assert toggle_count(0, 0) == 0
+        assert toggle_count(0xFF, 0x00) == 8
+
+    def test_constant_stream_has_zero_activity(self):
+        assert stream_activity([7, 7, 7, 7], width_bits=8) == 0.0
+
+    def test_alternating_all_bits_has_full_activity(self):
+        assert stream_activity([0x00, 0xFF, 0x00, 0xFF], width_bits=8) == 1.0
+
+    def test_single_sample_has_zero_activity(self):
+        assert stream_activity([42], width_bits=8) == 0.0
+
+    def test_activity_bounded_between_zero_and_one(self, rng):
+        samples = rng.integers(0, 256, 200).tolist()
+        assert 0.0 <= stream_activity(samples, 8) <= 1.0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            stream_activity([1, 2], width_bits=0)
+
+
+class TestHigherLevelActivity:
+    def test_block_activity_of_smooth_block_below_random(self, rng):
+        smooth = np.tile(np.arange(8), (8, 1)) * 2
+        random_block = rng.integers(0, 256, (8, 8))
+        assert block_activity(smooth) < block_activity(random_block)
+
+    def test_cluster_activity_from_counters(self):
+        assert cluster_activity(toggles=40, cycles=10, width_bits=8) == 0.5
+        assert cluster_activity(toggles=0, cycles=0, width_bits=8) == 0.0
+        assert cluster_activity(toggles=1000, cycles=10, width_bits=8) == 1.0
+
+    def test_combined_activity_is_the_mean(self):
+        assert combined_activity([0.2, 0.4]) == pytest.approx(0.3)
+        assert combined_activity([]) == 0.0

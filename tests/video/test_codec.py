@@ -1,0 +1,101 @@
+"""Tests of the hybrid encoder loop."""
+
+import numpy as np
+import pytest
+
+from repro.dct import MixedRomDCT, SCCDirectDCT
+from repro.video.codec import EncoderConfiguration, VideoEncoder
+from repro.video.frames import panning_sequence
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return panning_sequence(height=48, width=48, pan=(1, 1), seed=11)
+
+
+class TestIntraCoding:
+    def test_first_frame_is_intra(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(search_range=2))
+        statistics = encoder.encode_frame(sequence.frame(0), 0)
+        assert statistics.frame_type == "I"
+        assert all(mb.mode == "intra" for mb in statistics.macroblocks)
+
+    def test_intra_reconstruction_quality_reasonable(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=2))
+        statistics = encoder.encode_frame(sequence.frame(0), 0)
+        assert statistics.psnr_db > 30.0
+
+    def test_lower_qp_gives_higher_psnr(self, sequence):
+        fine = VideoEncoder(EncoderConfiguration(qp=2, search_range=2))
+        coarse = VideoEncoder(EncoderConfiguration(qp=20, search_range=2))
+        assert (fine.encode_frame(sequence.frame(0)).psnr_db
+                > coarse.encode_frame(sequence.frame(0)).psnr_db)
+
+    def test_dct_block_count_matches_frame_size(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(search_range=2))
+        statistics = encoder.encode_frame(sequence.frame(0), 0)
+        # 48x48 luminance = 9 macroblocks x 4 transform blocks.
+        assert statistics.dct_blocks == 36
+
+
+class TestInterCoding:
+    def test_second_frame_uses_motion_compensation(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3))
+        encoder.encode_frame(sequence.frame(0), 0)
+        statistics = encoder.encode_frame(sequence.frame(1), 1)
+        assert statistics.frame_type == "P"
+        assert statistics.inter_fraction > 0.5
+
+    def test_motion_vectors_follow_the_pan(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3))
+        encoder.encode_frame(sequence.frame(0), 0)
+        statistics = encoder.encode_frame(sequence.frame(1), 1)
+        expected = sequence.ground_truth_background_vector()
+        inter_vectors = [mb.motion_vector for mb in statistics.macroblocks
+                         if mb.mode == "inter"]
+        matches = sum(1 for vector in inter_vectors if vector == expected)
+        assert matches >= len(inter_vectors) // 2
+
+    def test_inter_frames_maintain_quality(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3))
+        results = encoder.encode_sequence([sequence.frame(i) for i in range(3)])
+        assert all(result.psnr_db > 28.0 for result in results)
+
+    def test_sad_operations_counted_for_p_frames_only(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(search_range=2))
+        first = encoder.encode_frame(sequence.frame(0), 0)
+        second = encoder.encode_frame(sequence.frame(1), 1)
+        assert first.sad_operations == 0
+        assert second.sad_operations > 0
+
+
+class TestConfigurableKernels:
+    def test_mapped_dct_implementations_plug_in(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=2,
+                                                    dct_transform=MixedRomDCT()))
+        statistics = encoder.encode_frame(sequence.frame(0), 0)
+        assert statistics.psnr_db > 28.0
+
+    def test_fast_search_reduces_sad_work(self, sequence):
+        full = VideoEncoder(EncoderConfiguration(qp=4, search_range=4,
+                                                 search_name="full"))
+        fast = VideoEncoder(EncoderConfiguration(qp=4, search_range=4,
+                                                 search_name="three_step"))
+        for encoder in (full, fast):
+            encoder.encode_frame(sequence.frame(0), 0)
+        full_stats = full.encode_frame(sequence.frame(1), 1)
+        fast_stats = fast.encode_frame(sequence.frame(1), 1)
+        assert fast_stats.sad_operations < full_stats.sad_operations
+
+    def test_reconfigure_switches_kernels_between_frames(self, sequence):
+        encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=2))
+        encoder.encode_frame(sequence.frame(0), 0)
+        encoder.reconfigure(dct_transform=SCCDirectDCT(), search_name="diamond")
+        statistics = encoder.encode_frame(sequence.frame(1), 1)
+        assert statistics.psnr_db > 28.0
+        assert encoder.configuration.search_name == "diamond"
+
+    def test_reconfigure_rejects_unknown_field(self):
+        encoder = VideoEncoder()
+        with pytest.raises(AttributeError):
+            encoder.reconfigure(voltage=0.9)

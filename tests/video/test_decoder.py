@@ -1,0 +1,63 @@
+"""Tests of the decoder against the encoder's reconstruction loop."""
+
+import numpy as np
+import pytest
+
+from repro.dct.idct import DistributedArithmeticIDCT
+from repro.video.codec import EncoderConfiguration, VideoEncoder
+from repro.video.decoder import VideoDecoder
+from repro.video.frames import panning_sequence
+from repro.video.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def encoded_sequence():
+    sequence = panning_sequence(height=48, width=48, pan=(1, 1), seed=19)
+    frames = [sequence.frame(i) for i in range(3)]
+    encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3))
+    records = encoder.encode_sequence(frames)
+    return frames, records, encoder
+
+
+class TestDecoderRoundTrip:
+    def test_decoder_matches_encoder_reconstruction_exactly(self, encoded_sequence):
+        frames, records, encoder = encoded_sequence
+        decoder = VideoDecoder()
+        decoded = decoder.decode_sequence(records, frame_shape=frames[0].shape)
+        # The last decoded frame must equal the encoder's own reference frame
+        # (drift-free closed loop).
+        assert np.array_equal(decoded[-1], encoder.reference_frame)
+
+    def test_decoded_quality_matches_encoder_reported_psnr(self, encoded_sequence):
+        frames, records, _ = encoded_sequence
+        decoder = VideoDecoder()
+        decoded = decoder.decode_sequence(records, frame_shape=frames[0].shape)
+        for frame, record, reconstruction in zip(frames, records, decoded):
+            assert psnr(frame, reconstruction) == pytest.approx(record.psnr_db, abs=0.2)
+
+    def test_estimated_bits_recorded_per_frame(self, encoded_sequence):
+        _, records, _ = encoded_sequence
+        assert all(record.estimated_bits > 0 for record in records)
+        # P frames on a clean pan cost far fewer bits than the intra frame.
+        assert records[1].estimated_bits < records[0].estimated_bits
+
+    def test_decoding_with_mapped_idct_stays_close(self, encoded_sequence):
+        frames, records, _ = encoded_sequence
+        reference_decoder = VideoDecoder()
+        mapped_decoder = VideoDecoder(idct=DistributedArithmeticIDCT())
+        reference_frames = reference_decoder.decode_sequence(records,
+                                                             frame_shape=frames[0].shape)
+        mapped_frames = mapped_decoder.decode_sequence(records,
+                                                       frame_shape=frames[0].shape)
+        assert psnr(reference_frames[-1], mapped_frames[-1]) > 35.0
+
+    def test_inter_frame_without_reference_rejected(self, encoded_sequence):
+        _, records, _ = encoded_sequence
+        decoder = VideoDecoder()
+        with pytest.raises(ValueError):
+            decoder.decode_frame(records[1], frame_shape=(48, 48))
+
+    def test_empty_record_rejected(self):
+        from repro.video.codec import FrameStatistics
+        with pytest.raises(ValueError):
+            VideoDecoder().decode_frame(FrameStatistics(0, "I", 0.0, qp=4))

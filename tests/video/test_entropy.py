@@ -1,0 +1,88 @@
+"""Tests of zig-zag scanning, run-length coding and bit estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dct.quantization import quantise
+from repro.dct.reference import dct_2d
+from repro.video.entropy import (
+    estimate_block_bits,
+    estimate_macroblock_bits,
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    zigzag_order,
+    zigzag_scan,
+)
+
+
+class TestZigzag:
+    def test_order_starts_along_the_first_antidiagonal(self):
+        order = zigzag_order(8)
+        assert order[0] == (0, 0)
+        assert order[1] == (0, 1)
+        assert order[2] == (1, 0)
+        assert len(order) == 64
+
+    def test_order_visits_every_cell_once(self):
+        assert len(set(zigzag_order(8))) == 64
+
+    def test_scan_and_inverse_round_trip(self, rng):
+        block = rng.integers(-10, 11, (8, 8))
+        assert np.array_equal(inverse_zigzag(zigzag_scan(block)), block)
+
+    def test_scan_orders_low_frequencies_first(self, rng):
+        block = rng.integers(0, 256, (8, 8))
+        coefficients = dct_2d(block)
+        scanned = np.abs(zigzag_scan(coefficients))
+        # Natural-image-like blocks concentrate energy early in the scan.
+        assert np.sum(scanned[:16]) > np.sum(scanned[48:])
+
+    def test_non_square_block_rejected(self):
+        with pytest.raises(ValueError):
+            zigzag_scan(np.zeros((4, 8)))
+
+    def test_inverse_length_checked(self):
+        with pytest.raises(ValueError):
+            inverse_zigzag([1, 2, 3])
+
+
+class TestRunLength:
+    def test_round_trip(self, rng):
+        block = rng.integers(-3, 4, (8, 8))
+        block[3:, :] = 0
+        scanned = zigzag_scan(block)
+        assert run_length_decode(run_length_encode(scanned)) == list(scanned)
+
+    def test_all_zero_block_is_one_eob_pair(self):
+        pairs = run_length_encode([0] * 64)
+        assert pairs == [(0, 0)]
+
+    def test_trailing_zeros_absorbed_by_eob(self):
+        pairs = run_length_encode([5, 0, 0, 0])
+        assert pairs == [(0, 5), (0, 0)]
+
+    def test_decode_rejects_overlong_data(self):
+        with pytest.raises(ValueError):
+            run_length_decode([(0, 1)] * 10, length=4)
+
+
+class TestBitEstimation:
+    def test_zero_block_costs_least(self, rng):
+        busy = rng.integers(-5, 6, (8, 8))
+        assert estimate_block_bits(np.zeros((8, 8))) < estimate_block_bits(busy)
+
+    def test_coarser_quantisation_costs_fewer_bits(self, rng):
+        block = rng.integers(0, 256, (8, 8))
+        coefficients = dct_2d(block)
+        fine = estimate_block_bits(quantise(coefficients, qp=2))
+        coarse = estimate_block_bits(quantise(coefficients, qp=24))
+        assert coarse < fine
+
+    def test_macroblock_bits_include_motion_vector_cost(self):
+        levels = [np.zeros((8, 8), dtype=int)] * 4
+        intra = estimate_macroblock_bits(levels, inter=False)
+        inter_small = estimate_macroblock_bits(levels, motion_vector=(0, 0), inter=True)
+        inter_large = estimate_macroblock_bits(levels, motion_vector=(7, -7), inter=True)
+        assert inter_small > intra
+        assert inter_large > inter_small

@@ -1,0 +1,72 @@
+"""Tests of the synthetic video source."""
+
+import numpy as np
+import pytest
+
+from repro.video.frames import (
+    MovingObject,
+    SyntheticSequence,
+    moving_square_sequence,
+    panning_sequence,
+)
+
+
+class TestSyntheticSequence:
+    def test_frames_are_8_bit_luminance(self):
+        sequence = panning_sequence(height=48, width=64, seed=1)
+        frame = sequence.frame(0)
+        assert frame.shape == (48, 64)
+        assert frame.min() >= 0
+        assert frame.max() <= 255
+        assert frame.dtype == np.int64
+
+    def test_sequences_are_deterministic_for_a_seed(self):
+        a = panning_sequence(height=48, width=64, seed=5).frame(3)
+        b = panning_sequence(height=48, width=64, seed=5).frame(3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = panning_sequence(height=48, width=64, seed=5).frame(0)
+        b = panning_sequence(height=48, width=64, seed=6).frame(0)
+        assert not np.array_equal(a, b)
+
+    def test_pan_translates_the_interior(self):
+        sequence = panning_sequence(height=64, width=64, pan=(1, 2), seed=4)
+        first, second = sequence.frame(0), sequence.frame(1)
+        # A block of the current frame equals the block displaced by the
+        # ground-truth vector in the previous frame.
+        dy, dx = sequence.ground_truth_background_vector()
+        assert np.array_equal(second[24:40, 24:40],
+                              first[24 + dy:40 + dy, 24 + dx:40 + dx])
+
+    def test_noise_changes_frames_but_stays_bounded(self):
+        clean = panning_sequence(height=48, width=48, seed=3)
+        noisy = panning_sequence(height=48, width=48, noise_sigma=5.0, seed=3)
+        assert not np.array_equal(clean.frame(0), noisy.frame(0))
+        assert noisy.frame(0).max() <= 255 and noisy.frame(0).min() >= 0
+
+    def test_frame_count_iterator(self):
+        frames = list(panning_sequence(height=32, width=32).frames(3))
+        assert len(frames) == 3
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSequence(height=0, width=10)
+
+    def test_negative_frame_index_rejected(self):
+        with pytest.raises(ValueError):
+            panning_sequence().frame(-1)
+
+
+class TestMovingObjects:
+    def test_object_moves_with_its_velocity(self):
+        moving = MovingObject(top=10, left=20, height=8, width=8, velocity=(2, -1))
+        assert moving.position_at(0) == (10, 20)
+        assert moving.position_at(3) == (16, 17)
+
+    def test_moving_square_changes_local_content(self):
+        sequence = moving_square_sequence(height=64, width=64, velocity=(0, 4), seed=2)
+        first, second = sequence.frame(0), sequence.frame(1)
+        assert not np.array_equal(first, second)
+        # The background (far corner) is static for this sequence.
+        assert np.array_equal(first[:8, :8], second[:8, :8])

@@ -1,0 +1,34 @@
+"""Tests of the video quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.video.metrics import mse, psnr, residual_energy
+
+
+class TestMetrics:
+    def test_identical_frames_have_zero_mse_and_infinite_psnr(self, rng):
+        frame = rng.integers(0, 256, (16, 16))
+        assert mse(frame, frame) == 0.0
+        assert psnr(frame, frame) == math.inf
+
+    def test_known_error_psnr(self):
+        original = np.zeros((8, 8))
+        noisy = original + 16.0
+        assert psnr(original, noisy) == pytest.approx(
+            10 * math.log10(255 ** 2 / 256), abs=1e-9)
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((8, 8)), np.zeros((4, 4)))
+
+    def test_psnr_decreases_with_noise(self, rng):
+        frame = rng.integers(0, 256, (32, 32)).astype(float)
+        small = frame + rng.normal(0, 1, frame.shape)
+        large = frame + rng.normal(0, 10, frame.shape)
+        assert psnr(frame, small) > psnr(frame, large)
+
+    def test_residual_energy(self):
+        assert residual_energy(np.full((2, 2), 3.0)) == 36.0

@@ -1,0 +1,62 @@
+"""Tests of motion compensation and half-pel prediction."""
+
+import numpy as np
+import pytest
+
+from repro.me.full_search import full_search_frame, motion_field
+from repro.video.frames import panning_sequence
+from repro.video.motion_compensation import compensate_frame, predict_block, residual_frame
+
+
+class TestPredictBlock:
+    def test_integer_vector_copies_the_reference_block(self, rng):
+        reference = rng.integers(0, 256, (48, 48))
+        block = predict_block(reference, 16, 16, (-2, 3), block_size=16)
+        assert np.array_equal(block, reference[14:30, 19:35])
+
+    def test_zero_vector_is_collocated_block(self, rng):
+        reference = rng.integers(0, 256, (32, 32))
+        assert np.array_equal(predict_block(reference, 8, 8, (0, 0), 16),
+                              reference[8:24, 8:24])
+
+    def test_half_pel_vector_interpolates(self):
+        reference = np.zeros((16, 16))
+        reference[:, 8:] = 100.0
+        block = predict_block(reference, 4, 4, (0.0, 0.5), block_size=8)
+        # The column straddling the edge averages 0 and 100.
+        assert block[0, 3] == pytest.approx(50.0)
+
+    def test_out_of_frame_vector_rejected(self, rng):
+        reference = rng.integers(0, 256, (32, 32))
+        with pytest.raises(ValueError):
+            predict_block(reference, 0, 0, (-4, 0), 16)
+
+    def test_half_pel_at_frame_edge_rejected(self, rng):
+        reference = rng.integers(0, 256, (32, 32))
+        with pytest.raises(ValueError):
+            predict_block(reference, 16, 16, (0.0, 0.5), 16)
+
+
+class TestFrameCompensation:
+    def test_compensated_pan_matches_current_frame_interior(self):
+        sequence = panning_sequence(height=64, width=64, pan=(1, 2), seed=13)
+        reference, current = sequence.frame(0), sequence.frame(1)
+        results = full_search_frame(current, reference, block_size=16, search_range=4)
+        field = motion_field(results)
+        predicted = compensate_frame(reference, field, block_size=16)
+        residual = residual_frame(current, predicted)
+        # Interior macroblocks are perfectly predicted on a clean pan.
+        assert np.all(residual[16:48, 16:48] == 0)
+
+    def test_residual_energy_smaller_than_without_compensation(self):
+        sequence = panning_sequence(height=64, width=64, pan=(2, 2), seed=14)
+        reference, current = sequence.frame(0), sequence.frame(1)
+        results = full_search_frame(current, reference, block_size=16, search_range=4)
+        predicted = compensate_frame(reference, motion_field(results), block_size=16)
+        compensated_energy = float(np.sum(residual_frame(current, predicted) ** 2))
+        uncompensated_energy = float(np.sum(residual_frame(current, reference) ** 2))
+        assert compensated_energy < 0.5 * uncompensated_energy
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            residual_frame(rng.integers(0, 255, (16, 16)), rng.integers(0, 255, (8, 8)))
