@@ -3,26 +3,27 @@
 DESIGN.md calls out the placer as a design choice worth ablating: the
 annealing refinement should reduce width-weighted wirelength (and hence
 routed hops / interconnect energy) relative to the constructive greedy
-placement, at a wall-clock cost this benchmark makes visible.
+placement, at a wall-clock cost this benchmark makes visible.  In the
+unified flow the placer is a pass choice — the two benchmarks run the
+identical pipeline with only the placement pass swapped.
 """
 
 import pytest
 
-from repro.arrays import build_da_array
-from repro.core.mapper import AnnealingPlacer, GreedyPlacer, wirelength
-from repro.core.router import MeshRouter
+from repro.core.mapper import wirelength
 from repro.dct import CordicDCT1
+from repro.flow import AnnealingPlacePass, Flow
 
 
 @pytest.mark.benchmark(group="ablation-placement")
 def test_greedy_placement_baseline(benchmark):
-    netlist = CordicDCT1().build_netlist()
+    transform = CordicDCT1()
+    flow = Flow.default(placer="greedy")
 
     def run():
-        fabric = build_da_array()
-        placement = GreedyPlacer(fabric).place(netlist)
-        routing = MeshRouter(fabric).route(netlist, placement)
-        return wirelength(netlist, placement), routing.total_hops
+        result = flow.compile(transform)
+        return (wirelength(result.netlist, result.placement),
+                result.routing.total_hops)
 
     greedy_wirelength, greedy_hops = benchmark(run)
     print(f"\nGreedy placement: wirelength {greedy_wirelength:.0f}, hops {greedy_hops}")
@@ -31,18 +32,18 @@ def test_greedy_placement_baseline(benchmark):
 
 @pytest.mark.benchmark(group="ablation-placement")
 def test_annealing_placement_improves_wirelength(benchmark):
-    netlist = CordicDCT1().build_netlist()
+    transform = CordicDCT1()
 
-    greedy_fabric = build_da_array()
-    greedy = GreedyPlacer(greedy_fabric).place(netlist)
-    greedy_cost = wirelength(netlist, greedy)
+    greedy = Flow.default(placer="greedy").compile(transform, cache=None)
+    greedy_cost = wirelength(greedy.netlist, greedy.placement)
+
+    annealing_flow = Flow.default(
+        placer=AnnealingPlacePass(seed=7, moves_per_temperature=48))
 
     def run():
-        fabric = build_da_array()
-        placement = AnnealingPlacer(fabric, seed=7,
-                                    moves_per_temperature=48).place(netlist)
-        routing = MeshRouter(fabric).route(netlist, placement)
-        return wirelength(netlist, placement), routing.total_hops
+        result = annealing_flow.compile(transform, cache=None)
+        return (wirelength(result.netlist, result.placement),
+                result.routing.total_hops)
 
     annealed_cost, annealed_hops = benchmark.pedantic(run, rounds=2, iterations=1)
     improvement = 1.0 - annealed_cost / greedy_cost

@@ -9,7 +9,8 @@ maximum-frequency change is negative.
 import pytest
 
 from repro.arrays import build_da_array
-from repro.dct.mapping import generate_table1
+from repro.dct import SCCDirectDCT
+from repro.flow import compile as flow_compile
 from repro.power import compare_to_fpga
 
 PAPER = {"power_reduction": 0.38, "area_reduction": 0.14, "max_frequency_change": -0.54}
@@ -18,8 +19,7 @@ PAPER = {"power_reduction": 0.38, "area_reduction": 0.14, "max_frequency_change"
 @pytest.mark.benchmark(group="claims")
 def test_da_array_versus_generic_fpga(benchmark):
     def run():
-        table1 = generate_table1()
-        mapped = table1["scc_direct"]
+        mapped = flow_compile(SCCDirectDCT(), cache=None)
         return compare_to_fpga(mapped.netlist, build_da_array(), activity=0.25,
                                routing=mapped.routing)
 

@@ -8,7 +8,8 @@ critical path.  The benchmark times the full mapping + comparison flow.
 import pytest
 
 from repro.arrays import build_me_array
-from repro.me.mapping import map_systolic_array
+from repro.flow import compile as flow_compile
+from repro.me import SystolicArray
 from repro.power import compare_to_fpga
 
 PAPER = {"power_reduction": 0.75, "area_reduction": 0.45, "timing_improvement": 0.23}
@@ -17,7 +18,7 @@ PAPER = {"power_reduction": 0.75, "area_reduction": 0.45, "timing_improvement": 
 @pytest.mark.benchmark(group="claims")
 def test_me_array_versus_generic_fpga(benchmark):
     def run():
-        mapped = map_systolic_array()
+        mapped = flow_compile(SystolicArray(), fabric=build_me_array(), cache=None)
         return compare_to_fpga(mapped.netlist, build_me_array(), activity=0.25,
                                routing=mapped.routing)
 

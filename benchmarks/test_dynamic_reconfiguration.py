@@ -28,7 +28,7 @@ def test_dynamic_reconfiguration_under_runtime_constraints(benchmark):
 
         # Normal operating point: high-precision CORDIC DCT + full search.
         high_quality = CordicDCT1()
-        soc.map_and_load(high_quality.build_netlist(), "da_array")
+        soc.compile_and_load(high_quality)
         encoder = VideoEncoder(EncoderConfiguration(qp=4, search_range=3,
                                                     dct_transform=high_quality,
                                                     search_name="full"))
@@ -38,7 +38,7 @@ def test_dynamic_reconfiguration_under_runtime_constraints(benchmark):
         # Low-battery condition: swap in the smallest DCT mapping and a
         # reduced search — one SoC reconfiguration of the DA array.
         low_power = SCCDirectDCT()
-        soc.map_and_load(low_power.build_netlist(), "da_array")
+        soc.compile_and_load(low_power)
         encoder.reconfigure(dct_transform=low_power, search_name="three_step")
         statistics.append(encoder.encode_frame(frames[2], 2))
         statistics.append(encoder.encode_frame(frames[3], 3))

@@ -8,8 +8,8 @@ array, and benchmarks the per-pixel SAD accumulation against numpy.
 import numpy as np
 import pytest
 
+from repro.flow import compile as flow_compile
 from repro.me.pe import ProcessingElement, build_pe_netlist
-from repro.me.mapping import map_pe
 from repro.me.sad import sad
 
 
@@ -39,6 +39,6 @@ def test_fig10_processing_element(benchmark, rng):
     assert build_pe_netlist().cluster_usage().as_table_row() == usage.as_table_row()
 
     # It places and routes on the ME array with direct cluster-to-cluster links.
-    mapped = map_pe()
+    mapped = flow_compile(ProcessingElement())
     assert len(mapped.placement) == 3
     assert mapped.routing is not None

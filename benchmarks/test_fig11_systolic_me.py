@@ -9,8 +9,8 @@ benchmark times a full macroblock search on the cycle-based array model.
 
 import pytest
 
+from repro.flow import Flow
 from repro.me.full_search import full_search
-from repro.me.mapping import map_systolic_array
 from repro.me.systolic import SystolicArray
 
 
@@ -48,7 +48,7 @@ def test_fig11_systolic_full_search(benchmark, me_frames):
     assert result.memory_bandwidth_reduction > 0.9
 
     # The 64-PE engine (plus comparator) maps onto the ME array.
-    mapped = map_systolic_array(run_place_and_route=False)
+    mapped = Flow.estimate().compile(SystolicArray())
     assert mapped.usage.register_mux == 64
     assert mapped.usage.abs_diff == 64
     assert mapped.usage.add_acc == 64

@@ -13,7 +13,8 @@ import numpy as np
 import pytest
 
 from repro.arrays import build_da_array
-from repro.dct.mapping import TABLE1_ORDER, dct_implementations, generate_table1
+from repro.dct.mapping import TABLE1_ORDER, dct_implementations
+from repro.flow import compile_many
 from repro.power import domain_specific_cost, power_per_block
 from repro.power.activity import block_activity
 from repro.reporting import format_table
@@ -25,7 +26,8 @@ def test_dct_implementation_energy_comparison(benchmark, pixel_block):
     activity = block_activity(pixel_block)
 
     def run():
-        table1 = generate_table1()
+        results = compile_many(dct_implementations(), cache=None)
+        table1 = {result.design_name: result for result in results}
         fabric = build_da_array()
         rows = []
         for name in TABLE1_ORDER:

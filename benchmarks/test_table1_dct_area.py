@@ -9,12 +9,14 @@ implementations.
 
 import pytest
 
-from repro.dct.mapping import PAPER_TABLE1, TABLE1_ORDER, generate_table1, table1_as_rows
+from repro.dct.mapping import PAPER_TABLE1, TABLE1_ORDER, dct_implementations, table1_as_rows
+from repro.flow import compile_many
 from repro.reporting import format_table
 
 
 def run_table1():
-    return generate_table1()
+    results = compile_many(dct_implementations(), cache=None)
+    return {result.design_name: result for result in results}
 
 
 @pytest.mark.benchmark(group="table1")

@@ -37,7 +37,7 @@ def demo_fir(soc: ReconfigurableSoC) -> dict:
     line = sequence.frame(0)[32].astype(int)
 
     fir = DistributedArithmeticFIR(symmetric_lowpass(8, cutoff=0.2))
-    kernel = soc.map_and_load(fir.build_netlist(), "da_array")
+    result = soc.compile_and_load(fir)
     filtered = fir.filter(line)
     reference = fir.filter_reference(line)
 
@@ -45,9 +45,9 @@ def demo_fir(soc: ReconfigurableSoC) -> dict:
     noise_out = float(np.std(np.diff(filtered[8:])))
     return {
         "kernel": "fir_lowpass_8tap",
-        "clusters": kernel.netlist.cluster_usage().total_clusters,
-        "memory_clusters": kernel.netlist.cluster_usage().memory_clusters,
-        "bitstream_bits": kernel.bitstream.total_bits(),
+        "clusters": result.usage.total_clusters,
+        "memory_clusters": result.usage.memory_clusters,
+        "bitstream_bits": result.bitstream.total_bits(),
         "result": f"high-freq energy {noise_in:.1f} -> {noise_out:.1f}, "
                   f"max dev from float filter {np.max(np.abs(filtered - reference)):.2f}",
     }
@@ -58,16 +58,16 @@ def demo_dwt(soc: ReconfigurableSoC) -> dict:
     sequence = panning_sequence(height=64, width=64, seed=5)
     line = sequence.frame(0)[16].astype(int)
 
-    kernel = soc.map_and_load(build_dwt_netlist(16), "da_array")
+    result = soc.compile_and_load(build_dwt_netlist(16), "da_array")
     bands = dwt53_multilevel(line, levels=2)
     reconstructed = dwt53_multilevel_inverse(bands)
     detail_energy = sum(float(np.sum(band.astype(float) ** 2)) for band in bands[1:])
     approx_energy = float(np.sum(bands[0].astype(float) ** 2))
     return {
         "kernel": "dwt53_2level",
-        "clusters": kernel.netlist.cluster_usage().total_clusters,
-        "memory_clusters": kernel.netlist.cluster_usage().memory_clusters,
-        "bitstream_bits": kernel.bitstream.total_bits(),
+        "clusters": result.usage.total_clusters,
+        "memory_clusters": result.usage.memory_clusters,
+        "bitstream_bits": result.bitstream.total_bits(),
         "result": f"perfect reconstruction: {np.array_equal(reconstructed, line)}, "
                   f"approx/detail energy {approx_energy / max(detail_energy, 1):.0f}:1",
     }

@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arrays import build_da_array
-from repro.dct import dct_implementations, map_implementation
+from repro.dct import dct_implementations
 from repro.dct.reference import dct_1d
+from repro.flow import compile_many
 from repro.power import domain_specific_cost, power_per_block
 from repro.power.activity import block_activity
 from repro.reporting import format_table
@@ -43,18 +44,22 @@ def main() -> None:
     pixel_block = rng.integers(0, 256, (8, 8))
     activity = block_activity(pixel_block)
 
+    transforms = dct_implementations()
+    # One batch compile through the unified flow: every implementation goes
+    # through the same schedule/place/route/bitstream/verify/metrics passes.
+    results = compile_many(transforms)
+
     rows = []
-    for transform in dct_implementations():
-        mapped = map_implementation(transform, build_da_array())
-        cost = domain_specific_cost(mapped.netlist, build_da_array(),
-                                    activity=activity, routing=mapped.routing)
+    for transform, result in zip(transforms, results):
+        cost = domain_specific_cost(result.netlist, build_da_array(),
+                                    activity=activity, routing=result.routing)
         rows.append({
             "implementation": transform.name,
             "figure": transform.figure,
-            "clusters": mapped.usage.total_clusters,
-            "rom_bits": mapped.metrics.memory_bits,
-            "routed_hops": mapped.metrics.routed_hops,
-            "config_bits": mapped.metrics.configuration_bits,
+            "clusters": result.usage.total_clusters,
+            "rom_bits": result.metrics.memory_bits,
+            "routed_hops": result.metrics.routed_hops,
+            "config_bits": result.metrics.configuration_bits,
             "cycles": transform.cycles_per_transform,
             "energy": round(power_per_block(cost, transform.cycles_per_transform), 1),
             "worst_error": round(worst_case_error(transform, vectors), 3),

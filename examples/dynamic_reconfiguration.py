@@ -41,7 +41,7 @@ def main() -> None:
     encoder = VideoEncoder(EncoderConfiguration(
         qp=4, search_range=4, search_name="full", dct_transform=high_quality,
         dct_cycles_per_block=high_quality.cycles_per_transform))
-    soc.map_and_load(high_quality.build_netlist(), "da_array")
+    soc.compile_and_load(high_quality)
 
     phase_of_frame = {0: "normal", 1: "normal",
                       2: "low battery", 3: "low battery",
@@ -51,7 +51,7 @@ def main() -> None:
         if index == 2:
             # Battery is running low: reconfigure the DA array for the
             # smallest DCT mapping and cut the motion-search effort.
-            soc.map_and_load(low_power.build_netlist(), "da_array")
+            soc.compile_and_load(low_power)
             encoder.reconfigure(dct_transform=low_power,
                                 dct_cycles_per_block=low_power.cycles_per_transform,
                                 search_name="three_step")
@@ -64,8 +64,8 @@ def main() -> None:
         rows.append({
             "frame": index,
             "phase": phase_of_frame[index],
-            "dct_on_array": loaded.name,
-            "dct_clusters": loaded.netlist.cluster_usage().total_clusters,
+            "dct_on_array": loaded.design_name,
+            "dct_clusters": loaded.usage.total_clusters,
             "search": encoder.configuration.search_name,
             "qp": encoder.configuration.qp,
             "psnr_db": round(statistics.psnr_db, 2),

@@ -17,27 +17,47 @@ from repro.arrays.da_array import DAArrayGeometry, build_da_array
 from repro.core import (
     GreedyPlacer,
     ListScheduler,
-    MeshRouter,
     design_report,
     fold_factor,
-    verify_mapped_design,
 )
 from repro.core.exceptions import CapacityError
 from repro.dct import CordicDCT1, SCCDirectDCT
+from repro.flow import (
+    Flow,
+    GenerateBitstreamPass,
+    GreedyPlacePass,
+    MetricsPass,
+    RoutePass,
+    SchedulePass,
+    VerifyPass,
+)
 
 
 def inspect(transform) -> None:
-    """Map one DCT implementation and print the full design report."""
+    """Compile one DCT implementation and print the full design report.
+
+    Uses an explicit :class:`~repro.flow.Flow` so the pass pipeline — and
+    its per-stage timings — is visible; `Flow.default()` builds the same
+    pipeline in one call.
+    """
     print("=" * 72)
     print(f"{transform.figure}: {transform.name}")
     print("=" * 72)
-    fabric = build_da_array()
-    netlist = transform.build_netlist()
-    placement = GreedyPlacer(fabric).place(netlist)
-    routing = MeshRouter(fabric).route(netlist, placement)
-    print(design_report(fabric, netlist, placement, routing))
-    report = verify_mapped_design(fabric, netlist, placement, routing)
-    print(f"design-rule checks: {report.summary()}")
+    flow = Flow([
+        SchedulePass(),
+        GreedyPlacePass(),
+        RoutePass(),
+        GenerateBitstreamPass(),
+        VerifyPass(),
+        MetricsPass(),
+    ])
+    result = flow.compile(transform)
+    print(design_report(result.fabric, result.netlist, result.placement,
+                        result.routing))
+    print(f"design-rule checks: {result.verification.summary()}")
+    print("pass pipeline     : " + " -> ".join(
+        f"{name} ({seconds * 1000:.1f}ms)"
+        for name, seconds in result.stage_timings.items()))
     print()
 
 

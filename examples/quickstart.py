@@ -5,9 +5,10 @@ This walks through the three things most users need first:
 
 1. transform an 8x8 pixel block with one of the mapped DCT implementations
    and check it against the floating-point reference;
-2. build the domain-specific DA array, map the implementation's netlist
-   onto it (place + route + bitstream) and look at the cluster usage —
-   the same numbers as Table 1 of the paper;
+2. build the domain-specific DA array and compile the implementation onto
+   it through the unified `repro.flow` pipeline (schedule + place + route +
+   bitstream + verify + metrics) and look at the cluster usage — the same
+   numbers as Table 1 of the paper;
 3. run the 4x16-PE systolic motion-estimation array on a synthetic frame
    pair and compare its motion vector with exhaustive software search.
 
@@ -48,23 +49,24 @@ def demo_dct() -> None:
 
 
 def demo_mapping() -> None:
-    """Map the Mixed-ROM netlist onto the DA array through the SoC."""
+    """Compile the Mixed-ROM design onto the DA array through the SoC."""
     print("=" * 72)
-    print("2. Mapping flow on the reconfigurable SoC (Fig. 1 + Fig. 3)")
+    print("2. Compilation flow on the reconfigurable SoC (Fig. 1 + Fig. 3)")
     print("=" * 72)
 
     soc = ReconfigurableSoC()
     soc.attach_array(build_da_array())
     soc.attach_array(build_me_array())
 
-    transform = MixedRomDCT()
-    kernel = soc.map_and_load(transform.build_netlist(), "da_array")
+    result = soc.compile_and_load(MixedRomDCT())
 
-    usage_row = kernel.netlist.cluster_usage().as_table_row()
-    print(format_table([{"implementation": "MIX ROM", **usage_row}],
+    print(format_table([{"implementation": "MIX ROM", **result.table_row()}],
                        title="Cluster usage (one Table 1 row)"))
-    print(f"\nrouted hops: {kernel.routing.total_hops}, "
-          f"bitstream: {kernel.bitstream.total_bits()} bits, "
+    timings = ", ".join(f"{name} {seconds * 1000:.1f}ms"
+                        for name, seconds in result.stage_timings.items())
+    print(f"\nflow stages: {timings}")
+    print(f"routed hops: {result.routing.total_hops}, "
+          f"bitstream: {result.bitstream.total_bits()} bits, "
           f"loaded in {soc.reconfiguration_log[-1].cycles} bus cycles")
     print(f"DA array floorplan ({soc.array('da_array').rows}x"
           f"{soc.array('da_array').cols} sites):")

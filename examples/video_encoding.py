@@ -16,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arrays import build_da_array
-from repro.dct import dct_implementations, map_implementation
+from repro.dct import dct_implementations
+from repro.flow import compile as flow_compile
 from repro.power import domain_specific_cost, power_per_block
 from repro.power.activity import block_activity
 from repro.reporting import format_table
@@ -47,19 +48,18 @@ def main() -> None:
     sequence = panning_sequence(height=64, width=80, pan=(1, 2), seed=17)
     frames = [sequence.frame(i) for i in range(FRAME_COUNT)]
     activity = block_activity(frames[0][:8, :8])
-    fabric = build_da_array()
 
     rows = []
     for transform in dct_implementations():
         summary = encode_with(transform, frames)
-        mapped = map_implementation(transform, fabric)
-        cost = domain_specific_cost(mapped.netlist, build_da_array(),
-                                    activity=activity, routing=mapped.routing)
+        result = flow_compile(transform)
+        cost = domain_specific_cost(result.netlist, build_da_array(),
+                                    activity=activity, routing=result.routing)
         energy = power_per_block(cost, transform.cycles_per_transform)
         rows.append({
             "dct_implementation": transform.name,
             "figure": transform.figure,
-            "clusters": mapped.usage.total_clusters,
+            "clusters": result.usage.total_clusters,
             "mean_psnr_db": round(summary["mean_psnr_db"], 2),
             "dct_cycles": summary["dct_cycles"],
             "energy_per_transform": round(energy, 1),

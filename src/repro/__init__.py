@@ -10,10 +10,15 @@ generic FPGA baseline.
 Top-level subpackages
 ---------------------
 
-``repro.core``    cluster models, fabric, interconnect, mapping flow
+``repro.flow``    the unified compile API: pass pipeline, result cache and
+                  the ``compile()`` / ``compile_many()`` entry points every
+                  kernel goes through
+``repro.core``    cluster models, fabric, interconnect, placer, router,
+                  scheduler, verification, metrics
 ``repro.arrays``  the ME and DA arrays, the FPGA baseline, the SoC wrapper
 ``repro.dct``     reference DCT and the mapped DCT implementations
 ``repro.me``      SAD, search algorithms and the 2-D systolic array
+``repro.filters`` FIR and DWT kernels for the DA array
 ``repro.video``   synthetic sequences, macroblocks, encoder loop, PSNR
 ``repro.power``   switching activity and the array-vs-FPGA cost models
 """

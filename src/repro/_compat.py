@@ -1,0 +1,30 @@
+"""Shared machinery for the deprecated pre-flow entry points."""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the repository's standard deprecation warning.
+
+    ``stacklevel`` must point at the *caller of the deprecated entry point*:
+    3 for module-level functions that call this helper directly, one more
+    for every additional layer of indirection.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+def legacy_flow(run_place_and_route: bool = True):
+    """The pipeline the pre-flow entry points effectively ran.
+
+    Place + route + metrics only — no bitstream or verification passes,
+    whose results the legacy result shapes cannot carry.
+    """
+    from repro.flow import Flow, GreedyPlacePass, MetricsPass, RoutePass
+
+    if not run_place_and_route:
+        return Flow([MetricsPass()], name="legacy-estimate")
+    return Flow([GreedyPlacePass(), RoutePass(), MetricsPass()], name="legacy")

@@ -3,30 +3,32 @@
 The SoC connects a host processor / DSP with the domain-specific
 reconfigurable arrays over an on-chip bus; a controller in the processor
 generates addresses and streams configuration bitstreams into the arrays.
-This module models that glue: it owns the array fabrics, runs the mapping
-flow (place, route, bitstream generation) for a kernel, keeps track of
-which configuration each array currently holds, and accounts for the
+This module models that glue: it owns the array fabrics, compiles kernels
+through the unified :mod:`repro.flow` pipeline, keeps track of which
+configuration each array currently holds, and accounts for the
 reconfiguration traffic and time — which is what makes the dynamic
 reconfiguration argument of Sec. 5 (switching implementations on
 low-battery or noisy-channel conditions) measurable.
+
+The flow-native surface is :meth:`ReconfigurableSoC.compile` /
+:meth:`ReconfigurableSoC.compile_and_load`, which return
+:class:`~repro.flow.pipeline.FlowResult`.  The pre-flow entry points
+(:meth:`map_kernel`, :meth:`map_and_load`) remain as deprecation shims.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
-from repro.core.clusters import ClusterKind
-from repro.core.configuration import (
-    ChannelConfiguration,
-    ClusterConfiguration,
-    ConfigurationBitstream,
-)
-from repro.core.exceptions import ConfigurationError, MappingError
+from repro._compat import warn_deprecated
+from repro.core.configuration import ConfigurationBitstream
+from repro.core.exceptions import ConfigurationError
 from repro.core.fabric import Fabric
-from repro.core.mapper import AnnealingPlacer, GreedyPlacer, Placement
+from repro.core.mapper import Placement
 from repro.core.netlist import Netlist
-from repro.core.router import MeshRouter, RoutingResult
+from repro.core.router import RoutingResult
+from repro.flow import Flow, FlowResult, as_design
 
 
 @dataclass
@@ -65,7 +67,8 @@ class ReconfigurableSoC:
         arrays; reconfiguration latency is ``bits / bus width`` cycles.
     use_annealing:
         Refine placements with simulated annealing (slower, better
-        wirelength) instead of stopping at the greedy placement.
+        wirelength) instead of stopping at the greedy placement.  This
+        selects the annealing placement pass in the compile flow.
     """
 
     def __init__(self, configuration_bus_bits: int = 32,
@@ -76,7 +79,7 @@ class ReconfigurableSoC:
         self.use_annealing = use_annealing
         self.seed = seed
         self._arrays: Dict[str, Fabric] = {}
-        self._loaded: Dict[str, Optional[MappedKernel]] = {}
+        self._loaded: Dict[str, Optional[Union[MappedKernel, FlowResult]]] = {}
         self.reconfiguration_log: List[ReconfigurationEvent] = []
 
     # -- array management ----------------------------------------------------
@@ -99,83 +102,89 @@ class ReconfigurableSoC:
         """Names of all attached arrays."""
         return list(self._arrays)
 
-    def loaded_kernel(self, array_name: str) -> Optional[MappedKernel]:
+    def loaded_kernel(self, array_name: str) -> Optional[Union[MappedKernel, FlowResult]]:
         """Kernel currently configured on an array, or ``None``."""
         self.array(array_name)
         return self._loaded[array_name]
 
-    # -- mapping flow -----------------------------------------------------------
-    def map_kernel(self, netlist: Netlist, array_name: str) -> MappedKernel:
-        """Place, route, verify and generate the bitstream for a kernel.
+    # -- compile flow --------------------------------------------------------
+    def flow(self) -> Flow:
+        """The compile pipeline this SoC instance runs kernels through."""
+        placer = "annealing" if self.use_annealing else "greedy"
+        return Flow.default(placer=placer, seed=self.seed)
 
+    def compile(self, design, array_name: Optional[str] = None) -> FlowResult:
+        """Compile a design (or bare netlist) onto one of the attached arrays.
+
+        ``array_name`` defaults to the design's own ``target_array``.
         Raises :class:`repro.core.exceptions.CapacityError` when the kernel
         does not fit, :class:`repro.core.exceptions.RoutingError` when the
         mesh is too congested, and :class:`repro.core.exceptions.MappingError`
         if the design-rule checks reject the mapped result (which would
         indicate a flow bug rather than a user error).
         """
-        from repro.core.verification import verify_mapped_design
+        design = as_design(design, target_array=array_name)
+        fabric = self.array(array_name or design.target_array)
+        return self.flow().compile(design, fabric=fabric)
 
-        fabric = self.array(array_name)
-        if self.use_annealing:
-            placement = AnnealingPlacer(fabric, seed=self.seed).place(netlist)
-        else:
-            placement = GreedyPlacer(fabric).place(netlist)
-        routing = MeshRouter(fabric).route(netlist, placement)
-        report = verify_mapped_design(fabric, netlist, placement, routing)
-        if not report.passed:
-            raise MappingError(
-                f"mapping of {netlist.name!r} onto {array_name!r} failed "
-                f"design-rule checks: " + "; ".join(report.violations[:5]))
-        bitstream = self._build_bitstream(netlist, fabric, placement, routing)
-        return MappedKernel(netlist, array_name, placement, routing, bitstream)
+    def load(self, kernel: Union[MappedKernel, FlowResult]) -> ReconfigurationEvent:
+        """Stream a compiled kernel's bitstream into its array.
 
-    def _build_bitstream(self, netlist: Netlist, fabric: Fabric,
-                         placement: Placement,
-                         routing: RoutingResult) -> ConfigurationBitstream:
-        bitstream = ConfigurationBitstream(fabric.name)
-        for node in netlist.nodes:
-            rom: tuple = ()
-            if node.kind is ClusterKind.MEMORY and node.depth_words > 0:
-                rom = tuple([0] * node.depth_words)
-            bitstream.add_cluster(ClusterConfiguration(
-                position=placement.position_of(node.name),
-                kind=node.kind,
-                mode=node.role or node.kind.value,
-                rom_contents=rom,
-                rom_word_bits=node.width_bits,
-            ))
-        for route in routing.routes:
-            if route.hop_count == 0:
-                continue
-            lanes = max(1, -(-route.width_bits // 8)) if route.width_bits > 2 else route.width_bits
-            bitstream.add_channel(ChannelConfiguration(
-                endpoints=(route.path[0], route.path[-1]),
-                coarse_switches_on=route.hop_count * lanes if route.width_bits > 2 else 0,
-                fine_switches_on=route.hop_count * lanes if route.width_bits <= 2 else 0,
-            ))
-        return bitstream
-
-    def load(self, kernel: MappedKernel) -> ReconfigurationEvent:
-        """Stream a mapped kernel's bitstream into its array.
-
-        Returns the reconfiguration event (bits transferred, cycles taken)
-        and records it in :attr:`reconfiguration_log`.
+        Accepts either a legacy :class:`MappedKernel` or a
+        :class:`~repro.flow.pipeline.FlowResult`; returns the
+        reconfiguration event (bits transferred, cycles taken) and records
+        it in :attr:`reconfiguration_log`.
         """
-        self.array(kernel.array_name)
+        if isinstance(kernel, FlowResult):
+            array_name, kernel_name = kernel.fabric_name, kernel.design_name
+        else:
+            array_name, kernel_name = kernel.array_name, kernel.name
+        self.array(array_name)
+        if kernel.bitstream is None:
+            raise ConfigurationError(
+                f"kernel {kernel_name!r} has no bitstream to load; compile it "
+                f"with a flow that includes the bitstream pass")
         event = ReconfigurationEvent(
-            array_name=kernel.array_name,
-            kernel_name=kernel.name,
+            array_name=array_name,
+            kernel_name=kernel_name,
             bitstream_bits=kernel.bitstream.total_bits(),
             cycles=kernel.bitstream.reconfiguration_cycles(self.configuration_bus_bits),
         )
-        self._loaded[kernel.array_name] = kernel
+        self._loaded[array_name] = kernel
         self.reconfiguration_log.append(event)
         return event
 
+    def compile_and_load(self, design,
+                         array_name: Optional[str] = None) -> FlowResult:
+        """Convenience: compile a design and immediately load it."""
+        result = self.compile(design, array_name)
+        self.load(result)
+        return result
+
+    # -- deprecated pre-flow entry points ------------------------------------
+    def _legacy_kernel(self, netlist: Netlist, array_name: str) -> MappedKernel:
+        result = self.compile(netlist, array_name)
+        return MappedKernel(result.netlist, array_name, result.placement,
+                            result.routing, result.bitstream)
+
+    def map_kernel(self, netlist: Netlist, array_name: str) -> MappedKernel:
+        """Deprecated: place, route, verify and generate a kernel bitstream.
+
+        Use :meth:`compile`, which returns a
+        :class:`~repro.flow.pipeline.FlowResult`.
+        """
+        warn_deprecated("ReconfigurableSoC.map_kernel",
+                        "ReconfigurableSoC.compile", stacklevel=3)
+        return self._legacy_kernel(netlist, array_name)
+
     def map_and_load(self, netlist: Netlist, array_name: str) -> MappedKernel:
-        """Convenience: map a kernel and immediately load it."""
-        kernel = self.map_kernel(netlist, array_name)
+        """Deprecated: map a kernel and immediately load it.
+
+        Use :meth:`compile_and_load`.
+        """
+        warn_deprecated("ReconfigurableSoC.map_and_load",
+                        "ReconfigurableSoC.compile_and_load", stacklevel=3)
+        kernel = self._legacy_kernel(netlist, array_name)
         self.load(kernel)
         return kernel
 

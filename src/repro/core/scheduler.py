@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.core.clusters import ClusterKind
-from repro.core.exceptions import MappingError
+from repro.core.exceptions import CapacityError, MappingError
 from repro.core.fabric import Fabric
 from repro.core.netlist import Netlist, Node
 
@@ -124,7 +124,9 @@ class ListScheduler:
         netlist.validate()
         for kind, demand in netlist.kind_histogram().items():
             if demand and self.capacity.get(kind, 0) <= 0:
-                raise MappingError(
+                # CapacityError (a MappingError subclass): the kernel cannot
+                # run on this fabric at all, not even time-multiplexed.
+                raise CapacityError(
                     f"no {kind.value} clusters available to schedule {netlist.name!r}")
 
         schedule = Schedule(netlist.name)
@@ -174,6 +176,6 @@ def fold_factor(netlist: Netlist, capacity: Mapping[ClusterKind, int]) -> float:
     for kind, demand in netlist.kind_histogram().items():
         available = capacity.get(kind, 0)
         if available <= 0:
-            raise MappingError(f"no {kind.value} clusters available")
+            raise CapacityError(f"no {kind.value} clusters available")
         worst = max(worst, demand / available)
     return worst

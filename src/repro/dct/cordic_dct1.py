@@ -47,6 +47,7 @@ class CordicDCT1(object):
 
     name = "cordic_1"
     figure = "Fig. 6"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  iterations: int = DEFAULT_ITERATIONS,

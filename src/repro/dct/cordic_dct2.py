@@ -43,6 +43,7 @@ class CordicDCT2(object):
 
     name = "cordic_2"
     figure = "Fig. 7"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  iterations: int = DEFAULT_ITERATIONS,

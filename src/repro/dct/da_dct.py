@@ -33,6 +33,7 @@ class DistributedArithmeticDCT:
 
     name = "da_simple"
     figure = "Fig. 4"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:

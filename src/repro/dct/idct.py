@@ -41,6 +41,7 @@ class DistributedArithmeticIDCT:
 
     name = "da_idct"
     figure = "Fig. 4 (inverse)"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:
@@ -104,6 +105,7 @@ class MixedRomIDCT:
 
     name = "mixed_rom_idct"
     figure = "Fig. 5 (inverse)"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:

@@ -1,9 +1,18 @@
-"""Mapping of the DCT implementations onto the DA array — regenerates Table 1.
+"""Table-1 reference data and deprecated DCT mapping shims.
 
-Each implementation class exposes ``build_netlist()``; this module runs the
-whole set through the mapping flow on the DA array, aggregates their
-cluster usage in the shape of Table 1 of the paper, and provides the
-published reference values so benchmarks and tests can compare row by row.
+The authoritative compile path for the DCT implementations is the unified
+pass pipeline of :mod:`repro.flow`::
+
+    from repro.flow import compile, compile_many
+    from repro.dct import dct_implementations
+
+    results = compile_many(dct_implementations())   # five FlowResults
+
+This module keeps the published Table-1 reference values (``PAPER_TABLE1``,
+``TABLE1_ORDER``, ``PAPER_COLUMN_LABELS``), the implementation factory and
+the row formatter, plus the legacy entry points
+:func:`map_implementation` / :func:`generate_table1` as deprecation shims
+that now run through the flow and repackage its :class:`FlowResult`.
 """
 
 from __future__ import annotations
@@ -11,13 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro._compat import legacy_flow, warn_deprecated
 from repro.arrays.da_array import DAArrayGeometry, build_da_array
 from repro.core.clusters import ClusterUsage
 from repro.core.fabric import Fabric
-from repro.core.mapper import GreedyPlacer, Placement
-from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.mapper import Placement
+from repro.core.metrics import DesignMetrics
 from repro.core.netlist import Netlist
-from repro.core.router import MeshRouter, RoutingResult
+from repro.core.router import RoutingResult
+from repro.flow import FlowResult
 from repro.dct.cordic_dct1 import CordicDCT1
 from repro.dct.cordic_dct2 import CordicDCT2
 from repro.dct.da_dct import DistributedArithmeticDCT
@@ -86,7 +97,7 @@ def dct_implementations(include_plain_da: bool = False) -> List[object]:
 
 @dataclass
 class MappedDCTImplementation:
-    """One DCT implementation mapped onto the DA array."""
+    """One DCT implementation mapped onto the DA array (legacy shape)."""
 
     name: str
     figure: str
@@ -102,33 +113,41 @@ class MappedDCTImplementation:
         return self.usage.as_table_row()
 
 
-def map_implementation(implementation, fabric: Optional[Fabric] = None,
-                       run_place_and_route: bool = True) -> MappedDCTImplementation:
-    """Run one implementation through the mapping flow on the DA array."""
-    fabric = fabric or build_da_array()
-    netlist = implementation.build_netlist()
-    placement: Optional[Placement] = None
-    routing: Optional[RoutingResult] = None
-    if run_place_and_route:
-        placement = GreedyPlacer(fabric).place(netlist)
-        routing = MeshRouter(fabric).route(netlist, placement)
-    metrics = evaluate_design(netlist, fabric, placement, routing)
+def _compile_implementation(implementation, fabric: Optional[Fabric],
+                            run_place_and_route: bool) -> MappedDCTImplementation:
+    flow = legacy_flow(run_place_and_route)
+    result: FlowResult = flow.compile(implementation,
+                                      fabric=fabric or build_da_array())
     return MappedDCTImplementation(
         name=implementation.name,
         figure=implementation.figure,
-        netlist=netlist,
-        usage=netlist.cluster_usage(),
-        placement=placement,
-        routing=routing,
-        metrics=metrics,
+        netlist=result.netlist,
+        usage=result.usage,
+        placement=result.placement,
+        routing=result.routing,
+        metrics=result.metrics,
         cycles_per_transform=implementation.cycles_per_transform,
     )
+
+
+def map_implementation(implementation, fabric: Optional[Fabric] = None,
+                       run_place_and_route: bool = True) -> MappedDCTImplementation:
+    """Deprecated: run one implementation through the flow on the DA array.
+
+    Use ``repro.flow.compile(implementation)``.
+    """
+    warn_deprecated("repro.dct.mapping.map_implementation", "repro.flow.compile")
+    return _compile_implementation(implementation, fabric, run_place_and_route)
 
 
 def generate_table1(fabric: Optional[Fabric] = None,
                     run_place_and_route: bool = True,
                     include_plain_da: bool = False) -> Dict[str, MappedDCTImplementation]:
-    """Map every Table-1 implementation and return the results by name."""
+    """Deprecated: map every Table-1 implementation and return results by name.
+
+    Use ``repro.flow.compile_many(dct_implementations())``.
+    """
+    warn_deprecated("repro.dct.mapping.generate_table1", "repro.flow.compile_many")
     fabric = fabric or build_da_array()
     results: Dict[str, MappedDCTImplementation] = {}
     for implementation in dct_implementations(include_plain_da):
@@ -138,13 +157,21 @@ def generate_table1(fabric: Optional[Fabric] = None,
         target = build_da_array(DAArrayGeometry(rows=fabric.rows,
                                                 add_shift_columns=fabric.cols - 2,
                                                 memory_columns=2))
-        results[implementation.name] = map_implementation(
+        results[implementation.name] = _compile_implementation(
             implementation, target, run_place_and_route)
     return results
 
 
-def table1_as_rows(results: Dict[str, MappedDCTImplementation]) -> List[Dict[str, object]]:
-    """Flatten mapping results into printable rows in the paper's column order."""
+def table1_as_rows(results) -> List[Dict[str, object]]:
+    """Flatten mapping results into printable rows in the paper's column order.
+
+    Accepts either the legacy ``{name: MappedDCTImplementation}`` mapping or
+    a ``{name: FlowResult}`` / iterable of :class:`FlowResult` from the flow
+    API — both carry ``table_row()``.
+    """
+    if not isinstance(results, dict):
+        results = {getattr(r, "design_name", getattr(r, "name", "")): r
+                   for r in results}
     rows: List[Dict[str, object]] = []
     for name in TABLE1_ORDER:
         if name not in results:

@@ -55,6 +55,7 @@ class MixedRomDCT:
 
     name = "mixed_rom"
     figure = "Fig. 5"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:

@@ -95,6 +95,7 @@ class SCCEvenOddDCT:
 
     name = "scc_even_odd"
     figure = "Fig. 8"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:
@@ -180,6 +181,7 @@ class SCCDirectDCT:
 
     name = "scc_direct"
     figure = "Fig. 9"
+    target_array = "da_array"
 
     def __init__(self, size: int = DEFAULT_N,
                  quantisation: Optional[DAQuantisation] = None) -> None:

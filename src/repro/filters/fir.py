@@ -36,6 +36,7 @@ class DistributedArithmeticFIR:
     """
 
     name = "da_fir"
+    target_array = "da_array"
 
     def __init__(self, coefficients: Sequence[float],
                  quantisation: Optional[DAQuantisation] = None) -> None:

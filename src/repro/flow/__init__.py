@@ -1,0 +1,77 @@
+"""repro.flow — the unified compilation-flow API.
+
+One composable compile pipeline for every kernel in the repository: DCT
+implementations, DA filter kernels and the systolic motion-estimation
+engines all go through the same ``compile()`` / ``compile_many()`` entry
+points, replacing the former ad-hoc mapping paths in ``repro.dct.mapping``,
+``repro.me.mapping`` and ``repro.arrays.soc`` (which remain as deprecated
+shims).
+
+>>> from repro.flow import compile
+>>> from repro.dct import MixedRomDCT
+>>> result = compile(MixedRomDCT())
+>>> result.table_row()["total_clusters"]
+32
+"""
+
+from repro.flow.cache import (
+    DEFAULT_CACHE,
+    FlowCache,
+    cache_key,
+    compile,
+    compile_many,
+    fabric_fingerprint,
+    netlist_fingerprint,
+)
+from repro.flow.design import (
+    AdaptedDesign,
+    Design,
+    NetlistDesign,
+    as_design,
+    default_fabric,
+    register_fabric,
+    resolve_fabric,
+)
+from repro.flow.pipeline import (
+    AnnealingPlacePass,
+    Flow,
+    FlowContext,
+    FlowResult,
+    GenerateBitstreamPass,
+    GreedyPlacePass,
+    MetricsPass,
+    Pass,
+    RoutePass,
+    SchedulePass,
+    VerifyPass,
+    build_bitstream,
+)
+
+__all__ = [
+    "DEFAULT_CACHE",
+    "FlowCache",
+    "cache_key",
+    "compile",
+    "compile_many",
+    "fabric_fingerprint",
+    "netlist_fingerprint",
+    "AdaptedDesign",
+    "Design",
+    "NetlistDesign",
+    "as_design",
+    "default_fabric",
+    "register_fabric",
+    "resolve_fabric",
+    "AnnealingPlacePass",
+    "Flow",
+    "FlowContext",
+    "FlowResult",
+    "GenerateBitstreamPass",
+    "GreedyPlacePass",
+    "MetricsPass",
+    "Pass",
+    "RoutePass",
+    "SchedulePass",
+    "VerifyPass",
+    "build_bitstream",
+]

@@ -1,0 +1,182 @@
+"""Content-addressed result cache and the batch compile entry points.
+
+The cache key is a SHA-256 over three fingerprints — the netlist (nodes,
+nets, widths, roles, ROM depths), the fabric geometry (site map and mesh
+parameters) and the flow's pass configuration — so any mutation of any of
+the three misses, while re-compiling an identical design is a hit that
+skips placement, routing and verification entirely.
+
+:func:`compile` is the module-level convenience wired to a shared default
+cache; :func:`compile_many` fans independent kernels out over a thread
+pool (each compile builds its own fabric, so there is no shared mutable
+state) and returns results in input order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.fabric import Fabric
+from repro.core.netlist import Netlist
+from repro.flow.pipeline import Flow, FlowResult
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """Stable content hash of a netlist's structure."""
+    digest = hashlib.sha256()
+    digest.update(netlist.name.encode())
+    for node in netlist.nodes:
+        digest.update(
+            f"|n:{node.name}:{node.kind.value}:{node.width_bits}"
+            f":{node.role}:{node.depth_words}".encode())
+    for net in netlist.nets:
+        digest.update(
+            f"|e:{net.source}>{net.sink}:{net.width_bits}:{net.name}".encode())
+    return digest.hexdigest()
+
+
+def fabric_fingerprint(fabric: Fabric) -> str:
+    """Stable content hash of a fabric's geometry, cluster mix and mesh."""
+    digest = hashlib.sha256()
+    spec = fabric.mesh.spec
+    digest.update(
+        f"{fabric.name}:{fabric.rows}x{fabric.cols}"
+        f"|mesh:{spec.coarse_tracks_per_channel}:{spec.fine_tracks_per_channel}"
+        f":{spec.switches_per_track_per_channel}:{spec.config_bits_per_switch}"
+        .encode())
+    for site in fabric.sites:
+        if site.spec is None:
+            digest.update(b"|.")
+        else:
+            digest.update(
+                f"|{site.spec.kind.value}:{site.spec.width_bits}"
+                f":{site.spec.depth_words}".encode())
+    return digest.hexdigest()
+
+
+def cache_key(netlist: Netlist, fabric: Fabric, flow: Flow) -> str:
+    """Combined content hash keying one (netlist, fabric, flow) compilation."""
+    digest = hashlib.sha256()
+    digest.update(netlist_fingerprint(netlist).encode())
+    digest.update(fabric_fingerprint(fabric).encode())
+    digest.update(repr(flow.signature()).encode())
+    return digest.hexdigest()
+
+
+class FlowCache:
+    """Thread-safe LRU cache of :class:`FlowResult` keyed by content hash."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, FlowResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def key(self, netlist: Netlist, fabric: Fabric, flow: Flow) -> str:
+        """Content hash keying this compilation (compute once, reuse)."""
+        return cache_key(netlist, fabric, flow)
+
+    def get(self, key: str) -> Optional[FlowResult]:
+        """Cached result for a precomputed key, or ``None``."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: str, result: FlowResult) -> None:
+        """Record a freshly compiled result, evicting the least recent."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for reporting."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def __repr__(self) -> str:
+        return (f"FlowCache(entries={len(self._entries)}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+#: Shared cache behind the module-level :func:`compile` entry point.
+#: Rebind ``repro.flow.cache.DEFAULT_CACHE`` to swap it globally — the
+#: entry points resolve it at call time, not at definition time.
+DEFAULT_CACHE = FlowCache()
+
+#: Sentinel: "use whatever DEFAULT_CACHE is bound to when called".
+_SHARED = object()
+
+
+def _resolve_cache(cache) -> Optional[FlowCache]:
+    return DEFAULT_CACHE if cache is _SHARED else cache
+
+
+def compile(design, fabric=None, *, flow: Optional[Flow] = None,
+            placer: str = "greedy", seed: int = 0,
+            cache=_SHARED) -> FlowResult:
+    """Compile one design through the standard flow.
+
+    The single public compile API: accepts any
+    :class:`~repro.flow.design.Design` (or bare netlist), builds the
+    design's default fabric when none is given, and consults the shared
+    result cache (pass ``cache=None`` to force a fresh compilation).
+    """
+    flow = flow or Flow.default(placer=placer, seed=seed)
+    return flow.compile(design, fabric=fabric, cache=_resolve_cache(cache))
+
+
+def compile_many(designs: Sequence, fabric=None, *,
+                 flow: Optional[Flow] = None, placer: str = "greedy",
+                 seed: int = 0, cache=_SHARED,
+                 max_workers: Optional[int] = None) -> List[FlowResult]:
+    """Compile independent kernels concurrently; results in input order.
+
+    Every design is compiled on its own freshly built fabric, so the
+    compilations share no mutable state and the output is deterministic
+    regardless of thread scheduling.  ``fabric`` must therefore be a
+    zero-argument factory (or ``None`` for each design's default) — a
+    single :class:`Fabric` instance would be mutated concurrently by the
+    router.
+    """
+    if isinstance(fabric, Fabric):
+        raise ConfigurationError(
+            "compile_many needs a fabric *factory* (or None), not a shared "
+            "Fabric instance: routing mutates mesh occupancy")
+    cache = _resolve_cache(cache)
+    flow = flow or Flow.default(placer=placer, seed=seed)
+    designs = list(designs)
+    if not designs:
+        return []
+    workers = max_workers or min(8, len(designs))
+    if workers <= 1 or len(designs) == 1:
+        return [flow.compile(design, fabric=fabric, cache=cache)
+                for design in designs]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(flow.compile, design, fabric, cache)
+                   for design in designs]
+        return [future.result() for future in futures]

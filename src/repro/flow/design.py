@@ -1,0 +1,157 @@
+"""The ``Design`` protocol: what the compilation flow accepts as input.
+
+Every kernel that can be compiled onto one of the domain-specific arrays —
+the five Table-1 DCT implementations, the DA filter kernels, the systolic
+motion-estimation engines — presents the same minimal surface:
+
+* ``name``          identifier used in results, bitstreams and reports;
+* ``target_array``  name of the array family the kernel targets
+                    (``"da_array"`` or ``"me_array"``);
+* ``build_netlist()``  the structural netlist handed to the flow.
+
+A design may additionally provide ``build_fabric()`` returning a freshly
+built, correctly sized :class:`~repro.core.fabric.Fabric`; designs without
+it are compiled onto the registered default fabric of their target array.
+
+Bare :class:`~repro.core.netlist.Netlist` objects are adapted through
+:class:`NetlistDesign`, so existing netlist-building code (FIR, DWT, ad-hoc
+kernels) needs no changes to go through the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.fabric import Fabric
+from repro.core.netlist import Netlist
+
+
+@runtime_checkable
+class Design(Protocol):
+    """Anything the flow can compile: a named netlist source with a target."""
+
+    name: str
+    target_array: str
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of the design."""
+        ...
+
+
+class NetlistDesign:
+    """Adapter presenting a bare :class:`Netlist` as a :class:`Design`."""
+
+    def __init__(self, netlist: Netlist, target_array: str,
+                 name: Optional[str] = None) -> None:
+        self.netlist = netlist
+        self.target_array = target_array
+        self.name = name or netlist.name
+
+    def build_netlist(self) -> Netlist:
+        """The wrapped netlist, unchanged."""
+        return self.netlist
+
+    def __repr__(self) -> str:
+        return f"NetlistDesign({self.name!r}, target_array={self.target_array!r})"
+
+
+class AdaptedDesign:
+    """Wrap an object that builds netlists but lacks flow metadata."""
+
+    def __init__(self, implementation, target_array: str,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(implementation, "build_netlist"):
+            raise ConfigurationError(
+                f"{implementation!r} has no build_netlist() and cannot be compiled")
+        self.implementation = implementation
+        self.target_array = target_array
+        self.name = name or getattr(implementation, "name",
+                                    type(implementation).__name__)
+
+    def build_netlist(self) -> Netlist:
+        """Delegate to the wrapped implementation."""
+        return self.implementation.build_netlist()
+
+    def __repr__(self) -> str:
+        return f"AdaptedDesign({self.name!r}, target_array={self.target_array!r})"
+
+
+def as_design(obj, target_array: Optional[str] = None) -> Design:
+    """Coerce a design-like object into something satisfying :class:`Design`.
+
+    Accepts a ready :class:`Design`, a bare :class:`Netlist` (wrapped in
+    :class:`NetlistDesign`) or any object with ``build_netlist()`` (wrapped
+    in :class:`AdaptedDesign`).  ``target_array`` overrides or supplies the
+    target array name; objects that neither declare one nor get one passed
+    are rejected rather than silently compiled onto a default array.
+    """
+    if isinstance(obj, Netlist):
+        if target_array is None:
+            raise ConfigurationError(
+                f"bare netlist {obj.name!r} needs an explicit target_array "
+                f"(e.g. 'da_array' or 'me_array')")
+        return NetlistDesign(obj, target_array)
+    declared = getattr(obj, "target_array", None)
+    if isinstance(obj, Design) and target_array in (None, declared):
+        # Keep the design's full surface (build_fabric, ...); wrapping is
+        # only needed when the target is genuinely overridden.
+        return obj
+    if target_array is None and declared is None:
+        raise ConfigurationError(
+            f"{type(obj).__name__} declares no target_array; pass one "
+            f"explicitly (e.g. 'da_array' or 'me_array')")
+    return AdaptedDesign(obj, target_array or declared)
+
+
+#: Registered default-fabric builders by array name.
+_FABRIC_BUILDERS: Dict[str, Callable[[], Fabric]] = {}
+
+
+def register_fabric(name: str, builder: Callable[[], Fabric]) -> None:
+    """Register (or replace) the default fabric builder for an array name."""
+    _FABRIC_BUILDERS[name] = builder
+
+
+def _bootstrap_builtin_fabrics() -> None:
+    # Imported lazily: repro.arrays pulls in the SoC, which itself builds on
+    # this package, so a module-level import would be circular.
+    from repro.arrays.da_array import build_da_array
+    from repro.arrays.me_array import build_me_array
+
+    _FABRIC_BUILDERS.setdefault("da_array", build_da_array)
+    _FABRIC_BUILDERS.setdefault("me_array", build_me_array)
+
+
+def default_fabric(target_array: str) -> Fabric:
+    """Build a fresh default fabric for a registered array name."""
+    if target_array not in _FABRIC_BUILDERS:
+        _bootstrap_builtin_fabrics()
+    try:
+        builder = _FABRIC_BUILDERS[target_array]
+    except KeyError:
+        raise ConfigurationError(
+            f"no fabric registered for target array {target_array!r}; "
+            f"known: {sorted(_FABRIC_BUILDERS)}") from None
+    return builder()
+
+
+def resolve_fabric(design: Design, fabric=None) -> Fabric:
+    """Pick the fabric a design compiles onto.
+
+    Resolution order: an explicit ``fabric`` argument (a :class:`Fabric` or
+    a zero-argument factory), the design's own ``build_fabric()`` when it
+    provides one, then the registered default for ``design.target_array``.
+    """
+    if fabric is not None:
+        if callable(fabric):
+            fabric = fabric()
+        if not isinstance(fabric, Fabric):
+            raise ConfigurationError(
+                f"fabric must be a Fabric or a factory returning one, "
+                f"got {type(fabric).__name__}")
+        return fabric
+    build = getattr(design, "build_fabric", None)
+    if callable(build):
+        return build()
+    return default_fabric(design.target_array)

@@ -1,0 +1,427 @@
+"""The pass pipeline: one composable compile API for every kernel.
+
+A :class:`Flow` is an ordered list of :class:`Pass` objects run over a
+shared :class:`FlowContext`.  The standard pipeline mirrors the paper's
+software flow — ``Schedule → Place → Route → GenerateBitstream → Verify →
+Metrics`` — and every stage is swappable: greedy versus annealing
+placement is a pass choice (:class:`GreedyPlacePass` /
+:class:`AnnealingPlacePass`), not a boolean flag, and analysis-only
+compilation drops the physical passes rather than threading
+``run_place_and_route`` through every call site.
+
+``Flow.compile`` returns a structured :class:`FlowResult` carrying the
+placement, routing, bitstream, verification report, design metrics and
+per-stage wall-clock timings.  Pass ordering is validated statically: each
+pass declares which context artifacts it requires and provides, and a flow
+whose passes are out of order fails at construction, not mid-compile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.clusters import ClusterKind, ClusterUsage
+from repro.core.configuration import (
+    ChannelConfiguration,
+    ClusterConfiguration,
+    ConfigurationBitstream,
+)
+from repro.core.exceptions import ConfigurationError, MappingError
+from repro.core.fabric import Fabric
+from repro.core.mapper import AnnealingPlacer, GreedyPlacer, Placement
+from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.netlist import Netlist
+from repro.core.router import MeshRouter, RoutingResult
+from repro.core.scheduler import ListScheduler, Schedule
+from repro.core.verification import VerificationReport, verify_mapped_design
+from repro.flow.design import Design, as_design, resolve_fabric
+
+
+@dataclass
+class FlowContext:
+    """Mutable state threaded through the passes of one compilation."""
+
+    design: Design
+    netlist: Netlist
+    fabric: Fabric
+    schedule: Optional[Schedule] = None
+    placement: Optional[Placement] = None
+    routing: Optional[RoutingResult] = None
+    bitstream: Optional[ConfigurationBitstream] = None
+    verification: Optional[VerificationReport] = None
+    metrics: Optional[DesignMetrics] = None
+
+
+class Pass:
+    """One stage of the compilation flow.
+
+    Subclasses set :attr:`name`, declare the context artifacts they
+    :attr:`requires` and :attr:`provides` (field names of
+    :class:`FlowContext`), and implement :meth:`run`.  ``signature()``
+    feeds the result cache, so it must cover every parameter that changes
+    the pass's output.
+    """
+
+    name: str = "pass"
+    requires: Tuple[str, ...] = ()
+    #: Artifacts the pass consumes when present but can run without (e.g.
+    #: verification of an unrouted placement).  Ordering is still enforced:
+    #: a flow where a later pass provides one of these fails construction.
+    optional_requires: Tuple[str, ...] = ()
+    provides: Tuple[str, ...] = ()
+
+    def run(self, context: FlowContext) -> None:
+        """Execute the stage, mutating ``context``."""
+        raise NotImplementedError
+
+    def signature(self) -> Tuple:
+        """Hashable description of the pass and its parameters."""
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SchedulePass(Pass):
+    """Resource-constrained list scheduling on the target fabric's capacity."""
+
+    name = "schedule"
+    provides = ("schedule",)
+
+    def run(self, context: FlowContext) -> None:
+        scheduler = ListScheduler.for_fabric(context.fabric)
+        context.schedule = scheduler.schedule(context.netlist)
+
+
+class GreedyPlacePass(Pass):
+    """Constructive nearest-free-site placement."""
+
+    name = "place.greedy"
+    provides = ("placement",)
+
+    def run(self, context: FlowContext) -> None:
+        context.placement = GreedyPlacer(context.fabric).place(context.netlist)
+
+
+class AnnealingPlacePass(Pass):
+    """Greedy placement refined by simulated annealing (deterministic seed)."""
+
+    name = "place.annealing"
+    provides = ("placement",)
+
+    def __init__(self, seed: int = 0, moves_per_temperature: int = 64,
+                 initial_temperature: float = 10.0, cooling_rate: float = 0.9,
+                 minimum_temperature: float = 0.05) -> None:
+        self.seed = seed
+        self.moves_per_temperature = moves_per_temperature
+        self.initial_temperature = initial_temperature
+        self.cooling_rate = cooling_rate
+        self.minimum_temperature = minimum_temperature
+
+    def run(self, context: FlowContext) -> None:
+        placer = AnnealingPlacer(
+            context.fabric, seed=self.seed,
+            moves_per_temperature=self.moves_per_temperature,
+            initial_temperature=self.initial_temperature,
+            cooling_rate=self.cooling_rate,
+            minimum_temperature=self.minimum_temperature)
+        context.placement = placer.place(context.netlist)
+
+    def signature(self) -> Tuple:
+        return (self.name, self.seed, self.moves_per_temperature,
+                self.initial_temperature, self.cooling_rate,
+                self.minimum_temperature)
+
+
+class RoutePass(Pass):
+    """Congestion-negotiated maze routing over the fabric mesh."""
+
+    name = "route"
+    requires = ("placement",)
+    provides = ("routing",)
+
+    def __init__(self, congestion_weight: float = 4.0) -> None:
+        self.congestion_weight = congestion_weight
+
+    def run(self, context: FlowContext) -> None:
+        router = MeshRouter(context.fabric, self.congestion_weight)
+        context.routing = router.route(context.netlist, context.placement)
+
+    def signature(self) -> Tuple:
+        return (self.name, self.congestion_weight)
+
+
+class GenerateBitstreamPass(Pass):
+    """Turn the placed-and-routed design into a configuration bitstream."""
+
+    name = "bitstream"
+    requires = ("placement", "routing")
+    provides = ("bitstream",)
+
+    def run(self, context: FlowContext) -> None:
+        context.bitstream = build_bitstream(context.netlist, context.fabric,
+                                            context.placement, context.routing)
+
+
+class VerifyPass(Pass):
+    """Design-rule checks of the mapped result.
+
+    With ``strict=True`` (the default) a failed check raises
+    :class:`~repro.core.exceptions.MappingError` — a flow bug, not a user
+    error; with ``strict=False`` the report is recorded on the result for
+    the caller to inspect.
+    """
+
+    name = "verify"
+    requires = ("placement",)
+    optional_requires = ("routing",)
+    provides = ("verification",)
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+
+    def run(self, context: FlowContext) -> None:
+        report = verify_mapped_design(context.fabric, context.netlist,
+                                      context.placement, context.routing)
+        context.verification = report
+        if self.strict and not report.passed:
+            raise MappingError(
+                f"mapping of {context.netlist.name!r} onto "
+                f"{context.fabric.name!r} failed design-rule checks: "
+                + "; ".join(report.violations[:5]))
+
+    def signature(self) -> Tuple:
+        return (self.name, self.strict)
+
+
+class MetricsPass(Pass):
+    """Aggregate area / timing / configuration metrics of the mapped design."""
+
+    name = "metrics"
+    optional_requires = ("placement", "routing")
+    provides = ("metrics",)
+
+    def run(self, context: FlowContext) -> None:
+        context.metrics = evaluate_design(context.netlist, context.fabric,
+                                          context.placement, context.routing)
+
+
+def build_bitstream(netlist: Netlist, fabric: Fabric, placement: Placement,
+                    routing: RoutingResult) -> ConfigurationBitstream:
+    """Configuration bitstream of a placed-and-routed design.
+
+    One :class:`ClusterConfiguration` per netlist node (with a zeroed ROM
+    image for memory clusters) and one :class:`ChannelConfiguration` per
+    routed net that actually crosses the mesh.
+    """
+    bitstream = ConfigurationBitstream(fabric.name)
+    for node in netlist.nodes:
+        rom: tuple = ()
+        if node.kind is ClusterKind.MEMORY and node.depth_words > 0:
+            rom = tuple([0] * node.depth_words)
+        bitstream.add_cluster(ClusterConfiguration(
+            position=placement.position_of(node.name),
+            kind=node.kind,
+            mode=node.role or node.kind.value,
+            rom_contents=rom,
+            rom_word_bits=node.width_bits,
+        ))
+    for route in routing.routes:
+        if route.hop_count == 0:
+            continue
+        lanes = max(1, -(-route.width_bits // 8)) if route.width_bits > 2 else route.width_bits
+        bitstream.add_channel(ChannelConfiguration(
+            endpoints=(route.path[0], route.path[-1]),
+            coarse_switches_on=route.hop_count * lanes if route.width_bits > 2 else 0,
+            fine_switches_on=route.hop_count * lanes if route.width_bits <= 2 else 0,
+        ))
+    return bitstream
+
+
+@dataclass
+class FlowResult:
+    """Structured artifact of one compilation.
+
+    Treat the contained artifacts as read-only: a cache hit returns a
+    result whose netlist, placement, routing and bitstream are shared with
+    the cached entry (and with every other hit of the same compilation).
+    On a hit, :attr:`fabric` is the *original* compile's fabric object —
+    the cache keys on geometry, so a geometry-identical fabric passed to a
+    later ``compile()`` is not the instance the result refers to (and its
+    own mesh occupancy is untouched); pass ``cache=None`` when you need
+    the routing applied to your specific fabric instance.
+    """
+
+    design_name: str
+    fabric_name: str
+    netlist: Netlist
+    fabric: Fabric
+    schedule: Optional[Schedule] = None
+    placement: Optional[Placement] = None
+    routing: Optional[RoutingResult] = None
+    bitstream: Optional[ConfigurationBitstream] = None
+    verification: Optional[VerificationReport] = None
+    metrics: Optional[DesignMetrics] = None
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+
+    @property
+    def usage(self) -> ClusterUsage:
+        """Table-1 style cluster usage of the compiled netlist."""
+        return self.netlist.cluster_usage()
+
+    def table_row(self) -> Dict[str, int]:
+        """This design's Table-1 row."""
+        return self.usage.as_table_row()
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time spent across all stages."""
+        return sum(self.stage_timings.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary of the headline numbers for reporting."""
+        summary: Dict[str, object] = {
+            "design": self.design_name,
+            "fabric": self.fabric_name,
+            "total_clusters": self.usage.total_clusters,
+            "cache_hit": self.cache_hit,
+            "flow_seconds": round(self.total_seconds, 4),
+        }
+        if self.metrics is not None:
+            summary.update(self.metrics.summary())
+        if self.bitstream is not None:
+            summary["bitstream_bits"] = self.bitstream.total_bits()
+        return summary
+
+    def __repr__(self) -> str:
+        return (f"FlowResult({self.design_name!r} on {self.fabric_name!r}, "
+                f"clusters={self.usage.total_clusters}, "
+                f"cache_hit={self.cache_hit})")
+
+
+class Flow:
+    """An ordered, statically validated pipeline of compilation passes."""
+
+    #: Context artifacts available before any pass runs.
+    _BASE_ARTIFACTS = ("design", "netlist", "fabric")
+
+    def __init__(self, passes: Sequence[Pass], name: str = "flow") -> None:
+        if not passes:
+            raise ConfigurationError("a flow needs at least one pass")
+        self.name = name
+        self.passes: List[Pass] = list(passes)
+        self._validate_ordering()
+
+    def _validate_ordering(self) -> None:
+        available = set(self._BASE_ARTIFACTS)
+        for index, stage in enumerate(self.passes):
+            missing = [need for need in stage.requires if need not in available]
+            if missing:
+                raise ConfigurationError(
+                    f"pass {stage.name!r} requires {missing} but earlier passes "
+                    f"only provide {sorted(available)}")
+            late = [need for need in stage.optional_requires
+                    if need not in available
+                    and any(need in later.provides
+                            for later in self.passes[index + 1:])]
+            if late:
+                raise ConfigurationError(
+                    f"pass {stage.name!r} consumes {late} when available, but "
+                    f"they are only produced by later passes — reorder the flow")
+            available.update(stage.provides)
+
+    @classmethod
+    def default(cls, placer: Union[str, Pass] = "greedy", seed: int = 0,
+                strict_verify: bool = True) -> "Flow":
+        """The standard six-stage pipeline of the paper's software flow.
+
+        ``placer`` selects the placement pass (``"greedy"`` or
+        ``"annealing"``); pass a :class:`Pass` instance for anything more
+        exotic.
+        """
+        if isinstance(placer, Pass):
+            place: Pass = placer
+        elif placer == "greedy":
+            place = GreedyPlacePass()
+        elif placer == "annealing":
+            place = AnnealingPlacePass(seed=seed)
+        else:
+            raise ConfigurationError(
+                f"unknown placer {placer!r}; use 'greedy', 'annealing' or a Pass")
+        return cls([
+            SchedulePass(),
+            place,
+            RoutePass(),
+            GenerateBitstreamPass(),
+            VerifyPass(strict=strict_verify),
+            MetricsPass(),
+        ], name="default")
+
+    @classmethod
+    def estimate(cls) -> "Flow":
+        """Analysis-only pipeline: schedule and netlist metrics, no physical
+        design.  The fast path for design-space sweeps that only need
+        cluster counts and pre-placement area numbers."""
+        return cls([SchedulePass(), MetricsPass()], name="estimate")
+
+    def signature(self) -> Tuple:
+        """Hashable description of the whole pipeline (cache-key component)."""
+        return tuple(stage.signature() for stage in self.passes)
+
+    def compile(self, design, fabric=None, cache=None) -> FlowResult:
+        """Compile one design into a :class:`FlowResult`.
+
+        ``design`` may be anything :func:`~repro.flow.design.as_design`
+        accepts; ``fabric`` an explicit target (or factory) overriding the
+        design's default; ``cache`` an optional
+        :class:`~repro.flow.cache.FlowCache` consulted before running and
+        updated after.
+        """
+        design = as_design(design)
+        netlist = design.build_netlist()
+        fabric = resolve_fabric(design, fabric)
+
+        key = None
+        if cache is not None:
+            key = cache.key(netlist, fabric, self)
+            hit = cache.get(key)
+            if hit is not None:
+                # Heavyweight artifacts (netlist, placement, routing,
+                # bitstream) are shared with the cached entry — treat them
+                # as read-only; stage_timings are the original compile's.
+                # design_name is restamped: the key covers only netlist
+                # content, and two designs may wrap the same netlist under
+                # different names.
+                return replace(hit, cache_hit=True,
+                               design_name=design.name,
+                               stage_timings=dict(hit.stage_timings))
+
+        context = FlowContext(design=design, netlist=netlist, fabric=fabric)
+        timings: Dict[str, float] = {}
+        for stage in self.passes:
+            started = time.perf_counter()
+            stage.run(context)
+            timings[stage.name] = time.perf_counter() - started
+
+        result = FlowResult(
+            design_name=design.name,
+            fabric_name=fabric.name,
+            netlist=netlist,
+            fabric=fabric,
+            schedule=context.schedule,
+            placement=context.placement,
+            routing=context.routing,
+            bitstream=context.bitstream,
+            verification=context.verification,
+            metrics=context.metrics,
+            stage_timings=timings,
+        )
+        if key is not None:
+            cache.put(key, result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Flow({self.name!r}, passes={[p.name for p in self.passes]})"

@@ -13,7 +13,6 @@ from repro.me.full_search import (
 )
 from repro.me.mapping import (
     MappedMEDesign,
-    build_systolic_netlist,
     map_me_design,
     map_pe,
     map_systolic_array,
@@ -35,6 +34,8 @@ from repro.me.systolic import (
     PEModule,
     SystolicArray,
     SystolicSearchResult,
+    build_systolic_netlist,
+    systolic_fabric,
 )
 from repro.me.systolic_1d import (
     Systolic1DArray,
@@ -73,6 +74,7 @@ __all__ = [
     "PEModule",
     "SystolicArray",
     "SystolicSearchResult",
+    "systolic_fabric",
     "HALF_PEL_OFFSETS",
     "SubPixelResult",
     "half_pel_refine",

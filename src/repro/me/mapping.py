@@ -1,10 +1,19 @@
-"""Mapping of the systolic ME architecture onto the ME array (Figs. 10/11).
+"""Deprecated ME mapping shims — superseded by :mod:`repro.flow`.
 
-Provides the structural netlists of the single PE (Fig. 10) and the full
-4x16-PE systolic engine (Fig. 11) and runs them through the mapping flow on
-the ME fabric of :mod:`repro.arrays.me_array`.  These mapped netlists are
-also the workload for the ME-array-vs-FPGA comparison benchmark (the 75 % /
-45 % / 23 % figures of [1]).
+The mapping of the Fig. 10 PE and the Fig. 11 systolic engine onto the ME
+array now runs through the unified pass pipeline; compile the engines
+directly::
+
+    from repro.flow import compile
+    from repro.me import SystolicArray
+
+    result = compile(SystolicArray())       # a FlowResult
+
+The entry points below are kept for backwards compatibility.  They emit
+:class:`DeprecationWarning` and return the same :class:`MappedMEDesign`
+shape as before, now assembled from a :class:`~repro.flow.pipeline.FlowResult`.
+:func:`build_systolic_netlist` moved to :mod:`repro.me.systolic` and is
+re-exported here unchanged.
 """
 
 from __future__ import annotations
@@ -12,52 +21,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.arrays.me_array import MEArrayGeometry, PIXEL_BITS, SAD_BITS, build_me_array
-from repro.core.clusters import ClusterKind, ClusterUsage
+from repro._compat import legacy_flow, warn_deprecated
+from repro.arrays.me_array import build_me_array
+from repro.core.clusters import ClusterUsage
 from repro.core.fabric import Fabric
-from repro.core.mapper import GreedyPlacer, Placement
-from repro.core.metrics import DesignMetrics, evaluate_design
+from repro.core.mapper import Placement
+from repro.core.metrics import DesignMetrics
 from repro.core.netlist import Netlist
-from repro.core.router import MeshRouter, RoutingResult
+from repro.core.router import RoutingResult
+from repro.flow import FlowResult, NetlistDesign
 from repro.me.pe import build_pe_netlist
-from repro.me.systolic import DEFAULT_MODULE_COUNT, DEFAULT_PES_PER_MODULE
+from repro.me.systolic import (
+    DEFAULT_MODULE_COUNT,
+    DEFAULT_PES_PER_MODULE,
+    build_systolic_netlist,
+    systolic_fabric,
+)
 
-
-def build_systolic_netlist(module_count: int = DEFAULT_MODULE_COUNT,
-                           pes_per_module: int = DEFAULT_PES_PER_MODULE,
-                           name: str = "me_systolic") -> Netlist:
-    """Structural netlist of the Fig. 11 systolic array.
-
-    Each PE contributes its register-mux, absolute-difference and
-    accumulator clusters; the current-pixel shift register runs along each
-    module (modelled by the register-mux chain), the per-module adder tree
-    is folded into the accumulator chain, and one comparator cluster holds
-    the running minimum SAD / motion vector.
-    """
-    netlist = Netlist(name)
-    for module in range(module_count):
-        for pe in range(pes_per_module):
-            prefix = f"m{module}_pe{pe}_"
-            netlist.add_node(prefix + "mux", ClusterKind.REGISTER_MUX,
-                             width_bits=PIXEL_BITS, role="pe_mux")
-            netlist.add_node(prefix + "ad", ClusterKind.ABS_DIFF,
-                             width_bits=PIXEL_BITS, role="pe_ad")
-            netlist.add_node(prefix + "acc", ClusterKind.ADD_ACC,
-                             width_bits=SAD_BITS, role="pe_acc")
-            netlist.connect(prefix + "mux", prefix + "ad", PIXEL_BITS)
-            netlist.connect(prefix + "ad", prefix + "acc", PIXEL_BITS)
-        # Current-pixel shift chain and partial-SAD chain along the module.
-        for pe in range(1, pes_per_module):
-            netlist.connect(f"m{module}_pe{pe - 1}_mux", f"m{module}_pe{pe}_mux",
-                            PIXEL_BITS)
-            netlist.connect(f"m{module}_pe{pe - 1}_acc", f"m{module}_pe{pe}_acc",
-                            SAD_BITS)
-    netlist.add_node("min_comparator", ClusterKind.COMPARATOR,
-                     width_bits=SAD_BITS, role="comparator")
-    for module in range(module_count):
-        netlist.connect(f"m{module}_pe{pes_per_module - 1}_acc", "min_comparator",
-                        SAD_BITS)
-    return netlist
+__all__ = [
+    "MappedMEDesign",
+    "build_systolic_netlist",
+    "map_me_design",
+    "map_pe",
+    "map_systolic_array",
+]
 
 
 @dataclass
@@ -71,48 +58,56 @@ class MappedMEDesign:
     routing: Optional[RoutingResult]
     metrics: DesignMetrics
 
+    @classmethod
+    def from_flow_result(cls, result: FlowResult) -> "MappedMEDesign":
+        """Repackage a :class:`FlowResult` in the legacy shape."""
+        return cls(
+            name=result.netlist.name,
+            netlist=result.netlist,
+            usage=result.usage,
+            placement=result.placement,
+            routing=result.routing,
+            metrics=result.metrics,
+        )
+
+
+def _compile_me(netlist: Netlist, fabric: Optional[Fabric],
+                run_place_and_route: bool) -> MappedMEDesign:
+    flow = legacy_flow(run_place_and_route)
+    design = NetlistDesign(netlist, target_array="me_array")
+    result = flow.compile(design, fabric=fabric or build_me_array())
+    return MappedMEDesign.from_flow_result(result)
+
 
 def map_me_design(netlist: Netlist, fabric: Optional[Fabric] = None,
                   run_place_and_route: bool = True) -> MappedMEDesign:
-    """Run an ME netlist through the mapping flow on the ME array."""
-    fabric = fabric or build_me_array()
-    placement: Optional[Placement] = None
-    routing: Optional[RoutingResult] = None
-    if run_place_and_route:
-        placement = GreedyPlacer(fabric).place(netlist)
-        routing = MeshRouter(fabric).route(netlist, placement)
-    metrics = evaluate_design(netlist, fabric, placement, routing)
-    return MappedMEDesign(
-        name=netlist.name,
-        netlist=netlist,
-        usage=netlist.cluster_usage(),
-        placement=placement,
-        routing=routing,
-        metrics=metrics,
-    )
+    """Deprecated: run an ME netlist through the mapping flow.
+
+    Use ``repro.flow.compile(NetlistDesign(netlist, "me_array"))``.
+    """
+    warn_deprecated("repro.me.mapping.map_me_design", "repro.flow.compile")
+    return _compile_me(netlist, fabric, run_place_and_route)
 
 
 def map_pe(fabric: Optional[Fabric] = None) -> MappedMEDesign:
-    """Map a single Fig. 10 PE onto the ME array."""
-    return map_me_design(build_pe_netlist(), fabric)
+    """Deprecated: map a single Fig. 10 PE onto the ME array.
+
+    Use ``repro.flow.compile(ProcessingElement())``.
+    """
+    warn_deprecated("repro.me.mapping.map_pe", "repro.flow.compile")
+    return _compile_me(build_pe_netlist(), fabric, True)
 
 
 def map_systolic_array(fabric: Optional[Fabric] = None,
                        module_count: int = DEFAULT_MODULE_COUNT,
                        pes_per_module: int = DEFAULT_PES_PER_MODULE,
                        run_place_and_route: bool = True) -> MappedMEDesign:
-    """Map the full Fig. 11 systolic engine onto the ME array.
+    """Deprecated: map the full Fig. 11 systolic engine onto the ME array.
 
-    The default ME-array geometry is sized for the 64-PE engine; smaller
-    geometries raise :class:`repro.core.exceptions.CapacityError`.
+    Use ``repro.flow.compile(SystolicArray(module_count, pes_per_module))``.
     """
+    warn_deprecated("repro.me.mapping.map_systolic_array", "repro.flow.compile")
     netlist = build_systolic_netlist(module_count, pes_per_module)
     if fabric is None:
-        fabric = build_me_array(MEArrayGeometry(
-            rows=max(16, pes_per_module),
-            mux_columns=max(4, module_count),
-            abs_diff_columns=max(5, module_count + 1),
-            add_acc_columns=max(6, module_count + 2),
-            comparator_columns=1,
-        ))
-    return map_me_design(netlist, fabric, run_place_and_route)
+        fabric = systolic_fabric(module_count, pes_per_module)
+    return _compile_me(netlist, fabric, run_place_and_route)

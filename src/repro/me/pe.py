@@ -33,6 +33,9 @@ from repro.core.netlist import Netlist
 class ProcessingElement:
     """One PE cell: register-mux, absolute difference and SAD accumulator."""
 
+    name = "me_pe"
+    target_array = "me_array"
+
     def __init__(self, pixel_bits: int = PIXEL_BITS, sad_bits: int = SAD_BITS) -> None:
         self.pixel_bits = pixel_bits
         self.sad_bits = sad_bits
@@ -79,16 +82,22 @@ class ProcessingElement:
         """Clusters one PE occupies on the ME array (Fig. 10)."""
         return ClusterUsage(register_mux=1, abs_diff=1, add_acc=1)
 
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of this PE for the compilation flow."""
+        return build_pe_netlist(pixel_bits=self.pixel_bits,
+                                sad_bits=self.sad_bits)
 
-def build_pe_netlist(name: str = "me_pe") -> Netlist:
+
+def build_pe_netlist(name: str = "me_pe", pixel_bits: int = PIXEL_BITS,
+                     sad_bits: int = SAD_BITS) -> Netlist:
     """Structural netlist of a single PE (Fig. 10) for the mapping flow."""
     netlist = Netlist(name)
     netlist.add_node("reference_mux", ClusterKind.REGISTER_MUX,
-                     width_bits=PIXEL_BITS, role="pe_mux")
+                     width_bits=pixel_bits, role="pe_mux")
     netlist.add_node("abs_diff", ClusterKind.ABS_DIFF,
-                     width_bits=PIXEL_BITS, role="pe_ad")
+                     width_bits=pixel_bits, role="pe_ad")
     netlist.add_node("sad_acc", ClusterKind.ADD_ACC,
-                     width_bits=SAD_BITS, role="pe_acc")
-    netlist.connect("reference_mux", "abs_diff", PIXEL_BITS)
-    netlist.connect("abs_diff", "sad_acc", PIXEL_BITS)
+                     width_bits=sad_bits, role="pe_acc")
+    netlist.connect("reference_mux", "abs_diff", pixel_bits)
+    netlist.connect("abs_diff", "sad_acc", pixel_bits)
     return netlist

@@ -22,8 +22,15 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.clusters import ComparatorCluster
+from repro.arrays.me_array import (
+    MEArrayGeometry,
+    PIXEL_BITS,
+    SAD_BITS,
+    build_me_array,
+)
+from repro.core.clusters import ClusterKind, ComparatorCluster
 from repro.core.exceptions import ConfigurationError
+from repro.core.netlist import Netlist
 from repro.me.full_search import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_SEARCH_RANGE,
@@ -37,6 +44,56 @@ from repro.me.sad import saturated_sad
 #: Geometry of Fig. 11: 4 PE modules of 16 PEs (64 PEs total).
 DEFAULT_MODULE_COUNT = 4
 DEFAULT_PES_PER_MODULE = 16
+
+
+def build_systolic_netlist(module_count: int = DEFAULT_MODULE_COUNT,
+                           pes_per_module: int = DEFAULT_PES_PER_MODULE,
+                           name: str = "me_systolic") -> Netlist:
+    """Structural netlist of the Fig. 11 systolic array.
+
+    Each PE contributes its register-mux, absolute-difference and
+    accumulator clusters; the current-pixel shift register runs along each
+    module (modelled by the register-mux chain), the per-module adder tree
+    is folded into the accumulator chain, and one comparator cluster holds
+    the running minimum SAD / motion vector.
+    """
+    netlist = Netlist(name)
+    for module in range(module_count):
+        for pe in range(pes_per_module):
+            prefix = f"m{module}_pe{pe}_"
+            netlist.add_node(prefix + "mux", ClusterKind.REGISTER_MUX,
+                             width_bits=PIXEL_BITS, role="pe_mux")
+            netlist.add_node(prefix + "ad", ClusterKind.ABS_DIFF,
+                             width_bits=PIXEL_BITS, role="pe_ad")
+            netlist.add_node(prefix + "acc", ClusterKind.ADD_ACC,
+                             width_bits=SAD_BITS, role="pe_acc")
+            netlist.connect(prefix + "mux", prefix + "ad", PIXEL_BITS)
+            netlist.connect(prefix + "ad", prefix + "acc", PIXEL_BITS)
+        # Current-pixel shift chain and partial-SAD chain along the module.
+        for pe in range(1, pes_per_module):
+            netlist.connect(f"m{module}_pe{pe - 1}_mux", f"m{module}_pe{pe}_mux",
+                            PIXEL_BITS)
+            netlist.connect(f"m{module}_pe{pe - 1}_acc", f"m{module}_pe{pe}_acc",
+                            SAD_BITS)
+    netlist.add_node("min_comparator", ClusterKind.COMPARATOR,
+                     width_bits=SAD_BITS, role="comparator")
+    for module in range(module_count):
+        netlist.connect(f"m{module}_pe{pes_per_module - 1}_acc", "min_comparator",
+                        SAD_BITS)
+    return netlist
+
+
+def systolic_fabric(module_count: int = DEFAULT_MODULE_COUNT,
+                    pes_per_module: int = DEFAULT_PES_PER_MODULE):
+    """An ME-array instance sized for a ``module_count x pes_per_module``
+    engine, matching how the physical array of [1] was dimensioned."""
+    return build_me_array(MEArrayGeometry(
+        rows=max(16, pes_per_module),
+        mux_columns=max(4, module_count),
+        abs_diff_columns=max(5, module_count + 1),
+        add_acc_columns=max(6, module_count + 2),
+        comparator_columns=1,
+    ))
 
 
 @dataclass
@@ -105,6 +162,9 @@ class PEModule:
 class SystolicArray:
     """The 4x16 PE array of Fig. 11 plus its comparator and control."""
 
+    name = "me_systolic"
+    target_array = "me_array"
+
     def __init__(self, module_count: int = DEFAULT_MODULE_COUNT,
                  pes_per_module: int = DEFAULT_PES_PER_MODULE) -> None:
         if module_count <= 0:
@@ -114,6 +174,14 @@ class SystolicArray:
         self.modules = [PEModule(pes_per_module) for _ in range(module_count)]
         self.comparator = ComparatorCluster(width_bits=24, track_minimum=True)
         self.total_cycles = 0
+
+    def build_netlist(self) -> Netlist:
+        """Structural netlist of this engine for the compilation flow."""
+        return build_systolic_netlist(self.module_count, self.pes_per_module)
+
+    def build_fabric(self):
+        """An ME array sized for this engine (non-default geometries fit)."""
+        return systolic_fabric(self.module_count, self.pes_per_module)
 
     @property
     def pe_count(self) -> int:

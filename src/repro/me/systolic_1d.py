@@ -29,11 +29,19 @@ from repro.me.full_search import (
     candidate_displacements,
 )
 from repro.me.sad import saturated_sad
-from repro.me.systolic import PEModule, SystolicSearchResult
+from repro.me.systolic import (
+    PEModule,
+    SystolicSearchResult,
+    build_systolic_netlist,
+    systolic_fabric,
+)
 
 
 class Systolic1DArray:
     """A single row of PEs matching one candidate block at a time."""
+
+    name = "me_systolic_1d"
+    target_array = "me_array"
 
     def __init__(self, pe_count: int = 16) -> None:
         if pe_count <= 0:
@@ -47,6 +55,14 @@ class Systolic1DArray:
     def pe_total(self) -> int:
         """Total PEs (for area comparison with the 2-D array)."""
         return self.pe_count
+
+    def build_netlist(self):
+        """Structural netlist (one module of PEs) for the compilation flow."""
+        return build_systolic_netlist(1, self.pe_count, name=self.name)
+
+    def build_fabric(self):
+        """An ME array sized for this 1-D engine."""
+        return systolic_fabric(1, self.pe_count)
 
     def search(self, current: np.ndarray, reference: np.ndarray, top: int,
                left: int, block_size: int = DEFAULT_BLOCK_SIZE,

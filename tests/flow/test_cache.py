@@ -1,0 +1,151 @@
+"""Tests of the content-addressed result cache and batch compilation."""
+
+import pytest
+
+from repro.arrays import build_da_array
+from repro.arrays.da_array import DAArrayGeometry
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import ConfigurationError
+from repro.core.netlist import Netlist
+from repro.dct import MixedRomDCT, dct_implementations
+from repro.flow import (
+    Flow,
+    FlowCache,
+    NetlistDesign,
+    compile,
+    compile_many,
+    fabric_fingerprint,
+    netlist_fingerprint,
+)
+
+
+def small_netlist(extra_node: bool = False) -> Netlist:
+    netlist = Netlist("cache_probe")
+    netlist.add_node("a", ClusterKind.ADD_SHIFT, role="adder")
+    netlist.add_node("b", ClusterKind.ADD_SHIFT, role="accumulator")
+    netlist.connect("a", "b")
+    if extra_node:
+        netlist.add_node("c", ClusterKind.ADD_SHIFT, role="shift_register")
+        netlist.connect("b", "c")
+    return netlist
+
+
+class TestFingerprints:
+    def test_identical_netlists_share_a_fingerprint(self):
+        assert netlist_fingerprint(small_netlist()) == \
+            netlist_fingerprint(small_netlist())
+
+    def test_netlist_mutation_changes_the_fingerprint(self):
+        assert netlist_fingerprint(small_netlist()) != \
+            netlist_fingerprint(small_netlist(extra_node=True))
+
+    def test_node_role_is_part_of_the_content_hash(self):
+        one = Netlist("n")
+        one.add_node("x", ClusterKind.ADD_SHIFT, role="adder")
+        other = Netlist("n")
+        other.add_node("x", ClusterKind.ADD_SHIFT, role="subtracter")
+        assert netlist_fingerprint(one) != netlist_fingerprint(other)
+
+    def test_fabric_geometry_is_part_of_the_content_hash(self):
+        default = build_da_array()
+        wider = build_da_array(DAArrayGeometry(rows=12))
+        assert fabric_fingerprint(default) == fabric_fingerprint(build_da_array())
+        assert fabric_fingerprint(default) != fabric_fingerprint(wider)
+
+
+class TestFlowCache:
+    def test_second_identical_compile_is_a_hit(self):
+        cache = FlowCache()
+        first = compile(MixedRomDCT(), cache=cache)
+        second = compile(MixedRomDCT(), cache=cache)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert second.table_row() == first.table_row()
+        assert second.placement is first.placement
+
+    def test_netlist_mutation_misses(self):
+        cache = FlowCache()
+        fabric = build_da_array
+        compile(NetlistDesign(small_netlist(), "da_array"),
+                fabric=fabric, cache=cache)
+        mutated = compile(NetlistDesign(small_netlist(extra_node=True),
+                                        "da_array"),
+                          fabric=fabric, cache=cache)
+        assert not mutated.cache_hit
+        assert cache.misses == 2
+
+    def test_fabric_geometry_change_misses(self):
+        cache = FlowCache()
+        design = MixedRomDCT()
+        compile(design, cache=cache)
+        other = compile(design,
+                        fabric=build_da_array(DAArrayGeometry(rows=12)),
+                        cache=cache)
+        assert not other.cache_hit
+
+    def test_pass_configuration_change_misses(self):
+        cache = FlowCache()
+        design = MixedRomDCT()
+        compile(design, cache=cache)
+        annealed = compile(design, placer="annealing", seed=1, cache=cache)
+        assert not annealed.cache_hit
+        reannealed = compile(design, placer="annealing", seed=1, cache=cache)
+        assert reannealed.cache_hit
+        differently_seeded = compile(design, placer="annealing", seed=2,
+                                     cache=cache)
+        assert not differently_seeded.cache_hit
+
+    def test_lru_eviction_respects_max_entries(self):
+        cache = FlowCache(max_entries=2)
+        designs = dct_implementations()[:3]
+        for design in designs:
+            compile(design, cache=cache)
+        assert len(cache) == 2
+        # The oldest entry was evicted, so it misses again.
+        evicted = compile(designs[0], cache=cache)
+        assert not evicted.cache_hit
+
+    def test_clear_resets_counters(self):
+        cache = FlowCache()
+        compile(MixedRomDCT(), cache=cache)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_zero_capacity_cache_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowCache(max_entries=0)
+
+
+class TestCompileMany:
+    def test_results_preserve_input_order(self):
+        designs = dct_implementations()
+        results = compile_many(designs, cache=None)
+        assert [r.design_name for r in results] == [d.name for d in designs]
+
+    def test_deterministic_with_fixed_seed(self):
+        designs = dct_implementations()
+        flow = Flow.default(placer="annealing", seed=11)
+        first = compile_many(designs, flow=flow, cache=None, max_workers=4)
+        second = compile_many(designs, flow=flow, cache=None, max_workers=2)
+        serial = compile_many(designs, flow=flow, cache=None, max_workers=1)
+        for a, b, c in zip(first, second, serial):
+            assert a.placement.assignment == b.placement.assignment
+            assert a.placement.assignment == c.placement.assignment
+            assert a.metrics.wirelength == b.metrics.wirelength == \
+                c.metrics.wirelength
+
+    def test_shared_cache_across_batches(self):
+        cache = FlowCache()
+        compile_many(dct_implementations(), cache=cache)
+        again = compile_many(dct_implementations(), cache=cache)
+        assert all(result.cache_hit for result in again)
+        assert cache.hits == 5
+
+    def test_empty_batch_returns_empty_list(self):
+        assert compile_many([], cache=None) == []
+
+    def test_shared_fabric_instance_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="factory"):
+            compile_many(dct_implementations(), fabric=build_da_array(),
+                         cache=None)

@@ -1,0 +1,135 @@
+"""Tests of the Design protocol, adapters and fabric resolution."""
+
+import pytest
+
+from repro.arrays import build_da_array, build_me_array
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import ConfigurationError
+from repro.core.netlist import Netlist
+from repro.dct import dct_implementations
+from repro.filters import DistributedArithmeticFIR, symmetric_lowpass
+from repro.flow import (
+    AdaptedDesign,
+    Design,
+    NetlistDesign,
+    as_design,
+    default_fabric,
+    register_fabric,
+    resolve_fabric,
+)
+from repro.flow.design import _FABRIC_BUILDERS
+from repro.me import ProcessingElement, Systolic1DArray, SystolicArray
+
+
+def probe_netlist() -> Netlist:
+    netlist = Netlist("probe")
+    netlist.add_node("a", ClusterKind.ADD_SHIFT, role="adder")
+    return netlist
+
+
+class TestDesignProtocol:
+    def test_every_dct_implementation_satisfies_the_protocol(self):
+        for implementation in dct_implementations(include_plain_da=True):
+            assert isinstance(implementation, Design)
+            assert implementation.target_array == "da_array"
+
+    def test_me_engines_satisfy_the_protocol(self):
+        for engine in (SystolicArray(), Systolic1DArray(),
+                       ProcessingElement()):
+            assert isinstance(engine, Design)
+            assert engine.target_array == "me_array"
+
+    def test_filter_kernels_satisfy_the_protocol(self):
+        fir = DistributedArithmeticFIR(symmetric_lowpass(8, cutoff=0.2))
+        assert isinstance(fir, Design)
+        assert fir.target_array == "da_array"
+
+
+class TestAdapters:
+    def test_netlists_are_wrapped(self):
+        design = as_design(probe_netlist(), target_array="da_array")
+        assert isinstance(design, NetlistDesign)
+        assert design.name == "probe"
+        assert design.target_array == "da_array"
+        assert design.build_netlist().name == "probe"
+
+    def test_bare_netlist_without_target_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="target_array"):
+            as_design(probe_netlist())
+
+    def test_object_without_declared_target_is_rejected(self):
+        class Foreign:
+            def build_netlist(self):
+                return probe_netlist()
+
+        with pytest.raises(ConfigurationError, match="target_array"):
+            as_design(Foreign())
+
+    def test_target_array_override(self):
+        design = as_design(probe_netlist(), target_array="me_array")
+        assert design.target_array == "me_array"
+
+    def test_ready_designs_pass_through_unchanged(self):
+        systolic = SystolicArray()
+        assert as_design(systolic) is systolic
+
+    def test_matching_explicit_target_keeps_the_design_surface(self):
+        # Passing the target the design already declares must not strip
+        # capabilities like build_fabric by wrapping in AdaptedDesign.
+        systolic = SystolicArray(module_count=4, pes_per_module=20)
+        design = as_design(systolic, target_array="me_array")
+        assert design is systolic
+        assert hasattr(design, "build_fabric")
+
+    def test_mismatched_explicit_target_overrides_via_adapter(self):
+        design = as_design(SystolicArray(), target_array="da_array")
+        assert isinstance(design, AdaptedDesign)
+        assert design.target_array == "da_array"
+
+    def test_third_party_objects_are_adapted(self):
+        class Foreign:
+            def build_netlist(self):
+                return probe_netlist()
+
+        design = as_design(Foreign(), target_array="da_array")
+        assert isinstance(design, AdaptedDesign)
+        assert design.build_netlist().name == "probe"
+
+    def test_objects_without_build_netlist_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_design(object(), target_array="da_array")
+
+
+class TestFabricResolution:
+    def test_builtin_arrays_are_registered(self):
+        assert default_fabric("da_array").name == "da_array"
+        assert default_fabric("me_array").name == "me_array"
+
+    def test_unknown_array_name_raises(self):
+        with pytest.raises(ConfigurationError, match="no fabric registered"):
+            default_fabric("tpu_array")
+
+    def test_custom_fabrics_can_be_registered(self):
+        register_fabric("custom_array", build_da_array)
+        try:
+            assert default_fabric("custom_array").name == "da_array"
+        finally:
+            _FABRIC_BUILDERS.pop("custom_array", None)
+
+    def test_explicit_fabric_wins(self):
+        fabric = build_me_array()
+        assert resolve_fabric(as_design(probe_netlist(), "da_array"), fabric) is fabric
+
+    def test_factory_fabric_is_called(self):
+        resolved = resolve_fabric(as_design(probe_netlist(), "da_array"), build_me_array)
+        assert resolved.name == "me_array"
+
+    def test_design_build_fabric_beats_the_default(self):
+        big = SystolicArray(module_count=8, pes_per_module=16)
+        fabric = resolve_fabric(big)
+        # Sized for 8 modules: wider than the default 4-module array.
+        assert fabric.cols > build_me_array().cols
+
+    def test_non_fabric_argument_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fabric(as_design(probe_netlist(), "da_array"), fabric="da_array")

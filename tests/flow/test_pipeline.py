@@ -1,0 +1,191 @@
+"""Tests of the unified pass pipeline: ordering, stages, results."""
+
+import pytest
+
+from repro.arrays import build_da_array, build_me_array
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import CapacityError, ConfigurationError, MappingError
+from repro.core.netlist import Netlist
+from repro.dct import MixedRomDCT, dct_implementations
+from repro.dct.mapping import PAPER_TABLE1
+from repro.flow import (
+    AnnealingPlacePass,
+    Flow,
+    GenerateBitstreamPass,
+    GreedyPlacePass,
+    MetricsPass,
+    NetlistDesign,
+    Pass,
+    RoutePass,
+    SchedulePass,
+    VerifyPass,
+    compile,
+    compile_many,
+)
+from repro.me import ProcessingElement, Systolic1DArray, SystolicArray
+
+
+class TestPassOrdering:
+    def test_default_flow_runs_stages_in_paper_order(self):
+        flow = Flow.default()
+        assert [p.name for p in flow.passes] == [
+            "schedule", "place.greedy", "route", "bitstream", "verify",
+            "metrics"]
+
+    def test_stage_timings_follow_pass_order(self):
+        result = Flow.default().compile(MixedRomDCT())
+        assert list(result.stage_timings) == [
+            "schedule", "place.greedy", "route", "bitstream", "verify",
+            "metrics"]
+        assert all(seconds >= 0 for seconds in result.stage_timings.values())
+
+    def test_route_without_placement_is_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="requires"):
+            Flow([SchedulePass(), RoutePass()])
+
+    def test_bitstream_without_routing_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="requires"):
+            Flow([GreedyPlacePass(), GenerateBitstreamPass()])
+
+    def test_reordered_default_pipeline_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow([RoutePass(), GreedyPlacePass()])
+
+    def test_empty_flow_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow([])
+
+    def test_verify_before_route_is_rejected(self):
+        # verify can run without routing, but not when routing is produced
+        # later in the same flow — that would silently skip routing DRC.
+        with pytest.raises(ConfigurationError, match="later passes"):
+            Flow([GreedyPlacePass(), VerifyPass(), RoutePass()])
+
+    def test_metrics_before_route_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="later passes"):
+            Flow([GreedyPlacePass(), MetricsPass(), RoutePass()])
+
+    def test_verify_without_routing_anywhere_is_allowed(self):
+        flow = Flow([GreedyPlacePass(), VerifyPass(), MetricsPass()])
+        result = flow.compile(MixedRomDCT(), fabric=build_da_array())
+        assert result.verification.passed
+        assert result.routing is None
+
+    def test_custom_pass_participates_in_validation(self):
+        class NeedsEverything(Pass):
+            name = "late"
+            requires = ("placement", "routing", "bitstream")
+
+            def run(self, context):
+                pass
+
+        Flow([GreedyPlacePass(), RoutePass(), GenerateBitstreamPass(),
+              NeedsEverything()])
+        with pytest.raises(ConfigurationError):
+            Flow([NeedsEverything()])
+
+
+class TestPlacementAsPassChoice:
+    def test_greedy_and_annealing_are_swappable_passes(self):
+        transform = MixedRomDCT()
+        greedy = Flow.default(placer="greedy").compile(transform)
+        annealed = Flow.default(placer="annealing", seed=3).compile(transform)
+        assert greedy.placement is not None and annealed.placement is not None
+        assert "place.greedy" in greedy.stage_timings
+        assert "place.annealing" in annealed.stage_timings
+
+    def test_pass_instance_can_be_injected_directly(self):
+        flow = Flow.default(placer=AnnealingPlacePass(seed=9,
+                                                      moves_per_temperature=8))
+        result = flow.compile(MixedRomDCT())
+        assert result.verification.passed
+
+    def test_unknown_placer_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            Flow.default(placer="quantum")
+
+
+class TestCompileResults:
+    def test_all_table1_designs_compile_through_one_entry_point(self):
+        results = compile_many(dct_implementations())
+        assert [r.design_name for r in results] == [
+            "mixed_rom", "cordic_1", "cordic_2", "scc_even_odd", "scc_direct"]
+        for result in results:
+            assert result.table_row() == PAPER_TABLE1[result.design_name]
+            assert result.fabric_name == "da_array"
+            assert result.verification.passed
+            assert result.bitstream.total_bits() > 0
+            assert result.metrics.routed_hops == result.routing.total_hops
+
+    def test_me_engines_compile_through_the_same_entry_point(self):
+        systolic = compile(SystolicArray())
+        assert systolic.fabric_name == "me_array"
+        assert systolic.usage.total_clusters == 193
+        assert systolic.verification.passed
+
+        pe = compile(ProcessingElement())
+        assert pe.usage.total_clusters == 3
+
+        one_dimensional = compile(Systolic1DArray())
+        assert one_dimensional.usage.register_mux == 16
+
+    def test_bare_netlists_are_adapted(self):
+        netlist = Netlist("adhoc")
+        netlist.add_node("a", ClusterKind.ADD_SHIFT, role="adder")
+        netlist.add_node("b", ClusterKind.ADD_SHIFT, role="accumulator")
+        netlist.connect("a", "b")
+        result = compile(NetlistDesign(netlist, "da_array"))
+        assert result.design_name == "adhoc"
+        assert result.usage.adders == 1
+
+    def test_estimate_flow_skips_physical_design(self):
+        result = Flow.estimate().compile(SystolicArray())
+        assert result.placement is None
+        assert result.routing is None
+        assert result.bitstream is None
+        assert result.usage.total_clusters == 193
+        assert result.metrics.logic_area_elements > 0
+
+    def test_design_sized_fabric_is_used_for_large_engines(self):
+        big = SystolicArray(module_count=4, pes_per_module=20)
+        result = compile(big)
+        assert result.usage.total_clusters == 4 * 20 * 3 + 1
+        assert result.verification.passed
+
+    def test_oversubscribed_fabric_raises_capacity_error(self):
+        from repro.arrays.me_array import MEArrayGeometry
+        fabric = build_me_array(MEArrayGeometry(rows=2, mux_columns=1,
+                                                abs_diff_columns=1,
+                                                add_acc_columns=1,
+                                                comparator_columns=1))
+        with pytest.raises(CapacityError):
+            compile(SystolicArray(), fabric=fabric, cache=None)
+
+    def test_strict_verify_raises_mapping_error_on_violations(self):
+        class Sabotage(Pass):
+            name = "sabotage"
+            requires = ("placement",)
+
+            def run(self, context):
+                node = context.netlist.nodes[0].name
+                other = context.netlist.nodes[1].name
+                context.placement.assignment[node] = \
+                    context.placement.assignment[other]
+
+        flow = Flow([GreedyPlacePass(), Sabotage(), VerifyPass(strict=True)])
+        with pytest.raises(MappingError):
+            flow.compile(MixedRomDCT(), fabric=build_da_array())
+
+    def test_lenient_verify_records_report_instead(self):
+        flow = Flow([GreedyPlacePass(), VerifyPass(strict=False),
+                     MetricsPass()])
+        result = flow.compile(MixedRomDCT(), fabric=build_da_array())
+        assert result.verification.passed
+
+    def test_summary_carries_headline_numbers(self):
+        result = compile(MixedRomDCT())
+        summary = result.summary()
+        assert summary["design"] == "mixed_rom"
+        assert summary["total_clusters"] == 32
+        assert summary["bitstream_bits"] == result.bitstream.total_bits()
+        assert summary["flow_seconds"] >= 0

@@ -1,0 +1,97 @@
+"""Regression tests: the deprecated mapping entry points still work, warn,
+and return Table-1-identical results."""
+
+import pytest
+
+from repro.arrays import ReconfigurableSoC, build_da_array, build_me_array
+from repro.dct import MixedRomDCT
+from repro.dct.mapping import (
+    PAPER_TABLE1,
+    TABLE1_ORDER,
+    generate_table1,
+    map_implementation,
+)
+from repro.me.mapping import map_me_design, map_pe, map_systolic_array
+from repro.me.pe import build_pe_netlist
+
+
+class TestDCTShims:
+    def test_generate_table1_warns_and_matches_paper(self):
+        with pytest.warns(DeprecationWarning, match="compile_many"):
+            results = generate_table1()
+        for name in TABLE1_ORDER:
+            assert results[name].table_row() == PAPER_TABLE1[name], name
+
+    def test_map_implementation_warns_and_preserves_shape(self):
+        with pytest.warns(DeprecationWarning, match="repro.flow.compile"):
+            mapped = map_implementation(MixedRomDCT())
+        assert mapped.name == "mixed_rom"
+        assert mapped.figure == "Fig. 5"
+        assert mapped.usage.total_clusters == 32
+        assert mapped.placement is not None
+        assert mapped.routing is not None
+        assert mapped.metrics.routed_hops == mapped.routing.total_hops
+        assert mapped.cycles_per_transform > 0
+
+    def test_map_implementation_without_place_and_route(self):
+        with pytest.warns(DeprecationWarning):
+            mapped = map_implementation(MixedRomDCT(),
+                                        run_place_and_route=False)
+        assert mapped.placement is None
+        assert mapped.usage.total_clusters == 32
+
+
+class TestMEShims:
+    def test_map_pe_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning):
+            mapped = map_pe()
+        assert mapped.usage.total_clusters == 3
+
+    def test_map_systolic_array_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning):
+            mapped = map_systolic_array()
+        assert mapped.usage.total_clusters == 193
+        assert len(mapped.placement) == 193
+
+    def test_map_me_design_warns(self):
+        with pytest.warns(DeprecationWarning):
+            mapped = map_me_design(build_pe_netlist())
+        assert mapped.name == "me_pe"
+
+
+class TestSoCShims:
+    @pytest.fixture
+    def soc(self) -> ReconfigurableSoC:
+        soc = ReconfigurableSoC()
+        soc.attach_array(build_da_array())
+        soc.attach_array(build_me_array())
+        return soc
+
+    def test_map_kernel_warns_and_returns_mapped_kernel(self, soc):
+        with pytest.warns(DeprecationWarning, match="compile"):
+            kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+        assert kernel.array_name == "da_array"
+        assert kernel.bitstream.total_bits() > 0
+
+    def test_map_and_load_warns_and_records_event(self, soc):
+        with pytest.warns(DeprecationWarning):
+            kernel = soc.map_and_load(MixedRomDCT().build_netlist(),
+                                      "da_array")
+        assert soc.loaded_kernel("da_array") is kernel
+        assert soc.reconfiguration_count("da_array") == 1
+
+    def test_shim_and_flow_paths_agree_bit_for_bit(self, soc):
+        with pytest.warns(DeprecationWarning):
+            kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+        result = soc.compile(MixedRomDCT())
+        assert kernel.bitstream.total_bits() == result.bitstream.total_bits()
+        assert kernel.placement.assignment == result.placement.assignment
+
+    def test_flow_native_compile_and_load_does_not_warn(self, soc):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = soc.compile_and_load(MixedRomDCT())
+        assert soc.loaded_kernel("da_array") is result
+        assert soc.reconfiguration_count("da_array") == 1
