@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Engine benchmark harness: legacy per-node execution vs `repro.engine`.
+
+Times the three headline workloads of the paper on both runtimes and
+writes ``BENCH_engine.json`` at the repository root so the performance
+trajectory is tracked PR over PR:
+
+1. **Table-1 DCT compile + simulate** — compile all five DCT designs
+   through the flow, then execute the Mixed-ROM netlist for a batch of
+   input streams on the legacy ``DataflowSimulator`` (one stream at a
+   time) versus one batched ``VectorEngine`` run.
+2. **Full-search motion estimation** — every macroblock of a frame,
+   scored by the per-node systolic-array model versus the batched
+   candidate-window evaluation (plus the scalar-vs-vectorized software
+   full search for reference).
+3. **5-frame hybrid encode** — the video encoder with
+   ``vectorized=False`` (per-block DCT loop, per-candidate SAD loop)
+   versus the batched engine path.  Both produce bit-identical streams.
+
+Run with:  python benchmarks/run_bench.py [--output BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_dct_flow(repeats: int) -> dict:
+    """Compile the Table-1 designs; simulate one on both runtimes."""
+    from repro.core.simulator import DataflowSimulator
+    from repro.dct import MixedRomDCT, dct_implementations
+    from repro.engine import default_op_for, program_for_netlist
+    from repro.flow import compile_many
+
+    compile_seconds = _best_of(
+        lambda: compile_many(dct_implementations(), cache=None), repeats)
+
+    netlist = MixedRomDCT().build_netlist()
+    inputs = [node.name for node in netlist.nodes
+              if not netlist.fanin(node.name)]
+    rng = np.random.default_rng(2004)
+    cycles, streams = 64, 16
+    stimulus = rng.integers(0, 256, (cycles, len(inputs), streams))
+
+    def run_legacy() -> None:
+        for stream in range(streams):
+            simulator = DataflowSimulator(netlist)
+            for node in netlist.nodes:
+                op = default_op_for(node)
+                simulator.bind(node.name, op.as_behaviour(),
+                               registered=op.registered)
+            for cycle in range(cycles):
+                for column, name in enumerate(inputs):
+                    simulator.drive(name, int(stimulus[cycle, column, stream]))
+                simulator.step()
+
+    def run_engine() -> None:
+        engine = program_for_netlist(netlist, batch=streams)
+        engine.run({name: stimulus[:, column, :]
+                    for column, name in enumerate(inputs)})
+
+    legacy_seconds = _best_of(run_legacy, repeats)
+    engine_seconds = _best_of(run_engine, repeats)
+    return {
+        "description": f"compile 5 DCT designs; simulate mixed_rom netlist, "
+                       f"{streams} streams x {cycles} cycles",
+        "compile_seconds": round(compile_seconds, 4),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(legacy_seconds / engine_seconds, 2),
+    }
+
+
+def bench_full_search_me(repeats: int) -> dict:
+    """Per-node systolic full search vs batched engine, whole frame."""
+    from repro.me.full_search import (
+        full_search_frame,
+        full_search_scalar,
+    )
+    from repro.me.systolic import SystolicArray
+    from repro.video import panning_sequence
+    from repro.video.blocks import macroblock_positions
+
+    sequence = panning_sequence(height=64, width=80, pan=(1, 2), seed=2004)
+    reference, current = sequence.frame(0), sequence.frame(1)
+    positions = macroblock_positions(current, 16)
+    search_range = 4
+
+    def run_per_node() -> None:
+        array = SystolicArray()
+        for top, left in positions:
+            array.search(current, reference, top, left, 16, search_range)
+
+    def run_batched() -> None:
+        array = SystolicArray()
+        for top, left in positions:
+            array.search_batched(current, reference, top, left, 16,
+                                 search_range)
+
+    def run_scalar_software() -> None:
+        for top, left in positions:
+            full_search_scalar(current, reference, top, left, 16, search_range)
+
+    def run_vectorized_software() -> None:
+        full_search_frame(current, reference, 16, search_range)
+
+    legacy_seconds = _best_of(run_per_node, repeats)
+    engine_seconds = _best_of(run_batched, repeats)
+    scalar_seconds = _best_of(run_scalar_software, repeats)
+    vectorized_seconds = _best_of(run_vectorized_software, repeats)
+    return {
+        "description": f"{len(positions)} macroblocks, +-{search_range} "
+                       f"window, 64x80 frame",
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(legacy_seconds / engine_seconds, 2),
+        "software_scalar_seconds": round(scalar_seconds, 4),
+        "software_vectorized_seconds": round(vectorized_seconds, 4),
+        "software_speedup": round(scalar_seconds / vectorized_seconds, 2),
+    }
+
+
+def bench_encode(repeats: int) -> dict:
+    """5-frame QCIF encode: legacy scalar loop vs batched engine path."""
+    from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
+    from repro.video.frames import QCIF_HEIGHT, QCIF_WIDTH
+
+    sequence = panning_sequence(height=QCIF_HEIGHT, width=QCIF_WIDTH,
+                                pan=(1, 2), seed=17)
+    frames = [sequence.frame(index) for index in range(5)]
+
+    def run(vectorized: bool):
+        encoder = VideoEncoder(EncoderConfiguration(vectorized=vectorized))
+        return encoder.encode_sequence(frames)
+
+    legacy_seconds = _best_of(lambda: run(False), repeats)
+    engine_seconds = _best_of(lambda: run(True), repeats)
+    psnr = [round(s.psnr_db, 2) for s in run(True)]
+    return {
+        "description": f"5 frames {QCIF_WIDTH}x{QCIF_HEIGHT}, full search "
+                       f"+-8, qp 8",
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(legacy_seconds / engine_seconds, 2),
+        "psnr_db": psnr,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="where to write the benchmark record")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    arguments = parser.parse_args()
+
+    record = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {},
+    }
+    for name, bench in (("dct_flow", bench_dct_flow),
+                        ("full_search_me", bench_full_search_me),
+                        ("encode_5_frames", bench_encode)):
+        print(f"running {name} ...", flush=True)
+        record["benchmarks"][name] = bench(arguments.repeats)
+        result = record["benchmarks"][name]
+        print(f"  legacy {result['legacy_seconds']}s -> engine "
+              f"{result['engine_seconds']}s ({result['speedup']}x)")
+
+    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,10 +86,15 @@ def demo_motion_estimation() -> None:
     array = SystolicArray()
     result = array.search(current_frame, reference_frame, top=32, left=32,
                           block_size=16, search_range=4)
+    batched = SystolicArray().search_batched(current_frame, reference_frame,
+                                             32, 32, block_size=16,
+                                             search_range=4)
     software = full_search(current_frame, reference_frame, 32, 32, 16, 4)
 
     print(f"ground-truth motion vector : {sequence.ground_truth_background_vector()}")
     print(f"systolic array result      : {result.motion_vector} (SAD {result.best.sad})")
+    print(f"batched engine result      : {batched.motion_vector} (SAD {batched.best.sad}, "
+          f"same cycles: {batched.cycles == result.cycles})")
     print(f"software full search       : {software.motion_vector} (SAD {software.best.sad})")
     print(f"first SAD ready after      : {result.first_sad_cycle} cycles")
     print(f"total cycles for the block : {result.cycles} "

@@ -13,6 +13,9 @@ Top-level subpackages
 ``repro.flow``    the unified compile API: pass pipeline, result cache and
                   the ``compile()`` / ``compile_many()`` entry points every
                   kernel goes through
+``repro.engine``  the batched vectorized execution runtime: compiled static
+                  schedules over ``(B,)`` value arrays plus the numeric
+                  kernels (batched SAD / DCT) the workloads build on
 ``repro.core``    cluster models, fabric, interconnect, placer, router,
                   scheduler, verification, metrics
 ``repro.arrays``  the ME and DA arrays, the FPGA baseline, the SoC wrapper

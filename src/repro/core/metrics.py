@@ -57,7 +57,16 @@ HOP_DELAY = 0.35
 
 @dataclass
 class DesignMetrics:
-    """Aggregate metrics of one mapped design."""
+    """Aggregate metrics of one mapped design.
+
+    ``engine_levels`` / ``engine_registers`` come from the vectorized
+    execution runtime's static schedule
+    (:func:`repro.engine.program.compile_schedule`): the number of
+    combinational levels a value crosses within one cycle and the number
+    of register stages committed between cycles.  Every compiled
+    :class:`~repro.flow.pipeline.FlowResult` therefore carries cycle
+    structure derived from the same runtime that executes the design.
+    """
 
     netlist_name: str
     fabric_name: str
@@ -68,6 +77,8 @@ class DesignMetrics:
     wirelength: float
     critical_path_delay: float
     configuration_bits: int
+    engine_levels: int = 0
+    engine_registers: int = 0
 
     @property
     def total_area_elements(self) -> float:
@@ -92,6 +103,8 @@ class DesignMetrics:
             "wirelength": round(self.wirelength, 1),
             "critical_path_delay": round(self.critical_path_delay, 3),
             "configuration_bits": self.configuration_bits,
+            "engine_levels": self.engine_levels,
+            "engine_registers": self.engine_registers,
         }
 
 
@@ -155,12 +168,40 @@ def configuration_bits(netlist: Netlist, routing: Optional[RoutingResult] = None
     return bits
 
 
+def engine_schedule_stats(netlist: Netlist) -> Dict[str, int]:
+    """Schedule structure of the netlist under the vectorized engine.
+
+    Compiles the netlist with the engine's default per-role ops and
+    reports the static schedule's combinational depth and register-stage
+    count — the cycle structure the :class:`~repro.engine.program.VectorEngine`
+    executes.
+    """
+    from repro.engine.program import compile_schedule, default_op_for
+
+    registered = {node.name: default_op_for(node).registered
+                  for node in netlist.nodes}
+    schedule = compile_schedule(netlist, registered)
+    return {"engine_levels": schedule.depth,
+            "engine_registers": len(schedule.registered)}
+
+
 def evaluate_design(netlist: Netlist, fabric: Fabric,
                     placement: Optional[Placement] = None,
-                    routing: Optional[RoutingResult] = None) -> DesignMetrics:
-    """Compute the full metric set for a mapped (or pre-placement) design."""
+                    routing: Optional[RoutingResult] = None,
+                    engine_schedule=None) -> DesignMetrics:
+    """Compute the full metric set for a mapped (or pre-placement) design.
+
+    ``engine_schedule`` optionally reuses an already-compiled
+    :class:`~repro.engine.program.CompiledSchedule` (the verify pass
+    compiles one for its smoke run) instead of compiling it again.
+    """
     wl = wirelength(netlist, placement) if placement is not None else 0.0
     hops = routing.total_hops if routing is not None else 0
+    if engine_schedule is not None:
+        schedule_stats = {"engine_levels": engine_schedule.depth,
+                          "engine_registers": len(engine_schedule.registered)}
+    else:
+        schedule_stats = engine_schedule_stats(netlist)
     return DesignMetrics(
         netlist_name=netlist.name,
         fabric_name=fabric.name,
@@ -171,4 +212,6 @@ def evaluate_design(netlist: Netlist, fabric: Fabric,
         wirelength=wl,
         critical_path_delay=critical_path_delay(netlist, routing),
         configuration_bits=configuration_bits(netlist, routing),
+        engine_levels=schedule_stats["engine_levels"],
+        engine_registers=schedule_stats["engine_registers"],
     )

@@ -1,25 +1,30 @@
 """Generic cycle-based dataflow simulator for mapped designs.
 
-The DCT and ME subpackages model their datapaths directly on the cluster
-behavioural models; this simulator provides the *generic* execution engine
-the SoC uses to run an arbitrary mapped netlist: every node is given a
-behaviour (a Python callable), nodes exchange integer word values along
-the netlist's nets, and the whole graph advances one clock cycle at a
-time.  Registered nodes (shift registers, accumulators, registered muxes)
-expose their new value only on the next cycle, combinational nodes
-propagate within the cycle in topological order.
+This is now a thin compatibility wrapper over the batched execution
+runtime of :mod:`repro.engine`: the netlist compiles once into a static
+schedule (:class:`~repro.engine.program.CompiledSchedule`) and a
+:class:`~repro.engine.program.VectorEngine` with a batch of one executes
+it, so stepping no longer re-derives the topological order or re-scans
+the net list every cycle.  The public surface — ``bind`` arbitrary Python
+callables, ``drive`` stimulus, ``step``/``run``, integer values and the
+per-cycle ``trace`` — is unchanged, and semantics are bit-exact with the
+original per-node interpreter (the engine parity suite enforces this).
 
-This is the piece that lets an end user map their *own* kernel onto one of
-the arrays and simulate it without writing a dedicated datapath model.
+New code that wants throughput should use
+:class:`~repro.engine.program.VectorEngine` directly and evaluate many
+input streams per call; this wrapper exists so existing single-stream
+models and user kernels keep working untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List
 
 from repro.core.exceptions import SimulationError
-from repro.core.netlist import Netlist, Node
+from repro.core.netlist import Netlist
+from repro.engine.trace import TraceEntry
+
+__all__ = ["DataflowSimulator", "NodeBehaviour", "TraceEntry"]
 
 #: A node behaviour maps the dict of input values (keyed by source node
 #: name) to a single integer output value.  Behaviours may close over
@@ -27,28 +32,18 @@ from repro.core.netlist import Netlist, Node
 NodeBehaviour = Callable[[Dict[str, int]], int]
 
 
-@dataclass
-class TraceEntry:
-    """Values of every node output at the end of one cycle."""
-
-    cycle: int
-    values: Dict[str, int]
-
-
 class DataflowSimulator:
     """Cycle-based execution of a netlist with user-supplied node behaviours."""
 
     def __init__(self, netlist: Netlist) -> None:
-        netlist.validate()
+        # Imported lazily: repro.engine.program imports repro.core, so a
+        # module-level import here would be circular.
+        from repro.engine.program import VectorEngine
+
         self.netlist = netlist
-        self._behaviours: Dict[str, NodeBehaviour] = {}
-        self._registered: Dict[str, bool] = {}
-        self._values: Dict[str, int] = {node.name: 0 for node in netlist.nodes}
-        self._next_values: Dict[str, int] = dict(self._values)
-        self._inputs: Dict[str, int] = {}
-        self.cycle = 0
-        self.trace: List[TraceEntry] = []
+        self._engine = VectorEngine(netlist, batch=1)
         self.record_trace = False
+        self.trace: List[TraceEntry] = []
 
     # -- wiring -----------------------------------------------------------
     def bind(self, node_name: str, behaviour: NodeBehaviour,
@@ -58,10 +53,10 @@ class DataflowSimulator:
         ``registered=True`` delays the node's computed value by one cycle,
         modelling a clocked output register.
         """
-        if node_name not in self.netlist:
-            raise SimulationError(f"cannot bind unknown node {node_name!r}")
-        self._behaviours[node_name] = behaviour
-        self._registered[node_name] = registered
+        from repro.engine.ops import ScalarOp
+
+        self._engine.bind(node_name, ScalarOp(behaviour),
+                          registered=registered)
 
     def bind_constant(self, node_name: str, value: int) -> None:
         """Drive a node with a constant value every cycle."""
@@ -69,80 +64,43 @@ class DataflowSimulator:
 
     def drive(self, node_name: str, value: int) -> None:
         """Override a node's output for the *next* step (external stimulus)."""
-        if node_name not in self.netlist:
-            raise SimulationError(f"cannot drive unknown node {node_name!r}")
-        self._inputs[node_name] = int(value)
+        self._engine.drive(node_name, int(value))
 
     def value_of(self, node_name: str) -> int:
         """Output value of a node after the most recent step."""
-        try:
-            return self._values[node_name]
-        except KeyError:
-            raise SimulationError(f"unknown node {node_name!r}") from None
+        return int(self._engine.value_of(node_name)[0])
+
+    @property
+    def cycle(self) -> int:
+        """Number of clock cycles stepped since the last reset."""
+        return self._engine.cycle
 
     # -- execution ----------------------------------------------------------
     def reset(self) -> None:
-        """Zero all node values and the cycle counter (behaviours keep state)."""
-        self._values = {node.name: 0 for node in self.netlist.nodes}
-        self._next_values = dict(self._values)
-        self._inputs.clear()
-        self.cycle = 0
+        """Zero all node values and the cycle counter (behaviours keep state).
+
+        Matching the legacy interpreter, state held *inside* a bound
+        behaviour (a closure's accumulator) survives a reset; only node
+        values, pending register commits and the trace are cleared.
+        """
+        # ScalarOp.reset is a no-op, so closure state survives as before.
+        self._engine.reset()
         self.trace.clear()
 
     def step(self) -> Dict[str, int]:
         """Advance one clock cycle; returns the node values after the cycle."""
-        order = self.netlist.topological_order()
-        unbound = [node.name for node in order
-                   if node.name not in self._behaviours and node.name not in self._inputs]
-        if unbound and self.cycle == 0:
-            # Unbound nodes simply hold zero; this is legal (e.g. unused
-            # status outputs) but worth failing fast on if *nothing* is bound.
-            if len(unbound) == len(order):
-                raise SimulationError("no node behaviours bound; nothing to simulate")
-
-        new_values = dict(self._values)
-        for node in order:
-            name = node.name
-            if name in self._inputs:
-                new_values[name] = self._inputs[name]
-                continue
-            behaviour = self._behaviours.get(name)
-            if behaviour is None:
-                continue
-            input_values: Dict[str, int] = {}
-            for net in self.netlist.fanin(name):
-                # Registered sources feed the value committed last cycle;
-                # combinational sources feed this cycle's fresh value.
-                if self._registered.get(net.source, False):
-                    input_values[net.source] = self._values[net.source]
-                else:
-                    input_values[net.source] = new_values[net.source]
-            result = int(behaviour(input_values))
-            if self._registered.get(name, False):
-                self._next_values[name] = result
-                new_values[name] = self._values[name]
-            else:
-                new_values[name] = result
-
-        # Commit registered outputs computed this cycle.
-        for name, registered in self._registered.items():
-            if registered:
-                new_values[name] = self._next_values.get(name, new_values[name])
-        # Registered nodes must present last cycle's value during the cycle
-        # and the new value afterwards; the ordering above achieves this by
-        # reading self._values for registered sources.
-        self._values = new_values
-        self._inputs.clear()
-        self.cycle += 1
+        values = self._engine.step()
+        out = {name: int(array[0]) for name, array in values.items()}
         if self.record_trace:
-            self.trace.append(TraceEntry(self.cycle, dict(self._values)))
-        return dict(self._values)
+            self.trace.append(TraceEntry(self._engine.cycle, dict(out)))
+        return out
 
     def run(self, cycles: int) -> Dict[str, int]:
         """Advance ``cycles`` clock cycles and return the final node values."""
         if cycles < 0:
             raise SimulationError("cycle count must be non-negative")
-        values = dict(self._values)
+        values = {name: int(array[0])
+                  for name, array in self._engine.values().items()}
         for _ in range(cycles):
             values = self.step()
         return values

@@ -27,6 +27,10 @@ def quantise(coefficients: np.ndarray, qp: int = DEFAULT_QP,
 
     The DC coefficient of intra blocks uses a fixed step (``intra_dc_step``)
     as in H.263; all AC coefficients use ``2 * qp``.
+
+    Accepts a single 2-D block or a ``(B, n, n)`` batch of blocks; the
+    batched form applies the DC rule to every block and is bit-identical
+    to quantising the blocks one at a time.
     """
     if not MIN_QP <= qp <= MAX_QP:
         raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
@@ -34,12 +38,20 @@ def quantise(coefficients: np.ndarray, qp: int = DEFAULT_QP,
     levels = np.trunc(coefficients / (2.0 * qp)).astype(np.int64)
     if coefficients.ndim == 2:
         levels[0, 0] = int(round(coefficients[0, 0] / intra_dc_step))
+    elif coefficients.ndim == 3:
+        # np.rint matches Python round() (both round halves to even).
+        levels[:, 0, 0] = np.rint(
+            coefficients[:, 0, 0] / intra_dc_step).astype(np.int64)
     return levels
 
 
 def dequantise(levels: np.ndarray, qp: int = DEFAULT_QP,
                intra_dc_step: int = 8) -> np.ndarray:
-    """Inverse of :func:`quantise` (mid-rise reconstruction)."""
+    """Inverse of :func:`quantise` (mid-rise reconstruction).
+
+    Accepts a single 2-D block or a ``(B, n, n)`` batch, mirroring
+    :func:`quantise`.
+    """
     if not MIN_QP <= qp <= MAX_QP:
         raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
     levels = np.asarray(levels, dtype=np.float64)
@@ -47,6 +59,8 @@ def dequantise(levels: np.ndarray, qp: int = DEFAULT_QP,
     reconstructed[levels == 0] = 0.0
     if levels.ndim == 2:
         reconstructed[0, 0] = levels[0, 0] * intra_dc_step
+    elif levels.ndim == 3:
+        reconstructed[:, 0, 0] = levels[:, 0, 0] * intra_dc_step
     return reconstructed
 
 

@@ -69,6 +69,33 @@ def idct_2d(coefficients: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
     return matrix.T @ coefficients @ matrix
 
 
+def dct_2d_batched(blocks: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Separable 2-D DCT of a ``(B, n, n)`` batch of blocks in one call.
+
+    Each batch entry runs the same ``M @ block @ M.T`` GEMM pair as
+    :func:`dct_2d`, so the result is bit-identical to transforming the
+    blocks one at a time — this is the engine-backed path the batched
+    video encoder uses to transform a whole frame per call.
+    """
+    from repro.engine.kernels import batched_transform_2d
+
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 3 or blocks.shape[-2:] != (n, n):
+        raise ValueError(f"expected a (B, {n}, {n}) batch, got {blocks.shape}")
+    return batched_transform_2d(blocks, dct_matrix(n))
+
+
+def idct_2d_batched(coefficients: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    """Inverse of :func:`dct_2d_batched` (batched ``M.T @ block @ M``)."""
+    from repro.engine.kernels import batched_transform_2d
+
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.ndim != 3 or coefficients.shape[-2:] != (n, n):
+        raise ValueError(
+            f"expected a (B, {n}, {n}) batch, got {coefficients.shape}")
+    return batched_transform_2d(coefficients, dct_matrix(n), inverse=True)
+
+
 def unnormalised_dct_1d(samples: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
     """Raw cosine sums ``sum_i x(i) cos((2i+1) u pi / (2N))`` without c(u).
 

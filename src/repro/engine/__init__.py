@@ -1,0 +1,72 @@
+"""repro.engine — the batched, numpy-vectorized execution runtime.
+
+One runtime executes every workload: mapped netlists run as compiled
+static schedules over ``B`` parallel streams (:class:`VectorEngine`), and
+the motion-estimation / video layers build on the batched numeric kernels
+(:mod:`repro.engine.kernels`) so whole candidate windows and whole frames
+of transform blocks are evaluated in single vectorized calls.
+
+Layering (see README "Architecture"):
+
+    fabric / clusters  →  flow (compile)  →  engine (execute)  →  workloads
+"""
+
+from repro.engine.kernels import (
+    batched_sad,
+    batched_transform_2d,
+    best_displacement,
+    block_batch,
+    candidate_windows,
+    displacement_grid,
+    frame_from_block_batch,
+    sad_surface,
+)
+from repro.engine.ops import (
+    AbsDiffOp,
+    AccumulateOp,
+    ConstantOp,
+    DiffOp,
+    MinOp,
+    Op,
+    RomOp,
+    ScalarOp,
+    SumOp,
+    VectorOp,
+)
+from repro.engine.program import (
+    BatchTraceEntry,
+    CompiledSchedule,
+    TraceEntry,
+    VectorEngine,
+    compile_schedule,
+    default_op_for,
+    program_for_netlist,
+)
+
+__all__ = [
+    "AbsDiffOp",
+    "AccumulateOp",
+    "BatchTraceEntry",
+    "CompiledSchedule",
+    "ConstantOp",
+    "DiffOp",
+    "MinOp",
+    "Op",
+    "RomOp",
+    "ScalarOp",
+    "SumOp",
+    "TraceEntry",
+    "VectorEngine",
+    "VectorOp",
+    "batched_sad",
+    "batched_transform_2d",
+    "best_displacement",
+    "block_batch",
+    "candidate_windows",
+    "compile_schedule",
+    "default_op_for",
+    "displacement_grid",
+    "frame_from_block_batch",
+    "program_for_netlist",
+    "sad_surface",
+]

@@ -1,0 +1,216 @@
+"""Batched numeric kernels shared by the ME and video execution paths.
+
+These are the vectorized primitives the workload layers build on: block
+batching of frames, batched separable 2-D transforms, batched SAD and the
+full-search SAD *surface* (every candidate displacement of a macroblock
+scored in one call via sliding windows).  They are pure numpy — no
+Python-level per-pixel or per-candidate loops — which is where the
+engine's order-of-magnitude speedups over the legacy per-node simulation
+come from.
+
+All integer kernels use int64 throughout, so results are bit-exact
+against the scalar reference implementations they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # numpy >= 1.20
+    from numpy.lib.stride_tricks import sliding_window_view
+except ImportError:  # pragma: no cover - the toolchain bakes in numpy >= 1.20
+    sliding_window_view = None
+
+
+# -- frame <-> block batching ------------------------------------------------
+
+def block_batch(frame: np.ndarray, block_size: int) -> np.ndarray:
+    """All non-overlapping ``block_size`` blocks of a frame, raster order.
+
+    Returns a ``(rows * cols, block_size, block_size)`` array; the frame
+    must tile exactly (pad it first).
+    """
+    frame = np.asarray(frame)
+    height, width = frame.shape
+    if height % block_size or width % block_size:
+        raise ValueError(
+            f"{height}x{width} frame does not tile into {block_size}x"
+            f"{block_size} blocks; pad it first")
+    rows, cols = height // block_size, width // block_size
+    blocks = frame.reshape(rows, block_size, cols, block_size).swapaxes(1, 2)
+    return blocks.reshape(rows * cols, block_size, block_size)
+
+
+def frame_from_block_batch(blocks: np.ndarray, height: int,
+                           width: int) -> np.ndarray:
+    """Inverse of :func:`block_batch`: reassemble the frame."""
+    blocks = np.asarray(blocks)
+    count, block_size, _ = blocks.shape
+    rows, cols = height // block_size, width // block_size
+    if count != rows * cols:
+        raise ValueError(
+            f"{count} blocks cannot tile a {height}x{width} frame "
+            f"with {block_size}x{block_size} blocks")
+    grid = blocks.reshape(rows, cols, block_size, block_size).swapaxes(1, 2)
+    return grid.reshape(height, width)
+
+
+# -- batched transforms ------------------------------------------------------
+
+def batched_transform_2d(blocks: np.ndarray, matrix: np.ndarray,
+                         inverse: bool = False) -> np.ndarray:
+    """Separable 2-D transform of a ``(B, n, n)`` block batch.
+
+    Computes ``M @ block @ M.T`` per block (or ``M.T @ block @ M`` with
+    ``inverse=True``) through one broadcast matmul pair; each batch entry
+    is the same 2-D GEMM the scalar path runs, so results match the
+    per-block reference bit for bit.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if inverse:
+        return matrix.T @ blocks @ matrix
+    return matrix @ blocks @ matrix.T
+
+
+# -- batched SAD -------------------------------------------------------------
+
+def batched_sad(blocks_a: np.ndarray, blocks_b: np.ndarray) -> np.ndarray:
+    """SAD of paired block batches: ``(B, n, n) x (B, n, n) -> (B,)``."""
+    blocks_a = np.asarray(blocks_a, dtype=np.int64)
+    blocks_b = np.asarray(blocks_b, dtype=np.int64)
+    if blocks_a.shape != blocks_b.shape:
+        raise ValueError(
+            f"block batch shapes differ: {blocks_a.shape} vs {blocks_b.shape}")
+    return np.abs(blocks_a - blocks_b).sum(axis=(-2, -1))
+
+
+#: Value bound within which pixel differences still fit an int16, letting
+#: the SAD kernels move 4x less memory than the int64 fallback.
+_COMPACT_BOUND = 1 << 14
+
+
+def _compact_dtype(*arrays) -> np.dtype:
+    """int16 when every array's values keep differences inside int16.
+
+    The bound is exclusive: two values of exactly ``+/-_COMPACT_BOUND``
+    would produce a difference of ``2 * _COMPACT_BOUND = 32768``, one past
+    ``int16`` range.
+    """
+    for array in arrays:
+        if array.size and (array.min() <= -_COMPACT_BOUND
+                           or array.max() >= _COMPACT_BOUND):
+            return np.dtype(np.int64)
+    return np.dtype(np.int16)
+
+
+def candidate_windows(reference: np.ndarray, block_size: int) -> np.ndarray:
+    """Sliding view of every ``block_size`` window of the reference frame.
+
+    Shape ``(H - N + 1, W - N + 1, N, N)``; a zero-copy view suitable for
+    scoring many macroblocks of the same frame (compute once, reuse).
+    Ordinary 8-bit pixel frames are stored as int16 — SAD accumulation
+    still happens in int64, so results are unchanged while the candidate
+    gathers move a quarter of the memory.
+    """
+    reference = np.asarray(reference)
+    dtype = _compact_dtype(reference)
+    reference = np.ascontiguousarray(reference.astype(dtype, copy=False))
+    if sliding_window_view is not None:
+        return sliding_window_view(reference, (block_size, block_size))
+    height, width = reference.shape  # pragma: no cover - numpy < 1.20 path
+    out = np.empty((height - block_size + 1, width - block_size + 1,
+                    block_size, block_size), dtype=np.int64)
+    for dy in range(block_size):
+        for dx in range(block_size):
+            out[:, :, dy, dx] = reference[dy:dy + out.shape[0],
+                                          dx:dx + out.shape[1]]
+    return out
+
+
+def displacement_grid(search_range: int,
+                      include_upper: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(dy, dx)`` axes of a full-search window, raster order.
+
+    Matches :func:`repro.me.full_search.candidate_displacements`: the
+    window covers ``[-range, range)``, or ``[-range, range]`` with
+    ``include_upper``.
+    """
+    upper = search_range + 1 if include_upper else search_range
+    axis = np.arange(-search_range, upper)
+    return axis, axis.copy()
+
+
+def sad_surface(current: np.ndarray, reference: np.ndarray, top: int,
+                left: int, block_size: int, search_range: int,
+                include_upper: bool = False,
+                windows: Optional[np.ndarray] = None,
+                saturate: Optional[int] = None) -> np.ndarray:
+    """SAD of *every* candidate displacement of one macroblock, in one call.
+
+    Returns a ``(len(dys), len(dxs))`` int64 grid aligned with
+    :func:`displacement_grid`; candidates that would read outside the
+    reference frame hold the saturated SAD, matching the hardware's
+    border handling.  Pass a precomputed ``windows`` view (from
+    :func:`candidate_windows`) to amortise the setup across the
+    macroblocks of a frame.
+    """
+    current = np.asarray(current, dtype=np.int64)
+    reference = np.asarray(reference, dtype=np.int64)
+    height, width = reference.shape
+    block = current[top:top + block_size, left:left + block_size]
+    if block.shape != (block_size, block_size):
+        raise ValueError(
+            f"block at ({top}, {left}) size {block_size} outside "
+            f"{current.shape[0]}x{current.shape[1]} frame")
+    if saturate is None:
+        saturate = block_size * block_size * 255
+    if windows is None:
+        windows = candidate_windows(reference, block_size)
+
+    dys, dxs = displacement_grid(search_range, include_upper)
+    rows = top + dys
+    cols = left + dxs
+    valid_rows = (rows >= 0) & (rows <= height - block_size)
+    valid_cols = (cols >= 0) & (cols <= width - block_size)
+
+    surface = np.full((dys.size, dxs.size), saturate, dtype=np.int64)
+    if valid_rows.any() and valid_cols.any():
+        selected = windows[np.ix_(rows[valid_rows], cols[valid_cols])]
+        sads = sad_reduce(selected, block)
+        surface[np.ix_(valid_rows, valid_cols)] = sads
+    return surface
+
+
+def sad_reduce(selected: np.ndarray, block: np.ndarray) -> np.ndarray:
+    """Sum-of-absolute-differences over the trailing block axes.
+
+    Keeps the arithmetic in the windows' compact dtype when the block fits
+    it too (differences cannot overflow within the compact bound) and
+    accumulates in int64 either way, so results match the int64 path
+    exactly.
+    """
+    if selected.dtype == np.int16 and _compact_dtype(block) == np.int16:
+        block = block.astype(np.int16, copy=False)
+    else:
+        selected = selected.astype(np.int64, copy=False)
+        block = block.astype(np.int64, copy=False)
+    return np.abs(selected - block).sum(axis=(-2, -1), dtype=np.int64)
+
+
+def best_displacement(surface: np.ndarray, dys: np.ndarray,
+                      dxs: np.ndarray) -> Tuple[int, int, int]:
+    """Winning ``(dy, dx, sad)`` of a SAD surface, hardware tie-breaking.
+
+    Ties resolve toward the smallest ``|dy| + |dx|`` and then raster
+    order of ``(dy, dx)`` — the comparator update rule of the systolic
+    array and the candidate ordering of the software reference.
+    """
+    sads = surface.ravel()
+    dy_grid, dx_grid = np.meshgrid(dys, dxs, indexing="ij")
+    dy_flat, dx_flat = dy_grid.ravel(), dx_grid.ravel()
+    distance = np.abs(dy_flat) + np.abs(dx_flat)
+    winner = np.lexsort((dx_flat, dy_flat, distance, sads))[0]
+    return int(dy_flat[winner]), int(dx_flat[winner]), int(sads[winner])

@@ -1,0 +1,247 @@
+"""Vectorized node behaviours for the batched execution engine.
+
+The legacy :class:`~repro.core.simulator.DataflowSimulator` dispatches one
+Python callable per node per cycle.  The engine replaces those callables
+with :class:`Op` objects that evaluate a whole *batch* of independent
+input streams at once: every node value is a numpy array of shape
+``(B,)`` and an op maps the dict of fan-in arrays to one output array.
+
+Two bridges keep the old world reachable:
+
+* :class:`ScalarOp` wraps a legacy per-element Python callable so the
+  compatibility wrapper can run unchanged user behaviours on the engine;
+* every op exposes :meth:`Op.as_behaviour`, a scalar closure with the
+  same arithmetic, which the parity tests bind onto the legacy simulator
+  to prove the two runtimes agree bit for bit.
+
+Statefulness follows the legacy contract: *registers* are handled by the
+engine's commit step (an op only declares ``registered``), while ops that
+genuinely accumulate across cycles (:class:`AccumulateOp`,
+:class:`MinOp`) own per-batch state arrays reset via :meth:`Op.reset`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: dtype of every engine value array; wide enough for the worst-case SAD
+#: and DA accumulator words the netlists produce.
+VALUE_DTYPE = np.int64
+
+
+def as_batch(value, batch: int) -> np.ndarray:
+    """Coerce a scalar or array into a ``(batch,)`` int64 value array."""
+    array = np.asarray(value, dtype=VALUE_DTYPE)
+    if array.ndim == 0:
+        return np.full(batch, int(array), dtype=VALUE_DTYPE)
+    if array.shape != (batch,):
+        raise ValueError(
+            f"expected a scalar or shape ({batch},) array, got {array.shape}")
+    return array
+
+
+class Op:
+    """One vectorized node behaviour.
+
+    Attributes
+    ----------
+    registered:
+        ``True`` delays the node's output by one cycle (the engine commits
+        it between cycles), modelling a clocked output register.
+    """
+
+    registered: bool = False
+
+    def reset(self, batch: int) -> None:
+        """Clear any cross-cycle state for a batch of ``batch`` streams."""
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        """Map the fan-in value arrays to the node's ``(batch,)`` output."""
+        raise NotImplementedError
+
+    def as_behaviour(self) -> Callable[[Dict[str, int]], int]:
+        """Equivalent scalar callable for the legacy simulator (parity)."""
+        def behaviour(inputs: Dict[str, int]) -> int:
+            batched = {name: np.asarray([value], dtype=VALUE_DTYPE)
+                       for name, value in inputs.items()}
+            return int(self.evaluate(batched, 1)[0])
+        return behaviour
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(registered={self.registered})"
+
+
+class ConstantOp(Op):
+    """Drive a constant value every cycle (``bind_constant`` equivalent)."""
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        return np.full(batch, self.value, dtype=VALUE_DTYPE)
+
+
+class VectorOp(Op):
+    """Wrap a user-supplied *vectorized* function over the fan-in dict."""
+
+    def __init__(self, function: Callable[[Dict[str, np.ndarray]], np.ndarray],
+                 registered: bool = False) -> None:
+        self.function = function
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        return as_batch(self.function(inputs), batch)
+
+
+class ScalarOp(Op):
+    """Wrap a legacy scalar behaviour, applied element-wise over the batch.
+
+    This is the compatibility bridge: arbitrary Python callables (possibly
+    closing over mutable state) cannot be vectorized automatically, so the
+    engine evaluates them per stream.  With ``batch == 1`` — the
+    :class:`~repro.core.simulator.DataflowSimulator` wrapper — the cost
+    matches the legacy dispatch.
+    """
+
+    def __init__(self, behaviour: Callable[[Dict[str, int]], int],
+                 registered: bool = False) -> None:
+        self.behaviour = behaviour
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        out = np.empty(batch, dtype=VALUE_DTYPE)
+        for index in range(batch):
+            element = {name: int(values[index])
+                       for name, values in inputs.items()}
+            out[index] = int(self.behaviour(element))
+        return out
+
+    def as_behaviour(self) -> Callable[[Dict[str, int]], int]:
+        return self.behaviour
+
+
+def _ordered(inputs: Dict[str, np.ndarray]) -> List[np.ndarray]:
+    return list(inputs.values())
+
+
+class SumOp(Op):
+    """Sum of all fan-in values (an adder; identity for a single input)."""
+
+    def __init__(self, registered: bool = False) -> None:
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        values = _ordered(inputs)
+        if not values:
+            return np.zeros(batch, dtype=VALUE_DTYPE)
+        total = values[0].astype(VALUE_DTYPE, copy=True)
+        for value in values[1:]:
+            total += value
+        return total
+
+
+class DiffOp(Op):
+    """First fan-in minus the sum of the rest (a subtracter)."""
+
+    def __init__(self, registered: bool = False) -> None:
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        values = _ordered(inputs)
+        if not values:
+            return np.zeros(batch, dtype=VALUE_DTYPE)
+        total = values[0].astype(VALUE_DTYPE, copy=True)
+        for value in values[1:]:
+            total -= value
+        return total
+
+
+class AbsDiffOp(Op):
+    """``|a - b|`` of the first two fan-ins (``|a|`` for a single input)."""
+
+    def __init__(self, registered: bool = False) -> None:
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        values = _ordered(inputs)
+        if not values:
+            return np.zeros(batch, dtype=VALUE_DTYPE)
+        if len(values) == 1:
+            return np.abs(values[0]).astype(VALUE_DTYPE)
+        return np.abs(values[0].astype(VALUE_DTYPE) - values[1]).astype(VALUE_DTYPE)
+
+
+class AccumulateOp(Op):
+    """Running sum of the fan-in total across cycles (an accumulator)."""
+
+    def __init__(self, registered: bool = True) -> None:
+        self.registered = registered
+        self._state: Optional[np.ndarray] = None
+
+    def reset(self, batch: int) -> None:
+        self._state = np.zeros(batch, dtype=VALUE_DTYPE)
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        if self._state is None or self._state.shape != (batch,):
+            self.reset(batch)
+        increment = SumOp().evaluate(inputs, batch)
+        self._state = self._state + increment
+        return self._state
+
+    def as_behaviour(self) -> Callable[[Dict[str, int]], int]:
+        state = {"total": 0}
+
+        def behaviour(inputs: Dict[str, int]) -> int:
+            state["total"] += sum(inputs.values())
+            return state["total"]
+        return behaviour
+
+
+class MinOp(Op):
+    """Running minimum of the fan-in minimum across cycles (a comparator)."""
+
+    def __init__(self, registered: bool = True,
+                 initial: int = np.iinfo(VALUE_DTYPE).max) -> None:
+        self.registered = registered
+        self.initial = int(initial)
+        self._state: Optional[np.ndarray] = None
+
+    def reset(self, batch: int) -> None:
+        self._state = np.full(batch, self.initial, dtype=VALUE_DTYPE)
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        if self._state is None or self._state.shape != (batch,):
+            self.reset(batch)
+        values = _ordered(inputs)
+        if values:
+            incoming = values[0]
+            for value in values[1:]:
+                incoming = np.minimum(incoming, value)
+            self._state = np.minimum(self._state, incoming.astype(VALUE_DTYPE))
+        return self._state
+
+    def as_behaviour(self) -> Callable[[Dict[str, int]], int]:
+        state = {"best": self.initial}
+
+        def behaviour(inputs: Dict[str, int]) -> int:
+            if inputs:
+                state["best"] = min(state["best"], min(inputs.values()))
+            return state["best"]
+        return behaviour
+
+
+class RomOp(Op):
+    """Look the (clamped) fan-in sum up in a constant table."""
+
+    def __init__(self, contents, registered: bool = False) -> None:
+        self.contents = np.asarray(list(contents), dtype=VALUE_DTYPE)
+        if self.contents.size == 0:
+            raise ValueError("a ROM needs at least one word")
+        self.registered = registered
+
+    def evaluate(self, inputs: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        address = SumOp().evaluate(inputs, batch)
+        address = np.clip(address, 0, self.contents.size - 1)
+        return self.contents[address]

@@ -1,0 +1,34 @@
+"""Trace record types shared by the engine and the legacy simulator.
+
+Kept in a leaf module (no ``repro`` imports) so both
+:mod:`repro.core.simulator` and :mod:`repro.engine.program` can import
+them without creating an import cycle between the two packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class TraceEntry:
+    """Values of every node output at the end of one cycle (one stream)."""
+
+    cycle: int
+    values: Dict[str, int]
+
+
+@dataclass
+class BatchTraceEntry:
+    """Values of every node output at the end of one cycle, batch-wide.
+
+    ``values`` maps node name to a ``(B,)`` array; use
+    :meth:`repro.engine.program.VectorEngine.trace_for_stream` to project
+    one stream into the legacy :class:`TraceEntry` shape.
+    """
+
+    cycle: int
+    values: Dict[str, np.ndarray]

@@ -41,7 +41,13 @@ from repro.flow.design import Design, as_design, resolve_fabric
 
 @dataclass
 class FlowContext:
-    """Mutable state threaded through the passes of one compilation."""
+    """Mutable state threaded through the passes of one compilation.
+
+    ``engine_schedule`` is a best-effort carry: when the verify pass
+    smoke-runs the design it stashes the engine's compiled
+    :class:`~repro.engine.program.CompiledSchedule` here so the metrics
+    pass does not compile the identical schedule a second time.
+    """
 
     design: Design
     netlist: Netlist
@@ -52,6 +58,7 @@ class FlowContext:
     bitstream: Optional[ConfigurationBitstream] = None
     verification: Optional[VerificationReport] = None
     metrics: Optional[DesignMetrics] = None
+    engine_schedule: Optional[object] = None
 
 
 class Pass:
@@ -166,7 +173,14 @@ class GenerateBitstreamPass(Pass):
 
 
 class VerifyPass(Pass):
-    """Design-rule checks of the mapped result.
+    """Design-rule checks plus an engine smoke simulation of the result.
+
+    Beyond the placement/routing design rules, the pass compiles the
+    netlist onto the vectorized execution runtime
+    (:func:`repro.engine.program.program_for_netlist`) and steps it a few
+    cycles, so a design whose dataflow graph cannot execute — not merely
+    cannot be placed — is caught at compile time by the same runtime that
+    will run it.
 
     With ``strict=True`` (the default) a failed check raises
     :class:`~repro.core.exceptions.MappingError` — a flow bug, not a user
@@ -179,12 +193,27 @@ class VerifyPass(Pass):
     optional_requires = ("routing",)
     provides = ("verification",)
 
-    def __init__(self, strict: bool = True) -> None:
+    #: Cycles the engine smoke simulation advances the design.
+    SMOKE_CYCLES = 4
+
+    def __init__(self, strict: bool = True, smoke_cycles: Optional[int] = None) -> None:
         self.strict = strict
+        self.smoke_cycles = self.SMOKE_CYCLES if smoke_cycles is None else smoke_cycles
 
     def run(self, context: FlowContext) -> None:
+        from repro.engine.program import program_for_netlist
+
         report = verify_mapped_design(context.fabric, context.netlist,
                                       context.placement, context.routing)
+        if self.smoke_cycles > 0:
+            report.checks_run += 1
+            try:
+                engine = program_for_netlist(context.netlist)
+                context.engine_schedule = engine.schedule
+                engine.run(cycles=self.smoke_cycles)
+            except Exception as error:
+                report.add_violation(
+                    f"engine smoke simulation failed after compile: {error}")
         context.verification = report
         if self.strict and not report.passed:
             raise MappingError(
@@ -193,7 +222,7 @@ class VerifyPass(Pass):
                 + "; ".join(report.violations[:5]))
 
     def signature(self) -> Tuple:
-        return (self.name, self.strict)
+        return (self.name, self.strict, self.smoke_cycles)
 
 
 class MetricsPass(Pass):
@@ -205,7 +234,8 @@ class MetricsPass(Pass):
 
     def run(self, context: FlowContext) -> None:
         context.metrics = evaluate_design(context.netlist, context.fabric,
-                                          context.placement, context.routing)
+                                          context.placement, context.routing,
+                                          engine_schedule=context.engine_schedule)
 
 
 def build_bitstream(netlist: Netlist, fabric: Fabric, placement: Placement,

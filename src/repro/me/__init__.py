@@ -9,6 +9,7 @@ from repro.me.full_search import (
     candidate_displacements,
     full_search,
     full_search_frame,
+    full_search_scalar,
     motion_field,
 )
 from repro.me.mapping import (
@@ -24,6 +25,7 @@ from repro.me.sad import (
     mean_absolute_difference,
     sad,
     sad_at,
+    sad_at_many,
     sad_bit_width,
     saturated_sad,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "candidate_displacements",
     "full_search",
     "full_search_frame",
+    "full_search_scalar",
     "motion_field",
     "MappedMEDesign",
     "build_systolic_netlist",
@@ -67,6 +70,7 @@ __all__ = [
     "mean_absolute_difference",
     "sad",
     "sad_at",
+    "sad_at_many",
     "sad_bit_width",
     "saturated_sad",
     "DEFAULT_MODULE_COUNT",

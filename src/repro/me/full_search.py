@@ -13,6 +13,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.kernels import (
+    best_displacement,
+    candidate_windows,
+    displacement_grid,
+    sad_surface,
+)
 from repro.me.sad import sad_at, saturated_sad
 
 #: Macroblock size used throughout the paper's ME discussion.
@@ -64,12 +70,42 @@ def candidate_displacements(search_range: int,
 def full_search(current: np.ndarray, reference: np.ndarray, top: int, left: int,
                 block_size: int = DEFAULT_BLOCK_SIZE,
                 search_range: int = DEFAULT_SEARCH_RANGE,
-                include_upper: bool = False) -> SearchResult:
+                include_upper: bool = False,
+                windows: Optional[np.ndarray] = None) -> SearchResult:
     """Exhaustive search for the best match of one macroblock.
 
-    Ties are broken in favour of the candidate closest to zero displacement
-    (and then in raster order), which matches both the systolic array's
-    comparator update rule and common encoder practice.
+    Vectorized: every candidate of the window is scored in one batched
+    engine call (:func:`~repro.engine.kernels.sad_surface`), then the
+    winner is selected with the hardware tie-break rule — ties resolve
+    toward the candidate closest to zero displacement, and then in raster
+    order, matching both the systolic array's comparator update rule and
+    common encoder practice.  Results are bit-identical to
+    :func:`full_search_scalar`, the legacy per-candidate reference.
+
+    ``windows`` optionally passes a precomputed
+    :func:`~repro.engine.kernels.candidate_windows` view of the reference
+    frame so frame-level searches amortise its construction.
+    """
+    surface = sad_surface(current, reference, top, left, block_size,
+                          search_range, include_upper, windows=windows,
+                          saturate=saturated_sad(block_size))
+    dys, dxs = displacement_grid(search_range, include_upper)
+    dy, dx, value = best_displacement(surface, dys, dxs)
+    count = int(dys.size * dxs.size)
+    return SearchResult(best=MotionVector(dy, dx, value),
+                        candidates_evaluated=count,
+                        sad_operations=count * block_size * block_size)
+
+
+def full_search_scalar(current: np.ndarray, reference: np.ndarray, top: int,
+                       left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                       search_range: int = DEFAULT_SEARCH_RANGE,
+                       include_upper: bool = False) -> SearchResult:
+    """Legacy per-candidate full search (one ``sad_at`` call per candidate).
+
+    Kept as the slow-but-obvious reference the vectorized
+    :func:`full_search` is validated against, and as the "before" side of
+    the engine benchmarks.
     """
     best: Optional[MotionVector] = None
     operations = 0
@@ -89,15 +125,20 @@ def full_search(current: np.ndarray, reference: np.ndarray, top: int, left: int,
 def full_search_frame(current: np.ndarray, reference: np.ndarray,
                       block_size: int = DEFAULT_BLOCK_SIZE,
                       search_range: int = DEFAULT_SEARCH_RANGE) -> List[List[SearchResult]]:
-    """Full search for every macroblock of a frame (row-major grid)."""
+    """Full search for every macroblock of a frame (row-major grid).
+
+    The sliding candidate-window view of the reference frame is built once
+    and shared by every macroblock's batched search.
+    """
     current = np.asarray(current)
     height, width = current.shape
+    windows = candidate_windows(reference, block_size)
     results: List[List[SearchResult]] = []
     for top in range(0, height - block_size + 1, block_size):
         row: List[SearchResult] = []
         for left in range(0, width - block_size + 1, block_size):
             row.append(full_search(current, reference, top, left,
-                                   block_size, search_range))
+                                   block_size, search_range, windows=windows))
         results.append(row)
     return results
 

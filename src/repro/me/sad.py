@@ -12,9 +12,11 @@ systolic-array model and the tests.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.engine.kernels import candidate_windows, sad_reduce
 
 #: Block sizes the array supports (Sec. 4: "could be 8, 16 or 32").
 SUPPORTED_BLOCK_SIZES = (8, 16, 32)
@@ -55,6 +57,40 @@ def sad_at(current: np.ndarray, reference: np.ndarray, top: int, left: int,
         return saturated_sad(size)
     reference_block = block_at(reference, ref_top, ref_left, size)
     return sad(current_block, reference_block)
+
+
+def sad_at_many(current: np.ndarray, reference: np.ndarray, top: int,
+                left: int, displacements: Sequence[Tuple[int, int]],
+                size: int,
+                windows: Optional[np.ndarray] = None) -> np.ndarray:
+    """SAD of one block against a *batch* of candidate displacements.
+
+    The vectorized counterpart of calling :func:`sad_at` per candidate:
+    every listed ``(dy, dx)`` is scored in one batched engine call, with
+    out-of-frame candidates saturated exactly like the scalar path.
+    Returns an int64 array aligned with ``displacements``.  Pass a
+    precomputed :func:`~repro.engine.kernels.candidate_windows` view to
+    amortise its construction over many blocks of the same frame.
+    """
+    current = np.asarray(current, dtype=np.int64)
+    reference = np.asarray(reference, dtype=np.int64)
+    height, width = reference.shape
+    block = block_at(current, top, left, size)
+    if len(displacements) == 0:
+        return np.zeros(0, dtype=np.int64)
+    if windows is None:
+        windows = candidate_windows(reference, size)
+
+    offsets = np.asarray(displacements, dtype=np.int64).reshape(-1, 2)
+    rows = top + offsets[:, 0]
+    cols = left + offsets[:, 1]
+    valid = ((rows >= 0) & (rows <= height - size)
+             & (cols >= 0) & (cols <= width - size))
+    sads = np.full(offsets.shape[0], saturated_sad(size), dtype=np.int64)
+    if valid.any():
+        selected = windows[rows[valid], cols[valid]]
+        sads[valid] = sad_reduce(selected, block)
+    return sads
 
 
 def saturated_sad(size: int, pixel_bits: int = 8) -> int:

@@ -39,7 +39,7 @@ from repro.me.full_search import (
     candidate_displacements,
 )
 from repro.me.pe import ProcessingElement
-from repro.me.sad import saturated_sad
+from repro.me.sad import sad_at_many, saturated_sad
 
 #: Geometry of Fig. 11: 4 PE modules of 16 PEs (64 PEs total).
 DEFAULT_MODULE_COUNT = 4
@@ -94,6 +94,26 @@ def systolic_fabric(module_count: int = DEFAULT_MODULE_COUNT,
         add_acc_columns=max(6, module_count + 2),
         comparator_columns=1,
     ))
+
+
+def broadcast_window_fetches(height: int, width: int, top: int, left: int,
+                             block_size: int, search_range: int,
+                             include_upper: bool = False) -> int:
+    """Pixels of the (clipped) search window streamed once per macroblock.
+
+    The broadcast / register-mux network fetches each pixel of the window
+    exactly once; without it every candidate would fetch its full block
+    from memory.  Shared by :meth:`SystolicArray.search` and
+    :meth:`SystolicArray.search_batched` so their traffic accounting can
+    never drift apart.
+    """
+    upper = search_range + (1 if include_upper else 0)
+    window_top = max(0, top - search_range)
+    window_bottom = min(height, top + upper - 1 + block_size)
+    window_left = max(0, left - search_range)
+    window_right = min(width, left + upper - 1 + block_size)
+    return max(0, window_bottom - window_top) * max(
+        0, window_right - window_left)
 
 
 @dataclass
@@ -188,6 +208,21 @@ class SystolicArray:
         """Total number of PEs in the array."""
         return self.module_count * self.pes_per_module
 
+    def _prepare_search(self, current: np.ndarray, reference: np.ndarray,
+                        top: int, left: int, block_size: int):
+        """Shared guard checks of both search paths; returns the int64
+        frames and the current macroblock."""
+        if block_size % self.pes_per_module and self.pes_per_module % block_size:
+            raise ConfigurationError(
+                f"block size {block_size} does not tile onto "
+                f"{self.pes_per_module} PEs")
+        current = np.asarray(current, dtype=np.int64)
+        reference = np.asarray(reference, dtype=np.int64)
+        current_block = current[top:top + block_size, left:left + block_size]
+        if current_block.shape != (block_size, block_size):
+            raise ConfigurationError("macroblock outside the current frame")
+        return current, reference, current_block
+
     def search(self, current: np.ndarray, reference: np.ndarray, top: int,
                left: int, block_size: int = DEFAULT_BLOCK_SIZE,
                search_range: int = DEFAULT_SEARCH_RANGE,
@@ -200,15 +235,9 @@ class SystolicArray:
         systolic model adds is the cycle count, the first-SAD latency and
         the memory-traffic accounting.
         """
-        if block_size % self.pes_per_module and self.pes_per_module % block_size:
-            raise ConfigurationError(
-                f"block size {block_size} does not tile onto {self.pes_per_module} PEs")
-        current = np.asarray(current, dtype=np.int64)
-        reference = np.asarray(reference, dtype=np.int64)
+        current, reference, current_block = self._prepare_search(
+            current, reference, top, left, block_size)
         height, width = reference.shape
-        current_block = current[top:top + block_size, left:left + block_size]
-        if current_block.shape != (block_size, block_size):
-            raise ConfigurationError("macroblock outside the current frame")
 
         candidates = candidate_displacements(search_range, include_upper)
         candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
@@ -258,16 +287,8 @@ class SystolicArray:
                 value = self.modules[index].sad if valid[index] else max_sad
                 self.comparator.update(value, tag=round_start + index)
 
-        # The broadcast / register-mux network streams each pixel of the
-        # (clipped) search window into the array exactly once per macroblock;
-        # without it every candidate would fetch its full block from memory.
-        upper = search_range + (1 if include_upper else 0)
-        window_top = max(0, top - search_range)
-        window_bottom = min(height, top + upper - 1 + block_size)
-        window_left = max(0, left - search_range)
-        window_right = min(width, left + upper - 1 + block_size)
-        broadcast_fetches = max(0, window_bottom - window_top) * max(
-            0, window_right - window_left)
+        broadcast_fetches = broadcast_window_fetches(
+            height, width, top, left, block_size, search_range, include_upper)
 
         best_index = self.comparator.best_tag
         best_dy, best_dx = candidates[best_index]
@@ -281,6 +302,69 @@ class SystolicArray:
             rounds=rounds,
             first_sad_cycle=first_sad_cycle,
             reference_pixel_fetches=reference_fetches,
+            broadcast_pixel_fetches=broadcast_fetches,
+        )
+
+    def search_batched(self, current: np.ndarray, reference: np.ndarray,
+                       top: int, left: int,
+                       block_size: int = DEFAULT_BLOCK_SIZE,
+                       search_range: int = DEFAULT_SEARCH_RANGE,
+                       include_upper: bool = False,
+                       windows=None) -> SystolicSearchResult:
+        """Full-search one macroblock with every candidate scored in one
+        batched engine call.
+
+        ``windows`` optionally shares a precomputed
+        :func:`~repro.engine.kernels.candidate_windows` view across the
+        macroblocks of a frame.
+
+        Returns the same motion vector, SAD and cycle/round/memory-traffic
+        accounting as :meth:`search` (the parity suite asserts equality):
+        candidate SADs come from one vectorized
+        :func:`~repro.me.sad.sad_at_many` evaluation, the comparator
+        cluster still sees every candidate in schedule order (so its
+        tie-breaking and activity counters behave identically), and the
+        cycle counts follow from the array's static schedule.  What this
+        path does *not* do is advance the per-PE activity counters — use
+        :meth:`search` when driving the power model.
+        """
+        current, reference, _ = self._prepare_search(
+            current, reference, top, left, block_size)
+        height, width = reference.shape
+
+        candidates = candidate_displacements(search_range, include_upper)
+        candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
+        sads = sad_at_many(current, reference, top, left, candidates,
+                           block_size, windows=windows)
+        valid_count = sum(
+            1 for (dy, dx) in candidates
+            if 0 <= top + dy and top + dy + block_size <= height
+            and 0 <= left + dx and left + dx + block_size <= width)
+
+        self.comparator.reset()
+        for index, value in enumerate(sads):
+            self.comparator.update(int(value), tag=index)
+
+        columns_per_pass = min(block_size, self.pes_per_module)
+        column_passes = -(-block_size // columns_per_pass)
+        rounds = -(-len(candidates) // self.module_count)
+        cycles_per_round = column_passes * block_size
+        cycles = rounds * cycles_per_round
+        broadcast_fetches = broadcast_window_fetches(
+            height, width, top, left, block_size, search_range, include_upper)
+
+        best_index = self.comparator.best_tag
+        best_dy, best_dx = candidates[best_index]
+        best = MotionVector(best_dy, best_dx, int(self.comparator.best_value))
+        self.total_cycles += cycles
+        return SystolicSearchResult(
+            best=best,
+            candidates_evaluated=len(candidates),
+            sad_operations=len(candidates) * block_size * block_size,
+            cycles=cycles,
+            rounds=rounds,
+            first_sad_cycle=cycles_per_round,
+            reference_pixel_fetches=valid_count * block_size * block_size,
             broadcast_pixel_fetches=broadcast_fetches,
         )
 

@@ -28,13 +28,27 @@ from repro.me.full_search import (
     SearchResult,
     candidate_displacements,
 )
-from repro.me.sad import saturated_sad
+from repro.me.sad import sad_at_many, saturated_sad
 from repro.me.systolic import (
     PEModule,
     SystolicSearchResult,
+    broadcast_window_fetches,
     build_systolic_netlist,
     systolic_fabric,
 )
+
+
+def _window_fetches_1d(height: int, width: int, top: int, left: int,
+                       block_size: int, search_range: int) -> int:
+    """Search-window pixels fetched by the 1-D array, shared by both
+    search paths so their traffic accounting cannot drift apart.
+
+    The 1-D model's historical window clip equals the 2-D formula with
+    the upper edge included, so delegate rather than duplicate the
+    arithmetic.
+    """
+    return broadcast_window_fetches(height, width, top, left, block_size,
+                                    search_range, include_upper=True)
 
 
 class Systolic1DArray:
@@ -64,20 +78,28 @@ class Systolic1DArray:
         """An ME array sized for this 1-D engine."""
         return systolic_fabric(1, self.pe_count)
 
-    def search(self, current: np.ndarray, reference: np.ndarray, top: int,
-               left: int, block_size: int = DEFAULT_BLOCK_SIZE,
-               search_range: int = DEFAULT_SEARCH_RANGE,
-               include_upper: bool = False) -> SystolicSearchResult:
-        """Full search of one macroblock, one candidate per pass."""
+    def _prepare_search(self, current: np.ndarray, reference: np.ndarray,
+                        top: int, left: int, block_size: int):
+        """Shared guard checks of both search paths; returns the int64
+        frames and the current macroblock."""
         if block_size > self.pe_count and block_size % self.pe_count:
             raise ConfigurationError(
                 f"block size {block_size} does not tile onto {self.pe_count} PEs")
         current = np.asarray(current, dtype=np.int64)
         reference = np.asarray(reference, dtype=np.int64)
-        height, width = reference.shape
         current_block = current[top:top + block_size, left:left + block_size]
         if current_block.shape != (block_size, block_size):
             raise ConfigurationError("macroblock outside the current frame")
+        return current, reference, current_block
+
+    def search(self, current: np.ndarray, reference: np.ndarray, top: int,
+               left: int, block_size: int = DEFAULT_BLOCK_SIZE,
+               search_range: int = DEFAULT_SEARCH_RANGE,
+               include_upper: bool = False) -> SystolicSearchResult:
+        """Full search of one macroblock, one candidate per pass."""
+        current, reference, current_block = self._prepare_search(
+            current, reference, top, left, block_size)
+        height, width = reference.shape
 
         candidates = candidate_displacements(search_range, include_upper)
         candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
@@ -121,10 +143,57 @@ class Systolic1DArray:
             rounds=len(candidates),
             first_sad_cycle=first_sad_cycle,
             reference_pixel_fetches=len(candidates) * block_size * block_size,
-            broadcast_pixel_fetches=(min(height, top + search_range + block_size)
-                                     - max(0, top - search_range))
-                                    * (min(width, left + search_range + block_size)
-                                       - max(0, left - search_range)),
+            broadcast_pixel_fetches=_window_fetches_1d(
+                height, width, top, left, block_size, search_range),
+        )
+
+
+    def search_batched(self, current: np.ndarray, reference: np.ndarray,
+                       top: int, left: int,
+                       block_size: int = DEFAULT_BLOCK_SIZE,
+                       search_range: int = DEFAULT_SEARCH_RANGE,
+                       include_upper: bool = False,
+                       windows=None) -> SystolicSearchResult:
+        """Full search with every candidate scored in one batched call.
+
+        Same results and cycle accounting as :meth:`search` — one
+        candidate per ``block_size x column_passes``-cycle pass — without
+        advancing the per-PE activity counters (use :meth:`search` when
+        driving the power model).  ``windows`` optionally shares a
+        precomputed candidate-window view across macroblocks.
+        """
+        current, reference, _ = self._prepare_search(
+            current, reference, top, left, block_size)
+        height, width = reference.shape
+
+        candidates = candidate_displacements(search_range, include_upper)
+        candidates.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d))
+        sads = sad_at_many(current, reference, top, left, candidates,
+                           block_size, windows=windows)
+
+        self.comparator.reset()
+        for index, value in enumerate(sads):
+            self.comparator.update(int(value), tag=index)
+
+        columns_per_pass = min(block_size, self.pe_count)
+        column_passes = -(-block_size // columns_per_pass)
+        cycles_per_candidate = block_size * column_passes
+        cycles = len(candidates) * cycles_per_candidate
+
+        best_index = self.comparator.best_tag
+        best_dy, best_dx = candidates[best_index]
+        best = MotionVector(best_dy, best_dx, int(self.comparator.best_value))
+        self.total_cycles += cycles
+        return SystolicSearchResult(
+            best=best,
+            candidates_evaluated=len(candidates),
+            sad_operations=len(candidates) * block_size * block_size,
+            cycles=cycles,
+            rounds=len(candidates),
+            first_sad_cycle=cycles_per_candidate,
+            reference_pixel_fetches=len(candidates) * block_size * block_size,
+            broadcast_pixel_fetches=_window_fetches_1d(
+                height, width, top, left, block_size, search_range),
         )
 
 

@@ -65,6 +65,38 @@ def split_macroblock_into_transform_blocks(macroblock: np.ndarray) -> List[np.nd
             macroblock[half:, 0:half], macroblock[half:, half:]]
 
 
+def split_macroblock_batch(macroblocks: np.ndarray) -> np.ndarray:
+    """The 8x8 transform blocks of a ``(M, 16, 16)`` macroblock batch.
+
+    Returns a ``(M * 4, 8, 8)`` batch; each macroblock contributes its
+    four luminance blocks in raster order (the same order as
+    :func:`split_macroblock_into_transform_blocks`), so index
+    ``4 * m + q`` is quadrant ``q`` of macroblock ``m``.
+    """
+    macroblocks = np.asarray(macroblocks)
+    count = macroblocks.shape[0]
+    if macroblocks.shape[1:] != (MACROBLOCK_SIZE, MACROBLOCK_SIZE):
+        raise ValueError(
+            f"expected a (M, {MACROBLOCK_SIZE}, {MACROBLOCK_SIZE}) batch, "
+            f"got {macroblocks.shape}")
+    half = TRANSFORM_BLOCK_SIZE
+    quads = macroblocks.reshape(count, 2, half, 2, half).transpose(0, 1, 3, 2, 4)
+    return quads.reshape(count * 4, half, half)
+
+
+def merge_macroblock_batch(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_macroblock_batch`: ``(M * 4, 8, 8)`` back to
+    ``(M, 16, 16)``."""
+    blocks = np.asarray(blocks)
+    half = TRANSFORM_BLOCK_SIZE
+    if blocks.ndim != 3 or blocks.shape[0] % 4 or blocks.shape[1:] != (half, half):
+        raise ValueError(
+            f"expected a (M * 4, {half}, {half}) batch, got {blocks.shape}")
+    count = blocks.shape[0] // 4
+    quads = blocks.reshape(count, 2, 2, half, half).transpose(0, 1, 3, 2, 4)
+    return quads.reshape(count, MACROBLOCK_SIZE, MACROBLOCK_SIZE)
+
+
 def merge_transform_blocks(blocks: List[np.ndarray]) -> np.ndarray:
     """Inverse of :func:`split_macroblock_into_transform_blocks`."""
     if len(blocks) != 4:

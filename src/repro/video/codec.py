@@ -18,17 +18,28 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dct.quantization import DEFAULT_QP, dequantise, quantise
-from repro.dct.reference import dct_2d, idct_2d
+from repro.dct.reference import dct_2d, dct_2d_batched, idct_2d, idct_2d_batched
+from repro.engine.kernels import candidate_windows
 from repro.me.fast_search import search_by_name
-from repro.me.full_search import DEFAULT_SEARCH_RANGE, SearchResult
+from repro.me.full_search import (
+    DEFAULT_SEARCH_RANGE,
+    SearchResult,
+    full_search_scalar,
+)
 from repro.video.blocks import (
     MACROBLOCK_SIZE,
     TRANSFORM_BLOCK_SIZE,
     macroblock_positions,
+    merge_macroblock_batch,
     pad_frame,
+    split_macroblock_batch,
     split_macroblock_into_transform_blocks,
 )
-from repro.video.entropy import estimate_macroblock_bits
+from repro.video.entropy import (
+    estimate_block_bits_batched,
+    estimate_macroblock_bits,
+    macroblock_header_bits,
+)
 from repro.video.metrics import psnr
 
 
@@ -83,6 +94,13 @@ class EncoderConfiguration:
     implementations in :mod:`repro.dct` qualify); ``None`` selects the
     floating-point reference.  ``search_name`` picks the block-matching
     algorithm ("full", "three_step" or "diamond").
+
+    ``vectorized`` selects the batched engine path: every transform block
+    of a frame runs through one batched DCT/quantise/dequantise/IDCT pass
+    and full search scores whole candidate windows per call.  Outputs are
+    bit-identical to the scalar path; set it ``False`` to time or debug
+    the legacy per-block loop.  Custom ``dct_transform`` objects fall
+    back to the scalar path unless they provide ``forward_2d_batched``.
     """
 
     qp: int = DEFAULT_QP
@@ -91,6 +109,7 @@ class EncoderConfiguration:
     dct_transform: Optional[object] = None
     intra_sad_threshold: int = 12000
     dct_cycles_per_block: int = 12
+    vectorized: bool = True
 
 
 class VideoEncoder:
@@ -119,17 +138,37 @@ class VideoEncoder:
         reconstructed = self._inverse_dct(dequantise(levels, self.configuration.qp))
         return reconstructed, levels
 
+    def _batched_transform_available(self) -> bool:
+        transform = self.configuration.dct_transform
+        return transform is None or hasattr(transform, "forward_2d_batched")
+
     # -- encoding ---------------------------------------------------------------
     def encode_frame(self, frame: np.ndarray, frame_index: int = 0) -> FrameStatistics:
-        """Encode one frame (I if no reference is available, else P)."""
+        """Encode one frame (I if no reference is available, else P).
+
+        Dispatches to the batched engine path when
+        ``configuration.vectorized`` is set and the configured transform
+        supports batching; both paths produce identical statistics and
+        reconstructions.
+        """
         frame = pad_frame(np.asarray(frame, dtype=np.int64))
+        if self.configuration.vectorized and self._batched_transform_available():
+            return self._encode_frame_batched(frame, frame_index)
+        return self._encode_frame_scalar(frame, frame_index)
+
+    def _encode_frame_scalar(self, frame: np.ndarray,
+                             frame_index: int) -> FrameStatistics:
+        """Legacy per-macroblock, per-block encoding loop."""
         height, width = frame.shape
         reconstruction = np.zeros_like(frame, dtype=np.float64)
         is_intra_frame = self._reference_frame is None
         statistics = FrameStatistics(frame_index=frame_index,
                                      frame_type="I" if is_intra_frame else "P",
                                      psnr_db=0.0, qp=self.configuration.qp)
-        search = search_by_name(self.configuration.search_name)
+        # ME is independent of the DCT transform: a custom transform forces
+        # the per-block coding loop, but the search stays vectorized unless
+        # the caller explicitly opted out with vectorized=False.
+        search = self._resolve_search(scalar=not self.configuration.vectorized)
 
         for top, left in macroblock_positions(frame, MACROBLOCK_SIZE):
             macroblock = frame[top:top + MACROBLOCK_SIZE, left:left + MACROBLOCK_SIZE]
@@ -169,6 +208,127 @@ class VideoEncoder:
             statistics.macroblocks.append(MacroblockRecord(
                 top=top, left=left, mode=mode, motion_vector=motion_vector,
                 sad=best_sad, candidates_evaluated=candidates,
+                level_blocks=level_blocks, estimated_bits=macroblock_bits))
+
+        reconstruction = np.clip(np.rint(reconstruction), 0, 255)
+        statistics.psnr_db = psnr(frame, reconstruction)
+        self._reference_frame = reconstruction.astype(np.int64)
+        self.frame_statistics.append(statistics)
+        return statistics
+
+    def _resolve_search(self, scalar: bool = False):
+        """The configured search function.
+
+        ``scalar=True`` (the ``vectorized=False`` timing/debug mode) pins
+        full search to the legacy per-candidate reference so the whole
+        pre-engine execution path is measured end to end; results are
+        identical either way.
+        """
+        if self.configuration.search_name == "full" and scalar:
+            return full_search_scalar
+        return search_by_name(self.configuration.search_name)
+
+    def _encode_frame_batched(self, frame: np.ndarray,
+                              frame_index: int) -> FrameStatistics:
+        """Batched engine path: one vectorized transform pass per frame.
+
+        Motion search runs per macroblock over a shared candidate-window
+        view (full search scores its whole window in one call), then every
+        8x8 block of the frame goes through a single batched
+        DCT/quantise/dequantise/IDCT pipeline.  Bit-identical to
+        :meth:`_encode_frame_scalar`.
+        """
+        configuration = self.configuration
+        height, width = frame.shape
+        is_intra_frame = self._reference_frame is None
+        statistics = FrameStatistics(frame_index=frame_index,
+                                     frame_type="I" if is_intra_frame else "P",
+                                     psnr_db=0.0, qp=configuration.qp)
+        positions = macroblock_positions(frame, MACROBLOCK_SIZE)
+
+        search = None
+        windows = None
+        if not is_intra_frame:
+            # All registered searches accept a shared candidate-window
+            # view, so the int16 reference copy happens once per frame.
+            search = self._resolve_search()
+            windows = candidate_windows(self._reference_frame,
+                                        MACROBLOCK_SIZE)
+
+        # Pass 1: per-macroblock mode decision and prediction.
+        modes: List[str] = []
+        vectors: List[Tuple[int, int]] = []
+        sads: List[int] = []
+        candidate_counts: List[int] = []
+        predictors = np.zeros((len(positions), MACROBLOCK_SIZE, MACROBLOCK_SIZE),
+                              dtype=np.float64)
+        sources = np.empty_like(predictors)
+        for index, (top, left) in enumerate(positions):
+            macroblock = frame[top:top + MACROBLOCK_SIZE,
+                               left:left + MACROBLOCK_SIZE]
+            mode = "intra"
+            motion_vector = (0, 0)
+            best_sad = 0
+            candidates = 0
+            if not is_intra_frame:
+                result: SearchResult = search(
+                    frame, self._reference_frame, top, left,
+                    MACROBLOCK_SIZE, configuration.search_range,
+                    windows=windows)
+                candidates = result.candidates_evaluated
+                statistics.sad_operations += result.sad_operations
+                best_sad = result.best.sad
+                if best_sad < configuration.intra_sad_threshold:
+                    mode = "inter"
+                    motion_vector = result.motion_vector
+            if mode == "inter":
+                dy, dx = motion_vector
+                predictors[index] = self._reference_frame[
+                    top + dy:top + dy + MACROBLOCK_SIZE,
+                    left + dx:left + dx + MACROBLOCK_SIZE]
+                sources[index] = macroblock - predictors[index]
+            else:
+                sources[index] = macroblock
+            modes.append(mode)
+            vectors.append(motion_vector)
+            sads.append(best_sad)
+            candidate_counts.append(candidates)
+
+        # Pass 2: every transform block of the frame in one batched
+        # DCT -> quantise -> dequantise -> IDCT pipeline.
+        blocks = split_macroblock_batch(sources)
+        transform = configuration.dct_transform
+        if transform is None:
+            coefficients = dct_2d_batched(blocks)
+        else:
+            coefficients = np.asarray(transform.forward_2d_batched(blocks),
+                                      dtype=np.float64)
+        levels = quantise(coefficients, configuration.qp)
+        coded_blocks = idct_2d_batched(dequantise(levels, configuration.qp))
+        coded_macroblocks = merge_macroblock_batch(coded_blocks)
+
+        # Pass 3: reconstruction and per-macroblock bookkeeping.
+        block_bits = estimate_block_bits_batched(levels)
+        reconstruction = np.zeros_like(frame, dtype=np.float64)
+        for index, (top, left) in enumerate(positions):
+            mode = modes[index]
+            coded = coded_macroblocks[index]
+            if mode == "inter":
+                coded = predictors[index] + coded
+            reconstruction[top:top + MACROBLOCK_SIZE,
+                           left:left + MACROBLOCK_SIZE] = coded
+            level_blocks = [np.array(levels[4 * index + quadrant])
+                            for quadrant in range(4)]
+            statistics.dct_blocks += 4
+            statistics.dct_cycles += 4 * configuration.dct_cycles_per_block
+            macroblock_bits = (
+                int(block_bits[4 * index:4 * index + 4].sum())
+                + macroblock_header_bits(vectors[index], inter=(mode == "inter")))
+            statistics.estimated_bits += macroblock_bits
+            statistics.search_candidates += candidate_counts[index]
+            statistics.macroblocks.append(MacroblockRecord(
+                top=top, left=left, mode=mode, motion_vector=vectors[index],
+                sad=sads[index], candidates_evaluated=candidate_counts[index],
                 level_blocks=level_blocks, estimated_bits=macroblock_bits))
 
         reconstruction = np.clip(np.rint(reconstruction), 0, 255)

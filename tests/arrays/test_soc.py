@@ -35,29 +35,29 @@ class TestArrayManagement:
 
 
 class TestMappingFlow:
-    def test_map_kernel_produces_bitstream(self, soc):
-        kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+    def test_compile_produces_bitstream(self, soc):
+        kernel = soc.compile(MixedRomDCT())
         assert kernel.bitstream.total_bits() > 0
         assert len(kernel.placement) == len(kernel.netlist)
 
     def test_load_records_reconfiguration_event(self, soc):
-        kernel = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
+        kernel = soc.compile_and_load(MixedRomDCT())
         assert soc.loaded_kernel("da_array") is kernel
         assert soc.reconfiguration_count("da_array") == 1
         assert soc.total_reconfiguration_cycles() > 0
         assert soc.total_reconfiguration_bits() == kernel.bitstream.total_bits()
 
     def test_switching_kernels_accumulates_traffic(self, soc):
-        first = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
-        second = soc.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        first = soc.compile_and_load(MixedRomDCT())
+        second = soc.compile_and_load(SCCDirectDCT())
         assert soc.loaded_kernel("da_array") is second
         assert soc.reconfiguration_count() == 2
         assert (soc.total_reconfiguration_bits()
                 == first.bitstream.total_bits() + second.bitstream.total_bits())
 
     def test_me_kernel_maps_on_me_array(self, soc):
-        kernel = soc.map_and_load(build_pe_netlist(), "me_array")
-        assert kernel.array_name == "me_array"
+        kernel = soc.compile_and_load(build_pe_netlist(), "me_array")
+        assert kernel.fabric_name == "me_array"
         assert soc.loaded_kernel("me_array") is kernel
 
     def test_wider_configuration_bus_loads_faster(self):
@@ -65,14 +65,13 @@ class TestMappingFlow:
         wide = ReconfigurableSoC(configuration_bus_bits=64)
         for soc in (narrow, wide):
             soc.attach_array(build_da_array())
-        netlist = SCCDirectDCT().build_netlist()
-        slow = narrow.map_and_load(netlist, "da_array")
-        fast = wide.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        narrow.compile_and_load(SCCDirectDCT())
+        wide.compile_and_load(SCCDirectDCT())
         assert (narrow.reconfiguration_log[0].cycles
                 > wide.reconfiguration_log[0].cycles)
 
     def test_annealing_flow_also_routes(self):
         soc = ReconfigurableSoC(use_annealing=True, seed=1)
         soc.attach_array(build_da_array())
-        kernel = soc.map_kernel(MixedRomDCT().build_netlist(), "da_array")
+        kernel = soc.compile(MixedRomDCT())
         assert kernel.routing.total_hops > 0

@@ -15,7 +15,10 @@ from repro.dct.mapping import (
 
 @pytest.fixture(scope="module")
 def table1():
-    return generate_table1()
+    # Exercises the deprecated shim on purpose (internal code goes through
+    # repro.flow.compile_many); the warning is expected.
+    with pytest.warns(DeprecationWarning):
+        return generate_table1()
 
 
 class TestTable1:
@@ -59,7 +62,8 @@ class TestTable1:
 
     def test_mapping_without_place_and_route_still_counts_clusters(self):
         implementation = dct_implementations()[0]
-        mapped = map_implementation(implementation, build_da_array(),
-                                    run_place_and_route=False)
+        with pytest.warns(DeprecationWarning):
+            mapped = map_implementation(implementation, build_da_array(),
+                                        run_place_and_route=False)
         assert mapped.placement is None
         assert mapped.table_row() == PAPER_TABLE1[implementation.name]

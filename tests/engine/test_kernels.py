@@ -1,0 +1,145 @@
+"""Tests of the batched numeric kernels against their scalar references."""
+
+import numpy as np
+import pytest
+
+from repro.dct.reference import dct_2d, dct_2d_batched, idct_2d, idct_2d_batched
+from repro.dct.quantization import dequantise, quantise
+from repro.engine.kernels import (
+    batched_sad,
+    best_displacement,
+    block_batch,
+    candidate_windows,
+    displacement_grid,
+    frame_from_block_batch,
+    sad_surface,
+)
+from repro.me.sad import sad, sad_at, sad_at_many
+from repro.video.frames import panning_sequence
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    sequence = panning_sequence(height=64, width=80, pan=(1, 2), seed=5)
+    return sequence.frame(0), sequence.frame(1)
+
+
+class TestBlockBatch:
+    def test_round_trip(self, frame_pair):
+        frame = frame_pair[0]
+        blocks = block_batch(frame, 8)
+        assert blocks.shape == (80, 8, 8)
+        assert np.array_equal(frame_from_block_batch(blocks, 64, 80), frame)
+
+    def test_raster_order(self, frame_pair):
+        frame = frame_pair[0]
+        blocks = block_batch(frame, 16)
+        assert np.array_equal(blocks[1], frame[0:16, 16:32])
+
+    def test_non_tiling_frame_rejected(self):
+        with pytest.raises(ValueError):
+            block_batch(np.zeros((10, 16)), 16)
+
+
+class TestBatchedTransforms:
+    def test_dct_batch_matches_per_block(self, frame_pair):
+        blocks = block_batch(frame_pair[0], 8).astype(np.float64)
+        batched = dct_2d_batched(blocks)
+        for index in range(blocks.shape[0]):
+            assert np.array_equal(batched[index], dct_2d(blocks[index]))
+
+    def test_idct_batch_matches_per_block(self, frame_pair):
+        coefficients = dct_2d_batched(block_batch(frame_pair[0], 8))
+        batched = idct_2d_batched(coefficients)
+        for index in range(coefficients.shape[0]):
+            assert np.array_equal(batched[index], idct_2d(coefficients[index]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dct_2d_batched(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            idct_2d_batched(np.zeros((4, 4, 4)))
+
+
+class TestBatchedQuantisation:
+    def test_batch_matches_per_block(self, frame_pair):
+        coefficients = dct_2d_batched(block_batch(frame_pair[0], 8))
+        levels = quantise(coefficients, qp=6)
+        restored = dequantise(levels, qp=6)
+        for index in range(coefficients.shape[0]):
+            assert np.array_equal(levels[index], quantise(coefficients[index], qp=6))
+            assert np.array_equal(restored[index], dequantise(levels[index], qp=6))
+
+
+class TestSadKernels:
+    def test_batched_sad_matches_scalar(self, frame_pair):
+        reference, current = frame_pair
+        a = block_batch(current, 16)
+        b = block_batch(reference, 16)
+        values = batched_sad(a, b)
+        for index in range(a.shape[0]):
+            assert values[index] == sad(a[index], b[index])
+
+    def test_sad_surface_matches_sad_at_everywhere(self, frame_pair):
+        reference, current = frame_pair
+        surface = sad_surface(current, reference, 16, 16, 16, 4)
+        dys, dxs = displacement_grid(4)
+        for yi, dy in enumerate(dys):
+            for xi, dx in enumerate(dxs):
+                assert surface[yi, xi] == sad_at(current, reference, 16, 16,
+                                                 int(dy), int(dx), 16)
+
+    def test_sad_surface_saturates_border_candidates(self, frame_pair):
+        reference, current = frame_pair
+        surface = sad_surface(current, reference, 0, 0, 16, 4)
+        dys, dxs = displacement_grid(4)
+        for yi, dy in enumerate(dys):
+            for xi, dx in enumerate(dxs):
+                assert surface[yi, xi] == sad_at(current, reference, 0, 0,
+                                                 int(dy), int(dx), 16)
+
+    def test_sad_at_many_matches_sad_at(self, frame_pair):
+        reference, current = frame_pair
+        displacements = [(-4, -4), (0, 0), (3, -2), (4, 4), (-9, 0)]
+        values = sad_at_many(current, reference, 16, 16, displacements, 16)
+        for (dy, dx), value in zip(displacements, values):
+            assert value == sad_at(current, reference, 16, 16, dy, dx, 16)
+
+    def test_compact_bound_is_exclusive(self):
+        # +/-16384 differences are 32768, one past int16: the fast path
+        # must decline, or SADs would come out negative.
+        current = np.full((16, 16), 16384, dtype=np.int64)
+        reference = np.full((16, 16), -16384, dtype=np.int64)
+        windows = candidate_windows(reference, 8)
+        assert windows.dtype == np.int64
+        values = sad_at_many(current, reference, 4, 4, [(0, 0)], 8,
+                             windows=windows)
+        assert values[0] == sad_at(current, reference, 4, 4, 0, 0, 8) > 0
+
+    def test_sad_at_many_accepts_ndarray_displacements(self, frame_pair):
+        reference, current = frame_pair
+        displacements = np.array([(0, 0), (1, 1)])
+        values = sad_at_many(current, reference, 16, 16, displacements, 16)
+        assert values[1] == sad_at(current, reference, 16, 16, 1, 1, 16)
+        empty = sad_at_many(current, reference, 16, 16, np.empty((0, 2)), 16)
+        assert empty.shape == (0,)
+
+    def test_wide_values_fall_back_to_int64(self):
+        rng = np.random.default_rng(0)
+        reference = rng.integers(0, 1 << 20, (32, 32))
+        current = rng.integers(0, 1 << 20, (32, 32))
+        windows = candidate_windows(reference, 8)
+        assert windows.dtype == np.int64
+        values = sad_at_many(current, reference, 8, 8, [(0, 0), (2, -3)], 8,
+                             windows=windows)
+        for (dy, dx), value in zip([(0, 0), (2, -3)], values):
+            assert value == sad_at(current, reference, 8, 8, dy, dx, 8)
+
+    def test_best_displacement_tie_breaks_toward_centre(self):
+        dys, dxs = displacement_grid(1, include_upper=True)
+        surface = np.full((3, 3), 7, dtype=np.int64)
+        dy, dx, value = best_displacement(surface, dys, dxs)
+        assert (dy, dx, value) == (0, 0, 7)
+        surface[0, 0] = surface[2, 2] = 3
+        dy, dx, _ = best_displacement(surface, dys, dxs)
+        assert (dy, dx) == (-1, -1)

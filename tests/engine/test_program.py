@@ -1,0 +1,163 @@
+"""Unit tests of the vectorized execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import SimulationError
+from repro.core.netlist import Netlist
+from repro.engine import (
+    AccumulateOp,
+    SumOp,
+    VectorEngine,
+    VectorOp,
+    compile_schedule,
+    program_for_netlist,
+)
+
+
+def adder_chain() -> Netlist:
+    netlist = Netlist("adder_chain")
+    netlist.add_node("in0", ClusterKind.ADD_SHIFT)
+    netlist.add_node("in1", ClusterKind.ADD_SHIFT)
+    netlist.add_node("sum", ClusterKind.ADD_SHIFT, role="adder")
+    netlist.add_node("acc", ClusterKind.ADD_SHIFT, role="accumulator")
+    netlist.connect("in0", "sum")
+    netlist.connect("in1", "sum")
+    netlist.connect("sum", "acc")
+    return netlist
+
+
+class TestCompileSchedule:
+    def test_levels_follow_combinational_depth(self):
+        schedule = compile_schedule(adder_chain(), registered={})
+        assert schedule.order[:2] == ("in0", "in1")
+        assert schedule.depth == 3           # inputs -> sum -> acc
+        assert schedule.fanin["sum"] == ("in0", "in1")
+
+    def test_registered_sources_break_levels(self):
+        schedule = compile_schedule(adder_chain(), registered={"sum": True})
+        # acc reads sum's committed register, so it sits at level 0 too.
+        assert schedule.depth == 2
+        assert schedule.registered == ("sum",)
+
+
+class TestVectorEngine:
+    def test_batched_streams_evaluate_independently(self):
+        engine = VectorEngine(adder_chain(), batch=3)
+        engine.bind("sum", SumOp())
+        engine.bind("acc", AccumulateOp())
+        engine.drive("in0", np.array([1, 10, 100]))
+        engine.drive("in1", np.array([2, 20, 200]))
+        values = engine.step()
+        assert values["sum"].tolist() == [3, 30, 300]
+        # Registered output commits at the end of the cycle (legacy rule:
+        # in-cycle consumers see the old value, the trace sees the new one).
+        assert values["acc"].tolist() == [3, 30, 300]
+        engine.drive("in0", np.array([1, 10, 100]))
+        engine.drive("in1", np.array([2, 20, 200]))
+        values = engine.step()
+        assert values["acc"].tolist() == [6, 60, 600]
+
+    def test_run_streams_inputs_per_cycle(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.bind("sum", SumOp())
+        engine.bind("acc", AccumulateOp(registered=False))
+        stimulus = {
+            "in0": np.array([[1, 5], [2, 6], [3, 7]]),
+            "in1": np.zeros((3, 2), dtype=int),
+        }
+        final = engine.run(stimulus)
+        assert engine.cycle == 3
+        assert final["acc"].tolist() == [6, 18]
+
+    def test_run_broadcasts_one_dimensional_streams(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.bind("sum", SumOp())
+        final = engine.run({"in0": np.array([4, 4]), "in1": np.array([1, 1])})
+        assert final["sum"].tolist() == [5, 5]
+
+    def test_mismatched_stream_lengths_rejected(self):
+        engine = VectorEngine(adder_chain(), batch=1)
+        engine.bind("sum", SumOp())
+        with pytest.raises(SimulationError):
+            engine.run({"in0": np.zeros(3), "in1": np.zeros(2)})
+
+    def test_run_without_cycles_or_inputs_rejected(self):
+        engine = VectorEngine(adder_chain(), batch=1)
+        engine.bind("sum", SumOp())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_nothing_bound_rejected(self):
+        engine = VectorEngine(adder_chain())
+        with pytest.raises(SimulationError):
+            engine.step()
+
+    def test_unknown_node_rejected(self):
+        engine = VectorEngine(adder_chain())
+        with pytest.raises(SimulationError):
+            engine.bind("nope", SumOp())
+        with pytest.raises(SimulationError):
+            engine.drive("nope", 0)
+        with pytest.raises(SimulationError):
+            engine.value_of("nope")
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            VectorEngine(adder_chain(), batch=0)
+
+    def test_trace_for_stream_projects_ints(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.record_trace = True
+        engine.bind_constant("in0", 2)
+        engine.bind_constant("in1", 3)
+        engine.bind("sum", SumOp())
+        engine.run(cycles=2)
+        stream = engine.trace_for_stream(1)
+        assert len(stream) == 2
+        assert stream[-1].values["sum"] == 5
+        with pytest.raises(SimulationError):
+            engine.trace_for_stream(2)
+
+    def test_reset_clears_values_and_op_state(self):
+        engine = VectorEngine(adder_chain(), batch=1)
+        engine.bind_constant("in0", 1)
+        engine.bind_constant("in1", 1)
+        engine.bind("sum", SumOp())
+        engine.bind("acc", AccumulateOp(registered=False))
+        engine.run(cycles=3)
+        engine.reset()
+        assert engine.cycle == 0
+        assert engine.value_of("acc")[0] == 0
+        engine.run(cycles=1)
+        assert engine.value_of("acc")[0] == 2
+
+    def test_scalar_callable_binds_via_scalar_op(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.bind_constant("in0", 3)
+        engine.bind_constant("in1", 4)
+        engine.bind("sum", lambda inputs: inputs["in0"] * inputs["in1"])
+        values = engine.step()
+        assert values["sum"].tolist() == [12, 12]
+
+    def test_vector_op_receives_batch_arrays(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.bind_constant("in0", 3)
+        engine.bind_constant("in1", 4)
+        engine.bind("sum", VectorOp(lambda inputs: inputs["in0"] - inputs["in1"]))
+        assert engine.step()["sum"].tolist() == [-1, -1]
+
+
+class TestDefaultPrograms:
+    def test_program_for_netlist_binds_every_node(self):
+        engine = program_for_netlist(adder_chain())
+        final = engine.run(cycles=4)
+        assert set(final) == {"in0", "in1", "sum", "acc"}
+
+    def test_default_program_executes_systolic_netlist(self):
+        from repro.me.systolic import build_systolic_netlist
+
+        engine = program_for_netlist(build_systolic_netlist(2, 4), batch=3)
+        final = engine.run(cycles=4)
+        assert final["min_comparator"].shape == (3,)

@@ -106,6 +106,29 @@ class TestFlowCache:
         evicted = compile(designs[0], cache=cache)
         assert not evicted.cache_hit
 
+    def test_get_refreshes_recency(self):
+        # Touching an entry must protect it from eviction: with room for
+        # two, hitting the oldest before inserting a third should evict
+        # the *other* entry.
+        cache = FlowCache(max_entries=2)
+        designs = dct_implementations()[:3]
+        compile(designs[0], cache=cache)
+        compile(designs[1], cache=cache)
+        refreshed = compile(designs[0], cache=cache)     # refresh oldest
+        assert refreshed.cache_hit
+        compile(designs[2], cache=cache)                 # evicts designs[1]
+        assert compile(designs[0], cache=cache).cache_hit
+        assert not compile(designs[1], cache=cache).cache_hit
+
+    def test_default_shared_cache_is_bounded(self):
+        from repro.flow.cache import DEFAULT_CACHE
+        assert DEFAULT_CACHE.max_entries == 256
+
+    def test_put_evicts_down_to_bound_under_batch_compiles(self):
+        cache = FlowCache(max_entries=2)
+        compile_many(dct_implementations(), cache=cache, max_workers=4)
+        assert len(cache) == 2
+
     def test_clear_resets_counters(self):
         cache = FlowCache()
         compile(MixedRomDCT(), cache=cache)

@@ -1,0 +1,51 @@
+"""The supported API surface stays clean under warnings-as-errors.
+
+PR 1 left deprecation shims over the old mapping entry points; internal
+callers (examples, benchmarks, flow passes, the engine) must reach the
+flow through the new API only.  These tests run representative end-to-end
+paths with ``DeprecationWarning`` escalated to an error, so any internal
+route through a shim fails loudly.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.arrays import ReconfigurableSoC, build_da_array, build_me_array
+from repro.dct import MixedRomDCT, dct_implementations
+from repro.flow import FlowCache, compile, compile_many
+from repro.me import SystolicArray
+from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
+
+
+@pytest.fixture(autouse=True)
+def deprecations_are_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestNewApiIsWarningFree:
+    def test_compile_and_compile_many(self):
+        cache = FlowCache()
+        result = compile(MixedRomDCT(), cache=cache)
+        assert result.bitstream is not None
+        results = compile_many(dct_implementations(), cache=cache)
+        assert len(results) == 5
+
+    def test_soc_compile_and_load(self):
+        soc = ReconfigurableSoC()
+        soc.attach_array(build_da_array())
+        soc.attach_array(build_me_array())
+        soc.compile_and_load(MixedRomDCT())
+        soc.compile_and_load(SystolicArray(module_count=2, pes_per_module=8))
+        assert soc.reconfiguration_count() == 2
+
+    def test_batched_encode_path(self):
+        sequence = panning_sequence(height=48, width=48, pan=(1, 1), seed=9)
+        frames = [sequence.frame(index) for index in range(2)]
+        encoder = VideoEncoder(EncoderConfiguration(search_range=3))
+        statistics = encoder.encode_sequence(frames)
+        assert statistics[-1].psnr_db > 0
+        assert np.all(encoder.reference_frame >= 0)

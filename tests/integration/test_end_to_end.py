@@ -9,9 +9,10 @@ from repro.dct import (
     MixedRomDCT,
     SCCDirectDCT,
     dct_implementations,
-    generate_table1,
 )
 from repro.dct.reference import dct_2d
+from repro.flow import compile as flow_compile
+from repro.flow import compile_many
 from repro.me import SystolicArray, build_systolic_netlist, full_search
 from repro.power import compare_to_fpga, power_per_block
 from repro.video import EncoderConfiguration, VideoEncoder, panning_sequence
@@ -22,14 +23,14 @@ class TestSoCHostsBothKernels:
         soc = ReconfigurableSoC()
         soc.attach_array(build_da_array())
         soc.attach_array(build_me_array())
-        dct_kernel = soc.map_and_load(MixedRomDCT().build_netlist(), "da_array")
-        me_kernel = soc.map_and_load(build_systolic_netlist(module_count=2,
-                                                            pes_per_module=8),
-                                     "me_array")
+        dct_kernel = soc.compile_and_load(MixedRomDCT())
+        me_kernel = soc.compile_and_load(build_systolic_netlist(module_count=2,
+                                                                pes_per_module=8),
+                                         "me_array")
         assert soc.loaded_kernel("da_array") is dct_kernel
         assert soc.loaded_kernel("me_array") is me_kernel
         # Low-battery condition: switch the DCT to the smallest mapping.
-        low_power = soc.map_and_load(SCCDirectDCT().build_netlist(), "da_array")
+        low_power = soc.compile_and_load(SCCDirectDCT())
         assert soc.loaded_kernel("da_array") is low_power
         assert soc.reconfiguration_count("da_array") == 2
         assert (low_power.bitstream.total_bits()
@@ -39,7 +40,7 @@ class TestSoCHostsBothKernels:
         soc = ReconfigurableSoC()
         soc.attach_array(build_da_array())
         for implementation in dct_implementations():
-            kernel = soc.map_and_load(implementation.build_netlist(), "da_array")
+            kernel = soc.compile_and_load(implementation)
             assert kernel.bitstream.total_bits() > 0
         assert soc.reconfiguration_count("da_array") == 5
 
@@ -87,7 +88,8 @@ class TestEnergyTradeoff:
         # Sec. 3.6: area alone does not decide power — cycle count and
         # activity matter.  CORDIC 2 is smaller than CORDIC 1 in clusters
         # but needs roughly twice the cycles per transform.
-        table1 = generate_table1()
+        table1 = {result.design_name: result
+                  for result in compile_many(dct_implementations(), cache=None)}
         fabric = build_da_array()
         from repro.power import domain_specific_cost
         implementations = {impl.name: impl for impl in dct_implementations()}
@@ -106,14 +108,12 @@ class TestEnergyTradeoff:
         assert by_area != by_energy
 
     def test_me_and_da_comparisons_hold_simultaneously(self):
-        from repro.me import map_systolic_array
-        systolic = map_systolic_array()
+        systolic = flow_compile(SystolicArray(), cache=None)
         me_comparison = compare_to_fpga(systolic.netlist, build_me_array(),
                                         routing=systolic.routing)
-        table1 = generate_table1()
-        da_comparison = compare_to_fpga(table1["scc_direct"].netlist,
-                                        build_da_array(),
-                                        routing=table1["scc_direct"].routing)
+        scc = flow_compile(SCCDirectDCT(), cache=None)
+        da_comparison = compare_to_fpga(scc.netlist, build_da_array(),
+                                        routing=scc.routing)
         assert me_comparison.power_reduction > da_comparison.power_reduction
         assert me_comparison.area_reduction > da_comparison.area_reduction
         assert me_comparison.timing_improvement > 0 > da_comparison.max_frequency_change

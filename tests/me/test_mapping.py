@@ -40,13 +40,17 @@ class TestSystolicNetlist:
 
 
 class TestMappingFlow:
+    # These exercise the deprecated shims on purpose; internal code goes
+    # through repro.flow.compile instead.
     def test_single_pe_maps_onto_default_array(self):
-        mapped = map_pe()
+        with pytest.warns(DeprecationWarning):
+            mapped = map_pe()
         assert mapped.usage.total_clusters == 3
         assert mapped.routing is not None
 
     def test_full_systolic_engine_fits_the_default_array(self):
-        mapped = map_systolic_array()
+        with pytest.warns(DeprecationWarning):
+            mapped = map_systolic_array()
         assert mapped.usage.total_clusters == 193
         assert len(mapped.placement) == 193
         assert mapped.metrics.routed_hops > 0
@@ -56,10 +60,12 @@ class TestMappingFlow:
                                               abs_diff_columns=1,
                                               add_acc_columns=1,
                                               comparator_columns=1))
-        with pytest.raises(CapacityError):
-            map_me_design(build_systolic_netlist(), tiny)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(CapacityError):
+                map_me_design(build_systolic_netlist(), tiny)
 
     def test_skipping_place_and_route_is_faster_path(self):
-        mapped = map_systolic_array(run_place_and_route=False)
+        with pytest.warns(DeprecationWarning):
+            mapped = map_systolic_array(run_place_and_route=False)
         assert mapped.placement is None
         assert mapped.usage.total_clusters == 193

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.arrays import build_da_array, build_me_array
-from repro.dct import generate_table1
-from repro.me import build_pe_netlist, map_systolic_array
+from repro.dct import dct_implementations
+from repro.flow import compile as flow_compile
+from repro.flow import compile_many
+from repro.me import SystolicArray, build_pe_netlist
 from repro.power.models import (
     DA_ARRAY_CALIBRATION,
     ME_ARRAY_CALIBRATION,
@@ -18,12 +20,13 @@ from repro.power.models import (
 
 @pytest.fixture(scope="module")
 def table1():
-    return generate_table1()
+    return {result.design_name: result
+            for result in compile_many(dct_implementations(), cache=None)}
 
 
 @pytest.fixture(scope="module")
 def systolic():
-    return map_systolic_array()
+    return flow_compile(SystolicArray(), cache=None)
 
 
 class TestCalibrationSelection:
