@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""GOP-parallel encoding benchmark: serial vs threads vs lockstep.
+
+Encodes a 32-frame QCIF synthetic sequence (textured pan with a moving
+object — the live-camera workload of the paper's introduction) as four
+closed GOPs with every scheduling strategy of :mod:`repro.video.gop`,
+asserts the streams are bit-identical, and writes ``BENCH_gop.json`` at
+the repository root so the parallel-encode trajectory is tracked PR over
+PR.  Also records a rate-controlled encode (buffer-model QP control
+toward a bits/frame target) and the scene-suite coverage.
+
+The headline ``speedup`` compares the serial closed-GOP encode against
+the ``auto`` strategy (lockstep here: cross-GOP batched kernels), which
+accelerates even on a single core; the ``threads`` number additionally
+reflects whatever real cores the host has.
+
+Run with:  python benchmarks/run_bench_gop.py [--output BENCH_gop.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FRAME_COUNT = 32
+GOP_SIZE = 8
+WORKERS = 4
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def benchmark_sequence():
+    """The 32-frame QCIF workload: textured pan plus a tracked object."""
+    from repro.video.frames import (
+        QCIF_HEIGHT,
+        QCIF_WIDTH,
+        MovingObject,
+        SyntheticSequence,
+    )
+
+    sequence = SyntheticSequence(
+        height=QCIF_HEIGHT, width=QCIF_WIDTH, global_motion=(1, 2),
+        objects=[MovingObject(top=48, left=40, height=24, width=24,
+                              velocity=(1, 1))],
+        seed=2004)
+    return [sequence.frame(index) for index in range(FRAME_COUNT)]
+
+
+def bench_gop_parallel(repeats: int) -> dict:
+    """Serial vs threads vs lockstep on the 4-GOP QCIF sequence."""
+    from repro.video import EncoderConfiguration
+    from repro.video.gop import encode_sequence_parallel
+
+    frames = benchmark_sequence()
+    configuration = EncoderConfiguration()
+
+    def run(strategy):
+        return encode_sequence_parallel(frames, configuration,
+                                        gop_size=GOP_SIZE, workers=WORKERS,
+                                        strategy=strategy)
+
+    outcomes = {strategy: run(strategy)
+                for strategy in ("serial", "threads", "lockstep", "auto")}
+    reference = outcomes["serial"].statistics
+    for strategy, outcome in outcomes.items():
+        identical = all(
+            a.psnr_db == b.psnr_db and a.estimated_bits == b.estimated_bits
+            and a.frame_type == b.frame_type
+            for a, b in zip(reference, outcome.statistics))
+        if not identical:
+            raise AssertionError(f"{strategy} diverged from serial output")
+
+    seconds = {strategy: _best_of(lambda s=strategy: run(s), repeats)
+               for strategy in ("serial", "threads", "lockstep")}
+    auto_strategy = outcomes["auto"].strategy
+    auto_seconds = seconds[auto_strategy]
+    return {
+        "description": f"{FRAME_COUNT} frames QCIF pan + moving object, "
+                       f"gop {GOP_SIZE} -> {len(outcomes['serial'].gops)} "
+                       f"closed GOPs, {WORKERS} workers, full search +-8, "
+                       f"qp {configuration.qp}",
+        "cpu_count": os.cpu_count(),
+        "gops": len(outcomes["serial"].gops),
+        "workers": WORKERS,
+        "bit_identical": True,
+        "serial_seconds": round(seconds["serial"], 4),
+        "threads_seconds": round(seconds["threads"], 4),
+        "lockstep_seconds": round(seconds["lockstep"], 4),
+        "auto_strategy": auto_strategy,
+        "speedup": round(seconds["serial"] / auto_seconds, 2),
+        "threads_speedup": round(seconds["serial"] / seconds["threads"], 2),
+        "lockstep_speedup": round(seconds["serial"] / seconds["lockstep"], 2),
+        "mean_psnr_db": round(outcomes["serial"].mean_psnr_db, 2),
+    }
+
+
+def bench_rate_control(repeats: int) -> dict:
+    """Rate-controlled GOP-parallel encode vs the fixed-QP spend."""
+    from repro.video import EncoderConfiguration
+    from repro.video.gop import encode_sequence_parallel
+    from repro.video.rate_control import RateController, RateControlSettings
+
+    frames = benchmark_sequence()
+    configuration = EncoderConfiguration()
+    fixed = encode_sequence_parallel(frames, configuration, gop_size=GOP_SIZE,
+                                     workers=WORKERS)
+    fixed_bits = fixed.total_estimated_bits / FRAME_COUNT
+    target = int(fixed_bits * 0.6)
+    controller = RateController(RateControlSettings(
+        target_bits_per_frame=target, base_qp=configuration.qp, gain=4.0))
+
+    def run():
+        return encode_sequence_parallel(frames, configuration,
+                                        gop_size=GOP_SIZE, workers=WORKERS,
+                                        rate_controller=controller)
+
+    controlled = run()
+    controlled_bits = controlled.total_estimated_bits / FRAME_COUNT
+    seconds = _best_of(run, repeats)
+    return {
+        "description": f"buffer-model QP control toward {target} bits/frame "
+                       f"(fixed qp spends {fixed_bits:.0f})",
+        "target_bits_per_frame": target,
+        "fixed_qp_bits_per_frame": round(fixed_bits, 1),
+        "controlled_bits_per_frame": round(controlled_bits, 1),
+        "relative_error_vs_target": round(
+            abs(controlled_bits - target) / target, 3),
+        "qp_range": [int(min(min(t) for t in controlled.qp_trajectories if t)),
+                     int(max(max(t) for t in controlled.qp_trajectories if t))],
+        "mean_psnr_db": round(controlled.mean_psnr_db, 2),
+        "seconds": round(seconds, 4),
+    }
+
+
+def bench_scene_suite(repeats: int) -> dict:
+    """Every scene kind through the parallel encoder (with cut detection)."""
+    from repro.video import EncoderConfiguration
+    from repro.video.gop import DEFAULT_SCENE_CUT_THRESHOLD, encode_sequence_parallel
+    from repro.video.scenes import SCENE_KINDS, scene_frames
+
+    configuration = EncoderConfiguration(search_range=4)
+    report = {}
+    for kind in SCENE_KINDS:
+        frames = scene_frames(kind, count=16, height=96, width=112, seed=2004)
+        outcome = encode_sequence_parallel(
+            frames, configuration, gop_size=8,
+            scene_cut_threshold=DEFAULT_SCENE_CUT_THRESHOLD, workers=WORKERS)
+        seconds = _best_of(
+            lambda f=frames: encode_sequence_parallel(
+                f, configuration, gop_size=8,
+                scene_cut_threshold=DEFAULT_SCENE_CUT_THRESHOLD,
+                workers=WORKERS), repeats)
+        report[kind] = {
+            "gops": len(outcome.gops),
+            "mean_psnr_db": round(outcome.mean_psnr_db, 2),
+            "bits_per_frame": round(outcome.total_estimated_bits / 16, 0),
+            "seconds": round(seconds, 4),
+        }
+    return {
+        "description": "16-frame 96x112 sequences, gop 8 + scene-cut "
+                       "detection, auto strategy",
+        "scenes": report,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_gop.json",
+                        help="where to write the benchmark record")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    arguments = parser.parse_args()
+
+    record = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {},
+    }
+    for name, bench in (("gop_parallel_encode", bench_gop_parallel),
+                        ("rate_control", bench_rate_control),
+                        ("scene_suite", bench_scene_suite)):
+        print(f"running {name} ...", flush=True)
+        record["benchmarks"][name] = bench(arguments.repeats)
+    headline = record["benchmarks"]["gop_parallel_encode"]
+    print(f"  serial {headline['serial_seconds']}s -> "
+          f"{headline['auto_strategy']} "
+          f"{headline[headline['auto_strategy'] + '_seconds']}s "
+          f"({headline['speedup']}x), threads {headline['threads_seconds']}s")
+
+    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""GOP-parallel encoding benchmark: strategy equivalence and throughput.
+
+The system-level extension of the paper's workload: the per-frame encoder
+becomes a GOP-sharded pipeline (see ``repro.video.gop``).  This benchmark
+checks that every scheduling strategy produces the serial stream bit for
+bit while pytest-benchmark records the lockstep (cross-GOP batched)
+throughput; the committed ``BENCH_gop.json`` from ``run_bench_gop.py``
+tracks the serial-vs-parallel speedup PR over PR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.video import EncoderConfiguration
+from repro.video.gop import encode_sequence_parallel
+from repro.video.rate_control import RateController, RateControlSettings
+
+
+@pytest.fixture(scope="module")
+def sequence_frames():
+    from repro.video import panning_sequence
+
+    sequence = panning_sequence(height=96, width=112, pan=(1, 2), seed=2004)
+    return [sequence.frame(index) for index in range(16)]
+
+
+@pytest.mark.benchmark(group="gop")
+def test_lockstep_matches_serial_bit_for_bit(benchmark, sequence_frames):
+    configuration = EncoderConfiguration()
+    serial = encode_sequence_parallel(sequence_frames, configuration,
+                                      gop_size=4, workers=4,
+                                      strategy="serial")
+
+    outcome = benchmark.pedantic(
+        lambda: encode_sequence_parallel(sequence_frames, configuration,
+                                         gop_size=4, workers=4,
+                                         strategy="lockstep"),
+        rounds=3, iterations=1)
+
+    assert len(outcome.statistics) == len(serial.statistics)
+    for stats_a, stats_b in zip(serial.statistics, outcome.statistics):
+        assert stats_a.psnr_db == stats_b.psnr_db
+        assert stats_a.estimated_bits == stats_b.estimated_bits
+        for mb_a, mb_b in zip(stats_a.macroblocks, stats_b.macroblocks):
+            assert mb_a.motion_vector == mb_b.motion_vector
+            assert all(np.array_equal(x, y) for x, y
+                       in zip(mb_a.level_blocks, mb_b.level_blocks))
+    print(f"\nGOP-parallel: {len(outcome.gops)} GOPs, strategy "
+          f"{outcome.strategy}, mean PSNR {outcome.mean_psnr_db:.2f} dB")
+
+
+@pytest.mark.benchmark(group="gop")
+def test_rate_control_tracks_target(benchmark, sequence_frames):
+    configuration = EncoderConfiguration()
+    fixed = encode_sequence_parallel(sequence_frames, configuration,
+                                     gop_size=4, workers=4)
+    fixed_bits = fixed.total_estimated_bits / len(sequence_frames)
+    target = int(fixed_bits * 0.6)
+    controller = RateController(RateControlSettings(
+        target_bits_per_frame=target, base_qp=configuration.qp, gain=4.0))
+
+    outcome = benchmark.pedantic(
+        lambda: encode_sequence_parallel(sequence_frames, configuration,
+                                         gop_size=4, workers=4,
+                                         rate_controller=controller),
+        rounds=3, iterations=1)
+
+    controlled_bits = outcome.total_estimated_bits / len(sequence_frames)
+    # The controller lands materially closer to the target than fixed QP.
+    assert abs(controlled_bits - target) < abs(fixed_bits - target)
+    print(f"\nRate control: fixed {fixed_bits:.0f} b/frame, target {target}, "
+          f"controlled {controlled_bits:.0f} b/frame")

@@ -35,10 +35,16 @@ def quantise(coefficients: np.ndarray, qp: int = DEFAULT_QP,
     if not MIN_QP <= qp <= MAX_QP:
         raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
     coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.ndim not in (2, 3):
+        # Anything else used to fall through with the DC rule silently
+        # skipped — corrupting the stream instead of failing loudly.
+        raise ValueError(
+            f"expected a 2-D block or a (B, n, n) batch, got shape "
+            f"{coefficients.shape}")
     levels = np.trunc(coefficients / (2.0 * qp)).astype(np.int64)
     if coefficients.ndim == 2:
         levels[0, 0] = int(round(coefficients[0, 0] / intra_dc_step))
-    elif coefficients.ndim == 3:
+    else:
         # np.rint matches Python round() (both round halves to even).
         levels[:, 0, 0] = np.rint(
             coefficients[:, 0, 0] / intra_dc_step).astype(np.int64)
@@ -55,11 +61,16 @@ def dequantise(levels: np.ndarray, qp: int = DEFAULT_QP,
     if not MIN_QP <= qp <= MAX_QP:
         raise ValueError(f"qp must be in [{MIN_QP}, {MAX_QP}], got {qp}")
     levels = np.asarray(levels, dtype=np.float64)
+    if levels.ndim not in (2, 3):
+        # Mirror quantise: reject shapes whose DC rule would be skipped.
+        raise ValueError(
+            f"expected a 2-D block or a (B, n, n) batch, got shape "
+            f"{levels.shape}")
     reconstructed = np.sign(levels) * (np.abs(levels) * 2.0 + 1.0) * qp
     reconstructed[levels == 0] = 0.0
     if levels.ndim == 2:
         reconstructed[0, 0] = levels[0, 0] * intra_dc_step
-    elif levels.ndim == 3:
+    else:
         reconstructed[:, 0, 0] = levels[:, 0, 0] * intra_dc_step
     return reconstructed
 

@@ -15,12 +15,16 @@ from repro.engine.kernels import (
     batched_sad,
     batched_transform_2d,
     best_displacement,
+    best_displacements,
     block_batch,
     candidate_windows,
+    candidate_windows_stacked,
     displacement_grid,
     frame_from_block_batch,
     sad_surface,
+    sad_surfaces_many,
 )
+from repro.engine.sharding import batch_groups, shard_sizes, shard_slices
 from repro.engine.ops import (
     AbsDiffOp,
     AccumulateOp,
@@ -58,15 +62,21 @@ __all__ = [
     "TraceEntry",
     "VectorEngine",
     "VectorOp",
+    "batch_groups",
     "batched_sad",
     "batched_transform_2d",
     "best_displacement",
+    "best_displacements",
     "block_batch",
     "candidate_windows",
+    "candidate_windows_stacked",
     "compile_schedule",
     "default_op_for",
     "displacement_grid",
     "frame_from_block_batch",
     "program_for_netlist",
     "sad_surface",
+    "sad_surfaces_many",
+    "shard_sizes",
+    "shard_slices",
 ]

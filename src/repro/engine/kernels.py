@@ -214,3 +214,457 @@ def best_displacement(surface: np.ndarray, dys: np.ndarray,
     distance = np.abs(dy_flat) + np.abs(dx_flat)
     winner = np.lexsort((dx_flat, dy_flat, distance, sads))[0]
     return int(dy_flat[winner]), int(dx_flat[winner]), int(sads[winner])
+
+
+def best_displacements(surfaces: np.ndarray, dys: np.ndarray,
+                       dxs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`best_displacement` over any leading batch axes.
+
+    ``surfaces`` is ``(..., len(dys), len(dxs))``; returns int64 arrays
+    ``(dy, dx, sad)`` of shape ``surfaces.shape[:-2]``.  The winner per
+    surface is selected with exactly the lexicographic tie-break of the
+    scalar function — the candidate keys ``(sad, |dy| + |dx|, dy, dx)``
+    are packed into one int64 per candidate, whose ``argmin`` is the
+    first candidate in that order.
+    """
+    surfaces = np.asarray(surfaces, dtype=np.int64)
+    if surfaces.shape[-2:] != (dys.size, dxs.size):
+        raise ValueError(
+            f"surface shape {surfaces.shape} does not end in "
+            f"({dys.size}, {dxs.size})")
+    # Rank the candidates of one window once; packing (sad, rank) keeps
+    # the full lexicographic order because rank is unique per candidate.
+    dy_flat, dx_flat, rank, _ = _candidate_ranks(dys, dxs)
+    flat = surfaces.reshape(*surfaces.shape[:-2], -1)
+    keys = flat * dy_flat.size + rank
+    winners = np.argmin(keys, axis=-1)
+    return (np.take(dy_flat, winners), np.take(dx_flat, winners),
+            np.take_along_axis(flat, winners[..., None], axis=-1)[..., 0])
+
+
+def candidate_windows_stacked(references: np.ndarray,
+                              block_size: int) -> np.ndarray:
+    """Per-frame sliding candidate windows of a ``(G, H, W)`` frame stack.
+
+    The stacked counterpart of :func:`candidate_windows`: shape
+    ``(G, H - N + 1, W - N + 1, N, N)``, one zero-copy sliding view per
+    stacked reference frame, in the shared compact dtype.
+    """
+    references = np.asarray(references)
+    if references.ndim != 3:
+        raise ValueError(f"expected a (G, H, W) stack, got {references.shape}")
+    dtype = _compact_dtype(references)
+    references = np.ascontiguousarray(references.astype(dtype, copy=False))
+    if sliding_window_view is not None:
+        return sliding_window_view(references, (block_size, block_size),
+                                   axis=(1, 2))
+    return np.stack([candidate_windows(frame, block_size)  # pragma: no cover
+                     for frame in references])
+
+
+def sad_surfaces_many(currents: np.ndarray, references: np.ndarray,
+                      positions, block_size: int, search_range: int,
+                      include_upper: bool = False,
+                      windows: Optional[np.ndarray] = None,
+                      saturate: Optional[int] = None) -> np.ndarray:
+    """Full-search SAD surfaces of many macroblocks of many frames at once.
+
+    ``currents`` and ``references`` are ``(G, H, W)`` stacks of
+    independent frame pairs (e.g. the lockstep frames of parallel GOPs);
+    ``positions`` lists the ``(top, left)`` macroblock corners shared by
+    every pair.  Returns an int64 ``(G, len(positions), len(dys),
+    len(dxs))`` array where entry ``[g, m]`` equals
+    ``sad_surface(currents[g], references[g], *positions[m], ...)`` bit
+    for bit.
+
+    When the positions are the standard block-aligned tiling (the
+    encoder's macroblock grid) the surfaces are computed one displacement
+    at a time over whole shifted frame differences — a cache-resident
+    pass per candidate instead of ``G * len(positions)`` gathered window
+    batches.  Arbitrary positions fall back to gathers grouped by their
+    frame-border validity masks.
+    """
+    currents = np.asarray(currents, dtype=np.int64)
+    references = np.asarray(references)
+    if currents.ndim != 3 or references.ndim != 3:
+        raise ValueError("currents and references must be (G, H, W) stacks")
+    if saturate is None:
+        saturate = block_size * block_size * 255
+    positions = list(positions)
+    tops = np.array([top for top, _ in positions], dtype=np.intp)
+    lefts = np.array([left for _, left in positions], dtype=np.intp)
+    dys, dxs = displacement_grid(search_range, include_upper)
+    if _is_block_grid(tops, lefts, block_size):
+        return _surfaces_shifted_frames(currents, references, tops, lefts,
+                                        block_size, dys, dxs, saturate)
+    return _surfaces_grouped_gather(currents, references, tops, lefts,
+                                    block_size, dys, dxs, saturate, windows)
+
+
+def _is_block_grid(tops: np.ndarray, lefts: np.ndarray,
+                   block_size: int) -> bool:
+    """True when positions are the full block tiling from (0, 0), raster order."""
+    if tops.size == 0:
+        return False
+    unique_tops = np.unique(tops)
+    unique_lefts = np.unique(lefts)
+    if (tops.size != unique_tops.size * unique_lefts.size
+            or not np.array_equal(unique_tops,
+                                  np.arange(unique_tops.size) * block_size)
+            or not np.array_equal(unique_lefts,
+                                  np.arange(unique_lefts.size) * block_size)):
+        return False
+    expected = [(int(top), int(left)) for top in unique_tops
+                for left in unique_lefts]
+    return list(zip(tops.tolist(), lefts.tolist())) == expected
+
+
+def _surfaces_shifted_frames(currents: np.ndarray, references: np.ndarray,
+                             tops: np.ndarray, lefts: np.ndarray,
+                             block_size: int, dys: np.ndarray,
+                             dxs: np.ndarray, saturate: int) -> np.ndarray:
+    """Grid fast path: one shifted whole-frame difference per displacement.
+
+    For each candidate ``(dy, dx)`` the absolute difference of the
+    current frames against the shifted references is reduced to per-block
+    sums by two reshape reductions — the same integer SADs as the gather
+    path, with a working set that stays cache-resident.
+    """
+    group_count, height, width = references.shape
+    dtype = _compact_dtype(currents, references)
+    cur = np.ascontiguousarray(currents.astype(dtype, copy=False))
+    ref = np.ascontiguousarray(references.astype(dtype, copy=False))
+    row_of_top = {int(top): index for index, top in enumerate(np.unique(tops))}
+    col_of_left = {int(left): index for index, left in enumerate(np.unique(lefts))}
+    grid_rows, grid_cols = len(row_of_top), len(col_of_left)
+    unique_tops = np.unique(tops)
+    unique_lefts = np.unique(lefts)
+    surfaces = np.full((group_count, grid_rows, grid_cols, dys.size, dxs.size),
+                       saturate, dtype=np.int64)
+    for dy_index, dy in enumerate(dys):
+        valid_tops = unique_tops[(unique_tops + dy >= 0)
+                                 & (unique_tops + dy <= height - block_size)]
+        if valid_tops.size == 0:
+            continue
+        top0, top1 = int(valid_tops[0]), int(valid_tops[-1]) + block_size
+        span_rows = top1 - top0
+        current_rows = cur[:, top0:top1]
+        reference_rows = ref[:, top0 + dy:top1 + dy]
+        for dx_index, dx in enumerate(dxs):
+            valid_lefts = unique_lefts[(unique_lefts + dx >= 0)
+                                       & (unique_lefts + dx <= width - block_size)]
+            if valid_lefts.size == 0:
+                continue
+            left0, left1 = int(valid_lefts[0]), int(valid_lefts[-1]) + block_size
+            span_cols = left1 - left0
+            # Differences cannot leave the compact dtype (see _compact_dtype).
+            difference = np.abs(current_rows[:, :, left0:left1]
+                                - reference_rows[:, :, left0 + dx:left1 + dx])
+            partial = difference.reshape(
+                group_count, span_rows, span_cols // block_size,
+                block_size).sum(axis=-1, dtype=np.int64)
+            sads = partial.reshape(
+                group_count, span_rows // block_size, block_size,
+                span_cols // block_size).sum(axis=2)
+            surfaces[:, row_of_top[top0] :row_of_top[top0] + sads.shape[1],
+                     col_of_left[left0]:col_of_left[left0] + sads.shape[2],
+                     dy_index, dx_index] = sads
+    surfaces = surfaces.reshape(group_count, grid_rows * grid_cols,
+                                dys.size, dxs.size)
+    # Positions are the raster grid, so (row, col) order is position order.
+    return surfaces
+
+
+def _surfaces_grouped_gather(currents: np.ndarray, references: np.ndarray,
+                             tops: np.ndarray, lefts: np.ndarray,
+                             block_size: int, dys: np.ndarray, dxs: np.ndarray,
+                             saturate: int,
+                             windows: Optional[np.ndarray]) -> np.ndarray:
+    """General path: gather candidate windows grouped by validity masks."""
+    group_count, height, width = references.shape
+    if windows is None:
+        windows = candidate_windows_stacked(references, block_size)
+    surfaces = np.full((group_count, tops.size, dys.size, dxs.size),
+                       saturate, dtype=np.int64)
+    # Validity depends only on the macroblock's top (rows) and left
+    # (cols), so positions sharing both masks gather in one fancy index.
+    valid_rows = ((tops[:, None] + dys[None, :] >= 0)
+                  & (tops[:, None] + dys[None, :] <= height - block_size))
+    valid_cols = ((lefts[:, None] + dxs[None, :] >= 0)
+                  & (lefts[:, None] + dxs[None, :] <= width - block_size))
+    groups = {}
+    for index in range(tops.size):
+        key = (valid_rows[index].tobytes(), valid_cols[index].tobytes())
+        groups.setdefault(key, []).append(index)
+
+    for members in groups.values():
+        members = np.array(members, dtype=np.intp)
+        row_mask = valid_rows[members[0]]
+        col_mask = valid_cols[members[0]]
+        if not row_mask.any() or not col_mask.any():
+            continue
+        rows = tops[members][:, None] + dys[row_mask][None, :]
+        cols = lefts[members][:, None] + dxs[col_mask][None, :]
+        # (G, M, n_dy, n_dx, N, N) gather across every frame pair and
+        # every member macroblock of the group in one call.
+        selected = windows[:, rows[:, :, None], cols[:, None, :]]
+        blocks = _gather_blocks(currents, tops[members], lefts[members],
+                                block_size)
+        sads = sad_reduce(selected, blocks[:, :, None, None])
+        surfaces[np.ix_(np.arange(group_count), members,
+                        np.flatnonzero(row_mask),
+                        np.flatnonzero(col_mask))] = sads
+    return surfaces
+
+
+def _gather_blocks(frames: np.ndarray, tops: np.ndarray, lefts: np.ndarray,
+                   block_size: int) -> np.ndarray:
+    """Gather ``(G, M, N, N)`` macroblocks at (tops, lefts) of a frame stack."""
+    offsets = np.arange(block_size)
+    rows = tops[:, None] + offsets[None, :]        # (M, N)
+    cols = lefts[:, None] + offsets[None, :]       # (M, N)
+    return frames[:, rows[:, :, None], cols[:, None, :]]
+
+
+def _window_sums(references: np.ndarray, block_size: int) -> np.ndarray:
+    """Sum of every sliding ``block_size`` window of a ``(G, H, W)`` stack.
+
+    One integral-image pass per frame; exact int64 arithmetic.
+    """
+    integral = np.cumsum(np.cumsum(np.asarray(references, dtype=np.int64),
+                                   axis=1), axis=2)
+    integral = np.pad(integral, ((0, 0), (1, 0), (1, 0)))
+    return (integral[:, block_size:, block_size:]
+            - integral[:, :-block_size, block_size:]
+            - integral[:, block_size:, :-block_size]
+            + integral[:, :-block_size, :-block_size])
+
+
+#: Partial-sum cell size of the multilevel elimination bound.  4x4 cells
+#: keep the bound tight enough to prune through the quantisation-noise
+#: floor of reconstructed references (16x16 whole-block sums do not).
+_SEA_CELL = 4
+
+
+def _pooled_bounds_grid(currents: np.ndarray, references: np.ndarray,
+                        unique_tops: np.ndarray, unique_lefts: np.ndarray,
+                        block_size: int, dys: np.ndarray, dxs: np.ndarray,
+                        cell: int = _SEA_CELL) -> np.ndarray:
+    """Multilevel SEA lower bounds of every candidate of a macroblock grid.
+
+    For each candidate displacement, ``sum_cells |sum(current cell) -
+    sum(reference cell)|`` over the ``cell`` x ``cell`` partition of each
+    block — a lower bound on the SAD by the triangle inequality, and a
+    much tighter one than the whole-block sum.  Computed per displacement
+    on ``cell``-pooled planes (a stride-``cell`` view of the reference's
+    sliding window sums), so the working set is 1/cell^2 of the frame.
+
+    Returns an int64 ``(G, rows * cols, len(dys) * len(dxs))`` array
+    aligned with the raster position grid; out-of-frame candidates hold
+    ``_KEY_SENTINEL``.
+    """
+    group_count, height, width = references.shape
+    pooled_current = currents.reshape(group_count, height // cell, cell,
+                                      width // cell, cell).sum(axis=(2, 4))
+    pooled_windows = _window_sums(references, cell)
+    cells_per_block = block_size // cell
+    grid_rows, grid_cols = unique_tops.size, unique_lefts.size
+    row_index = {int(top): index for index, top in enumerate(unique_tops)}
+    # The grid tiles from (0, 0) (see _is_block_grid), so the pooled
+    # current region spanning it is the leading grid_cols * block_size
+    # columns — the frame may extend further right.
+    pooled_cols = grid_cols * cells_per_block
+    bounds = np.full((group_count, grid_rows, grid_cols, dys.size, dxs.size),
+                     _KEY_SENTINEL, dtype=np.int64)
+    # Column cell indices of every dx at once: the whole dx axis is one
+    # gather + one reduction per dy, instead of a slice per candidate.
+    column_cells = np.clip(dxs[:, None] + cell * np.arange(pooled_cols)[None, :],
+                           0, width - cell)                    # (n_dx, cols)
+    for dy_index, dy in enumerate(dys):
+        valid_tops = unique_tops[(unique_tops + dy >= 0)
+                                 & (unique_tops + dy <= height - block_size)]
+        if valid_tops.size == 0:
+            continue
+        top0, top1 = int(valid_tops[0]), int(valid_tops[-1]) + block_size
+        pooled_rows = (top1 - top0) // cell
+        current_rows = pooled_current[:, top0 // cell:top0 // cell + pooled_rows,
+                                      :pooled_cols]
+        window_rows = pooled_windows[:, top0 + dy:top0 + dy
+                                     + (top1 - top0):cell]
+        gathered = window_rows[:, :, column_cells]   # (G, rows, n_dx, cols)
+        difference = np.abs(current_rows[:, :, None, :] - gathered)
+        cell_bounds = difference.reshape(
+            group_count, pooled_rows // cells_per_block, cells_per_block,
+            dxs.size, grid_cols, cells_per_block).sum(axis=(2, 5))
+        bounds[:, row_index[top0]:row_index[top0] + cell_bounds.shape[1],
+               :, dy_index, :] = cell_bounds.transpose(0, 1, 3, 2)
+    # Candidates whose block leaves the frame horizontally were gathered
+    # with clipped cells; mark them out of the running.
+    lefts_grid = unique_lefts[:, None] + dxs[None, :]
+    invalid_cols, invalid_dxs = np.nonzero(
+        (lefts_grid < 0) | (lefts_grid > width - block_size))
+    bounds[:, :, invalid_cols, :, invalid_dxs] = _KEY_SENTINEL
+    return bounds.reshape(group_count, grid_rows * grid_cols,
+                          dys.size * dxs.size)
+
+
+def _candidate_ranks(dys: np.ndarray,
+                     dxs: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]:
+    """Flattened (dy, dx) axes plus the tie-break rank permutation.
+
+    ``rank[c]`` is candidate ``c``'s position in the (|dy| + |dx|, dy,
+    dx) order of :func:`best_displacement`; ``candidate_of_rank`` is its
+    inverse.
+    """
+    dy_grid, dx_grid = np.meshgrid(dys, dxs, indexing="ij")
+    dy_flat, dx_flat = dy_grid.ravel(), dx_grid.ravel()
+    distance = np.abs(dy_flat) + np.abs(dx_flat)
+    rank = np.empty(dy_flat.size, dtype=np.int64)
+    rank[np.lexsort((dx_flat, dy_flat, distance))] = np.arange(dy_flat.size)
+    candidate_of_rank = np.empty_like(rank)
+    candidate_of_rank[rank] = np.arange(dy_flat.size)
+    return dy_flat, dx_flat, rank, candidate_of_rank
+
+
+#: Sentinel packed key larger than any real (sad, rank) combination.
+_KEY_SENTINEL = np.int64(1) << 60
+
+
+def full_search_winners(currents: np.ndarray, references: np.ndarray,
+                        positions, block_size: int, search_range: int,
+                        include_upper: bool = False,
+                        windows: Optional[np.ndarray] = None,
+                        saturate: Optional[int] = None, probes: int = 8,
+                        survivor_budget: int = 48
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Winning ``(dy, dx, sad)`` of every macroblock of a frame-pair stack.
+
+    Bit-identical to running :func:`sad_surface` +
+    :func:`best_displacement` per ``(frame pair, position)``, but usually
+    far cheaper: candidates are screened with the successive-elimination
+    lower bound ``|sum(block) - sum(window)| <= SAD`` (Li & Salari style),
+    computed for every candidate at once from one integral image.  The
+    ``probes`` candidates with the smallest bounds are scored exactly to
+    seed the elimination threshold; only candidates whose bound does not
+    exceed that exact SAD can still win (or tie), so only they are scored.
+    Ties survive screening by construction (``bound <= sad``), and the
+    winner among survivors is selected with the exact packed-key
+    tie-break of :func:`best_displacements`.
+
+    On low-residual content (pans, static scenes, tracked objects) a few
+    percent of candidates survive; content with a high noise floor prunes
+    poorly, so when survivors exceed ``survivor_budget`` per macroblock
+    on average the search falls back to full :func:`sad_surfaces_many`
+    surfaces — never much slower than the unscreened search.
+
+    Returns int64 arrays ``(dy, dx, sad)`` of shape ``(G, len(positions))``.
+    """
+    currents = np.asarray(currents, dtype=np.int64)
+    references = np.asarray(references)
+    if currents.ndim != 3 or references.ndim != 3:
+        raise ValueError("currents and references must be (G, H, W) stacks")
+    group_count, height, width = references.shape
+    if saturate is None:
+        saturate = block_size * block_size * 255
+    positions = list(positions)
+    tops = np.array([top for top, _ in positions], dtype=np.intp)
+    lefts = np.array([left for _, left in positions], dtype=np.intp)
+    dys, dxs = displacement_grid(search_range, include_upper)
+    dy_flat, dx_flat, rank, candidate_of_rank = _candidate_ranks(dys, dxs)
+    candidate_count = dy_flat.size
+    position_count = tops.size
+
+    blocks = _gather_blocks(currents, tops, lefts, block_size)
+    rows = tops[:, None] + dys[None, :]
+    cols = lefts[:, None] + dxs[None, :]
+    valid = (((rows >= 0) & (rows <= height - block_size))[:, :, None]
+             & ((cols >= 0) & (cols <= width - block_size))[:, None, :]
+             ).reshape(position_count, candidate_count)
+    if (_is_block_grid(tops, lefts, block_size)
+            and block_size % _SEA_CELL == 0
+            and height % _SEA_CELL == 0 and width % _SEA_CELL == 0):
+        # Multilevel partial-sum bounds: tight enough to prune through
+        # reconstruction (quantisation) noise.
+        bounds = _pooled_bounds_grid(currents, references, np.unique(tops),
+                                     np.unique(lefts), block_size, dys, dxs)
+    else:
+        # Whole-block sums from one integral image (any position set).
+        window_sums = _window_sums(references, block_size)
+        block_sums = blocks.sum(axis=(-2, -1))
+        rows_clipped = np.clip(rows, 0, height - block_size)
+        cols_clipped = np.clip(cols, 0, width - block_size)
+        candidate_sums = window_sums[:, rows_clipped[:, :, None],
+                                     cols_clipped[:, None, :]].reshape(
+            group_count, position_count, candidate_count)
+        bounds = np.where(valid[None], np.abs(block_sums[:, :, None]
+                                              - candidate_sums),
+                          _KEY_SENTINEL)
+
+    if windows is None:
+        windows = candidate_windows_stacked(references, block_size)
+
+    # Exact SADs of the `probes` most promising candidates seed the
+    # elimination threshold.
+    probes = max(1, min(probes, candidate_count))
+    probe_candidates = np.argpartition(bounds, probes - 1,
+                                       axis=-1)[..., :probes]
+    probe_rows = np.clip(tops[None, :, None] + dy_flat[probe_candidates],
+                         0, height - block_size)
+    probe_cols = np.clip(lefts[None, :, None] + dx_flat[probe_candidates],
+                         0, width - block_size)
+    probe_windows = windows[np.arange(group_count)[:, None, None],
+                            probe_rows, probe_cols]
+    probe_sads = sad_reduce(probe_windows, blocks[:, :, None])
+    probe_valid = np.take_along_axis(np.broadcast_to(valid[None], bounds.shape),
+                                     probe_candidates, axis=-1)
+    probe_keys = np.where(probe_valid,
+                          probe_sads * candidate_count
+                          + rank[probe_candidates], _KEY_SENTINEL)
+    best_keys = probe_keys.min(axis=-1)
+    has_valid = valid.any(axis=1)
+
+    # Survivors: valid candidates whose bound could still beat (or tie)
+    # the best exact SAD seen so far.
+    threshold = np.where(has_valid[None], best_keys // candidate_count,
+                         saturate)
+    survivors = valid[None] & (bounds <= threshold[:, :, None])
+    np.put_along_axis(survivors, probe_candidates, False, axis=-1)
+    survivor_count = int(np.count_nonzero(survivors))
+    if survivor_count > survivor_budget * group_count * position_count:
+        # Screening is not discriminating (high-noise content): the full
+        # surface pass is cheaper than gathering this many windows.
+        surfaces = sad_surfaces_many(currents, references, positions,
+                                     block_size, search_range, include_upper,
+                                     windows=windows, saturate=saturate)
+        return best_displacements(surfaces, dys, dxs)
+    if survivor_count:
+        group_index, position_index, candidate_index = np.nonzero(survivors)
+        survivor_windows = windows[group_index,
+                                   tops[position_index]
+                                   + dy_flat[candidate_index],
+                                   lefts[position_index]
+                                   + dx_flat[candidate_index]]
+        survivor_sads = sad_reduce(survivor_windows,
+                                   blocks[group_index, position_index])
+        survivor_keys = (survivor_sads * candidate_count
+                         + rank[candidate_index])
+        segments = group_index * position_count + position_index
+        starts = np.flatnonzero(np.diff(segments, prepend=-1))
+        minima = np.minimum.reduceat(survivor_keys, starts)
+        flat_keys = best_keys.reshape(-1)
+        flat_keys[segments[starts]] = np.minimum(flat_keys[segments[starts]],
+                                                 minima)
+        best_keys = flat_keys.reshape(group_count, position_count)
+
+    # Out-of-frame candidates hold the saturated SAD in the full surface,
+    # so they still compete for the winner with their own tie-break rank.
+    invalid_rank = np.where(valid, _KEY_SENTINEL,
+                            rank[None, :]).min(axis=1)
+    invalid_keys = np.where(invalid_rank < _KEY_SENTINEL,
+                            saturate * candidate_count + invalid_rank,
+                            _KEY_SENTINEL)
+    best_keys = np.minimum(best_keys, invalid_keys[None])
+    winners = candidate_of_rank[best_keys % candidate_count]
+    return (dy_flat[winners], dx_flat[winners],
+            best_keys // candidate_count)

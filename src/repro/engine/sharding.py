@@ -1,0 +1,55 @@
+"""Work sharding: sizing batches for a fixed pool of workers.
+
+The GOP-parallel encoder and the batch compile entry points both face the
+same planning question — ``T`` independent work items, ``W`` workers, how
+big is each worker's contiguous batch?  These helpers centralise the
+answer: balanced shard sizes (no shard differs by more than one item) in
+input order, so results can be concatenated without reordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+
+
+def shard_sizes(total: int, workers: int) -> List[int]:
+    """Balanced per-shard item counts for ``total`` items over ``workers``.
+
+    Produces ``min(total, workers)`` shards whose sizes differ by at most
+    one, largest first (the classic ``divmod`` split).
+    """
+    if total < 0:
+        raise ConfigurationError("cannot shard a negative item count")
+    if workers <= 0:
+        raise ConfigurationError("sharding needs at least one worker")
+    shards = min(total, workers)
+    if shards == 0:
+        return []
+    base, remainder = divmod(total, shards)
+    return [base + (1 if index < remainder else 0) for index in range(shards)]
+
+
+def shard_slices(total: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` index ranges realising :func:`shard_sizes`."""
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for size in shard_sizes(total, workers):
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def batch_groups(items: Sequence, group_size: int) -> List[List]:
+    """Split ``items`` into consecutive groups of at most ``group_size``.
+
+    The GOP lockstep encoder advances one group of GOPs per pass, so the
+    group size is the effective batch width: ``workers`` GOPs encode
+    simultaneously, and additional GOPs queue into following groups.
+    """
+    if group_size <= 0:
+        raise ConfigurationError("batch groups need a positive size")
+    items = list(items)
+    return [items[start:start + group_size]
+            for start in range(0, len(items), group_size)]

@@ -39,7 +39,24 @@ from repro.video.frames import (
     moving_square_sequence,
     panning_sequence,
 )
+from repro.video.gop import (
+    DEFAULT_GOP_SIZE,
+    DEFAULT_SCENE_CUT_THRESHOLD,
+    Gop,
+    GopEncodeOutcome,
+    detect_scene_cuts,
+    encode_sequence_parallel,
+    split_into_gops,
+)
 from repro.video.metrics import mse, psnr, residual_energy
+from repro.video.rate_control import RateController, RateControlSettings
+from repro.video.scenes import (
+    SCENE_KINDS,
+    motion_energy,
+    plan_reconfiguration,
+    scene_frames,
+    scene_suite,
+)
 
 __all__ = [
     "MACROBLOCK_SIZE",
@@ -74,4 +91,18 @@ __all__ = [
     "mse",
     "psnr",
     "residual_energy",
+    "DEFAULT_GOP_SIZE",
+    "DEFAULT_SCENE_CUT_THRESHOLD",
+    "Gop",
+    "GopEncodeOutcome",
+    "detect_scene_cuts",
+    "encode_sequence_parallel",
+    "split_into_gops",
+    "RateController",
+    "RateControlSettings",
+    "SCENE_KINDS",
+    "motion_energy",
+    "plan_reconfiguration",
+    "scene_frames",
+    "scene_suite",
 ]

@@ -357,9 +357,55 @@ class VideoEncoder:
         bottom = np.hstack([pieces[2], pieces[3]])
         return np.vstack([top, bottom]), level_blocks
 
-    def encode_sequence(self, frames: Sequence[np.ndarray]) -> List[FrameStatistics]:
-        """Encode a list of frames in order (first frame is intra-coded)."""
-        return [self.encode_frame(frame, index) for index, frame in enumerate(frames)]
+    def encode_sequence(self, frames: Sequence[np.ndarray],
+                        rate_controller: Optional[object] = None
+                        ) -> List[FrameStatistics]:
+        """Encode a list of frames in order (first frame is intra-coded).
+
+        ``rate_controller`` optionally closes the rate loop: a
+        :class:`~repro.video.rate_control.RateController` whose QP is
+        applied before each frame and updated with the frame's estimated
+        bits afterwards.
+        """
+        original_qp = self.configuration.qp
+        statistics = []
+        try:
+            for index, frame in enumerate(frames):
+                if rate_controller is not None:
+                    self.configuration.qp = rate_controller.qp
+                stats = self.encode_frame(frame, index)
+                if rate_controller is not None:
+                    rate_controller.update(stats.estimated_bits)
+                statistics.append(stats)
+        finally:
+            # The controller drives qp per frame; the caller's configured
+            # QP must survive the sequence.
+            self.configuration.qp = original_qp
+        return statistics
+
+    def encode_sequence_parallel(self, frames: Sequence[np.ndarray],
+                                 **options) -> List[FrameStatistics]:
+        """Encode a sequence as closed GOPs sharded over a worker pool.
+
+        Delegates to :func:`repro.video.gop.encode_sequence_parallel`
+        (see there for ``gop_size``, ``scene_cut_threshold``, ``workers``,
+        ``strategy`` and ``rate_controller``), then merges the result
+        into this encoder's statistics stream: the statistics list grows
+        by the per-frame records in presentation order (``frame_index``
+        is relative to the passed sequence, exactly as in
+        :meth:`encode_sequence`) and the prediction reference becomes the
+        last GOP's final reconstruction — the state a serial closed-GOP
+        encode would leave behind.  The merged stream is bit-identical
+        whichever strategy encoded it.
+        """
+        from repro.video.gop import encode_sequence_parallel
+
+        outcome = encode_sequence_parallel(frames, self.configuration,
+                                           **options)
+        self.frame_statistics.extend(outcome.statistics)
+        if outcome.final_reference is not None:
+            self._reference_frame = outcome.final_reference
+        return outcome.statistics
 
     def reconfigure(self, **changes) -> None:
         """Change encoder knobs between frames (dynamic reconfiguration).

@@ -64,6 +64,15 @@ class VideoDecoder:
         """
         if not statistics.macroblocks:
             raise ValueError("frame record contains no macroblocks")
+        if statistics.frame_type == "I" and self._reference_frame is not None:
+            # A closed-GOP boundary: the intra frame must not depend on
+            # the previous GOP, so decoding it only keeps the reference
+            # for its shape.  This lets any GOP substream (e.g. one
+            # produced by a parallel worker) decode standalone and lets a
+            # decoder seek to any intra frame.
+            height, width = self._reference_frame.shape
+            self._reference_frame = None
+            frame_shape = frame_shape or (height, width)
         if self._reference_frame is not None:
             height, width = self._reference_frame.shape
         elif frame_shape is not None:

@@ -165,6 +165,20 @@ def macroblock_header_bits(motion_vector: Tuple[int, int] = (0, 0),
     return bits
 
 
+def macroblock_header_bits_batched(vector_dy: np.ndarray,
+                                   vector_dx: np.ndarray,
+                                   inter: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`macroblock_header_bits` over macroblock batches.
+
+    ``vector_dy``/``vector_dx`` and the boolean ``inter`` mask broadcast
+    together; results are identical to calling the scalar function per
+    macroblock.
+    """
+    vector_bits = (_unsigned_exp_golomb_bits_batched(2 * np.abs(vector_dy))
+                   + _unsigned_exp_golomb_bits_batched(2 * np.abs(vector_dx)))
+    return 2 + np.where(np.asarray(inter, dtype=bool), vector_bits, 0)
+
+
 def estimate_macroblock_bits(level_blocks: Sequence[np.ndarray],
                              motion_vector: Tuple[int, int] = (0, 0),
                              inter: bool = False) -> int:

@@ -1,0 +1,481 @@
+"""GOP-parallel encoding: closed groups of pictures, sharded over workers.
+
+A closed GOP (group of pictures) starts with an intra frame and never
+references frames outside itself, so GOPs are independent units of work:
+the natural sharding axis for an encoder that must keep up with a live
+camera.  This module splits a sequence into closed GOPs — on a fixed
+cadence and at detected scene cuts — and encodes them with one of three
+interchangeable strategies, all producing **bit-identical**
+:class:`~repro.video.codec.FrameStatistics` streams:
+
+``serial``    one GOP after another (the reference),
+``threads``   GOPs sharded across a :mod:`concurrent.futures` thread
+              pool — wall-clock scaling on multi-core hosts,
+``lockstep``  up to ``workers`` GOPs advance one frame per pass with the
+              heavy kernels batched *across* GOPs (stacked screened full
+              search, one transform batch) — wall-clock scaling even on
+              a single core, because per-call overhead is amortised over
+              the whole group.
+
+``auto`` picks ``lockstep`` when the configuration supports cross-GOP
+batching (full search, batchable transform) and ``threads`` otherwise.
+
+Rate control composes with every strategy: the caller's
+:class:`~repro.video.rate_control.RateController` is cloned per GOP, so
+QP trajectories depend only on GOP content, never on scheduling.
+
+Workers needing a compiled kernel mapping share the PR-1 flow cache:
+:func:`compile_gop_kernels` compiles the configured DCT design once and
+every subsequent worker lookup is a cache hit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct.quantization import dequantise, quantise
+from repro.dct.reference import dct_2d_batched, idct_2d_batched
+from repro.engine.kernels import displacement_grid, full_search_winners
+from repro.engine.sharding import batch_groups
+from repro.me.sad import saturated_sad
+from repro.video.blocks import (
+    MACROBLOCK_SIZE,
+    macroblock_positions,
+    merge_macroblock_batch,
+    pad_frame,
+    split_macroblock_batch,
+)
+from repro.video.codec import (
+    EncoderConfiguration,
+    FrameStatistics,
+    MacroblockRecord,
+    VideoEncoder,
+)
+from repro.video.entropy import (
+    estimate_block_bits_batched,
+    macroblock_header_bits_batched,
+)
+from repro.video.metrics import psnr
+from repro.video.rate_control import RateController
+from repro.video.scenes import motion_energy
+
+#: Default closed-GOP cadence (an intra frame every 8 frames).
+DEFAULT_GOP_SIZE = 8
+
+#: Default mean-absolute-difference energy above which a frame transition
+#: is treated as a scene cut (tuned against :mod:`repro.video.scenes`:
+#: pans score ~5-15, hard cuts ~50+).
+DEFAULT_SCENE_CUT_THRESHOLD = 35.0
+
+#: Strategies accepted by :func:`encode_sequence_parallel`.
+STRATEGIES = ("auto", "serial", "threads", "lockstep")
+
+
+@dataclass(frozen=True)
+class Gop:
+    """One closed group of pictures: frames ``[start, stop)`` of a sequence."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ConfigurationError(
+                f"GOP {self.index} is empty ([{self.start}, {self.stop}))")
+
+    @property
+    def length(self) -> int:
+        """Number of frames in the GOP."""
+        return self.stop - self.start
+
+    @property
+    def frame_indices(self) -> range:
+        """Global indices of the GOP's frames."""
+        return range(self.start, self.stop)
+
+
+def detect_scene_cuts(frames: Sequence[np.ndarray],
+                      threshold: float = DEFAULT_SCENE_CUT_THRESHOLD
+                      ) -> List[int]:
+    """Frame indices that should start a new GOP because of a scene cut.
+
+    A cut is declared at frame ``i`` when the frame-difference energy of
+    the ``i - 1 -> i`` transition exceeds ``threshold`` (motion
+    compensation cannot bridge unrelated content, so the encoder is
+    better off restarting with an intra frame).
+    """
+    energy = motion_energy(frames)
+    return [index + 1 for index, value in enumerate(energy)
+            if value > threshold]
+
+
+def split_into_gops(frames: Sequence[np.ndarray],
+                    gop_size: int = DEFAULT_GOP_SIZE,
+                    scene_cut_threshold: Optional[float] = None) -> List[Gop]:
+    """Split a sequence into closed GOPs.
+
+    A new GOP starts every ``gop_size`` frames (counted from the last
+    boundary, so the cadence restarts after a cut) and additionally at
+    every detected scene cut when ``scene_cut_threshold`` is given.
+    """
+    if gop_size <= 0:
+        raise ConfigurationError("gop_size must be positive")
+    count = len(frames)
+    if count == 0:
+        return []
+    cuts = (set(detect_scene_cuts(frames, scene_cut_threshold))
+            if scene_cut_threshold is not None else set())
+    gops: List[Gop] = []
+    start = 0
+    for index in range(1, count):
+        if index - start >= gop_size or index in cuts:
+            gops.append(Gop(index=len(gops), start=start, stop=index))
+            start = index
+    gops.append(Gop(index=len(gops), start=start, stop=count))
+    return gops
+
+
+@dataclass
+class GopEncodeOutcome:
+    """Everything a GOP-parallel encode produced.
+
+    ``statistics`` is the merged per-frame stream in presentation order —
+    bit-identical across strategies; ``final_reference`` is the last
+    GOP's final reconstructed frame (the state a serial encoder would
+    hold afterwards).
+    """
+
+    statistics: List[FrameStatistics]
+    gops: List[Gop]
+    strategy: str
+    workers: int
+    final_reference: Optional[np.ndarray] = None
+    compiled_kernels: int = 0
+    qp_trajectories: List[List[int]] = field(default_factory=list)
+
+    @property
+    def total_estimated_bits(self) -> int:
+        """Sum of the per-frame entropy estimates."""
+        return sum(stats.estimated_bits for stats in self.statistics)
+
+    @property
+    def mean_psnr_db(self) -> float:
+        """Mean luminance PSNR over the sequence."""
+        if not self.statistics:
+            return 0.0
+        return float(np.mean([stats.psnr_db for stats in self.statistics]))
+
+
+def compile_gop_kernels(configuration: EncoderConfiguration,
+                        cache="shared") -> int:
+    """Compile the configuration's mappable kernels through the shared flow.
+
+    Returns how many designs went through the flow.  The configured DCT
+    transform is compiled when it is a flow design (``build_netlist``);
+    with the shared :data:`repro.flow.cache.DEFAULT_CACHE` the first
+    caller misses and every other worker's call is a hit — each kernel
+    is placed and routed exactly once per process, however many workers
+    encode with it.
+    """
+    from repro.flow import compile as flow_compile
+
+    transform = configuration.dct_transform
+    if transform is None or not hasattr(transform, "build_netlist"):
+        return 0
+    if cache == "shared":
+        flow_compile(transform)
+    else:
+        flow_compile(transform, cache=cache)
+    return 1
+
+
+def _lockstep_supported(configuration: EncoderConfiguration) -> bool:
+    """Whether the configuration allows cross-GOP batched encoding."""
+    transform = configuration.dct_transform
+    return (configuration.vectorized
+            and configuration.search_name == "full"
+            and (transform is None
+                 or hasattr(transform, "forward_2d_batched")))
+
+
+def _resolve_strategy(strategy: str, configuration: EncoderConfiguration,
+                      workers: int, gop_count: int) -> str:
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    if strategy == "auto":
+        if workers <= 1 or gop_count <= 1:
+            return "serial"
+        return "lockstep" if _lockstep_supported(configuration) else "threads"
+    if strategy == "lockstep" and not _lockstep_supported(configuration):
+        raise ConfigurationError(
+            "lockstep needs the batched engine path: vectorized=True, "
+            "full search, and a transform with forward_2d_batched "
+            "(or the reference transform)")
+    return strategy
+
+
+def _encode_single_gop(frames: Sequence[np.ndarray], gop: Gop,
+                       configuration: EncoderConfiguration,
+                       rate_controller: Optional[RateController],
+                       compile_kernels: bool
+                       ) -> Tuple[List[FrameStatistics], np.ndarray, List[int]]:
+    """Encode one closed GOP on a private encoder (thread-safe worker body)."""
+    if compile_kernels:
+        compile_gop_kernels(configuration)
+    encoder = VideoEncoder(replace(configuration))
+    controller = rate_controller.clone() if rate_controller else None
+    statistics: List[FrameStatistics] = []
+    for frame_index in gop.frame_indices:
+        if controller is not None:
+            encoder.configuration.qp = controller.qp
+        stats = encoder.encode_frame(frames[frame_index], frame_index)
+        if controller is not None:
+            controller.update(stats.estimated_bits)
+        statistics.append(stats)
+    qp_trajectory = controller.qp_history if controller else []
+    return statistics, encoder.reference_frame, qp_trajectory
+
+
+def encode_sequence_parallel(frames: Sequence[np.ndarray],
+                             configuration: Optional[EncoderConfiguration] = None,
+                             *, gop_size: int = DEFAULT_GOP_SIZE,
+                             scene_cut_threshold: Optional[float] = None,
+                             workers: int = 4, strategy: str = "auto",
+                             rate_controller: Optional[RateController] = None,
+                             gops: Optional[List[Gop]] = None,
+                             compile_kernels: bool = True) -> GopEncodeOutcome:
+    """Encode a sequence as closed GOPs, sharded over ``workers``.
+
+    The returned statistics stream is bit-identical for every strategy
+    (including ``serial``), so parallelism is purely a scheduling
+    decision.  Pass ``gops`` to override the automatic split.
+    """
+    configuration = configuration or EncoderConfiguration()
+    frames = list(frames)
+    if gops is None:
+        gops = split_into_gops(frames, gop_size, scene_cut_threshold)
+    if not gops:
+        return GopEncodeOutcome(statistics=[], gops=[], strategy="serial",
+                                workers=workers)
+    resolved = _resolve_strategy(strategy, configuration, workers, len(gops))
+    compiled = compile_gop_kernels(configuration) if compile_kernels else 0
+
+    if resolved == "serial" or len(gops) == 1:
+        shards = [_encode_single_gop(frames, gop, configuration,
+                                     rate_controller, compile_kernels=False)
+                  for gop in gops]
+    elif resolved == "threads":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_encode_single_gop, frames, gop,
+                                   configuration, rate_controller,
+                                   compile_kernels)
+                       for gop in gops]
+            shards = [future.result() for future in futures]
+    else:
+        shards = _encode_gops_lockstep(frames, gops, configuration,
+                                       rate_controller, workers)
+
+    statistics = [stats for shard in shards for stats in shard[0]]
+    return GopEncodeOutcome(statistics=statistics, gops=gops,
+                            strategy=resolved, workers=workers,
+                            final_reference=shards[-1][1],
+                            compiled_kernels=compiled,
+                            qp_trajectories=[shard[2] for shard in shards])
+
+
+# -- lockstep strategy --------------------------------------------------------
+
+def _encode_gops_lockstep(frames: Sequence[np.ndarray], gops: List[Gop],
+                          configuration: EncoderConfiguration,
+                          rate_controller: Optional[RateController],
+                          workers: int
+                          ) -> List[Tuple[List[FrameStatistics], np.ndarray,
+                                          List[int]]]:
+    """Advance groups of ``workers`` GOPs one frame per pass, batched.
+
+    The group size is the lockstep batch width: every pass encodes one
+    frame of every GOP in the group through stacked kernels, so larger
+    worker counts mean larger (more overhead-efficient) batches.
+    """
+    shards = []
+    for group in batch_groups(gops, workers):
+        shards.extend(_encode_gop_group_lockstep(frames, group, configuration,
+                                                 rate_controller))
+    return shards
+
+
+def _encode_gop_group_lockstep(frames: Sequence[np.ndarray], gops: List[Gop],
+                               configuration: EncoderConfiguration,
+                               rate_controller: Optional[RateController]
+                               ) -> List[Tuple[List[FrameStatistics],
+                                               np.ndarray, List[int]]]:
+    group_count = len(gops)
+    controllers = [rate_controller.clone() if rate_controller else None
+                   for _ in gops]
+    references: List[Optional[np.ndarray]] = [None] * group_count
+    statistics: List[List[FrameStatistics]] = [[] for _ in gops]
+    longest = max(gop.length for gop in gops)
+    for step in range(longest):
+        active = [position for position, gop in enumerate(gops)
+                  if step < gop.length]
+        step_frames = [pad_frame(np.asarray(
+            frames[gops[position].start + step], dtype=np.int64))
+            for position in active]
+        shapes = {frame.shape for frame in step_frames}
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"lockstep needs uniformly sized frames, got {sorted(shapes)}")
+        qps = [controllers[position].qp if controllers[position] is not None
+               else configuration.qp for position in active]
+        step_references = ([references[position] for position in active]
+                           if step > 0 else None)
+        frame_indices = [gops[position].start + step for position in active]
+        step_statistics, reconstructions = _encode_frames_stacked(
+            step_frames, step_references, qps, frame_indices, configuration)
+        for slot, position in enumerate(active):
+            references[position] = reconstructions[slot]
+            statistics[position].append(step_statistics[slot])
+            if controllers[position] is not None:
+                controllers[position].update(
+                    step_statistics[slot].estimated_bits)
+    return [(statistics[position], references[position],
+             controllers[position].qp_history if controllers[position] else [])
+            for position in range(group_count)]
+
+
+def _encode_frames_stacked(step_frames: List[np.ndarray],
+                           step_references: Optional[List[np.ndarray]],
+                           qps: List[int], frame_indices: List[int],
+                           configuration: EncoderConfiguration
+                           ) -> Tuple[List[FrameStatistics], List[np.ndarray]]:
+    """One lockstep pass: encode frame ``t`` of every active GOP, batched.
+
+    Mirrors ``VideoEncoder._encode_frame_batched`` exactly — same
+    kernels, same integer SADs, same float operations in the same order
+    per GOP — so each GOP's statistics and reconstruction are
+    bit-identical to a serial encode of that GOP.
+    """
+    group_count = len(step_frames)
+    stack = np.stack(step_frames)
+    height, width = stack.shape[1:]
+    is_intra = step_references is None
+    positions = macroblock_positions(stack[0], MACROBLOCK_SIZE)
+    position_count = len(positions)
+    tops = np.array([top for top, _ in positions], dtype=np.intp)
+    lefts = np.array([left for _, left in positions], dtype=np.intp)
+    statistics = [FrameStatistics(frame_index=frame_indices[slot],
+                                  frame_type="I" if is_intra else "P",
+                                  psnr_db=0.0, qp=qps[slot])
+                  for slot in range(group_count)]
+
+    offsets = np.arange(MACROBLOCK_SIZE)
+    macroblocks = stack[:, (tops[:, None] + offsets)[:, :, None],
+                        (lefts[:, None] + offsets)[:, None, :]]
+
+    if is_intra:
+        inter = np.zeros((group_count, position_count), dtype=bool)
+        vector_dy = np.zeros((group_count, position_count), dtype=np.int64)
+        vector_dx = np.zeros_like(vector_dy)
+        best_sads = np.zeros_like(vector_dy)
+        candidate_count = 0
+        predictors = np.zeros((group_count, position_count, MACROBLOCK_SIZE,
+                               MACROBLOCK_SIZE))
+    else:
+        reference_stack = np.stack(step_references)
+        vector_dy, vector_dx, best_sads = full_search_winners(
+            stack, reference_stack, positions, MACROBLOCK_SIZE,
+            configuration.search_range,
+            saturate=saturated_sad(MACROBLOCK_SIZE))
+        dys, dxs = displacement_grid(configuration.search_range)
+        candidate_count = int(dys.size * dxs.size)
+        inter = best_sads < configuration.intra_sad_threshold
+        # Clip the gather indices: intra macroblocks ignore the gathered
+        # values, but a degenerate all-out-of-frame winner must not index
+        # outside the reference.
+        rows = np.clip((tops[None, :] + vector_dy)[:, :, None] + offsets,
+                       0, height - 1)
+        cols = np.clip((lefts[None, :] + vector_dx)[:, :, None] + offsets,
+                       0, width - 1)
+        predictors = np.where(
+            inter[:, :, None, None],
+            reference_stack[np.arange(group_count)[:, None, None, None],
+                            rows[:, :, :, None], cols[:, :, None, :]],
+            0).astype(np.float64)
+        vector_dy = np.where(inter, vector_dy, 0)
+        vector_dx = np.where(inter, vector_dx, 0)
+
+    sources = macroblocks - predictors
+
+    # Every transform block of every active GOP in one batched
+    # DCT -> quantise -> dequantise -> IDCT pipeline.
+    blocks = split_macroblock_batch(
+        sources.reshape(group_count * position_count, MACROBLOCK_SIZE,
+                        MACROBLOCK_SIZE))
+    transform = configuration.dct_transform
+    if transform is None:
+        coefficients = dct_2d_batched(blocks)
+    else:
+        coefficients = np.asarray(transform.forward_2d_batched(blocks),
+                                  dtype=np.float64)
+    blocks_per_gop = 4 * position_count
+    if len(set(qps)) == 1:
+        levels = quantise(coefficients, qps[0])
+        coded_blocks = idct_2d_batched(dequantise(levels, qps[0]))
+    else:
+        levels = np.empty_like(coefficients, dtype=np.int64)
+        coded_blocks = np.empty_like(coefficients)
+        for slot, qp in enumerate(qps):
+            piece = slice(slot * blocks_per_gop, (slot + 1) * blocks_per_gop)
+            levels[piece] = quantise(coefficients[piece], qp)
+            coded_blocks[piece] = idct_2d_batched(dequantise(levels[piece], qp))
+    block_bits = estimate_block_bits_batched(levels)
+    macroblock_bits = (block_bits.reshape(group_count, position_count, 4)
+                       .sum(axis=-1)
+                       + macroblock_header_bits_batched(vector_dy, vector_dx,
+                                                        inter))
+    coded_macroblocks = merge_macroblock_batch(coded_blocks).reshape(
+        group_count, position_count, MACROBLOCK_SIZE, MACROBLOCK_SIZE)
+    coded_macroblocks = coded_macroblocks + predictors
+
+    mb_sad_operations = (0 if is_intra
+                         else candidate_count * MACROBLOCK_SIZE
+                         * MACROBLOCK_SIZE)
+    reconstructions: List[np.ndarray] = []
+    for slot in range(group_count):
+        reconstruction = np.zeros((height, width))
+        stats = statistics[slot]
+        for index, (top, left) in enumerate(positions):
+            reconstruction[top:top + MACROBLOCK_SIZE,
+                           left:left + MACROBLOCK_SIZE] = \
+                coded_macroblocks[slot, index]
+            mode = "inter" if inter[slot, index] else "intra"
+            flat = slot * blocks_per_gop + 4 * index
+            quad_levels = np.array(levels[flat:flat + 4])
+            bits = int(macroblock_bits[slot, index])
+            stats.macroblocks.append(MacroblockRecord(
+                top=int(top), left=int(left), mode=mode,
+                motion_vector=(int(vector_dy[slot, index]),
+                               int(vector_dx[slot, index])),
+                sad=0 if is_intra else int(best_sads[slot, index]),
+                candidates_evaluated=0 if is_intra else candidate_count,
+                level_blocks=[quad_levels[0], quad_levels[1], quad_levels[2],
+                              quad_levels[3]],
+                estimated_bits=bits))
+        stats.dct_blocks = 4 * position_count
+        stats.dct_cycles = (4 * position_count
+                            * configuration.dct_cycles_per_block)
+        stats.estimated_bits = int(macroblock_bits[slot].sum())
+        stats.search_candidates = (0 if is_intra
+                                   else candidate_count * position_count)
+        stats.sad_operations = mb_sad_operations * position_count
+        reconstruction = np.clip(np.rint(reconstruction), 0, 255)
+        stats.psnr_db = psnr(stack[slot], reconstruction)
+        reconstructions.append(reconstruction.astype(np.int64))
+    return statistics, reconstructions

@@ -1,0 +1,123 @@
+"""Per-frame rate control: a virtual-buffer QP controller.
+
+The encoder produces an estimated bit count per frame (the vectorized
+Exp-Golomb estimate of :mod:`repro.video.entropy`); this module closes
+the loop around it.  A leaky virtual buffer drains ``target_bits_per_frame``
+per frame and fills with the bits each frame actually produced; the
+quantiser parameter for the next frame is the base QP plus a proportional
+correction toward an empty buffer — coarser quantisation when the encoder
+is overspending, finer when it is underspending.  This is the classic
+H.263 TMN-style buffer model reduced to its proportional term, which is
+all the operating-point experiments of the paper's Sec. 5 need.
+
+Controllers are deliberately cheap to ``clone()``: GOP-parallel encoding
+gives every closed GOP a fresh controller with identical settings, so the
+QP trajectory of a GOP never depends on which worker (or strategy)
+encoded it — serial, thread-pool and lockstep encodes stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dct.quantization import DEFAULT_QP, MAX_QP, MIN_QP
+
+
+@dataclass(frozen=True)
+class RateControlSettings:
+    """Static configuration of a :class:`RateController`.
+
+    ``gain`` is the proportional constant in QP steps per
+    ``target_bits_per_frame`` of buffer fullness; ``buffer_capacity``
+    clamps the virtual buffer (default: eight target frames' worth).
+    """
+
+    target_bits_per_frame: int
+    base_qp: int = DEFAULT_QP
+    gain: float = 2.0
+    buffer_capacity: Optional[int] = None
+    min_qp: int = MIN_QP
+    max_qp: int = MAX_QP
+
+    def __post_init__(self) -> None:
+        if self.target_bits_per_frame <= 0:
+            raise ValueError("target_bits_per_frame must be positive")
+        if not MIN_QP <= self.min_qp <= self.max_qp <= MAX_QP:
+            raise ValueError(
+                f"QP bounds must satisfy {MIN_QP} <= min_qp <= max_qp <= "
+                f"{MAX_QP}, got [{self.min_qp}, {self.max_qp}]")
+        if not self.min_qp <= self.base_qp <= self.max_qp:
+            raise ValueError(
+                f"base_qp {self.base_qp} outside [{self.min_qp}, "
+                f"{self.max_qp}]")
+        if self.gain < 0:
+            raise ValueError("gain must be non-negative")
+        if self.buffer_capacity is not None and self.buffer_capacity <= 0:
+            raise ValueError("buffer_capacity must be positive")
+
+    @property
+    def capacity(self) -> int:
+        """Effective buffer clamp (defaults to eight target frames)."""
+        if self.buffer_capacity is not None:
+            return self.buffer_capacity
+        return 8 * self.target_bits_per_frame
+
+
+class RateController:
+    """Proportional virtual-buffer QP controller.
+
+    >>> controller = RateController(RateControlSettings(2000))
+    >>> controller.qp            # base QP before any frame
+    8
+    >>> controller.update(6000)  # a frame overspent: QP rises
+    12
+    """
+
+    def __init__(self, settings: RateControlSettings) -> None:
+        self.settings = settings
+        self._fullness = 0.0
+        self._qp = settings.base_qp
+        self.qp_history: List[int] = []
+        self.bits_history: List[int] = []
+
+    @property
+    def qp(self) -> int:
+        """Quantiser parameter the next frame should use."""
+        return self._qp
+
+    @property
+    def buffer_fullness(self) -> float:
+        """Signed virtual-buffer level (positive: overspent)."""
+        return self._fullness
+
+    def update(self, produced_bits: int) -> int:
+        """Account one encoded frame's bits; returns the next frame's QP.
+
+        The buffer fills with ``produced_bits`` and drains one frame's
+        target; the new QP is the base QP plus ``gain`` steps per target
+        frame of fullness, clamped to the configured range.
+        """
+        settings = self.settings
+        self._fullness += produced_bits - settings.target_bits_per_frame
+        self._fullness = min(max(self._fullness, -settings.capacity),
+                             settings.capacity)
+        correction = settings.gain * (self._fullness
+                                      / settings.target_bits_per_frame)
+        self._qp = int(min(max(round(settings.base_qp + correction),
+                               settings.min_qp), settings.max_qp))
+        self.qp_history.append(self._qp)
+        self.bits_history.append(int(produced_bits))
+        return self._qp
+
+    def clone(self) -> "RateController":
+        """A fresh controller with the same settings and pristine state.
+
+        GOP-parallel encoding clones the caller's controller per GOP so
+        every strategy reproduces the same per-GOP QP trajectory.
+        """
+        return RateController(self.settings)
+
+    def __repr__(self) -> str:
+        return (f"RateController(target={self.settings.target_bits_per_frame}, "
+                f"qp={self._qp}, fullness={self._fullness:.0f})")

@@ -1,0 +1,181 @@
+"""Synthetic scene generator: diverse sequences for encoder workloads.
+
+:mod:`repro.video.frames` synthesises sequences with known translational
+motion; this module builds on it (and on direct texture resampling) to
+produce the scene *types* a live encoder meets — the workload diversity
+the paper's dynamic-reconfiguration experiment (Sec. 5) switches kernels
+for.  Five kinds are generated, all deterministic under a seed:
+
+``static``    an unchanging textured frame (webcam pointing at a wall),
+``pan``       a global translation of the background,
+``zoom``      a slow scale-up about the frame centre (bilinear resampled),
+``noise``     a pan through heavy sensor noise (the "noisy channel"
+              operating point),
+``cut``       a pan that hard-cuts to unrelated content mid-sequence —
+              the case GOP splitting must detect and isolate.
+
+:func:`plan_reconfiguration` turns a sequence into the per-frame encoder
+knob schedule the reconfigurable SoC would apply: cheap search and the
+smallest DCT mapping while the scene is quiet, exhaustive search and the
+fast DCT when motion or a cut demands it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.video.frames import PIXEL_MAX, SyntheticSequence
+
+#: The scene kinds :func:`scene_frames` can generate.
+SCENE_KINDS: Tuple[str, ...] = ("static", "pan", "zoom", "noise", "cut")
+
+#: Default dimensions of the generated scenes (kept small so test suites
+#: can afford every kind; pass explicit sizes for QCIF-class material).
+DEFAULT_HEIGHT = 64
+DEFAULT_WIDTH = 80
+
+
+def _texture(height: int, width: int, seed: int) -> np.ndarray:
+    """A smooth random luminance texture (reuses the sequence generator)."""
+    return SyntheticSequence(height=height, width=width,
+                             global_motion=(0, 0), seed=seed).frame(0)
+
+
+def _zoom_frame(texture: np.ndarray, scale: float) -> np.ndarray:
+    """Bilinear resample of ``texture`` scaled by ``scale`` about its centre."""
+    height, width = texture.shape
+    centre_y, centre_x = (height - 1) / 2.0, (width - 1) / 2.0
+    ys = centre_y + (np.arange(height) - centre_y) / scale
+    xs = centre_x + (np.arange(width) - centre_x) / scale
+    ys = np.clip(ys, 0, height - 1)
+    xs = np.clip(xs, 0, width - 1)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, height - 1)
+    x1 = np.minimum(x0 + 1, width - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    values = (texture[np.ix_(y0, x0)] * (1 - wy) * (1 - wx)
+              + texture[np.ix_(y1, x0)] * wy * (1 - wx)
+              + texture[np.ix_(y0, x1)] * (1 - wy) * wx
+              + texture[np.ix_(y1, x1)] * wy * wx)
+    return np.clip(np.rint(values), 0, PIXEL_MAX).astype(np.int64)
+
+
+def scene_frames(kind: str, count: int = 16, height: int = DEFAULT_HEIGHT,
+                 width: int = DEFAULT_WIDTH, seed: int = 0) -> List[np.ndarray]:
+    """``count`` frames of one scene ``kind`` (see :data:`SCENE_KINDS`).
+
+    Every kind is deterministic in ``seed`` and returns int64 luminance
+    frames in ``[0, 255]`` of identical shape, so sequences can be
+    concatenated or compared across encoder strategies.
+    """
+    if count <= 0:
+        raise ValueError("a scene needs at least one frame")
+    if kind == "static":
+        frame = _texture(height, width, seed)
+        return [frame.copy() for _ in range(count)]
+    if kind == "pan":
+        sequence = SyntheticSequence(height=height, width=width,
+                                     global_motion=(1, 2), seed=seed)
+        return [sequence.frame(index) for index in range(count)]
+    if kind == "zoom":
+        texture = _texture(height, width, seed).astype(np.float64)
+        return [_zoom_frame(texture, 1.0 + 0.01 * index)
+                for index in range(count)]
+    if kind == "noise":
+        sequence = SyntheticSequence(height=height, width=width,
+                                     global_motion=(1, 2), noise_sigma=8.0,
+                                     seed=seed)
+        return [sequence.frame(index) for index in range(count)]
+    if kind == "cut":
+        first = SyntheticSequence(height=height, width=width,
+                                  global_motion=(1, 2), seed=seed)
+        second = SyntheticSequence(height=height, width=width,
+                                   global_motion=(-2, 1), seed=seed + 1000)
+        half = count // 2
+        # The second shot is unrelated content in a darker grade — pixel
+        # statistics change across the cut, which is what the energy
+        # detector keys on (two same-grade textures decorrelate almost as
+        # much under a pan as across a cut).
+        return ([first.frame(index) for index in range(half)]
+                + [second.frame(index) // 2 + 4
+                   for index in range(count - half)])
+    raise ValueError(f"unknown scene kind {kind!r}; expected one of "
+                     f"{SCENE_KINDS}")
+
+
+def scene_suite(count: int = 16, height: int = DEFAULT_HEIGHT,
+                width: int = DEFAULT_WIDTH,
+                seed: int = 0) -> Dict[str, List[np.ndarray]]:
+    """One sequence of every scene kind, keyed by kind."""
+    return {kind: scene_frames(kind, count, height, width, seed)
+            for kind in SCENE_KINDS}
+
+
+def motion_energy(frames: Sequence[np.ndarray]) -> np.ndarray:
+    """Mean absolute luminance difference between consecutive frames.
+
+    ``energy[i]`` measures the change from frame ``i`` to ``i + 1`` —
+    the signal both scene-cut detection and the reconfiguration planner
+    threshold.
+    """
+    frames = [np.asarray(frame, dtype=np.int64) for frame in frames]
+    if len(frames) < 2:
+        return np.zeros(0)
+    return np.array([float(np.abs(frames[index + 1] - frames[index]).mean())
+                     for index in range(len(frames) - 1)])
+
+
+#: Planner thresholds: below ``low`` the scene is quiet enough for the
+#: cheap search + smallest DCT mapping; above ``high`` (a cut or violent
+#: motion) the full search + fastest DCT come back.
+DEFAULT_LOW_ENERGY = 2.0
+DEFAULT_HIGH_ENERGY = 20.0
+
+
+def plan_reconfiguration(frames: Sequence[np.ndarray],
+                         low_energy: float = DEFAULT_LOW_ENERGY,
+                         high_energy: float = DEFAULT_HIGH_ENERGY
+                         ) -> List[Dict[str, str]]:
+    """Per-frame encoder knob schedule driven by scene activity.
+
+    Returns one dict per frame with ``search_name`` and ``dct_name``
+    keys, suitable for ``VideoEncoder.reconfigure(search_name=...)``
+    plus a DCT lookup via ``dct_implementation_by_name``.  Frame 0 keeps
+    the full search (it is intra-coded anyway); afterwards the energy of
+    the incoming frame transition selects the operating point, which is
+    exactly the per-frame array switching of the paper's Sec. 5.
+    """
+    energy = motion_energy(frames)
+    plan: List[Dict[str, str]] = [{"search_name": "full",
+                                   "dct_name": "mixed_rom"}]
+    for value in energy:
+        if value <= low_energy:
+            plan.append({"search_name": "three_step",
+                         "dct_name": "scc_direct"})
+        elif value >= high_energy:
+            plan.append({"search_name": "full", "dct_name": "mixed_rom"})
+        else:
+            plan.append({"search_name": "diamond", "dct_name": "cordic2"})
+    return plan
+
+
+def dct_implementation_by_name(name: str):
+    """Instantiate a Table-1 DCT implementation from its short name."""
+    from repro.dct import (CordicDCT1, CordicDCT2, MixedRomDCT, SCCDirectDCT,
+                           SCCEvenOddDCT)
+
+    implementations = {
+        "mixed_rom": MixedRomDCT,
+        "cordic1": CordicDCT1,
+        "cordic2": CordicDCT2,
+        "scc_evenodd": SCCEvenOddDCT,
+        "scc_direct": SCCDirectDCT,
+    }
+    if name not in implementations:
+        raise ValueError(f"unknown DCT implementation {name!r}; expected "
+                         f"one of {sorted(implementations)}")
+    return implementations[name]()

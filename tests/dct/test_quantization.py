@@ -5,6 +5,8 @@ import pytest
 
 from repro.dct.cordic_dct2 import CordicDCT2
 from repro.dct.quantization import (
+    MAX_QP,
+    MIN_QP,
     dequantise,
     fold_scale_factors,
     quantisation_matrix,
@@ -80,3 +82,71 @@ class TestEndToEndCoding:
             reconstructed = idct_2d(dequantise(quantise(coefficients, qp), qp))
             errors.append(float(np.mean((block - reconstructed) ** 2)))
         assert errors[0] < errors[1]
+
+
+class TestQuantiserEdgeCases:
+    """Regression tests for QP bounds, degenerate blocks and bad shapes."""
+
+    @pytest.mark.parametrize("qp", [MIN_QP, MAX_QP])
+    def test_qp_bounds_round_trip(self, rng, qp):
+        coefficients = rng.normal(scale=400, size=(8, 8))
+        reconstructed = dequantise(quantise(coefficients, qp), qp)
+        # Mid-rise reconstruction stays within one step of the input.
+        assert np.max(np.abs(reconstructed
+                             - coefficients)[1:, 1:]) <= 2 * qp + 1
+
+    @pytest.mark.parametrize("qp", [0, MAX_QP + 1, -3])
+    def test_out_of_range_qp_rejected(self, qp):
+        with pytest.raises(ValueError):
+            quantise(np.zeros((8, 8)), qp)
+        with pytest.raises(ValueError):
+            dequantise(np.zeros((8, 8)), qp)
+
+    def test_all_zero_block_round_trips_to_zero(self):
+        for qp in (MIN_QP, 8, MAX_QP):
+            levels = quantise(np.zeros((8, 8)), qp)
+            assert not levels.any()
+            assert not dequantise(levels, qp).any()
+
+    @pytest.mark.parametrize("value", [32767, -32768])
+    def test_saturating_int16_blocks(self, value):
+        """int16-saturating coefficients survive the coarsest quantiser."""
+        coefficients = np.full((8, 8), float(value))
+        levels = quantise(coefficients, MAX_QP)
+        reconstructed = dequantise(levels, MAX_QP)
+        assert np.max(np.abs(reconstructed
+                             - coefficients)[1:, 1:]) <= 2 * MAX_QP + 1
+        # The batched path agrees on the same extreme input.
+        batch = np.stack([coefficients, coefficients])
+        assert np.array_equal(quantise(batch, MAX_QP)[0], levels)
+
+    def test_saturating_pixel_block_round_trip_clipping(self):
+        """A saturated pixel block decodes back inside [0, 255]."""
+        block = np.full((8, 8), 255.0)
+        coefficients = dct_2d(block)
+        decoded = idct_2d(dequantise(quantise(coefficients, 8), 8))
+        clipped = np.clip(np.rint(decoded), 0, 255)
+        assert clipped.min() >= 0 and clipped.max() <= 255
+        assert np.abs(clipped - block).max() <= 8
+
+    @pytest.mark.parametrize("shape", [(64,), (2, 2, 8, 8), ()])
+    def test_unsupported_shapes_rejected(self, shape):
+        # These used to pass through silently with the DC rule skipped.
+        with pytest.raises(ValueError):
+            quantise(np.zeros(shape), 8)
+        with pytest.raises(ValueError):
+            dequantise(np.zeros(shape), 8)
+
+    def test_empty_batch_round_trips(self):
+        levels = quantise(np.zeros((0, 8, 8)), 8)
+        assert levels.shape == (0, 8, 8)
+        assert dequantise(levels, 8).shape == (0, 8, 8)
+
+    def test_dc_rounding_matches_between_scalar_and_batch(self):
+        # Half-integer DC ratios: both paths must round half to even.
+        coefficients = np.zeros((8, 8))
+        for dc in (12.0, -12.0, 20.0, -20.0):
+            coefficients[0, 0] = dc       # dc / 8 = +-1.5, +-2.5
+            scalar = quantise(coefficients, 8)[0, 0]
+            batch = quantise(coefficients[None], 8)[0, 0, 0]
+            assert scalar == batch

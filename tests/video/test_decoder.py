@@ -61,3 +61,47 @@ class TestDecoderRoundTrip:
         from repro.video.codec import FrameStatistics
         with pytest.raises(ValueError):
             VideoDecoder().decode_frame(FrameStatistics(0, "I", 0.0, qp=4))
+
+
+class TestIntraFrameReset:
+    """I-frames start closed GOPs: the decoder must not depend on earlier state."""
+
+    def make_gop_records(self):
+        sequence = panning_sequence(height=48, width=48, pan=(1, 1), seed=29)
+        frames = [sequence.frame(i) for i in range(6)]
+        from repro.video.gop import encode_sequence_parallel
+        outcome = encode_sequence_parallel(
+            frames, EncoderConfiguration(qp=4, search_range=3), gop_size=3,
+            strategy="serial")
+        return frames, outcome
+
+    def test_second_gop_decodes_standalone(self):
+        frames, outcome = self.make_gop_records()
+        full = VideoDecoder().decode_sequence(outcome.statistics,
+                                              frame_shape=frames[0].shape)
+        second_gop = outcome.statistics[3:]
+        standalone = VideoDecoder().decode_sequence(second_gop,
+                                                    frame_shape=frames[0].shape)
+        for offset, frame in enumerate(standalone):
+            assert np.array_equal(frame, full[3 + offset])
+
+    def test_intra_frame_ignores_stale_reference(self):
+        frames, outcome = self.make_gop_records()
+        decoder = VideoDecoder()
+        decoder.decode_sequence(outcome.statistics[:3],
+                                frame_shape=frames[0].shape)
+        stale = decoder.reference_frame
+        fresh = VideoDecoder().decode_frame(outcome.statistics[3],
+                                            frame_shape=frames[0].shape)
+        resumed = decoder.decode_frame(outcome.statistics[3])
+        assert np.array_equal(fresh, resumed)
+        assert not np.array_equal(stale, resumed)
+
+    def test_shape_survives_reset_without_explicit_hint(self):
+        frames, outcome = self.make_gop_records()
+        decoder = VideoDecoder()
+        decoded = decoder.decode_sequence(outcome.statistics,
+                                          frame_shape=frames[0].shape)
+        # The mid-stream I frame (index 3) was decoded without a new
+        # frame_shape hint: the pre-reset reference supplied it.
+        assert decoded[3].shape == frames[0].shape

@@ -1,0 +1,251 @@
+"""Tests of GOP splitting and the parallel encoding strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct import MixedRomDCT
+from repro.flow import cache as flow_cache_module
+from repro.flow.cache import FlowCache
+from repro.video import EncoderConfiguration, VideoEncoder
+from repro.video.codec import FrameStatistics
+from repro.video.frames import panning_sequence
+from repro.video.gop import (
+    DEFAULT_SCENE_CUT_THRESHOLD,
+    Gop,
+    compile_gop_kernels,
+    detect_scene_cuts,
+    encode_sequence_parallel,
+    split_into_gops,
+)
+from repro.video.rate_control import RateController, RateControlSettings
+from repro.video.scenes import scene_frames
+
+
+def assert_statistics_identical(first, second):
+    """Field-by-field bit-identity of two FrameStatistics streams."""
+    assert len(first) == len(second)
+    for stats_a, stats_b in zip(first, second):
+        assert stats_a.frame_index == stats_b.frame_index
+        assert stats_a.frame_type == stats_b.frame_type
+        assert stats_a.qp == stats_b.qp
+        assert stats_a.psnr_db == stats_b.psnr_db
+        assert stats_a.dct_blocks == stats_b.dct_blocks
+        assert stats_a.dct_cycles == stats_b.dct_cycles
+        assert stats_a.sad_operations == stats_b.sad_operations
+        assert stats_a.search_candidates == stats_b.search_candidates
+        assert stats_a.estimated_bits == stats_b.estimated_bits
+        assert len(stats_a.macroblocks) == len(stats_b.macroblocks)
+        for mb_a, mb_b in zip(stats_a.macroblocks, stats_b.macroblocks):
+            assert (mb_a.top, mb_a.left, mb_a.mode, mb_a.motion_vector,
+                    mb_a.sad, mb_a.candidates_evaluated, mb_a.estimated_bits) \
+                == (mb_b.top, mb_b.left, mb_b.mode, mb_b.motion_vector,
+                    mb_b.sad, mb_b.candidates_evaluated, mb_b.estimated_bits)
+            for levels_a, levels_b in zip(mb_a.level_blocks,
+                                          mb_b.level_blocks):
+                assert np.array_equal(levels_a, levels_b)
+
+
+@pytest.fixture(scope="module")
+def pan_frames():
+    sequence = panning_sequence(height=48, width=64, pan=(1, 2), seed=7)
+    return [sequence.frame(index) for index in range(12)]
+
+
+class TestGopSplitting:
+    def test_fixed_cadence(self, pan_frames):
+        gops = split_into_gops(pan_frames, gop_size=4)
+        assert [(gop.start, gop.stop) for gop in gops] == [(0, 4), (4, 8),
+                                                           (8, 12)]
+        assert [gop.index for gop in gops] == [0, 1, 2]
+        assert all(gop.length == 4 for gop in gops)
+
+    def test_trailing_partial_gop(self, pan_frames):
+        gops = split_into_gops(pan_frames[:10], gop_size=4)
+        assert [(gop.start, gop.stop) for gop in gops] == [(0, 4), (4, 8),
+                                                           (8, 10)]
+
+    def test_empty_sequence(self):
+        assert split_into_gops([], gop_size=4) == []
+
+    def test_invalid_gop_size(self, pan_frames):
+        with pytest.raises(ConfigurationError):
+            split_into_gops(pan_frames, gop_size=0)
+
+    def test_empty_gop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Gop(index=0, start=3, stop=3)
+
+    def test_scene_cut_detection(self):
+        frames = scene_frames("cut", count=10, height=48, width=64, seed=3)
+        cuts = detect_scene_cuts(frames, DEFAULT_SCENE_CUT_THRESHOLD)
+        assert cuts == [5]          # the hard cut sits mid-sequence
+
+    def test_cut_starts_new_gop_and_resets_cadence(self):
+        frames = scene_frames("cut", count=10, height=48, width=64, seed=3)
+        gops = split_into_gops(frames, gop_size=4,
+                               scene_cut_threshold=DEFAULT_SCENE_CUT_THRESHOLD)
+        starts = [gop.start for gop in gops]
+        assert 5 in starts          # the cut opens a GOP
+        assert (0, 4) == (gops[0].start, gops[0].stop)
+        assert (4, 5) == (gops[1].start, gops[1].stop)
+
+    def test_pan_has_no_cuts(self, pan_frames):
+        assert detect_scene_cuts(pan_frames,
+                                 DEFAULT_SCENE_CUT_THRESHOLD) == []
+
+
+class TestStrategyBitIdentity:
+    @pytest.mark.parametrize("strategy", ["threads", "lockstep"])
+    def test_matches_serial(self, pan_frames, strategy):
+        configuration = EncoderConfiguration(search_range=4)
+        serial = encode_sequence_parallel(pan_frames, configuration,
+                                          gop_size=4, workers=3,
+                                          strategy="serial")
+        parallel = encode_sequence_parallel(pan_frames, configuration,
+                                            gop_size=4, workers=3,
+                                            strategy=strategy)
+        assert_statistics_identical(serial.statistics, parallel.statistics)
+        assert np.array_equal(serial.final_reference,
+                              parallel.final_reference)
+
+    def test_single_gop_matches_plain_encode_sequence(self, pan_frames):
+        configuration = EncoderConfiguration(search_range=4)
+        encoder = VideoEncoder(EncoderConfiguration(search_range=4))
+        plain = encoder.encode_sequence(pan_frames[:5])
+        outcome = encode_sequence_parallel(pan_frames[:5], configuration,
+                                           gop_size=5, workers=4,
+                                           strategy="lockstep")
+        assert_statistics_identical(plain, outcome.statistics)
+
+    def test_ragged_gops(self, pan_frames):
+        configuration = EncoderConfiguration(search_range=4)
+        serial = encode_sequence_parallel(pan_frames[:11], configuration,
+                                          gop_size=3, workers=4,
+                                          strategy="serial")
+        lockstep = encode_sequence_parallel(pan_frames[:11], configuration,
+                                            gop_size=3, workers=4,
+                                            strategy="lockstep")
+        assert_statistics_identical(serial.statistics, lockstep.statistics)
+
+    def test_more_gops_than_workers(self, pan_frames):
+        configuration = EncoderConfiguration(search_range=3)
+        serial = encode_sequence_parallel(pan_frames, configuration,
+                                          gop_size=2, workers=2,
+                                          strategy="serial")
+        lockstep = encode_sequence_parallel(pan_frames, configuration,
+                                            gop_size=2, workers=2,
+                                            strategy="lockstep")
+        threads = encode_sequence_parallel(pan_frames, configuration,
+                                           gop_size=2, workers=2,
+                                           strategy="threads")
+        assert_statistics_identical(serial.statistics, lockstep.statistics)
+        assert_statistics_identical(serial.statistics, threads.statistics)
+
+    def test_rate_controlled_strategies_identical(self, pan_frames):
+        configuration = EncoderConfiguration(search_range=4)
+        controller = RateController(RateControlSettings(
+            target_bits_per_frame=5000, base_qp=8))
+        outcomes = {
+            strategy: encode_sequence_parallel(
+                pan_frames, configuration, gop_size=4, workers=3,
+                strategy=strategy, rate_controller=controller)
+            for strategy in ("serial", "threads", "lockstep")}
+        assert_statistics_identical(outcomes["serial"].statistics,
+                                    outcomes["threads"].statistics)
+        assert_statistics_identical(outcomes["serial"].statistics,
+                                    outcomes["lockstep"].statistics)
+        assert (outcomes["serial"].qp_trajectories
+                == outcomes["lockstep"].qp_trajectories)
+        # QP moves within a GOP, proving the controller is live.
+        assert any(len(set(trajectory)) > 1
+                   for trajectory in outcomes["serial"].qp_trajectories)
+
+    def test_gop_frames_are_closed(self, pan_frames):
+        outcome = encode_sequence_parallel(pan_frames,
+                                           EncoderConfiguration(search_range=4),
+                                           gop_size=4, strategy="serial")
+        for gop in outcome.gops:
+            assert outcome.statistics[gop.start].frame_type == "I"
+
+
+class TestStrategySelection:
+    def test_auto_prefers_lockstep_for_batchable_configuration(self, pan_frames):
+        outcome = encode_sequence_parallel(pan_frames, EncoderConfiguration(),
+                                           gop_size=6, workers=2)
+        assert outcome.strategy == "lockstep"
+
+    def test_auto_falls_back_to_threads(self, pan_frames):
+        configuration = EncoderConfiguration(search_name="three_step")
+        outcome = encode_sequence_parallel(pan_frames[:6], configuration,
+                                           gop_size=3, workers=2)
+        assert outcome.strategy == "threads"
+
+    def test_auto_serial_for_single_worker(self, pan_frames):
+        outcome = encode_sequence_parallel(pan_frames[:6],
+                                           EncoderConfiguration(),
+                                           gop_size=3, workers=1)
+        assert outcome.strategy == "serial"
+
+    def test_explicit_lockstep_rejects_unbatchable_configuration(self, pan_frames):
+        configuration = EncoderConfiguration(search_name="diamond")
+        with pytest.raises(ConfigurationError):
+            encode_sequence_parallel(pan_frames[:6], configuration,
+                                     gop_size=3, strategy="lockstep")
+
+    def test_unknown_strategy_rejected(self, pan_frames):
+        with pytest.raises(ConfigurationError):
+            encode_sequence_parallel(pan_frames[:6], EncoderConfiguration(),
+                                     strategy="fleet")
+
+    def test_fast_search_threads_matches_serial(self, pan_frames):
+        configuration = EncoderConfiguration(search_name="three_step",
+                                             search_range=4)
+        serial = encode_sequence_parallel(pan_frames[:8], configuration,
+                                          gop_size=4, workers=2,
+                                          strategy="serial")
+        threads = encode_sequence_parallel(pan_frames[:8], configuration,
+                                           gop_size=4, workers=2,
+                                           strategy="threads")
+        assert_statistics_identical(serial.statistics, threads.statistics)
+
+
+class TestEncoderMethod:
+    def test_merges_into_statistics_stream(self, pan_frames):
+        encoder = VideoEncoder(EncoderConfiguration(search_range=4))
+        returned = encoder.encode_sequence_parallel(pan_frames, gop_size=4,
+                                                    workers=2)
+        assert encoder.frame_statistics == returned
+        assert [stats.frame_index for stats in returned] == list(range(12))
+        assert encoder.reference_frame is not None
+
+    def test_matches_serial_closed_gop_end_state(self, pan_frames):
+        parallel_encoder = VideoEncoder(EncoderConfiguration(search_range=4))
+        parallel_encoder.encode_sequence_parallel(pan_frames, gop_size=4,
+                                                  workers=2,
+                                                  strategy="lockstep")
+        serial = encode_sequence_parallel(pan_frames,
+                                          EncoderConfiguration(search_range=4),
+                                          gop_size=4, strategy="serial")
+        assert np.array_equal(parallel_encoder.reference_frame,
+                              serial.final_reference)
+
+
+class TestFlowCacheSharing:
+    def test_workers_share_one_compilation(self, pan_frames, monkeypatch):
+        shared = FlowCache()
+        monkeypatch.setattr(flow_cache_module, "DEFAULT_CACHE", shared)
+        configuration = EncoderConfiguration(search_range=2,
+                                             dct_transform=MixedRomDCT(),
+                                             vectorized=False)
+        outcome = encode_sequence_parallel(pan_frames[:4], configuration,
+                                           gop_size=2, workers=2,
+                                           strategy="threads")
+        assert outcome.compiled_kernels == 1
+        stats = shared.stats()
+        # The pre-warm compiles once; every worker's compile is a hit.
+        assert stats["misses"] == 1
+        assert stats["hits"] >= len(outcome.gops)
+
+    def test_no_design_transform_compiles_nothing(self, pan_frames):
+        assert compile_gop_kernels(EncoderConfiguration()) == 0

@@ -1,0 +1,108 @@
+"""Encoder <-> decoder round-trip conformance over the scene suite.
+
+For every scene kind and every encoding strategy, the decoder must
+rebuild the frames bit-identically to the encoder's own reconstruction
+loop (the closed-loop invariant that keeps prediction drift at zero), and
+the GOP-parallel record streams must decode exactly like the serial ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.video import EncoderConfiguration, VideoEncoder
+from repro.video.decoder import VideoDecoder
+from repro.video.gop import encode_sequence_parallel, split_into_gops
+from repro.video.metrics import psnr
+from repro.video.scenes import SCENE_KINDS, scene_frames
+
+FRAME_COUNT = 8
+HEIGHT, WIDTH = 48, 64
+
+
+def encoder_reconstructions(frames, configuration):
+    """Per-frame reconstructed references of a serial closed-GOP encode."""
+    gops = split_into_gops(frames, gop_size=4)
+    reconstructions = []
+    for gop in gops:
+        encoder = VideoEncoder(EncoderConfiguration(
+            **{field: getattr(configuration, field)
+               for field in ("qp", "search_name", "search_range",
+                             "intra_sad_threshold", "vectorized")}))
+        for frame_index in gop.frame_indices:
+            encoder.encode_frame(frames[frame_index], frame_index)
+            reconstructions.append(encoder.reference_frame.copy())
+    return reconstructions
+
+
+@pytest.fixture(scope="module", params=SCENE_KINDS)
+def scene(request):
+    return request.param, scene_frames(request.param, count=FRAME_COUNT,
+                                       height=HEIGHT, width=WIDTH, seed=5)
+
+
+class TestRoundTripConformance:
+    @pytest.mark.parametrize("strategy", ["serial", "threads", "lockstep"])
+    def test_decoder_matches_encoder_reconstruction(self, scene, strategy):
+        kind, frames = scene
+        configuration = EncoderConfiguration(search_range=4)
+        outcome = encode_sequence_parallel(frames, configuration, gop_size=4,
+                                           workers=2, strategy=strategy)
+        decoder = VideoDecoder()
+        decoded = decoder.decode_sequence(outcome.statistics,
+                                          frame_shape=(HEIGHT, WIDTH))
+        expected = encoder_reconstructions(frames, configuration)
+        assert len(decoded) == len(expected) == FRAME_COUNT
+        for index, (decoded_frame, expected_frame) in enumerate(
+                zip(decoded, expected)):
+            assert np.array_equal(decoded_frame, expected_frame), \
+                f"{kind}/{strategy}: frame {index} drifted"
+
+    def test_decoded_psnr_matches_recorded_psnr(self, scene):
+        """The statistics' PSNR is reproducible from the decoded output."""
+        kind, frames = scene
+        outcome = encode_sequence_parallel(frames,
+                                           EncoderConfiguration(search_range=4),
+                                           gop_size=4, workers=2,
+                                           strategy="lockstep")
+        decoder = VideoDecoder()
+        decoded = decoder.decode_sequence(outcome.statistics,
+                                          frame_shape=(HEIGHT, WIDTH))
+        for frame, stats, reconstruction in zip(frames, outcome.statistics,
+                                                decoded):
+            assert psnr(frame, reconstruction) == pytest.approx(
+                stats.psnr_db, abs=1e-9)
+
+    def test_gop_substream_decodes_standalone(self, scene):
+        """Any single GOP's records decode with a fresh decoder."""
+        kind, frames = scene
+        outcome = encode_sequence_parallel(frames,
+                                           EncoderConfiguration(search_range=4),
+                                           gop_size=4, workers=2,
+                                           strategy="serial")
+        full = VideoDecoder().decode_sequence(outcome.statistics,
+                                              frame_shape=(HEIGHT, WIDTH))
+        for gop in outcome.gops:
+            records = outcome.statistics[gop.start:gop.stop]
+            standalone = VideoDecoder().decode_sequence(
+                records, frame_shape=(HEIGHT, WIDTH))
+            for offset, frame in enumerate(standalone):
+                assert np.array_equal(frame, full[gop.start + offset])
+
+
+class TestSceneCutStream:
+    def test_cut_sequence_roundtrip_with_detection(self):
+        frames = scene_frames("cut", count=FRAME_COUNT, height=HEIGHT,
+                              width=WIDTH, seed=5)
+        outcome = encode_sequence_parallel(
+            frames, EncoderConfiguration(search_range=4), gop_size=4,
+            scene_cut_threshold=35.0, workers=2, strategy="lockstep")
+        assert any(gop.start == FRAME_COUNT // 2 for gop in outcome.gops)
+        decoded = VideoDecoder().decode_sequence(outcome.statistics,
+                                                 frame_shape=(HEIGHT, WIDTH))
+        serial = encode_sequence_parallel(
+            frames, EncoderConfiguration(search_range=4), gop_size=4,
+            scene_cut_threshold=35.0, workers=2, strategy="serial")
+        decoded_serial = VideoDecoder().decode_sequence(
+            serial.statistics, frame_shape=(HEIGHT, WIDTH))
+        for frame_a, frame_b in zip(decoded, decoded_serial):
+            assert np.array_equal(frame_a, frame_b)

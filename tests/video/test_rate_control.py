@@ -1,0 +1,129 @@
+"""Tests of the virtual-buffer rate controller and its encoder integration."""
+
+import numpy as np
+import pytest
+
+from repro.dct.quantization import MAX_QP, MIN_QP
+from repro.video import EncoderConfiguration, VideoEncoder
+from repro.video.frames import panning_sequence
+from repro.video.rate_control import RateController, RateControlSettings
+
+
+class TestSettings:
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError):
+            RateControlSettings(target_bits_per_frame=0)
+
+    def test_rejects_inverted_qp_bounds(self):
+        with pytest.raises(ValueError):
+            RateControlSettings(2000, min_qp=20, max_qp=10)
+
+    def test_rejects_base_qp_outside_bounds(self):
+        with pytest.raises(ValueError):
+            RateControlSettings(2000, base_qp=4, min_qp=8)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            RateControlSettings(2000, gain=-1.0)
+
+    def test_default_capacity_is_eight_targets(self):
+        assert RateControlSettings(1000).capacity == 8000
+
+    def test_explicit_capacity(self):
+        assert RateControlSettings(1000, buffer_capacity=500).capacity == 500
+        with pytest.raises(ValueError):
+            RateControlSettings(1000, buffer_capacity=-1).capacity
+
+
+class TestController:
+    def test_starts_at_base_qp(self):
+        controller = RateController(RateControlSettings(2000, base_qp=10))
+        assert controller.qp == 10
+        assert controller.buffer_fullness == 0.0
+
+    def test_overspend_raises_qp(self):
+        controller = RateController(RateControlSettings(2000, base_qp=8,
+                                                        gain=2.0))
+        assert controller.update(6000) == 12        # +2 QP per target frame
+
+    def test_underspend_lowers_qp(self):
+        controller = RateController(RateControlSettings(2000, base_qp=8,
+                                                        gain=2.0))
+        assert controller.update(0) == 6
+
+    def test_qp_clamped_to_range(self):
+        settings = RateControlSettings(100, base_qp=8, gain=10.0)
+        controller = RateController(settings)
+        for _ in range(20):
+            controller.update(100000)
+        assert controller.qp == MAX_QP
+        for _ in range(40):
+            controller.update(0)
+        assert controller.qp == MIN_QP
+
+    def test_buffer_clamped_to_capacity(self):
+        controller = RateController(RateControlSettings(
+            1000, buffer_capacity=1500))
+        controller.update(10_000_000)
+        assert controller.buffer_fullness == 1500
+
+    def test_history_tracks_updates(self):
+        controller = RateController(RateControlSettings(2000))
+        controller.update(3000)
+        controller.update(1000)
+        assert controller.bits_history == [3000, 1000]
+        assert len(controller.qp_history) == 2
+
+    def test_clone_resets_state(self):
+        controller = RateController(RateControlSettings(2000, base_qp=9))
+        controller.update(100000)
+        clone = controller.clone()
+        assert clone.qp == 9
+        assert clone.buffer_fullness == 0.0
+        assert clone.settings is controller.settings
+        assert clone.qp_history == []
+
+
+class TestEncoderIntegration:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        sequence = panning_sequence(height=48, width=64, pan=(1, 2), seed=23)
+        return [sequence.frame(index) for index in range(8)]
+
+    def test_controller_steers_toward_target(self, frames):
+        fixed = VideoEncoder(EncoderConfiguration(qp=8, search_range=4))
+        fixed_stats = fixed.encode_sequence(frames)
+        fixed_bits = np.mean([stats.estimated_bits for stats in fixed_stats])
+
+        # Aim well below the fixed-QP8 spend: the controller must coarsen.
+        target = int(fixed_bits * 0.5)
+        controller = RateController(RateControlSettings(
+            target_bits_per_frame=target, base_qp=8, gain=4.0))
+        controlled = VideoEncoder(EncoderConfiguration(qp=8, search_range=4))
+        controlled_stats = controlled.encode_sequence(
+            frames, rate_controller=controller)
+        controlled_bits = np.mean(
+            [stats.estimated_bits for stats in controlled_stats])
+        assert controlled_bits < fixed_bits
+        assert abs(controlled_bits - target) < abs(fixed_bits - target)
+        assert max(controller.qp_history) > 8
+
+    def test_configuration_qp_restored_after_sequence(self, frames):
+        controller = RateController(RateControlSettings(
+            target_bits_per_frame=1000, base_qp=8, gain=4.0))
+        configuration = EncoderConfiguration(qp=8, search_range=4)
+        encoder = VideoEncoder(configuration)
+        encoder.encode_sequence(frames, rate_controller=controller)
+        # The controller drove QP per frame but the caller's setting
+        # must not drift.
+        assert configuration.qp == 8
+
+    def test_per_frame_qp_recorded_in_statistics(self, frames):
+        controller = RateController(RateControlSettings(
+            target_bits_per_frame=2000, base_qp=8, gain=4.0))
+        encoder = VideoEncoder(EncoderConfiguration(search_range=4))
+        statistics = encoder.encode_sequence(frames,
+                                             rate_controller=controller)
+        assert statistics[0].qp == 8                     # base QP first
+        recorded = [stats.qp for stats in statistics[1:]]
+        assert recorded == controller.qp_history[:-1]    # applied with lag 1

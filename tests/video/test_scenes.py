@@ -1,0 +1,121 @@
+"""Tests of the scene generator and the reconfiguration planner."""
+
+import numpy as np
+import pytest
+
+from repro.video.scenes import (
+    SCENE_KINDS,
+    dct_implementation_by_name,
+    motion_energy,
+    plan_reconfiguration,
+    scene_frames,
+    scene_suite,
+)
+
+
+class TestSceneFrames:
+    @pytest.mark.parametrize("kind", SCENE_KINDS)
+    def test_shapes_dtype_and_range(self, kind):
+        frames = scene_frames(kind, count=6, height=48, width=64, seed=1)
+        assert len(frames) == 6
+        for frame in frames:
+            assert frame.shape == (48, 64)
+            assert frame.dtype == np.int64
+            assert frame.min() >= 0 and frame.max() <= 255
+
+    @pytest.mark.parametrize("kind", SCENE_KINDS)
+    def test_deterministic_under_seed(self, kind):
+        first = scene_frames(kind, count=4, height=32, width=32, seed=9)
+        second = scene_frames(kind, count=4, height=32, width=32, seed=9)
+        for frame_a, frame_b in zip(first, second):
+            assert np.array_equal(frame_a, frame_b)
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            scene_frames("pan", count=1, seed=0)[0],
+            scene_frames("pan", count=1, seed=1)[0])
+
+    def test_static_scene_is_static(self):
+        frames = scene_frames("static", count=5)
+        assert all(np.array_equal(frames[0], frame) for frame in frames[1:])
+
+    def test_pan_moves_zoom_creeps(self):
+        pan = motion_energy(scene_frames("pan", count=6))
+        zoom = motion_energy(scene_frames("zoom", count=6))
+        assert pan.mean() > zoom.mean() > 0
+
+    def test_cut_spikes_mid_sequence(self):
+        energy = motion_energy(scene_frames("cut", count=10))
+        cut_position = 10 // 2 - 1
+        assert energy[cut_position] == energy.max()
+        assert energy[cut_position] > 2 * np.delete(energy,
+                                                    cut_position).max()
+
+    def test_noise_is_noisier_than_pan(self):
+        noise = motion_energy(scene_frames("noise", count=6))
+        pan = motion_energy(scene_frames("pan", count=6))
+        assert noise.mean() > pan.mean()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            scene_frames("explosion")
+
+    def test_empty_scene_rejected(self):
+        with pytest.raises(ValueError):
+            scene_frames("pan", count=0)
+
+    def test_suite_covers_every_kind(self):
+        suite = scene_suite(count=3, height=32, width=32)
+        assert set(suite) == set(SCENE_KINDS)
+
+
+class TestMotionEnergy:
+    def test_single_frame_has_no_energy(self):
+        assert motion_energy([np.zeros((8, 8))]).size == 0
+
+    def test_known_difference(self):
+        first = np.zeros((4, 4), dtype=np.int64)
+        second = np.full((4, 4), 3, dtype=np.int64)
+        assert motion_energy([first, second])[0] == 3.0
+
+
+class TestReconfigurationPlanner:
+    def test_quiet_scene_plans_cheap_kernels(self):
+        plan = plan_reconfiguration(scene_frames("static", count=5))
+        assert all(entry["search_name"] == "three_step"
+                   for entry in plan[1:])
+        assert all(entry["dct_name"] == "scc_direct" for entry in plan[1:])
+
+    def test_cut_triggers_full_search(self):
+        frames = scene_frames("cut", count=10)
+        plan = plan_reconfiguration(frames)
+        cut_entry = plan[10 // 2]
+        assert cut_entry["search_name"] == "full"
+        assert cut_entry["dct_name"] == "mixed_rom"
+
+    def test_first_frame_always_full(self):
+        plan = plan_reconfiguration(scene_frames("static", count=3))
+        assert plan[0]["search_name"] == "full"
+
+    def test_plan_length_matches_frames(self):
+        frames = scene_frames("pan", count=7)
+        assert len(plan_reconfiguration(frames)) == 7
+
+    @pytest.mark.parametrize("name", ["mixed_rom", "cordic1", "cordic2",
+                                      "scc_evenodd", "scc_direct"])
+    def test_dct_lookup(self, name):
+        transform = dct_implementation_by_name(name)
+        assert hasattr(transform, "forward_2d")
+
+    def test_dct_lookup_unknown(self):
+        with pytest.raises(ValueError):
+            dct_implementation_by_name("fft")
+
+    def test_planned_names_are_encodable(self):
+        """Every planner output maps to a real search and DCT."""
+        from repro.me.fast_search import search_by_name
+
+        frames = scene_frames("cut", count=8)
+        for entry in plan_reconfiguration(frames):
+            assert search_by_name(entry["search_name"]) is not None
+            assert dct_implementation_by_name(entry["dct_name"]) is not None
