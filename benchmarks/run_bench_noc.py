@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""NoC topology-exploration benchmark: Pareto sweeps of real workloads.
+
+Extracts traffic matrices from the repository's real workloads — the
+routed Table-1 DCT netlist, a GOP-parallel video encode (sharded frames
+plus the per-frame pipeline streams) and a scene-cut reconfiguration
+plan — sweeps every topology family x placement over them, and writes
+``BENCH_noc.json`` at the repository root with the per-workload Pareto
+fronts so the communication-cost trajectory is tracked PR over PR.
+
+Also records the batched-vs-scalar simulator speedup (the fleet of
+topology/traffic pairs the explorer evaluates per sweep) after asserting
+the two implementations agree flit for flit.
+
+Run with:  python benchmarks/run_bench_noc.py [--output BENCH_noc.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FRAME_COUNT = 16
+FRAME_HEIGHT = 96
+FRAME_WIDTH = 112
+GOP_SIZE = 8
+WORKERS = 4
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def extract_workloads() -> dict:
+    """Traffic matrices from the real workload stack."""
+    from repro.dct import MixedRomDCT
+    from repro.flow import compile as flow_compile
+    from repro.noc import (
+        traffic_from_gop_shards,
+        traffic_from_reconfiguration,
+        traffic_from_routing,
+        traffic_from_video,
+    )
+    from repro.video import EncoderConfiguration
+    from repro.video.gop import encode_sequence_parallel
+    from repro.video.scenes import plan_reconfiguration, scene_frames
+
+    compiled = flow_compile(MixedRomDCT())
+    netlist_traffic = traffic_from_routing(
+        compiled.routing, compiled.fabric.rows, compiled.fabric.cols,
+        tiles=(3, 3))
+
+    frames = scene_frames("pan", count=FRAME_COUNT, height=FRAME_HEIGHT,
+                          width=FRAME_WIDTH, seed=2004)
+    outcome = encode_sequence_parallel(
+        frames, EncoderConfiguration(search_range=4), gop_size=GOP_SIZE,
+        workers=WORKERS)
+    shape = (FRAME_HEIGHT, FRAME_WIDTH)
+    gop_traffic = traffic_from_gop_shards(
+        FRAME_COUNT, WORKERS, shape,
+        encoded_bits_per_frame=[stats.estimated_bits
+                                for stats in outcome.statistics])
+    video_traffic = traffic_from_video(outcome.statistics, shape)
+
+    cut_frames = scene_frames("cut", count=FRAME_COUNT, height=FRAME_HEIGHT,
+                              width=FRAME_WIDTH, seed=2004)
+    reconf_traffic = traffic_from_reconfiguration(
+        plan_reconfiguration(cut_frames))
+
+    return {
+        "dct_netlist_routed": netlist_traffic,
+        "gop_parallel_video": gop_traffic,
+        "video_pipeline": video_traffic,
+        "reconfiguration": reconf_traffic,
+    }
+
+
+def bench_pareto_sweep() -> dict:
+    """Topology x placement x workload sweep reduced to Pareto fronts."""
+    from repro.noc import pareto_by_workload, sweep
+
+    workloads = extract_workloads()
+    started = time.perf_counter()
+    points = sweep(workloads, placements=("linear", "spread", "hub"))
+    sweep_seconds = time.perf_counter() - started
+    fronts = pareto_by_workload(points)
+    return {
+        "description": "all topology families x linear/spread/hub placement "
+                       "on traffic extracted from the routed mixed-ROM DCT, "
+                       f"a {FRAME_COUNT}-frame GOP-parallel encode "
+                       f"({WORKERS} workers), the per-frame video pipeline "
+                       "and a scene-cut reconfiguration plan",
+        "workloads": {name: {"agents": len(traffic.agents),
+                             "flows": traffic.flow_count,
+                             "flits": traffic.total_flits}
+                      for name, traffic in workloads.items()},
+        "points_evaluated": len(points),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "pareto_fronts": {name: [point.summary() for point in front]
+                          for name, front in fronts.items()},
+    }
+
+
+def bench_simulator(repeats: int) -> dict:
+    """Batched vs scalar simulation over the explorer's evaluation fleet."""
+    from repro.noc import Mesh2D, simulate, simulate_batched
+    from repro.noc.traffic import TrafficMatrix
+
+    rng = np.random.default_rng(2004)
+    topology = Mesh2D(4, 4)
+    agents = tuple(f"n{i}" for i in range(16))
+    batch = []
+    for index in range(32):
+        flits = rng.integers(0, 8, (16, 16))
+        np.fill_diagonal(flits, 0)
+        batch.append(TrafficMatrix(agents, flits.astype(np.int64),
+                                   name=f"t{index}"))
+
+    report = {"description": "32 random 16-agent matrices on a 4x4 mesh, "
+                             "batched evaluation vs a scalar loop"}
+    for model in ("analytic", "wormhole"):
+        batched = simulate_batched(topology, batch, model=model)
+        for traffic, result in zip(batch, batched):
+            scalar = simulate(topology, traffic, model=model)
+            if not (np.array_equal(scalar.per_flow_latency,
+                                   result.per_flow_latency)
+                    and scalar.energy == result.energy
+                    and scalar.delivered_flits == result.delivered_flits):
+                raise AssertionError(
+                    f"batched {model} diverged from the scalar reference")
+        scalar_seconds = _best_of(
+            lambda m=model: [simulate(topology, traffic, model=m)
+                             for traffic in batch], repeats)
+        batched_seconds = _best_of(
+            lambda m=model: simulate_batched(topology, batch, model=m),
+            repeats)
+        report[model] = {
+            "parity": True,
+            "scalar_seconds": round(scalar_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "speedup": round(scalar_seconds / batched_seconds, 2),
+        }
+    return report
+
+
+def bench_flow_integration(repeats: int) -> dict:
+    """Communication metrics through ``Flow.with_noc`` on Table-1 kernels."""
+    from repro.flow import Flow
+    from repro.video.scenes import dct_implementation_by_name
+
+    rows = {}
+    for name in ("mixed_rom", "cordic2", "scc_direct"):
+        result = Flow.with_noc(tiles=(3, 3)).compile(
+            dct_implementation_by_name(name), cache=None)
+        rows[name] = {
+            "noc_latency_cycles": result.metrics.noc_latency_cycles,
+            "noc_energy": round(result.metrics.noc_energy, 2),
+            "noc_flows": result.noc.flow_count,
+            "routed_hops": result.metrics.routed_hops,
+        }
+    seconds = _best_of(
+        lambda: Flow.with_noc(tiles=(3, 3)).compile(
+            dct_implementation_by_name("mixed_rom"), cache=None), repeats)
+    return {
+        "description": "Flow.with_noc on Table-1 DCT kernels: communication "
+                       "latency/energy reported beside area and timing "
+                       "(3x3 tile grid over the DA array)",
+        "kernels": rows,
+        "compile_seconds": round(seconds, 4),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_noc.json",
+                        help="where to write the benchmark record")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    arguments = parser.parse_args()
+
+    record = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {},
+    }
+    for name, bench in (("pareto_sweep", bench_pareto_sweep),
+                        ("simulator", lambda: bench_simulator(arguments.repeats)),
+                        ("flow_integration",
+                         lambda: bench_flow_integration(arguments.repeats))):
+        print(f"running {name} ...", flush=True)
+        record["benchmarks"][name] = bench()
+
+    sweep_record = record["benchmarks"]["pareto_sweep"]
+    simulator = record["benchmarks"]["simulator"]
+    print(f"  {sweep_record['points_evaluated']} design points in "
+          f"{sweep_record['sweep_seconds']}s; batched analytic "
+          f"{simulator['analytic']['speedup']}x, wormhole "
+          f"{simulator['wormhole']['speedup']}x vs scalar")
+
+    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {arguments.output}")
+
+
+if __name__ == "__main__":
+    main()

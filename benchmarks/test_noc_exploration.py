@@ -1,0 +1,64 @@
+"""NoC exploration benchmark: batched simulator throughput and sweeps.
+
+The SoC-level counterpart of the engine benchmarks: pytest-benchmark
+records the batched analytic simulator evaluating a fleet of traffic
+matrices (the explorer's inner loop) after asserting it matches the
+scalar reference flit for flit; the committed ``BENCH_noc.json`` from
+``run_bench_noc.py`` tracks the Pareto fronts and speedups PR over PR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noc import (
+    Mesh2D,
+    TrafficMatrix,
+    pareto_by_workload,
+    simulate,
+    simulate_batched,
+    sweep,
+    uniform_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def traffic_fleet():
+    rng = np.random.default_rng(2004)
+    agents = tuple(f"n{i}" for i in range(16))
+    fleet = []
+    for index in range(24):
+        flits = rng.integers(0, 8, (16, 16))
+        np.fill_diagonal(flits, 0)
+        fleet.append(TrafficMatrix(agents, flits.astype(np.int64),
+                                   name=f"t{index}"))
+    return fleet
+
+
+@pytest.mark.benchmark(group="noc")
+def test_batched_analytic_matches_scalar(benchmark, traffic_fleet):
+    topology = Mesh2D(4, 4)
+    results = benchmark.pedantic(
+        lambda: simulate_batched(topology, traffic_fleet), rounds=3,
+        iterations=1)
+
+    for traffic, batched in zip(traffic_fleet, results):
+        scalar = simulate(topology, traffic)
+        assert np.array_equal(scalar.per_flow_latency,
+                              batched.per_flow_latency)
+        assert np.array_equal(scalar.link_loads, batched.link_loads)
+        assert scalar.energy == batched.energy
+    print(f"\nNoC batched analytic: {len(results)} matrices on "
+          f"{topology.name}, worst latency "
+          f"{max(result.max_latency_cycles for result in results)} cycles")
+
+
+@pytest.mark.benchmark(group="noc")
+def test_sweep_produces_a_front_per_workload(benchmark):
+    workloads = {"uniform": uniform_traffic(9, 4),
+                 "hotspot": uniform_traffic(9, 1)}
+    points = benchmark.pedantic(
+        lambda: sweep(workloads, placements=("linear", "spread")), rounds=3,
+        iterations=1)
+    fronts = pareto_by_workload(points)
+    assert set(fronts) == set(workloads)
+    assert all(front for front in fronts.values())

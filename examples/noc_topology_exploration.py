@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""SoC NoC topology exploration over the repository's real workloads.
+
+Walks the full :mod:`repro.noc` story: extract traffic from a routed DCT
+netlist and a GOP-parallel video encode, compare the topology families on
+hop statistics, simulate every topology x workload pair (batched analytic
+model), reduce the sweep to its Pareto front over latency / energy /
+router area, and finally compile a kernel through ``Flow.with_noc`` so
+the communication cost lands in the design metrics next to area and
+timing.
+
+Run with:  python examples/noc_topology_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.dct import MixedRomDCT
+from repro.flow import Flow
+from repro.flow import compile as flow_compile
+from repro.noc import (
+    pareto_by_workload,
+    standard_topologies,
+    sweep,
+    traffic_from_gop_shards,
+    traffic_from_routing,
+)
+from repro.reporting import format_table
+from repro.video import EncoderConfiguration
+from repro.video.gop import encode_sequence_parallel
+from repro.video.scenes import scene_frames
+
+FRAME_COUNT = 16
+HEIGHT, WIDTH = 96, 112
+WORKERS = 4
+
+
+def extract_workloads():
+    """Two extracted traffic matrices: routed netlist + GOP sharding."""
+    compiled = flow_compile(MixedRomDCT())
+    netlist = traffic_from_routing(compiled.routing, compiled.fabric.rows,
+                                   compiled.fabric.cols, tiles=(3, 3))
+
+    frames = scene_frames("pan", count=FRAME_COUNT, height=HEIGHT,
+                          width=WIDTH, seed=2004)
+    outcome = encode_sequence_parallel(
+        frames, EncoderConfiguration(search_range=4), gop_size=8,
+        workers=WORKERS)
+    gop = traffic_from_gop_shards(
+        FRAME_COUNT, WORKERS, (HEIGHT, WIDTH),
+        encoded_bits_per_frame=[stats.estimated_bits
+                                for stats in outcome.statistics])
+    return {"dct_netlist": netlist, "gop_video": gop}
+
+
+def show_topology_zoo(agent_count: int) -> None:
+    print(format_table(
+        [topology.describe() for topology in standard_topologies(agent_count)],
+        title=f"Topology families sized for {agent_count} agents"))
+
+
+def show_pareto(workloads) -> None:
+    points = sweep(workloads, placements=("linear", "spread", "hub"))
+    print(f"\nSwept {len(points)} design points "
+          f"(topology x placement x workload).")
+    for workload, front in pareto_by_workload(points).items():
+        print()
+        print(format_table(
+            [point.summary() for point in front],
+            columns=["topology", "placement", "latency_cycles",
+                     "mean_latency_cycles", "noc_energy", "router_area",
+                     "saturated"],
+            title=f"Pareto front - {workload} "
+                  "(minimise latency, energy, router area)"))
+
+
+def show_flow_integration() -> None:
+    result = Flow.with_noc(tiles=(3, 3)).compile(MixedRomDCT())
+    print("\nFlow.with_noc() folds communication cost into the metrics:")
+    print(format_table([result.summary()],
+                       columns=["design", "total_area_elements",
+                                "critical_path_delay", "engine_levels",
+                                "noc_latency_cycles", "noc_energy"]))
+
+
+def main() -> None:
+    workloads = extract_workloads()
+    largest = max(traffic.agent_count for traffic in workloads.values())
+    show_topology_zoo(largest)
+    show_pareto(workloads)
+    show_flow_integration()
+
+
+if __name__ == "__main__":
+    main()

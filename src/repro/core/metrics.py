@@ -66,6 +66,12 @@ class DesignMetrics:
     of register stages committed between cycles.  Every compiled
     :class:`~repro.flow.pipeline.FlowResult` therefore carries cycle
     structure derived from the same runtime that executes the design.
+
+    ``noc_latency_cycles`` / ``noc_energy`` are the SoC-level
+    communication cost of the mapped design — the worst per-flow latency
+    and transfer energy of its tile-to-tile traffic on the on-chip
+    network — filled in by :class:`~repro.noc.passes.NocMetricsPass`
+    when the flow includes the NoC stages (zero otherwise).
     """
 
     netlist_name: str
@@ -79,6 +85,8 @@ class DesignMetrics:
     configuration_bits: int
     engine_levels: int = 0
     engine_registers: int = 0
+    noc_latency_cycles: int = 0
+    noc_energy: float = 0.0
 
     @property
     def total_area_elements(self) -> float:
@@ -105,6 +113,8 @@ class DesignMetrics:
             "configuration_bits": self.configuration_bits,
             "engine_levels": self.engine_levels,
             "engine_registers": self.engine_registers,
+            "noc_latency_cycles": self.noc_latency_cycles,
+            "noc_energy": round(self.noc_energy, 2),
         }
 
 

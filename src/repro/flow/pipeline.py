@@ -59,6 +59,10 @@ class FlowContext:
     verification: Optional[VerificationReport] = None
     metrics: Optional[DesignMetrics] = None
     engine_schedule: Optional[object] = None
+    #: SoC-level communication artifacts, set by the repro.noc passes:
+    #: the design mapped onto a NoC topology and the simulated result.
+    noc_map: Optional[object] = None
+    noc: Optional[object] = None
 
 
 class Pass:
@@ -294,6 +298,10 @@ class FlowResult:
     bitstream: Optional[ConfigurationBitstream] = None
     verification: Optional[VerificationReport] = None
     metrics: Optional[DesignMetrics] = None
+    #: NoC mapping and simulation of the compiled design, present when
+    #: the flow ran the repro.noc passes (see ``Flow.with_noc``).
+    noc_map: Optional[object] = None
+    noc: Optional[object] = None
     stage_timings: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
 
@@ -391,6 +399,27 @@ class Flow:
         ], name="default")
 
     @classmethod
+    def with_noc(cls, placer: Union[str, Pass] = "greedy", seed: int = 0,
+                 strict_verify: bool = True, topology=None,
+                 tiles: Tuple[int, int] = (2, 2),
+                 model: str = "analytic") -> "Flow":
+        """The default pipeline extended with the SoC NoC passes.
+
+        Appends :class:`~repro.noc.passes.NocMapPass` (tile the fabric,
+        extract traffic from the routed design, place it on
+        ``topology`` — a mesh over ``tiles`` by default) and
+        :class:`~repro.noc.passes.NocMetricsPass` (simulate and fold
+        ``noc_latency_cycles`` / ``noc_energy`` into the metrics).
+        """
+        from repro.noc.passes import NocMapPass, NocMetricsPass
+
+        base = cls.default(placer=placer, seed=seed,
+                           strict_verify=strict_verify)
+        return cls(base.passes + [NocMapPass(topology=topology, tiles=tiles),
+                                  NocMetricsPass(model=model)],
+                   name="default+noc")
+
+    @classmethod
     def estimate(cls) -> "Flow":
         """Analysis-only pipeline: schedule and netlist metrics, no physical
         design.  The fast path for design-space sweeps that only need
@@ -447,6 +476,8 @@ class Flow:
             bitstream=context.bitstream,
             verification=context.verification,
             metrics=context.metrics,
+            noc_map=context.noc_map,
+            noc=context.noc,
             stage_timings=timings,
         )
         if key is not None:

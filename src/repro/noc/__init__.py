@@ -1,0 +1,113 @@
+"""repro.noc — the SoC-level network-on-chip model.
+
+The layer above the intra-fabric mesh: topologies joining the SoC's
+agents (CPU, frame memory, the ME / DA / filter arrays, IO), traffic
+matrices extracted from the repository's real workloads (routed
+netlists, video pipelines, GOP sharding, reconfiguration bitstreams),
+scalar-parity batched simulation, flow passes folding communication
+latency/energy into :class:`~repro.core.metrics.DesignMetrics`, and a
+topology x placement x workload design-space explorer.
+
+Layering (see README "Architecture"):
+
+    fabric / clusters → flow (compile) → engine (execute) → workloads
+                              │
+                         repro.noc (communicate): topology + traffic +
+                         simulation + exploration
+"""
+
+from repro.noc.explore import (
+    DEFAULT_OBJECTIVES,
+    DesignPoint,
+    pareto_by_workload,
+    pareto_front,
+    sweep,
+)
+from repro.noc.passes import NocMap, NocMapPass, NocMetricsPass
+from repro.noc.sim import (
+    MODELS,
+    SATURATION_UTILISATION,
+    WORMHOLE_FLIT_CAP,
+    NocSimResult,
+    resolve_flit_cap,
+    simulate,
+    simulate_batched,
+)
+from repro.noc.topology import (
+    HUB_LINK_CYCLES,
+    LINK_CYCLES,
+    PLACEMENT_STRATEGIES,
+    ROUTER_CYCLES,
+    TOPOLOGY_FAMILIES,
+    TSV_CYCLES,
+    HubAndSpoke,
+    Link,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    Topology,
+    Torus2D,
+    place_agents,
+    standard_topologies,
+    topology_by_name,
+)
+from repro.noc.traffic import (
+    FLIT_BITS,
+    TrafficMatrix,
+    gop_worker_agents,
+    hotspot_traffic,
+    kernel_bitstream_bits,
+    tile_grid_for,
+    traffic_from_gop_shards,
+    traffic_from_reconfiguration,
+    traffic_from_routing,
+    traffic_from_video,
+    transpose_traffic,
+    uniform_traffic,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "DesignPoint",
+    "FLIT_BITS",
+    "HUB_LINK_CYCLES",
+    "HubAndSpoke",
+    "LINK_CYCLES",
+    "Link",
+    "MODELS",
+    "Mesh2D",
+    "Mesh3D",
+    "NocMap",
+    "NocMapPass",
+    "NocMetricsPass",
+    "NocSimResult",
+    "PLACEMENT_STRATEGIES",
+    "ROUTER_CYCLES",
+    "Ring",
+    "SATURATION_UTILISATION",
+    "TOPOLOGY_FAMILIES",
+    "TSV_CYCLES",
+    "Topology",
+    "Torus2D",
+    "TrafficMatrix",
+    "WORMHOLE_FLIT_CAP",
+    "gop_worker_agents",
+    "hotspot_traffic",
+    "kernel_bitstream_bits",
+    "pareto_by_workload",
+    "pareto_front",
+    "place_agents",
+    "resolve_flit_cap",
+    "simulate",
+    "simulate_batched",
+    "standard_topologies",
+    "sweep",
+    "tile_grid_for",
+    "topology_by_name",
+    "traffic_from_gop_shards",
+    "traffic_from_reconfiguration",
+    "traffic_from_routing",
+    "traffic_from_video",
+    "transpose_traffic",
+    "uniform_traffic",
+]

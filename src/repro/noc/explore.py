@@ -1,0 +1,176 @@
+"""Design-space exploration: topology x placement x workload sweeps.
+
+The explorer evaluates every topology family on every extracted workload
+under every placement strategy, and reduces the sweep to its Pareto
+front over (latency, energy, router area) — the three axes a SoC
+architect trades when sizing the on-chip network.  Workloads sharing an
+agent set are simulated through one batched call per topology/placement,
+so the sweep cost is dominated by the number of *topologies*, not the
+number of traffic matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.sim import NocSimResult, resolve_flit_cap, simulate_batched
+from repro.noc.topology import (
+    Topology,
+    place_agents,
+    standard_topologies,
+)
+from repro.noc.traffic import TrafficMatrix
+
+#: Objectives a :func:`pareto_front` can minimise, mapped to the
+#: :class:`DesignPoint` attribute carrying them.
+OBJECTIVES = ("latency_cycles", "mean_latency_cycles", "energy",
+              "router_area", "link_count")
+
+#: The default three-way trade: worst-flow latency, transfer energy and
+#: router silicon.
+DEFAULT_OBJECTIVES = ("latency_cycles", "energy", "router_area")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated (topology, placement, workload) combination."""
+
+    topology: str
+    placement: str
+    workload: str
+    node_count: int
+    link_count: int
+    latency_cycles: int
+    mean_latency_cycles: float
+    energy: float
+    router_area: float
+    peak_link_utilisation: float
+    saturated: bool
+
+    def objectives(self, names: Sequence[str] = DEFAULT_OBJECTIVES
+                   ) -> Tuple[float, ...]:
+        """The point's coordinates along the named (minimised) objectives."""
+        for name in names:
+            if name not in OBJECTIVES:
+                raise ConfigurationError(
+                    f"unknown objective {name!r}; expected one of {OBJECTIVES}")
+        return tuple(float(getattr(self, name)) for name in names)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "topology": self.topology,
+            "placement": self.placement,
+            "workload": self.workload,
+            "routers": self.node_count,
+            "links": self.link_count,
+            "latency_cycles": self.latency_cycles,
+            "mean_latency_cycles": round(self.mean_latency_cycles, 1),
+            "noc_energy": round(self.energy, 1),
+            "router_area": round(self.router_area, 1),
+            "peak_link_utilisation": round(self.peak_link_utilisation, 3),
+            "saturated": self.saturated,
+        }
+
+
+def _point(topology: Topology, placement_name: str,
+           result: NocSimResult) -> DesignPoint:
+    return DesignPoint(
+        topology=topology.name,
+        placement=placement_name,
+        workload=result.traffic_name,
+        node_count=topology.node_count,
+        link_count=topology.link_count,
+        latency_cycles=result.max_latency_cycles,
+        mean_latency_cycles=result.mean_latency_cycles,
+        energy=result.energy,
+        router_area=topology.router_area_elements(),
+        peak_link_utilisation=result.peak_link_utilisation,
+        saturated=result.saturated,
+    )
+
+
+def sweep(workloads: Mapping[str, TrafficMatrix],
+          topologies: Optional[Sequence[Topology]] = None,
+          placements: Sequence[str] = ("linear", "spread"),
+          model: str = "analytic",
+          max_flits_per_flow="auto") -> List[DesignPoint]:
+    """Evaluate every topology x placement x workload combination.
+
+    ``workloads`` maps workload names to traffic matrices (the name on
+    the matrix is overridden by the mapping key).  ``topologies``
+    defaults to one instance of every family in
+    :data:`~repro.noc.topology.TOPOLOGY_FAMILIES`, sized for the largest
+    agent set.  Workloads with identical agent tuples share one batched
+    simulator call per (topology, placement).
+
+    The closed-form analytic model runs the full traffic volume by
+    default; the cycle-stepped wormhole model caps each flow at a
+    representative load first (``max_flits_per_flow`` overrides either).
+    """
+    max_flits_per_flow = resolve_flit_cap(model, max_flits_per_flow)
+    if not workloads:
+        raise ConfigurationError("a sweep needs at least one workload")
+    named = [TrafficMatrix(traffic.agents, traffic.flits, name=name)
+             for name, traffic in workloads.items()]
+    if topologies is None:
+        largest = max(traffic.agent_count for traffic in named)
+        topologies = standard_topologies(largest)
+
+    groups: Dict[Tuple[str, ...], List[TrafficMatrix]] = {}
+    for traffic in named:
+        groups.setdefault(traffic.agents, []).append(traffic)
+
+    points: List[DesignPoint] = []
+    for topology in topologies:
+        for placement_name in placements:
+            for agents, group in groups.items():
+                placement = place_agents(agents, topology, placement_name)
+                results = simulate_batched(
+                    topology, group, placement=placement, model=model,
+                    max_flits_per_flow=max_flits_per_flow)
+                points.extend(_point(topology, placement_name, result)
+                              for result in results)
+    return points
+
+
+def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better once."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(points: Iterable[DesignPoint],
+                 objectives: Sequence[str] = DEFAULT_OBJECTIVES
+                 ) -> List[DesignPoint]:
+    """The non-dominated subset of a sweep, in input order.
+
+    A point is kept when no other point is at least as good on every
+    objective and strictly better on one.  Saturated points only survive
+    if no unsaturated point dominates them (saturation is treated as an
+    extra, worst-valued objective).
+    """
+    points = list(points)
+    coordinates = [point.objectives(objectives) + (float(point.saturated),)
+                   for point in points]
+    front = []
+    for index, point in enumerate(points):
+        mine = coordinates[index]
+        dominated = any(_dominates(other, mine)
+                        for position, other in enumerate(coordinates)
+                        if position != index)
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def pareto_by_workload(points: Sequence[DesignPoint],
+                       objectives: Sequence[str] = DEFAULT_OBJECTIVES
+                       ) -> Dict[str, List[DesignPoint]]:
+    """Per-workload Pareto fronts (topologies compete within a workload)."""
+    by_workload: Dict[str, List[DesignPoint]] = {}
+    for point in points:
+        by_workload.setdefault(point.workload, []).append(point)
+    return {workload: pareto_front(group, objectives)
+            for workload, group in by_workload.items()}

@@ -1,0 +1,145 @@
+"""Flow passes mapping compiled designs onto the SoC network-on-chip.
+
+Two passes extend the standard pipeline (``Flow.with_noc()`` appends
+both):
+
+* :class:`NocMapPass` projects the routed design onto a NoC topology —
+  it tiles the fabric, extracts the tile-to-tile traffic matrix from the
+  actual :class:`~repro.core.router.Route` paths and places the tiles on
+  the routers;
+* :class:`NocMetricsPass` simulates that mapping (batched analytic model
+  by default) and folds ``noc_latency_cycles`` / ``noc_energy`` into the
+  design's :class:`~repro.core.metrics.DesignMetrics`, so a
+  ``compile()`` caller sees communication cost next to area and timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.flow.pipeline import Pass
+from repro.noc.sim import (
+    MODELS,
+    resolve_flit_cap,
+    simulate,
+    simulate_batched,
+)
+from repro.noc.topology import (
+    PLACEMENT_STRATEGIES,
+    Mesh2D,
+    Topology,
+    place_agents,
+)
+from repro.noc.traffic import FLIT_BITS, TrafficMatrix, traffic_from_routing
+
+
+@dataclass
+class NocMap:
+    """A compiled design mapped onto the SoC network: who talks to whom,
+    over which topology, from which router."""
+
+    topology: Topology
+    traffic: TrafficMatrix
+    placement: Dict[str, int]
+
+    def __repr__(self) -> str:
+        return (f"NocMap({self.traffic.name!r} on {self.topology.name!r}, "
+                f"flows={self.traffic.flow_count})")
+
+
+class NocMapPass(Pass):
+    """Derive the design's NoC traffic and place it on a topology.
+
+    The fabric is divided into a ``tiles`` grid of NoC endpoints; the
+    routed netlist's tile-boundary crossings become the traffic matrix
+    (see :func:`~repro.noc.traffic.traffic_from_routing`).  ``topology``
+    defaults to a 2-D mesh matching the tile grid; pass any
+    :class:`~repro.noc.topology.Topology` with at least as many routers
+    to explore alternatives inside the flow.
+    """
+
+    name = "noc.map"
+    requires = ("routing",)
+    provides = ("noc_map",)
+
+    def __init__(self, topology: Optional[Topology] = None,
+                 tiles: Tuple[int, int] = (2, 2),
+                 flit_bits: int = FLIT_BITS,
+                 placement_strategy: str = "linear") -> None:
+        if placement_strategy not in PLACEMENT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown placement strategy {placement_strategy!r}; "
+                f"expected one of {PLACEMENT_STRATEGIES}")
+        self.topology = topology
+        self.tiles = tuple(tiles)
+        self.flit_bits = flit_bits
+        self.placement_strategy = placement_strategy
+
+    def run(self, context) -> None:
+        # The traffic extractor clamps the tile grid to the fabric; the
+        # topology must be built from the *clamped* grid or the agents
+        # land on misaligned routers.
+        tiles = (min(self.tiles[0], context.fabric.rows),
+                 min(self.tiles[1], context.fabric.cols))
+        traffic = traffic_from_routing(
+            context.routing, context.fabric.rows, context.fabric.cols,
+            tiles=tiles, flit_bits=self.flit_bits,
+            name=context.netlist.name)
+        topology = self.topology or Mesh2D(*tiles)
+        placement = place_agents(traffic.agents, topology,
+                                 self.placement_strategy)
+        context.noc_map = NocMap(topology=topology, traffic=traffic,
+                                 placement=placement)
+
+    def signature(self) -> Tuple:
+        # The structural fingerprint, not the name: link latencies (TSV,
+        # hub links) vary between same-named topologies and must miss.
+        topology_key = self.topology.fingerprint() if self.topology else None
+        return (self.name, topology_key, self.tiles, self.flit_bits,
+                self.placement_strategy)
+
+
+class NocMetricsPass(Pass):
+    """Simulate the NoC mapping and report communication latency/energy.
+
+    Runs the batched simulator (batch of one — the same code path the
+    explorer batches over) and records the :class:`NocSimResult` on the
+    context; when the metrics pass has run, its
+    ``noc_latency_cycles`` / ``noc_energy`` fields are filled in so
+    ``FlowResult.summary()`` carries the communication cost.
+    """
+
+    name = "noc.metrics"
+    requires = ("noc_map", "metrics")
+    provides = ("noc",)
+
+    def __init__(self, model: str = "analytic",
+                 max_flits_per_flow="auto", batched: bool = True) -> None:
+        if model not in MODELS:
+            raise ConfigurationError(
+                f"unknown model {model!r}; expected one of {MODELS}")
+        self.model = model
+        self.max_flits_per_flow: Optional[int] = resolve_flit_cap(
+            model, max_flits_per_flow)
+        self.batched = batched
+
+    def run(self, context) -> None:
+        noc_map: NocMap = context.noc_map
+        if self.batched:
+            result = simulate_batched(
+                noc_map.topology, [noc_map.traffic],
+                placement=noc_map.placement, model=self.model,
+                max_flits_per_flow=self.max_flits_per_flow)[0]
+        else:
+            result = simulate(
+                noc_map.topology, noc_map.traffic,
+                placement=noc_map.placement, model=self.model,
+                max_flits_per_flow=self.max_flits_per_flow)
+        context.noc = result
+        context.metrics.noc_latency_cycles = result.max_latency_cycles
+        context.metrics.noc_energy = result.energy
+
+    def signature(self) -> Tuple:
+        return (self.name, self.model, self.max_flits_per_flow, self.batched)

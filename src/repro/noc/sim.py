@@ -1,0 +1,570 @@
+"""NoC simulation: analytic contention model plus cycle-stepped wormhole.
+
+Two models, each with a scalar reference and a batched numpy
+implementation kept **integer-exact** against each other (mirroring the
+scalar-parity discipline of :mod:`repro.engine`):
+
+``analytic``  every flow follows its deterministic route; per-link loads
+              are accumulated and each flow's latency is its zero-load
+              path latency plus its own serialisation plus the flits of
+              other flows sharing its links.  Closed-form, vectorises to
+              matrix products over ``B`` traffic matrices at once.
+
+``wormhole``  a cycle-stepped flit model: flow ``f``'s ``k``-th flit
+              becomes ready at cycle ``k`` (one injection per cycle),
+              every link moves at most one flit per cycle, and
+              contention resolves deterministically to the lowest global
+              flit id.  The batched implementation advances all ``B``
+              traffic matrices through each cycle with vectorized
+              winner-per-link selection, the way the
+              :class:`~repro.engine.program.VectorEngine` steps ``B``
+              value streams per cycle.
+
+Both models report the same :class:`NocSimResult`: per-flow latencies,
+link loads and utilisation, delivered-flit conservation, saturation and
+transfer energy (hop-energy constants from :mod:`repro.power.models`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.topology import ROUTER_CYCLES, Topology, place_agents
+from repro.noc.traffic import TrafficMatrix
+
+#: Simulation models accepted by :func:`simulate` / :func:`simulate_batched`.
+MODELS = ("analytic", "wormhole")
+
+#: Peak link utilisation above which the analytic model flags saturation
+#: (the knee of a wormhole network's latency/throughput curve).
+SATURATION_UTILISATION = 0.75
+
+#: Default per-flow flit cap applied before a cycle-stepped wormhole walk
+#: (the walk visits every flit, so heavy matrices are scaled to a
+#: representative load first).  The closed-form analytic model needs no
+#: cap and runs the full traffic volume by default.
+WORMHOLE_FLIT_CAP = 64
+
+
+def resolve_flit_cap(model: str, max_flits_per_flow) -> Optional[int]:
+    """The per-flow flit cap a caller's ``"auto"`` resolves to.
+
+    One place for the policy the flow pass and the explorer share:
+    uncapped for the closed-form analytic model (so reported metrics
+    track actual traffic volume), :data:`WORMHOLE_FLIT_CAP` for the
+    cycle-stepped walk.
+    """
+    if max_flits_per_flow == "auto":
+        return None if model == "analytic" else WORMHOLE_FLIT_CAP
+    return max_flits_per_flow
+
+
+@dataclass
+class NocSimResult:
+    """Outcome of simulating one traffic matrix on one topology.
+
+    ``per_flow_latency`` is ordered like ``traffic.flows()``; for an
+    undelivered (saturated) wormhole flow the latency is censored at the
+    cycle budget.  ``flit_link_cycles`` / ``flit_router_crossings`` are
+    the integer energy aggregates: flit-cycles spent on links and
+    flit-router traversals (crossings plus network entries).
+    """
+
+    topology_name: str
+    traffic_name: str
+    model: str
+    flow_count: int
+    total_flits: int
+    delivered_flits: int
+    cycles: int
+    per_flow_latency: np.ndarray
+    link_loads: np.ndarray
+    flit_link_cycles: int
+    flit_router_crossings: int
+    saturated: bool
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        """Mean per-flow latency."""
+        if self.per_flow_latency.size == 0:
+            return 0.0
+        return float(self.per_flow_latency.mean())
+
+    @property
+    def max_latency_cycles(self) -> int:
+        """Worst per-flow latency (the communication-bound frame time)."""
+        if self.per_flow_latency.size == 0:
+            return 0
+        return int(self.per_flow_latency.max())
+
+    @property
+    def peak_link_load(self) -> int:
+        """Flits carried by the busiest link."""
+        if self.link_loads.size == 0:
+            return 0
+        return int(self.link_loads.max())
+
+    @property
+    def peak_link_utilisation(self) -> float:
+        """Busiest link's load as a fraction of the simulated cycles."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.peak_link_load / self.cycles
+
+    @property
+    def mean_link_utilisation(self) -> float:
+        """Average link load as a fraction of the simulated cycles."""
+        if self.cycles <= 0 or self.link_loads.size == 0:
+            return 0.0
+        return float(self.link_loads.mean()) / self.cycles
+
+    @property
+    def energy(self) -> float:
+        """Transfer energy in the power model's switched-capacitance units."""
+        from repro.power.models import noc_transfer_energy
+
+        return noc_transfer_energy(self.flit_link_cycles,
+                                   self.flit_router_crossings)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "topology": self.topology_name,
+            "workload": self.traffic_name,
+            "model": self.model,
+            "flows": self.flow_count,
+            "flits": self.total_flits,
+            "delivered": self.delivered_flits,
+            "cycles": self.cycles,
+            "mean_latency_cycles": round(self.mean_latency_cycles, 2),
+            "max_latency_cycles": self.max_latency_cycles,
+            "peak_link_utilisation": round(self.peak_link_utilisation, 3),
+            "noc_energy": round(self.energy, 2),
+            "saturated": self.saturated,
+        }
+
+    def __repr__(self) -> str:
+        return (f"NocSimResult({self.traffic_name!r} on "
+                f"{self.topology_name!r}, model={self.model!r}, "
+                f"cycles={self.cycles}, "
+                f"delivered={self.delivered_flits}/{self.total_flits})")
+
+
+@dataclass
+class _FlowTable:
+    """Flows resolved onto a topology: routes, link ids and latencies."""
+
+    flits: List[int]
+    path_links: List[Tuple[int, ...]]
+    path_latencies: List[Tuple[int, ...]]
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flits)
+
+    @property
+    def total_flits(self) -> int:
+        return sum(self.flits)
+
+
+def _resolve_placement(traffic: TrafficMatrix, topology: Topology,
+                       placement: Optional[Dict[str, int]]) -> Dict[str, int]:
+    if placement is None:
+        return place_agents(traffic.agents, topology)
+    missing = [agent for agent in traffic.agents if agent not in placement]
+    if missing:
+        raise ConfigurationError(f"placement is missing agents {missing}")
+    return placement
+
+
+def _flow_table(topology: Topology, traffic: TrafficMatrix,
+                placement: Dict[str, int]) -> _FlowTable:
+    """Resolve a traffic matrix's flows onto topology routes."""
+    flits: List[int] = []
+    links: List[Tuple[int, ...]] = []
+    latencies: List[Tuple[int, ...]] = []
+    for source, sink, count in traffic.flows():
+        path = topology.route(placement[traffic.agents[source]],
+                              placement[traffic.agents[sink]])
+        hop_links = tuple(topology.link_index(a, b)
+                          for a, b in zip(path, path[1:]))
+        flits.append(count)
+        links.append(hop_links)
+        latencies.append(tuple(topology.links[l].latency for l in hop_links))
+    return _FlowTable(flits, links, latencies)
+
+
+def default_cycle_budget(table: _FlowTable) -> int:
+    """A cycle budget the wormhole model cannot exhaust unsaturated.
+
+    Every cycle with a ready flit moves at least one flit one hop, and
+    idle cycles only bridge in-flight link latencies, so four times the
+    total flit-link work plus the injection window is a generous bound.
+    """
+    work = sum(q * sum(lats) for q, lats in
+               zip(table.flits, table.path_latencies))
+    return max(64, 4 * work + table.total_flits)
+
+
+# -- analytic model -----------------------------------------------------------
+
+def _analytic_scalar(table: _FlowTable, link_count: int
+                     ) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Reference implementation: pure-Python loops over flows and links."""
+    loads = [0] * link_count
+    for q, hop_links in zip(table.flits, table.path_links):
+        for link in hop_links:
+            loads[link] += q
+    latencies = []
+    flit_link_cycles = 0
+    flit_router_crossings = 0
+    for q, hop_links, hop_lats in zip(table.flits, table.path_links,
+                                      table.path_latencies):
+        hops = len(hop_links)
+        base = sum(hop_lats) + hops * ROUTER_CYCLES
+        queueing = sum(loads[link] - q for link in hop_links)
+        latencies.append(base + (q - 1) + queueing)
+        flit_link_cycles += q * sum(hop_lats)
+        flit_router_crossings += q * (hops + 1)
+    return (np.asarray(latencies, dtype=np.int64),
+            np.asarray(loads, dtype=np.int64),
+            flit_link_cycles, flit_router_crossings)
+
+
+def _pair_geometry(topology: Topology, agents: Sequence[str],
+                   placement: Dict[str, int]
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Route geometry of every ordered agent pair, flattened row-major.
+
+    Returns ``(hops, latency_sums, incidence)`` where ``incidence`` is a
+    dense ``[pairs, links]`` crossing-count matrix — the one-off setup
+    that lets a whole batch of traffic matrices evaluate as two matrix
+    products.
+    """
+    count = len(agents)
+    pairs = count * count
+    hops = np.zeros(pairs, dtype=np.int64)
+    latency_sums = np.zeros(pairs, dtype=np.int64)
+    incidence = np.zeros((pairs, topology.link_count), dtype=np.int64)
+    for source in range(count):
+        for sink in range(count):
+            if source == sink:
+                continue
+            pair = source * count + sink
+            path = topology.route(placement[agents[source]],
+                                  placement[agents[sink]])
+            hops[pair] = len(path) - 1
+            for a, b in zip(path, path[1:]):
+                link = topology.link_index(a, b)
+                incidence[pair, link] += 1
+                latency_sums[pair] += topology.links[link].latency
+    return hops, latency_sums, incidence
+
+
+def _analytic_batched(traffics: Sequence[TrafficMatrix], topology: Topology,
+                      placement: Dict[str, int]
+                      ) -> List[Tuple[np.ndarray, np.ndarray, int, int]]:
+    """Vectorized analytic model over ``B`` traffic matrices at once.
+
+    All matrices share one agent set, so the pair geometry is computed
+    once and the whole batch reduces to integer matrix products:
+    ``loads = flits @ incidence`` and the queueing gather is
+    ``loads @ incidence.T``.  Every step stays in int64, so results
+    equal the scalar reference exactly.
+    """
+    agents = traffics[0].agents
+    hops, latency_sums, incidence = _pair_geometry(topology, agents,
+                                                   placement)
+    flits = np.stack([traffic.flits.ravel() for traffic in traffics])
+    loads = flits @ incidence
+    shared = loads @ incidence.T
+    base = latency_sums + hops * ROUTER_CYCLES
+    latencies = base[None, :] + (flits - 1) + (shared - hops[None, :] * flits)
+    flit_link_cycles = (flits * latency_sums[None, :]).sum(axis=1)
+    flit_router_crossings = (flits * (hops[None, :] + 1)).sum(axis=1)
+
+    outputs = []
+    for row in range(len(traffics)):
+        active = flits[row] > 0
+        outputs.append((latencies[row, active],
+                        loads[row],
+                        int(flit_link_cycles[row]),
+                        int(flit_router_crossings[row])))
+    return outputs
+
+
+# -- wormhole model -----------------------------------------------------------
+
+def _wormhole_scalar(table: _FlowTable, link_count: int, max_cycles: int
+                     ) -> Tuple[np.ndarray, np.ndarray, int, int, int, int]:
+    """Reference cycle-stepped wormhole simulation (pure-Python loops)."""
+    flit_flow: List[int] = []
+    flit_ready: List[int] = []
+    for flow, q in enumerate(table.flits):
+        flit_flow.extend([flow] * q)
+        flit_ready.extend(range(q))
+    total = len(flit_flow)
+    stage = [0] * total
+    arrive = list(flit_ready)
+    finish = [-1] * total
+    link_busy = [0] * link_count
+    entered = [False] * total
+    flit_link_cycles = 0
+    remaining = total
+    # Zero-hop flows (both agents on one router) deliver at injection
+    # without touching the network.
+    for flit in range(total):
+        if not table.path_links[flit_flow[flit]]:
+            finish[flit] = arrive[flit]
+            remaining -= 1
+    cycle = 0
+    while remaining and cycle < max_cycles:
+        winners: Dict[int, int] = {}
+        for flit in range(total):
+            if finish[flit] >= 0 or arrive[flit] > cycle:
+                continue
+            link = table.path_links[flit_flow[flit]][stage[flit]]
+            if link not in winners:
+                winners[link] = flit
+        for link, flit in winners.items():
+            flow = flit_flow[flit]
+            latency = table.path_latencies[flow][stage[flit]]
+            arrive[flit] = cycle + latency
+            stage[flit] += 1
+            link_busy[link] += 1
+            flit_link_cycles += latency
+            entered[flit] = True
+            if stage[flit] == len(table.path_links[flow]):
+                finish[flit] = arrive[flit]
+                remaining -= 1
+        cycle += 1
+    makespan = max((t for t in finish if t >= 0), default=0)
+    cycles = makespan if remaining == 0 else max_cycles
+    per_flow = []
+    offset = 0
+    delivered = 0
+    for flow, q in enumerate(table.flits):
+        times = finish[offset:offset + q]
+        delivered += sum(1 for t in times if t >= 0)
+        per_flow.append(max(times) if all(t >= 0 for t in times) else cycles)
+        offset += q
+    crossings = sum(link_busy)
+    flit_router_crossings = crossings + sum(entered)
+    return (np.asarray(per_flow, dtype=np.int64),
+            np.asarray(link_busy, dtype=np.int64),
+            flit_link_cycles, flit_router_crossings, delivered, cycles)
+
+
+def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
+                      max_cycles_per_table: Sequence[int]
+                      ) -> List[Tuple[np.ndarray, np.ndarray, int, int, int, int]]:
+    """Vectorized wormhole simulation over a batch of flow tables.
+
+    All batch elements advance through the same cycle loop on ``[B, F]``
+    state arrays; per-link winner selection is one ``np.minimum.at``
+    scatter, exactly reproducing the scalar model's lowest-flit-id
+    arbitration for every element at once.
+    """
+    batch = len(tables)
+    if batch == 0:
+        return []
+    flow_counts = [table.flow_count for table in tables]
+    totals = [sum(table.flits) for table in tables]
+    flit_cap = max(totals) if totals else 0
+    if flit_cap == 0:
+        return [(np.zeros(count, dtype=np.int64),
+                 np.zeros(link_count, dtype=np.int64), 0, 0, 0, 0)
+                for count in flow_counts]
+
+    # Per-batch-element flow geometry, padded to common widths.
+    max_flows = max(flow_counts)
+    max_hops = max((len(links) for table in tables
+                    for links in table.path_links), default=1)
+    path_links = np.zeros((batch, max_flows, max_hops), dtype=np.int64)
+    path_lats = np.zeros((batch, max_flows, max_hops), dtype=np.int64)
+    path_len = np.zeros((batch, max_flows), dtype=np.int64)
+    for b, table in enumerate(tables):
+        for f, (links, lats) in enumerate(zip(table.path_links,
+                                              table.path_latencies)):
+            path_links[b, f, :len(links)] = links
+            path_lats[b, f, :len(lats)] = lats
+            path_len[b, f] = len(links)
+
+    # Flit state, padded to the largest flit population in the batch.
+    flit_flow = np.zeros((batch, flit_cap), dtype=np.int64)
+    arrive = np.zeros((batch, flit_cap), dtype=np.int64)
+    active = np.zeros((batch, flit_cap), dtype=bool)
+    for b, table in enumerate(tables):
+        position = 0
+        for flow, q in enumerate(table.flits):
+            flit_flow[b, position:position + q] = flow
+            arrive[b, position:position + q] = np.arange(q)
+            active[b, position:position + q] = True
+            position += q
+    stage = np.zeros((batch, flit_cap), dtype=np.int64)
+    finish = np.full((batch, flit_cap), -1, dtype=np.int64)
+    entered = np.zeros((batch, flit_cap), dtype=bool)
+    link_busy = np.zeros((batch, link_count), dtype=np.int64)
+    flit_link_cycles = np.zeros(batch, dtype=np.int64)
+    budgets = np.asarray(max_cycles_per_table, dtype=np.int64)
+
+    # Zero-hop flows deliver at injection without touching the network.
+    zero_hop = active & (np.take_along_axis(
+        path_len, flit_flow, axis=1) == 0)
+    finish[zero_hop] = arrive[zero_hop]
+    active[zero_hop] = False
+
+    cycle = 0
+    while True:
+        in_budget = (cycle < budgets)[:, None]
+        ready = active & (arrive <= cycle) & in_budget
+        if not (active & in_budget).any():
+            break
+        if ready.any():
+            b_idx, f_idx = np.nonzero(ready)
+            flow_idx = flit_flow[b_idx, f_idx]
+            link_idx = path_links[b_idx, flow_idx, stage[b_idx, f_idx]]
+            winners = np.full((batch, link_count), flit_cap, dtype=np.int64)
+            np.minimum.at(winners, (b_idx, link_idx), f_idx)
+            won_b, won_l = np.nonzero(winners < flit_cap)
+            won_f = winners[won_b, won_l]
+            won_flow = flit_flow[won_b, won_f]
+            won_stage = stage[won_b, won_f]
+            latency = path_lats[won_b, won_flow, won_stage]
+            arrive[won_b, won_f] = cycle + latency
+            stage[won_b, won_f] = won_stage + 1
+            entered[won_b, won_f] = True
+            link_busy[won_b, won_l] += 1
+            np.add.at(flit_link_cycles, won_b, latency)
+            done = stage[won_b, won_f] == path_len[won_b, won_flow]
+            finish[won_b[done], won_f[done]] = arrive[won_b[done], won_f[done]]
+            active[won_b[done], won_f[done]] = False
+        cycle += 1
+
+    outputs = []
+    for b, table in enumerate(tables):
+        position = 0
+        per_flow = []
+        delivered = 0
+        completed = True
+        makespan = int(finish[b].max()) if (finish[b] >= 0).any() else 0
+        cycles = makespan if not active[b].any() else int(budgets[b])
+        for q in table.flits:
+            times = finish[b, position:position + q]
+            delivered += int((times >= 0).sum())
+            per_flow.append(int(times.max()) if (times >= 0).all() else cycles)
+            position += q
+        crossings = int(link_busy[b].sum())
+        outputs.append((np.asarray(per_flow, dtype=np.int64),
+                        link_busy[b].copy(),
+                        int(flit_link_cycles[b]),
+                        crossings + int(entered[b].sum()),
+                        delivered, cycles))
+    return outputs
+
+
+# -- public API ---------------------------------------------------------------
+
+def _package(topology: Topology, traffic: TrafficMatrix, model: str,
+             raw: Tuple[np.ndarray, np.ndarray, int, int],
+             delivered: Optional[int] = None,
+             cycles: Optional[int] = None) -> NocSimResult:
+    per_flow, loads, flit_link_cycles, crossings = raw
+    total_flits = traffic.total_flits
+    if cycles is None:
+        cycles = int(per_flow.max()) if per_flow.size else 0
+    if delivered is None:
+        delivered = total_flits
+    # The analytic model flags saturation from its utilisation estimate;
+    # the wormhole model observes it directly as undelivered flits.
+    peak = int(loads.max()) if loads.size else 0
+    saturated = delivered < total_flits
+    if model == "analytic" and cycles > 0:
+        saturated = saturated or peak / cycles > SATURATION_UTILISATION
+    return NocSimResult(
+        topology_name=topology.name,
+        traffic_name=traffic.name,
+        model=model,
+        flow_count=traffic.flow_count,
+        total_flits=total_flits,
+        delivered_flits=delivered,
+        cycles=cycles,
+        per_flow_latency=per_flow,
+        link_loads=loads,
+        flit_link_cycles=flit_link_cycles,
+        flit_router_crossings=crossings,
+        saturated=saturated,
+    )
+
+
+def simulate(topology: Topology, traffic: TrafficMatrix,
+             placement: Optional[Dict[str, int]] = None,
+             model: str = "analytic",
+             max_flits_per_flow: Optional[int] = None,
+             max_cycles: Optional[int] = None) -> NocSimResult:
+    """Scalar-reference simulation of one traffic matrix on one topology.
+
+    ``max_flits_per_flow`` proportionally scales heavy matrices before
+    simulation (see :meth:`TrafficMatrix.scaled_to`); ``max_cycles``
+    bounds the wormhole model (exceeding it flags saturation).
+    """
+    if model not in MODELS:
+        raise ConfigurationError(
+            f"unknown model {model!r}; expected one of {MODELS}")
+    if max_flits_per_flow is not None:
+        traffic = traffic.scaled_to(max_flits_per_flow)
+    placement = _resolve_placement(traffic, topology, placement)
+    table = _flow_table(topology, traffic, placement)
+    if model == "analytic":
+        return _package(topology, traffic, "analytic",
+                        _analytic_scalar(table, topology.link_count))
+    budget = max_cycles if max_cycles is not None else default_cycle_budget(table)
+    per_flow, busy, flc, frc, delivered, cycles = _wormhole_scalar(
+        table, topology.link_count, budget)
+    return _package(topology, traffic, "wormhole",
+                    (per_flow, busy, flc, frc), delivered, cycles)
+
+
+def simulate_batched(topology: Topology, traffics: Sequence[TrafficMatrix],
+                     placement: Optional[Dict[str, int]] = None,
+                     model: str = "analytic",
+                     max_flits_per_flow: Optional[int] = None,
+                     max_cycles: Optional[int] = None) -> List[NocSimResult]:
+    """Vectorized simulation of ``B`` traffic matrices on one topology.
+
+    All matrices must share the same agent tuple (one placement maps
+    them onto the routers); results are integer-identical to calling
+    :func:`simulate` per matrix, which the parity tests assert.
+    """
+    if model not in MODELS:
+        raise ConfigurationError(
+            f"unknown model {model!r}; expected one of {MODELS}")
+    traffics = list(traffics)
+    if not traffics:
+        return []
+    agents = traffics[0].agents
+    for traffic in traffics[1:]:
+        if traffic.agents != agents:
+            raise ConfigurationError(
+                "batched simulation needs a uniform agent set; got "
+                f"{agents} and {traffic.agents}")
+    if max_flits_per_flow is not None:
+        traffics = [traffic.scaled_to(max_flits_per_flow)
+                    for traffic in traffics]
+    placement = _resolve_placement(traffics[0], topology, placement)
+    if model == "analytic":
+        raws = _analytic_batched(traffics, topology, placement)
+        return [_package(topology, traffic, "analytic", raw)
+                for traffic, raw in zip(traffics, raws)]
+    tables = [_flow_table(topology, traffic, placement)
+              for traffic in traffics]
+    budgets = [max_cycles if max_cycles is not None
+               else default_cycle_budget(table) for table in tables]
+    raws = _wormhole_batched(tables, topology.link_count, budgets)
+    return [_package(topology, traffic, "wormhole",
+                     raw[:4], raw[4], raw[5])
+            for traffic, raw in zip(traffics, raws)]

@@ -1,0 +1,469 @@
+"""SoC-level network-on-chip topologies.
+
+The intra-fabric segmented mesh (:mod:`repro.core.interconnect`) wires
+clusters *inside* one array; this module models the level above it — the
+on-chip network that moves frames, residuals, GOP shards and
+reconfiguration bitstreams between the SoC's agents (CPU, frame memory,
+the ME / DA / filter arrays, IO).  Five topology families are provided,
+mirroring the comparison harnesses of the related NoC repos (3-D mesh and
+torus variants, chiplet-style hub layouts):
+
+``mesh``     2-D mesh — the baseline tile grid,
+``torus``    2-D torus — the mesh plus wraparound links,
+``ring``     a single cycle — minimal routers, long paths,
+``mesh3d``   a stacked (two or more layer) mesh whose vertical TSV links
+             are slower than in-plane links,
+``hub``      chiplet-style hub-and-spoke — every spoke hangs off one (or
+             a few fully connected) central IO-hub router(s).
+
+Every topology exposes the same surface: integer node ids, undirected
+latency-annotated links, deterministic shortest-latency routes, hop and
+latency distances, degree/diameter statistics and a crossbar-area model
+(`router_area_elements`), so the simulator and the design-space explorer
+treat all families uniformly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+
+#: Cycles a flit spends traversing one router (arbitration + crossbar).
+ROUTER_CYCLES = 1
+
+#: Default latency (cycles) of one in-plane link.
+LINK_CYCLES = 1
+
+#: Default latency multiplier of a vertical through-silicon via in the
+#: stacked mesh (TSVs are slower than in-plane wires, as in the 3-D NoC
+#: comparison repo this family is modelled after).
+TSV_CYCLES = 2
+
+#: Default latency of a chiplet-crossing hub link (off-die SerDes hop).
+HUB_LINK_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class Link:
+    """One undirected network link between two routers."""
+
+    a: int
+    b: int
+    latency: int = LINK_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ConfigurationError(f"link {self.a}->{self.b} is a self-loop")
+        if self.latency <= 0:
+            raise ConfigurationError("link latency must be positive")
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """Canonical (low, high) endpoint pair."""
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+
+class Topology:
+    """Base class: a named set of routers joined by latency-weighted links.
+
+    Subclasses populate ``links`` at construction; everything else
+    (adjacency, deterministic routing, distance statistics) derives from
+    that list.  Routes are computed lazily per source with a
+    deterministic uniform-cost search (latency-weighted, node-id
+    tie-break) and cached, so repeated simulator calls pay for each
+    source once.
+    """
+
+    def __init__(self, name: str, node_count: int, links: Sequence[Link]) -> None:
+        if node_count <= 0:
+            raise ConfigurationError("a topology needs at least one router")
+        self.name = name
+        self.node_count = node_count
+        self.links: List[Link] = list(links)
+        self._adjacency: Dict[int, List[Tuple[int, int]]] = {
+            node: [] for node in range(node_count)}
+        self._link_index: Dict[Tuple[int, int], int] = {}
+        for index, link in enumerate(self.links):
+            if not (0 <= link.a < node_count and 0 <= link.b < node_count):
+                raise ConfigurationError(
+                    f"link {link.a}-{link.b} references a missing router")
+            if link.endpoints in self._link_index:
+                raise ConfigurationError(
+                    f"duplicate link between {link.a} and {link.b}")
+            self._link_index[link.endpoints] = index
+            self._adjacency[link.a].append((link.b, link.latency))
+            self._adjacency[link.b].append((link.a, link.latency))
+        for neighbours in self._adjacency.values():
+            neighbours.sort()
+        self._route_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+
+    # -- structure --------------------------------------------------------
+    @property
+    def link_count(self) -> int:
+        """Number of undirected links."""
+        return len(self.links)
+
+    @property
+    def router_count(self) -> int:
+        """Number of routers (one per node)."""
+        return self.node_count
+
+    def neighbours(self, node: int) -> List[int]:
+        """Adjacent routers of ``node`` in ascending id order."""
+        return [other for other, _ in self._adjacency[node]]
+
+    def degree(self, node: int) -> int:
+        """Number of network links attached to ``node``."""
+        return len(self._adjacency[node])
+
+    def link_index(self, a: int, b: int) -> int:
+        """Index into :attr:`links` of the link joining two adjacent nodes."""
+        key = (a, b) if a < b else (b, a)
+        try:
+            return self._link_index[key]
+        except KeyError:
+            raise ConfigurationError(f"no link between {a} and {b}") from None
+
+    def link_latency(self, a: int, b: int) -> int:
+        """Latency of the link joining two adjacent nodes."""
+        return self.links[self.link_index(a, b)].latency
+
+    # -- routing ----------------------------------------------------------
+    def route(self, source: int, sink: int) -> Tuple[int, ...]:
+        """Deterministic minimum-latency node path from source to sink.
+
+        Ties between equal-latency paths break toward lower node ids, so
+        every caller (scalar and batched simulators, the explorer) sees
+        the same path for the same pair.
+        """
+        if source == sink:
+            return (source,)
+        routes = self._route_cache.get(source)
+        if routes is None:
+            routes = self._routes_from(source)
+            self._route_cache[source] = routes
+        try:
+            return routes[sink]
+        except KeyError:
+            raise ConfigurationError(
+                f"router {sink} is unreachable from {source} "
+                f"on topology {self.name!r}") from None
+
+    def _routes_from(self, source: int) -> Dict[int, Tuple[int, ...]]:
+        """Single-source deterministic shortest-latency paths."""
+        best: Dict[int, Tuple[int, int]] = {source: (0, source)}
+        came_from: Dict[int, int] = {}
+        frontier: List[Tuple[int, int]] = [(0, source)]
+        while frontier:
+            cost, current = heapq.heappop(frontier)
+            if cost > best[current][0]:
+                continue
+            for neighbour, latency in self._adjacency[current]:
+                candidate = (cost + latency, current)
+                if candidate < best.get(neighbour, (math.inf, math.inf)):
+                    best[neighbour] = candidate
+                    came_from[neighbour] = current
+                    heapq.heappush(frontier, (candidate[0], neighbour))
+        routes: Dict[int, Tuple[int, ...]] = {}
+        for sink in best:
+            if sink == source:
+                continue
+            path = [sink]
+            while path[-1] != source:
+                path.append(came_from[path[-1]])
+            routes[sink] = tuple(reversed(path))
+        return routes
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Links crossed by the deterministic route between two routers."""
+        return len(self.route(a, b)) - 1
+
+    def route_latency(self, a: int, b: int) -> int:
+        """Link plus router cycles along the route (excluding queueing)."""
+        path = self.route(a, b)
+        links = sum(self.link_latency(x, y) for x, y in zip(path, path[1:]))
+        return links + (len(path) - 1) * ROUTER_CYCLES
+
+    # -- statistics -------------------------------------------------------
+    def diameter(self) -> int:
+        """Largest hop distance over all router pairs."""
+        return max((self.hop_distance(a, b)
+                    for a in range(self.node_count)
+                    for b in range(a + 1, self.node_count)), default=0)
+
+    def average_hop_distance(self) -> float:
+        """Mean hop distance over all ordered router pairs."""
+        if self.node_count < 2:
+            return 0.0
+        total = sum(self.hop_distance(a, b)
+                    for a in range(self.node_count)
+                    for b in range(self.node_count) if a != b)
+        return total / (self.node_count * (self.node_count - 1))
+
+    def max_degree(self) -> int:
+        """Largest router degree (crossbar size driver)."""
+        return max(self.degree(node) for node in range(self.node_count))
+
+    def router_area_elements(self) -> float:
+        """Total router area in the repo's 4-bit-element units.
+
+        A router's crossbar grows quadratically with its port count (the
+        network links plus one local injection/ejection port), which is
+        what separates a hub — one huge router — from a mesh of small
+        ones at equal node count.
+        """
+        from repro.power.models import NOC_ROUTER_PORT_AREA_ELEMENTS
+
+        return sum(NOC_ROUTER_PORT_AREA_ELEMENTS * (self.degree(node) + 1) ** 2
+                   for node in range(self.node_count))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the topology's structure.
+
+        Covers node count and every link's endpoints *and latency* —
+        parameters like TSV or hub-link latency do not appear in the
+        name, so cache keys (``NocMapPass.signature``) use this digest
+        instead of the name alone.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(f"{self.name}:{self.node_count}".encode())
+        for link in self.links:
+            digest.update(f"|{link.a}-{link.b}:{link.latency}".encode())
+        return digest.hexdigest()[:16]
+
+    def describe(self) -> Dict[str, object]:
+        """Flat summary of the topology's headline numbers."""
+        return {
+            "topology": self.name,
+            "routers": self.router_count,
+            "links": self.link_count,
+            "diameter": self.diameter(),
+            "avg_hops": round(self.average_hop_distance(), 3),
+            "max_degree": self.max_degree(),
+            "router_area_elements": round(self.router_area_elements(), 1),
+        }
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name!r}, nodes={self.node_count}, "
+                f"links={self.link_count})")
+
+
+def _grid_links(rows: int, cols: int,
+                node_at: Callable[[int, int], int]) -> List[Link]:
+    """In-plane neighbour links of one ``rows x cols`` grid plane."""
+    links: List[Link] = []
+    for row in range(rows):
+        for col in range(cols):
+            here = node_at(row, col)
+            if col + 1 < cols:
+                links.append(Link(here, node_at(row, col + 1)))
+            if row + 1 < rows:
+                links.append(Link(here, node_at(row + 1, col)))
+    return links
+
+
+class Mesh2D(Topology):
+    """A ``rows x cols`` 2-D mesh of routers."""
+
+    def __init__(self, rows: int, cols: int, name: Optional[str] = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        super().__init__(name or f"mesh_{rows}x{cols}", rows * cols,
+                         _grid_links(rows, cols, self.node_at))
+
+    def node_at(self, row: int, col: int) -> int:
+        """Router id of grid position ``(row, col)``."""
+        return row * self.cols + col
+
+
+class Torus2D(Topology):
+    """A 2-D torus: the mesh plus row/column wraparound links."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("torus dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        links = _grid_links(rows, cols, self.node_at)
+        # A wraparound on a dimension of length <= 2 would duplicate an
+        # existing mesh link, so it is only added for longer dimensions.
+        if cols > 2:
+            links.extend(Link(self.node_at(row, 0), self.node_at(row, cols - 1))
+                         for row in range(rows))
+        if rows > 2:
+            links.extend(Link(self.node_at(0, col), self.node_at(rows - 1, col))
+                         for col in range(cols))
+        super().__init__(f"torus_{rows}x{cols}", rows * cols, links)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Router id of grid position ``(row, col)``."""
+        return row * self.cols + col
+
+
+class Ring(Topology):
+    """A single cycle of routers: two links per node, long average paths."""
+
+    def __init__(self, count: int) -> None:
+        if count < 3:
+            raise ConfigurationError("a ring needs at least three routers")
+        links = [Link(index, (index + 1) % count) for index in range(count - 1)]
+        links.append(Link(0, count - 1))
+        super().__init__(f"ring_{count}", count, links)
+
+
+class Mesh3D(Topology):
+    """A stacked mesh: ``layers`` planes of ``rows x cols`` joined by TSVs.
+
+    Vertical links cost :data:`TSV_CYCLES` (through-silicon vias are
+    slower than in-plane wires), so routes prefer staying in-plane unless
+    crossing layers pays for itself — the trade the 3-D NoC comparison
+    harness this family mirrors is built to expose.
+    """
+
+    def __init__(self, rows: int, cols: int, layers: int = 2,
+                 tsv_latency: int = TSV_CYCLES) -> None:
+        if rows <= 0 or cols <= 0 or layers <= 0:
+            raise ConfigurationError("mesh3d dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.layers = layers
+        self.tsv_latency = tsv_latency
+        links = []
+        for layer in range(layers):
+            links.extend(_grid_links(
+                rows, cols,
+                lambda row, col, layer=layer: self.node_at(layer, row, col)))
+            if layer + 1 < layers:
+                links.extend(
+                    Link(self.node_at(layer, row, col),
+                         self.node_at(layer + 1, row, col),
+                         latency=tsv_latency)
+                    for row in range(rows) for col in range(cols))
+        super().__init__(f"mesh3d_{rows}x{cols}x{layers}",
+                         rows * cols * layers, links)
+
+    def node_at(self, layer: int, row: int, col: int) -> int:
+        """Router id of stacked grid position ``(layer, row, col)``."""
+        return layer * self.rows * self.cols + row * self.cols + col
+
+
+class HubAndSpoke(Topology):
+    """Chiplet-style layout: spokes hang off central fully-meshed hubs.
+
+    Spokes are routers ``0 .. spokes-1``; hubs follow.  Spoke ``i``
+    connects only to hub ``i % hubs`` over a chiplet-crossing link, and
+    the hubs are fully connected among themselves — the AMD-style
+    compute-die / IO-die arrangement of the chiplet-config repo.
+    """
+
+    def __init__(self, spokes: int, hubs: int = 1,
+                 hub_link_latency: int = HUB_LINK_CYCLES) -> None:
+        if spokes <= 0:
+            raise ConfigurationError("hub-and-spoke needs at least one spoke")
+        if hubs <= 0:
+            raise ConfigurationError("hub-and-spoke needs at least one hub")
+        self.spokes = spokes
+        self.hubs = hubs
+        links = [Link(spoke, spokes + spoke % hubs, latency=hub_link_latency)
+                 for spoke in range(spokes)]
+        links.extend(Link(spokes + a, spokes + b)
+                     for a in range(hubs) for b in range(a + 1, hubs))
+        super().__init__(f"hub_{spokes}s{hubs}h", spokes + hubs, links)
+
+    def hub_nodes(self) -> List[int]:
+        """Router ids of the hub(s)."""
+        return list(range(self.spokes, self.spokes + self.hubs))
+
+
+def _near_square(count: int) -> Tuple[int, int]:
+    """Rows/cols of the most square grid holding at least ``count`` nodes."""
+    rows = max(1, int(math.sqrt(count)))
+    cols = -(-count // rows)
+    return rows, cols
+
+
+#: Topology families by short name, each a ``node_count -> Topology``
+#: factory producing a layout with **at least** that many routers.
+TOPOLOGY_FAMILIES: Dict[str, Callable[[int], Topology]] = {
+    "mesh": lambda n: Mesh2D(*_near_square(n)),
+    "torus": lambda n: Torus2D(*_near_square(n)),
+    "ring": lambda n: Ring(max(3, n)),
+    "mesh3d": lambda n: Mesh3D(*_near_square(-(-n // 2)), layers=2),
+    "hub": lambda n: HubAndSpoke(max(1, n - 1), hubs=1),
+}
+
+
+def topology_by_name(family: str, node_count: int) -> Topology:
+    """Instantiate a topology family sized for ``node_count`` agents."""
+    try:
+        factory = TOPOLOGY_FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology family {family!r}; expected one of "
+            f"{sorted(TOPOLOGY_FAMILIES)}") from None
+    topology = factory(node_count)
+    if topology.node_count < node_count:
+        raise ConfigurationError(
+            f"{family} factory produced {topology.node_count} routers for "
+            f"{node_count} agents")
+    return topology
+
+
+def standard_topologies(node_count: int) -> List[Topology]:
+    """One instance of every family, sized for ``node_count`` agents."""
+    return [topology_by_name(family, node_count)
+            for family in TOPOLOGY_FAMILIES]
+
+
+#: Agent-placement strategies accepted by :func:`place_agents`.
+PLACEMENT_STRATEGIES = ("linear", "spread", "hub")
+
+
+def place_agents(agents: Sequence[str], topology: Topology,
+                 strategy: str = "linear") -> Dict[str, int]:
+    """Deterministically assign each named agent to a router.
+
+    ``linear``  agents take router ids in order (tile grids onto meshes),
+    ``spread``  agents are spaced evenly across the id range,
+    ``hub``     the first agent (the memory/IO hub of the video
+                workloads) lands on the highest-degree router, the rest
+                fill the remaining ids in order.
+    """
+    agents = list(agents)
+    if len(agents) > topology.node_count:
+        raise ConfigurationError(
+            f"{len(agents)} agents do not fit on {topology.node_count} routers "
+            f"of {topology.name!r}")
+    if strategy == "linear":
+        return {agent: index for index, agent in enumerate(agents)}
+    if strategy == "spread":
+        placement: Dict[str, int] = {}
+        taken: set = set()
+        span = topology.node_count - 1
+        denominator = max(1, len(agents) - 1)
+        for index, agent in enumerate(agents):
+            node = round(index * span / denominator)
+            while node in taken:        # rounding collision: next free id
+                node = (node + 1) % topology.node_count
+            placement[agent] = node
+            taken.add(node)
+        return placement
+    if strategy == "hub":
+        by_degree = sorted(range(topology.node_count),
+                           key=lambda node: (-topology.degree(node), node))
+        placement = {agents[0]: by_degree[0]}
+        remaining = (node for node in range(topology.node_count)
+                     if node != by_degree[0])
+        for agent in agents[1:]:
+            placement[agent] = next(remaining)
+        return placement
+    raise ConfigurationError(
+        f"unknown placement strategy {strategy!r}; expected one of "
+        f"{PLACEMENT_STRATEGIES}")

@@ -1,0 +1,395 @@
+"""Traffic extraction: flow matrices from the repository's real workloads.
+
+A :class:`TrafficMatrix` is a square flit-count matrix over named agents
+(SoC blocks or fabric tiles).  Rather than inventing synthetic load, the
+extractors here derive the matrices from the artifacts the rest of the
+stack already produces:
+
+* :func:`traffic_from_routing` — a routed netlist's
+  :class:`~repro.core.router.Route` paths, projected onto a coarse tile
+  grid over the fabric (every tile-boundary crossing becomes flits);
+* :func:`traffic_from_video` — a :class:`~repro.video.codec.VideoEncoder`
+  statistics stream: raw frames in, reference fetches, residual
+  coefficients and entropy bits out;
+* :func:`traffic_from_gop_shards` — the GOP-parallel sharding of
+  :mod:`repro.engine.sharding`: frames fanned out to workers, encoded
+  substreams collected back;
+* :func:`traffic_from_reconfiguration` — the per-frame kernel switching
+  plan of :func:`repro.video.scenes.plan_reconfiguration`, with bitstream
+  words from the compiled kernels' :class:`ConfigurationBitstream`.
+
+Synthetic patterns (uniform / hotspot / transpose) are included for the
+explorer and tests.  All flit counts are integers; one flit carries
+:data:`FLIT_BITS` bits of payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.router import RoutingResult
+
+#: Payload bits carried by one flit (the SoC bus is modelled as 32-bit).
+FLIT_BITS = 32
+
+#: Bits of one raw luminance pixel.
+PIXEL_BITS = 8
+
+#: The SoC-level agents of the paper's Fig. 1 used by the video extractors.
+VIDEO_AGENTS: Tuple[str, ...] = ("io", "memory", "me_array", "dct_array", "cpu")
+
+
+def _flits(bits: float, flit_bits: int = FLIT_BITS) -> int:
+    """Flits needed to carry ``bits`` of payload (at least one if any)."""
+    if bits <= 0:
+        return 0
+    return -(-int(math.ceil(bits)) // flit_bits)
+
+
+@dataclass
+class TrafficMatrix:
+    """Flit counts between named agents: ``flits[i, j]`` from i to j."""
+
+    agents: Tuple[str, ...]
+    flits: np.ndarray
+    name: str = "traffic"
+
+    def __post_init__(self) -> None:
+        self.agents = tuple(self.agents)
+        self.flits = np.asarray(self.flits, dtype=np.int64)
+        count = len(self.agents)
+        if len(set(self.agents)) != count:
+            raise ConfigurationError(f"duplicate agent names in {self.agents}")
+        if self.flits.shape != (count, count):
+            raise ConfigurationError(
+                f"flit matrix shape {self.flits.shape} does not match "
+                f"{count} agents")
+        if (self.flits < 0).any():
+            raise ConfigurationError("flit counts must be non-negative")
+        if np.diagonal(self.flits).any():
+            raise ConfigurationError("self-traffic (diagonal flits) is not "
+                                     "network load; zero the diagonal")
+
+    @property
+    def agent_count(self) -> int:
+        """Number of agents."""
+        return len(self.agents)
+
+    @property
+    def total_flits(self) -> int:
+        """Flits injected by all flows together."""
+        return int(self.flits.sum())
+
+    @property
+    def flow_count(self) -> int:
+        """Number of non-zero source->destination flows."""
+        return int(np.count_nonzero(self.flits))
+
+    def flows(self) -> List[Tuple[int, int, int]]:
+        """Non-zero flows as ``(source_index, dest_index, flits)`` triples."""
+        sources, sinks = np.nonzero(self.flits)
+        return [(int(a), int(b), int(self.flits[a, b]))
+                for a, b in zip(sources, sinks)]
+
+    def index_of(self, agent: str) -> int:
+        """Index of an agent by name."""
+        try:
+            return self.agents.index(agent)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown agent {agent!r}; have {self.agents}") from None
+
+    def scaled_to(self, max_flits_per_flow: int) -> "TrafficMatrix":
+        """Proportionally shrink so the largest flow carries at most
+        ``max_flits_per_flow`` flits (non-zero flows stay non-zero).
+
+        The cycle-stepped wormhole simulator walks every flit, so real
+        workload matrices (millions of pixel bits) are scaled down to a
+        representative load before simulation; relative flow intensities
+        are preserved up to integer rounding.
+        """
+        if max_flits_per_flow <= 0:
+            raise ConfigurationError("max_flits_per_flow must be positive")
+        peak = int(self.flits.max()) if self.flits.size else 0
+        if peak <= max_flits_per_flow:
+            return self
+        # Integer ceiling division: float ceil(flits * cap/peak) can land
+        # one flit over the cap when cap/peak rounds up.
+        scaled = (self.flits * max_flits_per_flow + peak - 1) // peak
+        return TrafficMatrix(self.agents, scaled, name=self.name)
+
+    def merged_with(self, other: "TrafficMatrix",
+                    name: Optional[str] = None) -> "TrafficMatrix":
+        """Element-wise sum of two matrices over the same agents."""
+        if other.agents != self.agents:
+            raise ConfigurationError(
+                f"cannot merge traffic over different agents: "
+                f"{self.agents} vs {other.agents}")
+        return TrafficMatrix(self.agents, self.flits + other.flits,
+                             name=name or f"{self.name}+{other.name}")
+
+    def __repr__(self) -> str:
+        return (f"TrafficMatrix({self.name!r}, agents={self.agent_count}, "
+                f"flows={self.flow_count}, flits={self.total_flits})")
+
+
+class _MatrixBuilder:
+    """Accumulates flits between named agents, then freezes a matrix."""
+
+    def __init__(self, agents: Sequence[str], name: str) -> None:
+        self.agents = tuple(agents)
+        self.name = name
+        self._index = {agent: i for i, agent in enumerate(self.agents)}
+        self._flits = np.zeros((len(self.agents), len(self.agents)),
+                               dtype=np.int64)
+
+    def add(self, source: str, sink: str, flits: int) -> None:
+        if flits <= 0 or source == sink:
+            return
+        self._flits[self._index[source], self._index[sink]] += flits
+
+    def build(self) -> TrafficMatrix:
+        return TrafficMatrix(self.agents, self._flits, name=self.name)
+
+
+# -- routed netlists ----------------------------------------------------------
+
+def traffic_from_routing(routing: RoutingResult, fabric_rows: int,
+                         fabric_cols: int, tiles: Tuple[int, int] = (2, 2),
+                         flit_bits: int = FLIT_BITS,
+                         name: str = "netlist") -> TrafficMatrix:
+    """Project a routed netlist onto a coarse tile grid over the fabric.
+
+    The fabric's ``rows x cols`` cluster grid is divided into
+    ``tiles[0] x tiles[1]`` rectangular tiles, each served by one NoC
+    router.  Walking every net's routed path, each step that crosses a
+    tile boundary contributes one word of ``width_bits`` between the two
+    tiles — so the matrix reflects the actual shape of the routed design
+    (a design routed within one tile generates no NoC load), not just its
+    endpoints.
+    """
+    tile_rows, tile_cols = tiles
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ConfigurationError("tile grid dimensions must be positive")
+    if fabric_rows <= 0 or fabric_cols <= 0:
+        raise ConfigurationError("fabric dimensions must be positive")
+    tile_rows = min(tile_rows, fabric_rows)
+    tile_cols = min(tile_cols, fabric_cols)
+
+    def tile_of(position: Tuple[int, int]) -> str:
+        row = min(position[0] * tile_rows // fabric_rows, tile_rows - 1)
+        col = min(position[1] * tile_cols // fabric_cols, tile_cols - 1)
+        return f"tile{row}_{col}"
+
+    agents = [f"tile{r}_{c}" for r in range(tile_rows)
+              for c in range(tile_cols)]
+    builder = _MatrixBuilder(agents, name)
+    for route in routing.routes:
+        words = _flits(route.width_bits, flit_bits)
+        for here, there in zip(route.path, route.path[1:]):
+            builder.add(tile_of(here), tile_of(there), words)
+    return builder.build()
+
+
+def tile_grid_for(tiles: Tuple[int, int]) -> Tuple[str, ...]:
+    """Agent names of the routing extractor's tile grid (row-major)."""
+    return tuple(f"tile{r}_{c}" for r in range(tiles[0])
+                 for c in range(tiles[1]))
+
+
+# -- video pipelines ----------------------------------------------------------
+
+def traffic_from_video(statistics: Sequence, frame_shape: Tuple[int, int],
+                       flit_bits: int = FLIT_BITS,
+                       name: str = "video") -> TrafficMatrix:
+    """Per-frame encoder streams as SoC traffic.
+
+    For every frame of a :class:`~repro.video.codec.FrameStatistics`
+    stream:
+
+    * the raw frame arrives ``io -> memory`` and streams
+      ``memory -> me_array`` (the current macroblocks);
+    * P-frames additionally fetch the reference ``memory -> me_array``
+      and write motion-compensated residuals ``me_array -> dct_array``
+      (I-frames feed the transform directly, modelled the same way);
+    * the quantised coefficient stream leaves ``dct_array -> cpu`` at the
+      frame's entropy estimate, and the reconstruction is written back
+      ``dct_array -> memory`` for the next frame's reference.
+    """
+    height, width = frame_shape
+    if height <= 0 or width <= 0:
+        raise ConfigurationError("frame dimensions must be positive")
+    frame_bits = height * width * PIXEL_BITS
+    builder = _MatrixBuilder(VIDEO_AGENTS, name)
+    for stats in statistics:
+        frame_flits = _flits(frame_bits, flit_bits)
+        builder.add("io", "memory", frame_flits)
+        builder.add("memory", "me_array", frame_flits)
+        if stats.frame_type == "P":
+            builder.add("memory", "me_array", frame_flits)   # reference fetch
+        builder.add("me_array", "dct_array", frame_flits)    # residual/source
+        builder.add("dct_array", "cpu", _flits(stats.estimated_bits, flit_bits))
+        builder.add("dct_array", "memory", frame_flits)      # reconstruction
+    return builder.build()
+
+
+# -- GOP-parallel sharding ----------------------------------------------------
+
+def gop_worker_agents(workers: int) -> Tuple[str, ...]:
+    """Agent names of the GOP sharding extractor."""
+    return ("io",) + tuple(f"worker{i}" for i in range(workers)) + ("cpu",)
+
+
+def traffic_from_gop_shards(frame_count: int, workers: int,
+                            frame_shape: Tuple[int, int],
+                            encoded_bits_per_frame: Optional[Sequence[int]] = None,
+                            flit_bits: int = FLIT_BITS,
+                            name: str = "gop_shards") -> TrafficMatrix:
+    """Frame fan-out and substream collection of a GOP-parallel encode.
+
+    Frames shard over ``workers`` exactly as
+    :func:`repro.engine.sharding.shard_slices` assigns them: worker ``w``
+    receives its contiguous frame range raw (``io -> worker``) and ships
+    the encoded substream back (``worker -> cpu``).  Pass the real
+    ``encoded_bits_per_frame`` from a
+    :class:`~repro.video.gop.GopEncodeOutcome` statistics stream for
+    measured output sizes; the default assumes 8:1 compression.
+    """
+    from repro.engine.sharding import shard_slices
+
+    if frame_count <= 0:
+        raise ConfigurationError("a GOP workload needs at least one frame")
+    height, width = frame_shape
+    frame_bits = height * width * PIXEL_BITS
+    if encoded_bits_per_frame is not None:
+        if len(encoded_bits_per_frame) != frame_count:
+            raise ConfigurationError(
+                f"encoded_bits_per_frame has {len(encoded_bits_per_frame)} "
+                f"entries for {frame_count} frames")
+        encoded = [int(bits) for bits in encoded_bits_per_frame]
+    else:
+        encoded = [frame_bits // 8] * frame_count
+
+    builder = _MatrixBuilder(gop_worker_agents(workers), name)
+    for worker, (start, stop) in enumerate(shard_slices(frame_count, workers)):
+        frames = stop - start
+        builder.add("io", f"worker{worker}",
+                    frames * _flits(frame_bits, flit_bits))
+        builder.add(f"worker{worker}", "cpu",
+                    _flits(sum(encoded[start:stop]), flit_bits))
+    return builder.build()
+
+
+# -- reconfiguration events ---------------------------------------------------
+
+#: Agents of the reconfiguration extractor: the configuration controller
+#: streaming bitstreams into the two switchable arrays.
+RECONFIGURATION_AGENTS: Tuple[str, ...] = ("config", "me_array", "dct_array")
+
+#: Nominal bitstream bits of an ME-array search-mode switch, used when the
+#: caller provides no measured value: switching between full / three-step /
+#: diamond reprograms control modes, not the datapath, so it is far cheaper
+#: than a DCT kernel swap.
+SEARCH_SWITCH_BITS = 256
+
+
+def kernel_bitstream_bits(names: Sequence[str] = ()) -> Dict[str, int]:
+    """Measured bitstream bits of the Table-1 DCT kernels, by short name.
+
+    Compiles each kernel through the shared :mod:`repro.flow` cache (one
+    place-and-route per process) and reads
+    :meth:`~repro.core.configuration.ConfigurationBitstream.total_bits`
+    off the result — the actual words a reconfiguration event streams.
+    """
+    from repro.flow import compile as flow_compile
+    from repro.video.scenes import dct_implementation_by_name
+
+    names = tuple(names) or ("mixed_rom", "cordic1", "cordic2",
+                             "scc_evenodd", "scc_direct")
+    bits: Dict[str, int] = {}
+    for name in names:
+        result = flow_compile(dct_implementation_by_name(name))
+        bits[name] = result.bitstream.total_bits()
+    return bits
+
+
+def traffic_from_reconfiguration(plan: Sequence[Mapping[str, str]],
+                                 bitstream_bits: Optional[Mapping[str, int]] = None,
+                                 flit_bits: int = FLIT_BITS,
+                                 name: str = "reconfiguration") -> TrafficMatrix:
+    """Bitstream traffic of a per-frame kernel-switching plan.
+
+    ``plan`` is the output of
+    :func:`repro.video.scenes.plan_reconfiguration`: per frame, the
+    search and DCT kernel to run.  Every *change* of DCT kernel streams
+    that kernel's bitstream ``config -> dct_array`` (frame 0 loads the
+    initial kernel); every search change streams a mode update
+    ``config -> me_array``.  ``bitstream_bits`` maps DCT short names to
+    measured bitstream bits (see :func:`kernel_bitstream_bits`); omitted
+    kernels fall back to the largest provided value, and with no mapping
+    at all the kernels are compiled on demand.
+    """
+    if not plan:
+        raise ConfigurationError("an empty plan carries no traffic")
+    if bitstream_bits is None:
+        bitstream_bits = kernel_bitstream_bits(
+            sorted({step["dct_name"] for step in plan}))
+    fallback = max(bitstream_bits.values()) if bitstream_bits else 0
+
+    builder = _MatrixBuilder(RECONFIGURATION_AGENTS, name)
+    previous_dct: Optional[str] = None
+    previous_search: Optional[str] = None
+    for step in plan:
+        dct = step["dct_name"]
+        search = step["search_name"]
+        if dct != previous_dct:
+            builder.add("config", "dct_array",
+                        _flits(bitstream_bits.get(dct, fallback), flit_bits))
+        if search != previous_search and previous_search is not None:
+            builder.add("config", "me_array",
+                        _flits(SEARCH_SWITCH_BITS, flit_bits))
+        previous_dct, previous_search = dct, search
+    return builder.build()
+
+
+# -- synthetic patterns -------------------------------------------------------
+
+def uniform_traffic(agent_count: int, flits_per_flow: int = 4,
+                    name: str = "uniform") -> TrafficMatrix:
+    """Every agent sends ``flits_per_flow`` to every other agent."""
+    matrix = np.full((agent_count, agent_count), flits_per_flow,
+                     dtype=np.int64)
+    np.fill_diagonal(matrix, 0)
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)
+
+
+def hotspot_traffic(agent_count: int, hotspot: int = 0,
+                    flits_per_flow: int = 4,
+                    name: str = "hotspot") -> TrafficMatrix:
+    """Every agent sends to (and receives from) one hotspot agent."""
+    if not 0 <= hotspot < agent_count:
+        raise ConfigurationError("hotspot index out of range")
+    matrix = np.zeros((agent_count, agent_count), dtype=np.int64)
+    matrix[:, hotspot] = flits_per_flow
+    matrix[hotspot, :] = flits_per_flow
+    np.fill_diagonal(matrix, 0)
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)
+
+
+def transpose_traffic(agent_count: int, flits_per_flow: int = 4,
+                      name: str = "transpose") -> TrafficMatrix:
+    """Agent ``i`` sends to agent ``count - 1 - i`` (corner turn)."""
+    matrix = np.zeros((agent_count, agent_count), dtype=np.int64)
+    for index in range(agent_count):
+        partner = agent_count - 1 - index
+        if partner != index:
+            matrix[index, partner] = flits_per_flow
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)

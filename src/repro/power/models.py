@@ -52,6 +52,37 @@ MEMORY_BIT_SWITCHED_CAP = 0.012
 #: connects (much lower than the fine-grain FPGA factor of 2.6).
 MESH_INTERCONNECT_CAP_FACTOR = 0.55
 
+# -- SoC-level network-on-chip constants (consumed by repro.noc) -------------
+
+#: Switched capacitance of carrying one flit across one link for one cycle
+#: (a longer / slower link integrates more wire capacitance, so the energy
+#: scales with the link's latency cycles).
+NOC_LINK_ENERGY_PER_FLIT_CYCLE = 0.18
+
+#: Switched capacitance of one flit traversing one router (buffer write,
+#: arbitration, crossbar).
+NOC_ROUTER_ENERGY_PER_FLIT = 0.45
+
+#: Area of one router port in 4-bit-element units; a router's crossbar
+#: area grows with the square of its port count (see
+#: :meth:`repro.noc.topology.Topology.router_area_elements`).
+NOC_ROUTER_PORT_AREA_ELEMENTS = 2.5
+
+
+def noc_transfer_energy(flit_link_cycles: int,
+                        flit_router_crossings: int) -> float:
+    """Energy of a NoC transfer from its integer activity aggregates.
+
+    ``flit_link_cycles`` counts flit-cycles spent on links (each crossing
+    weighted by the link's latency) and ``flit_router_crossings`` counts
+    flit-router traversals; keeping both integral lets the scalar and
+    batched simulators report bit-identical energies.
+    """
+    if flit_link_cycles < 0 or flit_router_crossings < 0:
+        raise ValueError("NoC activity aggregates must be non-negative")
+    return (NOC_LINK_ENERGY_PER_FLIT_CYCLE * flit_link_cycles
+            + NOC_ROUTER_ENERGY_PER_FLIT * flit_router_crossings)
+
 
 @dataclass(frozen=True)
 class ArrayCalibration:

@@ -15,13 +15,18 @@ def format_table(rows: Sequence[Mapping[str, object]],
     rows:
         One mapping per table row.
     columns:
-        Column order; defaults to the keys of the first row.
+        Column order; defaults to the union of every row's keys in
+        first-seen order, so metric fields that only some rows carry
+        (``engine_levels`` / ``engine_registers`` from the execution
+        runtime, ``noc_latency_cycles`` / ``noc_energy`` from the NoC
+        passes) appear instead of being silently dropped.
     title:
         Optional heading printed above the table.
     """
     if not rows:
         return title
-    columns = list(columns) or list(rows[0].keys())
+    columns = list(columns) or list(dict.fromkeys(
+        key for row in rows for key in row))
     header = [str(column) for column in columns]
     body = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
     widths = [max(len(header[i]), *(len(line[i]) for line in body))

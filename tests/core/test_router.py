@@ -106,3 +106,80 @@ class TestCongestion:
         placement = GreedyPlacer(fabric).place(netlist)
         result = MeshRouter(fabric).route(netlist, placement)
         assert len(result.routes) == 4
+
+
+def random_grid_case(rng, coarse, fine):
+    """A random netlist placed on a random small 2-D fabric."""
+    import numpy as np
+
+    rows = int(rng.integers(2, 5))
+    cols = int(rng.integers(2, 5))
+    spec = MeshSpec(coarse_tracks_per_channel=coarse,
+                    fine_tracks_per_channel=fine)
+    fabric = Fabric("grid", rows=rows, cols=cols, mesh_spec=spec)
+    for row in range(rows):
+        for col in range(cols):
+            fabric.place_cluster((row, col),
+                                 ClusterSpec(ClusterKind.ADD_SHIFT, 16))
+    node_count = int(rng.integers(2, rows * cols + 1))
+    sites = [(r, c) for r in range(rows) for c in range(cols)]
+    chosen = [sites[i] for i in rng.choice(len(sites), node_count,
+                                           replace=False)]
+    netlist = Netlist("random")
+    positions = {}
+    for index, site in enumerate(chosen):
+        netlist.add_node(f"n{index}", ClusterKind.ADD_SHIFT)
+        positions[f"n{index}"] = site
+    net_count = int(rng.integers(1, 2 * node_count + 1))
+    for index in range(net_count):
+        source, sink = rng.choice(node_count, 2, replace=False)
+        width = int(rng.choice(np.array([1, 2, 8, 16])))
+        netlist.connect(f"n{int(source)}", f"n{int(sink)}", width_bits=width,
+                        name=f"net{index}")
+    return fabric, netlist, Placement("grid", "random", positions)
+
+
+class TestCapacityProperty:
+    """Property-style: routed channels never exceed their track capacity,
+    and congestion surfaces as RoutingError, never as silent overflow."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_occupancy_never_exceeds_capacity(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(7000 + seed)
+        for _ in range(5):                       # 60 drawn cases
+            coarse = int(rng.integers(1, 4))
+            fine = int(rng.integers(0, 4))
+            fabric, netlist, placement = random_grid_case(rng, coarse, fine)
+            try:
+                MeshRouter(fabric).route(netlist, placement)
+            except RoutingError:
+                continue                          # congested: loud, not silent
+            mesh = fabric.mesh
+            for row in range(mesh.rows):
+                for col in range(mesh.cols):
+                    for neighbour in mesh.neighbours((row, col)):
+                        channel = mesh.channel_between((row, col), neighbour)
+                        assert channel.coarse_used <= channel.coarse_tracks
+                        assert channel.fine_used <= channel.fine_tracks
+                        assert 0.0 <= channel.utilisation <= 1.0
+
+    def test_congested_placement_raises_not_overflows(self):
+        # Ten byte buses over a single-coarse-track channel must raise;
+        # the channel must never report more tracks used than it has.
+        fabric = linear_fabric(cols=2, coarse=1, fine=0)
+        netlist = Netlist("overflow")
+        positions = {}
+        for index in range(10):
+            for suffix in ("s", "t"):
+                name = f"n{index}{suffix}"
+                netlist.add_node(name, ClusterKind.ADD_SHIFT)
+                positions[name] = (0, 0) if suffix == "s" else (0, 1)
+            netlist.connect(f"n{index}s", f"n{index}t", width_bits=8,
+                            name=f"bus{index}")
+        placement = Placement("line", "overflow", positions)
+        with pytest.raises(RoutingError):
+            MeshRouter(fabric).route(netlist, placement)
+        channel = fabric.mesh.channel_between((0, 0), (0, 1))
+        assert channel.coarse_used <= channel.coarse_tracks

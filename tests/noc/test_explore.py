@@ -1,0 +1,127 @@
+"""Design-space explorer: sweeps and Pareto-front properties."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.explore import (
+    DesignPoint,
+    pareto_by_workload,
+    pareto_front,
+    sweep,
+)
+from repro.noc.topology import TOPOLOGY_FAMILIES, Mesh2D, Ring
+from repro.noc.traffic import hotspot_traffic, transpose_traffic, uniform_traffic
+
+
+def small_sweep():
+    return sweep({"uniform": uniform_traffic(8, 3),
+                  "hotspot": hotspot_traffic(8, 0, 5)},
+                 placements=("linear",))
+
+
+class TestSweep:
+    def test_covers_every_family_and_workload(self):
+        points = small_sweep()
+        assert {point.topology.split("_")[0] for point in points} == \
+            {"mesh", "torus", "ring", "mesh3d", "hub"}
+        assert {point.workload for point in points} == {"uniform", "hotspot"}
+        assert len(points) == len(TOPOLOGY_FAMILIES) * 2
+
+    def test_explicit_topologies_and_placements(self):
+        points = sweep({"transpose": transpose_traffic(6, 4)},
+                       topologies=[Mesh2D(2, 3), Ring(6)],
+                       placements=("linear", "spread"))
+        assert len(points) == 4
+        assert {point.placement for point in points} == {"linear", "spread"}
+
+    def test_points_carry_consistent_metrics(self):
+        for point in small_sweep():
+            assert point.latency_cycles >= 1
+            assert point.energy > 0
+            assert point.router_area > 0
+            assert point.node_count >= 8
+            summary = point.summary()
+            assert summary["topology"] == point.topology
+            assert summary["latency_cycles"] == point.latency_cycles
+
+    def test_batched_grouping_matches_individual_sweeps(self):
+        together = sweep({"uniform": uniform_traffic(8, 3),
+                          "hotspot": hotspot_traffic(8, 0, 5)},
+                         placements=("linear",))
+        alone = (sweep({"uniform": uniform_traffic(8, 3)},
+                       placements=("linear",))
+                 + sweep({"hotspot": hotspot_traffic(8, 0, 5)},
+                         placements=("linear",)))
+        key = lambda p: (p.topology, p.workload)
+        assert {key(p): (p.latency_cycles, p.energy) for p in together} == \
+            {key(p): (p.latency_cycles, p.energy) for p in alone}
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep({})
+
+
+class TestParetoFront:
+    def test_front_is_nonempty_subset(self):
+        points = small_sweep()
+        front = pareto_front(points)
+        assert front
+        assert set(id(p) for p in front) <= set(id(p) for p in points)
+
+    def test_no_front_point_dominates_another(self):
+        front = pareto_front(small_sweep())
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                better_everywhere = (
+                    a.latency_cycles <= b.latency_cycles
+                    and a.energy <= b.energy
+                    and a.router_area <= b.router_area
+                    and a.saturated <= b.saturated
+                    and (a.latency_cycles, a.energy, a.router_area,
+                         a.saturated)
+                    != (b.latency_cycles, b.energy, b.router_area,
+                        b.saturated))
+                assert not better_everywhere
+
+    def test_front_contains_the_minimum_of_each_objective(self):
+        points = small_sweep()
+        front = pareto_front(points)
+        front_keys = {(p.topology, p.workload, p.placement) for p in front}
+        for objective in ("latency_cycles", "energy", "router_area"):
+            best = min(points, key=lambda p: (getattr(p, objective),
+                                              p.saturated))
+            dominated_keys = {(p.topology, p.workload, p.placement)
+                              for p in points
+                              if getattr(p, objective)
+                              == getattr(best, objective)}
+            assert front_keys & dominated_keys
+
+    def test_dominated_point_is_dropped(self):
+        good = DesignPoint("mesh", "linear", "w", 4, 4, 10, 5.0, 10.0, 10.0,
+                           0.5, False)
+        bad = DesignPoint("ring", "linear", "w", 4, 4, 20, 9.0, 20.0, 20.0,
+                          0.5, False)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_incomparable_points_both_survive(self):
+        fast = DesignPoint("mesh", "linear", "w", 4, 4, 10, 5.0, 30.0, 10.0,
+                           0.5, False)
+        frugal = DesignPoint("ring", "linear", "w", 4, 4, 30, 9.0, 10.0, 5.0,
+                             0.5, False)
+        assert pareto_front([fast, frugal]) == [fast, frugal]
+
+    def test_unknown_objective_rejected(self):
+        point = DesignPoint("mesh", "linear", "w", 4, 4, 10, 5.0, 10.0, 10.0,
+                            0.5, False)
+        with pytest.raises(ConfigurationError):
+            pareto_front([point], objectives=("beauty",))
+
+    def test_per_workload_fronts_partition_the_sweep(self):
+        points = small_sweep()
+        fronts = pareto_by_workload(points)
+        assert set(fronts) == {"uniform", "hotspot"}
+        for workload, front in fronts.items():
+            assert front
+            assert all(point.workload == workload for point in front)

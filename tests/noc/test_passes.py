@@ -1,0 +1,141 @@
+"""Flow integration: the NoC passes inside ``repro.flow.compile``."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct import MixedRomDCT, SCCDirectDCT
+from repro.flow import Flow, FlowCache
+from repro.noc.passes import NocMapPass, NocMetricsPass
+from repro.noc.topology import HubAndSpoke, Torus2D
+
+
+class TestFlowWithNoc:
+    def test_compile_reports_noc_metrics(self):
+        result = Flow.with_noc().compile(MixedRomDCT())
+        assert result.noc_map is not None
+        assert result.noc is not None
+        assert result.metrics.noc_latency_cycles > 0
+        assert result.metrics.noc_energy > 0
+        summary = result.summary()
+        assert summary["noc_latency_cycles"] == result.metrics.noc_latency_cycles
+        assert summary["noc_energy"] == round(result.metrics.noc_energy, 2)
+
+    def test_default_flow_leaves_noc_fields_zero(self):
+        result = Flow.default().compile(MixedRomDCT())
+        assert result.noc is None
+        assert result.metrics.noc_latency_cycles == 0
+        assert result.metrics.noc_energy == 0.0
+
+    def test_alternative_topology_changes_the_mapping(self):
+        mesh = Flow.with_noc(tiles=(3, 3)).compile(MixedRomDCT())
+        torus = Flow.with_noc(topology=Torus2D(3, 3),
+                              tiles=(3, 3)).compile(MixedRomDCT())
+        assert mesh.noc.topology_name == "mesh_3x3"
+        assert torus.noc.topology_name == "torus_3x3"
+        assert torus.noc.max_latency_cycles <= mesh.noc.max_latency_cycles
+
+    def test_traffic_is_conserved_through_the_flow(self):
+        result = Flow.with_noc().compile(SCCDirectDCT())
+        assert result.noc.delivered_flits == result.noc.total_flits
+        assert result.noc.total_flits == result.noc_map.traffic.total_flits
+
+    def test_wormhole_model_available_in_flow(self):
+        result = Flow.with_noc(model="wormhole").compile(MixedRomDCT())
+        assert result.noc.model == "wormhole"
+        assert result.noc.delivered_flits == result.noc.total_flits
+
+    def test_analytic_metrics_track_the_full_traffic_volume(self):
+        from repro.noc.sim import WORMHOLE_FLIT_CAP
+
+        # The analytic pass runs uncapped: the simulated flit count is
+        # the extracted matrix's, however heavy, so a 2x-heavier design
+        # reports 2x the transfer energy instead of a clamped value.
+        assert NocMetricsPass().max_flits_per_flow is None
+        assert (NocMetricsPass(model="wormhole").max_flits_per_flow
+                == WORMHOLE_FLIT_CAP)
+        assert NocMetricsPass(max_flits_per_flow=8).max_flits_per_flow == 8
+        result = Flow.with_noc().compile(SCCDirectDCT())
+        assert result.noc.total_flits == result.noc_map.traffic.total_flits
+
+    def test_topology_smaller_than_tiles_rejected(self):
+        flow = Flow.with_noc(topology=HubAndSpoke(2), tiles=(3, 3))
+        with pytest.raises(ConfigurationError):
+            flow.compile(MixedRomDCT())
+
+    def test_oversized_tiles_clamp_to_an_aligned_topology(self):
+        # The traffic extractor clamps a too-fine tile grid to the fabric;
+        # the default mesh must be built from the same clamped grid, so
+        # adjacent tiles stay adjacent routers.
+        result = Flow.with_noc(tiles=(3, 99)).compile(MixedRomDCT())
+        tile_rows, tile_cols = 3, result.fabric.cols
+        assert result.noc_map.topology.node_count == tile_rows * tile_cols
+        placement = result.noc_map.placement
+        topology = result.noc_map.topology
+        for source, sink, _ in result.noc_map.traffic.flows():
+            a = placement[result.noc_map.traffic.agents[source]]
+            b = placement[result.noc_map.traffic.agents[sink]]
+            assert topology.hop_distance(a, b) == 1
+
+
+class TestCaching:
+    def test_noc_flow_misses_the_default_flow_cache(self):
+        cache = FlowCache()
+        plain = Flow.default().compile(MixedRomDCT(), cache=cache)
+        with_noc = Flow.with_noc().compile(MixedRomDCT(), cache=cache)
+        assert not plain.cache_hit
+        assert not with_noc.cache_hit         # different pass signature
+        again = Flow.with_noc().compile(MixedRomDCT(), cache=cache)
+        assert again.cache_hit
+        assert again.noc is not None
+        assert again.metrics.noc_latency_cycles > 0
+
+    def test_signatures_cover_parameters(self):
+        assert (NocMapPass(tiles=(2, 2)).signature()
+                != NocMapPass(tiles=(4, 4)).signature())
+        assert (NocMapPass(topology=Torus2D(2, 2)).signature()
+                != NocMapPass().signature())
+        assert (NocMetricsPass(model="analytic").signature()
+                != NocMetricsPass(model="wormhole").signature())
+
+    def test_signature_sees_link_latency_not_just_the_name(self):
+        from repro.noc.topology import Mesh3D
+
+        fast = Mesh3D(2, 2, 2, tsv_latency=1)
+        slow = Mesh3D(2, 2, 2, tsv_latency=10)
+        assert fast.name == slow.name
+        assert (NocMapPass(topology=fast).signature()
+                != NocMapPass(topology=slow).signature())
+
+    def test_same_name_different_latency_misses_the_cache(self):
+        from repro.noc.topology import Mesh3D
+
+        cache = FlowCache()
+        fast = Flow.with_noc(topology=Mesh3D(2, 2, 2, tsv_latency=1),
+                             tiles=(2, 2)).compile(MixedRomDCT(), cache=cache)
+        slow = Flow.with_noc(topology=Mesh3D(2, 2, 2, tsv_latency=10),
+                             tiles=(2, 2)).compile(MixedRomDCT(), cache=cache)
+        assert not slow.cache_hit                 # stale metrics would hide here
+        assert slow.noc.flit_link_cycles >= fast.noc.flit_link_cycles
+
+
+class TestValidation:
+    def test_metrics_pass_requires_the_map(self):
+        from repro.flow import GreedyPlacePass, MetricsPass, RoutePass, SchedulePass
+
+        with pytest.raises(ConfigurationError):
+            Flow([SchedulePass(), GreedyPlacePass(), RoutePass(),
+                  MetricsPass(), NocMetricsPass()])
+
+    def test_map_pass_requires_routing(self):
+        from repro.flow import GreedyPlacePass, SchedulePass
+
+        with pytest.raises(ConfigurationError):
+            Flow([SchedulePass(), GreedyPlacePass(), NocMapPass()])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NocMetricsPass(model="quantum")
+
+    def test_unknown_placement_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NocMapPass(placement_strategy="random")

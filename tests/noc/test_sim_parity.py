@@ -1,0 +1,165 @@
+"""Seeded randomized parity: batched NoC simulation against the scalar
+reference, mirroring ``tests/engine/test_randomized_parity.py``.
+
+Random (topology, traffic-batch) pairs are drawn under fixed seeds across
+every topology family, both simulation models, mixed flow densities and
+flit loads — asserting the batched implementation is **integer-identical**
+to per-matrix scalar simulation: per-flow latencies, link loads,
+delivered-flit counts, cycle counts and the integer energy aggregates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noc.sim import simulate, simulate_batched
+from repro.noc.topology import (
+    HubAndSpoke,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    Torus2D,
+)
+from repro.noc.traffic import TrafficMatrix
+
+
+def random_topology(rng):
+    kind = int(rng.integers(0, 5))
+    if kind == 0:
+        return Mesh2D(int(rng.integers(2, 4)), int(rng.integers(2, 4)))
+    if kind == 1:
+        return Torus2D(int(rng.integers(2, 4)), int(rng.integers(3, 5)))
+    if kind == 2:
+        return Ring(int(rng.integers(3, 9)))
+    if kind == 3:
+        return Mesh3D(int(rng.integers(1, 3)), int(rng.integers(2, 4)),
+                      layers=2)
+    return HubAndSpoke(int(rng.integers(2, 8)),
+                       hubs=int(rng.integers(1, 3)))
+
+
+def random_traffic_batch(rng, agent_count, batch):
+    """A batch of matrices over one agent set with mixed densities."""
+    agents = tuple(f"n{i}" for i in range(agent_count))
+    matrices = []
+    for index in range(batch):
+        density = float(rng.uniform(0.1, 0.9))
+        flits = rng.integers(1, 12, (agent_count, agent_count))
+        mask = rng.random((agent_count, agent_count)) < density
+        matrix = np.where(mask, flits, 0).astype(np.int64)
+        np.fill_diagonal(matrix, 0)
+        matrices.append(TrafficMatrix(agents, matrix, name=f"t{index}"))
+    return matrices
+
+
+def assert_results_identical(scalar, batched):
+    assert np.array_equal(scalar.per_flow_latency, batched.per_flow_latency)
+    assert np.array_equal(scalar.link_loads, batched.link_loads)
+    assert scalar.delivered_flits == batched.delivered_flits
+    assert scalar.cycles == batched.cycles
+    assert scalar.flit_link_cycles == batched.flit_link_cycles
+    assert scalar.flit_router_crossings == batched.flit_router_crossings
+    assert scalar.energy == batched.energy
+    assert scalar.saturated == batched.saturated
+
+
+class TestAnalyticParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cases(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        for _ in range(4):                        # 40 drawn batches
+            topology = random_topology(rng)
+            agent_count = int(rng.integers(2, topology.node_count + 1))
+            batch = int(rng.integers(1, 5))
+            traffics = random_traffic_batch(rng, agent_count, batch)
+            batched = simulate_batched(topology, traffics, model="analytic")
+            for traffic, result in zip(traffics, batched):
+                scalar = simulate(topology, traffic, model="analytic")
+                assert_results_identical(scalar, result)
+
+
+class TestWormholeParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cases(self, seed):
+        rng = np.random.default_rng(5000 + seed)
+        for _ in range(3):                        # 30 drawn batches
+            topology = random_topology(rng)
+            agent_count = int(rng.integers(2, topology.node_count + 1))
+            batch = int(rng.integers(1, 4))
+            traffics = random_traffic_batch(rng, agent_count, batch)
+            batched = simulate_batched(topology, traffics, model="wormhole")
+            for traffic, result in zip(traffics, batched):
+                scalar = simulate(topology, traffic, model="wormhole")
+                assert_results_identical(scalar, result)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parity_under_exhausted_cycle_budget(self, seed):
+        """Saturation censoring must match flit for flit."""
+        rng = np.random.default_rng(6000 + seed)
+        topology = random_topology(rng)
+        agent_count = topology.node_count
+        # Dense, heavy matrices: every pair ships >= 5 flits, so a budget
+        # of a few cycles is guaranteed to censor some of them.
+        agents = tuple(f"n{i}" for i in range(agent_count))
+        traffics = []
+        for index in range(3):
+            matrix = rng.integers(5, 12, (agent_count, agent_count))
+            np.fill_diagonal(matrix, 0)
+            traffics.append(TrafficMatrix(agents, matrix, name=f"t{index}"))
+        budget = int(rng.integers(2, 9))
+        batched = simulate_batched(topology, traffics, model="wormhole",
+                                   max_cycles=budget)
+        for traffic, result in zip(traffics, batched):
+            scalar = simulate(topology, traffic, model="wormhole",
+                              max_cycles=budget)
+            assert_results_identical(scalar, result)
+            assert scalar.saturated
+            assert scalar.delivered_flits < scalar.total_flits
+
+    def test_parity_with_scaling(self):
+        rng = np.random.default_rng(6500)
+        topology = Mesh2D(3, 3)
+        traffics = random_traffic_batch(rng, 9, 2)
+        heavy = [TrafficMatrix(t.agents, t.flits * 1000, name=t.name)
+                 for t in traffics]
+        batched = simulate_batched(topology, heavy, model="wormhole",
+                                   max_flits_per_flow=6)
+        for traffic, result in zip(heavy, batched):
+            scalar = simulate(topology, traffic, model="wormhole",
+                              max_flits_per_flow=6)
+            assert_results_identical(scalar, result)
+
+
+class TestModelAgreement:
+    """The two models agree on structure even though latencies differ."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_loads_and_energy_match_across_models(self, seed):
+        rng = np.random.default_rng(6600 + seed)
+        topology = random_topology(rng)
+        traffic = random_traffic_batch(rng, topology.node_count, 1)[0]
+        analytic = simulate(topology, traffic, model="analytic")
+        wormhole = simulate(topology, traffic, model="wormhole")
+        assert wormhole.delivered_flits == wormhole.total_flits
+        # Fully delivered: both models see identical link crossings and
+        # therefore identical transfer energy.
+        assert np.array_equal(analytic.link_loads, wormhole.link_loads)
+        assert analytic.flit_link_cycles == wormhole.flit_link_cycles
+        assert (analytic.flit_router_crossings
+                == wormhole.flit_router_crossings)
+        assert analytic.energy == wormhole.energy
+
+    def test_wormhole_never_beats_zero_load_latency(self):
+        rng = np.random.default_rng(6700)
+        topology = Mesh2D(3, 3)
+        traffic = random_traffic_batch(rng, 9, 1)[0]
+        result = simulate(topology, traffic, model="wormhole")
+        placement = {agent: index for index, agent in
+                     enumerate(traffic.agents)}
+        for latency, (source, sink, flits) in zip(result.per_flow_latency,
+                                                  traffic.flows()):
+            zero_load = (topology.route_latency(placement[traffic.agents[source]],
+                                                placement[traffic.agents[sink]])
+                         + flits - 1)
+            assert latency >= zero_load - topology.hop_distance(
+                placement[traffic.agents[source]],
+                placement[traffic.agents[sink]])

@@ -1,0 +1,201 @@
+"""Topology invariants: distances, wraparound, degrees, placement."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.topology import (
+    TOPOLOGY_FAMILIES,
+    TSV_CYCLES,
+    HubAndSpoke,
+    Link,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    Torus2D,
+    place_agents,
+    standard_topologies,
+    topology_by_name,
+)
+
+
+def every_topology():
+    return [Mesh2D(3, 4), Torus2D(3, 4), Ring(7), Mesh3D(2, 3, 2),
+            HubAndSpoke(6), HubAndSpoke(6, hubs=2)]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("topology", every_topology(),
+                             ids=lambda t: t.name)
+    def test_hop_distance_is_symmetric(self, topology):
+        for a in range(topology.node_count):
+            for b in range(a + 1, topology.node_count):
+                assert topology.hop_distance(a, b) == topology.hop_distance(b, a)
+
+    @pytest.mark.parametrize("topology", every_topology(),
+                             ids=lambda t: t.name)
+    def test_routes_are_valid_walks(self, topology):
+        for a in range(topology.node_count):
+            for b in range(topology.node_count):
+                path = topology.route(a, b)
+                assert path[0] == a and path[-1] == b
+                for here, there in zip(path, path[1:]):
+                    assert there in topology.neighbours(here)
+                assert len(set(path)) == len(path)   # no revisits
+
+    @pytest.mark.parametrize("topology", every_topology(),
+                             ids=lambda t: t.name)
+    def test_degree_sums_to_twice_link_count(self, topology):
+        total = sum(topology.degree(node)
+                    for node in range(topology.node_count))
+        assert total == 2 * topology.link_count
+
+
+class TestMesh:
+    def test_dimensions_and_counts(self):
+        mesh = Mesh2D(3, 4)
+        assert mesh.node_count == 12
+        assert mesh.link_count == 3 * 3 + 2 * 4        # rows*(cols-1) + (rows-1)*cols
+        assert mesh.diameter() == (3 - 1) + (4 - 1)
+
+    def test_corner_has_degree_two(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.degree(mesh.node_at(0, 0)) == 2
+        assert mesh.degree(mesh.node_at(1, 1)) == 4
+
+
+class TestTorus:
+    def test_wraparound_shortens_opposite_edges(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(torus.node_at(0, 0),
+                                  torus.node_at(0, 3)) == 1
+        assert torus.hop_distance(torus.node_at(0, 0),
+                                  torus.node_at(3, 0)) == 1
+
+    def test_diameter_is_half_the_mesh(self):
+        assert Torus2D(4, 4).diameter() == 4
+        assert Mesh2D(4, 4).diameter() == 6
+
+    def test_short_dimension_gets_no_duplicate_links(self):
+        torus = Torus2D(2, 4)
+        # Wrap only on the length-4 dimension: 2 rows of 3+1 links, plus
+        # 4 column links (rows=2 is already fully connected columnwise).
+        assert torus.link_count == 2 * 4 + 4
+
+    def test_every_node_degree_four_on_large_torus(self):
+        torus = Torus2D(3, 3)
+        assert all(torus.degree(node) == 4
+                   for node in range(torus.node_count))
+
+
+class TestRing:
+    def test_two_links_per_node(self):
+        ring = Ring(6)
+        assert all(ring.degree(node) == 2 for node in range(6))
+        assert ring.link_count == 6
+
+    def test_diameter_is_half_the_ring(self):
+        assert Ring(6).diameter() == 3
+        assert Ring(7).diameter() == 3
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ring(2)
+
+
+class TestMesh3D:
+    def test_vertical_links_are_slower(self):
+        stacked = Mesh3D(2, 2, 2)
+        below = stacked.node_at(0, 0, 0)
+        above = stacked.node_at(1, 0, 0)
+        assert stacked.link_latency(below, above) == TSV_CYCLES
+        assert stacked.link_latency(below, stacked.node_at(0, 0, 1)) == 1
+
+    def test_node_and_link_counts(self):
+        stacked = Mesh3D(2, 3, 2)
+        assert stacked.node_count == 12
+        in_plane = 2 * (2 * 2 + 1 * 3)                 # per layer
+        assert stacked.link_count == in_plane + 6       # plus one TSV per site
+
+    def test_routes_prefer_in_plane_paths(self):
+        # Crossing layers twice costs 2*TSV; staying in plane wins.
+        stacked = Mesh3D(1, 3, 2, tsv_latency=4)
+        path = stacked.route(stacked.node_at(0, 0, 0),
+                             stacked.node_at(0, 0, 2))
+        assert all(node < 3 for node in path)           # layer 0 only
+
+
+class TestHubAndSpoke:
+    def test_hub_degree_equals_spoke_count(self):
+        hub = HubAndSpoke(6)
+        assert hub.degree(hub.hub_nodes()[0]) == 6
+        assert all(hub.degree(spoke) == 1 for spoke in range(6))
+
+    def test_spoke_to_spoke_goes_through_hub(self):
+        hub = HubAndSpoke(5)
+        path = hub.route(0, 4)
+        assert path == (0, hub.hub_nodes()[0], 4)
+
+    def test_two_hubs_share_the_spokes(self):
+        hub = HubAndSpoke(6, hubs=2)
+        first, second = hub.hub_nodes()
+        assert hub.degree(first) == 3 + 1               # spokes + peer hub
+        assert hub.degree(second) == 3 + 1
+        assert hub.hop_distance(0, 1) == 3              # spoke-hub-hub-spoke
+
+
+class TestRegistry:
+    def test_families_cover_the_issue_set(self):
+        assert set(TOPOLOGY_FAMILIES) == {"mesh", "torus", "ring", "mesh3d",
+                                          "hub"}
+
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_factories_fit_requested_agents(self, family):
+        for count in (3, 5, 9, 16):
+            topology = topology_by_name(family, count)
+            assert topology.node_count >= count
+
+    def test_standard_topologies_instantiates_every_family(self):
+        names = [topology.name for topology in standard_topologies(8)]
+        assert len(names) == len(TOPOLOGY_FAMILIES)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            topology_by_name("hypercube", 8)
+
+    def test_duplicate_links_rejected(self):
+        from repro.noc.topology import Topology
+
+        with pytest.raises(ConfigurationError):
+            Topology("dup", 2, [Link(0, 1), Link(1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(1, 1)
+
+
+class TestPlacement:
+    def test_linear_takes_ids_in_order(self):
+        placement = place_agents(["a", "b", "c"], Mesh2D(2, 2))
+        assert placement == {"a": 0, "b": 1, "c": 2}
+
+    def test_spread_uses_the_full_id_range(self):
+        placement = place_agents(["a", "b"], Ring(8), strategy="spread")
+        assert placement["a"] == 0 and placement["b"] == 7
+
+    def test_spread_assigns_distinct_nodes(self):
+        agents = [f"a{i}" for i in range(5)]
+        placement = place_agents(agents, Mesh2D(2, 3), strategy="spread")
+        assert len(set(placement.values())) == len(agents)
+
+    def test_hub_strategy_puts_first_agent_on_highest_degree(self):
+        hub = HubAndSpoke(5)
+        placement = place_agents(["memory", "a", "b"], hub, strategy="hub")
+        assert placement["memory"] == hub.hub_nodes()[0]
+
+    def test_too_many_agents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_agents([f"a{i}" for i in range(5)], Mesh2D(2, 2))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_agents(["a"], Mesh2D(2, 2), strategy="random")

@@ -29,6 +29,24 @@ class TestFormatTable:
     def test_empty_rows_return_title(self):
         assert format_table([], title="nothing") == "nothing"
 
+    def test_union_of_keys_across_rows(self):
+        """Keys absent from the first row must not be silently dropped."""
+        rows = [{"design": "a", "total_clusters": 32},
+                {"design": "b", "total_clusters": 24,
+                 "engine_levels": 2, "engine_registers": 16,
+                 "noc_latency_cycles": 24, "noc_energy": 25.92}]
+        text = format_table(rows)
+        header = text.splitlines()[0]
+        for column in ("engine_levels", "engine_registers",
+                       "noc_latency_cycles", "noc_energy"):
+            assert column in header
+        assert "25.92" in text
+
+    def test_union_preserves_first_seen_order(self):
+        text = format_table([{"b": 1}, {"a": 2, "b": 3}])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
 
 class TestFormatComparison:
     def test_lists_paper_and_measured_values(self):
