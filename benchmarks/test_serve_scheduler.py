@@ -1,0 +1,70 @@
+"""Serving-scheduler benchmark: policy sweep with bit-exactness asserted.
+
+The multi-tenant counterpart of the GOP and NoC benchmarks:
+pytest-benchmark records a full virtual-time serving run of the
+kernel-churn mix (the policy-sensitive workload) after asserting that
+the scheduled, batched execution is bit-identical to the naive serial
+reference and that job conservation holds; the committed
+``BENCH_serve.json`` from ``run_bench_serve.py`` tracks the
+policy-vs-policy latency/energy picture PR over PR.
+"""
+
+import pytest
+
+from repro.serve import (
+    KernelLibrary,
+    ServeSettings,
+    execute_serial,
+    generate_jobs,
+    serve,
+)
+
+LIBRARY = KernelLibrary()
+
+
+@pytest.fixture(scope="module")
+def churn_trace():
+    return generate_jobs("kernel_churn", job_count=24, seed=7,
+                         mean_gap=6_000)
+
+
+@pytest.fixture(scope="module")
+def serial_digests(churn_trace):
+    return {result.job_id: result.digest
+            for result in execute_serial(churn_trace)}
+
+
+@pytest.mark.benchmark(group="serve")
+def test_affinity_run_is_bit_exact_and_conserving(benchmark, churn_trace,
+                                                  serial_digests):
+    report = benchmark.pedantic(
+        lambda: serve(churn_trace,
+                      ServeSettings(policy="affinity", queue_capacity=24,
+                                    max_batch=4),
+                      library=LIBRARY),
+        rounds=3, iterations=1)
+
+    assert report.completed + report.rejected == len(churn_trace)
+    for job_id, digest in report.digests.items():
+        assert digest == serial_digests[job_id]
+    print(f"\naffinity: {report.completed} jobs, "
+          f"{report.reconfigurations} reconfigurations, "
+          f"p95 latency {report.latency_percentiles()['p95']:.0f} cycles")
+
+
+@pytest.mark.benchmark(group="serve")
+def test_policy_sweep_agrees_on_bits(benchmark, churn_trace, serial_digests):
+    def sweep():
+        return {policy: serve(churn_trace,
+                              ServeSettings(policy=policy, queue_capacity=24,
+                                            max_batch=4),
+                              library=LIBRARY)
+                for policy in ("fifo", "sjf", "affinity", "round_robin")}
+
+    reports = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    for policy, report in reports.items():
+        for job_id, digest in report.digests.items():
+            assert digest == serial_digests[job_id], (policy, job_id)
+    affinity = reports["affinity"]
+    fifo = reports["fifo"]
+    assert affinity.reconfigurations <= fifo.reconfigurations

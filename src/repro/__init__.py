@@ -10,6 +10,9 @@ generic FPGA baseline.
 Top-level subpackages
 ---------------------
 
+``repro.serve``   the multi-tenant serving runtime: virtual-time job
+                  scheduler over reconfigurable SoCs with kernel
+                  residency, batched dispatch and admission control
 ``repro.flow``    the unified compile API: pass pipeline, result cache and
                   the ``compile()`` / ``compile_many()`` entry points every
                   kernel goes through

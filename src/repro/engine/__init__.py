@@ -24,7 +24,8 @@ from repro.engine.kernels import (
     sad_surface,
     sad_surfaces_many,
 )
-from repro.engine.sharding import batch_groups, shard_sizes, shard_slices
+from repro.engine.sharding import (batch_groups, group_by_key, shard_sizes,
+                                   shard_slices)
 from repro.engine.ops import (
     AbsDiffOp,
     AccumulateOp,
@@ -63,6 +64,7 @@ __all__ = [
     "VectorEngine",
     "VectorOp",
     "batch_groups",
+    "group_by_key",
     "batched_sad",
     "batched_transform_2d",
     "best_displacement",

@@ -9,7 +9,8 @@ input order, so results can be concatenated without reordering.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
 
@@ -53,3 +54,28 @@ def batch_groups(items: Sequence, group_size: int) -> List[List]:
     items = list(items)
     return [items[start:start + group_size]
             for start in range(0, len(items), group_size)]
+
+
+def group_by_key(items: Sequence, key: Callable[[object], object],
+                 group_size: Optional[int] = None) -> List[List]:
+    """Group ``items`` by ``key`` into batches of at most ``group_size``.
+
+    The generalisation of :func:`batch_groups` to heterogeneous work:
+    the serving benchmark uses it to measure a trace's batching
+    opportunity — how a job mix partitions into *compatible* groups
+    (same frame shape, same kernel, same quantiser), the upper bound on
+    what any scheduler can fuse into one engine dispatch.  Groups come
+    out in first-seen key order and each group preserves input order,
+    so grouped results can be scattered back deterministically; an
+    unbounded ``group_size`` (``None``) yields one group per distinct
+    key.
+    """
+    if group_size is not None and group_size <= 0:
+        raise ConfigurationError("batch groups need a positive size")
+    grouped: "OrderedDict[object, List]" = OrderedDict()
+    for item in items:
+        grouped.setdefault(key(item), []).append(item)
+    if group_size is None:
+        return list(grouped.values())
+    return [batch for members in grouped.values()
+            for batch in batch_groups(members, group_size)]

@@ -118,6 +118,36 @@ class FlowCache:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries)}
 
+    def prewarm(self, designs: Sequence, *, fabric=None,
+                flow: Optional[Flow] = None,
+                max_workers: Optional[int] = None) -> Dict[str, int]:
+        """Compile ``designs`` through this cache ahead of demand.
+
+        The flow-level warm-up primitive (the serving scheduler's
+        ``KernelLibrary.prewarm`` goes through :func:`compile_many`
+        directly because it also needs the results; this method serves
+        callers that only want the cache heated).  Duplicate design
+        *instances* are deduplicated by
+        identity; content-equal but distinct instances may race to a
+        redundant compile, which the cache resolves by last-put-wins
+        (both results are bit-identical).  The returned hit/miss delta is
+        read from the shared counters and is therefore approximate when
+        other threads use the cache concurrently.
+        """
+        before = self.stats()
+        seen = set()
+        unique = []
+        for design in designs:
+            if id(design) not in seen:
+                seen.add(id(design))
+                unique.append(design)
+        compile_many(unique, fabric, flow=flow, cache=self,
+                     max_workers=max_workers)
+        after = self.stats()
+        return {"designs": len(unique),
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"]}
+
     def __repr__(self) -> str:
         return (f"FlowCache(entries={len(self._entries)}, hits={self.hits}, "
                 f"misses={self.misses})")

@@ -188,6 +188,40 @@ class Topology:
         links = sum(self.link_latency(x, y) for x, y in zip(path, path[1:]))
         return links + (len(path) - 1) * ROUTER_CYCLES
 
+    def transfer_aggregates(self, a: int, b: int,
+                            flits: int) -> Tuple[int, int]:
+        """Integer energy aggregates of one point-to-point transfer.
+
+        Returns ``(flit_link_cycles, flit_router_crossings)`` for
+        ``flits`` flits streamed ``a -> b`` along the deterministic
+        route, using the same counting rules as the simulators in
+        :mod:`repro.noc.sim` (each link crossing weighted by the link's
+        latency; a flow through ``h`` links traverses ``h + 1``
+        routers), so :func:`repro.power.models.noc_transfer_energy` of
+        the result matches a one-flow analytic simulation.
+        """
+        if flits < 0:
+            raise ConfigurationError("a transfer cannot carry negative flits")
+        if flits == 0 or a == b:
+            return (0, 0)
+        path = self.route(a, b)
+        link_cycles = sum(self.link_latency(x, y)
+                          for x, y in zip(path, path[1:]))
+        return (flits * link_cycles, flits * len(path))
+
+    def transfer_latency(self, a: int, b: int, flits: int) -> int:
+        """Cycles for ``flits`` flits to stream ``a -> b`` uncontended.
+
+        The wormhole pipeline fill (:meth:`route_latency`) plus one cycle
+        per trailing flit — the single-flow case of the analytic model's
+        per-flow latency.
+        """
+        if flits < 0:
+            raise ConfigurationError("a transfer cannot carry negative flits")
+        if flits == 0 or a == b:
+            return 0
+        return self.route_latency(a, b) + (flits - 1)
+
     # -- statistics -------------------------------------------------------
     def diameter(self) -> int:
         """Largest hop distance over all router pairs."""

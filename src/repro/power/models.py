@@ -69,6 +69,38 @@ NOC_ROUTER_ENERGY_PER_FLIT = 0.45
 NOC_ROUTER_PORT_AREA_ELEMENTS = 2.5
 
 
+# -- serving-runtime compute-energy constants (consumed by repro.serve) ------
+
+#: Switched capacitance of one absolute-difference SAD operation on the ME
+#: array (one ABS_DIFF element evaluating one pixel pair).
+SERVE_SAD_OP_ENERGY = 0.02
+
+#: Switched capacitance of transforming one 8x8 block on the DA array
+#: (ROM lookups plus the accumulation tree for 64 coefficients).
+SERVE_DCT_BLOCK_ENERGY = 3.5
+
+#: Switched capacitance of filtering one sample through the bit-serial
+#: DA FIR datapath.
+SERVE_FILTER_SAMPLE_ENERGY = 0.3
+
+
+def serving_compute_energy(sad_operations: int, dct_blocks: int,
+                           filter_samples: int = 0) -> float:
+    """Compute (non-NoC) energy of one served job from its integer activity.
+
+    The serving runtime keeps per-job activity integral — SAD operations,
+    transformed blocks, filtered samples — so scheduled and serial
+    executions of the same job report bit-identical energies; NoC
+    reconfiguration and result traffic are accounted separately through
+    :func:`noc_transfer_energy`.
+    """
+    if min(sad_operations, dct_blocks, filter_samples) < 0:
+        raise ValueError("serving activity aggregates must be non-negative")
+    return (SERVE_SAD_OP_ENERGY * sad_operations
+            + SERVE_DCT_BLOCK_ENERGY * dct_blocks
+            + SERVE_FILTER_SAMPLE_ENERGY * filter_samples)
+
+
 def noc_transfer_energy(flit_link_cycles: int,
                         flit_router_crossings: int) -> float:
     """Energy of a NoC transfer from its integer activity aggregates.

@@ -1,0 +1,98 @@
+"""repro.serve — multi-tenant serving runtime over the flow/engine/NoC stack.
+
+The paper motivates its reconfigurable fabric with mobile-video workloads
+that time-multiplex heterogeneous kernels — DCT, motion estimation,
+filtering — on one chip.  This package closes the loop at system level: a
+deterministic *virtual-time* runtime that accepts a stream of mixed jobs
+(video-encode sequences, GOP shards, DCT and FIR kernel invocations),
+schedules them onto one or more modelled :class:`ReconfigurableSoC`
+instances, and accounts for what the hardware would actually pay:
+
+* **kernel residency** — a job whose kernel is not loaded on the target
+  array streams that kernel's *measured* bitstream
+  (:meth:`ConfigurationBitstream.total_bits` off a real
+  :mod:`repro.flow` compilation) over the SoC's NoC topology, costing
+  cycles and :func:`~repro.power.models.noc_transfer_energy`;
+* **batching** — compatible queued jobs execute through one stacked
+  engine dispatch (:func:`repro.video.gop.encode_gop_batch`, batched
+  transforms), bit-identical to serving each job alone;
+* **admission control** — a bounded queue rejects arrivals under
+  backpressure, and an aging guard bounds every job's wait under any
+  scheduling policy.
+
+Pluggable policies (FIFO, shortest-job-first, reconfiguration-cost-aware
+affinity, round-robin across SoCs) are compared by throughput, p50/p95/p99
+latency and energy per job in ``benchmarks/run_bench_serve.py``.
+"""
+
+from repro.serve.execution import (
+    ExecutionResult,
+    execute_batch,
+    execute_serial,
+    payload_digest,
+)
+from repro.serve.jobs import (
+    JOB_KINDS,
+    SAD_OPS_PER_CYCLE,
+    DctJob,
+    EncodeJob,
+    FirJob,
+    split_sequence_job,
+)
+from repro.serve.kernels import (
+    KERNEL_BUILDERS,
+    KernelLibrary,
+    fir_filter,
+    me_kernel_for_range,
+)
+from repro.serve.policies import (
+    POLICIES,
+    AffinityPolicy,
+    FifoPolicy,
+    Policy,
+    RoundRobinPolicy,
+    ShortestJobPolicy,
+    policy_by_name,
+)
+from repro.serve.runtime import (
+    JobRecord,
+    ServeReport,
+    ServeSettings,
+    percentile,
+    serve,
+)
+from repro.serve.soc import SERVE_AGENTS, ServingSoC
+from repro.serve.workload import TRAFFIC_MIXES, generate_jobs
+
+__all__ = [
+    "AffinityPolicy",
+    "DctJob",
+    "EncodeJob",
+    "ExecutionResult",
+    "FifoPolicy",
+    "FirJob",
+    "JOB_KINDS",
+    "JobRecord",
+    "KERNEL_BUILDERS",
+    "KernelLibrary",
+    "POLICIES",
+    "Policy",
+    "RoundRobinPolicy",
+    "SAD_OPS_PER_CYCLE",
+    "SERVE_AGENTS",
+    "ServeReport",
+    "ServeSettings",
+    "ServingSoC",
+    "ShortestJobPolicy",
+    "TRAFFIC_MIXES",
+    "execute_batch",
+    "execute_serial",
+    "fir_filter",
+    "generate_jobs",
+    "me_kernel_for_range",
+    "payload_digest",
+    "percentile",
+    "policy_by_name",
+    "serve",
+    "split_sequence_job",
+]

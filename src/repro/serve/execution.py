@@ -1,0 +1,173 @@
+"""Bit-exact job execution: one batched dispatch per compatible group.
+
+The scheduler's contract is that batching is *purely* a scheduling
+decision: :func:`execute_batch` over a group of compatible jobs returns,
+job for job, exactly the payloads :func:`execute_serial` produces one job
+at a time.  Encode jobs go through the cross-request lockstep encoder
+(:func:`repro.video.gop.encode_gop_batch`, whose per-GOP bit-identity the
+video tests pin down), DCT jobs concatenate into one batched
+transform-and-quantise pass, and FIR jobs run the bit-serial datapath
+per stream (a delay line cannot be shared across requests).
+
+Each :class:`ExecutionResult` carries integer activity aggregates —
+compute cycles, SAD operations, transformed blocks, filtered samples,
+output bits — plus a SHA-256 :func:`payload_digest` so conformance tests
+and the benchmark can assert bit-exactness without holding payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct.quantization import quantise
+from repro.dct.reference import dct_2d_batched
+from repro.filters.fir import FIR_ACC_BITS
+from repro.serve.jobs import (
+    DCT_CYCLES_PER_BLOCK,
+    SAD_OPS_PER_CYCLE,
+    DctJob,
+    EncodeJob,
+    FirJob,
+)
+from repro.serve.kernels import fir_filter
+from repro.video.codec import FrameStatistics
+from repro.video.entropy import estimate_block_bits_batched
+from repro.video.gop import encode_gop_batch
+
+#: Bits of one FIR output sample written back to memory (the DA
+#: accumulator width).
+FIR_OUTPUT_SAMPLE_BITS = FIR_ACC_BITS
+
+Job = Union[EncodeJob, DctJob, FirJob]
+
+
+@dataclass
+class ExecutionResult:
+    """What executing one job produced, plus its integer activity."""
+
+    job_id: int
+    kind: str
+    payload: object
+    compute_cycles: int
+    sad_operations: int = 0
+    dct_blocks: int = 0
+    filter_samples: int = 0
+    output_bits: int = 0
+
+    @property
+    def digest(self) -> str:
+        """Content hash of the payload (see :func:`payload_digest`)."""
+        return payload_digest(self.payload)
+
+
+def payload_digest(payload) -> str:
+    """SHA-256 over a job payload's exact bits.
+
+    Accepts an ndarray (DCT levels, FIR outputs) or a list of
+    :class:`FrameStatistics` (encode jobs), and folds in every field a
+    decoder consumes — modes, motion vectors, QPs and the quantised
+    coefficient blocks — so two payloads digest equal iff they are
+    bit-identical.
+    """
+    digest = hashlib.sha256()
+    if isinstance(payload, np.ndarray):
+        digest.update(str(payload.dtype).encode())
+        digest.update(str(payload.shape).encode())
+        digest.update(np.ascontiguousarray(payload).tobytes())
+        return digest.hexdigest()
+    for stats in payload:
+        if not isinstance(stats, FrameStatistics):
+            raise ConfigurationError(
+                f"cannot digest payload element {type(stats).__name__}")
+        digest.update(
+            f"|f:{stats.frame_index}:{stats.frame_type}:{stats.qp}"
+            f":{stats.estimated_bits}:{stats.psnr_db!r}".encode())
+        for mb in stats.macroblocks:
+            digest.update(
+                f"|m:{mb.top}:{mb.left}:{mb.mode}:{mb.motion_vector}"
+                f":{mb.sad}:{mb.estimated_bits}".encode())
+            for levels in mb.level_blocks:
+                digest.update(np.ascontiguousarray(
+                    np.asarray(levels, dtype=np.int64)).tobytes())
+    return digest.hexdigest()
+
+
+def _encode_results(jobs: Sequence[EncodeJob]) -> List[ExecutionResult]:
+    """One lockstep dispatch over compatible encode jobs."""
+    outcomes = encode_gop_batch([job.frames for job in jobs],
+                                jobs[0].configuration())
+    results = []
+    for job, (statistics, _reference) in zip(jobs, outcomes):
+        sad_ops = sum(stats.sad_operations for stats in statistics)
+        dct_blocks = sum(stats.dct_blocks for stats in statistics)
+        cycles = (sum(stats.dct_cycles for stats in statistics)
+                  + -(-sad_ops // SAD_OPS_PER_CYCLE))
+        results.append(ExecutionResult(
+            job_id=job.job_id, kind=job.kind, payload=statistics,
+            compute_cycles=cycles, sad_operations=sad_ops,
+            dct_blocks=dct_blocks,
+            output_bits=sum(stats.estimated_bits for stats in statistics)))
+    return results
+
+
+def _dct_results(jobs: Sequence[DctJob]) -> List[ExecutionResult]:
+    """One concatenated transform + quantise pass over compatible DCT jobs."""
+    stacked = np.concatenate([job.blocks for job in jobs])
+    levels = quantise(dct_2d_batched(stacked), jobs[0].qp)
+    block_bits = estimate_block_bits_batched(levels)
+    results = []
+    start = 0
+    for job in jobs:
+        count = int(job.blocks.shape[0])
+        piece = levels[start:start + count]
+        results.append(ExecutionResult(
+            job_id=job.job_id, kind=job.kind, payload=piece,
+            compute_cycles=count * DCT_CYCLES_PER_BLOCK, dct_blocks=count,
+            output_bits=int(block_bits[start:start + count].sum())))
+        start += count
+    return results
+
+
+def _fir_results(jobs: Sequence[FirJob]) -> List[ExecutionResult]:
+    """FIR jobs share a dispatch slot but filter their streams one by one."""
+    results = []
+    for job in jobs:
+        kernel = fir_filter(job.fir_name)
+        outputs = kernel.filter(job.samples)
+        results.append(ExecutionResult(
+            job_id=job.job_id, kind=job.kind, payload=outputs,
+            compute_cycles=int(job.samples.size) * kernel.cycles_per_sample,
+            filter_samples=int(job.samples.size),
+            output_bits=int(job.samples.size) * FIR_OUTPUT_SAMPLE_BITS))
+    return results
+
+
+def execute_batch(jobs: Sequence[Job]) -> List[ExecutionResult]:
+    """Execute a group of compatible jobs through one batched dispatch.
+
+    All jobs must share one :attr:`batch_key`; results come back in input
+    order and are bit-identical to :func:`execute_serial` of the same
+    jobs.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    keys = {job.batch_key for job in jobs}
+    if len(keys) != 1:
+        raise ConfigurationError(
+            f"a batch must share one batch_key, got {sorted(map(str, keys))}")
+    if isinstance(jobs[0], EncodeJob):
+        return _encode_results(jobs)
+    if isinstance(jobs[0], DctJob):
+        return _dct_results(jobs)
+    return _fir_results(jobs)
+
+
+def execute_serial(jobs: Sequence[Job]) -> List[ExecutionResult]:
+    """Naive reference: every job in its own dispatch, in input order."""
+    return [result for job in jobs for result in execute_batch([job])]

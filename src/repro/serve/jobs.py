@@ -1,0 +1,229 @@
+"""Job types accepted by the serving runtime.
+
+Three families, mirroring the paper's time-multiplexed workload mix:
+
+* :class:`EncodeJob` — a closed run of frames to encode (a whole request
+  or one GOP shard of a longer sequence, see :func:`split_sequence_job`);
+* :class:`DctJob` — a batch of 8x8 blocks through transform + quantise
+  (the "offload this kernel" invocation path);
+* :class:`FirJob` — an integer sample stream through a DA FIR filter.
+
+Every job knows which hardware kernels it needs resident
+(:attr:`kernels`, per array), which queued jobs it can be batched with
+(:attr:`batch_key` — jobs with equal keys execute through one stacked
+engine dispatch, bit-identically to running alone), and a static
+:meth:`service_estimate` in cycles for size-aware scheduling policies.
+
+A deliberate modelling split, mirroring the PR-3/PR-4 reconfiguration
+planning (:func:`repro.video.scenes.plan_reconfiguration`,
+:func:`repro.noc.traffic.traffic_from_reconfiguration`): ``dct_name``
+selects which *hardware realisation* must be resident — its measured
+bitstream, reconfiguration traffic and energy — while the payload
+numerics always run the engine's batched reference kernels.  The
+per-block Table-1 models (`MixedRomDCT.forward_2d` and friends) are
+bit-level hardware references, three orders of magnitude slower than the
+batched engine, so a serving loop emulating them would bury scheduling
+effects under simulation cost; the batch key still separates
+``dct_name`` because a physical batch executes on one resident kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct.quantization import DEFAULT_QP
+from repro.filters.fir import FIR_INPUT_BITS
+from repro.serve.kernels import me_kernel_for_range
+from repro.video.blocks import MACROBLOCK_SIZE
+from repro.video.codec import DEFAULT_SEARCH_RANGE, EncoderConfiguration
+from repro.video.gop import DEFAULT_GOP_SIZE, split_into_gops
+
+#: Job kinds the runtime accepts (``gop`` marks a shard of a sequence).
+JOB_KINDS = ("encode", "gop", "dct", "fir")
+
+#: SAD operations the ME array retires per cycle (its ABS_DIFF lanes work
+#: in parallel); converts the encoder's integer SAD-operation counts into
+#: virtual service cycles.
+SAD_OPS_PER_CYCLE = 16
+
+#: Cycles the DA array spends transforming one 8x8 block — read off the
+#: encoder's configuration default so the estimate cannot drift from the
+#: cycles the executed statistics report.
+DCT_CYCLES_PER_BLOCK = EncoderConfiguration.dct_cycles_per_block
+
+#: Bit-serial cycles per FIR output sample (the DA datapath's input width).
+FIR_CYCLES_PER_SAMPLE = FIR_INPUT_BITS
+
+
+def _padded(extent: int) -> int:
+    """Frame extent after padding to a whole number of macroblocks."""
+    blocks = -(-extent // MACROBLOCK_SIZE)
+    return blocks * MACROBLOCK_SIZE
+
+
+@dataclass(eq=False)
+class EncodeJob:
+    """Encode ``frames`` as one closed GOP (first frame intra-coded)."""
+
+    job_id: int
+    arrival_cycle: int
+    frames: List[np.ndarray] = field(default_factory=list)
+    qp: int = DEFAULT_QP
+    search_range: int = DEFAULT_SEARCH_RANGE
+    dct_name: str = "mixed_rom"
+    kind: str = "encode"
+    #: Request this shard belongs to (set by :func:`split_sequence_job`).
+    sequence_id: Optional[int] = None
+    #: Presentation-order position of the shard within its request.
+    gop_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_cycle < 0:
+            raise ConfigurationError("jobs cannot arrive before cycle 0")
+        if not self.frames:
+            raise ConfigurationError(
+                f"encode job {self.job_id} has no frames")
+        if self.kind not in ("encode", "gop"):
+            raise ConfigurationError(
+                f"encode job kind must be 'encode' or 'gop', got {self.kind!r}")
+        shapes = {np.asarray(frame).shape for frame in self.frames}
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"encode job {self.job_id} mixes frame shapes "
+                f"{sorted(shapes)}; a job is one uniformly sized GOP")
+        me_kernel_for_range(self.search_range)  # validate eagerly
+
+    @property
+    def frame_shape(self) -> Tuple[int, int]:
+        """Shape of the job's (uniform) frames."""
+        return tuple(np.asarray(self.frames[0]).shape)
+
+    @property
+    def kernels(self) -> Dict[str, str]:
+        """Required resident kernels, by array name."""
+        return {"da_array": f"dct:{self.dct_name}",
+                "me_array": me_kernel_for_range(self.search_range)}
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Jobs sharing this key can execute in one lockstep batch."""
+        return ("encode", self.frame_shape, self.qp, self.search_range,
+                self.dct_name)
+
+    def configuration(self) -> EncoderConfiguration:
+        """Encoder configuration realising the job (batched engine path)."""
+        return EncoderConfiguration(qp=self.qp, search_name="full",
+                                    search_range=self.search_range,
+                                    vectorized=True)
+
+    def service_estimate(self) -> int:
+        """Predicted compute cycles (no execution needed — for SJF)."""
+        height, width = self.frame_shape
+        positions = ((_padded(height) // MACROBLOCK_SIZE)
+                     * (_padded(width) // MACROBLOCK_SIZE))
+        dct = 4 * positions * DCT_CYCLES_PER_BLOCK * len(self.frames)
+        candidates = (2 * self.search_range + 1) ** 2
+        sad_ops = (candidates * MACROBLOCK_SIZE * MACROBLOCK_SIZE
+                   * positions * (len(self.frames) - 1))
+        return dct + -(-sad_ops // SAD_OPS_PER_CYCLE)
+
+
+@dataclass(eq=False)
+class DctJob:
+    """Transform and quantise a batch of 8x8 blocks on the DA array."""
+
+    job_id: int
+    arrival_cycle: int
+    blocks: np.ndarray = None
+    qp: int = DEFAULT_QP
+    dct_name: str = "mixed_rom"
+    kind: str = "dct"
+
+    def __post_init__(self) -> None:
+        if self.arrival_cycle < 0:
+            raise ConfigurationError("jobs cannot arrive before cycle 0")
+        self.blocks = np.asarray(self.blocks, dtype=np.float64)
+        if self.blocks.ndim != 3 or self.blocks.shape[1:] != (8, 8):
+            raise ConfigurationError(
+                f"dct job {self.job_id} needs blocks shaped (N, 8, 8), got "
+                f"{self.blocks.shape}")
+        if self.kind != "dct":
+            raise ConfigurationError("DctJob kind must be 'dct'")
+
+    @property
+    def kernels(self) -> Dict[str, str]:
+        """Required resident kernels, by array name."""
+        return {"da_array": f"dct:{self.dct_name}"}
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Jobs sharing this key concatenate into one transform batch."""
+        return ("dct", self.qp, self.dct_name)
+
+    def service_estimate(self) -> int:
+        """Predicted compute cycles."""
+        return int(self.blocks.shape[0]) * DCT_CYCLES_PER_BLOCK
+
+
+@dataclass(eq=False)
+class FirJob:
+    """Filter an integer sample stream through a DA FIR kernel."""
+
+    job_id: int
+    arrival_cycle: int
+    samples: np.ndarray = None
+    fir_name: str = "lowpass8"
+    kind: str = "fir"
+
+    def __post_init__(self) -> None:
+        if self.arrival_cycle < 0:
+            raise ConfigurationError("jobs cannot arrive before cycle 0")
+        self.samples = np.asarray(self.samples, dtype=np.int64)
+        if self.samples.ndim != 1 or self.samples.size == 0:
+            raise ConfigurationError(
+                f"fir job {self.job_id} needs a non-empty 1-D sample stream")
+        if self.kind != "fir":
+            raise ConfigurationError("FirJob kind must be 'fir'")
+
+    @property
+    def kernels(self) -> Dict[str, str]:
+        """Required resident kernels, by array name."""
+        return {"da_array": f"fir:{self.fir_name}"}
+
+    @property
+    def batch_key(self) -> Tuple:
+        """FIR jobs share a dispatch only with same-kernel jobs."""
+        return ("fir", self.fir_name)
+
+    def service_estimate(self) -> int:
+        """Predicted compute cycles (bit-serial datapath)."""
+        return int(self.samples.size) * FIR_CYCLES_PER_SAMPLE
+
+
+def split_sequence_job(job: EncodeJob, first_job_id: int,
+                       gop_size: int = DEFAULT_GOP_SIZE,
+                       scene_cut_threshold: Optional[float] = None
+                       ) -> List[EncodeJob]:
+    """Split a multi-GOP encode request into independent GOP-shard jobs.
+
+    Reuses the GOP strategies of :mod:`repro.video.gop` (cadence plus
+    optional scene-cut detection).  The shards carry ``kind='gop'``, the
+    parent's ``job_id`` as ``sequence_id`` and their presentation-order
+    ``gop_index``, so a client can reassemble the encoded stream whatever
+    order the scheduler completes them in; shard ids are assigned
+    consecutively from ``first_job_id``.
+    """
+    gops = split_into_gops(job.frames, gop_size, scene_cut_threshold)
+    return [EncodeJob(job_id=first_job_id + gop.index,
+                      arrival_cycle=job.arrival_cycle,
+                      frames=[job.frames[index] for index in gop.frame_indices],
+                      qp=job.qp, search_range=job.search_range,
+                      dct_name=job.dct_name, kind="gop",
+                      sequence_id=job.sequence_id if job.sequence_id is not None
+                      else job.job_id,
+                      gop_index=gop.index)
+            for gop in gops]

@@ -1,0 +1,153 @@
+"""The serving kernel library: named hardware kernels and their bitstreams.
+
+A serving kernel is one configuration an array can hold: a Table-1 DCT
+implementation on the DA array, a systolic motion-estimation engine sized
+for a search range on the ME array, or a DA FIR filter.  Each kernel name
+maps to a builder returning a :mod:`repro.flow` design, and the library
+compiles it through the shared :class:`~repro.flow.cache.FlowCache` —
+place-and-route happens once per process, and the *measured*
+:meth:`~repro.core.configuration.ConfigurationBitstream.total_bits` of the
+result is what a reconfiguration streams over the NoC.
+
+Kernel names are namespaced: ``dct:<impl>`` (Table-1 short names),
+``me:full_r<range>`` (full search at a window radius) and ``fir:<proto>``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.filters.fir import DistributedArithmeticFIR, symmetric_lowpass
+from repro.flow.pipeline import FlowResult
+from repro.me.systolic import SystolicArray
+
+#: Table-1 DCT implementation short names served on the DA array.
+DCT_KERNEL_NAMES = ("mixed_rom", "cordic1", "cordic2", "scc_evenodd",
+                    "scc_direct")
+
+
+def _dct_builder(short_name: str) -> Callable[[], object]:
+    def build():
+        from repro.video.scenes import dct_implementation_by_name
+
+        return dct_implementation_by_name(short_name)
+    return build
+
+
+#: Builders for every kernel the serving runtime can load, by kernel name.
+#: A smaller search window needs fewer PE modules, so the two ME kernels
+#: genuinely differ in netlist — and therefore in measured bitstream bits.
+KERNEL_BUILDERS: Dict[str, Callable[[], object]] = {
+    **{f"dct:{name}": _dct_builder(name) for name in DCT_KERNEL_NAMES},
+    "me:full_r4": lambda: SystolicArray(module_count=2),
+    "me:full_r8": lambda: SystolicArray(),
+    "fir:lowpass4": lambda: DistributedArithmeticFIR(symmetric_lowpass(4)),
+    "fir:lowpass8": lambda: DistributedArithmeticFIR(symmetric_lowpass(8)),
+}
+
+#: ME kernel serving each supported search range.
+ME_KERNEL_BY_RANGE = {4: "me:full_r4", 8: "me:full_r8"}
+
+
+def me_kernel_for_range(search_range: int) -> str:
+    """Name of the ME kernel that serves a search range."""
+    try:
+        return ME_KERNEL_BY_RANGE[search_range]
+    except KeyError:
+        raise ConfigurationError(
+            f"no ME kernel serves search range {search_range}; supported "
+            f"ranges: {sorted(ME_KERNEL_BY_RANGE)}") from None
+
+
+_FIR_FILTERS: Dict[str, DistributedArithmeticFIR] = {}
+_FIR_LOCK = threading.Lock()
+
+
+def fir_filter(fir_name: str) -> DistributedArithmeticFIR:
+    """The (deterministic, memoised) filter object behind ``fir:<name>``."""
+    kernel = f"fir:{fir_name}"
+    if kernel not in KERNEL_BUILDERS:
+        raise ConfigurationError(
+            f"unknown FIR kernel {fir_name!r}; known: "
+            f"{sorted(n[4:] for n in KERNEL_BUILDERS if n.startswith('fir:'))}")
+    with _FIR_LOCK:
+        if fir_name not in _FIR_FILTERS:
+            _FIR_FILTERS[fir_name] = KERNEL_BUILDERS[kernel]()
+        return _FIR_FILTERS[fir_name]
+
+
+class KernelLibrary:
+    """Compiles serving kernels on demand and memoises the results.
+
+    Every compilation goes through :func:`repro.flow.compile` and
+    therefore the shared flow cache — a fleet of :class:`ServingSoC`
+    instances sharing one library places and routes each kernel exactly
+    once, and :meth:`prewarm` lets the scheduler heat the cache for the
+    kernels of newly queued jobs before they are dispatched.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[str, FlowResult] = {}
+        self._lock = threading.Lock()
+
+    def design(self, kernel: str):
+        """Fresh design instance for a kernel name."""
+        try:
+            builder = KERNEL_BUILDERS[kernel]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown serving kernel {kernel!r}; known: "
+                f"{sorted(KERNEL_BUILDERS)}") from None
+        return builder()
+
+    def result(self, kernel: str) -> FlowResult:
+        """Compiled :class:`FlowResult` of a kernel (cached per library)."""
+        from repro.flow import compile as flow_compile
+
+        with self._lock:
+            result = self._results.get(kernel)
+        if result is not None:
+            return result
+        result = flow_compile(self.design(kernel))
+        with self._lock:
+            return self._results.setdefault(kernel, result)
+
+    def bitstream_bits(self, kernel: str) -> int:
+        """Measured configuration bits a reconfiguration to ``kernel`` streams."""
+        return self.result(kernel).bitstream.total_bits()
+
+    def target_array(self, kernel: str) -> str:
+        """Array family the kernel configures."""
+        return self.result(kernel).fabric_name
+
+    def prewarm(self, kernels: Sequence[str],
+                max_workers: Optional[int] = None) -> Dict[str, int]:
+        """Heat the shared flow cache for a set of kernel names.
+
+        Deduplicates and skips kernels this library already holds, fans
+        the rest out through the shared-cache :func:`compile_many`, and
+        memoises the returned results — so re-prewarming an already-warm
+        kernel (every admission does this) is a dictionary lookup, and a
+        cold kernel pays exactly one design build and one compile.
+        Returns the warm-up's hit/miss delta (all zeros when everything
+        was already resident; approximate under concurrent cache use).
+        """
+        from repro.flow.cache import DEFAULT_CACHE, compile_many
+
+        with self._lock:
+            fresh = [kernel for kernel in dict.fromkeys(kernels)
+                     if kernel not in self._results]
+        if not fresh:
+            return {"designs": 0, "hits": 0, "misses": 0}
+        before = DEFAULT_CACHE.stats()
+        results = compile_many([self.design(kernel) for kernel in fresh],
+                               max_workers=max_workers)
+        after = DEFAULT_CACHE.stats()
+        with self._lock:
+            for kernel, result in zip(fresh, results):
+                self._results.setdefault(kernel, result)
+        return {"designs": len(fresh),
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"]}

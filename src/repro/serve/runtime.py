@@ -1,0 +1,339 @@
+"""The deterministic virtual-time serving loop.
+
+:func:`serve` replays a trace of jobs (each stamped with an arrival
+cycle) against a fleet of :class:`~repro.serve.soc.ServingSoC` instances
+under one scheduling policy, entirely in *virtual* cycles — no wall
+clock, no threads — so every run of the same trace is bit-identical.
+
+Event order is fixed: arrivals are admitted in ``(arrival, job_id)``
+order and *before* any dispatch at the same timestamp (so a burst
+landing on one cycle can batch together), and the earliest-free SoC
+(ties to the lowest index) dispatches next.  A dispatch asks the policy
+for one job, grows it into a batch of queued jobs sharing its
+:attr:`batch_key` (in queue order), makes
+the batch's kernels resident (paying measured bitstream + NoC cost),
+executes the batch bit-exactly through :mod:`repro.serve.execution`, and
+streams each job's output bits to memory.
+
+Two guarantees hold for every policy:
+
+* **conservation** — every submitted job is exactly once completed or
+  rejected (admission control bounds the queue);
+* **bounded wait** — a job overdue past ``starvation_limit`` preempts
+  the policy's choice (oldest first), so no policy can starve a job
+  beyond ``starvation_limit + queue_capacity * longest_batch``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.power.models import serving_compute_energy
+from repro.serve.execution import ExecutionResult, execute_batch
+from repro.serve.kernels import KernelLibrary
+from repro.serve.policies import policy_by_name
+from repro.serve.soc import ServingSoC
+
+
+@dataclass
+class ServeSettings:
+    """Knobs of one serving run."""
+
+    policy: str = "fifo"
+    soc_count: int = 1
+    queue_capacity: int = 32
+    max_batch: int = 8
+    topology_name: str = "mesh"
+    placement_strategy: str = "spread"
+    configuration_bus_bits: int = 8
+    #: Cycles a queued job may wait before it preempts the policy.
+    starvation_limit: int = 1_000_000
+    #: Fixed per-dispatch overhead (pipeline fill, descriptor fetch) —
+    #: what batching amortises.
+    batch_setup_cycles: int = 64
+    #: Pre-compile the kernels of newly admitted jobs through the shared
+    #: flow cache so no dispatch waits on place-and-route.
+    prewarm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.soc_count <= 0:
+            raise ConfigurationError("the fleet needs at least one SoC")
+        if self.queue_capacity <= 0:
+            raise ConfigurationError("the queue needs room for one job")
+        if self.max_batch <= 0:
+            raise ConfigurationError("batches need at least one slot")
+        if self.starvation_limit < 0 or self.batch_setup_cycles < 0:
+            raise ConfigurationError(
+                "starvation limit and batch setup must be non-negative")
+
+
+@dataclass
+class JobRecord:
+    """Ledger entry of one completed job."""
+
+    job_id: int
+    kind: str
+    soc: str
+    arrival_cycle: int
+    start_cycle: int
+    completion_cycle: int
+    compute_cycles: int
+    energy: float
+    batch_id: int
+    batch_size: int
+    output_bits: int
+    digest: str
+    sequence_id: Optional[int] = None
+    gop_index: int = 0
+
+    @property
+    def latency_cycles(self) -> int:
+        """Arrival-to-completion cycles."""
+        return self.completion_cycle - self.arrival_cycle
+
+    @property
+    def wait_cycles(self) -> int:
+        """Arrival-to-dispatch cycles."""
+        return self.start_cycle - self.arrival_cycle
+
+
+def percentile(values: Sequence, fraction: float) -> float:
+    """Deterministic nearest-rank percentile (``fraction`` in [0, 1])."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("percentile fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-int(fraction * len(ordered) * 1_000_000) // 1_000_000))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run produced."""
+
+    policy: str
+    settings: ServeSettings
+    records: List[JobRecord] = field(default_factory=list)
+    rejected_job_ids: List[int] = field(default_factory=list)
+    payloads: Dict[int, object] = field(default_factory=dict)
+    batches: int = 0
+    makespan_cycles: int = 0
+    reconfigurations: int = 0
+    reconfiguration_bits: int = 0
+    reconfiguration_cycles: int = 0
+    reconfiguration_energy: float = 0.0
+    socs: List[ServingSoC] = field(default_factory=list)
+
+    @property
+    def submitted(self) -> int:
+        """Jobs that entered the runtime."""
+        return len(self.records) + len(self.rejected_job_ids)
+
+    @property
+    def completed(self) -> int:
+        """Jobs served to completion."""
+        return len(self.records)
+
+    @property
+    def rejected(self) -> int:
+        """Jobs refused at admission (queue full)."""
+        return len(self.rejected_job_ids)
+
+    @property
+    def digests(self) -> Dict[int, str]:
+        """Payload content hash per completed job id."""
+        return {record.job_id: record.digest for record in self.records}
+
+    @property
+    def latencies(self) -> List[int]:
+        """Per-job latency in cycles, in dispatch order (on a multi-SoC
+        fleet a later dispatch can complete earlier; sort records by
+        ``completion_cycle`` for a completion-ordered view)."""
+        return [record.latency_cycles for record in self.records]
+
+    @property
+    def total_energy(self) -> float:
+        """Energy over all completed jobs (compute + NoC + reconfiguration)."""
+        return sum(record.energy for record in self.records)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average jobs per dispatch."""
+        if not self.batches:
+            return 0.0
+        return len(self.records) / self.batches
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of job latency in cycles."""
+        values = self.latencies
+        return {"p50": percentile(values, 0.50),
+                "p95": percentile(values, 0.95),
+                "p99": percentile(values, 0.99)}
+
+    def throughput_jobs_per_megacycle(self) -> float:
+        """Completed jobs per million virtual cycles of makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return 1e6 * self.completed / self.makespan_cycles
+
+    def energy_per_job(self) -> float:
+        """Mean energy per completed job."""
+        if not self.records:
+            return 0.0
+        return self.total_energy / len(self.records)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat headline numbers for reporting tables."""
+        summary: Dict[str, object] = {
+            "policy": self.policy,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch_size, 2),
+            "makespan_cycles": self.makespan_cycles,
+            "throughput_jobs_per_mcycle": round(
+                self.throughput_jobs_per_megacycle(), 3),
+            "energy_per_job": round(self.energy_per_job(), 1),
+            "reconfigurations": self.reconfigurations,
+            "reconfiguration_bits": self.reconfiguration_bits,
+        }
+        for key, value in self.latency_percentiles().items():
+            summary[f"latency_{key}"] = int(value)
+        return summary
+
+
+def _admit(job, queue: List, report: ServeReport,
+           settings: ServeSettings, library: KernelLibrary) -> None:
+    if len(queue) >= settings.queue_capacity:
+        report.rejected_job_ids.append(job.job_id)
+        return
+    queue.append(job)
+    if settings.prewarm:
+        library.prewarm(list(job.kernels.values()))
+
+
+def _select_batch(queue: List, soc: ServingSoC, policy, now: int,
+                  settings: ServeSettings) -> List:
+    """Pick the next job (aging guard first, then policy) and grow its batch."""
+    overdue = [i for i in range(len(queue))
+               if now - queue[i].arrival_cycle > settings.starvation_limit]
+    if overdue:
+        chosen = min(overdue, key=lambda i: (queue[i].arrival_cycle,
+                                             queue[i].job_id))
+    else:
+        chosen = policy.select(queue, soc, now)
+        if not 0 <= chosen < len(queue):
+            raise ConfigurationError(
+                f"policy {policy.name!r} selected index {chosen} outside the "
+                f"queue of {len(queue)}")
+    selected = queue[chosen]
+    mates = [job for job in queue
+             if job is not selected and job.batch_key == selected.batch_key]
+    batch = [selected] + mates[:settings.max_batch - 1]
+    for job in batch:
+        queue.remove(job)
+    return batch
+
+
+def _dispatch(batch: List, soc: ServingSoC, start: int, batch_id: int,
+              report: ServeReport, settings: ServeSettings) -> int:
+    """Execute one batch on one SoC; returns the completion cycle."""
+    reconfig_cycles, reconfig_energy, switches = soc.load_kernels(batch[0])
+    results: List[ExecutionResult] = execute_batch(batch)
+    service = settings.batch_setup_cycles + reconfig_cycles
+    output_costs = []
+    for result in results:
+        cycles, energy = soc.result_cost(result.output_bits)
+        output_costs.append((cycles, energy))
+        service += result.compute_cycles + cycles
+    completion = start + service
+    reconfig_share = reconfig_energy / len(batch)
+    for job, result, (out_cycles, out_energy) in zip(batch, results,
+                                                     output_costs):
+        energy = (serving_compute_energy(result.sad_operations,
+                                         result.dct_blocks,
+                                         result.filter_samples)
+                  + out_energy + reconfig_share)
+        report.records.append(JobRecord(
+            job_id=job.job_id, kind=job.kind, soc=soc.name,
+            arrival_cycle=job.arrival_cycle, start_cycle=start,
+            completion_cycle=completion,
+            compute_cycles=result.compute_cycles, energy=energy,
+            batch_id=batch_id, batch_size=len(batch),
+            output_bits=result.output_bits, digest=result.digest,
+            sequence_id=getattr(job, "sequence_id", None),
+            gop_index=getattr(job, "gop_index", 0)))
+        report.payloads[job.job_id] = result.payload
+    soc.free_at = completion
+    soc.jobs_executed += len(batch)
+    soc.batches_executed += 1
+    report.reconfigurations += switches
+    report.reconfiguration_cycles += reconfig_cycles
+    report.reconfiguration_energy += reconfig_energy
+    return completion
+
+
+def serve(jobs: Sequence, settings: Optional[ServeSettings] = None,
+          library: Optional[KernelLibrary] = None) -> ServeReport:
+    """Serve a trace of jobs and return the full ledger.
+
+    ``jobs`` is any iterable of :mod:`repro.serve.jobs` instances; the
+    trace is replayed in ``(arrival_cycle, job_id)`` order.  A shared
+    ``library`` lets a fleet comparison reuse compiled kernels across
+    runs (the underlying flow cache already deduplicates across
+    libraries within a process).
+    """
+    settings = settings or ServeSettings()
+    library = library or KernelLibrary()
+    policy = policy_by_name(settings.policy)
+    socs = [ServingSoC(index, library=library,
+                       topology_name=settings.topology_name,
+                       placement_strategy=settings.placement_strategy,
+                       configuration_bus_bits=settings.configuration_bus_bits)
+            for index in range(settings.soc_count)]
+    for soc in socs:
+        soc.fleet_size = settings.soc_count
+    report = ServeReport(policy=settings.policy, settings=settings, socs=socs)
+
+    pending = deque(sorted(jobs, key=lambda job: (job.arrival_cycle,
+                                                  job.job_id)))
+    if not pending:
+        return report
+    ids = [job.job_id for job in pending]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("job ids in a trace must be unique")
+    queue: List = []
+    first_arrival = pending[0].arrival_cycle
+    now = 0
+    batch_id = 0
+    last_completion = 0
+
+    while pending or queue:
+        if not queue:
+            job = pending.popleft()
+            now = job.arrival_cycle
+            _admit(job, queue, report, settings, library)
+            continue
+        soc = min(socs, key=lambda s: (s.free_at, s.index))
+        dispatch_at = max(soc.free_at, now)
+        if pending and pending[0].arrival_cycle <= dispatch_at:
+            job = pending.popleft()
+            now = job.arrival_cycle
+            _admit(job, queue, report, settings, library)
+            continue
+        batch = _select_batch(queue, soc, policy, dispatch_at, settings)
+        completion = _dispatch(batch, soc, dispatch_at, batch_id, report,
+                               settings)
+        batch_id += 1
+        now = dispatch_at
+        last_completion = max(last_completion, completion)
+
+    report.batches = batch_id
+    report.makespan_cycles = max(0, last_completion - first_arrival)
+    report.reconfiguration_bits = sum(soc.reconfiguration_bits_streamed
+                                      for soc in socs)
+    return report

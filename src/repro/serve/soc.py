@@ -1,0 +1,178 @@
+"""One serving target: a :class:`ReconfigurableSoC` behind a NoC model.
+
+The serving runtime schedules batches onto a fleet of these.  Each wraps
+a real :class:`~repro.arrays.soc.ReconfigurableSoC` with the DA and ME
+arrays attached, tracks which serving kernel every array currently
+holds, and prices the two kinds of traffic a dispatch generates on the
+SoC's NoC topology:
+
+* **reconfiguration** — switching an array to a job's kernel streams the
+  kernel's measured bitstream ``config -> array`` (cycles from the
+  configuration bus *plus* the NoC transfer, energy from
+  :func:`~repro.power.models.noc_transfer_energy` over the routed path),
+  and is recorded in the wrapped SoC's ``reconfiguration_log``;
+* **results** — a completed job streams its output bits
+  ``array -> memory``.
+
+Costs depend on the active topology (a hub prices ``config -> dct_array``
+differently from a 2-D mesh), which is what makes the
+reconfiguration-aware scheduling policy's decisions topology-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.arrays.da_array import build_da_array
+from repro.arrays.me_array import build_me_array
+from repro.arrays.soc import ReconfigurableSoC
+from repro.core.exceptions import ConfigurationError
+from repro.noc.topology import Topology, place_agents, topology_by_name
+from repro.noc.traffic import FLIT_BITS
+from repro.power.models import noc_transfer_energy
+from repro.serve.kernels import KernelLibrary
+
+#: NoC agents of the serving SoC (the paper's Fig. 1 blocks): the
+#: configuration controller, frame memory, the two arrays, and the host.
+SERVE_AGENTS: Tuple[str, ...] = ("config", "memory", "dct_array", "me_array",
+                                 "cpu")
+
+#: NoC agent carrying each attached array's traffic.
+_ARRAY_AGENTS = {"da_array": "dct_array", "me_array": "me_array"}
+
+
+def _flits(bits: int) -> int:
+    """Flits carrying ``bits`` of payload (at least one if any)."""
+    return -(-bits // FLIT_BITS) if bits > 0 else 0
+
+
+class ServingSoC:
+    """Residency-aware serving wrapper around one reconfigurable SoC."""
+
+    def __init__(self, index: int, library: Optional[KernelLibrary] = None,
+                 topology: Optional[Topology] = None,
+                 topology_name: str = "mesh",
+                 placement_strategy: str = "spread",
+                 configuration_bus_bits: int = 8) -> None:
+        if index < 0:
+            raise ConfigurationError("SoC index must be non-negative")
+        self.index = index
+        self.name = f"soc{index}"
+        self.library = library or KernelLibrary()
+        self.soc = ReconfigurableSoC(
+            configuration_bus_bits=configuration_bus_bits)
+        self.soc.attach_array(build_da_array())
+        self.soc.attach_array(build_me_array())
+        self.topology = topology or topology_by_name(topology_name,
+                                                     len(SERVE_AGENTS))
+        self.placement = place_agents(SERVE_AGENTS, self.topology,
+                                      placement_strategy)
+        self.resident: Dict[str, Optional[str]] = {
+            array: None for array in _ARRAY_AGENTS}
+        #: Virtual cycle at which the SoC finishes its current batch.
+        self.free_at = 0
+        #: Set by the runtime so policies can see the fleet size.
+        self.fleet_size = 1
+        self.jobs_executed = 0
+        self.batches_executed = 0
+        self.reconfiguration_energy = 0.0
+        self.reconfiguration_cycles = 0
+
+    # -- NoC pricing ---------------------------------------------------------
+    def _nodes(self, source_agent: str, dest_agent: str) -> Tuple[int, int]:
+        return self.placement[source_agent], self.placement[dest_agent]
+
+    def transfer_cost(self, source_agent: str, dest_agent: str,
+                      bits: int) -> Tuple[int, float]:
+        """(cycles, energy) of streaming ``bits`` between two agents."""
+        flits = _flits(bits)
+        source, dest = self._nodes(source_agent, dest_agent)
+        cycles = self.topology.transfer_latency(source, dest, flits)
+        energy = noc_transfer_energy(
+            *self.topology.transfer_aggregates(source, dest, flits))
+        return cycles, energy
+
+    # -- kernel residency ----------------------------------------------------
+    def missing_kernels(self, job) -> Dict[str, str]:
+        """The subset of a job's kernels not currently resident."""
+        missing = {}
+        for array, kernel in job.kernels.items():
+            if array not in self.resident:
+                raise ConfigurationError(
+                    f"job {job.job_id} targets unknown array {array!r}")
+            if self.resident[array] != kernel:
+                missing[array] = kernel
+        return missing
+
+    def reconfiguration_bits(self, job) -> int:
+        """Bitstream bits a dispatch of ``job`` would have to stream now."""
+        return sum(self.library.bitstream_bits(kernel)
+                   for kernel in self.missing_kernels(job).values())
+
+    def reconfiguration_cost(self, job) -> Tuple[int, float]:
+        """(cycles, energy) of making the job's kernels resident, without
+        actually switching anything."""
+        cycles = 0
+        energy = 0.0
+        for array, kernel in self.missing_kernels(job).items():
+            result = self.library.result(kernel)
+            bits = result.bitstream.total_bits()
+            cycles += result.bitstream.reconfiguration_cycles(
+                self.soc.configuration_bus_bits)
+            noc_cycles, noc_energy = self.transfer_cost(
+                "config", _ARRAY_AGENTS[array], bits)
+            cycles += noc_cycles
+            energy += noc_energy
+        return cycles, energy
+
+    def load_kernels(self, job) -> Tuple[int, float, int]:
+        """Switch arrays so the job's kernels are resident.
+
+        Streams each missing kernel's bitstream through the wrapped SoC
+        (recording real :class:`ReconfigurationEvent` entries) and over
+        the NoC; returns ``(cycles, energy, switches)`` actually paid.
+        """
+        cycles = 0
+        energy = 0.0
+        switches = 0
+        for array, kernel in self.missing_kernels(job).items():
+            result = self.library.result(kernel)
+            event = self.soc.load(result)
+            noc_cycles, noc_energy = self.transfer_cost(
+                "config", _ARRAY_AGENTS[array], event.bitstream_bits)
+            cycles += event.cycles + noc_cycles
+            energy += noc_energy
+            self.resident[array] = kernel
+            switches += 1
+        self.reconfiguration_cycles += cycles
+        self.reconfiguration_energy += energy
+        return cycles, energy, switches
+
+    # -- result traffic ------------------------------------------------------
+    def result_cost(self, output_bits: int) -> Tuple[int, float]:
+        """(cycles, energy) of streaming a job's output to frame memory.
+
+        Every current job kind's output originates at the DA array
+        (encode residual coefficients, DCT levels, FIR samples — the ME
+        array only feeds motion vectors back into the encode pipeline),
+        so the producing agent is its NoC node.
+        """
+        return self.transfer_cost(_ARRAY_AGENTS["da_array"], "memory",
+                                  output_bits)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def reconfiguration_count(self) -> int:
+        """Kernel switches since construction (off the wrapped SoC's log)."""
+        return len(self.soc.reconfiguration_log)
+
+    @property
+    def reconfiguration_bits_streamed(self) -> int:
+        """Total configuration bits streamed since construction."""
+        return self.soc.total_reconfiguration_bits()
+
+    def __repr__(self) -> str:
+        resident = {array: kernel for array, kernel in self.resident.items()
+                    if kernel}
+        return (f"ServingSoC({self.name!r}, topology={self.topology.name!r}, "
+                f"resident={resident}, free_at={self.free_at})")

@@ -1,0 +1,159 @@
+"""Seeded traffic mixes: reproducible job traces for tests and benchmarks.
+
+Three mixes covering the serving design space, all deterministic under a
+seed (every random draw goes through one ``numpy`` generator):
+
+``steady_encode``  a homogeneous camera farm — GOP shards and short
+                   encode requests on one DCT kernel and one search
+                   range, smooth arrivals.  Batching shines, kernels
+                   never switch.
+``kernel_churn``   heterogeneous tenants interleaving DCT kernels,
+                   search ranges and small DCT/FIR invocations — the
+                   paper's time-multiplexing story.  Residency-blind
+                   policies pay a bitstream per dispatch; the affinity
+                   policy drains same-kernel runs.
+``bursty_mixed``   everything at once in bursts (a notification fan-out):
+                   bursts of mixed jobs land on one cycle, idle gaps
+                   between — exercises admission control and the
+                   backpressure path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve.jobs import DctJob, EncodeJob, FirJob, split_sequence_job
+from repro.video.scenes import scene_frames
+
+#: The mixes :func:`generate_jobs` can draw.
+TRAFFIC_MIXES = ("steady_encode", "kernel_churn", "bursty_mixed")
+
+#: Frame geometry of generated encode jobs (kept small so randomized
+#: conformance suites can afford hundreds of drawn traces).
+FRAME_HEIGHT = 32
+FRAME_WIDTH = 32
+
+_SCENES = ("static", "pan", "zoom", "noise")
+_CHURN_DCTS = ("mixed_rom", "scc_direct", "cordic2")
+
+
+def _encode_job(job_id: int, arrival: int, rng: np.random.Generator,
+                dct_name: str, search_range: int, kind: str = "gop",
+                min_frames: int = 2, max_frames: int = 4) -> EncodeJob:
+    frames = scene_frames(_SCENES[int(rng.integers(len(_SCENES)))],
+                          count=int(rng.integers(min_frames, max_frames + 1)),
+                          height=FRAME_HEIGHT, width=FRAME_WIDTH,
+                          seed=int(rng.integers(1 << 16)))
+    return EncodeJob(job_id=job_id, arrival_cycle=arrival, frames=frames,
+                     dct_name=dct_name, search_range=search_range, kind=kind)
+
+
+def _dct_job(job_id: int, arrival: int, rng: np.random.Generator,
+             dct_name: str) -> DctJob:
+    blocks = rng.integers(-128, 128,
+                          (int(rng.integers(8, 48)), 8, 8)).astype(np.float64)
+    return DctJob(job_id=job_id, arrival_cycle=arrival, blocks=blocks,
+                  dct_name=dct_name)
+
+
+def _fir_job(job_id: int, arrival: int, rng: np.random.Generator,
+             fir_name: str = "lowpass8") -> FirJob:
+    samples = rng.integers(0, 256, int(rng.integers(64, 257)))
+    return FirJob(job_id=job_id, arrival_cycle=arrival, samples=samples,
+                  fir_name=fir_name)
+
+
+def _steady_encode(rng: np.random.Generator, job_count: int,
+                   mean_gap: int) -> List:
+    jobs: List = []
+    arrival = 0
+    for job_id in range(job_count):
+        arrival += int(rng.integers(mean_gap // 2, mean_gap * 3 // 2 + 1))
+        jobs.append(_encode_job(job_id, arrival, rng, dct_name="mixed_rom",
+                                search_range=8))
+    return jobs
+
+
+def _kernel_churn(rng: np.random.Generator, job_count: int,
+                  mean_gap: int) -> List:
+    jobs: List = []
+    arrival = 0
+    for job_id in range(job_count):
+        arrival += int(rng.integers(mean_gap // 2, mean_gap * 3 // 2 + 1))
+        draw = int(rng.integers(10))
+        dct_name = _CHURN_DCTS[job_id % len(_CHURN_DCTS)]
+        if draw < 4:
+            jobs.append(_encode_job(job_id, arrival, rng, dct_name=dct_name,
+                                    search_range=(4, 8)[job_id % 2]))
+        elif draw < 8:
+            jobs.append(_dct_job(job_id, arrival, rng, dct_name=dct_name))
+        else:
+            jobs.append(_fir_job(job_id, arrival, rng,
+                                 fir_name=("lowpass4", "lowpass8")[job_id % 2]))
+    return jobs
+
+
+def _bursty_mixed(rng: np.random.Generator, job_count: int,
+                  mean_gap: int) -> List:
+    jobs: List = []
+    arrival = 0
+    job_id = 0
+    while job_id < job_count:
+        arrival += int(rng.integers(mean_gap * 2, mean_gap * 5))
+        burst = min(int(rng.integers(3, 7)), job_count - job_id)
+        for _ in range(burst):
+            draw = int(rng.integers(10))
+            if draw < 5:
+                jobs.append(_encode_job(job_id, arrival, rng,
+                                        dct_name="mixed_rom", search_range=8))
+            elif draw < 8:
+                jobs.append(_dct_job(job_id, arrival, rng,
+                                     dct_name=_CHURN_DCTS[job_id % 2]))
+            else:
+                jobs.append(_fir_job(job_id, arrival, rng))
+            job_id += 1
+    return jobs
+
+
+_GENERATORS = {"steady_encode": _steady_encode,
+               "kernel_churn": _kernel_churn,
+               "bursty_mixed": _bursty_mixed}
+
+
+def generate_jobs(mix: str, job_count: int = 24, seed: int = 0,
+                  mean_gap: int = 20_000,
+                  sequence_frames: Optional[int] = None) -> List:
+    """Draw a deterministic job trace of one traffic mix.
+
+    ``mean_gap`` scales the inter-arrival cycles (smaller means heavier
+    load and more queueing).  When ``sequence_frames`` is given, the
+    trace additionally opens with one multi-GOP encode request of that
+    many frames, pre-split into GOP-shard jobs via
+    :func:`~repro.serve.jobs.split_sequence_job` (ids continue after
+    ``job_count``).
+    """
+    if mix not in _GENERATORS:
+        raise ConfigurationError(
+            f"unknown traffic mix {mix!r}; known: {TRAFFIC_MIXES}")
+    if job_count <= 0:
+        raise ConfigurationError("a trace needs at least one job")
+    rng = np.random.default_rng([seed, TRAFFIC_MIXES.index(mix)])
+    jobs = _GENERATORS[mix](rng, job_count, mean_gap)
+    if sequence_frames:
+        request = EncodeJob(
+            job_id=job_count, arrival_cycle=int(rng.integers(mean_gap)),
+            frames=scene_frames("cut", count=sequence_frames,
+                                height=FRAME_HEIGHT, width=FRAME_WIDTH,
+                                seed=seed),
+            dct_name="mixed_rom", search_range=8, kind="encode")
+        jobs.extend(split_sequence_job(request, first_job_id=job_count + 1,
+                                       gop_size=4))
+    return jobs
+
+
+def trace_kinds(jobs: Sequence) -> List[str]:
+    """Job kinds of a trace, in id order (handy for test assertions)."""
+    return [job.kind for job in sorted(jobs, key=lambda j: j.job_id)]

@@ -45,6 +45,7 @@ from repro.video.gop import (
     Gop,
     GopEncodeOutcome,
     detect_scene_cuts,
+    encode_gop_batch,
     encode_sequence_parallel,
     split_into_gops,
 )
@@ -96,6 +97,7 @@ __all__ = [
     "Gop",
     "GopEncodeOutcome",
     "detect_scene_cuts",
+    "encode_gop_batch",
     "encode_sequence_parallel",
     "split_into_gops",
     "RateController",

@@ -290,6 +290,56 @@ def encode_sequence_parallel(frames: Sequence[np.ndarray],
                             qp_trajectories=[shard[2] for shard in shards])
 
 
+def encode_gop_batch(frame_groups: Sequence[Sequence[np.ndarray]],
+                     configuration: Optional[EncoderConfiguration] = None,
+                     rate_controller: Optional[RateController] = None
+                     ) -> List[Tuple[List[FrameStatistics], np.ndarray]]:
+    """Encode several independent closed GOPs in one lockstep batch.
+
+    Unlike :func:`encode_sequence_parallel`, the GOPs here need not come
+    from the same sequence — the serving runtime batches queued GOP
+    shards from *different* requests through one stacked engine dispatch.
+    Returns ``(statistics, final_reconstruction)`` per group, in input
+    order, with each group's ``frame_index`` numbered from 0 (exactly
+    what a standalone encode of that group would report), and the
+    statistics are bit-identical to encoding each group alone.
+
+    All groups must share one frame shape and one configuration; when the
+    configuration cannot take the lockstep path (see
+    :func:`encode_sequence_parallel`) the groups are encoded serially,
+    which produces the same bits.
+    """
+    configuration = configuration or EncoderConfiguration()
+    groups = [list(frames) for frames in frame_groups]
+    if not groups:
+        return []
+    if any(not group for group in groups):
+        raise ConfigurationError("every GOP in a batch needs at least one frame")
+    shapes = {np.asarray(frame).shape for group in groups for frame in group}
+    if len(shapes) != 1:
+        raise ConfigurationError(
+            f"a GOP batch needs uniformly sized frames, got {sorted(shapes)}")
+    combined: List[np.ndarray] = []
+    gops: List[Gop] = []
+    for index, group in enumerate(groups):
+        gops.append(Gop(index=index, start=len(combined),
+                        stop=len(combined) + len(group)))
+        combined.extend(group)
+    if len(gops) > 1 and _lockstep_supported(configuration):
+        shards = _encode_gop_group_lockstep(combined, gops, configuration,
+                                            rate_controller)
+    else:
+        shards = [_encode_single_gop(combined, gop, configuration,
+                                     rate_controller, compile_kernels=False)
+                  for gop in gops]
+    outputs: List[Tuple[List[FrameStatistics], np.ndarray]] = []
+    for statistics, reference, _ in shards:
+        for offset, frame_stats in enumerate(statistics):
+            frame_stats.frame_index = offset
+        outputs.append((statistics, reference))
+    return outputs
+
+
 # -- lockstep strategy --------------------------------------------------------
 
 def _encode_gops_lockstep(frames: Sequence[np.ndarray], gops: List[Gop],

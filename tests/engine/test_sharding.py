@@ -1,0 +1,55 @@
+"""Work-sharding helpers, including the serving scheduler's key grouping."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.engine.sharding import (
+    batch_groups,
+    group_by_key,
+    shard_sizes,
+    shard_slices,
+)
+
+
+class TestShardSizes:
+    def test_balanced_split(self):
+        assert shard_sizes(10, 4) == [3, 3, 2, 2]
+        assert shard_sizes(4, 8) == [1, 1, 1, 1]
+        assert shard_sizes(0, 3) == []
+
+    def test_slices_realise_sizes(self):
+        assert shard_slices(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shard_sizes(-1, 2)
+        with pytest.raises(ConfigurationError):
+            shard_sizes(4, 0)
+
+
+class TestBatchGroups:
+    def test_grouping(self):
+        assert batch_groups(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ConfigurationError):
+            batch_groups([1], 0)
+
+
+class TestGroupByKey:
+    def test_groups_in_first_seen_order(self):
+        items = ["a1", "b1", "a2", "c1", "b2", "a3"]
+        groups = group_by_key(items, key=lambda s: s[0])
+        assert groups == [["a1", "a2", "a3"], ["b1", "b2"], ["c1"]]
+
+    def test_group_size_caps_each_group(self):
+        items = ["a1", "a2", "a3", "b1", "a4"]
+        groups = group_by_key(items, key=lambda s: s[0], group_size=2)
+        assert groups == [["a1", "a2"], ["a3", "a4"], ["b1"]]
+
+    def test_unbounded_by_default(self):
+        groups = group_by_key(range(6), key=lambda n: n % 2)
+        assert groups == [[0, 2, 4], [1, 3, 5]]
+
+    def test_empty_and_validation(self):
+        assert group_by_key([], key=lambda x: x) == []
+        with pytest.raises(ConfigurationError):
+            group_by_key([1], key=lambda x: x, group_size=0)

@@ -1,0 +1,117 @@
+"""Batched execution is bit-identical to serial, for every job kind."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve import (
+    DctJob,
+    EncodeJob,
+    FirJob,
+    execute_batch,
+    execute_serial,
+    payload_digest,
+)
+from repro.video.codec import EncoderConfiguration, VideoEncoder
+from repro.video.scenes import scene_frames
+
+
+def _encode_jobs(count=3, frames_each=3):
+    return [EncodeJob(job_id=i, arrival_cycle=0,
+                      frames=scene_frames("pan", count=frames_each,
+                                          height=32, width=32, seed=i))
+            for i in range(count)]
+
+
+class TestEncodeExecution:
+    def test_batched_equals_serial(self):
+        jobs = _encode_jobs(4)
+        batched = execute_batch(jobs)
+        serial = execute_serial(jobs)
+        for a, b in zip(batched, serial):
+            assert a.job_id == b.job_id
+            assert a.digest == b.digest
+            assert a.compute_cycles == b.compute_cycles
+            assert a.output_bits == b.output_bits
+
+    def test_serial_single_job_matches_plain_encoder(self):
+        job = _encode_jobs(1)[0]
+        result = execute_serial([job])[0]
+        encoder = VideoEncoder(EncoderConfiguration())
+        reference = encoder.encode_sequence(job.frames)
+        assert payload_digest(result.payload) == payload_digest(reference)
+
+    def test_activity_aggregates_populated(self):
+        result = execute_batch(_encode_jobs(2))[0]
+        assert result.sad_operations > 0
+        assert result.dct_blocks > 0
+        assert result.compute_cycles > 0
+        assert result.output_bits > 0
+
+    def test_frame_indices_are_local(self):
+        for result in execute_batch(_encode_jobs(3, frames_each=2)):
+            assert [stats.frame_index for stats in result.payload] == [0, 1]
+
+
+class TestDctExecution:
+    def test_batched_equals_serial(self, rng):
+        jobs = [DctJob(job_id=i, arrival_cycle=0,
+                       blocks=rng.integers(-128, 128, (4 + i, 8, 8)))
+                for i in range(5)]
+        batched = execute_batch(jobs)
+        serial = execute_serial(jobs)
+        for a, b in zip(batched, serial):
+            np.testing.assert_array_equal(a.payload, b.payload)
+            assert a.digest == b.digest
+
+    def test_levels_match_direct_quantise(self, rng):
+        from repro.dct.quantization import quantise
+        from repro.dct.reference import dct_2d_batched
+
+        blocks = rng.integers(-128, 128, (6, 8, 8)).astype(np.float64)
+        job = DctJob(job_id=0, arrival_cycle=0, blocks=blocks, qp=18)
+        result = execute_batch([job])[0]
+        np.testing.assert_array_equal(result.payload,
+                                      quantise(dct_2d_batched(blocks), 18))
+
+
+class TestFirExecution:
+    def test_batched_equals_serial(self, rng):
+        jobs = [FirJob(job_id=i, arrival_cycle=0,
+                       samples=rng.integers(0, 256, 96 + i))
+                for i in range(4)]
+        for a, b in zip(execute_batch(jobs), execute_serial(jobs)):
+            np.testing.assert_array_equal(a.payload, b.payload)
+            assert a.digest == b.digest
+            assert a.filter_samples == a.payload.size
+
+
+class TestBatchValidation:
+    def test_mixed_keys_rejected(self, rng):
+        jobs = [DctJob(job_id=0, arrival_cycle=0,
+                       blocks=rng.integers(0, 8, (2, 8, 8)), qp=10),
+                DctJob(job_id=1, arrival_cycle=0,
+                       blocks=rng.integers(0, 8, (2, 8, 8)), qp=12)]
+        with pytest.raises(ConfigurationError):
+            execute_batch(jobs)
+
+    def test_empty_batch_is_empty(self):
+        assert execute_batch([]) == []
+
+
+class TestPayloadDigest:
+    def test_sensitive_to_array_bits(self, rng):
+        values = rng.integers(0, 100, (3, 8, 8))
+        tweaked = values.copy()
+        tweaked[0, 0, 0] += 1
+        assert payload_digest(values) != payload_digest(tweaked)
+        assert payload_digest(values) == payload_digest(values.copy())
+
+    def test_sensitive_to_dtype(self):
+        values = np.zeros(4, dtype=np.int64)
+        assert payload_digest(values) != payload_digest(
+            values.astype(np.int32))
+
+    def test_rejects_unknown_payloads(self):
+        with pytest.raises(ConfigurationError):
+            payload_digest(["not", "statistics"])

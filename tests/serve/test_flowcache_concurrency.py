@@ -1,0 +1,169 @@
+"""Concurrency properties of the FlowCache under compile_many + prewarm.
+
+The serving scheduler prewarms the shared flow cache from admission
+while benchmark harnesses drive ``compile_many`` from their own pools,
+so the cache must keep its counters consistent and its payloads
+bit-identical under arbitrary thread interleavings.  These tests hammer
+a private cache from a thread pool and assert:
+
+* counter consistency — every lookup is counted exactly once, so
+  ``hits + misses`` equals the number of lookups and never goes
+  backwards;
+* payload bit-identity — results served from the cache carry exactly
+  the bitstream words and placements a cold compile produces;
+* capacity safety — the entry count never exceeds ``max_entries`` and
+  distinct designs never collide.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.flow import Flow, compile_many
+from repro.flow.cache import FlowCache, cache_key
+from repro.me.systolic import SystolicArray
+from repro.video.scenes import dct_implementation_by_name
+
+DCT_NAMES = ("mixed_rom", "cordic1", "cordic2", "scc_evenodd", "scc_direct")
+
+
+def _designs():
+    return [dct_implementation_by_name(name) for name in DCT_NAMES]
+
+
+def _bitstream_words(result):
+    bitstream = result.bitstream
+    return ([(c.position, c.kind, c.mode, c.rom_contents, c.rom_word_bits)
+             for c in bitstream.cluster_configurations],
+            [c.bit_count() for c in bitstream.channel_configurations])
+
+
+@pytest.fixture(scope="module")
+def cold_results():
+    """Reference compiles with no cache at all."""
+    return {name: compile_many([dct_implementation_by_name(name)],
+                               cache=None)[0]
+            for name in DCT_NAMES}
+
+
+class TestConcurrentCompileMany:
+    def test_counters_and_bits_under_hammering(self, cold_results):
+        cache = FlowCache(max_entries=32)
+        rounds, workers = 6, 8
+        lookups = rounds * workers * len(DCT_NAMES)
+
+        def one_round(worker_seed):
+            return compile_many(_designs(), cache=cache)
+
+        collected = []
+        for _ in range(rounds):
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(one_round, w) for w in range(workers)]
+                collected.extend(future.result() for future in futures)
+
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == lookups
+        # Every distinct design missed at least once; concurrent first
+        # rounds may race to a handful of extra misses, never more than
+        # one per worker per design.
+        assert len(DCT_NAMES) <= stats["misses"] <= len(DCT_NAMES) * workers
+        assert stats["hits"] >= lookups - len(DCT_NAMES) * workers
+        assert stats["entries"] == len(DCT_NAMES)
+
+        for results in collected:
+            for name, result in zip(DCT_NAMES, results):
+                cold = cold_results[name]
+                assert _bitstream_words(result) == _bitstream_words(cold)
+                assert result.bitstream.total_bits() == \
+                    cold.bitstream.total_bits()
+                assert result.placement.assignment == \
+                    cold.placement.assignment
+
+    def test_mixed_compile_and_prewarm(self, cold_results):
+        cache = FlowCache(max_entries=32)
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def prewarmer(index):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(3):
+                    cache.prewarm(_designs())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def compiler(index):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(3):
+                    results = compile_many(_designs(), cache=cache)
+                    for name, result in zip(DCT_NAMES, results):
+                        assert result.bitstream.total_bits() == \
+                            cold_results[name].bitstream.total_bits()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=prewarmer, args=(i,))
+                    for i in range(3)]
+                   + [threading.Thread(target=compiler, args=(i,))
+                      for i in range(3)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] == len(DCT_NAMES)
+        assert stats["hits"] + stats["misses"] > 0
+        # After the dust settles, everything is a guaranteed hit.
+        before = cache.stats()["hits"]
+        compile_many(_designs(), cache=cache)
+        assert cache.stats()["hits"] == before + len(DCT_NAMES)
+        assert cache.stats()["misses"] == stats["misses"]
+
+    def test_capacity_is_never_exceeded(self):
+        cache = FlowCache(max_entries=2)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(compile_many, _designs(), None,
+                                   cache=cache)
+                       for _ in range(4)]
+            for future in futures:
+                future.result()
+        assert len(cache) <= 2
+
+    def test_distinct_designs_have_distinct_keys(self):
+        flow = Flow.default()
+        keys = set()
+        for design in _designs() + [SystolicArray(),
+                                    SystolicArray(module_count=2)]:
+            from repro.flow.design import resolve_fabric
+
+            fabric = resolve_fabric(design)
+            keys.add(cache_key(design.build_netlist(), fabric, flow))
+        assert len(keys) == len(DCT_NAMES) + 2
+
+
+class TestServeSchedulerPrewarm:
+    def test_admission_prewarm_makes_dispatch_hits(self):
+        from repro.flow import cache as flow_cache_module
+        from repro.serve import DctJob, KernelLibrary, ServeSettings, serve
+
+        private = FlowCache(max_entries=64)
+        original = flow_cache_module.DEFAULT_CACHE
+        flow_cache_module.DEFAULT_CACHE = private
+        try:
+            jobs = [DctJob(job_id=i, arrival_cycle=100 * i,
+                           blocks=np.zeros((2, 8, 8)),
+                           dct_name=("scc_direct", "cordic1")[i % 2])
+                    for i in range(4)]
+            report = serve(jobs, ServeSettings(policy="fifo", prewarm=True),
+                           library=KernelLibrary())
+            assert report.completed == 4
+            stats = private.stats()
+            # Two distinct kernels: two cold compiles, everything else hit.
+            assert stats["misses"] == 2
+            assert stats["entries"] == 2
+        finally:
+            flow_cache_module.DEFAULT_CACHE = original

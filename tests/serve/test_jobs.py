@@ -1,0 +1,180 @@
+"""Job types, batch keys, service estimates and the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve import (
+    TRAFFIC_MIXES,
+    DctJob,
+    EncodeJob,
+    FirJob,
+    generate_jobs,
+    me_kernel_for_range,
+    split_sequence_job,
+)
+from repro.serve.jobs import JOB_KINDS
+from repro.video.scenes import scene_frames
+
+
+def _frames(count=3, seed=0):
+    return scene_frames("pan", count=count, height=32, width=32, seed=seed)
+
+
+class TestEncodeJob:
+    def test_kernels_cover_both_arrays(self):
+        job = EncodeJob(job_id=0, arrival_cycle=0, frames=_frames(),
+                        dct_name="scc_direct", search_range=4)
+        assert job.kernels == {"da_array": "dct:scc_direct",
+                               "me_array": "me:full_r4"}
+
+    def test_batch_key_separates_kernels_and_shapes(self):
+        base = EncodeJob(job_id=0, arrival_cycle=0, frames=_frames())
+        same = EncodeJob(job_id=1, arrival_cycle=5, frames=_frames(seed=9))
+        other_kernel = EncodeJob(job_id=2, arrival_cycle=0, frames=_frames(),
+                                 dct_name="cordic2")
+        other_range = EncodeJob(job_id=3, arrival_cycle=0, frames=_frames(),
+                                search_range=4)
+        assert base.batch_key == same.batch_key
+        assert base.batch_key != other_kernel.batch_key
+        assert base.batch_key != other_range.batch_key
+
+    def test_estimate_grows_with_frames_and_range(self):
+        small = EncodeJob(job_id=0, arrival_cycle=0, frames=_frames(2),
+                          search_range=4)
+        longer = EncodeJob(job_id=1, arrival_cycle=0, frames=_frames(4),
+                           search_range=4)
+        wider = EncodeJob(job_id=2, arrival_cycle=0, frames=_frames(2),
+                          search_range=8)
+        assert small.service_estimate() < longer.service_estimate()
+        assert small.service_estimate() < wider.service_estimate()
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodeJob(job_id=0, arrival_cycle=0, frames=[])
+
+    def test_unsupported_search_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodeJob(job_id=0, arrival_cycle=0, frames=_frames(),
+                      search_range=5)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodeJob(job_id=0, arrival_cycle=-1, frames=_frames())
+
+    def test_mixed_frame_shapes_rejected(self):
+        frames = _frames(2) + scene_frames("pan", count=1, height=48,
+                                           width=48, seed=0)
+        with pytest.raises(ConfigurationError):
+            EncodeJob(job_id=0, arrival_cycle=0, frames=frames)
+
+
+class TestKernelInvocationJobs:
+    def test_dct_job_validates_block_shape(self):
+        with pytest.raises(ConfigurationError):
+            DctJob(job_id=0, arrival_cycle=0, blocks=np.zeros((4, 8, 7)))
+
+    def test_dct_job_key_and_estimate(self):
+        job = DctJob(job_id=0, arrival_cycle=0, blocks=np.zeros((5, 8, 8)),
+                     qp=20, dct_name="cordic1")
+        assert job.batch_key == ("dct", 20, "cordic1")
+        assert job.kernels == {"da_array": "dct:cordic1"}
+        assert job.service_estimate() == 5 * 12
+
+    def test_fir_job_validates_samples(self):
+        with pytest.raises(ConfigurationError):
+            FirJob(job_id=0, arrival_cycle=0, samples=np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            FirJob(job_id=0, arrival_cycle=0, samples=np.array([]))
+
+    def test_me_kernel_lookup(self):
+        assert me_kernel_for_range(4) == "me:full_r4"
+        assert me_kernel_for_range(8) == "me:full_r8"
+        with pytest.raises(ConfigurationError):
+            me_kernel_for_range(99)
+
+
+class TestSplitSequenceJob:
+    def test_shards_cover_the_sequence_in_order(self):
+        request = EncodeJob(job_id=50, arrival_cycle=120, frames=_frames(10))
+        shards = split_sequence_job(request, first_job_id=100, gop_size=4)
+        assert [shard.job_id for shard in shards] == [100, 101, 102]
+        assert [len(shard.frames) for shard in shards] == [4, 4, 2]
+        assert all(shard.kind == "gop" for shard in shards)
+        assert all(shard.sequence_id == 50 for shard in shards)
+        assert [shard.gop_index for shard in shards] == [0, 1, 2]
+        assert all(shard.arrival_cycle == 120 for shard in shards)
+        merged = [frame for shard in shards for frame in shard.frames]
+        for original, piece in zip(request.frames, merged):
+            np.testing.assert_array_equal(original, piece)
+
+
+class TestWorkloadGenerator:
+    @pytest.mark.parametrize("mix", TRAFFIC_MIXES)
+    def test_deterministic_under_seed(self, mix):
+        first = generate_jobs(mix, job_count=10, seed=42)
+        second = generate_jobs(mix, job_count=10, seed=42)
+        assert [job.job_id for job in first] == [job.job_id for job in second]
+        assert ([job.arrival_cycle for job in first]
+                == [job.arrival_cycle for job in second])
+        assert [job.kind for job in first] == [job.kind for job in second]
+        assert all(job.kind in JOB_KINDS for job in first)
+
+    @pytest.mark.parametrize("mix", TRAFFIC_MIXES)
+    def test_arrivals_sorted_and_ids_unique(self, mix):
+        jobs = generate_jobs(mix, job_count=15, seed=3)
+        ids = [job.job_id for job in jobs]
+        assert len(set(ids)) == len(ids)
+        arrivals = [job.arrival_cycle for job in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_seeds_differ(self):
+        first = generate_jobs("kernel_churn", job_count=10, seed=1)
+        second = generate_jobs("kernel_churn", job_count=10, seed=2)
+        assert ([job.arrival_cycle for job in first]
+                != [job.arrival_cycle for job in second])
+
+    def test_churn_actually_churns_kernels(self):
+        jobs = generate_jobs("kernel_churn", job_count=20, seed=0)
+        kernels = {kernel for job in jobs for kernel in job.kernels.values()}
+        assert len(kernels) >= 3
+
+    def test_sequence_request_is_presplit(self):
+        jobs = generate_jobs("steady_encode", job_count=5, seed=0,
+                             sequence_frames=10)
+        shards = [job for job in jobs if job.sequence_id is not None]
+        assert len(shards) >= 2
+        assert {shard.sequence_id for shard in shards} == {5}
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_jobs("nope", job_count=3)
+
+
+class TestValidationEdges:
+    def test_encode_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            EncodeJob(job_id=0, arrival_cycle=0, frames=_frames(), kind="dct")
+
+    def test_dct_and_fir_guards(self):
+        with pytest.raises(ConfigurationError):
+            DctJob(job_id=0, arrival_cycle=-1, blocks=np.zeros((1, 8, 8)))
+        with pytest.raises(ConfigurationError):
+            DctJob(job_id=0, arrival_cycle=0, blocks=np.zeros((1, 8, 8)),
+                   kind="fir")
+        with pytest.raises(ConfigurationError):
+            FirJob(job_id=0, arrival_cycle=-1, samples=np.arange(4))
+        with pytest.raises(ConfigurationError):
+            FirJob(job_id=0, arrival_cycle=0, samples=np.arange(4),
+                   kind="dct")
+
+    def test_workload_needs_jobs(self):
+        with pytest.raises(ConfigurationError):
+            generate_jobs("steady_encode", job_count=0)
+
+    def test_trace_kinds_orders_by_id(self):
+        from repro.serve.workload import trace_kinds
+
+        jobs = generate_jobs("bursty_mixed", job_count=6, seed=0)
+        assert trace_kinds(jobs) == [job.kind for job in
+                                     sorted(jobs, key=lambda j: j.job_id)]

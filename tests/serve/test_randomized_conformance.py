@@ -1,0 +1,117 @@
+"""Randomized scheduler conformance: 100 drawn job mixes.
+
+For every drawn trace and policy the scheduled (batched, possibly
+multi-SoC, possibly rejecting) execution must
+
+* be **bit-identical** to a naive serial execution of the same jobs
+  (batching and scheduling are pure scheduling decisions),
+* **conserve jobs** — every submitted job is exactly once completed or
+  rejected, and completed jobs report a coherent timeline,
+* **never starve** — no job waits past the aging guard's provable bound
+  ``starvation_limit + queue_capacity * longest_batch``.
+
+The drawn mixes deliberately skew small (tiny frames, few jobs per
+trace) so the whole suite stays affordable while covering all three
+traffic mixes x all four policies x varied fleet/queue/batch settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    KernelLibrary,
+    ServeSettings,
+    execute_serial,
+    generate_jobs,
+    serve,
+)
+from repro.serve.policies import POLICIES
+
+#: One shared library so place-and-route happens once for the module.
+LIBRARY = KernelLibrary()
+
+#: 100 drawn traces, each served under all 4 policies (400 scheduled
+#: runs) and checked against its serial reference execution.
+CASE_COUNT = 100
+
+MIX_NAMES = ("steady_encode", "kernel_churn", "bursty_mixed")
+
+
+def _draw_case(case_index: int):
+    """Trace + settings for one conformance case, fully seed-determined."""
+    rng = np.random.default_rng([2026, case_index])
+    mix = MIX_NAMES[case_index % len(MIX_NAMES)]
+    job_count = int(rng.integers(4, 9))
+    mean_gap = int(rng.integers(2_000, 30_000))
+    sequence_frames = int(rng.integers(6, 10)) if case_index % 5 == 0 else None
+    jobs = generate_jobs(mix, job_count=job_count, seed=case_index,
+                         mean_gap=mean_gap, sequence_frames=sequence_frames)
+    settings = dict(
+        soc_count=int(rng.integers(1, 3)),
+        queue_capacity=int(rng.integers(3, 12)),
+        max_batch=int(rng.integers(1, 6)),
+        starvation_limit=int(rng.integers(50_000, 500_000)),
+    )
+    return jobs, settings
+
+
+@pytest.fixture(scope="module")
+def cases():
+    drawn = []
+    for case_index in range(CASE_COUNT):
+        jobs, settings = _draw_case(case_index)
+        serial = {result.job_id: result.digest
+                  for result in execute_serial(jobs)}
+        drawn.append((jobs, settings, serial))
+    return drawn
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_scheduled_execution_conforms(policy, cases):
+    for case_index, (jobs, settings, serial_digests) in enumerate(cases):
+        report = serve(jobs, ServeSettings(policy=policy, **settings),
+                       library=LIBRARY)
+
+        # Bit-exactness: every completed job's payload matches the naive
+        # serial execution of the same job, bit for bit.
+        for job_id, digest in report.digests.items():
+            assert digest == serial_digests[job_id], \
+                f"case {case_index}: job {job_id} diverged under {policy}"
+
+        # Conservation: submitted == completed + rejected, no duplicates,
+        # nothing invented.
+        submitted_ids = {job.job_id for job in jobs}
+        completed_ids = [record.job_id for record in report.records]
+        assert len(set(completed_ids)) == len(completed_ids)
+        assert set(completed_ids) | set(report.rejected_job_ids) \
+            == submitted_ids
+        assert not set(completed_ids) & set(report.rejected_job_ids)
+        assert report.completed + report.rejected == len(jobs)
+
+        # Timeline coherence on every record.
+        for record in report.records:
+            assert record.arrival_cycle <= record.start_cycle \
+                < record.completion_cycle
+
+        # Bounded wait under the aging guard.
+        if report.records:
+            longest_batch = max(record.completion_cycle - record.start_cycle
+                                for record in report.records)
+            bound = (ServeSettings(**settings).starvation_limit
+                     + settings["queue_capacity"] * longest_batch)
+            for record in report.records:
+                assert record.wait_cycles <= bound, \
+                    f"case {case_index}: job {record.job_id} starved " \
+                    f"under {policy}"
+
+
+def test_policies_agree_on_payload_bits(cases):
+    """Different policies may reject different jobs, but any job completed
+    by two policies produced identical bits."""
+    jobs, settings, _ = cases[0]
+    digests = {}
+    for policy in sorted(POLICIES):
+        report = serve(jobs, ServeSettings(policy=policy, **settings),
+                       library=LIBRARY)
+        for job_id, digest in report.digests.items():
+            assert digests.setdefault(job_id, digest) == digest

@@ -1,0 +1,231 @@
+"""The virtual-time serving loop: admission, batching, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve import (
+    DctJob,
+    EncodeJob,
+    KernelLibrary,
+    ServeSettings,
+    execute_serial,
+    percentile,
+    serve,
+)
+from repro.video.scenes import scene_frames
+
+LIBRARY = KernelLibrary()
+
+
+def _dct_job(job_id, arrival, blocks=8, dct_name="mixed_rom"):
+    rng = np.random.default_rng(job_id)
+    return DctJob(job_id=job_id, arrival_cycle=arrival,
+                  blocks=rng.integers(-64, 64, (blocks, 8, 8)),
+                  dct_name=dct_name)
+
+
+def _encode_job(job_id, arrival, frames=2):
+    return EncodeJob(job_id=job_id, arrival_cycle=arrival,
+                     frames=scene_frames("pan", count=frames, height=32,
+                                         width=32, seed=job_id))
+
+
+class TestSettingsValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("soc_count", 0), ("queue_capacity", 0), ("max_batch", 0),
+        ("starvation_limit", -1), ("batch_setup_cycles", -1)])
+    def test_bad_settings_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ServeSettings(**{field: value})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            serve([_dct_job(0, 0)], ServeSettings(policy="lifo"),
+                  library=LIBRARY)
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            serve([_dct_job(1, 0), _dct_job(1, 5)], library=LIBRARY)
+
+
+class TestVirtualTime:
+    def test_empty_trace(self):
+        report = serve([], library=LIBRARY)
+        assert report.submitted == 0
+        assert report.makespan_cycles == 0
+        assert report.summary()["completed"] == 0
+
+    def test_single_job_timeline(self):
+        job = _dct_job(0, 1000)
+        report = serve([job], library=LIBRARY)
+        record = report.records[0]
+        assert record.start_cycle == 1000
+        assert record.completion_cycle > record.start_cycle
+        assert record.latency_cycles == record.completion_cycle - 1000
+        assert record.wait_cycles == 0
+        assert report.makespan_cycles == record.completion_cycle - 1000
+
+    def test_runs_are_deterministic(self):
+        jobs = [_dct_job(i, 100 * i, dct_name=("mixed_rom", "cordic2")[i % 2])
+                for i in range(8)]
+        first = serve(jobs, ServeSettings(policy="affinity"), library=LIBRARY)
+        second = serve(jobs, ServeSettings(policy="affinity"), library=LIBRARY)
+        assert [r.completion_cycle for r in first.records] == \
+            [r.completion_cycle for r in second.records]
+        assert first.total_energy == second.total_energy
+        assert first.digests == second.digests
+
+    def test_busy_soc_queues_jobs(self):
+        jobs = [_encode_job(0, 0), _dct_job(1, 1)]
+        report = serve(jobs, ServeSettings(policy="fifo"), library=LIBRARY)
+        by_id = {record.job_id: record for record in report.records}
+        assert by_id[1].start_cycle >= by_id[0].completion_cycle
+        assert by_id[1].wait_cycles > 0
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_rejects(self):
+        jobs = [_dct_job(i, 0) for i in range(6)]
+        report = serve(jobs, ServeSettings(queue_capacity=2, max_batch=1),
+                       library=LIBRARY)
+        assert report.rejected > 0
+        assert report.submitted == 6
+        assert report.completed + report.rejected == 6
+        # Later arrivals at the same cycle are the ones shed.
+        assert report.rejected_job_ids == sorted(report.rejected_job_ids)
+
+    def test_capacity_bounds_in_flight_jobs(self):
+        jobs = [_dct_job(i, i) for i in range(10)]
+        report = serve(jobs, ServeSettings(queue_capacity=3, max_batch=1),
+                       library=LIBRARY)
+        assert report.completed + report.rejected == 10
+
+
+class TestBatching:
+    def test_compatible_jobs_share_a_dispatch(self):
+        jobs = [_dct_job(i, 0) for i in range(4)]
+        report = serve(jobs, ServeSettings(max_batch=4), library=LIBRARY)
+        assert report.batches == 1
+        assert {record.batch_size for record in report.records} == {4}
+        assert len({record.completion_cycle
+                    for record in report.records}) == 1
+
+    def test_max_batch_caps_group_size(self):
+        jobs = [_dct_job(i, 0) for i in range(5)]
+        report = serve(jobs, ServeSettings(max_batch=2), library=LIBRARY)
+        assert report.batches == 3
+        assert max(record.batch_size for record in report.records) == 2
+
+    def test_incompatible_jobs_do_not_batch(self):
+        jobs = [_dct_job(0, 0, dct_name="mixed_rom"),
+                _dct_job(1, 0, dct_name="cordic2")]
+        report = serve(jobs, ServeSettings(max_batch=4), library=LIBRARY)
+        assert report.batches == 2
+
+    def test_batching_amortises_setup(self):
+        jobs = [_dct_job(i, 0) for i in range(4)]
+        batched = serve(jobs, ServeSettings(max_batch=4), library=LIBRARY)
+        lone = serve(jobs, ServeSettings(max_batch=1), library=LIBRARY)
+        assert batched.makespan_cycles < lone.makespan_cycles
+        assert batched.digests == lone.digests
+
+
+class TestAccounting:
+    def test_bitstreams_match_the_wrapped_soc_log(self):
+        jobs = [_dct_job(0, 0, dct_name="mixed_rom"),
+                _dct_job(1, 1, dct_name="cordic2"),
+                _dct_job(2, 2, dct_name="mixed_rom")]
+        report = serve(jobs, ServeSettings(policy="fifo", max_batch=1),
+                       library=LIBRARY)
+        assert report.reconfigurations == 3
+        assert report.reconfiguration_bits == (
+            2 * LIBRARY.bitstream_bits("dct:mixed_rom")
+            + LIBRARY.bitstream_bits("dct:cordic2"))
+        soc = report.socs[0]
+        assert soc.reconfiguration_bits_streamed == report.reconfiguration_bits
+        assert [event.kernel_name for event in soc.soc.reconfiguration_log]
+
+    def test_energy_includes_compute_and_noc(self):
+        from repro.power.models import serving_compute_energy
+
+        report = serve([_dct_job(0, 0)], library=LIBRARY)
+        record = report.records[0]
+        result = execute_serial([_dct_job(0, 0)])[0]
+        compute = serving_compute_energy(0, result.dct_blocks, 0)
+        assert record.energy > compute  # NoC + reconfiguration on top
+
+    def test_multi_soc_spreads_work(self):
+        jobs = [_dct_job(i, 0, dct_name=("mixed_rom", "cordic2")[i % 2])
+                for i in range(8)]
+        report = serve(jobs, ServeSettings(soc_count=2, max_batch=2),
+                       library=LIBRARY)
+        assert {record.soc for record in report.records} == {"soc0", "soc1"}
+        assert sum(soc.jobs_executed for soc in report.socs) == 8
+
+    def test_summary_fields(self):
+        report = serve([_dct_job(0, 0)], library=LIBRARY)
+        summary = report.summary()
+        for key in ("policy", "completed", "rejected", "latency_p50",
+                    "latency_p95", "latency_p99", "energy_per_job",
+                    "throughput_jobs_per_mcycle", "reconfigurations"):
+            assert key in summary
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7], 0.01) == 7
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1], 1.5)
+
+
+class TestStarvationGuard:
+    def _trace(self):
+        # A warmup job keeps the SoC busy while the big job queues; by the
+        # time the SoC frees, tiny jobs SJF always prefers have arrived.
+        warmup = _dct_job(99, 0, blocks=4)
+        big = _dct_job(0, 0, blocks=96)
+        tiny = [_dct_job(1 + i, 5 + 10 * i, blocks=1) for i in range(30)]
+        return [warmup, big] + tiny
+
+    def test_sjf_starves_the_big_job_without_a_guard(self):
+        settings = ServeSettings(policy="sjf", max_batch=1,
+                                 starvation_limit=10**9, queue_capacity=64)
+        report = serve(self._trace(), settings, library=LIBRARY)
+        by_id = {record.job_id: record for record in report.records}
+        later = sum(1 for i in range(1, 31)
+                    if by_id[i].start_cycle > by_id[0].start_cycle)
+        assert later <= 2  # essentially everything jumps the big job
+
+    def test_aging_guard_bounds_the_wait(self):
+        limit = 500
+        settings = ServeSettings(policy="sjf", max_batch=1,
+                                 starvation_limit=limit, queue_capacity=64)
+        report = serve(self._trace(), settings, library=LIBRARY)
+        longest_batch = max(record.completion_cycle - record.start_cycle
+                            for record in report.records)
+        bound = limit + settings.queue_capacity * longest_batch
+        assert all(record.wait_cycles <= bound for record in report.records)
+        by_id = {record.job_id: record for record in report.records}
+        assert by_id[0].wait_cycles <= limit + longest_batch
+
+
+class TestSoCLogConsistency:
+    def test_report_switch_count_matches_the_soc_log(self):
+        jobs = [_dct_job(0, 0, dct_name="mixed_rom"),
+                _dct_job(1, 10, dct_name="cordic2"),
+                _encode_job(2, 20)]
+        report = serve(jobs, ServeSettings(policy="fifo", max_batch=1),
+                       library=LIBRARY)
+        assert report.reconfigurations == sum(
+            soc.reconfiguration_count for soc in report.socs)
+        assert report.reconfiguration_bits == sum(
+            soc.reconfiguration_bits_streamed for soc in report.socs)

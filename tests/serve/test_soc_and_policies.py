@@ -1,0 +1,241 @@
+"""Kernel residency, reconfiguration pricing and the scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.traffic import FLIT_BITS
+from repro.power.models import noc_transfer_energy, serving_compute_energy
+from repro.serve import (
+    POLICIES,
+    DctJob,
+    EncodeJob,
+    FirJob,
+    KernelLibrary,
+    ServingSoC,
+    policy_by_name,
+)
+from repro.video.scenes import scene_frames
+
+LIBRARY = KernelLibrary()
+
+
+def _soc(**kwargs):
+    return ServingSoC(0, library=LIBRARY, **kwargs)
+
+
+def _dct_job(job_id=0, dct_name="mixed_rom", qp=16, blocks=4):
+    return DctJob(job_id=job_id, arrival_cycle=0,
+                  blocks=np.zeros((blocks, 8, 8)), qp=qp, dct_name=dct_name)
+
+
+def _encode_job(job_id=0, frames=2, **kwargs):
+    return EncodeJob(job_id=job_id, arrival_cycle=0,
+                     frames=scene_frames("static", count=frames,
+                                         height=32, width=32, seed=job_id),
+                     **kwargs)
+
+
+class TestKernelLibrary:
+    def test_bits_are_measured_from_the_flow(self):
+        from repro.flow import compile as flow_compile
+        from repro.video.scenes import dct_implementation_by_name
+
+        bits = LIBRARY.bitstream_bits("dct:mixed_rom")
+        reference = flow_compile(dct_implementation_by_name("mixed_rom"))
+        assert bits == reference.bitstream.total_bits()
+        assert bits > 0
+
+    def test_me_kernels_differ_in_bits(self):
+        assert (LIBRARY.bitstream_bits("me:full_r4")
+                < LIBRARY.bitstream_bits("me:full_r8"))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LIBRARY.result("dct:nope")
+
+    def test_prewarm_reports_and_memoises(self):
+        stats = LIBRARY.prewarm(["dct:cordic1", "dct:cordic1"])
+        assert stats["designs"] <= 1
+        LIBRARY.result("dct:cordic1")
+        again = LIBRARY.prewarm(["dct:cordic1"])
+        assert again == {"designs": 0, "hits": 0, "misses": 0}
+
+
+class TestServingSoCResidency:
+    def test_load_then_resident(self):
+        soc = _soc()
+        job = _dct_job()
+        assert soc.missing_kernels(job) == {"da_array": "dct:mixed_rom"}
+        cycles, energy, switches = soc.load_kernels(job)
+        assert switches == 1 and cycles > 0 and energy > 0
+        assert soc.missing_kernels(job) == {}
+        assert soc.load_kernels(job) == (0, 0.0, 0)
+        assert soc.resident["da_array"] == "dct:mixed_rom"
+
+    def test_switch_evicts_previous_kernel(self):
+        soc = _soc()
+        soc.load_kernels(_dct_job(dct_name="mixed_rom"))
+        soc.load_kernels(FirJob(job_id=1, arrival_cycle=0,
+                                samples=np.arange(8)))
+        assert soc.resident["da_array"] == "fir:lowpass8"
+        assert soc.reconfiguration_count == 2
+        assert soc.reconfiguration_bits_streamed == (
+            LIBRARY.bitstream_bits("dct:mixed_rom")
+            + LIBRARY.bitstream_bits("fir:lowpass8"))
+
+    def test_encode_job_loads_both_arrays(self):
+        soc = _soc()
+        cycles, _, switches = soc.load_kernels(_encode_job())
+        assert switches == 2
+        assert soc.resident == {"da_array": "dct:mixed_rom",
+                                "me_array": "me:full_r8"}
+        events = soc.soc.reconfiguration_log
+        assert {event.array_name for event in events} == {"da_array",
+                                                          "me_array"}
+
+    def test_reconfiguration_cost_matches_load(self):
+        preview_soc, loaded_soc = _soc(), _soc()
+        job = _encode_job()
+        preview = preview_soc.reconfiguration_cost(job)
+        cycles, energy, _ = loaded_soc.load_kernels(job)
+        assert preview == (cycles, energy)
+
+    def test_cost_follows_topology(self):
+        mesh = _soc()
+        hub = ServingSoC(1, library=LIBRARY, topology_name="hub")
+        job = _dct_job()
+        assert (mesh.reconfiguration_cost(job)
+                != hub.reconfiguration_cost(job))
+
+    def test_transfer_cost_matches_noc_model(self):
+        soc = _soc()
+        bits = 96 * FLIT_BITS
+        cycles, energy = soc.transfer_cost("config", "dct_array", bits)
+        source = soc.placement["config"]
+        dest = soc.placement["dct_array"]
+        assert cycles == soc.topology.transfer_latency(source, dest, 96)
+        assert energy == noc_transfer_energy(
+            *soc.topology.transfer_aggregates(source, dest, 96))
+
+
+class TestTopologyTransferHelpers:
+    def test_aggregates_match_analytic_single_flow(self):
+        from repro.noc import Mesh2D, TrafficMatrix, simulate
+
+        topology = Mesh2D(2, 3)
+        agents = tuple(f"n{i}" for i in range(6))
+        flits = np.zeros((6, 6), dtype=np.int64)
+        flits[0, 5] = 17
+        result = simulate(topology, TrafficMatrix(agents, flits),
+                          placement={agent: i for i, agent
+                                     in enumerate(agents)})
+        assert (result.flit_link_cycles, result.flit_router_crossings) == \
+            topology.transfer_aggregates(0, 5, 17)
+
+    def test_zero_and_self_transfers_are_free(self):
+        from repro.noc import Ring
+
+        ring = Ring(5)
+        assert ring.transfer_aggregates(1, 1, 9) == (0, 0)
+        assert ring.transfer_aggregates(1, 3, 0) == (0, 0)
+        assert ring.transfer_latency(2, 2, 9) == 0
+
+    def test_negative_flits_rejected(self):
+        from repro.noc import Ring
+
+        with pytest.raises(ConfigurationError):
+            Ring(4).transfer_aggregates(0, 1, -1)
+
+
+class TestServingComputeEnergy:
+    def test_linear_in_activity(self):
+        single = serving_compute_energy(10, 2, 3)
+        assert serving_compute_energy(20, 4, 6) == pytest.approx(2 * single)
+        assert serving_compute_energy(0, 0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            serving_compute_energy(-1, 0)
+
+
+class TestPolicies:
+    def test_registry_round_trip(self):
+        assert set(POLICIES) == {"fifo", "sjf", "affinity", "round_robin"}
+        for name in POLICIES:
+            assert policy_by_name(name).name == name
+        with pytest.raises(ConfigurationError):
+            policy_by_name("lifo")
+
+    def test_fifo_picks_earliest_arrival(self):
+        queue = [_dct_job(job_id=2), _dct_job(job_id=1)]
+        queue[0].arrival_cycle = 50
+        queue[1].arrival_cycle = 10
+        assert policy_by_name("fifo").select(queue, _soc(), 100) == 1
+
+    def test_sjf_picks_smallest_estimate(self):
+        queue = [_dct_job(job_id=0, blocks=40), _dct_job(job_id=1, blocks=2)]
+        assert policy_by_name("sjf").select(queue, _soc(), 0) == 1
+
+    def test_affinity_prefers_resident_kernel(self):
+        soc = _soc()
+        soc.load_kernels(_dct_job(dct_name="cordic2"))
+        queue = [_dct_job(job_id=0, dct_name="mixed_rom"),
+                 _dct_job(job_id=1, dct_name="cordic2")]
+        assert policy_by_name("affinity").select(queue, soc, 0) == 1
+
+    def test_affinity_falls_back_to_cheapest_switch(self):
+        soc = _soc()
+        queue = [_encode_job(job_id=0, search_range=8),
+                 _encode_job(job_id=1, search_range=4)]
+        # Neither is resident; the r4 systolic kernel is smaller, but both
+        # need the same DCT — the cheaper total bitstream wins.
+        assert policy_by_name("affinity").select(queue, soc, 0) == 1
+
+    def test_round_robin_stripes_by_job_id(self):
+        soc = _soc()
+        soc.index, soc.fleet_size = 1, 2
+        queue = [_dct_job(job_id=4), _dct_job(job_id=7)]
+        assert policy_by_name("round_robin").select(queue, soc, 0) == 1
+        soc.index = 0
+        assert policy_by_name("round_robin").select(queue, soc, 0) == 0
+
+    def test_round_robin_steals_rather_than_idles(self):
+        soc = _soc()
+        soc.index, soc.fleet_size = 1, 2
+        queue = [_dct_job(job_id=4)]
+        assert policy_by_name("round_robin").select(queue, soc, 0) == 0
+
+
+class TestMoreEdges:
+    def test_fir_filter_lookup_and_unknown(self):
+        from repro.serve import fir_filter
+
+        assert fir_filter("lowpass8") is fir_filter("lowpass8")
+        with pytest.raises(ConfigurationError):
+            fir_filter("bandstop")
+
+    def test_library_target_array(self):
+        assert LIBRARY.target_array("dct:mixed_rom") == "da_array"
+        assert LIBRARY.target_array("me:full_r8") == "me_array"
+
+    def test_soc_guards_and_repr(self):
+        with pytest.raises(ConfigurationError):
+            ServingSoC(-1, library=LIBRARY)
+        soc = _soc()
+
+        class FakeJob:
+            job_id = 0
+            kernels = {"gpu": "cuda"}
+
+        with pytest.raises(ConfigurationError):
+            soc.missing_kernels(FakeJob())
+        assert "ServingSoC" in repr(soc)
+
+    def test_base_policy_is_abstract(self):
+        from repro.serve import Policy
+
+        policy = Policy()
+        assert "Policy" in repr(policy)
+        with pytest.raises(NotImplementedError):
+            policy.select([], _soc(), 0)

@@ -15,6 +15,7 @@ from repro.video.gop import (
     Gop,
     compile_gop_kernels,
     detect_scene_cuts,
+    encode_gop_batch,
     encode_sequence_parallel,
     split_into_gops,
 )
@@ -249,3 +250,51 @@ class TestFlowCacheSharing:
 
     def test_no_design_transform_compiles_nothing(self, pan_frames):
         assert compile_gop_kernels(EncoderConfiguration()) == 0
+
+
+class TestEncodeGopBatch:
+    """The serving runtime's cross-request batch entry point."""
+
+    def _groups(self):
+        return [scene_frames("pan", count=count, height=32, width=32,
+                             seed=seed)
+                for seed, count in ((0, 3), (1, 2), (2, 4))]
+
+    def test_batch_matches_standalone_encodes(self):
+        groups = self._groups()
+        batched = encode_gop_batch(groups, EncoderConfiguration())
+        for frames, (statistics, reference) in zip(groups, batched):
+            encoder = VideoEncoder(EncoderConfiguration())
+            alone = encoder.encode_sequence(frames)
+            assert_statistics_identical(statistics, alone)
+            assert np.array_equal(reference, encoder.reference_frame)
+
+    def test_frame_indices_local_to_each_group(self):
+        batched = encode_gop_batch(self._groups(), EncoderConfiguration())
+        for frames, (statistics, _) in zip(self._groups(), batched):
+            assert [stats.frame_index for stats in statistics] \
+                == list(range(len(frames)))
+            assert statistics[0].frame_type == "I"
+
+    def test_serial_fallback_is_bit_identical(self):
+        # three_step search cannot take the lockstep path; the fallback
+        # must produce the same bits as the batched path does for a
+        # batchable configuration of the same jobs.
+        groups = self._groups()
+        configuration = EncoderConfiguration(search_name="three_step")
+        fallback = encode_gop_batch(groups, configuration)
+        for frames, (statistics, _) in zip(groups, fallback):
+            encoder = VideoEncoder(
+                EncoderConfiguration(search_name="three_step"))
+            assert_statistics_identical(statistics, encoder.encode_sequence(frames))
+
+    def test_empty_and_invalid_batches(self):
+        assert encode_gop_batch([], EncoderConfiguration()) == []
+        with pytest.raises(ConfigurationError):
+            encode_gop_batch([[]], EncoderConfiguration())
+
+    def test_mismatched_shapes_rejected(self):
+        tall = scene_frames("pan", count=2, height=48, width=32, seed=0)
+        wide = scene_frames("pan", count=2, height=32, width=48, seed=0)
+        with pytest.raises(ConfigurationError):
+            encode_gop_batch([tall, wide], EncoderConfiguration())
