@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Fleet-runtime benchmark: event-driven serving at datacenter scale.
+
+Exercises :mod:`repro.fleet` well past the single-SoC serving runtime
+and writes ``BENCH_fleet.json`` at the repository root:
+
+* a fleet-size scaling curve (4 -> 256 SoCs) over one overloaded trace,
+* the headline capacity run — 100k jobs on a 256-SoC fleet — with its
+  wall-clock time *asserted* under 60 seconds,
+* a shed-rate-vs-SLO-target sweep under sustained overload,
+* autoscaling on a diurnal trace: static energy with and without
+  power gating.
+
+Two correctness properties are asserted in-harness, not just reported:
+every balancer's completed payloads are bit-identical to a naive serial
+execution of the same trace, and job conservation
+(submitted == completed + rejected + shed) holds on every run.
+
+Run with:  python benchmarks/run_bench_fleet.py [--output BENCH_fleet.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 2004
+HEADLINE_JOBS = 100_000
+HEADLINE_SOCS = 256
+HEADLINE_BUDGET_SECONDS = 60.0
+SCALING_FLEETS = (4, 16, 64, 256)
+SLO_TARGETS = (None, 500_000, 200_000, 100_000, 50_000)
+
+
+def _run(jobs, library, **kwargs):
+    from repro.fleet import FleetSettings, simulate_fleet
+
+    started = time.perf_counter()
+    report = simulate_fleet(jobs, FleetSettings(**kwargs), library=library)
+    elapsed = time.perf_counter() - started
+    assert report.conserved, "job conservation violated"
+    return report, elapsed
+
+
+def _row(report, elapsed):
+    summary = report.summary()
+    summary["wall_seconds"] = round(elapsed, 3)
+    summary["events"] = report.events_processed
+    return summary
+
+
+def scaling_curve(library) -> list:
+    from repro.fleet import synthetic_trace
+
+    jobs = synthetic_trace("flash_crowd", 20_000, seed=SEED, mean_gap=25)
+    rows = []
+    for soc_count in SCALING_FLEETS:
+        report, elapsed = _run(jobs, library, soc_count=soc_count,
+                               balancer="jsq", steal=True, autoscale=True,
+                               idle_timeout=50_000, queue_capacity=256)
+        rows.append(_row(report, elapsed))
+    # Under overload small fleets bounce jobs off full queues; growing
+    # the fleet must convert rejections into goodput, monotonically.
+    for before, after in zip(rows, rows[1:]):
+        assert after["completed"] >= before["completed"], \
+            "scaling curve lost its slope — more SoCs stopped helping"
+    assert rows[-1]["completed"] == len(jobs)
+    assert rows[-1]["throughput_jobs_per_mcycle"] > \
+        5 * rows[0]["throughput_jobs_per_mcycle"]
+    return rows
+
+
+def headline_capacity_run(library) -> dict:
+    from repro.fleet import synthetic_trace
+
+    generation_started = time.perf_counter()
+    jobs = synthetic_trace("flash_crowd", HEADLINE_JOBS, seed=SEED,
+                           mean_gap=500)
+    generation = time.perf_counter() - generation_started
+    report, elapsed = _run(jobs, library, soc_count=HEADLINE_SOCS,
+                           balancer="jsq", steal=True, autoscale=True,
+                           idle_timeout=100_000, queue_capacity=128)
+    assert elapsed < HEADLINE_BUDGET_SECONDS, (
+        f"{HEADLINE_JOBS} jobs x {HEADLINE_SOCS} SoCs took {elapsed:.1f}s "
+        f"(budget {HEADLINE_BUDGET_SECONDS:.0f}s)")
+    assert report.completed == HEADLINE_JOBS
+    row = _row(report, elapsed)
+    row["trace_generation_seconds"] = round(generation, 3)
+    row["wall_budget_seconds"] = HEADLINE_BUDGET_SECONDS
+    return row
+
+
+def bit_identity_check(library) -> dict:
+    from repro.fleet import BALANCERS, execute_fleet_serial, synthetic_trace
+
+    jobs = synthetic_trace("diurnal", 3_000, seed=SEED, mean_gap=400)
+    serial = {result.job_id: result.digest
+              for result in execute_fleet_serial(jobs)}
+    checked = {}
+    for balancer in sorted(BALANCERS):
+        report, elapsed = _run(jobs, library, soc_count=16,
+                               balancer=balancer, steal=True,
+                               policy="affinity")
+        for job_id, digest in report.digests.items():
+            assert digest == serial[job_id], \
+                f"{balancer}: job {job_id} diverged from serial execution"
+        row = _row(report, elapsed)
+        row["bit_identical_to_serial"] = True
+        checked[balancer] = row
+    return {"job_count": len(jobs), "balancers": checked}
+
+
+def slo_sweep(library) -> list:
+    from repro.fleet import synthetic_trace
+
+    jobs = synthetic_trace("flash_crowd", 10_000, seed=SEED, mean_gap=40)
+    rows = []
+    for target in SLO_TARGETS:
+        report, elapsed = _run(jobs, library, soc_count=16, balancer="jsq",
+                               steal=True, slo_target_p99=target,
+                               queue_capacity=256)
+        row = _row(report, elapsed)
+        row["slo_target_p99"] = target
+        row["shed_rate"] = round(report.shed / report.submitted, 4)
+        rows.append(row)
+    relaxed, tightest = rows[0], rows[-1]
+    assert tightest["shed"] > relaxed["shed"], \
+        "tightening the SLO target did not shed more load"
+    assert tightest["latency_p99"] < relaxed["latency_p99"], \
+        "shedding did not improve completed-job p99"
+    return rows
+
+
+def autoscale_savings(library) -> dict:
+    from repro.fleet import synthetic_trace
+
+    jobs = synthetic_trace("diurnal", 8_000, seed=SEED, mean_gap=2_000)
+    gated, gated_wall = _run(jobs, library, soc_count=32, balancer="jsq",
+                             autoscale=True, idle_timeout=50_000,
+                             wake_latency=5_000)
+    always_on, on_wall = _run(jobs, library, soc_count=32, balancer="jsq")
+    assert gated.digests == always_on.digests, \
+        "power gating changed job payloads"
+    assert gated.autoscale["saved"] > 0, "diurnal troughs saved no energy"
+    return {
+        "job_count": len(jobs),
+        "gated": {**_row(gated, gated_wall), **gated.autoscale},
+        "always_on": {**_row(always_on, on_wall), **always_on.autoscale},
+        "static_energy_saved": round(gated.autoscale["saved"], 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_fleet.json"))
+    arguments = parser.parse_args()
+
+    from repro.serve import KernelLibrary
+
+    library = KernelLibrary()
+    scaling = scaling_curve(library)
+    headline = headline_capacity_run(library)
+    identity = bit_identity_check(library)
+    sweep = slo_sweep(library)
+    autoscale = autoscale_savings(library)
+
+    record = {
+        "benchmark": "fleet",
+        "generated": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": SEED,
+        "scaling_curve": scaling,
+        "headline_capacity_run": headline,
+        "bit_identity": identity,
+        "slo_sweep": sweep,
+        "autoscale": autoscale,
+    }
+    output = Path(arguments.output)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    print("\nfleet-size scaling (20k jobs, overloaded):")
+    for row in scaling:
+        print(f"  {row['socs']:>4} SoCs  completed={row['completed']:>6,}"
+              f"  rejected={row['rejected']:>6,}"
+              f"  makespan={row['makespan_cycles']:>9,}"
+              f"  wall={row['wall_seconds']:>6.2f}s")
+    print(f"\nheadline: {HEADLINE_JOBS:,} jobs x {HEADLINE_SOCS} SoCs in "
+          f"{headline['wall_seconds']:.2f}s "
+          f"({headline['events']:,} events, budget "
+          f"{HEADLINE_BUDGET_SECONDS:.0f}s)")
+    print("\nshed rate vs SLO target (10k jobs, 16 SoCs, overloaded):")
+    for row in sweep:
+        target = row["slo_target_p99"] or "none"
+        print(f"  target={target!s:>8}  shed={row['shed']:>5} "
+              f"({row['shed_rate']:>6.1%})  p99={row['latency_p99']:>9,.0f}")
+    print(f"\nautoscale on the diurnal trace: "
+          f"{autoscale['gated']['gatings']} gatings, "
+          f"{autoscale['static_energy_saved']:,} static energy saved")
+
+
+if __name__ == "__main__":
+    main()

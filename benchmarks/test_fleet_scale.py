@@ -1,0 +1,69 @@
+"""Fleet-runtime benchmark: event-driven scheduling with bit-exactness.
+
+The datacenter counterpart of the serving-scheduler benchmark:
+pytest-benchmark records a full event-driven fleet run (work stealing,
+autoscaling and SLO shedding all on) after asserting that the scheduled
+execution is bit-identical to the naive serial reference and that job
+conservation holds; the committed ``BENCH_fleet.json`` from
+``run_bench_fleet.py`` tracks the scaling curve PR over PR.
+"""
+
+import pytest
+
+from repro.fleet import (
+    BALANCERS,
+    FleetSettings,
+    execute_fleet_serial,
+    simulate_fleet,
+    synthetic_trace,
+)
+from repro.serve import KernelLibrary
+
+LIBRARY = KernelLibrary()
+
+
+@pytest.fixture(scope="module")
+def crowd_trace():
+    return synthetic_trace("flash_crowd", 400, seed=7, mean_gap=300)
+
+
+@pytest.fixture(scope="module")
+def serial_digests(crowd_trace):
+    return {result.job_id: result.digest
+            for result in execute_fleet_serial(crowd_trace)}
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_full_stack_run_is_bit_exact_and_conserving(benchmark, crowd_trace,
+                                                    serial_digests):
+    settings = FleetSettings(soc_count=8, balancer="jsq", steal=True,
+                             autoscale=True, idle_timeout=20_000,
+                             slo_target_p99=500_000)
+    report = benchmark.pedantic(
+        lambda: simulate_fleet(crowd_trace, settings, library=LIBRARY),
+        rounds=3, iterations=1)
+
+    assert report.conserved
+    for job_id, digest in report.digests.items():
+        assert digest == serial_digests[job_id]
+    print(f"\njsq fleet: {report.completed} jobs, {report.steals} steals, "
+          f"{report.gatings} gatings, "
+          f"p95 latency {report.latency_percentiles()['p95']:.0f} cycles")
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_balancer_sweep_agrees_on_bits(benchmark, crowd_trace,
+                                       serial_digests):
+    def sweep():
+        return {balancer: simulate_fleet(
+                    crowd_trace,
+                    FleetSettings(soc_count=8, balancer=balancer,
+                                  policy="affinity"),
+                    library=LIBRARY)
+                for balancer in sorted(BALANCERS)}
+
+    reports = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    for balancer, report in reports.items():
+        assert report.conserved
+        for job_id, digest in report.digests.items():
+            assert digest == serial_digests[job_id], (balancer, job_id)

@@ -1,0 +1,95 @@
+"""repro.fleet: event-driven datacenter-scale serving on the SoC stack.
+
+The fleet layer scales PR-5's single-cluster serving runtime to
+hundreds of SoCs and 100k-job traces: a deterministic event heap in
+virtual time (:mod:`~repro.fleet.events`), vectorized per-job state
+(:mod:`~repro.fleet.ledger`), two-level scheduling
+(:mod:`~repro.fleet.balancer` over the PR-5 policies), work stealing
+with NoC-priced migration, SLO-aware shedding, predictive kernel
+prewarm (:mod:`~repro.fleet.prewarm`) and autoscaling by power-gating
+(:mod:`~repro.fleet.autoscale`) — all while every completed job's
+payload stays bit-identical to naive serial execution
+(:mod:`~repro.fleet.synthetic`).
+"""
+
+from repro.fleet.autoscale import Autoscaler, SocPowerState
+from repro.fleet.balancer import (
+    BALANCERS,
+    Balancer,
+    JoinShortestQueue,
+    KernelAffinityBalancer,
+    RoundRobinBalancer,
+    balancer_by_name,
+)
+from repro.fleet.events import (
+    ARRIVAL,
+    COMPLETION,
+    EVENT_KINDS,
+    GATE,
+    WAKE,
+    EventHeap,
+)
+from repro.fleet.ledger import (
+    COMPLETED,
+    PENDING,
+    REJECTED,
+    SHED,
+    STATUS_NAMES,
+    JobLedger,
+    percentile_array,
+)
+from repro.fleet.prewarm import ArrivalMixPredictor, PrewarmDriver
+from repro.fleet.runtime import (
+    FleetReport,
+    FleetSettings,
+    SocSlot,
+    job_input_bits,
+    simulate_fleet,
+)
+from repro.fleet.synthetic import (
+    FLEET_PATTERNS,
+    SYNTHETIC_KERNELS,
+    SyntheticJob,
+    execute_fleet_batch,
+    execute_fleet_serial,
+    execute_synthetic_batch,
+    synthetic_trace,
+)
+
+__all__ = [
+    "ARRIVAL",
+    "BALANCERS",
+    "COMPLETED",
+    "COMPLETION",
+    "EVENT_KINDS",
+    "FLEET_PATTERNS",
+    "GATE",
+    "PENDING",
+    "REJECTED",
+    "SHED",
+    "STATUS_NAMES",
+    "SYNTHETIC_KERNELS",
+    "WAKE",
+    "ArrivalMixPredictor",
+    "Autoscaler",
+    "Balancer",
+    "EventHeap",
+    "FleetReport",
+    "FleetSettings",
+    "JobLedger",
+    "JoinShortestQueue",
+    "KernelAffinityBalancer",
+    "PrewarmDriver",
+    "RoundRobinBalancer",
+    "SocPowerState",
+    "SocSlot",
+    "SyntheticJob",
+    "balancer_by_name",
+    "execute_fleet_batch",
+    "execute_fleet_serial",
+    "execute_synthetic_batch",
+    "job_input_bits",
+    "percentile_array",
+    "simulate_fleet",
+    "synthetic_trace",
+]

@@ -1,0 +1,162 @@
+"""Autoscaling: power-gate idle SoCs, pay a wake-up latency to return.
+
+Each SoC is a three-state machine — ``awake``, ``gated``, ``waking``:
+
+* a SoC idle (free, empty queue) for ``idle_timeout`` cycles is gated,
+  dropping its static burn from
+  :data:`~repro.power.models.SOC_IDLE_ENERGY_PER_CYCLE` to
+  :data:`~repro.power.models.SOC_GATED_ENERGY_PER_CYCLE`;
+* assigning work to a gated SoC starts a wake costing ``wake_latency``
+  cycles (jobs queue meanwhile) plus
+  :data:`~repro.power.models.SOC_WAKE_ENERGY` once;
+* at least ``min_awake`` SoCs always stay awake so the cluster can never
+  deadlock itself dark.
+
+Gating decisions ride the event heap: going idle schedules a
+:data:`~repro.fleet.events.GATE` check at ``now + idle_timeout`` stamped
+with the SoC's *idle epoch*; any activity bumps the epoch, so a stale
+check fires as a no-op — the deterministic version of cancelling a
+timer.  All interval bookkeeping is integer cycles, so re-running a
+trace reproduces the energy ledger bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.power.models import (
+    SOC_IDLE_ENERGY_PER_CYCLE,
+    soc_static_energy,
+)
+
+AWAKE = "awake"
+GATED = "gated"
+WAKING = "waking"
+
+
+class SocPowerState:
+    """Power bookkeeping of one SoC."""
+
+    def __init__(self) -> None:
+        self.state = AWAKE
+        self.idle_epoch = 0
+        self.gated_at = 0
+        self.gated_cycles = 0
+        self.wakes = 0
+
+    @property
+    def awake(self) -> bool:
+        """True iff the SoC can dispatch right now."""
+        return self.state == AWAKE
+
+
+class Autoscaler:
+    """Fleet-wide gating controller and static-energy accountant."""
+
+    def __init__(self, slot_count: int, enabled: bool = False,
+                 idle_timeout: int = 200_000, wake_latency: int = 5_000,
+                 min_awake: int = 1) -> None:
+        if slot_count <= 0:
+            raise ConfigurationError("the autoscaler needs at least one SoC")
+        if idle_timeout <= 0 or wake_latency < 0:
+            raise ConfigurationError(
+                "idle_timeout must be positive and wake_latency non-negative")
+        if not 1 <= min_awake <= slot_count:
+            raise ConfigurationError(
+                f"min_awake must be in [1, {slot_count}], got {min_awake}")
+        self.enabled = enabled
+        self.idle_timeout = idle_timeout
+        self.wake_latency = wake_latency
+        self.min_awake = min_awake
+        self.states: List[SocPowerState] = [SocPowerState()
+                                            for _ in range(slot_count)]
+
+    # -- state machine -----------------------------------------------------
+    def awake_count(self) -> int:
+        """SoCs currently not gated (awake or already waking)."""
+        return sum(1 for state in self.states if state.state != GATED)
+
+    def note_activity(self, index: int) -> None:
+        """Invalidate any pending idle check for a SoC (work touched it)."""
+        self.states[index].idle_epoch += 1
+
+    def idle_check_epoch(self, index: int) -> int:
+        """Epoch to stamp a GATE event scheduled right now."""
+        return self.states[index].idle_epoch
+
+    def try_gate(self, index: int, epoch: int, now: int,
+                 idle: bool) -> bool:
+        """Gate a SoC if its idle check is still valid; True on gating."""
+        state = self.states[index]
+        if (not self.enabled or state.state != AWAKE or not idle
+                or epoch != state.idle_epoch
+                or self.awake_count() <= self.min_awake):
+            return False
+        state.state = GATED
+        state.gated_at = now
+        return True
+
+    def request_wake(self, index: int, now: int) -> Optional[int]:
+        """Start waking a gated SoC; returns the cycle it becomes ready.
+
+        Returns ``None`` when no wake is needed (already awake or mid
+        wake) — callers enqueue work unconditionally and the WAKE event
+        makes the SoC dispatchable.
+        """
+        state = self.states[index]
+        if state.state != GATED:
+            return None
+        state.state = WAKING
+        state.gated_cycles += now - state.gated_at
+        state.wakes += 1
+        return now + self.wake_latency
+
+    def complete_wake(self, index: int) -> None:
+        """A WAKE event fired: the SoC is dispatchable again."""
+        state = self.states[index]
+        if state.state != WAKING:
+            raise ConfigurationError(
+                f"soc{index} got a WAKE event while {state.state}")
+        state.state = AWAKE
+        state.idle_epoch += 1
+
+    def finalize(self, end: int) -> None:
+        """Close gated intervals still open when the trace drains."""
+        for state in self.states:
+            if state.state == GATED:
+                state.gated_cycles += max(0, end - state.gated_at)
+                state.state = AWAKE
+                state.idle_epoch += 1
+
+    # -- energy accounting -------------------------------------------------
+    def static_energy(self, busy_cycles: Sequence[int],
+                      span: int) -> Dict[str, float]:
+        """Fleet static-energy ledger over a ``span`` of virtual cycles.
+
+        ``busy_cycles`` is each SoC's summed batch service time; the
+        remainder of the span splits into idle and gated cycles per the
+        recorded intervals.  ``saved`` is the counterfactual: what the
+        same schedule would have burned with every SoC merely idling
+        (no gating, no wakes) minus what it actually burned.
+        """
+        if len(busy_cycles) != len(self.states):
+            raise ConfigurationError(
+                f"{len(busy_cycles)} busy counts for {len(self.states)} SoCs")
+        idle_total = 0
+        gated_total = 0
+        wakes_total = 0
+        for state, busy in zip(self.states, busy_cycles):
+            non_busy = max(0, span - int(busy))
+            gated = min(state.gated_cycles, non_busy)
+            idle_total += non_busy - gated
+            gated_total += gated
+            wakes_total += state.wakes
+        actual = soc_static_energy(idle_total, gated_total, wakes_total)
+        ungated = SOC_IDLE_ENERGY_PER_CYCLE * (idle_total + gated_total)
+        return {"idle_cycles": idle_total,
+                "gated_cycles": gated_total,
+                "wakes": wakes_total,
+                "static_energy": actual,
+                "ungated_static_energy": ungated,
+                "saved": ungated - actual}

@@ -1,0 +1,138 @@
+"""Cluster-level load balancers: the first of the two scheduling levels.
+
+The fleet runtime schedules in two stages, the classic datacenter split:
+a **balancer** assigns every arriving job to one SoC's bounded queue
+(this module), and the per-SoC **policy** — reused unchanged from
+:mod:`repro.serve.policies` — picks what that SoC dispatches next.  Work
+stealing then corrects balancer mistakes after the fact.
+
+All balancers are deterministic; ties break toward the lowest SoC index.
+Each receives the full slot list (queue, backlog, wake state, the
+underlying :class:`~repro.serve.soc.ServingSoC`), so a balancer can be
+as blind (round-robin) or as informed (kernel residency) as it likes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+
+def _busy(slot, now: int) -> int:
+    """1 if the slot's SoC is mid-batch at ``now`` (counts as queue depth)."""
+    return 1 if slot.soc.free_at > now else 0
+
+
+def _asleep(slot) -> int:
+    """1 if dispatching here first pays a wake-up (autoscaler gated it)."""
+    return 0 if slot.awake else 1
+
+
+class Balancer:
+    """Base balancer: chooses the SoC queue an arriving job joins."""
+
+    name = "balancer"
+
+    def assign(self, job, slots: Sequence, now: int) -> int:
+        """Index into ``slots`` of the queue ``job`` should join."""
+        raise NotImplementedError
+
+    def assign_vectorized(self, job, queue_depth: np.ndarray,
+                          free_at: np.ndarray, asleep: np.ndarray,
+                          now: int) -> Optional[int]:
+        """Fast path over the runtime's state arrays, or ``None``.
+
+        The runtime mirrors every slot's queue depth, ``free_at`` and
+        gating flag in numpy arrays; a balancer that can decide from
+        those alone returns the chosen index here and skips the per-slot
+        Python scan — the difference between linear and quadratic time
+        at 256 SoCs.  Must agree with :meth:`assign` decision for
+        decision (pinned by the tests).
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class JoinShortestQueue(Balancer):
+    """Join the shortest queue (in-service batch counts as one slot).
+
+    The textbook cluster balancer: queue depth first, then prefer awake
+    SoCs (a gated SoC costs a wake-up), then the lowest index.
+    """
+
+    name = "jsq"
+
+    def assign(self, job, slots: Sequence, now: int) -> int:
+        return min(range(len(slots)),
+                   key=lambda i: (len(slots[i].queue) + _busy(slots[i], now),
+                                  _asleep(slots[i]), i))
+
+    def assign_vectorized(self, job, queue_depth: np.ndarray,
+                          free_at: np.ndarray, asleep: np.ndarray,
+                          now: int) -> Optional[int]:
+        # Lexicographic (depth, asleep) packed into one integer score;
+        # np.argmin keeps the lowest-index tie-break of :meth:`assign`.
+        score = (queue_depth + (free_at > now)) * 2 + asleep
+        return int(np.argmin(score))
+
+
+class KernelAffinityBalancer(Balancer):
+    """Route jobs to SoCs already holding their kernels.
+
+    Scores each SoC by the measured bitstream bits it would stream to
+    serve the job right now (exact, via the shared kernel library — the
+    same score the PR-5 ``affinity`` policy uses per queue), breaking
+    ties by queue depth so residency cannot starve the fleet onto one
+    SoC.  This is the balancer the paper's time-multiplexing story asks
+    for at cluster level: same-kernel tenants pool onto the same
+    hardware and reconfiguration traffic collapses.
+    """
+
+    name = "kernel_affinity"
+
+    def assign(self, job, slots: Sequence, now: int) -> int:
+        return min(range(len(slots)),
+                   key=lambda i: (slots[i].soc.reconfiguration_bits(job),
+                                  len(slots[i].queue) + _busy(slots[i], now),
+                                  _asleep(slots[i]), i))
+
+
+class RoundRobinBalancer(Balancer):
+    """Stripe arrivals across the fleet in admission order.
+
+    The residency- and load-blind baseline: an internal counter advances
+    one SoC per assignment regardless of queue state, so imbalance under
+    heterogeneous job sizes is exactly what work stealing must repair.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, job, slots: Sequence, now: int) -> int:
+        index = self._next % len(slots)
+        self._next += 1
+        return index
+
+
+#: Balancer classes by short name.
+BALANCERS: Dict[str, Type[Balancer]] = {
+    balancer.name: balancer
+    for balancer in (JoinShortestQueue, KernelAffinityBalancer,
+                     RoundRobinBalancer)}
+
+
+def balancer_by_name(name: str) -> Balancer:
+    """Instantiate a registered balancer from its short name."""
+    try:
+        return BALANCERS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown load balancer {name!r}; known: "
+            f"{sorted(BALANCERS)}") from None

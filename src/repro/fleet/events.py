@@ -1,0 +1,86 @@
+"""The event-driven virtual-time core of the fleet runtime.
+
+PR-5's :func:`repro.serve.runtime.serve` steps a small cycle-group loop:
+every scheduling decision rescans the fleet, which is fine for a handful
+of SoCs and dozens of jobs but quadratic in spirit — a 100k-job trace
+over hundreds of SoCs must instead *jump* from event to event.  This
+module provides that core: a binary heap of ``(virtual_time, kind, key)``
+events with **fully deterministic tie-breaking**, so two runs of the same
+trace — or the same events pushed in a different order — pop identically.
+
+Ordering at equal virtual time is by event *kind* first (wake-ups before
+completions before gating checks before arrivals, so a SoC that finishes
+waking or serving at cycle ``t`` is dispatchable to jobs arriving at
+``t``), then by the integer ``key`` (job id for arrivals, SoC index for
+the rest), then by push order as a final fallback for exact duplicates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.core.exceptions import ConfigurationError
+
+#: Event kinds, in tie-break priority order at equal virtual time.
+WAKE = 0         #: a power-gated SoC finished waking (key = SoC index)
+COMPLETION = 1   #: a SoC finished its running batch (key = SoC index)
+GATE = 2         #: autoscaler idle check fires (key = SoC index)
+ARRIVAL = 3      #: a job enters the cluster (key = job id)
+
+EVENT_KINDS = (WAKE, COMPLETION, GATE, ARRIVAL)
+
+Event = Tuple[int, int, int, int]
+
+
+class EventHeap:
+    """A deterministic min-heap of ``(time, kind, key)`` events.
+
+    Events pop in non-decreasing virtual time; ties break on
+    ``(kind, key, push order)`` so the pop sequence is a pure function of
+    the *set* of pushed events (push order only matters between exact
+    ``(time, kind, key)`` duplicates, which the runtime never produces).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._pushed = 0
+        self._last_popped_time: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, kind: int, key: int) -> None:
+        """Schedule an event at virtual cycle ``time``."""
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(f"unknown event kind {kind!r}")
+        if time < 0:
+            raise ConfigurationError("events cannot fire before cycle 0")
+        if self._pushed and time < self._last_popped_time:
+            raise ConfigurationError(
+                f"event at cycle {time} scheduled behind the clock "
+                f"(already at cycle {self._last_popped_time})")
+        heapq.heappush(self._heap, (time, kind, key, self._pushed))
+        self._pushed += 1
+
+    def pop(self) -> Tuple[int, int, int]:
+        """Next ``(time, kind, key)`` in deterministic order."""
+        if not self._heap:
+            raise ConfigurationError("cannot pop from an empty event heap")
+        time, kind, key, _ = heapq.heappop(self._heap)
+        self._last_popped_time = time
+        return time, kind, key
+
+    def peek_time(self) -> int:
+        """Virtual time of the next event (heap must be non-empty)."""
+        if not self._heap:
+            raise ConfigurationError("cannot peek an empty event heap")
+        return self._heap[0][0]
+
+    @property
+    def pushed(self) -> int:
+        """Events pushed over the heap's lifetime."""
+        return self._pushed

@@ -1,0 +1,207 @@
+"""Vectorized job-state arrays: the fleet ledger in the engine idiom.
+
+PR-5's runtime appends one :class:`JobRecord` dataclass per completed job
+— fine for 36-job mixes, hostile at 100k jobs.  The fleet keeps every
+per-job quantity in preallocated numpy arrays indexed by a dense row
+(assigned in trace order), exactly like :mod:`repro.engine` keeps batch
+state in ``(B,)`` value arrays: writes are O(1) scalar stores during the
+event loop, and every statistic the report needs — latency percentiles,
+energy sums, shed counts — is one vectorized reduction at the end.
+
+The nearest-rank percentile rule is *identical* to
+:func:`repro.serve.runtime.percentile` (the scalar anchor PR 5
+established); :func:`percentile_array` is its ``np.sort`` counterpart and
+the tests pin the two to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.serve.runtime import percentile as scalar_percentile
+
+#: Job status codes held in :attr:`JobLedger.status`.
+PENDING = 0      #: submitted, not yet resolved
+COMPLETED = 1    #: served to completion
+REJECTED = 2     #: refused at admission (queue full)
+SHED = 3         #: evicted by SLO-aware admission to protect the p99
+
+STATUS_NAMES = {PENDING: "pending", COMPLETED: "completed",
+                REJECTED: "rejected", SHED: "shed"}
+
+
+def percentile_array(values: np.ndarray, fraction: float) -> float:
+    """Vectorized nearest-rank percentile, bit-equal to the scalar anchor.
+
+    Applies the exact rank rule of :func:`repro.serve.runtime.percentile`
+    to a numpy array via one ``np.sort`` — the tests assert the two
+    implementations agree on random draws, so fleet-scale reports and
+    PR-5 reports stay comparable number for number.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("percentile fraction must be in [0, 1]")
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    ordered = np.sort(values, kind="stable")
+    rank = max(1, -(-int(fraction * values.size * 1_000_000) // 1_000_000))
+    return float(ordered[min(rank, values.size) - 1])
+
+
+class JobLedger:
+    """Dense per-job state for one fleet run.
+
+    Rows are assigned in ``(arrival_cycle, job_id)`` trace order; the
+    ``job_id`` column maps a row back to the trace and :meth:`row_of`
+    maps a job id to its row.  All times are virtual cycles; a row's
+    timing columns stay zero until the job completes.
+    """
+
+    def __init__(self, jobs: Sequence) -> None:
+        count = len(jobs)
+        self.job_id = np.fromiter((job.job_id for job in jobs),
+                                  dtype=np.int64, count=count)
+        if len(np.unique(self.job_id)) != count:
+            raise ConfigurationError("job ids in a trace must be unique")
+        self.arrival = np.fromiter((job.arrival_cycle for job in jobs),
+                                   dtype=np.int64, count=count)
+        self.value = np.fromiter(
+            (float(getattr(job, "value", 1.0)) for job in jobs),
+            dtype=np.float64, count=count)
+        self.status = np.zeros(count, dtype=np.int8)
+        self.soc = np.full(count, -1, dtype=np.int32)
+        self.start = np.zeros(count, dtype=np.int64)
+        self.completion = np.zeros(count, dtype=np.int64)
+        self.compute_cycles = np.zeros(count, dtype=np.int64)
+        self.output_bits = np.zeros(count, dtype=np.int64)
+        self.batch_id = np.full(count, -1, dtype=np.int64)
+        self.batch_size = np.zeros(count, dtype=np.int32)
+        self.energy = np.zeros(count, dtype=np.float64)
+        self.migrated = np.zeros(count, dtype=bool)
+        #: Payload content hash per completed job id (conformance anchor).
+        self.digests: Dict[int, str] = {}
+        self._row = {int(job_id): row
+                     for row, job_id in enumerate(self.job_id)}
+
+    def __len__(self) -> int:
+        return len(self.job_id)
+
+    def row_of(self, job_id: int) -> int:
+        """Dense row index of a job id."""
+        try:
+            return self._row[job_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"job {job_id} is not in this ledger") from None
+
+    # -- event-loop writes -------------------------------------------------
+    def mark_completed(self, job_id: int, *, soc: int, start: int,
+                       completion: int, compute_cycles: int,
+                       output_bits: int, batch_id: int, batch_size: int,
+                       energy: float, digest: str,
+                       migrated: bool = False) -> None:
+        """Record one served job (exactly once per job)."""
+        row = self.row_of(job_id)
+        self._resolve(row, COMPLETED)
+        self.soc[row] = soc
+        self.start[row] = start
+        self.completion[row] = completion
+        self.compute_cycles[row] = compute_cycles
+        self.output_bits[row] = output_bits
+        self.batch_id[row] = batch_id
+        self.batch_size[row] = batch_size
+        self.energy[row] = energy
+        self.migrated[row] = migrated
+        self.digests[job_id] = digest
+
+    def mark_rejected(self, job_id: int) -> None:
+        """Record an admission rejection (queue full)."""
+        self._resolve(self.row_of(job_id), REJECTED)
+
+    def mark_shed(self, job_id: int) -> None:
+        """Record an SLO shed."""
+        self._resolve(self.row_of(job_id), SHED)
+
+    def _resolve(self, row: int, status: int) -> None:
+        if self.status[row] != PENDING:
+            raise ConfigurationError(
+                f"job {int(self.job_id[row])} already "
+                f"{STATUS_NAMES[int(self.status[row])]}")
+        self.status[row] = status
+
+    # -- vectorized views --------------------------------------------------
+    @property
+    def completed_mask(self) -> np.ndarray:
+        """Boolean row mask of completed jobs."""
+        return self.status == COMPLETED
+
+    def ids_with_status(self, status: int) -> List[int]:
+        """Job ids holding one status, in trace order."""
+        return [int(job_id) for job_id in self.job_id[self.status == status]]
+
+    @property
+    def submitted(self) -> int:
+        """Jobs that entered the ledger."""
+        return len(self.job_id)
+
+    @property
+    def completed(self) -> int:
+        """Jobs served to completion."""
+        return int(self.completed_mask.sum())
+
+    @property
+    def rejected(self) -> int:
+        """Jobs refused at admission."""
+        return int((self.status == REJECTED).sum())
+
+    @property
+    def shed(self) -> int:
+        """Jobs evicted by SLO-aware admission."""
+        return int((self.status == SHED).sum())
+
+    @property
+    def unresolved(self) -> int:
+        """Jobs still pending (must be zero after a run)."""
+        return int((self.status == PENDING).sum())
+
+    def latencies(self) -> np.ndarray:
+        """Arrival-to-completion cycles of completed jobs, in trace order."""
+        mask = self.completed_mask
+        return self.completion[mask] - self.arrival[mask]
+
+    def wait_cycles(self) -> np.ndarray:
+        """Arrival-to-dispatch cycles of completed jobs, in trace order."""
+        mask = self.completed_mask
+        return self.start[mask] - self.arrival[mask]
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of completed-job latency in cycles."""
+        values = self.latencies()
+        return {"p50": percentile_array(values, 0.50),
+                "p95": percentile_array(values, 0.95),
+                "p99": percentile_array(values, 0.99)}
+
+    @property
+    def total_energy(self) -> float:
+        """Energy over all completed jobs (compute + NoC + migration)."""
+        return float(self.energy[self.completed_mask].sum())
+
+    @property
+    def shed_value(self) -> float:
+        """Summed value of shed jobs (what SLO admission gave up)."""
+        return float(self.value[self.status == SHED].sum())
+
+    @property
+    def completed_value(self) -> float:
+        """Summed value of completed jobs (what the fleet delivered)."""
+        return float(self.value[self.completed_mask].sum())
+
+    def check_scalar_percentile_parity(self, fraction: float) -> bool:
+        """True iff the vectorized and scalar percentile rules agree on
+        this ledger's latencies (used by tests and the benchmark)."""
+        values = self.latencies()
+        return (percentile_array(values, fraction)
+                == scalar_percentile([int(v) for v in values], fraction))

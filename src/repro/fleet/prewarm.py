@@ -1,0 +1,104 @@
+"""Predictive kernel prewarm from windowed arrival-mix statistics.
+
+PR-5's runtime prewarms the flow cache for the kernels of each job *at
+admission* — reactive, and at fleet scale wasteful: every arrival pays a
+library round-trip even when the mix has not changed in thousands of
+jobs.  The fleet instead watches the arrival mix through a sliding
+window, and periodically drives
+:meth:`repro.serve.kernels.KernelLibrary.prewarm` (and through it
+:meth:`repro.flow.cache.FlowCache.prewarm`) with the kernels *predicted*
+to keep arriving — the hot set stays placed-and-routed and
+recency-protected in the shared cache while cold kernels age out
+naturally.
+
+Everything is deterministic: the window is a FIFO over arrival order and
+the prediction ranks by ``(count desc, kernel name)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, List, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+
+class ArrivalMixPredictor:
+    """Sliding-window kernel-frequency tracker with top-k prediction."""
+
+    def __init__(self, window: int = 64, top_k: int = 4) -> None:
+        if window <= 0:
+            raise ConfigurationError("the prediction window needs >= 1 slot")
+        if top_k <= 0:
+            raise ConfigurationError("prediction needs top_k >= 1")
+        self.window = window
+        self.top_k = top_k
+        self._recent: Deque[Sequence[str]] = deque()
+        self._counts: Counter = Counter()
+        self.observed = 0
+
+    def observe(self, kernels: Sequence[str]) -> None:
+        """Feed one arrival's kernel requirements into the window."""
+        kernels = tuple(kernels)
+        self._recent.append(kernels)
+        self._counts.update(kernels)
+        self.observed += 1
+        if len(self._recent) > self.window:
+            for kernel in self._recent.popleft():
+                self._counts[kernel] -= 1
+                if not self._counts[kernel]:
+                    del self._counts[kernel]
+
+    def predicted(self) -> List[str]:
+        """The top-k kernels of the current window, deterministically ranked
+        by ``(frequency desc, name)``."""
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [kernel for kernel, _ in ranked[:self.top_k]]
+
+    def mix(self) -> Dict[str, int]:
+        """Kernel counts currently inside the window."""
+        return dict(self._counts)
+
+
+class PrewarmDriver:
+    """Connects a predictor to a kernel library on a fixed arrival cadence.
+
+    Every ``interval`` observed arrivals the driver prewarm-compiles the
+    predicted hot set through the shared flow cache.  The library
+    memoises per-kernel results, so steady mixes cost a set lookup per
+    firing; only a mix *shift* (a flash crowd switching the hot kernel)
+    triggers real place-and-route work — which is exactly when paying it
+    ahead of the dispatch path is worth it.
+    """
+
+    def __init__(self, library, window: int = 64, top_k: int = 4,
+                 interval: int = 16) -> None:
+        if interval <= 0:
+            raise ConfigurationError("the prewarm cadence needs interval >= 1")
+        self.library = library
+        self.predictor = ArrivalMixPredictor(window=window, top_k=top_k)
+        self.interval = interval
+        self.firings = 0
+        self.designs_compiled = 0
+        self.cache_misses = 0
+
+    def observe(self, kernels: Sequence[str]) -> None:
+        """Observe one arrival; fire a prewarm on the cadence boundary."""
+        self.predictor.observe(kernels)
+        if self.predictor.observed % self.interval == 0:
+            self.fire()
+
+    def fire(self) -> Dict[str, int]:
+        """Prewarm the predicted hot set now; returns the library's delta."""
+        delta = self.library.prewarm(self.predictor.predicted())
+        self.firings += 1
+        self.designs_compiled += delta["designs"]
+        self.cache_misses += delta["misses"]
+        return delta
+
+    def stats(self) -> Dict[str, int]:
+        """Flat counters for the fleet report."""
+        return {"prewarm_firings": self.firings,
+                "prewarm_designs": self.designs_compiled,
+                "prewarm_misses": self.cache_misses,
+                "prewarm_window_kernels": len(self.predictor.mix())}

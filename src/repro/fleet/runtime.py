@@ -1,0 +1,634 @@
+"""The event-driven fleet runtime: datacenter-scale serving in virtual time.
+
+:func:`simulate_fleet` replays a job trace against a fleet of
+:class:`~repro.serve.soc.ServingSoC` instances, jumping from event to
+event on the deterministic heap of :mod:`repro.fleet.events` instead of
+stepping PR-5's scan loop — a 100k-job trace over hundreds of SoCs runs
+in seconds of wallclock while staying **bit-identical** run to run.
+
+Scheduling is two-level, the classic datacenter split:
+
+1. a cluster **balancer** (:mod:`repro.fleet.balancer`) assigns every
+   arrival to one SoC's bounded queue;
+2. the per-SoC **policy** — PR-5's :mod:`repro.serve.policies`, reused
+   unchanged — picks what that SoC dispatches next, with the same aging
+   guard and batch-growing rules as :func:`repro.serve.runtime.serve`.
+
+Between the two, the runtime layers the fleet mechanisms:
+
+* **work stealing** — an idle SoC takes a policy-selected batch from the
+  deepest queue, paying a migration priced on the *cluster* NoC
+  (:meth:`~repro.noc.topology.Topology.transfer_latency` over the batch's
+  input bits);
+* **SLO-aware shedding** — when a queue's predicted completion overruns
+  ``slo_target_p99``, the lowest-value (youngest first) work is shed at
+  admission and counted in the ledger;
+* **autoscaling** — SoCs idle past ``idle_timeout`` power-gate through
+  epoch-validated GATE events and wake (paying ``wake_latency``) when
+  work lands on them, with static energy through
+  :func:`repro.power.models.soc_static_energy`;
+* **predictive prewarm** — a windowed arrival-mix predictor
+  (:mod:`repro.fleet.prewarm`) keeps the likely-next kernels compiled in
+  the shared flow cache.
+
+Every mechanism only moves *where and when* a job executes — never what
+it computes — so each completed job's payload digest equals the naive
+serial execution of the same trace (the PR-5 discipline, enforced at
+fleet scale by the randomized conformance suite).
+
+Event order at one virtual cycle is fixed: WAKE, COMPLETION and GATE
+events drain before ARRIVALs, arrivals are admitted in ``(arrival,
+job_id)`` order, and only then does the dispatch phase visit SoCs that
+need attention (in index order).  The dispatch phase touches a *ready
+set* — never the whole fleet — which is what keeps a 256-SoC run linear
+in events rather than ``events x SoCs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.filters.fir import FIR_INPUT_BITS
+from repro.fleet.autoscale import Autoscaler
+from repro.fleet.balancer import Balancer, balancer_by_name
+from repro.fleet.events import ARRIVAL, COMPLETION, GATE, WAKE, EventHeap
+from repro.fleet.ledger import JobLedger
+from repro.fleet.prewarm import PrewarmDriver
+from repro.fleet.synthetic import execute_fleet_batch
+from repro.noc.topology import Topology, topology_by_name
+from repro.noc.traffic import FLIT_BITS, PIXEL_BITS
+from repro.power.models import noc_transfer_energy, serving_compute_energy
+from repro.serve.kernels import KernelLibrary
+from repro.serve.policies import policy_by_name
+from repro.serve.soc import ServingSoC
+
+
+@dataclass
+class FleetSettings:
+    """Knobs of one fleet run (superset of PR-5's :class:`ServeSettings`)."""
+
+    balancer: str = "jsq"
+    policy: str = "fifo"
+    soc_count: int = 4
+    queue_capacity: int = 64
+    max_batch: int = 8
+    #: Intra-SoC NoC (prices reconfiguration and result streams).
+    topology_name: str = "mesh"
+    placement_strategy: str = "spread"
+    configuration_bus_bits: int = 8
+    #: Cluster-level NoC between SoCs (prices stolen-work migrations).
+    cluster_topology_name: str = "mesh"
+    starvation_limit: int = 1_000_000
+    batch_setup_cycles: int = 64
+    #: PR-5-style reactive prewarm of each admitted job's kernels.
+    admission_prewarm: bool = False
+    #: Windowed arrival-mix prediction driving periodic prewarms.
+    predictive_prewarm: bool = True
+    prewarm_window: int = 64
+    prewarm_top_k: int = 4
+    prewarm_interval: int = 16
+    #: Idle SoCs steal policy-selected batches from the deepest queue.
+    steal: bool = True
+    steal_threshold: int = 2
+    #: Shed lowest-value queued work once a queue's predicted completion
+    #: exceeds this many cycles (``None`` disables shedding).
+    slo_target_p99: Optional[int] = None
+    #: Power-gate SoCs idle past ``idle_timeout`` (wake costs latency).
+    autoscale: bool = False
+    idle_timeout: int = 200_000
+    wake_latency: int = 5_000
+    min_awake: int = 1
+
+    def __post_init__(self) -> None:
+        if self.soc_count <= 0:
+            raise ConfigurationError("the fleet needs at least one SoC")
+        if self.queue_capacity <= 0:
+            raise ConfigurationError("the queue needs room for one job")
+        if self.max_batch <= 0:
+            raise ConfigurationError("batches need at least one slot")
+        if self.starvation_limit < 0 or self.batch_setup_cycles < 0:
+            raise ConfigurationError(
+                "starvation limit and batch setup must be non-negative")
+        if self.steal_threshold < 1:
+            raise ConfigurationError("steal_threshold must be >= 1")
+        if self.slo_target_p99 is not None and self.slo_target_p99 <= 0:
+            raise ConfigurationError("slo_target_p99 must be positive cycles")
+        if self.idle_timeout <= 0 or self.wake_latency < 0:
+            raise ConfigurationError(
+                "idle_timeout must be positive and wake_latency non-negative")
+        if not 1 <= self.min_awake <= self.soc_count:
+            raise ConfigurationError(
+                f"min_awake must be in [1, {self.soc_count}], "
+                f"got {self.min_awake}")
+
+
+class SocSlot:
+    """One fleet position: a serving SoC, its bounded queue, and counters."""
+
+    def __init__(self, index: int, soc: ServingSoC, power) -> None:
+        self.index = index
+        self.soc = soc
+        self.power = power
+        self.queue: List = []
+        #: Summed service estimates of queued jobs (SLO prediction input).
+        self.backlog_cycles = 0
+        #: Summed batch service time (static-energy accounting input).
+        self.busy_cycles = 0
+        #: Batches this SoC stole from other queues.
+        self.steals = 0
+        #: Virtual cycle of the last enqueue/dispatch/wake touching this
+        #: SoC (what the autoscaler's idle checks measure against).
+        self.last_activity = 0
+
+    @property
+    def awake(self) -> bool:
+        """True iff the SoC can dispatch right now (balancer input)."""
+        return self.power.awake
+
+    def __repr__(self) -> str:
+        return (f"SocSlot({self.index}, depth={len(self.queue)}, "
+                f"state={self.power.state!r}, free_at={self.soc.free_at})")
+
+
+def job_input_bits(job) -> int:
+    """Bits a queue migration of ``job`` ships over the cluster NoC."""
+    bits = getattr(job, "input_bits", None)
+    if bits is not None:
+        return int(bits)
+    kind = getattr(job, "kind", None)
+    if kind in ("encode", "gop"):
+        height, width = job.frame_shape
+        return len(job.frames) * height * width * PIXEL_BITS
+    if kind == "dct":
+        return int(job.blocks.shape[0]) * 64 * PIXEL_BITS
+    if kind == "fir":
+        return int(job.samples.size) * FIR_INPUT_BITS
+    raise ConfigurationError(
+        f"cannot size the migration payload of job kind {kind!r}")
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced."""
+
+    settings: FleetSettings
+    ledger: JobLedger
+    slots: List[SocSlot] = field(default_factory=list)
+    batches: int = 0
+    makespan_cycles: int = 0
+    events_processed: int = 0
+    steals: int = 0
+    migrated_jobs: int = 0
+    migration_cycles: int = 0
+    migration_energy: float = 0.0
+    reconfigurations: int = 0
+    reconfiguration_bits: int = 0
+    reconfiguration_cycles: int = 0
+    reconfiguration_energy: float = 0.0
+    gatings: int = 0
+    autoscale: Dict[str, float] = field(default_factory=dict)
+    prewarm: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> int:
+        """Jobs that entered the cluster."""
+        return self.ledger.submitted
+
+    @property
+    def completed(self) -> int:
+        """Jobs served to completion."""
+        return self.ledger.completed
+
+    @property
+    def rejected(self) -> int:
+        """Jobs refused at admission (queue full fleet-wide)."""
+        return self.ledger.rejected
+
+    @property
+    def shed(self) -> int:
+        """Jobs evicted by SLO-aware admission."""
+        return self.ledger.shed
+
+    @property
+    def digests(self) -> Dict[int, str]:
+        """Payload content hash per completed job id (conformance anchor)."""
+        return self.ledger.digests
+
+    @property
+    def conserved(self) -> bool:
+        """Every submitted job resolved exactly once."""
+        return (self.ledger.unresolved == 0
+                and self.submitted == self.completed + self.rejected
+                + self.shed)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average jobs per dispatch."""
+        if not self.batches:
+            return 0.0
+        return self.completed / self.batches
+
+    @property
+    def total_energy(self) -> float:
+        """Job energy (compute + NoC + reconfiguration + migration) plus
+        the fleet's static idle/gated/wake energy."""
+        return (self.ledger.total_energy
+                + float(self.autoscale.get("static_energy", 0.0)))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of completed-job latency in cycles."""
+        return self.ledger.latency_percentiles()
+
+    def throughput_jobs_per_megacycle(self) -> float:
+        """Completed jobs per million virtual cycles of makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return 1e6 * self.completed / self.makespan_cycles
+
+    def summary(self) -> Dict[str, object]:
+        """Flat headline numbers for reporting tables."""
+        summary: Dict[str, object] = {
+            "balancer": self.settings.balancer,
+            "policy": self.settings.policy,
+            "socs": self.settings.soc_count,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch_size, 2),
+            "steals": self.steals,
+            "migrated_jobs": self.migrated_jobs,
+            "gatings": self.gatings,
+            "makespan_cycles": self.makespan_cycles,
+            "throughput_jobs_per_mcycle": round(
+                self.throughput_jobs_per_megacycle(), 3),
+            "reconfigurations": self.reconfigurations,
+            "static_saved": round(
+                float(self.autoscale.get("saved", 0.0)), 1),
+        }
+        for key, value in self.latency_percentiles().items():
+            summary[f"latency_{key}"] = int(value)
+        return summary
+
+
+class _FleetSimulation:
+    """One run's mutable state; :func:`simulate_fleet` drives it."""
+
+    def __init__(self, jobs: Sequence, settings: FleetSettings,
+                 library: KernelLibrary) -> None:
+        self.settings = settings
+        self.library = library
+        self.trace = sorted(jobs, key=lambda job: (job.arrival_cycle,
+                                                   job.job_id))
+        self.ledger = JobLedger(self.trace)
+        self.policy = policy_by_name(settings.policy)
+        self.balancer: Balancer = balancer_by_name(settings.balancer)
+        self.scaler = Autoscaler(settings.soc_count,
+                                 enabled=settings.autoscale,
+                                 idle_timeout=settings.idle_timeout,
+                                 wake_latency=settings.wake_latency,
+                                 min_awake=settings.min_awake)
+        self.slots = []
+        for index in range(settings.soc_count):
+            soc = ServingSoC(
+                index, library=library,
+                topology_name=settings.topology_name,
+                placement_strategy=settings.placement_strategy,
+                configuration_bus_bits=settings.configuration_bus_bits)
+            soc.fleet_size = settings.soc_count
+            self.slots.append(SocSlot(index, soc, self.scaler.states[index]))
+        self.cluster: Topology = topology_by_name(
+            settings.cluster_topology_name, settings.soc_count)
+        self.driver: Optional[PrewarmDriver] = None
+        if settings.predictive_prewarm:
+            self.driver = PrewarmDriver(library,
+                                        window=settings.prewarm_window,
+                                        top_k=settings.prewarm_top_k,
+                                        interval=settings.prewarm_interval)
+        self.heap = EventHeap()
+        self.ready: Set[int] = set()
+        self.idle_thieves: Set[int] = set()
+        # Numpy mirrors of per-slot state, kept in lockstep with the
+        # slots so balancer fast paths and victim picking are one
+        # vectorized reduction instead of a fleet-wide Python scan.
+        self._qlen = np.zeros(settings.soc_count, dtype=np.int32)
+        self._free_at_arr = np.zeros(settings.soc_count, dtype=np.int64)
+        self._asleep = np.zeros(settings.soc_count, dtype=np.int8)
+        self._estimates: Dict[int, int] = {}
+        self._gate_epochs: Dict[int, int] = {}
+        self._arrival_index = 0
+        self.report = FleetReport(settings=settings, ledger=self.ledger,
+                                  slots=self.slots)
+        self.last_completion = 0
+        self.clock = 0
+
+    # -- helpers -------------------------------------------------------------
+    def _estimate(self, job) -> int:
+        estimate = self._estimates.get(job.job_id)
+        if estimate is None:
+            estimate = self._estimates[job.job_id] = job.service_estimate()
+        return estimate
+
+    def _arrivals_pending(self) -> bool:
+        return self._arrival_index < len(self.trace)
+
+    def _push_next_arrival(self) -> None:
+        if self._arrivals_pending():
+            job = self.trace[self._arrival_index]
+            self.heap.push(job.arrival_cycle, ARRIVAL, job.job_id)
+
+    # -- autoscaling ---------------------------------------------------------
+    def _maybe_schedule_gate(self, slot: SocSlot, now: int) -> None:
+        """Arm one idle check for a just-idled SoC (while work remains)."""
+        if (not self.settings.autoscale or not self._arrivals_pending()
+                or not slot.power.awake or slot.queue
+                or slot.soc.free_at > now
+                or slot.index in self._gate_epochs):
+            return
+        self._gate_epochs[slot.index] = self.scaler.idle_check_epoch(
+            slot.index)
+        self.heap.push(now + self.settings.idle_timeout, GATE, slot.index)
+
+    def _handle_gate(self, index: int, now: int) -> None:
+        epoch = self._gate_epochs.pop(index, None)
+        slot = self.slots[index]
+        idle = (not slot.queue and slot.power.awake
+                and slot.soc.free_at <= now)
+        if epoch is not None and self.scaler.try_gate(index, epoch, now,
+                                                      idle):
+            self.report.gatings += 1
+            self.idle_thieves.discard(index)
+            self._asleep[index] = 1
+        else:
+            # The check went stale (work touched the SoC since it was
+            # armed) — re-arm from the current idle stretch, if any.
+            self._maybe_schedule_gate(slot, now)
+
+    # -- admission -----------------------------------------------------------
+    def _admit(self, job, now: int) -> None:
+        if self.driver is not None:
+            self.driver.observe(list(job.kernels.values()))
+        if self.settings.admission_prewarm:
+            self.library.prewarm(list(job.kernels.values()))
+        choice = self.balancer.assign_vectorized(
+            job, self._qlen, self._free_at_arr, self._asleep, now)
+        if choice is None:
+            choice = self.balancer.assign(job, self.slots, now)
+        if not 0 <= choice < len(self.slots):
+            raise ConfigurationError(
+                f"balancer {self.balancer.name!r} chose SoC {choice} in a "
+                f"fleet of {len(self.slots)}")
+        slot = self.slots[choice]
+        if len(slot.queue) >= self.settings.queue_capacity:
+            # Balancer's pick is full: fall back to the genuinely
+            # shortest queue before rejecting (bounds worst-case loss of
+            # load-blind balancers to what the fleet truly cannot hold).
+            fallback = min(range(len(self.slots)),
+                           key=lambda i: (len(self.slots[i].queue), i))
+            slot = self.slots[fallback]
+            if len(slot.queue) >= self.settings.queue_capacity:
+                self.ledger.mark_rejected(job.job_id)
+                return
+        if (self.settings.slo_target_p99 is not None
+                and not self._admit_slo(slot, job, now)):
+            return
+        self._enqueue(slot, job, now)
+
+    def _admit_slo(self, slot: SocSlot, job, now: int) -> bool:
+        """Shed lowest-value work until the queue meets the SLO target.
+
+        Predicted completion of the arrival = remaining service of the
+        running batch + wake latency (if the SoC must wake) + dispatch
+        overhead + queued backlog + the arrival's own service.  While it
+        overruns the target, the lowest-value candidate (youngest first
+        among equals, the arrival included) is shed.  Returns ``True``
+        iff the arrival itself survived.
+        """
+        target = self.settings.slo_target_p99
+        wake = (0 if slot.power.awake else self.scaler.wake_latency)
+        fixed = (max(0, slot.soc.free_at - now) + wake
+                 + self.settings.batch_setup_cycles + self._estimate(job))
+        while fixed + slot.backlog_cycles > target:
+            victim = min(
+                slot.queue + [job],
+                key=lambda j: (float(getattr(j, "value", 1.0)),
+                               -j.arrival_cycle, -j.job_id))
+            self.ledger.mark_shed(victim.job_id)
+            if victim is job:
+                return False
+            slot.queue.remove(victim)
+            slot.backlog_cycles -= self._estimate(victim)
+            self._qlen[slot.index] -= 1
+        return True
+
+    def _enqueue(self, slot: SocSlot, job, now: int) -> None:
+        slot.queue.append(job)
+        slot.backlog_cycles += self._estimate(job)
+        self._qlen[slot.index] += 1
+        slot.last_activity = now
+        self.scaler.note_activity(slot.index)
+        self.idle_thieves.discard(slot.index)
+        wake_ready = self.scaler.request_wake(slot.index, now)
+        if wake_ready is not None:
+            self.heap.push(wake_ready, WAKE, slot.index)
+        if slot.power.awake and slot.soc.free_at <= now:
+            self.ready.add(slot.index)
+        elif (self.settings.steal and self.idle_thieves
+              and len(slot.queue) >= self.settings.steal_threshold):
+            # The owner cannot drain this queue right now; give idle
+            # SoCs a dispatch-phase look at stealing from it.
+            self.ready.update(self.idle_thieves)
+
+    # -- dispatch ------------------------------------------------------------
+    def _select_batch(self, owner: SocSlot, executing_soc: ServingSoC,
+                      now: int) -> List:
+        """PR-5 batch selection (aging guard, then policy, then batch-key
+        mates in queue order) over ``owner``'s queue, scored against the
+        SoC that will actually execute (the thief's, when stealing)."""
+        queue = owner.queue
+        overdue = [i for i in range(len(queue))
+                   if now - queue[i].arrival_cycle
+                   > self.settings.starvation_limit]
+        if overdue:
+            chosen = min(overdue, key=lambda i: (queue[i].arrival_cycle,
+                                                 queue[i].job_id))
+        else:
+            chosen = self.policy.select(queue, executing_soc, now)
+            if not 0 <= chosen < len(queue):
+                raise ConfigurationError(
+                    f"policy {self.policy.name!r} selected index {chosen} "
+                    f"outside the queue of {len(queue)}")
+        selected = queue[chosen]
+        mates = [job for job in queue if job is not selected
+                 and job.batch_key == selected.batch_key]
+        batch = [selected] + mates[:self.settings.max_batch - 1]
+        for job in batch:
+            queue.remove(job)
+            owner.backlog_cycles -= self._estimate(job)
+        self._qlen[owner.index] -= len(batch)
+        return batch
+
+    def _pick_victim(self, thief: SocSlot) -> Optional[SocSlot]:
+        """Deepest stealable queue (lowest index on ties), or ``None``.
+
+        One vectorized argmax — the thief's own queue is empty when this
+        is called, so it can never out-rank a stealable victim.
+        """
+        victim_index = int(np.argmax(self._qlen))
+        if self._qlen[victim_index] < self.settings.steal_threshold:
+            return None
+        return self.slots[victim_index]
+
+    def _attempt_dispatch(self, index: int, now: int) -> None:
+        slot = self.slots[index]
+        if not slot.power.awake or slot.soc.free_at > now:
+            return
+        migration: Optional[Tuple[int, float]] = None
+        if slot.queue:
+            batch = self._select_batch(slot, slot.soc, now)
+        elif self.settings.steal:
+            victim = self._pick_victim(slot)
+            if victim is None:
+                self._go_idle(slot, now)
+                return
+            batch = self._select_batch(victim, slot.soc, now)
+            bits = sum(job_input_bits(job) for job in batch)
+            flits = -(-bits // FLIT_BITS) if bits > 0 else 0
+            migration = (
+                self.cluster.transfer_latency(victim.index, slot.index,
+                                              flits),
+                noc_transfer_energy(*self.cluster.transfer_aggregates(
+                    victim.index, slot.index, flits)))
+            slot.steals += 1
+            self.scaler.note_activity(victim.index)
+            victim.last_activity = now
+        else:
+            self._go_idle(slot, now)
+            return
+        self._execute(slot, batch, now, migration)
+
+    def _go_idle(self, slot: SocSlot, now: int) -> None:
+        self.idle_thieves.add(slot.index)
+        self._maybe_schedule_gate(slot, now)
+
+    def _execute(self, slot: SocSlot, batch: List, now: int,
+                 migration: Optional[Tuple[int, float]]) -> None:
+        reconfig_cycles, reconfig_energy, switches = (
+            slot.soc.load_kernels(batch[0]))
+        results = execute_fleet_batch(batch)
+        mig_cycles, mig_energy = migration or (0, 0.0)
+        service = (self.settings.batch_setup_cycles + reconfig_cycles
+                   + mig_cycles)
+        output_costs = []
+        for result in results:
+            cycles, energy = slot.soc.result_cost(result.output_bits)
+            output_costs.append((cycles, energy))
+            service += result.compute_cycles + cycles
+        completion = now + max(1, service)
+        reconfig_share = reconfig_energy / len(batch)
+        mig_share = mig_energy / len(batch)
+        for job, result, (out_cycles, out_energy) in zip(batch, results,
+                                                         output_costs):
+            energy = (serving_compute_energy(result.sad_operations,
+                                             result.dct_blocks,
+                                             result.filter_samples)
+                      + out_energy + reconfig_share + mig_share)
+            self.ledger.mark_completed(
+                job.job_id, soc=slot.index, start=now,
+                completion=completion,
+                compute_cycles=result.compute_cycles,
+                output_bits=result.output_bits,
+                batch_id=self.report.batches, batch_size=len(batch),
+                energy=energy, digest=result.digest,
+                migrated=migration is not None)
+        slot.soc.free_at = completion
+        self._free_at_arr[slot.index] = completion
+        slot.soc.jobs_executed += len(batch)
+        slot.soc.batches_executed += 1
+        slot.busy_cycles += completion - now
+        slot.last_activity = completion
+        self.scaler.note_activity(slot.index)
+        self.idle_thieves.discard(slot.index)
+        self.heap.push(completion, COMPLETION, slot.index)
+        self.last_completion = max(self.last_completion, completion)
+        report = self.report
+        report.batches += 1
+        report.reconfigurations += switches
+        report.reconfiguration_cycles += reconfig_cycles
+        report.reconfiguration_energy += reconfig_energy
+        if migration is not None:
+            report.steals += 1
+            report.migrated_jobs += len(batch)
+            report.migration_cycles += mig_cycles
+            report.migration_energy += mig_energy
+
+    # -- the loop ------------------------------------------------------------
+    def run(self) -> FleetReport:
+        if not self.trace:
+            return self.report
+        first_arrival = self.trace[0].arrival_cycle
+        self._push_next_arrival()
+        for slot in self.slots:
+            self._maybe_schedule_gate(slot, 0)
+        while self.heap:
+            now = self.heap.peek_time()
+            self.clock = now
+            # Drain every event at this cycle (WAKE < COMPLETION < GATE
+            # < ARRIVAL), then give the touched SoCs one dispatch look —
+            # so a same-cycle burst can batch and a SoC freed at ``now``
+            # serves jobs arriving at ``now``.
+            while self.heap and self.heap.peek_time() == now:
+                _, kind, key = self.heap.pop()
+                self.report.events_processed += 1
+                if kind == ARRIVAL:
+                    job = self.trace[self._arrival_index]
+                    self._arrival_index += 1
+                    self._push_next_arrival()
+                    self._admit(job, now)
+                elif kind == COMPLETION:
+                    self.slots[key].last_activity = now
+                    self.ready.add(key)
+                elif kind == WAKE:
+                    self.scaler.complete_wake(key)
+                    self._asleep[key] = 0
+                    self.slots[key].last_activity = now
+                    self.ready.add(key)
+                else:
+                    self._handle_gate(key, now)
+            for index in sorted(self.ready):
+                self._attempt_dispatch(index, now)
+            self.ready.clear()
+        if self.ledger.unresolved:
+            raise ConfigurationError(
+                f"fleet run left {self.ledger.unresolved} jobs unresolved")
+        end = max(self.last_completion, self.clock)
+        self.scaler.finalize(end)
+        report = self.report
+        report.makespan_cycles = max(0, self.last_completion - first_arrival)
+        report.reconfiguration_bits = sum(
+            slot.soc.reconfiguration_bits_streamed for slot in self.slots)
+        report.autoscale = self.scaler.static_energy(
+            np.fromiter((slot.busy_cycles for slot in self.slots),
+                        dtype=np.int64, count=len(self.slots)), end)
+        if self.driver is not None:
+            report.prewarm = self.driver.stats()
+        return report
+
+
+def simulate_fleet(jobs: Sequence,
+                   settings: Optional[FleetSettings] = None,
+                   library: Optional[KernelLibrary] = None) -> FleetReport:
+    """Serve a trace through the event-driven fleet and return the ledger.
+
+    ``jobs`` is any iterable of :mod:`repro.serve.jobs` or
+    :mod:`repro.fleet.synthetic` instances; the trace is replayed in
+    ``(arrival_cycle, job_id)`` order.  Same trace, same settings ⇒
+    bit-identical report, and every completed payload digest equals
+    naive serial execution of the same jobs.
+    """
+    return _FleetSimulation(jobs, settings or FleetSettings(),
+                            library or KernelLibrary()).run()

@@ -1,0 +1,252 @@
+"""Synthetic fleet jobs: 100k-trace workloads the event core can afford.
+
+The conformance anchor runs *real* payloads — encode/DCT/FIR jobs from
+:mod:`repro.serve.workload` executed through the engine — but a real
+encode costs milliseconds of wallclock, so a 100k-job datacenter trace
+would take hours.  :class:`SyntheticJob` closes the gap: a lightweight
+job that still exercises every scheduling surface (named kernels through
+the shared library, residency and reconfiguration bitstreams, batching
+keys, service estimates, values for SLO shedding) while its payload is a
+cheap *deterministic* function of the job's seed — a vectorized
+splitmix64 stream — so bit-identity between scheduled and serial
+execution remains a meaningful, hash-checked property at any scale.
+
+:func:`synthetic_trace` draws seeded datacenter arrival processes in the
+:mod:`repro.engine` idiom (every per-job quantity is one vectorized
+draw): ``steady`` Poisson-like load, ``diurnal`` day/night sinusoidal
+modulation, and ``flash_crowd`` — a burst window where gaps collapse and
+one hot kernel dominates the mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.traffic import FLIT_BITS
+from repro.serve.execution import (
+    ExecutionResult,
+    execute_batch as _serve_execute_batch,
+)
+from repro.serve.jobs import (
+    DCT_CYCLES_PER_BLOCK,
+    FIR_CYCLES_PER_SAMPLE,
+    SAD_OPS_PER_CYCLE,
+)
+from repro.serve.kernels import KERNEL_BUILDERS
+from repro.video.blocks import MACROBLOCK_SIZE
+
+#: Arrival patterns :func:`synthetic_trace` can draw.
+FLEET_PATTERNS = ("steady", "diurnal", "flash_crowd")
+
+#: Kernel pool of the synthetic mixes (all compiled through the shared
+#: library, so residency and bitstream costs are measured, not invented).
+SYNTHETIC_KERNELS = ("dct:mixed_rom", "dct:scc_direct", "dct:cordic2",
+                     "fir:lowpass8", "me:full_r8")
+
+#: SAD operations one synthetic work unit retires on the ME array (one
+#: macroblock's worth), mirroring the encode path's activity accounting.
+SAD_OPS_PER_UNIT = MACROBLOCK_SIZE * MACROBLOCK_SIZE
+
+#: Output bits of one synthetic work unit (one splitmix64 word).
+OUTPUT_BITS_PER_UNIT = 64
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array."""
+    z = values.astype(np.uint64) + _GOLDEN
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+@dataclass(eq=False)
+class SyntheticJob:
+    """A lightweight serving job whose payload is a seeded splitmix stream.
+
+    ``kernel`` names a real serving kernel (the measured bitstream of
+    which a reconfiguration streams); ``work_units`` sizes compute,
+    output and payload; ``value`` is what SLO-aware admission protects
+    (higher-value work sheds last).
+    """
+
+    job_id: int
+    arrival_cycle: int
+    kernel: str = "dct:mixed_rom"
+    work_units: int = 32
+    seed: int = 0
+    value: float = 1.0
+    kind: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.arrival_cycle < 0:
+            raise ConfigurationError("jobs cannot arrive before cycle 0")
+        if self.work_units <= 0:
+            raise ConfigurationError(
+                f"synthetic job {self.job_id} needs at least one work unit")
+        if self.kernel not in KERNEL_BUILDERS:
+            raise ConfigurationError(
+                f"synthetic job {self.job_id} names unknown kernel "
+                f"{self.kernel!r}; known: {sorted(KERNEL_BUILDERS)}")
+        if self.value <= 0:
+            raise ConfigurationError("job value must be positive")
+        if self.kind != "synthetic":
+            raise ConfigurationError("SyntheticJob kind must be 'synthetic'")
+
+    @property
+    def target_array(self) -> str:
+        """Array the job's kernel configures."""
+        return "me_array" if self.kernel.startswith("me:") else "da_array"
+
+    @property
+    def kernels(self) -> Dict[str, str]:
+        """Required resident kernels, by array name."""
+        return {self.target_array: self.kernel}
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Jobs sharing this key execute in one stacked dispatch."""
+        return ("synthetic", self.kernel)
+
+    @property
+    def input_bits(self) -> int:
+        """Bits a queue migration of this job ships between SoCs."""
+        return self.work_units * FLIT_BITS
+
+    def service_estimate(self) -> int:
+        """Exact compute cycles (synthetic work is statically sized)."""
+        if self.kernel.startswith("me:"):
+            sad_ops = self.work_units * SAD_OPS_PER_UNIT
+            return -(-sad_ops // SAD_OPS_PER_CYCLE)
+        if self.kernel.startswith("fir:"):
+            return self.work_units * FIR_CYCLES_PER_SAMPLE
+        return self.work_units * DCT_CYCLES_PER_BLOCK
+
+    def payload(self) -> np.ndarray:
+        """The deterministic output stream (one int64 word per unit)."""
+        words = np.arange(self.work_units, dtype=np.uint64) + np.uint64(
+            self.seed % (1 << 64))
+        return _splitmix64(words).view(np.int64)
+
+
+def execute_synthetic_batch(jobs: Sequence[SyntheticJob]
+                            ) -> List[ExecutionResult]:
+    """Execute compatible synthetic jobs through one stacked dispatch.
+
+    Each job's payload depends only on its own seed, so batching is
+    bit-identical to serial execution *by construction* — and the
+    conformance suite still hashes both sides, keeping the check honest
+    against future edits.
+    """
+    keys = {job.batch_key for job in jobs}
+    if len(keys) != 1:
+        raise ConfigurationError(
+            f"a batch must share one batch_key, got {sorted(map(str, keys))}")
+    results = []
+    for job in jobs:
+        sad_ops = (job.work_units * SAD_OPS_PER_UNIT
+                   if job.kernel.startswith("me:") else 0)
+        results.append(ExecutionResult(
+            job_id=job.job_id, kind=job.kind, payload=job.payload(),
+            compute_cycles=job.service_estimate(),
+            sad_operations=sad_ops,
+            dct_blocks=(job.work_units
+                        if job.kernel.startswith("dct:") else 0),
+            filter_samples=(job.work_units
+                            if job.kernel.startswith("fir:") else 0),
+            output_bits=job.work_units * OUTPUT_BITS_PER_UNIT))
+    return results
+
+
+def execute_fleet_batch(jobs: Sequence) -> List[ExecutionResult]:
+    """One stacked dispatch over compatible jobs of any fleet-served kind.
+
+    Synthetic jobs take the vectorized path above; encode/DCT/FIR jobs
+    go through :func:`repro.serve.execution.execute_batch` unchanged, so
+    the PR-5 bit-identity guarantees carry over verbatim.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if isinstance(jobs[0], SyntheticJob):
+        return execute_synthetic_batch(jobs)
+    return _serve_execute_batch(jobs)
+
+
+def execute_fleet_serial(jobs: Sequence) -> List[ExecutionResult]:
+    """Naive reference: every job in its own dispatch, in input order."""
+    return [result for job in jobs for result in execute_fleet_batch([job])]
+
+
+def synthetic_trace(pattern: str, job_count: int, seed: int = 0,
+                    mean_gap: int = 2_000,
+                    kernel_pool: Sequence[str] = SYNTHETIC_KERNELS,
+                    diurnal_periods: float = 2.0,
+                    diurnal_amplitude: float = 0.75,
+                    crowd_fraction: float = 0.15,
+                    crowd_surge: int = 12,
+                    hot_kernel: str = "dct:mixed_rom",
+                    min_work: int = 16, max_work: int = 96
+                    ) -> List[SyntheticJob]:
+    """Draw one seeded synthetic arrival trace, fully vectorized.
+
+    ``steady`` jitters gaps uniformly around ``mean_gap``;
+    ``diurnal`` modulates the arrival *rate* with ``diurnal_periods``
+    sinusoidal day/night cycles of ``diurnal_amplitude`` (troughs are
+    what the autoscaler gates through); ``flash_crowd`` collapses gaps
+    by ``crowd_surge`` over a contiguous ``crowd_fraction`` window in
+    which ``hot_kernel`` dominates the mix (what predictive prewarm and
+    SLO shedding are for).  Same arguments ⇒ identical trace, job for
+    job.
+    """
+    if pattern not in FLEET_PATTERNS:
+        raise ConfigurationError(
+            f"unknown fleet pattern {pattern!r}; known: {FLEET_PATTERNS}")
+    if job_count <= 0:
+        raise ConfigurationError("a trace needs at least one job")
+    if mean_gap <= 1:
+        raise ConfigurationError("mean_gap must exceed one cycle")
+    if not kernel_pool:
+        raise ConfigurationError("the kernel pool cannot be empty")
+    rng = np.random.default_rng([seed, FLEET_PATTERNS.index(pattern)])
+
+    gaps = rng.integers(mean_gap // 2, mean_gap * 3 // 2 + 1,
+                        job_count).astype(np.float64)
+    kernel_index = rng.integers(len(kernel_pool), size=job_count)
+    if pattern == "diurnal":
+        phase = (2.0 * np.pi * diurnal_periods
+                 * np.arange(job_count) / job_count)
+        gaps = gaps / (1.0 + diurnal_amplitude * np.sin(phase))
+    elif pattern == "flash_crowd":
+        if hot_kernel not in kernel_pool:
+            raise ConfigurationError(
+                f"hot kernel {hot_kernel!r} is not in the pool "
+                f"{tuple(kernel_pool)}")
+        length = max(1, int(round(crowd_fraction * job_count)))
+        start = int(rng.integers(job_count // 4,
+                                 max(job_count // 4 + 1,
+                                     job_count - length)))
+        window = slice(start, start + length)
+        gaps[window] = np.maximum(1.0, gaps[window] / crowd_surge)
+        hot = rng.random(length) < 0.85
+        kernel_index[window] = np.where(
+            hot, list(kernel_pool).index(hot_kernel), kernel_index[window])
+    arrivals = np.cumsum(np.maximum(1, np.rint(gaps).astype(np.int64)))
+
+    work = rng.integers(min_work, max_work + 1, job_count)
+    values = rng.choice(np.array([1.0, 2.0, 4.0]), size=job_count,
+                        p=[0.5, 0.3, 0.2])
+    seeds = rng.integers(0, 1 << 62, job_count)
+    return [SyntheticJob(job_id=index, arrival_cycle=int(arrivals[index]),
+                         kernel=kernel_pool[int(kernel_index[index])],
+                         work_units=int(work[index]),
+                         seed=int(seeds[index]),
+                         value=float(values[index]))
+            for index in range(job_count)]

@@ -57,7 +57,9 @@ from repro.noc.traffic import (
     gop_worker_agents,
     hotspot_traffic,
     kernel_bitstream_bits,
+    shuffle_traffic,
     tile_grid_for,
+    tornado_traffic,
     traffic_from_gop_shards,
     traffic_from_reconfiguration,
     traffic_from_routing,
@@ -98,12 +100,14 @@ __all__ = [
     "pareto_front",
     "place_agents",
     "resolve_flit_cap",
+    "shuffle_traffic",
     "simulate",
     "simulate_batched",
     "standard_topologies",
     "sweep",
     "tile_grid_for",
     "topology_by_name",
+    "tornado_traffic",
     "traffic_from_gop_shards",
     "traffic_from_reconfiguration",
     "traffic_from_routing",

@@ -393,3 +393,54 @@ def transpose_traffic(agent_count: int, flits_per_flow: int = 4,
             matrix[index, partner] = flits_per_flow
     return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
                          name=name)
+
+
+def tornado_traffic(agent_count: int, flits_per_flow: int = 4,
+                    name: str = "tornado") -> TrafficMatrix:
+    """Agent ``i`` sends halfway around the ring: ``(i + count//2) % count``.
+
+    The classic adversarial pattern for rings and tori — every flow
+    travels the maximum minimal distance, so locality-exploiting
+    topologies gain nothing.  Each agent sources exactly one flow of
+    ``flits_per_flow``.
+    """
+    if agent_count < 2:
+        raise ConfigurationError("tornado traffic needs at least two agents")
+    matrix = np.zeros((agent_count, agent_count), dtype=np.int64)
+    offset = agent_count // 2
+    for index in range(agent_count):
+        partner = (index + offset) % agent_count
+        if partner != index:
+            matrix[index, partner] = flits_per_flow
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)
+
+
+def shuffle_traffic(agent_count: int, flits_per_flow: int = 4,
+                    name: str = "shuffle") -> TrafficMatrix:
+    """Perfect-shuffle permutation traffic.
+
+    For power-of-two counts, agent ``i`` sends to the left bit-rotation
+    of its index (the butterfly/FFT exchange pattern); otherwise to
+    ``(2 * i) % (count - 1)`` — the modular card-shuffle permutation over
+    the first ``count - 1`` agents (the last agent idles).  Self-mapped
+    agents source no flow; everyone else sources exactly one flow of
+    ``flits_per_flow``.
+    """
+    if agent_count < 2:
+        raise ConfigurationError("shuffle traffic needs at least two agents")
+    matrix = np.zeros((agent_count, agent_count), dtype=np.int64)
+    width = agent_count.bit_length() - 1
+    power_of_two = agent_count & (agent_count - 1) == 0
+    for index in range(agent_count):
+        if power_of_two:
+            partner = ((index << 1) | (index >> (width - 1))) \
+                & (agent_count - 1)
+        elif index < agent_count - 1:
+            partner = (2 * index) % (agent_count - 1)
+        else:
+            partner = index
+        if partner != index:
+            matrix[index, partner] = flits_per_flow
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)

@@ -101,6 +101,44 @@ def serving_compute_energy(sad_operations: int, dct_blocks: int,
             + SERVE_FILTER_SAMPLE_ENERGY * filter_samples)
 
 
+# -- fleet autoscaling constants (consumed by repro.fleet) -------------------
+
+#: Switched capacitance one *idle* (clocked but unloaded) SoC burns per
+#: virtual cycle — clock tree, configuration memory retention, sequencer.
+#: Small against active compute (one 8x8 DCT block costs 3.5), but over a
+#: million-cycle diurnal trough an idle SoC wastes 10k units, which is
+#: what power gating reclaims.
+SOC_IDLE_ENERGY_PER_CYCLE = 0.01
+
+#: Switched capacitance a *power-gated* SoC burns per cycle (retention
+#: rails only — 20x below idle).
+SOC_GATED_ENERGY_PER_CYCLE = 0.0005
+
+#: One-time energy of waking a gated SoC (rail ramp, clock restart, PLL
+#: relock).  Together with the idle/gated gap this sets the break-even
+#: idle span: gating pays off only for idle periods longer than about
+#: ``SOC_WAKE_ENERGY / (idle - gated)`` cycles (~53k at the defaults),
+#: which is why the autoscaler waits out an idle timeout before gating.
+SOC_WAKE_ENERGY = 500.0
+
+
+def soc_static_energy(idle_cycles: int, gated_cycles: int,
+                      wakes: int = 0) -> float:
+    """Static (non-compute) energy of one SoC from its integer state log.
+
+    The fleet autoscaler accounts every SoC's virtual time as busy, idle
+    or gated; busy energy flows through :func:`serving_compute_energy`
+    per job, and this function prices the remainder — keeping the inputs
+    integral so scheduled and re-simulated runs report bit-identical
+    energies.
+    """
+    if min(idle_cycles, gated_cycles, wakes) < 0:
+        raise ValueError("SoC state aggregates must be non-negative")
+    return (SOC_IDLE_ENERGY_PER_CYCLE * idle_cycles
+            + SOC_GATED_ENERGY_PER_CYCLE * gated_cycles
+            + SOC_WAKE_ENERGY * wakes)
+
+
 def noc_transfer_energy(flit_link_cycles: int,
                         flit_router_crossings: int) -> float:
     """Energy of a NoC transfer from its integer activity aggregates.

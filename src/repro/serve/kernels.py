@@ -90,6 +90,7 @@ class KernelLibrary:
 
     def __init__(self) -> None:
         self._results: Dict[str, FlowResult] = {}
+        self._bits: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def design(self, kernel: str):
@@ -115,8 +116,15 @@ class KernelLibrary:
             return self._results.setdefault(kernel, result)
 
     def bitstream_bits(self, kernel: str) -> int:
-        """Measured configuration bits a reconfiguration to ``kernel`` streams."""
-        return self.result(kernel).bitstream.total_bits()
+        """Measured configuration bits a reconfiguration to ``kernel`` streams.
+
+        Memoised: affinity-aware scheduling scores every queued job
+        against every SoC, so this is the hottest library query by far.
+        """
+        bits = self._bits.get(kernel)
+        if bits is None:
+            bits = self._bits[kernel] = self.result(kernel).bitstream.total_bits()
+        return bits
 
     def target_array(self, kernel: str) -> str:
         """Array family the kernel configures."""

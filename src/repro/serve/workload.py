@@ -16,6 +16,18 @@ seed (every random draw goes through one ``numpy`` generator):
                    bursts of mixed jobs land on one cycle, idle gaps
                    between — exercises admission control and the
                    backpressure path.
+``diurnal``        a day/night tenant — two sinusoidal periods of
+                   arrival-rate modulation over the trace, mixed job
+                   kinds.  Troughs are what the fleet autoscaler gates
+                   through; peaks stress queueing.
+``flash_crowd``    steady mixed load until a contiguous window where
+                   gaps collapse tenfold and one hot DCT kernel
+                   dominates — the SLO-shedding and predictive-prewarm
+                   stress case.
+
+New mixes append to :data:`TRAFFIC_MIXES` (never reorder): the generator
+is seeded with ``[seed, index-of-mix]``, so appending keeps every
+previously published trace bit-identical.
 """
 
 from __future__ import annotations
@@ -28,8 +40,9 @@ from repro.core.exceptions import ConfigurationError
 from repro.serve.jobs import DctJob, EncodeJob, FirJob, split_sequence_job
 from repro.video.scenes import scene_frames
 
-#: The mixes :func:`generate_jobs` can draw.
-TRAFFIC_MIXES = ("steady_encode", "kernel_churn", "bursty_mixed")
+#: The mixes :func:`generate_jobs` can draw (append-only, see above).
+TRAFFIC_MIXES = ("steady_encode", "kernel_churn", "bursty_mixed",
+                 "diurnal", "flash_crowd")
 
 #: Frame geometry of generated encode jobs (kept small so randomized
 #: conformance suites can afford hundreds of drawn traces).
@@ -118,9 +131,69 @@ def _bursty_mixed(rng: np.random.Generator, job_count: int,
     return jobs
 
 
+def _mixed_job(job_id: int, arrival: int, rng: np.random.Generator,
+               dct_name: str) -> object:
+    """One job of the draw mix shared by the diurnal/flash-crowd tenants."""
+    draw = int(rng.integers(10))
+    if draw < 4:
+        return _encode_job(job_id, arrival, rng, dct_name=dct_name,
+                           search_range=8)
+    if draw < 8:
+        return _dct_job(job_id, arrival, rng, dct_name=dct_name)
+    return _fir_job(job_id, arrival, rng)
+
+
+#: Sinusoidal day/night periods and depth of the ``diurnal`` mix.
+DIURNAL_PERIODS = 2.0
+DIURNAL_AMPLITUDE = 0.75
+
+
+def _diurnal(rng: np.random.Generator, job_count: int,
+             mean_gap: int) -> List:
+    jobs: List = []
+    arrival = 0
+    for job_id in range(job_count):
+        gap = int(rng.integers(mean_gap // 2, mean_gap * 3 // 2 + 1))
+        phase = 2.0 * np.pi * DIURNAL_PERIODS * job_id / job_count
+        rate = 1.0 + DIURNAL_AMPLITUDE * np.sin(phase)
+        arrival += max(1, int(round(gap / rate)))
+        jobs.append(_mixed_job(job_id, arrival, rng,
+                               dct_name=_CHURN_DCTS[job_id % len(_CHURN_DCTS)]))
+    return jobs
+
+
+#: Fraction of the trace inside the ``flash_crowd`` burst window, the
+#: gap-collapse factor, and the kernel that dominates the window.
+CROWD_FRACTION = 0.2
+CROWD_SURGE = 10
+CROWD_DCT = "mixed_rom"
+
+
+def _flash_crowd(rng: np.random.Generator, job_count: int,
+                 mean_gap: int) -> List:
+    length = max(1, int(round(CROWD_FRACTION * job_count)))
+    start = int(rng.integers(job_count // 4,
+                             max(job_count // 4 + 1, job_count - length)))
+    jobs: List = []
+    arrival = 0
+    for job_id in range(job_count):
+        gap = int(rng.integers(mean_gap // 2, mean_gap * 3 // 2 + 1))
+        in_crowd = start <= job_id < start + length
+        arrival += max(1, gap // CROWD_SURGE if in_crowd else gap)
+        if in_crowd and int(rng.integers(100)) < 85:
+            jobs.append(_dct_job(job_id, arrival, rng, dct_name=CROWD_DCT))
+        else:
+            jobs.append(_mixed_job(
+                job_id, arrival, rng,
+                dct_name=_CHURN_DCTS[job_id % len(_CHURN_DCTS)]))
+    return jobs
+
+
 _GENERATORS = {"steady_encode": _steady_encode,
                "kernel_churn": _kernel_churn,
-               "bursty_mixed": _bursty_mixed}
+               "bursty_mixed": _bursty_mixed,
+               "diurnal": _diurnal,
+               "flash_crowd": _flash_crowd}
 
 
 def generate_jobs(mix: str, job_count: int = 24, seed: int = 0,

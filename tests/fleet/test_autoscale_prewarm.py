@@ -1,0 +1,147 @@
+"""The autoscaler state machine and the predictive prewarm driver."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import ArrivalMixPredictor, Autoscaler, PrewarmDriver
+from repro.fleet.autoscale import AWAKE, GATED, WAKING
+from repro.power.models import (
+    SOC_GATED_ENERGY_PER_CYCLE,
+    SOC_IDLE_ENERGY_PER_CYCLE,
+    SOC_WAKE_ENERGY,
+    soc_static_energy,
+)
+from repro.serve.kernels import KernelLibrary
+
+
+class TestAutoscalerStateMachine:
+    def _scaler(self, count=3, **kwargs):
+        kwargs.setdefault("enabled", True)
+        kwargs.setdefault("idle_timeout", 100)
+        kwargs.setdefault("wake_latency", 10)
+        return Autoscaler(count, **kwargs)
+
+    def test_gate_wake_roundtrip(self):
+        scaler = self._scaler()
+        epoch = scaler.idle_check_epoch(0)
+        assert scaler.try_gate(0, epoch, now=500, idle=True)
+        assert scaler.states[0].state == GATED
+        assert scaler.awake_count() == 2
+        ready = scaler.request_wake(0, now=800)
+        assert ready == 810
+        assert scaler.states[0].state == WAKING
+        assert scaler.states[0].gated_cycles == 300
+        scaler.complete_wake(0)
+        assert scaler.states[0].state == AWAKE
+
+    def test_stale_epoch_is_a_no_op(self):
+        scaler = self._scaler()
+        epoch = scaler.idle_check_epoch(1)
+        scaler.note_activity(1)
+        assert not scaler.try_gate(1, epoch, now=500, idle=True)
+        assert scaler.states[1].state == AWAKE
+
+    def test_min_awake_floor_holds(self):
+        scaler = self._scaler(count=2, min_awake=1)
+        assert scaler.try_gate(0, scaler.idle_check_epoch(0), 100, idle=True)
+        assert not scaler.try_gate(1, scaler.idle_check_epoch(1), 100,
+                                   idle=True)
+        assert scaler.awake_count() == 1
+
+    def test_disabled_scaler_never_gates(self):
+        scaler = Autoscaler(2, enabled=False)
+        assert not scaler.try_gate(0, scaler.idle_check_epoch(0), 100,
+                                   idle=True)
+
+    def test_busy_soc_never_gates(self):
+        scaler = self._scaler()
+        assert not scaler.try_gate(0, scaler.idle_check_epoch(0), 100,
+                                   idle=False)
+
+    def test_wake_of_awake_soc_is_free(self):
+        scaler = self._scaler()
+        assert scaler.request_wake(0, now=50) is None
+
+    def test_spurious_wake_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._scaler().complete_wake(0)
+
+    def test_finalize_closes_open_intervals(self):
+        scaler = self._scaler()
+        scaler.try_gate(0, scaler.idle_check_epoch(0), now=100, idle=True)
+        scaler.finalize(end=600)
+        assert scaler.states[0].gated_cycles == 500
+        assert scaler.states[0].state == AWAKE
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Autoscaler(0)
+        with pytest.raises(ConfigurationError):
+            Autoscaler(2, idle_timeout=0)
+        with pytest.raises(ConfigurationError):
+            Autoscaler(2, min_awake=3)
+
+
+class TestStaticEnergy:
+    def test_constants_ledger(self):
+        assert soc_static_energy(100, 200, 1) == pytest.approx(
+            100 * SOC_IDLE_ENERGY_PER_CYCLE
+            + 200 * SOC_GATED_ENERGY_PER_CYCLE + SOC_WAKE_ENERGY)
+        with pytest.raises(ValueError):
+            soc_static_energy(-1, 0, 0)
+
+    def test_fleet_ledger_and_savings(self):
+        scaler = Autoscaler(2, enabled=True, wake_latency=0)
+        scaler.try_gate(0, scaler.idle_check_epoch(0), now=0, idle=True)
+        scaler.finalize(end=1_000)
+        ledger = scaler.static_energy([0, 400], span=1_000)
+        assert ledger["gated_cycles"] == 1_000
+        assert ledger["idle_cycles"] == 600
+        assert ledger["saved"] == pytest.approx(
+            1_000 * (SOC_IDLE_ENERGY_PER_CYCLE - SOC_GATED_ENERGY_PER_CYCLE))
+        assert ledger["static_energy"] < ledger["ungated_static_energy"]
+
+    def test_busy_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Autoscaler(2).static_energy([1], span=10)
+
+
+class TestArrivalMixPredictor:
+    def test_window_slides(self):
+        predictor = ArrivalMixPredictor(window=3, top_k=2)
+        for kernel in ("a", "a", "b", "c", "c"):
+            predictor.observe([kernel])
+        # window now holds b, c, c
+        assert predictor.mix() == {"b": 1, "c": 2}
+        assert predictor.predicted() == ["c", "b"]
+
+    def test_ranking_breaks_ties_by_name(self):
+        predictor = ArrivalMixPredictor(window=8, top_k=3)
+        for kernel in ("z", "a", "m"):
+            predictor.observe([kernel])
+        assert predictor.predicted() == ["a", "m", "z"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalMixPredictor(window=0)
+        with pytest.raises(ConfigurationError):
+            ArrivalMixPredictor(top_k=0)
+
+
+class TestPrewarmDriver:
+    def test_fires_on_the_cadence_and_heats_the_library(self):
+        library = KernelLibrary()
+        driver = PrewarmDriver(library, window=8, top_k=1, interval=4)
+        for _ in range(8):
+            driver.observe(["fir:lowpass4"])
+        assert driver.firings == 2
+        # first firing compiled the hot kernel, second found it warm
+        assert driver.designs_compiled == 1
+        stats = driver.stats()
+        assert stats["prewarm_firings"] == 2
+        assert stats["prewarm_window_kernels"] == 1
+        assert library.bitstream_bits("fir:lowpass4") > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrewarmDriver(KernelLibrary(), interval=0)

@@ -1,0 +1,114 @@
+"""Cluster balancers: decisions, determinism, fast-path parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import (
+    BALANCERS,
+    JoinShortestQueue,
+    KernelAffinityBalancer,
+    RoundRobinBalancer,
+    balancer_by_name,
+)
+from repro.fleet.synthetic import SyntheticJob
+from repro.serve.kernels import KernelLibrary
+from repro.serve.soc import ServingSoC
+
+LIBRARY = KernelLibrary()
+
+
+class _Slot:
+    def __init__(self, index, soc=None, depth=0, free_at=0, awake=True):
+        self.index = index
+        self.soc = soc if soc is not None else _FakeSoc(free_at)
+        self.queue = [object()] * depth
+        self.awake = awake
+
+
+class _FakeSoc:
+    def __init__(self, free_at=0):
+        self.free_at = free_at
+
+
+def _job(kernel="dct:mixed_rom"):
+    return SyntheticJob(job_id=0, arrival_cycle=0, kernel=kernel)
+
+
+class TestJoinShortestQueue:
+    def test_prefers_the_shortest_queue(self):
+        slots = [_Slot(0, depth=3), _Slot(1, depth=1), _Slot(2, depth=2)]
+        assert JoinShortestQueue().assign(_job(), slots, now=0) == 1
+
+    def test_in_service_batch_counts_as_depth(self):
+        slots = [_Slot(0, depth=1, free_at=100), _Slot(1, depth=2)]
+        # slot0 scores 1 + busy = 2, slot1 scores 2 + idle = 2 -> tie to 0
+        assert JoinShortestQueue().assign(_job(), slots, now=0) == 0
+        # once slot0's batch would still be running, at now=50 same; after
+        # free_at the busy term drops
+        assert JoinShortestQueue().assign(_job(), slots, now=100) == 0
+
+    def test_prefers_awake_socs_at_equal_depth(self):
+        slots = [_Slot(0, awake=False), _Slot(1)]
+        assert JoinShortestQueue().assign(_job(), slots, now=0) == 1
+
+    def test_vectorized_parity_on_random_states(self):
+        """The numpy fast path must agree with the per-slot scan."""
+        rng = np.random.default_rng(5)
+        balancer = JoinShortestQueue()
+        for _ in range(200):
+            count = int(rng.integers(1, 12))
+            depth = rng.integers(0, 5, count)
+            free_at = rng.integers(0, 40, count)
+            asleep = rng.integers(0, 2, count).astype(np.int8)
+            now = int(rng.integers(0, 40))
+            slots = [_Slot(i, depth=int(depth[i]), free_at=int(free_at[i]),
+                           awake=not asleep[i]) for i in range(count)]
+            slow = balancer.assign(_job(), slots, now)
+            fast = balancer.assign_vectorized(
+                _job(), depth.astype(np.int32), free_at.astype(np.int64),
+                asleep, now)
+            assert slow == fast
+
+
+class TestKernelAffinity:
+    def test_routes_to_resident_kernel(self):
+        socs = [ServingSoC(i, library=LIBRARY) for i in range(2)]
+        socs[1].load_kernels(_job("dct:scc_direct"))
+        slots = [_Slot(i, soc=socs[i]) for i in range(2)]
+        balancer = KernelAffinityBalancer()
+        assert balancer.assign(_job("dct:scc_direct"), slots, now=0) == 1
+        # a kernel resident nowhere falls back to the depth tie-break
+        assert balancer.assign(_job("dct:cordic2"), slots, now=0) == 0
+
+    def test_depth_breaks_residency_ties(self):
+        socs = [ServingSoC(i, library=LIBRARY) for i in range(2)]
+        for soc in socs:
+            soc.load_kernels(_job("dct:mixed_rom"))
+        slots = [_Slot(i, soc=socs[i]) for i in range(2)]
+        slots[0].queue = [object()] * 3
+        assert KernelAffinityBalancer().assign(_job(), slots, now=0) == 1
+
+    def test_base_class_has_no_fast_path(self):
+        assert KernelAffinityBalancer().assign_vectorized(
+            _job(), np.zeros(2, np.int32), np.zeros(2, np.int64),
+            np.zeros(2, np.int8), 0) is None
+
+
+class TestRoundRobin:
+    def test_stripes_in_admission_order(self):
+        slots = [_Slot(i) for i in range(3)]
+        balancer = RoundRobinBalancer()
+        assert [balancer.assign(_job(), slots, now=0)
+                for _ in range(5)] == [0, 1, 2, 0, 1]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert sorted(BALANCERS) == ["jsq", "kernel_affinity", "round_robin"]
+        for name in BALANCERS:
+            assert balancer_by_name(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balancer_by_name("magic")

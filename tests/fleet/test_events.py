@@ -1,0 +1,111 @@
+"""Property tests of the deterministic event heap."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import (
+    ARRIVAL,
+    COMPLETION,
+    EVENT_KINDS,
+    GATE,
+    WAKE,
+    EventHeap,
+)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        heap = EventHeap()
+        for time in (50, 10, 30, 20, 40):
+            heap.push(time, ARRIVAL, time)
+        times = [heap.pop()[0] for _ in range(5)]
+        assert times == sorted(times)
+
+    def test_kind_priority_at_equal_time(self):
+        heap = EventHeap()
+        heap.push(7, ARRIVAL, 0)
+        heap.push(7, GATE, 0)
+        heap.push(7, WAKE, 0)
+        heap.push(7, COMPLETION, 0)
+        kinds = [heap.pop()[1] for _ in range(4)]
+        assert kinds == [WAKE, COMPLETION, GATE, ARRIVAL]
+
+    def test_key_breaks_ties_within_a_kind(self):
+        heap = EventHeap()
+        for key in (9, 3, 7, 1):
+            heap.push(5, COMPLETION, key)
+        keys = [heap.pop()[2] for _ in range(4)]
+        assert keys == [1, 3, 7, 9]
+
+    def test_push_order_independence(self):
+        """The pop sequence is a pure function of the set of events."""
+        rng = np.random.default_rng(11)
+        events = [(int(rng.integers(0, 40)),
+                   EVENT_KINDS[int(rng.integers(len(EVENT_KINDS)))],
+                   int(rng.integers(0, 6)))
+                  for _ in range(60)]
+        # Deduplicate: push order is the tie-break *only* between exact
+        # duplicates, which the runtime never produces.
+        events = list(dict.fromkeys(events))
+        sequences = []
+        for order_seed in range(3):
+            order = np.random.default_rng(order_seed).permutation(len(events))
+            heap = EventHeap()
+            for index in order:
+                heap.push(*events[int(index)])
+            sequences.append([heap.pop() for _ in range(len(events))])
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_randomized_monotone_virtual_time(self):
+        """Interleaved pushes/pops never see time run backwards."""
+        rng = np.random.default_rng(2026)
+        heap = EventHeap()
+        clock = 0
+        popped = 0
+        heap.push(0, ARRIVAL, 0)
+        for step in range(500):
+            if heap and (not heap.pushed % 3 or int(rng.integers(2))):
+                time, _, _ = heap.pop()
+                assert time >= clock
+                clock = time
+                popped += 1
+            heap.push(clock + int(rng.integers(0, 50)),
+                      EVENT_KINDS[int(rng.integers(len(EVENT_KINDS)))],
+                      int(rng.integers(0, 8)))
+        while heap:
+            time, _, _ = heap.pop()
+            assert time >= clock
+            clock = time
+            popped += 1
+        assert popped == heap.pushed
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventHeap().push(0, 99, 0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventHeap().push(-1, ARRIVAL, 0)
+
+    def test_scheduling_behind_the_clock_rejected(self):
+        heap = EventHeap()
+        heap.push(10, ARRIVAL, 0)
+        heap.pop()
+        with pytest.raises(ConfigurationError):
+            heap.push(5, COMPLETION, 0)
+
+    def test_empty_heap_pop_and_peek_rejected(self):
+        heap = EventHeap()
+        with pytest.raises(ConfigurationError):
+            heap.pop()
+        with pytest.raises(ConfigurationError):
+            heap.peek_time()
+
+    def test_len_and_bool(self):
+        heap = EventHeap()
+        assert not heap and len(heap) == 0
+        heap.push(1, GATE, 0)
+        assert heap and len(heap) == 1

@@ -1,0 +1,116 @@
+"""The vectorized job ledger and its percentile parity with PR-5."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import COMPLETED, PENDING, REJECTED, SHED, JobLedger
+from repro.fleet.ledger import percentile_array
+from repro.fleet.synthetic import SyntheticJob
+from repro.serve.runtime import percentile as scalar_percentile
+
+
+def _jobs(count, values=None):
+    return [SyntheticJob(job_id=i, arrival_cycle=10 * (i + 1),
+                         value=(values[i] if values else 1.0))
+            for i in range(count)]
+
+
+class TestLedgerWrites:
+    def test_counts_and_masks(self):
+        ledger = JobLedger(_jobs(4))
+        ledger.mark_completed(0, soc=1, start=15, completion=40,
+                              compute_cycles=20, output_bits=64, batch_id=0,
+                              batch_size=1, energy=5.0, digest="d0")
+        ledger.mark_rejected(1)
+        ledger.mark_shed(2)
+        assert (ledger.submitted, ledger.completed, ledger.rejected,
+                ledger.shed, ledger.unresolved) == (4, 1, 1, 1, 1)
+        assert ledger.ids_with_status(COMPLETED) == [0]
+        assert ledger.ids_with_status(REJECTED) == [1]
+        assert ledger.ids_with_status(SHED) == [2]
+        assert ledger.ids_with_status(PENDING) == [3]
+        assert ledger.digests == {0: "d0"}
+        assert list(ledger.latencies()) == [30]
+        assert list(ledger.wait_cycles()) == [5]
+        assert ledger.total_energy == 5.0
+
+    def test_double_resolution_rejected(self):
+        ledger = JobLedger(_jobs(2))
+        ledger.mark_rejected(0)
+        with pytest.raises(ConfigurationError):
+            ledger.mark_shed(0)
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobLedger(_jobs(2)).mark_rejected(99)
+
+    def test_duplicate_ids_rejected(self):
+        jobs = _jobs(2)
+        jobs[1].job_id = jobs[0].job_id
+        with pytest.raises(ConfigurationError):
+            JobLedger(jobs)
+
+    def test_value_accounting(self):
+        ledger = JobLedger(_jobs(3, values=[1.0, 4.0, 2.0]))
+        ledger.mark_shed(1)
+        ledger.mark_completed(2, soc=0, start=30, completion=31,
+                              compute_cycles=1, output_bits=64, batch_id=0,
+                              batch_size=1, energy=1.0, digest="d")
+        assert ledger.shed_value == 4.0
+        assert ledger.completed_value == 2.0
+
+    def test_empty_ledger(self):
+        ledger = JobLedger([])
+        assert ledger.submitted == 0 and len(ledger) == 0
+        assert ledger.latency_percentiles() == {"p50": 0.0, "p95": 0.0,
+                                                "p99": 0.0}
+
+
+class TestPercentileArray:
+    """Hardening of the nearest-rank rule, scalar and vectorized."""
+
+    def test_empty_input(self):
+        assert percentile_array(np.array([]), 0.5) == 0.0
+        assert scalar_percentile([], 0.5) == 0.0
+
+    def test_fraction_zero_is_the_minimum(self):
+        values = np.array([30, 10, 20])
+        assert percentile_array(values, 0.0) == 10.0
+        assert scalar_percentile(list(values), 0.0) == 10.0
+
+    def test_fraction_one_is_the_maximum(self):
+        values = np.array([30, 10, 20])
+        assert percentile_array(values, 1.0) == 30.0
+        assert scalar_percentile(list(values), 1.0) == 30.0
+
+    def test_fraction_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_array(np.array([1]), -0.1)
+        with pytest.raises(ConfigurationError):
+            percentile_array(np.array([1]), 1.5)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.01, 0.25, 0.5, 0.75,
+                                          0.95, 0.99, 1.0])
+    def test_scalar_parity_on_random_draws(self, fraction):
+        rng = np.random.default_rng(7)
+        for size in (1, 2, 3, 10, 101, 1000):
+            values = rng.integers(0, 10_000, size)
+            assert (percentile_array(values, fraction)
+                    == scalar_percentile([int(v) for v in values], fraction))
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.01, 0.25, 0.5, 0.75,
+                                          0.95, 0.99, 1.0])
+    def test_agrees_with_numpy_inverted_cdf(self, fraction):
+        """Nearest-rank == numpy's inverted_cdf for every fraction > 0
+        (at 0.0 both conventions return the minimum)."""
+        try:
+            np.percentile(np.array([1.0]), 50.0, method="inverted_cdf")
+        except TypeError:  # pragma: no cover - numpy < 1.22 fallback
+            pytest.skip("numpy without percentile method= support")
+        rng = np.random.default_rng(13)
+        for size in (1, 2, 7, 100, 997):
+            values = rng.integers(0, 1 << 20, size).astype(np.float64)
+            expected = float(np.percentile(values, fraction * 100.0,
+                                           method="inverted_cdf"))
+            assert percentile_array(values, fraction) == expected

@@ -1,0 +1,97 @@
+"""Randomized conformance: fleet scheduling never changes results.
+
+Every (balancer, policy, steal, autoscale, SLO) combination must produce
+payload digests bit-identical to a naive serial execution of the same
+trace.  Scheduling decides where and when a job runs — never what it
+computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BALANCERS,
+    FLEET_PATTERNS,
+    FleetSettings,
+    execute_fleet_serial,
+    simulate_fleet,
+    synthetic_trace,
+)
+from repro.serve.kernels import KernelLibrary
+from repro.serve.workload import TRAFFIC_MIXES, generate_jobs
+
+CASE_COUNT = 102
+POLICY_RING = ("fifo", "sjf", "affinity", "round_robin")
+LIBRARY = KernelLibrary()
+
+
+def _draw_case(case_index):
+    rng = np.random.default_rng([2026, case_index])
+    if case_index % 4 == 3:
+        mix = TRAFFIC_MIXES[case_index % len(TRAFFIC_MIXES)]
+        jobs = generate_jobs(mix, job_count=int(rng.integers(5, 11)),
+                             seed=case_index, mean_gap=int(
+                                 rng.integers(2_000, 20_000)))
+    else:
+        pattern = FLEET_PATTERNS[case_index % len(FLEET_PATTERNS)]
+        jobs = synthetic_trace(pattern, int(rng.integers(8, 33)),
+                               seed=case_index,
+                               mean_gap=int(rng.integers(200, 4_000)))
+    kwargs = {
+        "policy": POLICY_RING[case_index % len(POLICY_RING)],
+        "soc_count": int(rng.integers(1, 7)),
+        "queue_capacity": int(rng.integers(4, 33)),
+        "max_batch": int(rng.integers(1, 7)),
+        "steal": bool(rng.integers(0, 2)),
+        "steal_threshold": int(rng.integers(2, 5)),
+        "predictive_prewarm": bool(rng.integers(0, 2)),
+        "admission_prewarm": bool(rng.integers(0, 2)),
+    }
+    if rng.integers(0, 2):
+        kwargs["autoscale"] = True
+        kwargs["idle_timeout"] = int(rng.integers(5_000, 50_000))
+        kwargs["wake_latency"] = int(rng.integers(0, 8_000))
+    if case_index % 3 == 0:
+        kwargs["slo_target_p99"] = int(rng.integers(200_000, 2_000_000))
+    return jobs, kwargs
+
+
+@pytest.fixture(scope="module")
+def cases():
+    drawn = []
+    for case_index in range(CASE_COUNT):
+        jobs, kwargs = _draw_case(case_index)
+        serial = {result.job_id: result.digest
+                  for result in execute_fleet_serial(jobs)}
+        drawn.append((case_index, jobs, kwargs, serial))
+    return drawn
+
+
+@pytest.mark.parametrize("balancer", sorted(BALANCERS))
+class TestFleetConformance:
+    def test_bit_identity_with_serial_execution(self, cases, balancer):
+        for case_index, jobs, kwargs, serial in cases:
+            report = simulate_fleet(
+                jobs, FleetSettings(balancer=balancer, **kwargs),
+                library=LIBRARY)
+            digests = report.digests
+            assert digests == {job_id: serial[job_id]
+                               for job_id in digests}, (
+                f"case {case_index}: scheduling changed a payload")
+            completed_ids = set(report.ledger.ids_with_status(1))
+            assert set(digests) == completed_ids
+
+    def test_conservation_and_timeline(self, cases, balancer):
+        for case_index, jobs, kwargs, serial in cases:
+            report = simulate_fleet(
+                jobs, FleetSettings(balancer=balancer, **kwargs),
+                library=LIBRARY)
+            assert report.conserved, f"case {case_index}: lost a job"
+            assert (report.submitted
+                    == report.completed + report.rejected + report.shed)
+            ledger = report.ledger
+            mask = ledger.completed_mask
+            assert bool(np.all(ledger.arrival[mask] <= ledger.start[mask]))
+            assert bool(np.all(ledger.start[mask] < ledger.completion[mask]))
+            assert report.makespan_cycles >= 0
+            assert report.events_processed >= report.submitted

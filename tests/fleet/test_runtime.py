@@ -1,0 +1,339 @@
+"""Behavioral tests of the event-driven fleet runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import (
+    FleetSettings,
+    SyntheticJob,
+    execute_fleet_serial,
+    job_input_bits,
+    simulate_fleet,
+    synthetic_trace,
+)
+from repro.filters.fir import FIR_INPUT_BITS
+from repro.noc.traffic import FLIT_BITS, PIXEL_BITS
+from repro.serve.jobs import DctJob, FirJob
+from repro.serve.kernels import KernelLibrary
+from repro.serve.workload import generate_jobs
+
+LIBRARY = KernelLibrary()
+
+
+def _serial_digests(jobs):
+    return {result.job_id: result.digest
+            for result in execute_fleet_serial(jobs)}
+
+
+def _synth(job_id, arrival, kernel="dct:mixed_rom", work=32, value=1.0):
+    return SyntheticJob(job_id=job_id, arrival_cycle=arrival, kernel=kernel,
+                        work_units=work, seed=job_id, value=value)
+
+
+class TestVirtualTime:
+    def test_empty_trace(self):
+        report = simulate_fleet([], FleetSettings(), library=LIBRARY)
+        assert report.submitted == 0 and report.batches == 0
+        assert report.makespan_cycles == 0
+        assert report.conserved
+
+    def test_single_job_timeline(self):
+        report = simulate_fleet([_synth(0, arrival=37)],
+                                FleetSettings(soc_count=1), library=LIBRARY)
+        ledger = report.ledger
+        assert ledger.completed == 1
+        assert ledger.start[0] == 37
+        assert ledger.completion[0] > ledger.start[0]
+        assert report.makespan_cycles == int(ledger.completion[0]) - 37
+
+    def test_runs_are_deterministic(self):
+        trace = synthetic_trace("flash_crowd", 120, seed=4, mean_gap=400)
+        settings = FleetSettings(soc_count=6, autoscale=True,
+                                 idle_timeout=5_000, slo_target_p99=300_000,
+                                 queue_capacity=8)
+        first = simulate_fleet(trace, settings, library=LIBRARY)
+        second = simulate_fleet(trace, settings, library=LIBRARY)
+        assert first.digests == second.digests
+        assert first.summary() == second.summary()
+        assert np.array_equal(first.ledger.status, second.ledger.status)
+        assert np.array_equal(first.ledger.completion,
+                              second.ledger.completion)
+
+    def test_percentile_scalar_parity_on_a_real_run(self):
+        trace = synthetic_trace("steady", 80, seed=6, mean_gap=600)
+        report = simulate_fleet(trace, FleetSettings(soc_count=3),
+                                library=LIBRARY)
+        for fraction in (0.5, 0.95, 0.99):
+            assert report.ledger.check_scalar_percentile_parity(fraction)
+
+
+class TestTwoLevelScheduling:
+    def test_jsq_spreads_a_burst(self):
+        jobs = [_synth(i, arrival=1) for i in range(8)]
+        report = simulate_fleet(jobs, FleetSettings(soc_count=4, max_batch=1,
+                                                    steal=False),
+                                library=LIBRARY)
+        assert report.conserved and report.completed == 8
+        assert len(set(report.ledger.soc[report.ledger.completed_mask])) == 4
+
+    def test_affinity_balancer_reduces_reconfigurations(self):
+        # period-3 kernel pattern vs period-2 striping: round robin is
+        # forced to alternate kernels on both SoCs
+        trace = [_synth(i, arrival=1 + 200 * i,
+                        kernel=("dct:mixed_rom", "dct:scc_direct",
+                                "dct:scc_direct")[i % 3])
+                 for i in range(24)]
+        base = simulate_fleet(trace, FleetSettings(
+            soc_count=2, balancer="round_robin", max_batch=1, steal=False),
+            library=LIBRARY)
+        affine = simulate_fleet(trace, FleetSettings(
+            soc_count=2, balancer="kernel_affinity", max_batch=1,
+            steal=False), library=LIBRARY)
+        assert affine.reconfigurations < base.reconfigurations
+        assert affine.digests == base.digests == _serial_digests(trace)
+
+    def test_full_queue_falls_back_before_rejecting(self):
+        # All jobs share one kernel, so the affinity balancer keeps
+        # pointing at soc0 even once its queue is full; the fallback
+        # must re-route to soc1 instead of bouncing the job.
+        jobs = [_synth(i, arrival=1 + i, work=256) for i in range(7)]
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="kernel_affinity", queue_capacity=2,
+            max_batch=1, steal=False), library=LIBRARY)
+        assert report.rejected == 1
+        assert report.completed == 6
+        # job 3 arrived while soc0 (the resident) was full and survived
+        # only through the fallback
+        assert report.ledger.soc[report.ledger.row_of(3)] == 1
+        assert report.conserved
+
+    def test_rejection_when_the_fleet_is_full(self):
+        jobs = [_synth(i, arrival=1, work=96) for i in range(6)]
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=1, queue_capacity=2, max_batch=1), library=LIBRARY)
+        assert report.rejected == 4 and report.completed == 2
+        assert report.conserved
+        assert report.digests == {job_id: digest for job_id, digest
+                                  in _serial_digests(jobs).items()
+                                  if job_id in report.digests}
+
+
+class TestWorkStealing:
+    def _imbalanced(self):
+        # Round-robin sends small FIR jobs to soc0 and heavy ME jobs to
+        # soc1; soc0 drains early and must steal to stay busy.
+        jobs = []
+        for index in range(8):
+            if index % 2 == 0:
+                jobs.append(_synth(index, arrival=1, kernel="fir:lowpass8",
+                                   work=16))
+            else:
+                jobs.append(_synth(index, arrival=1, kernel="me:full_r8",
+                                   work=96))
+        return jobs
+
+    def test_idle_soc_steals_from_the_deepest_queue(self):
+        jobs = self._imbalanced()
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="round_robin", max_batch=1,
+            steal=True, steal_threshold=2), library=LIBRARY)
+        assert report.steals > 0
+        assert report.migrated_jobs > 0
+        assert report.migration_cycles > 0
+        assert report.migration_energy > 0
+        assert bool(report.ledger.migrated.any())
+        assert report.digests == _serial_digests(jobs)
+        assert report.conserved
+
+    def test_stealing_off_keeps_work_put(self):
+        jobs = self._imbalanced()
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="round_robin", max_batch=1, steal=False),
+            library=LIBRARY)
+        assert report.steals == 0 and not report.ledger.migrated.any()
+        assert report.digests == _serial_digests(jobs)
+
+    def test_stealing_does_not_hurt_makespan(self):
+        jobs = self._imbalanced()
+        stolen = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="round_robin", max_batch=1, steal=True),
+            library=LIBRARY)
+        kept = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="round_robin", max_batch=1, steal=False),
+            library=LIBRARY)
+        assert stolen.makespan_cycles <= kept.makespan_cycles
+
+
+class TestSloShedding:
+    def test_sheds_lowest_value_youngest_first(self):
+        values = [4.0, 1.0, 1.0, 1.0, 4.0]
+        jobs = [_synth(i, arrival=1, kernel="fir:lowpass8", work=64,
+                       value=values[i]) for i in range(5)]
+        estimate = jobs[0].service_estimate()
+        settings = FleetSettings(soc_count=1, max_batch=1, steal=False,
+                                 slo_target_p99=64 + int(2.5 * estimate))
+        report = simulate_fleet(jobs, settings, library=LIBRARY)
+        assert report.shed == 3
+        assert set(report.ledger.ids_with_status(3)) == {1, 2, 3}
+        assert report.ledger.shed_value == 3.0
+        assert report.ledger.completed_value == 8.0
+        assert report.conserved
+        assert report.digests == {job_id: digest for job_id, digest
+                                  in _serial_digests(jobs).items()
+                                  if job_id in (0, 4)}
+
+    def test_no_target_means_no_shedding(self):
+        jobs = [_synth(i, arrival=1, work=96) for i in range(10)]
+        report = simulate_fleet(jobs, FleetSettings(soc_count=1),
+                                library=LIBRARY)
+        assert report.shed == 0 and report.completed == 10
+
+    def test_tight_target_bounds_completed_latency(self):
+        trace = synthetic_trace("flash_crowd", 150, seed=8, mean_gap=100)
+        report = simulate_fleet(trace, FleetSettings(
+            soc_count=1, slo_target_p99=20_000, steal=False),
+            library=LIBRARY)
+        relaxed = simulate_fleet(trace, FleetSettings(soc_count=1,
+                                                      steal=False),
+                                 library=LIBRARY)
+        assert report.shed > 0
+        assert (report.latency_percentiles()["p99"]
+                <= relaxed.latency_percentiles()["p99"])
+
+
+class TestAutoscaling:
+    def _two_clumps(self):
+        clump1 = [_synth(i, arrival=1) for i in range(2)]
+        clump2 = [_synth(10 + i, arrival=100_000) for i in range(2)]
+        return clump1 + clump2
+
+    def test_gates_idle_socs_and_wakes_on_demand(self):
+        jobs = self._two_clumps()
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, max_batch=1, steal=False, autoscale=True,
+            idle_timeout=10_000, wake_latency=500), library=LIBRARY)
+        assert report.gatings >= 1
+        assert report.autoscale["wakes"] >= 1
+        assert report.autoscale["gated_cycles"] > 0
+        assert report.autoscale["saved"] > 0
+        assert report.completed == 4
+        assert report.digests == _serial_digests(jobs)
+        # the woken SoC could not start before arrival + wake latency
+        woken = report.ledger.start[report.ledger.row_of(11)]
+        assert woken >= 100_000 + 500
+
+    def test_min_awake_floor_disables_gating(self):
+        jobs = self._two_clumps()
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, max_batch=1, autoscale=True, idle_timeout=10_000,
+            min_awake=2), library=LIBRARY)
+        assert report.gatings == 0
+        assert report.autoscale["gated_cycles"] == 0
+
+    def test_autoscale_off_burns_idle_energy_only(self):
+        jobs = self._two_clumps()
+        report = simulate_fleet(jobs, FleetSettings(soc_count=2,
+                                                    max_batch=1),
+                                library=LIBRARY)
+        assert report.gatings == 0
+        assert report.autoscale["saved"] == 0
+        assert report.autoscale["idle_cycles"] > 0
+
+
+class TestStarvationGuard:
+    def test_sjf_cannot_starve_past_the_aging_guard(self):
+        jobs = [_synth(0, arrival=1, kernel="me:full_r8", work=96)]
+        jobs += [_synth(i, arrival=1 + 100 * i, kernel="fir:lowpass8",
+                        work=16) for i in range(1, 30)]
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=1, policy="sjf", max_batch=1,
+            starvation_limit=20_000), library=LIBRARY)
+        assert report.completed == 30
+        big_wait = int(report.ledger.start[report.ledger.row_of(0)]) - 1
+        longest = int(np.max(report.ledger.completion[
+            report.ledger.completed_mask]
+            - report.ledger.start[report.ledger.completed_mask]))
+        assert big_wait <= 20_000 + report.settings.queue_capacity * longest
+
+
+class TestJobInputBits:
+    def test_all_job_kinds_are_priced(self):
+        encode = generate_jobs("steady_encode", job_count=1, seed=0)[0]
+        height, width = encode.frame_shape
+        assert job_input_bits(encode) == (len(encode.frames) * height
+                                          * width * PIXEL_BITS)
+        dct = DctJob(job_id=1, arrival_cycle=0,
+                     blocks=np.zeros((5, 8, 8)))
+        assert job_input_bits(dct) == 5 * 64 * PIXEL_BITS
+        fir = FirJob(job_id=2, arrival_cycle=0, samples=np.arange(10))
+        assert job_input_bits(fir) == 10 * FIR_INPUT_BITS
+        synth = _synth(3, arrival=0, work=12)
+        assert job_input_bits(synth) == 12 * FLIT_BITS
+
+    def test_unknown_kind_rejected(self):
+        class Mystery:
+            kind = "mystery"
+        with pytest.raises(ConfigurationError):
+            job_input_bits(Mystery())
+
+
+class TestSettingsValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("soc_count", 0), ("queue_capacity", 0), ("max_batch", 0),
+        ("starvation_limit", -1), ("steal_threshold", 0),
+        ("slo_target_p99", 0), ("idle_timeout", 0), ("wake_latency", -1),
+        ("min_awake", 0), ("min_awake", 9)])
+    def test_bad_settings_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FleetSettings(**{field: value})
+
+    def test_unknown_balancer_and_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_fleet([], FleetSettings(balancer="magic"))
+        with pytest.raises(ConfigurationError):
+            simulate_fleet([], FleetSettings(policy="magic"))
+
+    def test_duplicate_job_ids_rejected(self):
+        jobs = [_synth(0, arrival=1), _synth(0, arrival=2)]
+        with pytest.raises(ConfigurationError):
+            simulate_fleet(jobs, FleetSettings())
+
+
+class TestRealJobs:
+    def test_serve_workloads_flow_through_the_fleet(self):
+        jobs = generate_jobs("kernel_churn", job_count=10, seed=2,
+                             mean_gap=5_000)
+        report = simulate_fleet(jobs, FleetSettings(
+            soc_count=2, balancer="kernel_affinity", policy="affinity"),
+            library=LIBRARY)
+        assert report.conserved
+        assert report.digests == _serial_digests(jobs)
+
+    def test_new_mixes_flow_through_the_fleet(self):
+        for mix in ("diurnal", "flash_crowd"):
+            jobs = generate_jobs(mix, job_count=8, seed=1, mean_gap=5_000)
+            report = simulate_fleet(jobs, FleetSettings(soc_count=2),
+                                    library=LIBRARY)
+            assert report.conserved
+            assert report.digests == _serial_digests(jobs)
+
+
+class TestReporting:
+    def test_summary_fields(self):
+        trace = synthetic_trace("steady", 40, seed=3, mean_gap=800)
+        report = simulate_fleet(trace, FleetSettings(soc_count=2),
+                                library=LIBRARY)
+        summary = report.summary()
+        for key in ("balancer", "policy", "socs", "completed", "rejected",
+                    "shed", "batches", "mean_batch", "steals",
+                    "migrated_jobs", "gatings", "makespan_cycles",
+                    "throughput_jobs_per_mcycle", "reconfigurations",
+                    "static_saved", "latency_p50", "latency_p95",
+                    "latency_p99"):
+            assert key in summary
+        assert report.mean_batch_size >= 1.0
+        assert report.throughput_jobs_per_megacycle() > 0
+        assert report.total_energy > report.ledger.total_energy
+        assert report.events_processed > len(trace)
+        assert report.prewarm["prewarm_firings"] > 0

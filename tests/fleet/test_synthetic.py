@@ -1,0 +1,135 @@
+"""Synthetic fleet jobs and seeded datacenter arrival patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import (
+    FLEET_PATTERNS,
+    SYNTHETIC_KERNELS,
+    SyntheticJob,
+    execute_fleet_serial,
+    execute_synthetic_batch,
+    synthetic_trace,
+)
+from repro.fleet.synthetic import OUTPUT_BITS_PER_UNIT
+from repro.noc.traffic import FLIT_BITS
+
+
+class TestSyntheticJob:
+    def test_payload_is_seed_deterministic(self):
+        a = SyntheticJob(job_id=0, arrival_cycle=0, seed=42, work_units=20)
+        b = SyntheticJob(job_id=1, arrival_cycle=9, seed=42, work_units=20)
+        c = SyntheticJob(job_id=2, arrival_cycle=0, seed=43, work_units=20)
+        assert np.array_equal(a.payload(), b.payload())
+        assert not np.array_equal(a.payload(), c.payload())
+
+    def test_kernel_routing(self):
+        me = SyntheticJob(job_id=0, arrival_cycle=0, kernel="me:full_r8")
+        da = SyntheticJob(job_id=1, arrival_cycle=0, kernel="fir:lowpass8")
+        assert me.kernels == {"me_array": "me:full_r8"}
+        assert da.kernels == {"da_array": "fir:lowpass8"}
+        assert me.batch_key != da.batch_key
+
+    def test_service_estimates_scale_with_work(self):
+        for kernel in SYNTHETIC_KERNELS:
+            small = SyntheticJob(job_id=0, arrival_cycle=0, kernel=kernel,
+                                 work_units=8)
+            big = SyntheticJob(job_id=1, arrival_cycle=0, kernel=kernel,
+                               work_units=80)
+            assert big.service_estimate() == 10 * small.service_estimate() > 0
+
+    def test_input_bits(self):
+        job = SyntheticJob(job_id=0, arrival_cycle=0, work_units=24)
+        assert job.input_bits == 24 * FLIT_BITS
+
+    @pytest.mark.parametrize("field, value", [
+        ("arrival_cycle", -1), ("work_units", 0), ("kernel", "dct:nope"),
+        ("value", 0.0), ("kind", "encode")])
+    def test_validation(self, field, value):
+        kwargs = dict(job_id=0, arrival_cycle=0)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            SyntheticJob(**kwargs)
+
+
+class TestSyntheticExecution:
+    def test_batched_equals_serial_bit_for_bit(self):
+        jobs = [SyntheticJob(job_id=i, arrival_cycle=0, seed=100 + i,
+                             work_units=16 + i) for i in range(5)]
+        batched = execute_synthetic_batch(jobs)
+        serial = execute_fleet_serial(jobs)
+        assert [r.digest for r in batched] == [r.digest for r in serial]
+        assert all(r.output_bits == job.work_units * OUTPUT_BITS_PER_UNIT
+                   for job, r in zip(jobs, batched))
+
+    def test_mixed_batch_keys_rejected(self):
+        jobs = [SyntheticJob(job_id=0, arrival_cycle=0, kernel="dct:cordic2"),
+                SyntheticJob(job_id=1, arrival_cycle=0, kernel="fir:lowpass8")]
+        with pytest.raises(ConfigurationError):
+            execute_synthetic_batch(jobs)
+
+    def test_activity_fields_follow_the_kernel_family(self):
+        me, = execute_synthetic_batch(
+            [SyntheticJob(job_id=0, arrival_cycle=0, kernel="me:full_r8")])
+        fir, = execute_synthetic_batch(
+            [SyntheticJob(job_id=1, arrival_cycle=0, kernel="fir:lowpass8")])
+        dct, = execute_synthetic_batch(
+            [SyntheticJob(job_id=2, arrival_cycle=0, kernel="dct:cordic2")])
+        assert me.sad_operations > 0 == me.dct_blocks == me.filter_samples
+        assert fir.filter_samples > 0 == fir.sad_operations == fir.dct_blocks
+        assert dct.dct_blocks > 0 == dct.sad_operations == dct.filter_samples
+
+
+class TestSyntheticTrace:
+    @pytest.mark.parametrize("pattern", FLEET_PATTERNS)
+    def test_shape_and_seed_stability(self, pattern):
+        jobs = synthetic_trace(pattern, 60, seed=9)
+        again = synthetic_trace(pattern, 60, seed=9)
+        other = synthetic_trace(pattern, 60, seed=10)
+        fingerprint = [(j.job_id, j.arrival_cycle, j.kernel, j.work_units,
+                        j.seed, j.value) for j in jobs]
+        assert fingerprint == [(j.job_id, j.arrival_cycle, j.kernel,
+                                j.work_units, j.seed, j.value)
+                               for j in again]
+        assert fingerprint != [(j.job_id, j.arrival_cycle, j.kernel,
+                                j.work_units, j.seed, j.value)
+                               for j in other]
+        arrivals = [j.arrival_cycle for j in jobs]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert all(j.kernel in SYNTHETIC_KERNELS for j in jobs)
+
+    def test_flash_crowd_compresses_gaps(self):
+        steady = synthetic_trace("steady", 400, seed=0, mean_gap=2_000)
+        crowd = synthetic_trace("flash_crowd", 400, seed=0, mean_gap=2_000)
+        assert crowd[-1].arrival_cycle < steady[-1].arrival_cycle
+        gaps = np.diff([j.arrival_cycle for j in crowd])
+        assert gaps.min() < 500 < gaps.max()
+
+    def test_flash_crowd_skews_the_kernel_mix(self):
+        crowd = synthetic_trace("flash_crowd", 1000, seed=1)
+        hot = sum(1 for j in crowd if j.kernel == "dct:mixed_rom")
+        steady = synthetic_trace("steady", 1000, seed=1)
+        hot_steady = sum(1 for j in steady if j.kernel == "dct:mixed_rom")
+        assert hot > 1.3 * hot_steady
+
+    def test_diurnal_modulates_the_rate(self):
+        jobs = synthetic_trace("diurnal", 1000, seed=2, mean_gap=2_000)
+        gaps = np.diff([j.arrival_cycle for j in jobs])
+        quarter = len(gaps) // 4
+        peak = float(np.mean(gaps[:quarter]))       # rising sinusoid
+        trough = float(np.mean(gaps[quarter:2 * quarter]))
+        assert peak < trough
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("weekly", 10)
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("steady", 0)
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("steady", 10, mean_gap=1)
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("steady", 10, kernel_pool=())
+        with pytest.raises(ConfigurationError):
+            synthetic_trace("flash_crowd", 10,
+                            kernel_pool=("fir:lowpass8",))
