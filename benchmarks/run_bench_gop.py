@@ -63,31 +63,36 @@ def benchmark_sequence():
 
 
 def bench_gop_parallel(repeats: int) -> dict:
-    """Serial vs threads vs lockstep on the 4-GOP QCIF sequence."""
+    """Serial vs threads vs lockstep vs processes on the 4-GOP sequence."""
+    from repro.par import ProcessBackend
     from repro.video import EncoderConfiguration
     from repro.video.gop import encode_sequence_parallel
 
     frames = benchmark_sequence()
     configuration = EncoderConfiguration()
+    backend = ProcessBackend(workers=WORKERS)
 
     def run(strategy):
         return encode_sequence_parallel(frames, configuration,
                                         gop_size=GOP_SIZE, workers=WORKERS,
-                                        strategy=strategy)
+                                        strategy=strategy, backend=backend)
 
-    outcomes = {strategy: run(strategy)
-                for strategy in ("serial", "threads", "lockstep", "auto")}
-    reference = outcomes["serial"].statistics
-    for strategy, outcome in outcomes.items():
-        identical = all(
-            a.psnr_db == b.psnr_db and a.estimated_bits == b.estimated_bits
-            and a.frame_type == b.frame_type
-            for a, b in zip(reference, outcome.statistics))
-        if not identical:
-            raise AssertionError(f"{strategy} diverged from serial output")
+    with backend:
+        outcomes = {strategy: run(strategy)
+                    for strategy in ("serial", "threads", "lockstep",
+                                     "processes", "auto")}
+        reference = outcomes["serial"].statistics
+        for strategy, outcome in outcomes.items():
+            identical = all(
+                a.psnr_db == b.psnr_db and a.estimated_bits == b.estimated_bits
+                and a.frame_type == b.frame_type
+                for a, b in zip(reference, outcome.statistics))
+            if not identical:
+                raise AssertionError(f"{strategy} diverged from serial output")
 
-    seconds = {strategy: _best_of(lambda s=strategy: run(s), repeats)
-               for strategy in ("serial", "threads", "lockstep")}
+        seconds = {strategy: _best_of(lambda s=strategy: run(s), repeats)
+                   for strategy in ("serial", "threads", "lockstep",
+                                    "processes")}
     auto_strategy = outcomes["auto"].strategy
     auto_seconds = seconds[auto_strategy]
     return {
@@ -102,10 +107,13 @@ def bench_gop_parallel(repeats: int) -> dict:
         "serial_seconds": round(seconds["serial"], 4),
         "threads_seconds": round(seconds["threads"], 4),
         "lockstep_seconds": round(seconds["lockstep"], 4),
+        "processes_seconds": round(seconds["processes"], 4),
         "auto_strategy": auto_strategy,
         "speedup": round(seconds["serial"] / auto_seconds, 2),
         "threads_speedup": round(seconds["serial"] / seconds["threads"], 2),
         "lockstep_speedup": round(seconds["serial"] / seconds["lockstep"], 2),
+        "processes_speedup": round(
+            seconds["serial"] / seconds["processes"], 2),
         "mean_psnr_db": round(outcomes["serial"].mean_psnr_db, 2),
     }
 

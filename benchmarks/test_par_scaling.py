@@ -1,0 +1,99 @@
+"""Multiprocess-backend benchmark: bit-identity under pytest-benchmark.
+
+The committed ``BENCH_par.json`` from ``run_bench_par.py`` is the
+scaling record (1/2/4-worker sweeps per layer); this module keeps the
+same claims alive in the ordinary benchmark run — the processes backend
+reproduces the serial bits on every layer while pytest-benchmark tracks
+its wall-clock cost.  One warm two-worker pool serves all three tests,
+so the spawn cost is paid once per session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetSettings,
+    execute_fleet_serial,
+    simulate_fleet_partitioned,
+    synthetic_trace,
+)
+from repro.flow import compile_many
+from repro.par import ProcessBackend, leaked_segments
+from repro.video import EncoderConfiguration, panning_sequence
+from repro.video.gop import encode_sequence_parallel, stream_digest
+
+
+@pytest.fixture(scope="module")
+def backend():
+    with ProcessBackend(workers=2) as pool:
+        yield pool
+    assert leaked_segments() == []
+
+
+@pytest.fixture(scope="module")
+def sequence_frames():
+    sequence = panning_sequence(height=96, width=112, pan=(1, 2), seed=2004)
+    return [sequence.frame(index) for index in range(16)]
+
+
+@pytest.mark.benchmark(group="par")
+def test_processes_encode_matches_serial_bit_for_bit(benchmark,
+                                                     sequence_frames,
+                                                     backend):
+    configuration = EncoderConfiguration()
+    serial = encode_sequence_parallel(sequence_frames, configuration,
+                                      gop_size=4, strategy="serial")
+
+    outcome = benchmark.pedantic(
+        lambda: encode_sequence_parallel(sequence_frames, configuration,
+                                         gop_size=4, workers=2,
+                                         strategy="processes",
+                                         backend=backend),
+        rounds=3, iterations=1)
+
+    assert outcome.strategy == "processes"
+    assert stream_digest(outcome.statistics) \
+        == stream_digest(serial.statistics)
+    assert np.array_equal(outcome.final_reference, serial.final_reference)
+    print(f"\nprocesses encode: {len(outcome.gops)} GOPs over 2 workers, "
+          f"mean PSNR {outcome.mean_psnr_db:.2f} dB, bit-identical")
+
+
+@pytest.mark.benchmark(group="par")
+def test_partitioned_fleet_matches_naive_serial(benchmark, backend):
+    jobs = synthetic_trace("diurnal", 160, seed=2026, mean_gap=900)
+    settings = FleetSettings(soc_count=4, queue_capacity=128)
+    naive = {result.job_id: result.digest
+             for result in execute_fleet_serial(jobs)}
+
+    report = benchmark.pedantic(
+        lambda: simulate_fleet_partitioned(jobs, settings, partitions=2,
+                                           parallel="processes",
+                                           backend=backend),
+        rounds=3, iterations=1)
+
+    digests = report.digests
+    assert digests == {job_id: naive[job_id] for job_id in digests}
+    assert report.conserved
+    print(f"\npartitioned fleet: {report.completed} jobs over 2 partitions, "
+          f"makespan {report.makespan_cycles} cycles, payloads bit-identical")
+
+
+@pytest.mark.benchmark(group="par")
+def test_processes_compile_matches_serial(benchmark, backend):
+    from repro.dct import CordicDCT1, MixedRomDCT, SCCDirectDCT
+
+    factories = (MixedRomDCT, SCCDirectDCT, CordicDCT1)
+    serial = compile_many([factory() for factory in factories],
+                          cache=None, parallel="serial")
+
+    results = benchmark.pedantic(
+        lambda: compile_many([factory() for factory in factories],
+                             cache=None, parallel="processes",
+                             backend=backend),
+        rounds=3, iterations=1)
+
+    assert [result.bitstream.serialize() for result in results] \
+        == [result.bitstream.serialize() for result in serial]
+    print(f"\nprocesses compile: {len(results)} designs, "
+          f"bitstreams identical to serial")

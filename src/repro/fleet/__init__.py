@@ -9,7 +9,10 @@ with NoC-priced migration, SLO-aware shedding, predictive kernel
 prewarm (:mod:`~repro.fleet.prewarm`) and autoscaling by power-gating
 (:mod:`~repro.fleet.autoscale`) — all while every completed job's
 payload stays bit-identical to naive serial execution
-(:mod:`~repro.fleet.synthetic`).
+(:mod:`~repro.fleet.synthetic`).  :mod:`~repro.fleet.partition` breaks
+the single-process ceiling: disjoint SoC index ranges simulated in
+worker processes via :mod:`repro.par`, event streams merged
+deterministically at the partition boundaries.
 """
 
 from repro.fleet.autoscale import Autoscaler, SocPowerState
@@ -38,6 +41,14 @@ from repro.fleet.ledger import (
     JobLedger,
     percentile_array,
 )
+from repro.fleet.partition import (
+    PARTITION_BACKENDS,
+    PartitionedFleetReport,
+    PartitionResult,
+    partition_jobs,
+    partition_soc_counts,
+    simulate_fleet_partitioned,
+)
 from repro.fleet.prewarm import ArrivalMixPredictor, PrewarmDriver
 from repro.fleet.runtime import (
     FleetReport,
@@ -64,6 +75,7 @@ __all__ = [
     "EVENT_KINDS",
     "FLEET_PATTERNS",
     "GATE",
+    "PARTITION_BACKENDS",
     "PENDING",
     "REJECTED",
     "SHED",
@@ -79,6 +91,8 @@ __all__ = [
     "JobLedger",
     "JoinShortestQueue",
     "KernelAffinityBalancer",
+    "PartitionResult",
+    "PartitionedFleetReport",
     "PrewarmDriver",
     "RoundRobinBalancer",
     "SocPowerState",
@@ -89,7 +103,10 @@ __all__ = [
     "execute_fleet_serial",
     "execute_synthetic_batch",
     "job_input_bits",
+    "partition_jobs",
+    "partition_soc_counts",
     "percentile_array",
     "simulate_fleet",
+    "simulate_fleet_partitioned",
     "synthetic_trace",
 ]

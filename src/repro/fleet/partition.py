@@ -1,0 +1,298 @@
+"""Partitioned fleet simulation: SoC index ranges sharded across processes.
+
+:func:`repro.fleet.runtime.simulate_fleet` is one Python event loop — at
+256 SoCs it is the single-process ceiling the ROADMAP names.  This
+module statically partitions a fleet into disjoint SoC index ranges,
+routes every job to one partition by a deterministic content-independent
+rule (``job_id mod partitions``), simulates each partition with the
+*unchanged* event-driven runtime — in worker processes via
+:mod:`repro.par`, or inline for the serial reference — and merges the
+per-partition event streams deterministically at the partition
+boundaries: completion events heap-merge on ``(completion_cycle,
+partition, job_id)``, counters sum, the makespan spans the earliest
+arrival to the latest completion.
+
+Bit-identity is preserved by construction: a partition *is* a fleet run
+(the existing serial-conformance discipline applies to each one
+verbatim), partitions share no mutable state, and the job→partition map
+does not depend on scheduling — so the merged digests equal
+:func:`~repro.fleet.synthetic.execute_fleet_serial` over the whole
+trace, and ``parallel="processes"`` equals ``parallel="serial"`` report
+field for report field.  The trade against one shared fleet is explicit:
+balancing and stealing stop crossing partition boundaries, which is the
+price of linear core scaling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet.ledger import percentile_array
+from repro.fleet.runtime import FleetReport, FleetSettings, simulate_fleet
+from repro.par.pool import ProcessBackend, available_cpus, run_tasks
+
+#: Execution backends :func:`simulate_fleet_partitioned` accepts.
+PARTITION_BACKENDS = ("serial", "processes")
+
+
+def partition_jobs(jobs: Sequence, partitions: int) -> List[List]:
+    """Route jobs to partitions by ``job_id mod partitions``.
+
+    Content-independent and scheduling-independent — the rule is the
+    partitioned mode's determinism anchor, so it must never consult
+    queue depths or arrival times.  Order within a partition follows the
+    input order.
+    """
+    if partitions <= 0:
+        raise ConfigurationError("need at least one partition")
+    shards: List[List] = [[] for _ in range(partitions)]
+    for job in jobs:
+        shards[job.job_id % partitions].append(job)
+    return shards
+
+
+def partition_soc_counts(soc_count: int, partitions: int) -> List[int]:
+    """Split ``soc_count`` SoCs into contiguous per-partition ranges.
+
+    Near-even: the first ``soc_count mod partitions`` partitions hold one
+    extra SoC.  A fleet cannot be cut finer than one SoC per partition.
+    """
+    if partitions <= 0:
+        raise ConfigurationError("need at least one partition")
+    if soc_count < partitions:
+        raise ConfigurationError(
+            f"cannot split {soc_count} SoCs into {partitions} partitions: "
+            f"every partition needs at least one SoC")
+    size, remainder = divmod(soc_count, partitions)
+    return [size + (1 if index < remainder else 0)
+            for index in range(partitions)]
+
+
+def _partition_settings(settings: FleetSettings,
+                        soc_count: int) -> FleetSettings:
+    """The sub-fleet's settings: same knobs, its own SoC range."""
+    return replace(settings, soc_count=soc_count,
+                   min_awake=min(settings.min_awake, soc_count))
+
+
+@dataclass
+class PartitionResult:
+    """The picklable extract of one partition's :class:`FleetReport`.
+
+    Everything the merged report needs crosses the process boundary —
+    the full report (with its live SoC objects) stays in the worker.
+    """
+
+    index: int
+    soc_count: int
+    submitted: int
+    completed: int
+    rejected: int
+    shed: int
+    batches: int
+    steals: int
+    migrated_jobs: int
+    gatings: int
+    reconfigurations: int
+    events_processed: int
+    first_arrival: int
+    last_completion: int
+    total_energy: float
+    digests: Dict[int, str] = field(default_factory=dict)
+    latencies: List[int] = field(default_factory=list)
+    #: Completion events ``(cycle, job_id)`` in partition event order.
+    completions: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def _extract(index: int, settings: FleetSettings,
+             report: FleetReport, jobs: Sequence) -> PartitionResult:
+    ledger = report.ledger
+    mask = ledger.completed_mask
+    completions = sorted(
+        (int(cycle), int(job_id))
+        for cycle, job_id in zip(ledger.completion[mask], ledger.job_id[mask]))
+    first_arrival = min((job.arrival_cycle for job in jobs), default=0)
+    last_completion = int(ledger.completion[mask].max()) if mask.any() else 0
+    return PartitionResult(
+        index=index, soc_count=settings.soc_count,
+        submitted=report.submitted, completed=report.completed,
+        rejected=report.rejected, shed=report.shed,
+        batches=report.batches, steals=report.steals,
+        migrated_jobs=report.migrated_jobs, gatings=report.gatings,
+        reconfigurations=report.reconfigurations,
+        events_processed=report.events_processed,
+        first_arrival=first_arrival, last_completion=last_completion,
+        total_energy=report.total_energy,
+        digests=dict(report.digests),
+        latencies=[int(value) for value in ledger.latencies()],
+        completions=completions)
+
+
+def _simulate_partition(index: int, jobs: Sequence,
+                        settings: FleetSettings) -> PartitionResult:
+    """Worker body: one partition through the unchanged event runtime.
+
+    Builds its own :class:`~repro.serve.kernels.KernelLibrary` — kernel
+    compiles hit the worker cache warmed from the parent's export.
+    """
+    from repro.serve.kernels import KernelLibrary
+
+    report = simulate_fleet(jobs, settings, library=KernelLibrary())
+    return _extract(index, settings, report, jobs)
+
+
+@dataclass
+class PartitionedFleetReport:
+    """The deterministic merge of per-partition fleet runs."""
+
+    settings: FleetSettings
+    parallel: str
+    partitions: List[PartitionResult]
+
+    @property
+    def submitted(self) -> int:
+        """Jobs that entered the cluster, over all partitions."""
+        return sum(part.submitted for part in self.partitions)
+
+    @property
+    def completed(self) -> int:
+        """Jobs served to completion, over all partitions."""
+        return sum(part.completed for part in self.partitions)
+
+    @property
+    def rejected(self) -> int:
+        """Jobs refused at admission, over all partitions."""
+        return sum(part.rejected for part in self.partitions)
+
+    @property
+    def shed(self) -> int:
+        """Jobs evicted by SLO-aware admission, over all partitions."""
+        return sum(part.shed for part in self.partitions)
+
+    @property
+    def conserved(self) -> bool:
+        """Every submitted job resolved exactly once, fleet-wide."""
+        return self.submitted == self.completed + self.rejected + self.shed
+
+    @property
+    def digests(self) -> Dict[int, str]:
+        """Merged payload digests (job ids are disjoint across partitions)."""
+        merged: Dict[int, str] = {}
+        for part in self.partitions:
+            merged.update(part.digests)
+        return merged
+
+    @property
+    def events_processed(self) -> int:
+        """Heap events drained, over all partitions."""
+        return sum(part.events_processed for part in self.partitions)
+
+    @property
+    def total_energy(self) -> float:
+        """Job plus static energy, over all partitions."""
+        return sum(part.total_energy for part in self.partitions)
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Earliest arrival to latest completion across the whole fleet."""
+        active = [part for part in self.partitions if part.submitted]
+        if not active:
+            return 0
+        return max(0, max(part.last_completion for part in active)
+                   - min(part.first_arrival for part in active))
+
+    def completion_order(self) -> List[Tuple[int, int]]:
+        """The merged completion event stream: ``(cycle, job_id)`` pairs.
+
+        A deterministic heap-merge of the per-partition streams ordered
+        by ``(cycle, job_id)`` — the fleet-wide timeline a single shared
+        heap would publish for the same completions.
+        """
+        return list(heapq.merge(*(part.completions
+                                  for part in self.partitions)))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of completed-job latency over the merged fleet."""
+        merged = np.concatenate(
+            [np.asarray(part.latencies, dtype=np.int64)
+             for part in self.partitions]) if self.partitions else (
+            np.zeros(0, dtype=np.int64))
+        return {"p50": percentile_array(merged, 0.50),
+                "p95": percentile_array(merged, 0.95),
+                "p99": percentile_array(merged, 0.99)}
+
+    def summary(self) -> Dict[str, object]:
+        """Flat headline numbers for reporting tables."""
+        summary: Dict[str, object] = {
+            "balancer": self.settings.balancer,
+            "policy": self.settings.policy,
+            "socs": self.settings.soc_count,
+            "partitions": len(self.partitions),
+            "parallel": self.parallel,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "batches": sum(part.batches for part in self.partitions),
+            "steals": sum(part.steals for part in self.partitions),
+            "gatings": sum(part.gatings for part in self.partitions),
+            "makespan_cycles": self.makespan_cycles,
+        }
+        for key, value in self.latency_percentiles().items():
+            summary[f"latency_{key}"] = int(value)
+        return summary
+
+
+def simulate_fleet_partitioned(jobs: Sequence,
+                               settings: Optional[FleetSettings] = None,
+                               *, partitions: Optional[int] = None,
+                               parallel: str = "processes",
+                               timeout: Optional[float] = None,
+                               backend: Optional[ProcessBackend] = None
+                               ) -> PartitionedFleetReport:
+    """Simulate a fleet as disjoint SoC partitions, one process each.
+
+    ``partitions`` defaults to ``min(cores, soc_count)``; with one core
+    (or one partition) the serial path runs inline — the graceful
+    fallback, since a single partition is exactly
+    :func:`~repro.fleet.runtime.simulate_fleet`.  ``parallel`` may be
+    ``"processes"`` or ``"serial"`` (the bit-identical inline
+    reference); ``timeout`` and ``backend`` follow
+    :func:`repro.par.pool.run_tasks`.
+    """
+    settings = settings or FleetSettings()
+    if parallel not in PARTITION_BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {parallel!r}; "
+            f"expected one of {PARTITION_BACKENDS}")
+    if partitions is None:
+        partitions = max(1, min(available_cpus(), settings.soc_count))
+    soc_counts = partition_soc_counts(settings.soc_count, partitions)
+    shards = partition_jobs(jobs, partitions)
+    per_partition = [_partition_settings(settings, count)
+                     for count in soc_counts]
+
+    if parallel == "serial" or partitions == 1:
+        results = [_simulate_partition(index, shard, part_settings)
+                   for index, (shard, part_settings)
+                   in enumerate(zip(shards, per_partition))]
+        return PartitionedFleetReport(settings=settings, parallel=parallel,
+                                      partitions=results)
+
+    from repro.flow import cache as flow_cache
+
+    tasks = [(index, shard, part_settings)
+             for index, (shard, part_settings)
+             in enumerate(zip(shards, per_partition))]
+    labels = [f"fleet partition {index}/{partitions} "
+              f"({len(shard)} jobs, {part_settings.soc_count} SoCs)"
+              for index, shard, part_settings in tasks]
+    results = run_tasks(_simulate_partition, tasks, labels,
+                        workers=partitions, timeout=timeout,
+                        cache=flow_cache.DEFAULT_CACHE, backend=backend)
+    return PartitionedFleetReport(settings=settings, parallel="processes",
+                                  partitions=results)

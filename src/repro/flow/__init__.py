@@ -15,6 +15,8 @@ shims).
 """
 
 from repro.flow.cache import (
+    CACHE_STATE_VERSION,
+    COMPILE_BACKENDS,
     DEFAULT_CACHE,
     FlowCache,
     cache_key,
@@ -48,6 +50,8 @@ from repro.flow.pipeline import (
 )
 
 __all__ = [
+    "CACHE_STATE_VERSION",
+    "COMPILE_BACKENDS",
     "DEFAULT_CACHE",
     "FlowCache",
     "cache_key",

@@ -15,15 +15,24 @@ state) and returns results in input order.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.fabric import Fabric
 from repro.core.netlist import Netlist
 from repro.flow.pipeline import Flow, FlowResult
+
+#: Version stamp of the :meth:`FlowCache.export_state` wire format.
+#: Bump whenever the envelope layout or the pickled artifact contracts
+#: change; :meth:`FlowCache.import_state` rejects any other version.
+CACHE_STATE_VERSION = 1
+
+#: Envelope marker distinguishing a cache-state blob from arbitrary pickles.
+_STATE_FORMAT = "repro.flow.cache-state"
 
 
 def netlist_fingerprint(netlist: Netlist) -> str:
@@ -118,6 +127,68 @@ class FlowCache:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries)}
 
+    def keys(self) -> Set[str]:
+        """Snapshot of the cached content-hash keys."""
+        with self._lock:
+            return set(self._entries)
+
+    def export_state(self, keys: Optional[Set[str]] = None) -> bytes:
+        """Serialize cached entries for another process to import.
+
+        The blob is a version-stamped envelope of ``(content-hash key,
+        FlowResult)`` pairs in recency order (least recent first, so an
+        importing cache ends with the same recency ranking).  Pass
+        ``keys`` to export a subset — the worker→parent merge path
+        exports only the entries a worker added.  Counters are *not*
+        exported; state is the entries, statistics stay per-process.
+        """
+        with self._lock:
+            entries = [(key, result) for key, result in self._entries.items()
+                       if keys is None or key in keys]
+        return pickle.dumps({"format": _STATE_FORMAT,
+                             "version": CACHE_STATE_VERSION,
+                             "entries": entries},
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def import_state(self, blob: bytes, replace: bool = False) -> int:
+        """Merge an exported blob into this cache; returns entries imported.
+
+        Keys already present are kept (their entry is bit-identical by
+        construction — the key is a content hash over netlist, fabric and
+        flow signature) unless ``replace`` is true.  Imports go through
+        :meth:`put`, so ``max_entries`` is enforced entry by entry and an
+        oversized blob simply evicts in LRU order rather than
+        overflowing.  A blob from a different
+        :data:`CACHE_STATE_VERSION` (or something that is not a cache
+        export at all) is rejected with a :class:`ConfigurationError`.
+        """
+        try:
+            envelope = pickle.loads(blob)
+        except Exception as error:
+            raise ConfigurationError(
+                f"not a FlowCache state blob: {error}") from error
+        if (not isinstance(envelope, dict)
+                or envelope.get("format") != _STATE_FORMAT):
+            raise ConfigurationError(
+                "not a FlowCache state blob (missing format marker)")
+        version = envelope.get("version")
+        if version != CACHE_STATE_VERSION:
+            raise ConfigurationError(
+                f"FlowCache state version mismatch: blob is v{version}, "
+                f"this runtime speaks v{CACHE_STATE_VERSION}; re-export "
+                f"from a matching build")
+        imported = 0
+        for key, result in envelope["entries"]:
+            with self._lock:
+                # Membership, not get(): an import is bookkeeping, it
+                # must not skew the hit/miss statistics.
+                present = key in self._entries
+            if present and not replace:
+                continue
+            self.put(key, result)
+            imported += 1
+        return imported
+
     def prewarm(self, designs: Sequence, *, fabric=None,
                 flow: Optional[Flow] = None,
                 max_workers: Optional[int] = None) -> Dict[str, int]:
@@ -180,30 +251,57 @@ def compile(design, fabric=None, *, flow: Optional[Flow] = None,
     return flow.compile(design, fabric=fabric, cache=_resolve_cache(cache))
 
 
+#: Execution backends :func:`compile_many` accepts.
+COMPILE_BACKENDS = ("serial", "threads", "processes")
+
+
 def compile_many(designs: Sequence, fabric=None, *,
                  flow: Optional[Flow] = None, placer: str = "greedy",
                  seed: int = 0, cache=_SHARED,
-                 max_workers: Optional[int] = None) -> List[FlowResult]:
+                 max_workers: Optional[int] = None,
+                 parallel: str = "threads",
+                 timeout: Optional[float] = None,
+                 backend=None) -> List[FlowResult]:
     """Compile independent kernels concurrently; results in input order.
 
     Every design is compiled on its own freshly built fabric, so the
     compilations share no mutable state and the output is deterministic
-    regardless of thread scheduling.  ``fabric`` must therefore be a
+    regardless of scheduling.  ``fabric`` must therefore be a
     zero-argument factory (or ``None`` for each design's default) — a
     single :class:`Fabric` instance would be mutated concurrently by the
     router.
+
+    ``parallel`` picks the execution backend: ``"threads"`` (the
+    default — fine-grained, but GIL-bound), ``"serial"``, or
+    ``"processes"`` — designs sharded over spawned worker processes via
+    :mod:`repro.par`, each worker's cache warmed from this cache's
+    exported state and new entries merged back, so the result cache
+    behaves as if the compiles had run here.  The processes backend
+    requires picklable designs and a picklable module-level ``fabric``
+    factory; ``timeout`` (seconds, whole batch) and ``backend`` (a
+    reusable :class:`repro.par.ProcessBackend`) apply to it only.
     """
     if isinstance(fabric, Fabric):
         raise ConfigurationError(
             "compile_many needs a fabric *factory* (or None), not a shared "
             "Fabric instance: routing mutates mesh occupancy")
+    if parallel not in COMPILE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {parallel!r}; "
+            f"expected one of {COMPILE_BACKENDS}")
     cache = _resolve_cache(cache)
     flow = flow or Flow.default(placer=placer, seed=seed)
     designs = list(designs)
     if not designs:
         return []
+    if parallel == "processes":
+        from repro.par.flow import compile_many_processes
+
+        return compile_many_processes(designs, fabric, flow=flow,
+                                      cache=cache, max_workers=max_workers,
+                                      timeout=timeout, backend=backend)
     workers = max_workers or min(8, len(designs))
-    if workers <= 1 or len(designs) == 1:
+    if parallel == "serial" or workers <= 1 or len(designs) == 1:
         return [flow.compile(design, fabric=fabric, cache=cache)
                 for design in designs]
     with ThreadPoolExecutor(max_workers=workers) as pool:

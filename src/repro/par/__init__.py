@@ -1,0 +1,50 @@
+"""repro.par — the multiprocess execution backend.
+
+Every speedup before this subsystem batched *inside* one Python process;
+the GIL capped the stack at one core (``BENCH_gop.json`` measured the
+thread pool at 0.97x).  ``repro.par`` breaks that ceiling with one
+shared harness — spawn-safe process pools, shared-memory frame buffers,
+cache warmth across ``spawn``, shard-labelled failures, fail-fast
+timeouts — wired into three layers:
+
+* ``encode_sequence_parallel(strategy="processes")`` — closed GOPs
+  sharded across worker processes (:mod:`repro.par.gop`);
+* ``simulate_fleet_partitioned`` — SoC index ranges simulated per
+  worker, event streams merged deterministically
+  (:mod:`repro.fleet.partition`);
+* ``compile_many(parallel="processes")`` — placement/routing sharded
+  over cores (:mod:`repro.par.flow`).
+
+Spawn-safety rules for callers: task functions must be importable
+module-level callables (no lambdas, no closures), arguments picklable,
+and scripts that launch pools need the standard ``__main__`` guard.
+"""
+
+from repro.par.errors import WorkerFailure, WorkerTimeout
+from repro.par.pool import (
+    ProcessBackend,
+    available_cpus,
+    run_tasks,
+    spawn_context,
+)
+from repro.par.shm import (
+    SHM_PREFIX,
+    SharedArray,
+    SharedArraySpec,
+    attached_view,
+    leaked_segments,
+)
+
+__all__ = [
+    "WorkerFailure",
+    "WorkerTimeout",
+    "ProcessBackend",
+    "available_cpus",
+    "run_tasks",
+    "spawn_context",
+    "SHM_PREFIX",
+    "SharedArray",
+    "SharedArraySpec",
+    "attached_view",
+    "leaked_segments",
+]

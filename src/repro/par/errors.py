@@ -1,0 +1,50 @@
+"""Failure surface of the multiprocess backend.
+
+A worker process can fail three ways — raise an exception, die outright
+(a segfault or ``os._exit``), or hang — and every one of them must come
+back to the caller as a :class:`WorkerFailure` that names the shard
+(GOP range, fleet partition, design) the worker was holding.  Exception
+*chains* do not survive pickling across process boundaries, so workers
+report failures as data (type name, message, formatted traceback) and
+the parent re-raises with the context attached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class WorkerFailure(RuntimeError):
+    """A process-pool worker failed; carries the shard's context.
+
+    ``context`` names the unit of work (e.g. ``"GOP 3 (frames [24, 32))"``
+    or ``"fleet partition 1/4"``), ``original_type`` / ``original_message``
+    identify the worker-side exception, and ``worker_traceback`` holds its
+    formatted traceback (the chain itself cannot cross the process
+    boundary).
+    """
+
+    def __init__(self, context: str, original_type: str = "",
+                 original_message: str = "",
+                 worker_traceback: Optional[str] = None) -> None:
+        self.context = context
+        self.original_type = original_type
+        self.original_message = original_message
+        self.worker_traceback = worker_traceback
+        detail = f" [{original_type}: {original_message}]" if original_type \
+            else ""
+        super().__init__(f"worker failed on {context}{detail}")
+
+
+class WorkerTimeout(WorkerFailure):
+    """The pool did not finish within the caller's ``timeout``.
+
+    Raised by :func:`repro.par.pool.run_tasks` after terminating the
+    worker processes, so a hung worker fails fast instead of blocking
+    the parent forever.
+    """
+
+    def __init__(self, context: str, timeout: float) -> None:
+        super().__init__(context, original_type="TimeoutError",
+                         original_message=f"no result within {timeout}s")
+        self.timeout = timeout

@@ -1,0 +1,96 @@
+"""Process-backed ``compile_many``: placement and routing on real cores.
+
+The thread backend of :func:`repro.flow.compile_many` is GIL-bound — the
+flow's passes are pure Python graph algorithms, so eight threads compile
+barely faster than one.  This module shards the design list over spawned
+worker processes instead: contiguous groups of designs per worker, each
+worker compiling through its own ``DEFAULT_CACHE`` warmed from the
+parent's exported state, and worker-side cache additions merged back so
+the parent ends the call exactly as warm as a serial compile would have
+left it.  Reached via ``compile_many(parallel="processes")``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.flow.pipeline import Flow, FlowResult
+from repro.par.pool import ProcessBackend, available_cpus, run_tasks
+
+
+def _compile_design_group(designs: Sequence, fabric, flow: Flow,
+                          use_cache: bool = True) -> List:
+    """Worker body: compile one contiguous group through the worker cache.
+
+    ``use_cache`` mirrors the parent's intent: a caller that passed
+    ``cache=None`` asked for fresh compilations, so the workers must not
+    serve hits from their own (process-lifetime) default cache either.
+    """
+    from repro.flow import cache as flow_cache
+
+    cache = flow_cache.DEFAULT_CACHE if use_cache else None
+    return [flow.compile(design, fabric=fabric, cache=cache)
+            for design in designs]
+
+
+def _contiguous_groups(items: List, group_count: int) -> List[List]:
+    """Split ``items`` into ``group_count`` contiguous near-even groups."""
+    group_count = max(1, min(group_count, len(items)))
+    size, remainder = divmod(len(items), group_count)
+    groups, start = [], 0
+    for index in range(group_count):
+        stop = start + size + (1 if index < remainder else 0)
+        groups.append(items[start:stop])
+        start = stop
+    return groups
+
+
+def compile_many_processes(designs: Sequence, fabric=None, *,
+                           flow: Optional[Flow] = None, cache=None,
+                           max_workers: Optional[int] = None,
+                           timeout: Optional[float] = None,
+                           backend: Optional[ProcessBackend] = None
+                           ) -> List[FlowResult]:
+    """Compile ``designs`` across worker processes; results in input order.
+
+    Same contract as :func:`repro.flow.compile_many` (own fabric per
+    design, deterministic output, optional shared ``cache``), plus the
+    :mod:`repro.par` guarantees: shard-labelled
+    :class:`~repro.par.errors.WorkerFailure` on a worker exception or
+    death, fail-fast ``timeout``, and cache warmth across ``spawn``.
+    Designs and the ``fabric`` factory must be picklable (module-level
+    factories, not lambdas).
+    """
+    flow = flow or Flow.default()
+    designs = list(designs)
+    if not designs:
+        return []
+    workers = max_workers or (backend.workers if backend is not None
+                              else available_cpus())
+    groups = _contiguous_groups(designs, workers)
+    labels = []
+    offset = 0
+    for group in groups:
+        names = ", ".join(getattr(design, "name", type(design).__name__)
+                          for design in group)
+        labels.append(f"designs[{offset}:{offset + len(group)}] ({names})")
+        offset += len(group)
+    shards = run_tasks(_compile_design_group,
+                       [(group, fabric, flow, cache is not None)
+                        for group in groups],
+                       labels, workers=workers, timeout=timeout,
+                       cache=cache, backend=backend)
+    results = [result for shard in shards for result in shard]
+    if cache is not None:
+        # The worker-side delta only covers keys the worker *added*; a
+        # reused pool may have compiled a design for an earlier caller
+        # and served this one a hit.  The parent holds every result, so
+        # it can finish the merge exactly: after this call the cache is
+        # as warm as a serial compile would have left it.
+        present = cache.keys()
+        for result in results:
+            key = cache.key(result.netlist, result.fabric, flow)
+            if key not in present:
+                cache.put(key, result)
+                present.add(key)
+    return results

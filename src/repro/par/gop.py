@@ -1,0 +1,116 @@
+"""The ``processes`` GOP strategy: closed GOPs sharded across real cores.
+
+Closed GOPs are standalone-decodable by construction, so encoding each
+one in a different *process* produces byte-for-byte the stream a serial
+encode produces — the strategy only decides where the work runs.  The
+parent stacks the sequence into one shared-memory segment
+(:mod:`repro.par.shm`), so workers map the frames instead of unpickling
+them; each worker encodes a contiguous run of GOPs with the same
+``_encode_single_gop`` body the serial strategy uses, and the parent
+reassembles shards in GOP order.  Cache warmth and failure context come
+from :func:`repro.par.pool.run_tasks`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.par.pool import ProcessBackend, run_tasks
+from repro.par.shm import SharedArray, SharedArraySpec, attached_view
+from repro.video.gop import Gop, _encode_single_gop, compile_gop_kernels
+
+
+def _encode_gop_shard(payload, gop_bounds: List[Tuple[int, int, int]],
+                      configuration, rate_controller) -> List[Tuple]:
+    """Worker body: encode a contiguous run of GOPs from shared frames.
+
+    ``payload`` is either a :class:`SharedArraySpec` of the stacked
+    sequence or (the pickled fallback for non-uniform frames) the frame
+    list itself.  Returns ``(gop_index, statistics, reference,
+    qp_history)`` per GOP.
+    """
+    compile_gop_kernels(configuration)
+    if isinstance(payload, SharedArraySpec):
+        with attached_view(payload) as stack:
+            return _encode_bounds(list(stack), gop_bounds, configuration,
+                                  rate_controller)
+    return _encode_bounds(list(payload), gop_bounds, configuration,
+                          rate_controller)
+
+
+def _encode_bounds(frames: Sequence[np.ndarray],
+                   gop_bounds: List[Tuple[int, int, int]],
+                   configuration, rate_controller) -> List[Tuple]:
+    outputs = []
+    for index, start, stop in gop_bounds:
+        gop = Gop(index=index, start=start, stop=stop)
+        statistics, reference, qp_history = _encode_single_gop(
+            frames, gop, configuration, rate_controller,
+            compile_kernels=False)
+        outputs.append((index, statistics, reference, qp_history))
+    return outputs
+
+
+def _share_frames(frames: List[np.ndarray]):
+    """Stack the sequence into shared memory when shapes/dtypes allow.
+
+    Returns ``(shared_or_None, payload)`` — a mixed-geometry sequence
+    (different shapes or dtypes per frame) falls back to pickling the
+    frames into each task, which is correct but slower.
+    """
+    arrays = [np.asarray(frame) for frame in frames]
+    shapes = {array.shape for array in arrays}
+    dtypes = {array.dtype for array in arrays}
+    if len(shapes) != 1 or len(dtypes) != 1:
+        return None, arrays
+    shared = SharedArray.create(np.stack(arrays))
+    return shared, shared.spec
+
+
+def encode_gops_processes(frames: Sequence[np.ndarray], gops: List[Gop],
+                          configuration, rate_controller, workers: int,
+                          *, timeout: Optional[float] = None,
+                          backend: Optional[ProcessBackend] = None,
+                          ) -> List[Tuple]:
+    """Encode ``gops`` across worker processes; shards in GOP order.
+
+    Returns the same ``(statistics, final_reference, qp_history)`` shard
+    list as the serial strategy, bit-identical to it.  The shared-memory
+    segment is unlinked in a ``finally`` — worker failures (surfaced as
+    :class:`~repro.par.errors.WorkerFailure` with the GOP range in the
+    message) cannot leak ``/dev/shm`` entries.
+    """
+    from repro.flow import cache as flow_cache
+
+    workers = max(1, min(workers, len(gops)))
+    size, remainder = divmod(len(gops), workers)
+    groups: List[List[Gop]] = []
+    start = 0
+    for index in range(workers):
+        stop = start + size + (1 if index < remainder else 0)
+        if stop > start:
+            groups.append(gops[start:stop])
+        start = stop
+
+    shared, payload = _share_frames(list(frames))
+    tasks, labels = [], []
+    for group in groups:
+        bounds = [(gop.index, gop.start, gop.stop) for gop in group]
+        tasks.append((payload, bounds, configuration, rate_controller))
+        labels.append(
+            f"GOP {group[0].index}..{group[-1].index} "
+            f"(frames [{group[0].start}, {group[-1].stop}))")
+    try:
+        shard_lists = run_tasks(_encode_gop_shard, tasks, labels,
+                                workers=workers, timeout=timeout,
+                                cache=flow_cache.DEFAULT_CACHE,
+                                backend=backend)
+    finally:
+        if shared is not None:
+            shared.close_and_unlink()
+    by_index = {index: (statistics, reference, qp_history)
+                for shard in shard_lists
+                for index, statistics, reference, qp_history in shard}
+    return [by_index[gop.index] for gop in gops]

@@ -1,0 +1,206 @@
+"""The process-pool harness: spawn-safe sharded execution with a warm cache.
+
+Every multiprocess backend in the repository — GOP encoding
+(:mod:`repro.par.gop`), fleet partitions (:mod:`repro.fleet.partition`)
+and process-backed :func:`repro.flow.compile_many` — drives its workers
+through :func:`run_tasks`, which owns the four problems a
+``ProcessPoolExecutor`` leaves to its caller:
+
+* **spawn-safe dispatch** — workers are started with the ``spawn``
+  context (no inherited fabric state, identical semantics on every
+  platform), so task functions must be importable module-level
+  callables with picklable arguments;
+* **cache warmth** — the parent exports its
+  :class:`~repro.flow.cache.FlowCache` once
+  (:meth:`~repro.flow.cache.FlowCache.export_state`), every task imports
+  the blob into the worker's ``DEFAULT_CACHE`` before running (a no-op
+  after the first task per worker), and entries a worker *adds* travel
+  back as a delta the parent merges — each kernel is placed and routed
+  once per fleet, not once per process;
+* **failure context** — a worker exception comes back as a
+  :class:`~repro.par.errors.WorkerFailure` naming the shard, with the
+  worker-side traceback attached; a worker that dies outright (poison
+  job, segfault) surfaces the same way instead of a bare
+  ``BrokenProcessPool``;
+* **fail-fast timeouts** — ``timeout=`` is a wall-clock deadline for the
+  whole batch; on expiry the worker processes are terminated and
+  :class:`~repro.par.errors.WorkerTimeout` raised, so a hung worker can
+  never wedge the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.par.errors import WorkerFailure, WorkerTimeout
+
+
+def available_cpus() -> int:
+    """Cores the host exposes (the ``auto`` strategy's multicore test)."""
+    return os.cpu_count() or 1
+
+
+def spawn_context():
+    """The ``spawn`` multiprocessing context every backend uses."""
+    return multiprocessing.get_context("spawn")
+
+
+# -- worker side --------------------------------------------------------------
+
+def _run_shard(fn: Callable, label: str, cache_blob: Optional[bytes],
+               args: Tuple) -> Tuple:
+    """Worker body: warm the cache, run one shard, report failures as data.
+
+    Returns ``("ok", payload, cache_delta)`` or ``("error", label, type,
+    message, traceback)`` — exception chains cannot cross the process
+    boundary intact, so failures travel as strings and the parent
+    re-raises with shard context.
+    """
+    from repro.flow import cache as flow_cache
+
+    try:
+        worker_cache = flow_cache.DEFAULT_CACHE
+        if cache_blob is not None:
+            worker_cache.import_state(cache_blob)
+        before = worker_cache.keys()
+        payload = fn(*args)
+        added = worker_cache.keys() - before
+        delta = worker_cache.export_state(keys=added) if added else None
+        return ("ok", payload, delta)
+    except BaseException as error:
+        return ("error", label, type(error).__name__, str(error),
+                traceback.format_exc())
+
+
+# -- parent side --------------------------------------------------------------
+
+class ProcessBackend:
+    """A reusable spawn pool: pay worker startup once, not per call.
+
+    Spawning a Python worker costs a few hundred milliseconds of
+    interpreter boot and imports; callers issuing many small parallel
+    calls (the randomized conformance suite, the scaling benchmark)
+    create one backend and pass it to every call.  A pool broken by a
+    dead worker or a timeout is discarded and lazily rebuilt on next
+    use.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ConfigurationError("a process backend needs >= 1 worker")
+        self.workers = workers or available_cpus()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=spawn_context())
+        return self._pool
+
+    def discard(self) -> None:
+        """Drop a broken pool without waiting (next use rebuilds)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            _terminate_pool(pool)
+
+    def shutdown(self) -> None:
+        """Release the pool's worker processes."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's workers now (timeout path — they may be hung)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_tasks(fn: Callable, task_args: Sequence[Tuple], labels: Sequence[str],
+              *, workers: Optional[int] = None,
+              timeout: Optional[float] = None,
+              cache=None, backend: Optional[ProcessBackend] = None) -> List:
+    """Run ``fn(*args)`` for every entry of ``task_args`` in worker processes.
+
+    Results come back in task order.  ``labels`` name the shards for
+    failure context (one per task).  ``cache`` is an optional
+    :class:`~repro.flow.cache.FlowCache`: its state is exported once,
+    imported by every worker before its first shard, and worker-side
+    additions are merged back after the batch.  ``backend`` reuses a
+    warm :class:`ProcessBackend`; otherwise an ephemeral pool of
+    ``workers`` processes is created for this call.
+    """
+    task_args = list(task_args)
+    labels = list(labels)
+    if len(labels) != len(task_args):
+        raise ConfigurationError(
+            f"got {len(task_args)} tasks but {len(labels)} labels")
+    if not task_args:
+        return []
+    cache_blob = cache.export_state() if cache is not None else None
+
+    own_pool = backend is None
+    if own_pool:
+        worker_count = min(workers or available_cpus(), len(task_args))
+        pool = ProcessPoolExecutor(max_workers=max(1, worker_count),
+                                   mp_context=spawn_context())
+    else:
+        pool = backend.pool()
+
+    broken = False
+    try:
+        futures = [pool.submit(_run_shard, fn, label, cache_blob, args)
+                   for label, args in zip(labels, task_args)]
+        done, pending = wait(futures, timeout=timeout)
+        if pending:
+            broken = True
+            stuck = [label for future, label in zip(futures, labels)
+                     if not future.done()]
+            _terminate_pool(pool)
+            raise WorkerTimeout(", ".join(stuck), timeout)
+        outcomes = []
+        for future, label in zip(futures, labels):
+            try:
+                outcomes.append(future.result())
+            except BrokenProcessPool as error:
+                broken = True
+                raise WorkerFailure(
+                    label, original_type=type(error).__name__,
+                    original_message="worker process died before returning "
+                                     "a result (poison job or crash)"
+                ) from error
+        results = []
+        for outcome, label in zip(outcomes, labels):
+            if outcome[0] == "error":
+                _, context, kind, message, worker_tb = outcome
+                raise WorkerFailure(context, original_type=kind,
+                                    original_message=message,
+                                    worker_traceback=worker_tb)
+            _, payload, delta = outcome
+            if cache is not None and delta is not None:
+                cache.import_state(delta)
+            results.append(payload)
+        return results
+    finally:
+        if own_pool:
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+        elif broken:
+            backend.discard()

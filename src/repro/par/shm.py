@@ -1,0 +1,123 @@
+"""Shared-memory frame buffers: zero-copy inputs for worker processes.
+
+Pickling a 64-frame QCIF sequence into every worker would ship the same
+megabytes ``workers`` times; instead the parent copies the stacked
+frames into one POSIX shared-memory segment and workers attach read-only
+numpy views.  The protocol has exactly one owner: the **parent** creates
+and unlinks the segment (unlink runs in a ``finally``, so a worker
+failure cannot leak ``/dev/shm`` entries), workers only ever attach and
+close.  Spawned children inherit the parent's resource tracker, so the
+attach side needs no unregister gymnastics — the parent's single unlink
+is the whole cleanup story, and :func:`leaked_segments` lets tests (and
+the benchmark harness) assert the invariant from the outside.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+#: Every segment this module creates carries this name prefix, so leak
+#: checks can scan ``/dev/shm`` without false positives from other users.
+SHM_PREFIX = "repro_par_"
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle a worker needs to attach one shared array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A numpy array backed by one named shared-memory segment.
+
+    Created parent-side with :meth:`create` (copies the source array in)
+    and released with :meth:`close_and_unlink`; workers call
+    :meth:`read_view` with the picklable :attr:`spec`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 spec: SharedArraySpec) -> None:
+        self._shm = shm
+        self.spec = spec
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh uniquely named segment."""
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ConfigurationError(
+                "cannot share an empty array between processes")
+        name = f"{SHM_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(create=True, size=array.nbytes,
+                                         name=name)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm, SharedArraySpec(name=shm.name, shape=array.shape,
+                                        dtype=str(array.dtype)))
+
+    def close_and_unlink(self) -> None:
+        """Release the parent's mapping and remove the segment (idempotent)."""
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_and_unlink()
+
+
+class attached_view:
+    """Worker-side context manager: attach ``spec`` and yield a frozen view.
+
+    The view is marked non-writeable — workers read frames, they never
+    mutate the parent's buffer — and the segment is closed (never
+    unlinked; that is the parent's job) on exit, even when the worker
+    body raises.
+    """
+
+    def __init__(self, spec: SharedArraySpec) -> None:
+        self._spec = spec
+        self._shm: Optional[shared_memory.SharedMemory] = None
+
+    def __enter__(self) -> np.ndarray:
+        self._shm = shared_memory.SharedMemory(name=self._spec.name)
+        view = np.ndarray(self._spec.shape, dtype=np.dtype(self._spec.dtype),
+                          buffer=self._shm.buf)
+        view.flags.writeable = False
+        return view
+
+    def __exit__(self, *exc_info) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+
+def leaked_segments() -> List[str]:
+    """Names of this module's segments still present in ``/dev/shm``.
+
+    Empty on a healthy run; tests assert that around every parallel call
+    (including failing ones).  On platforms without a ``/dev/shm``
+    directory the check degrades to "nothing observable leaked".
+    """
+    try:
+        return sorted(entry for entry in os.listdir("/dev/shm")
+                      if entry.startswith(SHM_PREFIX))
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []

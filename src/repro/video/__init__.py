@@ -48,6 +48,7 @@ from repro.video.gop import (
     encode_gop_batch,
     encode_sequence_parallel,
     split_into_gops,
+    stream_digest,
 )
 from repro.video.metrics import mse, psnr, residual_energy
 from repro.video.rate_control import RateController, RateControlSettings
@@ -100,6 +101,7 @@ __all__ = [
     "encode_gop_batch",
     "encode_sequence_parallel",
     "split_into_gops",
+    "stream_digest",
     "RateController",
     "RateControlSettings",
     "SCENE_KINDS",

@@ -8,17 +8,28 @@ cadence and at detected scene cuts — and encodes them with one of three
 interchangeable strategies, all producing **bit-identical**
 :class:`~repro.video.codec.FrameStatistics` streams:
 
-``serial``    one GOP after another (the reference),
-``threads``   GOPs sharded across a :mod:`concurrent.futures` thread
-              pool — wall-clock scaling on multi-core hosts,
-``lockstep``  up to ``workers`` GOPs advance one frame per pass with the
-              heavy kernels batched *across* GOPs (stacked screened full
-              search, one transform batch) — wall-clock scaling even on
-              a single core, because per-call overhead is amortised over
-              the whole group.
+``serial``     one GOP after another (the reference),
+``threads``    GOPs sharded across a :mod:`concurrent.futures` thread
+               pool — GIL-bound, a measured 0.97x *loss* on compute-heavy
+               encodes (kept for I/O-bound configurations and as a
+               scheduling reference),
+``lockstep``   up to ``workers`` GOPs advance one frame per pass with the
+               heavy kernels batched *across* GOPs (stacked screened full
+               search, one transform batch) — wall-clock scaling even on
+               a single core, because per-call overhead is amortised over
+               the whole group,
+``processes``  GOPs sharded across spawned worker processes
+               (:mod:`repro.par.gop`): frames travel once through a
+               shared-memory segment, each worker starts from the
+               parent's exported flow cache, and shards reassemble in
+               GOP order — real multicore scaling.
 
-``auto`` picks ``lockstep`` when the configuration supports cross-GOP
-batching (full search, batchable transform) and ``threads`` otherwise.
+``auto`` resolves from a fixed table: ``serial`` when there is nothing
+to parallelise (one worker or one GOP), else ``lockstep`` when the
+configuration supports cross-GOP batching (full search, batchable
+transform), else ``processes`` when the host has more than one core,
+else ``serial`` — never ``threads``, which loses wall-clock on the
+encode path.
 
 Rate control composes with every strategy: the caller's
 :class:`~repro.video.rate_control.RateController` is cloned per GOP, so
@@ -73,7 +84,7 @@ DEFAULT_GOP_SIZE = 8
 DEFAULT_SCENE_CUT_THRESHOLD = 35.0
 
 #: Strategies accepted by :func:`encode_sequence_parallel`.
-STRATEGIES = ("auto", "serial", "threads", "lockstep")
+STRATEGIES = ("auto", "serial", "threads", "lockstep", "processes")
 
 
 @dataclass(frozen=True)
@@ -172,6 +183,38 @@ class GopEncodeOutcome:
         return float(np.mean([stats.psnr_db for stats in self.statistics]))
 
 
+def stream_digest(statistics: Sequence[FrameStatistics]) -> str:
+    """Canonical SHA-256 of a statistics stream, down to the coefficients.
+
+    Covers everything a decoder (or a regression harness) cares about:
+    per-frame type/QP/PSNR/bit counts and every macroblock's mode,
+    motion vector and quantised ``level_blocks``.  Two encodes are
+    bit-identical iff their digests match — this is the oracle the
+    serial-vs-processes conformance suite and the scaling benchmark
+    assert against.
+    """
+    import hashlib
+    import struct
+
+    digest = hashlib.sha256()
+    for stats in statistics:
+        digest.update(struct.pack(
+            "<iidiii", stats.frame_index, stats.qp,
+            stats.psnr_db, stats.estimated_bits,
+            stats.search_candidates, stats.dct_blocks))
+        digest.update(stats.frame_type.encode())
+        for block in stats.macroblocks:
+            digest.update(struct.pack(
+                "<iiiiii", block.top, block.left,
+                block.motion_vector[0], block.motion_vector[1],
+                int(block.sad), block.estimated_bits))
+            digest.update(block.mode.encode())
+            for levels in block.level_blocks:
+                digest.update(np.ascontiguousarray(
+                    levels, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
 def compile_gop_kernels(configuration: EncoderConfiguration,
                         cache="shared") -> int:
     """Compile the configuration's mappable kernels through the shared flow.
@@ -206,13 +249,31 @@ def _lockstep_supported(configuration: EncoderConfiguration) -> bool:
 
 def _resolve_strategy(strategy: str, configuration: EncoderConfiguration,
                       workers: int, gop_count: int) -> str:
+    """Resolution table (pinned by ``tests/video/test_gop.py``):
+
+    ==========================  ======================= =============
+    workers<=1 or gop_count<=1  lockstep supported?     cores > 1?
+    ==========================  ======================= =============
+    yes → ``serial``            —                       —
+    no                          yes → ``lockstep``      —
+    no                          no                      yes → ``processes``
+    no                          no                      no → ``serial``
+    ==========================  ======================= =============
+
+    ``threads`` is never auto-selected: the GIL makes it a measured
+    0.97x loss on the encode path (``BENCH_gop.json``).
+    """
+    from repro.par.pool import available_cpus
+
     if strategy not in STRATEGIES:
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
     if strategy == "auto":
         if workers <= 1 or gop_count <= 1:
             return "serial"
-        return "lockstep" if _lockstep_supported(configuration) else "threads"
+        if _lockstep_supported(configuration):
+            return "lockstep"
+        return "processes" if available_cpus() > 1 else "serial"
     if strategy == "lockstep" and not _lockstep_supported(configuration):
         raise ConfigurationError(
             "lockstep needs the batched engine path: vectorized=True, "
@@ -250,12 +311,36 @@ def encode_sequence_parallel(frames: Sequence[np.ndarray],
                              workers: int = 4, strategy: str = "auto",
                              rate_controller: Optional[RateController] = None,
                              gops: Optional[List[Gop]] = None,
-                             compile_kernels: bool = True) -> GopEncodeOutcome:
+                             compile_kernels: bool = True,
+                             timeout: Optional[float] = None,
+                             backend=None) -> GopEncodeOutcome:
     """Encode a sequence as closed GOPs, sharded over ``workers``.
 
     The returned statistics stream is bit-identical for every strategy
     (including ``serial``), so parallelism is purely a scheduling
-    decision.  Pass ``gops`` to override the automatic split.
+    decision — pick by where the work should run:
+
+    =============  ==========================  =========================
+    strategy       mechanism                   wins when
+    =============  ==========================  =========================
+    ``serial``     one GOP after another       one core, one GOP, or as
+                                               the conformance reference
+    ``lockstep``   kernels batched across      batchable configuration
+                   GOPs, single process        (full search + batched
+                                               transform) — any host
+    ``processes``  GOPs sharded over spawned   compute-bound encodes on
+                   worker processes            a multicore host
+    ``threads``    thread pool (GIL-bound,     I/O-bound configurations
+                   measured 0.97x loss)        only; never ``auto``
+    ``auto``       the resolution table of     —
+                   :func:`_resolve_strategy`
+    =============  ==========================  =========================
+
+    Pass ``gops`` to override the automatic split.  ``timeout``
+    (seconds, whole batch) and ``backend`` (a reusable
+    :class:`repro.par.ProcessBackend`) apply to the ``processes``
+    strategy only; scripts selecting it need the standard ``__main__``
+    guard, as worker processes are spawned, not forked.
     """
     configuration = configuration or EncoderConfiguration()
     frames = list(frames)
@@ -278,6 +363,12 @@ def encode_sequence_parallel(frames: Sequence[np.ndarray],
                                    compile_kernels)
                        for gop in gops]
             shards = [future.result() for future in futures]
+    elif resolved == "processes":
+        from repro.par.gop import encode_gops_processes
+
+        shards = encode_gops_processes(frames, gops, configuration,
+                                       rate_controller, workers,
+                                       timeout=timeout, backend=backend)
     else:
         shards = _encode_gops_lockstep(frames, gops, configuration,
                                        rate_controller, workers)

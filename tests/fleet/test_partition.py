@@ -1,0 +1,142 @@
+"""Partitioned fleet simulation: routing, splits, and the serial merge.
+
+Everything here runs in-process (``parallel="serial"`` or one
+partition), which exercises the exact worker body the processes backend
+dispatches; the serial-vs-processes digest conformance lives in
+``tests/par/test_conformance_random.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.fleet import (
+    FleetSettings,
+    execute_fleet_serial,
+    partition_jobs,
+    partition_soc_counts,
+    simulate_fleet,
+    simulate_fleet_partitioned,
+    synthetic_trace,
+)
+from repro.fleet import partition as partition_module
+from repro.serve.kernels import KernelLibrary
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return synthetic_trace("diurnal", 24, seed=3, mean_gap=1_500)
+
+
+class TestRouting:
+    def test_jobs_route_by_id_mod_partitions(self, jobs):
+        shards = partition_jobs(jobs, 3)
+        assert sum(len(shard) for shard in shards) == len(jobs)
+        for index, shard in enumerate(shards):
+            assert all(job.job_id % 3 == index for job in shard)
+
+    def test_routing_preserves_input_order(self, jobs):
+        for shard in partition_jobs(jobs, 2):
+            ids = [job.job_id for job in shard]
+            original = [job.job_id for job in jobs if job.job_id in set(ids)]
+            assert ids == original
+
+    def test_zero_partitions_rejected(self, jobs):
+        with pytest.raises(ConfigurationError):
+            partition_jobs(jobs, 0)
+
+
+class TestSocSplit:
+    def test_near_even_split(self):
+        assert partition_soc_counts(8, 3) == [3, 3, 2]
+        assert partition_soc_counts(6, 2) == [3, 3]
+        assert partition_soc_counts(4, 4) == [1, 1, 1, 1]
+
+    def test_cannot_cut_finer_than_one_soc(self):
+        with pytest.raises(ConfigurationError, match="at least one SoC"):
+            partition_soc_counts(2, 3)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_soc_counts(4, 0)
+
+
+class TestSerialMerge:
+    def test_single_partition_is_exactly_simulate_fleet(self, jobs):
+        settings = FleetSettings(soc_count=4)
+        whole = simulate_fleet(jobs, settings, library=KernelLibrary())
+        report = simulate_fleet_partitioned(jobs, settings, partitions=1)
+        assert report.digests == whole.digests
+        assert report.completed == whole.completed
+        assert report.rejected == whole.rejected
+        assert report.shed == whole.shed
+        assert report.makespan_cycles == whole.makespan_cycles
+        assert report.events_processed == whole.events_processed
+        assert report.total_energy == pytest.approx(whole.total_energy)
+        assert report.latency_percentiles() == whole.latency_percentiles()
+
+    def test_partitioned_digests_match_naive_serial_execution(self, jobs):
+        serial = {result.job_id: result.digest
+                  for result in execute_fleet_serial(jobs)}
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=6),
+                                            partitions=3, parallel="serial")
+        digests = report.digests
+        assert digests
+        assert digests == {job_id: serial[job_id] for job_id in digests}
+        assert report.conserved
+
+    def test_completion_order_is_merged_and_sorted(self, jobs):
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=4),
+                                            partitions=2, parallel="serial")
+        order = report.completion_order()
+        assert len(order) == report.completed
+        assert order == sorted(order)
+        assert {job_id for _, job_id in order} \
+            == set(report.digests)
+
+    def test_latency_percentiles_pool_all_partitions(self, jobs):
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=4),
+                                            partitions=2, parallel="serial")
+        pooled = np.sort(np.concatenate(
+            [np.asarray(part.latencies) for part in report.partitions]))
+        percentiles = report.latency_percentiles()
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert percentiles["p99"] <= pooled.max()
+
+    def test_summary_headline_fields(self, jobs):
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=4),
+                                            partitions=2, parallel="serial")
+        summary = report.summary()
+        assert summary["partitions"] == 2
+        assert summary["parallel"] == "serial"
+        assert summary["completed"] == report.completed
+        assert summary["makespan_cycles"] == report.makespan_cycles
+        assert "latency_p99" in summary
+
+    def test_min_awake_clamped_to_partition_size(self, jobs):
+        settings = FleetSettings(soc_count=4, autoscale=True, min_awake=4)
+        report = simulate_fleet_partitioned(jobs, settings, partitions=4,
+                                            parallel="serial")
+        assert report.conserved
+        assert all(part.soc_count == 1 for part in report.partitions)
+
+    def test_unknown_backend_rejected(self, jobs):
+        with pytest.raises(ConfigurationError, match="parallel backend"):
+            simulate_fleet_partitioned(jobs, parallel="threads")
+
+
+class TestDefaults:
+    def test_single_core_host_falls_back_inline(self, jobs, monkeypatch):
+        # partitions defaults to min(cores, soc_count); with one core the
+        # serial path runs inline even though parallel="processes".
+        monkeypatch.setattr(partition_module, "available_cpus", lambda: 1)
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=4))
+        assert len(report.partitions) == 1
+        assert report.conserved
+
+    def test_default_partition_count_clamps_to_socs(self, jobs, monkeypatch):
+        monkeypatch.setattr(partition_module, "available_cpus", lambda: 64)
+        report = simulate_fleet_partitioned(jobs, FleetSettings(soc_count=2),
+                                            parallel="serial")
+        assert len(report.partitions) == 2

@@ -1,0 +1,18 @@
+"""Shared fixtures for the multiprocess-backend tests.
+
+One warm :class:`~repro.par.ProcessBackend` serves every test that
+dispatches healthy work: spawning a Python worker costs a few hundred
+milliseconds, so the suite pays it once instead of once per call.
+Destructive tests (poison jobs, timeouts) use their own ephemeral pools
+— a broken pool must never leak into the shared backend.
+"""
+
+import pytest
+
+from repro.par import ProcessBackend
+
+
+@pytest.fixture(scope="session")
+def process_backend():
+    with ProcessBackend(workers=2) as backend:
+        yield backend

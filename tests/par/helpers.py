@@ -1,0 +1,46 @@
+"""Module-level worker functions for the process-pool tests.
+
+``spawn`` workers can only run importable module-level callables with
+picklable arguments, so every task body the tests dispatch lives here
+rather than inline in the test functions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo(value):
+    """Return the argument unchanged (ordering and plumbing tests)."""
+    return value
+
+
+def slow_echo(value, seconds):
+    """Return the argument after sleeping (timeout tests)."""
+    time.sleep(seconds)
+    return value
+
+
+def raise_value_error(message):
+    """Fail with a ValueError carrying ``message``."""
+    raise ValueError(message)
+
+
+def die(code):
+    """Kill the worker process outright — no exception, no return value."""
+    os._exit(code)
+
+
+def compile_and_report(_token):
+    """Compile a design through the worker's DEFAULT_CACHE.
+
+    Returns the worker-side cache statistics, so the parent can assert
+    whether the compile was served warm (a hit against the imported
+    state) or cold (a miss the delta carries back).
+    """
+    from repro.dct import MixedRomDCT
+    from repro.flow import cache as flow_cache
+
+    flow_cache.compile(MixedRomDCT())
+    return flow_cache.DEFAULT_CACHE.stats()

@@ -1,0 +1,125 @@
+"""FlowCache export/import: the cache-warmth wire format across spawn."""
+
+import pickle
+
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct import CordicDCT1, MixedRomDCT, SCCDirectDCT
+from repro.flow import CACHE_STATE_VERSION, Flow, FlowCache
+from repro.flow import compile as flow_compile
+from repro.flow.cache import _STATE_FORMAT
+
+
+def assert_results_identical(first, second):
+    """Bit-identity of two FlowResults: bitstream, metrics, fingerprints."""
+    assert first.design_name == second.design_name
+    assert first.table_row() == second.table_row()
+    assert first.bitstream.total_bits() == second.bitstream.total_bits()
+    assert first.bitstream.serialize() == second.bitstream.serialize()
+    assert first.metrics.summary() == second.metrics.summary()
+
+
+@pytest.fixture(scope="module")
+def warm_cache():
+    cache = FlowCache()
+    flow_compile(MixedRomDCT(), cache=cache)
+    flow_compile(SCCDirectDCT(), cache=cache)
+    return cache
+
+
+class TestRoundTrip:
+    def test_import_restores_bit_identical_entries(self, warm_cache):
+        restored = FlowCache()
+        imported = restored.import_state(warm_cache.export_state())
+        assert imported == len(warm_cache) == 2
+        assert restored.keys() == warm_cache.keys()
+        for key in warm_cache.keys():
+            original = warm_cache.get(key)
+            copy = restored.get(key)
+            assert_results_identical(original, copy)
+
+    def test_imported_entries_serve_hits(self, warm_cache):
+        restored = FlowCache()
+        restored.import_state(warm_cache.export_state())
+        result = flow_compile(MixedRomDCT(), cache=restored)
+        assert result.cache_hit
+        assert_results_identical(result, flow_compile(MixedRomDCT(),
+                                                      cache=warm_cache))
+
+    def test_import_is_bookkeeping_not_traffic(self, warm_cache):
+        restored = FlowCache()
+        restored.import_state(warm_cache.export_state())
+        assert restored.stats()["hits"] == 0
+        assert restored.stats()["misses"] == 0
+
+    def test_subset_export_by_keys(self, warm_cache):
+        keys = warm_cache.keys()
+        chosen = {sorted(keys)[0]}
+        restored = FlowCache()
+        assert restored.import_state(warm_cache.export_state(keys=chosen)) == 1
+        assert restored.keys() == chosen
+
+    def test_reimport_skips_present_keys(self, warm_cache):
+        restored = FlowCache()
+        blob = warm_cache.export_state()
+        assert restored.import_state(blob) == 2
+        assert restored.import_state(blob) == 0
+        assert restored.import_state(blob, replace=True) == 2
+
+
+class TestCapacity:
+    def test_import_respects_max_entries(self, warm_cache):
+        small = FlowCache(max_entries=1)
+        imported = small.import_state(warm_cache.export_state())
+        assert imported == 2
+        assert len(small) == 1
+
+    def test_import_keeps_most_recent_entry(self, warm_cache):
+        # Export order is least-recent first, so the survivor of an
+        # oversized import is the exporting cache's most recent entry.
+        donor = FlowCache()
+        first = flow_compile(MixedRomDCT(), cache=donor)
+        second = flow_compile(CordicDCT1(), cache=donor)
+        assert first.design_name != second.design_name
+        small = FlowCache(max_entries=1)
+        small.import_state(donor.export_state())
+        survivor = small.get(sorted(small.keys())[0])
+        assert survivor.design_name == second.design_name
+
+
+class TestRejection:
+    def test_version_mismatch_rejected(self, warm_cache):
+        envelope = pickle.loads(warm_cache.export_state())
+        envelope["version"] = CACHE_STATE_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version mismatch"):
+            FlowCache().import_state(pickle.dumps(envelope))
+
+    def test_missing_format_marker_rejected(self):
+        with pytest.raises(ConfigurationError, match="format marker"):
+            FlowCache().import_state(pickle.dumps({"entries": []}))
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a FlowCache"):
+            FlowCache().import_state(b"\x00not a pickle")
+
+    def test_format_marker_value(self, warm_cache):
+        envelope = pickle.loads(warm_cache.export_state())
+        assert envelope["format"] == _STATE_FORMAT
+        assert envelope["version"] == CACHE_STATE_VERSION
+
+
+class TestPickleSafety:
+    def test_flow_result_pickles_bit_identically(self):
+        result = flow_compile(MixedRomDCT(), cache=None)
+        clone = pickle.loads(pickle.dumps(result))
+        assert_results_identical(result, clone)
+        assert clone.verification.passed == result.verification.passed
+
+    def test_noc_flow_result_pickles(self):
+        flow = Flow.with_noc()
+        result = flow.compile(MixedRomDCT())
+        clone = pickle.loads(pickle.dumps(result))
+        assert_results_identical(result, clone)
+        assert clone.noc is not None

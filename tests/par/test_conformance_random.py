@@ -1,0 +1,133 @@
+"""Randomized serial-vs-processes conformance: 54 drawn traces.
+
+The multiprocess backend is a scheduling decision, never a semantic one:
+for every drawn GOP-encode trace the processes strategy must reproduce
+the serial statistics stream digest-for-digest, and for every drawn
+fleet trace the partitioned processes run must reproduce the partitioned
+serial run *and* the naive serial execution of the same jobs.  One warm
+two-worker backend serves the whole suite, so worker startup is paid
+once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BALANCERS,
+    FLEET_PATTERNS,
+    FleetSettings,
+    execute_fleet_serial,
+    simulate_fleet_partitioned,
+    synthetic_trace,
+)
+from repro.par import leaked_segments
+from repro.video import EncoderConfiguration
+from repro.video.gop import encode_sequence_parallel, stream_digest
+from repro.video.rate_control import RateController, RateControlSettings
+from repro.video.scenes import SCENE_KINDS, scene_frames
+
+GOP_CASES = 24
+FLEET_CASES = 30
+POLICY_RING = ("fifo", "sjf", "affinity", "round_robin")
+BALANCER_RING = tuple(sorted(BALANCERS))
+
+
+def _draw_gop_case(case_index):
+    rng = np.random.default_rng([2026, 8, case_index])
+    kind = SCENE_KINDS[case_index % len(SCENE_KINDS)]
+    frames = scene_frames(kind, count=int(rng.integers(5, 10)),
+                          height=32, width=48, seed=case_index)
+    configuration = EncoderConfiguration(
+        search_range=4, qp=int(rng.integers(8, 25)))
+    controller = None
+    if case_index % 3 == 0:
+        controller = RateController(RateControlSettings(
+            target_bits_per_frame=int(rng.integers(4_000, 16_000)),
+            base_qp=int(rng.integers(10, 30))))
+    return {
+        "frames": frames,
+        "configuration": configuration,
+        "gop_size": int(rng.integers(2, 5)),
+        "rate_controller": controller,
+        "workers": int(rng.integers(2, 5)),
+    }
+
+
+def _draw_fleet_case(case_index):
+    rng = np.random.default_rng([2026, 9, case_index])
+    pattern = FLEET_PATTERNS[case_index % len(FLEET_PATTERNS)]
+    jobs = synthetic_trace(pattern, int(rng.integers(8, 25)),
+                           seed=case_index,
+                           mean_gap=int(rng.integers(300, 4_000)))
+    partitions = int(rng.integers(2, 4))
+    kwargs = {
+        "balancer": BALANCER_RING[case_index % len(BALANCER_RING)],
+        "policy": POLICY_RING[case_index % len(POLICY_RING)],
+        "soc_count": int(rng.integers(partitions, 7)),
+        "queue_capacity": int(rng.integers(4, 33)),
+        "max_batch": int(rng.integers(1, 7)),
+        "steal": bool(rng.integers(0, 2)),
+        "predictive_prewarm": bool(rng.integers(0, 2)),
+    }
+    if case_index % 4 == 1:
+        kwargs["autoscale"] = True
+        kwargs["idle_timeout"] = int(rng.integers(5_000, 50_000))
+    if case_index % 5 == 2:
+        kwargs["slo_target_p99"] = int(rng.integers(200_000, 2_000_000))
+    return jobs, FleetSettings(**kwargs), partitions
+
+
+class TestGopConformance:
+    def test_processes_digests_match_serial(self, process_backend):
+        for case_index in range(GOP_CASES):
+            case = _draw_gop_case(case_index)
+            workers = case.pop("workers")
+            controller = case.pop("rate_controller")
+
+            def clone():
+                return (RateController(controller.settings)
+                        if controller is not None else None)
+
+            serial = encode_sequence_parallel(
+                strategy="serial", rate_controller=clone(), **case)
+            parallel = encode_sequence_parallel(
+                strategy="processes", workers=workers,
+                rate_controller=clone(), backend=process_backend, **case)
+            assert parallel.strategy == "processes"
+            assert stream_digest(parallel.statistics) \
+                == stream_digest(serial.statistics), (
+                f"GOP case {case_index}: scheduling changed the stream")
+            assert parallel.qp_trajectories == serial.qp_trajectories, (
+                f"GOP case {case_index}: rate control diverged")
+        assert leaked_segments() == []
+
+
+class TestFleetConformance:
+    def test_partitioned_processes_matches_serial(self, process_backend):
+        for case_index in range(FLEET_CASES):
+            jobs, settings, partitions = _draw_fleet_case(case_index)
+            serial = simulate_fleet_partitioned(jobs, settings,
+                                                partitions=partitions,
+                                                parallel="serial")
+            parallel = simulate_fleet_partitioned(jobs, settings,
+                                                  partitions=partitions,
+                                                  parallel="processes",
+                                                  backend=process_backend)
+            context = f"fleet case {case_index}"
+            assert parallel.digests == serial.digests, context
+            assert parallel.completion_order() \
+                == serial.completion_order(), context
+            assert parallel.makespan_cycles == serial.makespan_cycles, context
+            serial_summary = serial.summary()
+            parallel_summary = parallel.summary()
+            # The backend name is the only legitimate difference.
+            assert serial_summary.pop("parallel") == "serial"
+            assert parallel_summary.pop("parallel") == "processes"
+            assert parallel_summary == serial_summary, context
+            assert parallel.conserved, context
+
+            naive = {result.job_id: result.digest
+                     for result in execute_fleet_serial(jobs)}
+            digests = parallel.digests
+            assert digests == {job_id: naive[job_id]
+                               for job_id in digests}, context

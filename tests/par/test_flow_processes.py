@@ -1,0 +1,78 @@
+"""Process-backed compile_many: identical results, cache as-if-local."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct import CordicDCT1, MixedRomDCT, SCCDirectDCT
+from repro.flow import COMPILE_BACKENDS, Flow, FlowCache, compile_many
+from repro.par.flow import _compile_design_group, _contiguous_groups
+
+from tests.par.test_cache_state import assert_results_identical
+
+DESIGNS = (MixedRomDCT, SCCDirectDCT, CordicDCT1)
+
+
+def make_designs():
+    return [factory() for factory in DESIGNS]
+
+
+class TestIdentity:
+    def test_processes_matches_serial(self, process_backend):
+        serial = compile_many(make_designs(), cache=None, parallel="serial")
+        parallel = compile_many(make_designs(), cache=None,
+                                parallel="processes",
+                                backend=process_backend)
+        assert len(parallel) == len(serial)
+        for left, right in zip(serial, parallel):
+            assert_results_identical(left, right)
+
+    def test_results_in_input_order(self, process_backend):
+        results = compile_many(make_designs(), cache=None,
+                               parallel="processes", backend=process_backend)
+        assert [result.design_name for result in results] \
+            == [design.name for design in make_designs()]
+
+    def test_empty_design_list(self):
+        assert compile_many([], parallel="processes") == []
+
+
+class TestCacheAsIfLocal:
+    def test_parent_cache_warm_after_call(self, process_backend):
+        cache = FlowCache()
+        compile_many(make_designs(), cache=cache, parallel="processes",
+                     backend=process_backend)
+        assert len(cache) == len(DESIGNS)
+        rerun = compile_many(make_designs(), cache=cache, parallel="serial")
+        assert all(result.cache_hit for result in rerun)
+
+    def test_matches_what_serial_compile_leaves(self, process_backend):
+        serial_cache, process_cache = FlowCache(), FlowCache()
+        compile_many(make_designs(), cache=serial_cache, parallel="serial")
+        compile_many(make_designs(), cache=process_cache,
+                     parallel="processes", backend=process_backend)
+        assert serial_cache.keys() == process_cache.keys()
+
+
+class TestWorkerBody:
+    def test_compile_design_group_in_process(self):
+        flow = Flow.default()
+        results = _compile_design_group([MixedRomDCT()], None, flow)
+        assert results[0].design_name == "mixed_rom"
+
+    def test_contiguous_groups_cover_everything_in_order(self):
+        items = list(range(7))
+        for count in (1, 2, 3, 7, 9):
+            groups = _contiguous_groups(items, count)
+            assert [x for group in groups for x in group] == items
+            assert all(group for group in groups)
+            sizes = [len(group) for group in groups]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestValidation:
+    def test_backend_registry(self):
+        assert COMPILE_BACKENDS == ("serial", "threads", "processes")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="parallel backend"):
+            compile_many(make_designs(), parallel="fibers")

@@ -1,0 +1,134 @@
+"""The processes GOP strategy: bit-identity, reassembly, failure context."""
+
+import numpy as np
+import pytest
+
+from repro.par import WorkerFailure, WorkerTimeout, leaked_segments
+from repro.par.gop import _encode_gop_shard, _share_frames
+from repro.video import EncoderConfiguration
+from repro.video.frames import panning_sequence
+from repro.video.gop import (
+    Gop,
+    encode_sequence_parallel,
+    split_into_gops,
+    stream_digest,
+)
+from repro.video.rate_control import RateController, RateControlSettings
+
+from tests.video.test_gop import assert_statistics_identical
+
+CONFIGURATION = EncoderConfiguration(search_range=4)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    sequence = panning_sequence(height=48, width=64, pan=(1, 2), seed=11)
+    return [sequence.frame(index) for index in range(10)]
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(frames):
+    return encode_sequence_parallel(frames, CONFIGURATION, gop_size=3,
+                                    strategy="serial")
+
+
+class TestBitIdentity:
+    def test_processes_matches_serial(self, frames, serial_outcome,
+                                      process_backend):
+        outcome = encode_sequence_parallel(frames, CONFIGURATION, gop_size=3,
+                                           strategy="processes", workers=2,
+                                           backend=process_backend)
+        assert outcome.strategy == "processes"
+        assert_statistics_identical(serial_outcome.statistics,
+                                    outcome.statistics)
+        assert stream_digest(outcome.statistics) \
+            == stream_digest(serial_outcome.statistics)
+        assert np.array_equal(outcome.final_reference,
+                              serial_outcome.final_reference)
+        assert leaked_segments() == []
+
+    def test_rate_control_composes(self, frames, process_backend):
+        def controller():
+            return RateController(RateControlSettings(target_bits_per_frame=
+                                                      9_000))
+        serial = encode_sequence_parallel(frames, CONFIGURATION, gop_size=3,
+                                          strategy="serial",
+                                          rate_controller=controller())
+        parallel = encode_sequence_parallel(frames, CONFIGURATION, gop_size=3,
+                                            strategy="processes", workers=2,
+                                            rate_controller=controller(),
+                                            backend=process_backend)
+        assert_statistics_identical(serial.statistics, parallel.statistics)
+        assert serial.qp_trajectories == parallel.qp_trajectories
+
+    def test_odd_gop_to_worker_ratios(self, frames, serial_outcome,
+                                      process_backend):
+        # 4 GOPs over 3 workers and over more workers than GOPs: shards
+        # must reassemble in GOP order either way.
+        for workers in (3, 8):
+            outcome = encode_sequence_parallel(frames, CONFIGURATION,
+                                               gop_size=3,
+                                               strategy="processes",
+                                               workers=workers,
+                                               backend=process_backend)
+            assert_statistics_identical(serial_outcome.statistics,
+                                        outcome.statistics)
+
+
+class TestWorkerBodies:
+    """The shard body runs in-process too — same bits, coverage included."""
+
+    def test_shard_body_with_shared_frames(self, frames, serial_outcome):
+        shared, payload = _share_frames(frames)
+        try:
+            bounds = [(gop.index, gop.start, gop.stop)
+                      for gop in split_into_gops(frames, 3)]
+            shards = _encode_gop_shard(payload, bounds, CONFIGURATION, None)
+        finally:
+            shared.close_and_unlink()
+        statistics = [stats for _, stats, _, _ in shards]
+        assert_statistics_identical(
+            serial_outcome.statistics,
+            [stats for shard in statistics for stats in shard])
+
+    def test_shard_body_with_pickled_fallback(self, frames, serial_outcome):
+        bounds = [(gop.index, gop.start, gop.stop)
+                  for gop in split_into_gops(frames, 3)]
+        shards = _encode_gop_shard(frames, bounds, CONFIGURATION, None)
+        statistics = [stats for shard in shards for stats in shard[1]]
+        assert_statistics_identical(serial_outcome.statistics, statistics)
+
+    def test_mixed_geometry_falls_back_to_pickling(self):
+        frames = [np.zeros((16, 16), dtype=np.uint8),
+                  np.zeros((32, 16), dtype=np.uint8)]
+        shared, payload = _share_frames(frames)
+        assert shared is None
+        assert len(payload) == 2
+        assert leaked_segments() == []
+
+
+class TestFailureContext:
+    def test_worker_failure_names_the_gop(self, frames):
+        # A GOP past the end of the sequence makes the worker fail on a
+        # frame lookup; the failure must name the GOP range, carry the
+        # original error, and leave /dev/shm clean.
+        bad_gops = [Gop(index=0, start=0, stop=5),
+                    Gop(index=1, start=5, stop=len(frames) + 40)]
+        with pytest.raises(WorkerFailure) as caught:
+            encode_sequence_parallel(frames, CONFIGURATION,
+                                     strategy="processes", workers=2,
+                                     gops=bad_gops)
+        assert "GOP 1..1" in str(caught.value)
+        assert caught.value.original_type == "IndexError"
+        assert caught.value.worker_traceback
+        assert leaked_segments() == []
+
+    def test_timeout_kwarg_fails_fast_and_cleans_up(self, frames):
+        # Spawning a fresh pool alone takes longer than this deadline,
+        # so the encode cannot finish: the timeout must surface as
+        # WorkerTimeout and the shared segment must be unlinked anyway.
+        with pytest.raises(WorkerTimeout):
+            encode_sequence_parallel(frames, CONFIGURATION, gop_size=3,
+                                     strategy="processes", workers=2,
+                                     timeout=0.01)
+        assert leaked_segments() == []

@@ -1,0 +1,128 @@
+"""The run_tasks harness: dispatch, cache warmth, failures, timeouts."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dct import MixedRomDCT
+from repro.flow import FlowCache
+from repro.flow import compile as flow_compile
+from repro.par import (
+    ProcessBackend,
+    WorkerFailure,
+    WorkerTimeout,
+    available_cpus,
+    leaked_segments,
+    run_tasks,
+    spawn_context,
+)
+from repro.par.pool import _run_shard
+from tests.par import helpers
+
+
+class TestPlumbing:
+    def test_results_in_task_order(self, process_backend):
+        values = list(range(7))
+        results = run_tasks(helpers.echo, [(value,) for value in values],
+                            [f"task {value}" for value in values],
+                            backend=process_backend)
+        assert results == values
+
+    def test_empty_batch_spawns_nothing(self):
+        assert run_tasks(helpers.echo, [], []) == []
+
+    def test_label_count_must_match(self):
+        with pytest.raises(ConfigurationError, match="labels"):
+            run_tasks(helpers.echo, [(1,), (2,)], ["only one"])
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+    def test_spawn_context_is_spawn(self):
+        assert spawn_context().get_start_method() == "spawn"
+
+    def test_backend_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(workers=0)
+
+
+class TestCacheWarmth:
+    def test_worker_starts_warm_from_parent_state(self, process_backend):
+        cache = FlowCache()
+        flow_compile(MixedRomDCT(), cache=cache)
+        stats, = run_tasks(helpers.compile_and_report, [("warm",)],
+                           ["warm compile"], cache=cache,
+                           backend=process_backend)
+        assert stats["hits"] >= 1
+
+    def test_worker_delta_merges_back(self):
+        # A cold private pool: the worker compiles fresh, and its new
+        # entry must land in the parent cache after the call.
+        cache = FlowCache()
+        assert len(cache) == 0
+        stats, = run_tasks(helpers.compile_and_report, [("cold",)],
+                           ["cold compile"], workers=1, cache=cache)
+        assert stats["misses"] >= 1
+        assert len(cache) == 1
+        result = flow_compile(MixedRomDCT(), cache=cache)
+        assert result.cache_hit
+
+    def test_run_shard_in_process_contract(self):
+        # The worker body itself, without a process: ok tuples carry the
+        # payload and a delta of added keys only.
+        outcome = _run_shard(helpers.echo, "label", None, ("payload",))
+        assert outcome[0] == "ok"
+        assert outcome[1] == "payload"
+
+    def test_run_shard_reports_errors_as_data(self):
+        outcome = _run_shard(helpers.raise_value_error, "shard 3", None,
+                             ("boom",))
+        kind, label, error_type, message, worker_tb = outcome
+        assert kind == "error"
+        assert label == "shard 3"
+        assert error_type == "ValueError"
+        assert message == "boom"
+        assert "raise_value_error" in worker_tb
+
+
+class TestFailures:
+    def test_raising_worker_surfaces_with_context(self):
+        with pytest.raises(WorkerFailure) as caught:
+            run_tasks(helpers.raise_value_error, [("kaboom",)],
+                      ["shard A"], workers=1)
+        failure = caught.value
+        assert "shard A" in str(failure)
+        assert failure.original_type == "ValueError"
+        assert failure.original_message == "kaboom"
+        assert "raise_value_error" in failure.worker_traceback
+
+    def test_dead_worker_surfaces_as_failure_not_broken_pool(self):
+        with pytest.raises(WorkerFailure) as caught:
+            run_tasks(helpers.die, [(17,)], ["poison shard"], workers=1)
+        assert "poison shard" in str(caught.value)
+        assert "died" in caught.value.original_message
+
+    def test_timeout_fails_fast(self):
+        started = time.monotonic()
+        with pytest.raises(WorkerTimeout) as caught:
+            run_tasks(helpers.slow_echo, [(1, 120.0)], ["sleepy shard"],
+                      workers=1, timeout=2.0)
+        elapsed = time.monotonic() - started
+        assert elapsed < 30.0
+        assert "sleepy shard" in str(caught.value)
+        assert caught.value.timeout == 2.0
+        assert isinstance(caught.value, WorkerFailure)
+
+    def test_broken_backend_recovers_on_next_use(self):
+        with ProcessBackend(workers=1) as backend:
+            with pytest.raises(WorkerFailure):
+                run_tasks(helpers.die, [(1,)], ["poison"], backend=backend)
+            results = run_tasks(helpers.echo, [(42,)], ["healthy"],
+                                backend=backend)
+            assert results == [42]
+
+    def test_failures_leak_no_shared_memory(self):
+        with pytest.raises(WorkerFailure):
+            run_tasks(helpers.raise_value_error, [("x",)], ["s"], workers=1)
+        assert leaked_segments() == []

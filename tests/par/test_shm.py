@@ -1,0 +1,75 @@
+"""Shared-memory frame buffers: create/attach/unlink lifecycle and leaks."""
+
+import numpy as np
+import pytest
+
+from repro.par import (
+    SHM_PREFIX,
+    SharedArray,
+    SharedArraySpec,
+    attached_view,
+    leaked_segments,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaks_before_or_after():
+    assert leaked_segments() == []
+    yield
+    assert leaked_segments() == []
+
+
+class TestSharedArray:
+    def test_round_trip_preserves_bytes(self):
+        data = np.arange(3 * 4 * 5, dtype=np.int16).reshape(3, 4, 5)
+        with SharedArray.create(data) as shared:
+            with attached_view(shared.spec) as view:
+                assert view.shape == data.shape
+                assert view.dtype == data.dtype
+                assert np.array_equal(view, data)
+
+    def test_spec_names_the_segment(self):
+        data = np.zeros((2, 2), dtype=np.uint8)
+        with SharedArray.create(data) as shared:
+            spec = shared.spec
+            assert isinstance(spec, SharedArraySpec)
+            assert spec.name.startswith(SHM_PREFIX)
+            assert spec.shape == (2, 2)
+            assert leaked_segments() == [spec.name]
+
+    def test_view_is_read_only(self):
+        with SharedArray.create(np.ones(4)) as shared:
+            with attached_view(shared.spec) as view:
+                with pytest.raises(ValueError):
+                    view[0] = 2.0
+
+    def test_creator_copy_is_independent(self):
+        source = np.arange(6).reshape(2, 3)
+        with SharedArray.create(source) as shared:
+            source[0, 0] = 99
+            with attached_view(shared.spec) as view:
+                assert view[0, 0] == 0
+
+    def test_close_and_unlink_is_idempotent(self):
+        shared = SharedArray.create(np.zeros(3))
+        shared.close_and_unlink()
+        shared.close_and_unlink()
+        assert leaked_segments() == []
+
+    def test_attach_after_unlink_fails(self):
+        shared = SharedArray.create(np.zeros(3))
+        spec = shared.spec
+        shared.close_and_unlink()
+        with pytest.raises(FileNotFoundError):
+            with attached_view(spec):
+                pass
+
+    def test_attached_view_never_unlinks(self):
+        shared = SharedArray.create(np.zeros(3))
+        try:
+            with attached_view(shared.spec):
+                pass
+            # The segment must survive a reader detaching.
+            assert leaked_segments() == [shared.spec.name]
+        finally:
+            shared.close_and_unlink()

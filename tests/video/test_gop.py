@@ -171,22 +171,67 @@ class TestStrategyBitIdentity:
 
 
 class TestStrategySelection:
+    """Pin the ``auto`` resolution table of ``_resolve_strategy``.
+
+    ``threads`` must never be auto-selected (a measured 0.97x loss on the
+    encode path); multicore hosts get ``processes``, single-core hosts
+    fall back to ``serial``.
+    """
+
     def test_auto_prefers_lockstep_for_batchable_configuration(self, pan_frames):
         outcome = encode_sequence_parallel(pan_frames, EncoderConfiguration(),
                                            gop_size=6, workers=2)
         assert outcome.strategy == "lockstep"
-
-    def test_auto_falls_back_to_threads(self, pan_frames):
-        configuration = EncoderConfiguration(search_name="three_step")
-        outcome = encode_sequence_parallel(pan_frames[:6], configuration,
-                                           gop_size=3, workers=2)
-        assert outcome.strategy == "threads"
 
     def test_auto_serial_for_single_worker(self, pan_frames):
         outcome = encode_sequence_parallel(pan_frames[:6],
                                            EncoderConfiguration(),
                                            gop_size=3, workers=1)
         assert outcome.strategy == "serial"
+
+    def test_auto_resolution_table(self, monkeypatch):
+        from repro.par import pool as par_pool
+        from repro.video.gop import _lockstep_supported, _resolve_strategy
+
+        batchable = EncoderConfiguration()
+        unbatchable = EncoderConfiguration(search_name="three_step")
+        assert not _lockstep_supported(unbatchable)
+        for cores, configuration, workers, gop_count, expected in [
+            # Nothing to parallelise: serial, whatever the host offers.
+            (8, batchable, 1, 4, "serial"),
+            (8, batchable, 4, 1, "serial"),
+            # Batchable: lockstep even on one core (it scales per-call
+            # overhead, not cores).
+            (1, batchable, 4, 4, "lockstep"),
+            (8, batchable, 4, 4, "lockstep"),
+            # Unbatchable on a multicore host: real processes.
+            (2, unbatchable, 4, 4, "processes"),
+            (8, unbatchable, 2, 8, "processes"),
+            # Unbatchable on one core: serial — never threads.
+            (1, unbatchable, 4, 4, "serial"),
+        ]:
+            monkeypatch.setattr(par_pool, "available_cpus", lambda n=cores: n)
+            resolved = _resolve_strategy("auto", configuration, workers,
+                                         gop_count)
+            assert resolved == expected, (cores, workers, gop_count)
+            assert resolved != "threads"
+
+    def test_auto_never_selects_threads_on_multicore(self, monkeypatch):
+        from repro.par import pool as par_pool
+        from repro.video.gop import _resolve_strategy
+
+        monkeypatch.setattr(par_pool, "available_cpus", lambda: 16)
+        for search in ("three_step", "diamond"):
+            configuration = EncoderConfiguration(search_name=search)
+            assert _resolve_strategy("auto", configuration, 4, 4) \
+                == "processes"
+
+    def test_explicit_strategies_pass_through(self):
+        from repro.video.gop import _resolve_strategy
+
+        configuration = EncoderConfiguration(search_name="three_step")
+        for strategy in ("serial", "threads", "processes"):
+            assert _resolve_strategy(strategy, configuration, 4, 4) == strategy
 
     def test_explicit_lockstep_rejects_unbatchable_configuration(self, pan_frames):
         configuration = EncoderConfiguration(search_name="diamond")
