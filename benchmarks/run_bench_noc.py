@@ -10,7 +10,9 @@ fronts so the communication-cost trajectory is tracked PR over PR.
 
 Also records the batched-vs-scalar simulator speedup (the fleet of
 topology/traffic pairs the explorer evaluates per sweep) after asserting
-the two implementations agree flit for flit.
+the two implementations agree flit for flit, an adaptive-vs-static
+routing comparison at matched injection on the adversarial pattern set,
+and latency-vs-injection-level saturation curves with their knees.
 
 Run with:  python benchmarks/run_bench_noc.py [--output BENCH_noc.json]
 """
@@ -131,7 +133,7 @@ def bench_simulator(repeats: int) -> dict:
 
     report = {"description": "32 random 16-agent matrices on a 4x4 mesh, "
                              "batched evaluation vs a scalar loop"}
-    for model in ("analytic", "wormhole"):
+    for model in ("analytic", "wormhole", "wormhole_adaptive"):
         batched = simulate_batched(topology, batch, model=model)
         for traffic, result in zip(batch, batched):
             scalar = simulate(topology, traffic, model=model)
@@ -154,6 +156,76 @@ def bench_simulator(repeats: int) -> dict:
             "speedup": round(scalar_seconds / batched_seconds, 2),
         }
     return report
+
+
+def bench_adaptive_routing() -> dict:
+    """Adaptive vs static wormhole at matched injection, adversarial set."""
+    from repro.noc import (
+        ADVERSARIAL_PATTERNS,
+        Mesh2D,
+        Torus2D,
+        adversarial_traffic,
+        simulate,
+    )
+
+    flits_per_flow = 16
+    rows = {}
+    for topology in (Mesh2D(3, 3), Torus2D(3, 4)):
+        for pattern in ADVERSARIAL_PATTERNS:
+            traffic = adversarial_traffic(pattern, topology.node_count,
+                                          flits_per_flow=flits_per_flow)
+            static = simulate(topology, traffic, model="wormhole")
+            adaptive = simulate(topology, traffic,
+                                model="wormhole_adaptive")
+            rows[f"{topology.name}/{pattern}"] = {
+                "static_delivered_mean_latency":
+                    round(static.delivered_mean_latency_cycles, 2),
+                "adaptive_delivered_mean_latency":
+                    round(adaptive.delivered_mean_latency_cycles, 2),
+                "static_cycles": static.cycles,
+                "adaptive_cycles": adaptive.cycles,
+                "adaptive_wins": bool(
+                    adaptive.delivered_mean_latency_cycles
+                    < static.delivered_mean_latency_cycles),
+            }
+    return {
+        "description": "credit-based minimal-adaptive routing with escape "
+                       "channels vs deterministic shortest-path wormhole, "
+                       f"{flits_per_flow} flits per flow injected "
+                       "back-to-back (matched one-flit-per-link bandwidth)",
+        "patterns": rows,
+    }
+
+
+def bench_saturation_curves() -> dict:
+    """Latency-vs-injection-level curves with their knees."""
+    from repro.noc import (
+        ADVERSARIAL_PATTERNS,
+        Mesh2D,
+        Torus2D,
+        burst_traffic,
+        saturation_curve,
+    )
+
+    levels = (1, 2, 4, 8, 16, 32)
+    curves = {}
+    for topology in (Mesh2D(3, 3), Torus2D(3, 4)):
+        for pattern in ADVERSARIAL_PATTERNS:
+            traffic = burst_traffic(pattern, topology.node_count,
+                                    flits_per_flow=64, burst_on=1,
+                                    burst_off=7)
+            for model in ("wormhole", "wormhole_adaptive"):
+                curve = saturation_curve(topology, traffic, levels=levels,
+                                         model=model)
+                curves[f"{topology.name}/{pattern}/{model}"] = curve.summary()
+    return {
+        "description": "delivered latency vs scaled_to injection level for "
+                       "the adversarial patterns on a 1/8 duty cycle; the "
+                       "knee is the largest level absorbed without "
+                       "saturating",
+        "levels": list(levels),
+        "curves": curves,
+    }
 
 
 def bench_flow_integration(repeats: int) -> dict:
@@ -200,6 +272,8 @@ def main() -> None:
     }
     for name, bench in (("pareto_sweep", bench_pareto_sweep),
                         ("simulator", lambda: bench_simulator(arguments.repeats)),
+                        ("adaptive_routing", bench_adaptive_routing),
+                        ("saturation_curves", bench_saturation_curves),
                         ("flow_integration",
                          lambda: bench_flow_integration(arguments.repeats))):
         print(f"running {name} ...", flush=True)
@@ -207,10 +281,14 @@ def main() -> None:
 
     sweep_record = record["benchmarks"]["pareto_sweep"]
     simulator = record["benchmarks"]["simulator"]
+    adaptive = record["benchmarks"]["adaptive_routing"]["patterns"]
+    wins = sum(1 for row in adaptive.values() if row["adaptive_wins"])
     print(f"  {sweep_record['points_evaluated']} design points in "
           f"{sweep_record['sweep_seconds']}s; batched analytic "
           f"{simulator['analytic']['speedup']}x, wormhole "
-          f"{simulator['wormhole']['speedup']}x vs scalar")
+          f"{simulator['wormhole']['speedup']}x, adaptive "
+          f"{simulator['wormhole_adaptive']['speedup']}x vs scalar; "
+          f"adaptive routing wins {wins}/{len(adaptive)} adversarial cases")
 
     arguments.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {arguments.output}")

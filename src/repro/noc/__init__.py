@@ -17,14 +17,20 @@ Layering (see README "Architecture"):
 """
 
 from repro.noc.explore import (
+    DEFAULT_INJECTION_LEVELS,
     DEFAULT_OBJECTIVES,
     DesignPoint,
+    SaturationCurve,
+    SaturationPoint,
     pareto_by_workload,
     pareto_front,
+    saturation_curve,
+    saturation_curves,
     sweep,
 )
 from repro.noc.passes import NocMap, NocMapPass, NocMetricsPass
 from repro.noc.sim import (
+    ADAPTIVE_BUFFER_DEPTH,
     MODELS,
     SATURATION_UTILISATION,
     WORMHOLE_FLIT_CAP,
@@ -52,8 +58,11 @@ from repro.noc.topology import (
     topology_by_name,
 )
 from repro.noc.traffic import (
+    ADVERSARIAL_PATTERNS,
     FLIT_BITS,
     TrafficMatrix,
+    adversarial_traffic,
+    burst_traffic,
     gop_worker_agents,
     hotspot_traffic,
     kernel_bitstream_bits,
@@ -69,6 +78,9 @@ from repro.noc.traffic import (
 )
 
 __all__ = [
+    "ADAPTIVE_BUFFER_DEPTH",
+    "ADVERSARIAL_PATTERNS",
+    "DEFAULT_INJECTION_LEVELS",
     "DEFAULT_OBJECTIVES",
     "DesignPoint",
     "FLIT_BITS",
@@ -87,12 +99,16 @@ __all__ = [
     "ROUTER_CYCLES",
     "Ring",
     "SATURATION_UTILISATION",
+    "SaturationCurve",
+    "SaturationPoint",
     "TOPOLOGY_FAMILIES",
     "TSV_CYCLES",
     "Topology",
     "Torus2D",
     "TrafficMatrix",
     "WORMHOLE_FLIT_CAP",
+    "adversarial_traffic",
+    "burst_traffic",
     "gop_worker_agents",
     "hotspot_traffic",
     "kernel_bitstream_bits",
@@ -100,6 +116,8 @@ __all__ = [
     "pareto_front",
     "place_agents",
     "resolve_flit_cap",
+    "saturation_curve",
+    "saturation_curves",
     "shuffle_traffic",
     "simulate",
     "simulate_batched",

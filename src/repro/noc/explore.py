@@ -7,6 +7,11 @@ architect trades when sizing the on-chip network.  Workloads sharing an
 agent set are simulated through one batched call per topology/placement,
 so the sweep cost is dominated by the number of *topologies*, not the
 number of traffic matrices.
+
+:func:`saturation_curve` adds the load axis: one workload swept over
+``scaled_to`` injection levels through a single batched cycle-stepped
+simulation, reporting delivered-only latency per level and the knee —
+the last level the network absorbs before the saturation flag trips.
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ from repro.noc.traffic import TrafficMatrix
 
 #: Objectives a :func:`pareto_front` can minimise, mapped to the
 #: :class:`DesignPoint` attribute carrying them.
-OBJECTIVES = ("latency_cycles", "mean_latency_cycles", "energy",
+OBJECTIVES = ("latency_cycles", "mean_latency_cycles",
+              "delivered_mean_latency_cycles", "energy",
               "router_area", "link_count")
 
 #: The default three-way trade: worst-flow latency, transfer energy and
@@ -48,6 +54,8 @@ class DesignPoint:
     router_area: float
     peak_link_utilisation: float
     saturated: bool
+    delivered_mean_latency_cycles: float = 0.0
+    censored_flows: int = 0
 
     def objectives(self, names: Sequence[str] = DEFAULT_OBJECTIVES
                    ) -> Tuple[float, ...]:
@@ -72,6 +80,9 @@ class DesignPoint:
             "router_area": round(self.router_area, 1),
             "peak_link_utilisation": round(self.peak_link_utilisation, 3),
             "saturated": self.saturated,
+            "delivered_mean_latency_cycles":
+                round(self.delivered_mean_latency_cycles, 1),
+            "censored_flows": self.censored_flows,
         }
 
 
@@ -89,6 +100,8 @@ def _point(topology: Topology, placement_name: str,
         router_area=topology.router_area_elements(),
         peak_link_utilisation=result.peak_link_utilisation,
         saturated=result.saturated,
+        delivered_mean_latency_cycles=result.delivered_mean_latency_cycles,
+        censored_flows=result.censored_flow_count,
     )
 
 
@@ -174,3 +187,141 @@ def pareto_by_workload(points: Sequence[DesignPoint],
         by_workload.setdefault(point.workload, []).append(point)
     return {workload: pareto_front(group, objectives)
             for workload, group in by_workload.items()}
+
+
+# --------------------------------------------------------------------------
+# Latency-vs-injection-rate saturation curves
+# --------------------------------------------------------------------------
+
+#: Default ``scaled_to`` injection levels for :func:`saturation_curve`:
+#: doubling flow caps from a near-idle network to well past saturation.
+DEFAULT_INJECTION_LEVELS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One injection level of a latency-vs-load curve."""
+
+    level: int
+    total_flits: int
+    delivered_flits: int
+    mean_latency_cycles: float
+    delivered_mean_latency_cycles: float
+    max_latency_cycles: int
+    peak_link_utilisation: float
+    censored_flows: int
+    saturated: bool
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "level": self.level,
+            "total_flits": self.total_flits,
+            "delivered_flits": self.delivered_flits,
+            "mean_latency_cycles": round(self.mean_latency_cycles, 2),
+            "delivered_mean_latency_cycles":
+                round(self.delivered_mean_latency_cycles, 2),
+            "max_latency_cycles": self.max_latency_cycles,
+            "peak_link_utilisation": round(self.peak_link_utilisation, 3),
+            "censored_flows": self.censored_flows,
+            "saturated": self.saturated,
+        }
+
+
+@dataclass(frozen=True)
+class SaturationCurve:
+    """Latency versus injection rate for one topology x workload pair.
+
+    ``knee`` is the largest injection level the network absorbs without
+    saturating — past it, latency is dominated by queueing and the
+    mean over *all* flows is censored by the cycle budget, so readers
+    should switch to ``delivered_mean_latency_cycles`` per point.
+    """
+
+    topology: str
+    workload: str
+    model: str
+    points: Tuple[SaturationPoint, ...]
+
+    @property
+    def knee(self) -> Optional[int]:
+        """Largest unsaturated injection level; None when even the
+        lightest level saturates."""
+        unsaturated = [point.level for point in self.points
+                       if not point.saturated]
+        return max(unsaturated) if unsaturated else None
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "topology": self.topology,
+            "workload": self.workload,
+            "model": self.model,
+            "knee": self.knee,
+            "points": [point.summary() for point in self.points],
+        }
+
+
+def saturation_curve(topology: Topology, traffic: TrafficMatrix,
+                     levels: Sequence[int] = DEFAULT_INJECTION_LEVELS,
+                     model: str = "wormhole_adaptive",
+                     placement: Optional[Mapping[str, int]] = None,
+                     max_cycles: Optional[int] = None) -> SaturationCurve:
+    """Sweep one workload over ``scaled_to`` injection levels.
+
+    Each level caps the workload's largest flow at ``level`` flits
+    (preserving the flow structure), and all levels run through a single
+    batched cycle-stepped simulation.  The curve's knee is the largest
+    level whose result is unsaturated — the classic latency-vs-injection
+    plot reduced to one number per topology x workload pair.
+    """
+    if not levels:
+        raise ConfigurationError(
+            "a saturation curve needs at least one injection level")
+    ordered = sorted({int(level) for level in levels})
+    if ordered[0] < 1:
+        raise ConfigurationError(
+            f"injection levels must be >= 1 flit per flow, got {ordered[0]}")
+    if model == "analytic":
+        raise ConfigurationError(
+            "saturation curves need a cycle-stepped model; the analytic "
+            "model has no queueing and never exhibits a knee")
+    scaled = [traffic.scaled_to(level).renamed(f"{traffic.name}@{level}")
+              for level in ordered]
+    results = simulate_batched(topology, scaled, placement=placement,
+                               model=model, max_flits_per_flow=None,
+                               max_cycles=max_cycles)
+    points = tuple(
+        SaturationPoint(
+            level=level,
+            total_flits=result.total_flits,
+            delivered_flits=result.delivered_flits,
+            mean_latency_cycles=result.mean_latency_cycles,
+            delivered_mean_latency_cycles=result.delivered_mean_latency_cycles,
+            max_latency_cycles=result.max_latency_cycles,
+            peak_link_utilisation=result.peak_link_utilisation,
+            censored_flows=result.censored_flow_count,
+            saturated=result.saturated,
+        )
+        for level, result in zip(ordered, results))
+    return SaturationCurve(topology=topology.name, workload=traffic.name,
+                           model=model, points=points)
+
+
+def saturation_curves(topologies: Sequence[Topology],
+                      workloads: Mapping[str, TrafficMatrix],
+                      levels: Sequence[int] = DEFAULT_INJECTION_LEVELS,
+                      model: str = "wormhole_adaptive",
+                      max_cycles: Optional[int] = None
+                      ) -> List[SaturationCurve]:
+    """One :func:`saturation_curve` per topology x workload pair."""
+    if not workloads:
+        raise ConfigurationError(
+            "saturation curves need at least one workload")
+    curves: List[SaturationCurve] = []
+    for topology in topologies:
+        for name, traffic in workloads.items():
+            curves.append(saturation_curve(
+                topology, traffic.renamed(name), levels=levels, model=model,
+                max_cycles=max_cycles))
+    return curves

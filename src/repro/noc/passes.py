@@ -8,9 +8,12 @@ both):
   actual :class:`~repro.core.router.Route` paths and places the tiles on
   the routers;
 * :class:`NocMetricsPass` simulates that mapping (batched analytic model
-  by default) and folds ``noc_latency_cycles`` / ``noc_energy`` into the
-  design's :class:`~repro.core.metrics.DesignMetrics`, so a
-  ``compile()`` caller sees communication cost next to area and timing.
+  by default; ``Flow.with_noc(model="wormhole")`` or
+  ``model="wormhole_adaptive"`` select the cycle-stepped simulators,
+  the latter with congestion-aware routing) and folds
+  ``noc_latency_cycles`` / ``noc_energy`` into the design's
+  :class:`~repro.core.metrics.DesignMetrics`, so a ``compile()`` caller
+  sees communication cost next to area and timing.
 """
 
 from __future__ import annotations

@@ -20,9 +20,25 @@ scalar-parity discipline of :mod:`repro.engine`):
               :class:`~repro.engine.program.VectorEngine` steps ``B``
               value streams per cycle.
 
-Both models report the same :class:`NocSimResult`: per-flow latencies,
-link loads and utilisation, delivered-flit conservation, saturation and
-transfer energy (hop-energy constants from :mod:`repro.power.models`).
+``wormhole_adaptive``  the wormhole model with congestion-aware minimal-
+              adaptive routing, mirroring the gem5-Garnet scheme: every
+              ready flit consults its router's weighted minimal table
+              (:meth:`~repro.noc.topology.Topology.routing_table`) and
+              picks the admissible outport with the most credits (the
+              fewest flits occupying that directed link's downstream
+              buffer); when every minimal outport is out of credits the
+              flit falls back to the *escape channel* — the deterministic
+              static hop (:meth:`~repro.noc.topology.Topology.escape_hop`),
+              which ignores credits and strictly decreases the distance
+              to the destination, so the escape network per destination
+              is a DAG and the model is deadlock-free by construction.
+
+All three models report the same :class:`NocSimResult`: per-flow
+latencies, link loads and utilisation, delivered-flit conservation,
+saturation and transfer energy (hop-energy constants from
+:mod:`repro.power.models`).  The cycle-stepped models honour a traffic
+matrix's ``burst`` duty cycle (synchronised on/off injection); the
+closed-form analytic model ignores injection timing.
 """
 
 from __future__ import annotations
@@ -37,10 +53,13 @@ from repro.noc.topology import ROUTER_CYCLES, Topology, place_agents
 from repro.noc.traffic import TrafficMatrix
 
 #: Simulation models accepted by :func:`simulate` / :func:`simulate_batched`.
-MODELS = ("analytic", "wormhole")
+MODELS = ("analytic", "wormhole", "wormhole_adaptive")
 
-#: Peak link utilisation above which the analytic model flags saturation
-#: (the knee of a wormhole network's latency/throughput curve).
+#: Peak link utilisation above which a run is flagged saturated — the
+#: knee of a wormhole network's latency/throughput curve.  Applied to the
+#: analytic model's utilisation estimate *and* to the cycle-stepped
+#: wormhole results (a run scaled down by the flit cap can deliver every
+#: capped flit while the busiest link runs essentially every cycle).
 SATURATION_UTILISATION = 0.75
 
 #: Default per-flow flit cap applied before a cycle-stepped wormhole walk
@@ -49,14 +68,19 @@ SATURATION_UTILISATION = 0.75
 #: cap and runs the full traffic volume by default.
 WORMHOLE_FLIT_CAP = 64
 
+#: Input-buffer depth of one adaptive virtual channel, in flits: the
+#: credits a minimal outport can hand out before the adaptive simulator
+#: falls back to the escape channel.
+ADAPTIVE_BUFFER_DEPTH = 4
+
 
 def resolve_flit_cap(model: str, max_flits_per_flow) -> Optional[int]:
     """The per-flow flit cap a caller's ``"auto"`` resolves to.
 
     One place for the policy the flow pass and the explorer share:
     uncapped for the closed-form analytic model (so reported metrics
-    track actual traffic volume), :data:`WORMHOLE_FLIT_CAP` for the
-    cycle-stepped walk.
+    track actual traffic volume), :data:`WORMHOLE_FLIT_CAP` for both
+    cycle-stepped wormhole walks (static and adaptive).
     """
     if max_flits_per_flow == "auto":
         return None if model == "analytic" else WORMHOLE_FLIT_CAP
@@ -67,11 +91,18 @@ def resolve_flit_cap(model: str, max_flits_per_flow) -> Optional[int]:
 class NocSimResult:
     """Outcome of simulating one traffic matrix on one topology.
 
-    ``per_flow_latency`` is ordered like ``traffic.flows()``; for an
-    undelivered (saturated) wormhole flow the latency is censored at the
-    cycle budget.  ``flit_link_cycles`` / ``flit_router_crossings`` are
-    the integer energy aggregates: flit-cycles spent on links and
-    flit-router traversals (crossings plus network entries).
+    ``per_flow_latency`` is ordered like ``traffic.flows()``; for a flow
+    the wormhole models could not fully deliver within the cycle budget
+    the recorded latency is **censored at the budget** — a lower bound
+    that depends on the (arbitrary) budget, not a measurement.
+    ``per_flow_delivered`` marks the flows whose every flit arrived;
+    :attr:`mean_latency_cycles` averages the censored values in (useful
+    only as a budget-relative floor), while
+    :attr:`delivered_mean_latency_cycles` averages delivered flows only
+    and is the number saturation curves and benchmarks should report.
+    ``flit_link_cycles`` / ``flit_router_crossings`` are the integer
+    energy aggregates: flit-cycles spent on links and flit-router
+    traversals (crossings plus network entries).
     """
 
     topology_name: str
@@ -82,6 +113,7 @@ class NocSimResult:
     delivered_flits: int
     cycles: int
     per_flow_latency: np.ndarray
+    per_flow_delivered: np.ndarray
     link_loads: np.ndarray
     flit_link_cycles: int
     flit_router_crossings: int
@@ -89,10 +121,24 @@ class NocSimResult:
 
     @property
     def mean_latency_cycles(self) -> float:
-        """Mean per-flow latency."""
+        """Mean per-flow latency, censored flows included (see class
+        docstring — prefer :attr:`delivered_mean_latency_cycles`)."""
         if self.per_flow_latency.size == 0:
             return 0.0
         return float(self.per_flow_latency.mean())
+
+    @property
+    def censored_flow_count(self) -> int:
+        """Flows whose latency is budget-censored (not fully delivered)."""
+        return int(self.flow_count - self.per_flow_delivered.sum())
+
+    @property
+    def delivered_mean_latency_cycles(self) -> float:
+        """Mean latency over fully delivered flows only (0.0 if none)."""
+        delivered = self.per_flow_latency[self.per_flow_delivered]
+        if delivered.size == 0:
+            return 0.0
+        return float(delivered.mean())
 
     @property
     def max_latency_cycles(self) -> int:
@@ -141,6 +187,9 @@ class NocSimResult:
             "delivered": self.delivered_flits,
             "cycles": self.cycles,
             "mean_latency_cycles": round(self.mean_latency_cycles, 2),
+            "delivered_mean_latency_cycles":
+                round(self.delivered_mean_latency_cycles, 2),
+            "censored_flows": self.censored_flow_count,
             "max_latency_cycles": self.max_latency_cycles,
             "peak_link_utilisation": round(self.peak_link_utilisation, 3),
             "noc_energy": round(self.energy, 2),
@@ -156,11 +205,21 @@ class NocSimResult:
 
 @dataclass
 class _FlowTable:
-    """Flows resolved onto a topology: routes, link ids and latencies."""
+    """Flows resolved onto a topology: routes, link ids and latencies.
+
+    ``path_links`` / ``path_latencies`` are the deterministic static
+    routes (what the static wormhole walks and the adaptive model's
+    escape channel follows); ``sources`` / ``dests`` are the endpoint
+    router ids the adaptive model routes between; ``burst`` is the
+    traffic matrix's injection duty cycle.
+    """
 
     flits: List[int]
     path_links: List[Tuple[int, ...]]
     path_latencies: List[Tuple[int, ...]]
+    sources: List[int]
+    dests: List[int]
+    burst: Optional[Tuple[int, int]] = None
 
     @property
     def flow_count(self) -> int:
@@ -178,6 +237,13 @@ def _resolve_placement(traffic: TrafficMatrix, topology: Topology,
     missing = [agent for agent in traffic.agents if agent not in placement]
     if missing:
         raise ConfigurationError(f"placement is missing agents {missing}")
+    for agent in traffic.agents:
+        router = placement[agent]
+        if not 0 <= router < topology.node_count:
+            raise ConfigurationError(
+                f"agent {agent!r} is placed on router {router}, but "
+                f"topology {topology.name!r} only has routers "
+                f"0..{topology.node_count - 1}")
     return placement
 
 
@@ -187,27 +253,61 @@ def _flow_table(topology: Topology, traffic: TrafficMatrix,
     flits: List[int] = []
     links: List[Tuple[int, ...]] = []
     latencies: List[Tuple[int, ...]] = []
+    sources: List[int] = []
+    dests: List[int] = []
     for source, sink, count in traffic.flows():
-        path = topology.route(placement[traffic.agents[source]],
-                              placement[traffic.agents[sink]])
+        here = placement[traffic.agents[source]]
+        there = placement[traffic.agents[sink]]
+        path = topology.route(here, there)
         hop_links = tuple(topology.link_index(a, b)
                           for a, b in zip(path, path[1:]))
         flits.append(count)
         links.append(hop_links)
         latencies.append(tuple(topology.links[l].latency for l in hop_links))
-    return _FlowTable(flits, links, latencies)
+        sources.append(here)
+        dests.append(there)
+    return _FlowTable(flits, links, latencies, sources, dests,
+                      burst=traffic.burst)
+
+
+def _injection_times(count: int, burst: Optional[Tuple[int, int]]) -> List[int]:
+    """Ready cycle of each of a flow's ``count`` flits.
+
+    One flit per cycle back to back, or grouped into the traffic
+    matrix's ``(on, off)`` duty cycle when it carries one.
+    """
+    if burst is None:
+        return list(range(count))
+    on, off = burst
+    period = on + off
+    return [(k // on) * period + k % on for k in range(count)]
+
+
+def _injection_span(count: int, burst: Optional[Tuple[int, int]]) -> int:
+    """Cycles from the first to one past the last injection of a flow."""
+    if count <= 0:
+        return 0
+    if burst is None:
+        return count
+    on, off = burst
+    return ((count - 1) // on) * (on + off) + (count - 1) % on + 1
 
 
 def default_cycle_budget(table: _FlowTable) -> int:
-    """A cycle budget the wormhole model cannot exhaust unsaturated.
+    """A cycle budget the wormhole models cannot exhaust unsaturated.
 
-    Every cycle with a ready flit moves at least one flit one hop, and
-    idle cycles only bridge in-flight link latencies, so four times the
-    total flit-link work plus the injection window is a generous bound.
+    Every cycle with a ready flit moves at least one flit one hop
+    (minimal-adaptive hops and escape hops both strictly decrease the
+    distance to the destination, so this holds for the adaptive model
+    too), and idle cycles only bridge in-flight link latencies or burst
+    gaps, so four times the total flit-link work plus the injection
+    window is a generous bound.
     """
     work = sum(q * sum(lats) for q, lats in
                zip(table.flits, table.path_latencies))
-    return max(64, 4 * work + table.total_flits)
+    span = max((_injection_span(q, table.burst) for q in table.flits),
+               default=0)
+    return max(64, 4 * work + table.total_flits + span)
 
 
 # -- analytic model -----------------------------------------------------------
@@ -300,13 +400,14 @@ def _analytic_batched(traffics: Sequence[TrafficMatrix], topology: Topology,
 # -- wormhole model -----------------------------------------------------------
 
 def _wormhole_scalar(table: _FlowTable, link_count: int, max_cycles: int
-                     ) -> Tuple[np.ndarray, np.ndarray, int, int, int, int]:
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                int, int, int, int]:
     """Reference cycle-stepped wormhole simulation (pure-Python loops)."""
     flit_flow: List[int] = []
     flit_ready: List[int] = []
     for flow, q in enumerate(table.flits):
         flit_flow.extend([flow] * q)
-        flit_ready.extend(range(q))
+        flit_ready.extend(_injection_times(q, table.burst))
     total = len(flit_flow)
     stage = [0] * total
     arrive = list(flit_ready)
@@ -345,23 +446,28 @@ def _wormhole_scalar(table: _FlowTable, link_count: int, max_cycles: int
     makespan = max((t for t in finish if t >= 0), default=0)
     cycles = makespan if remaining == 0 else max_cycles
     per_flow = []
+    flow_delivered = []
     offset = 0
     delivered = 0
     for flow, q in enumerate(table.flits):
         times = finish[offset:offset + q]
         delivered += sum(1 for t in times if t >= 0)
-        per_flow.append(max(times) if all(t >= 0 for t in times) else cycles)
+        complete = all(t >= 0 for t in times)
+        flow_delivered.append(complete)
+        per_flow.append(max(times) if complete else cycles)
         offset += q
     crossings = sum(link_busy)
     flit_router_crossings = crossings + sum(entered)
     return (np.asarray(per_flow, dtype=np.int64),
+            np.asarray(flow_delivered, dtype=bool),
             np.asarray(link_busy, dtype=np.int64),
             flit_link_cycles, flit_router_crossings, delivered, cycles)
 
 
 def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
                       max_cycles_per_table: Sequence[int]
-                      ) -> List[Tuple[np.ndarray, np.ndarray, int, int, int, int]]:
+                      ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      int, int, int, int]]:
     """Vectorized wormhole simulation over a batch of flow tables.
 
     All batch elements advance through the same cycle loop on ``[B, F]``
@@ -377,6 +483,7 @@ def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
     flit_cap = max(totals) if totals else 0
     if flit_cap == 0:
         return [(np.zeros(count, dtype=np.int64),
+                 np.ones(count, dtype=bool),
                  np.zeros(link_count, dtype=np.int64), 0, 0, 0, 0)
                 for count in flow_counts]
 
@@ -402,7 +509,7 @@ def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
         position = 0
         for flow, q in enumerate(table.flits):
             flit_flow[b, position:position + q] = flow
-            arrive[b, position:position + q] = np.arange(q)
+            arrive[b, position:position + q] = _injection_times(q, table.burst)
             active[b, position:position + q] = True
             position += q
     stage = np.zeros((batch, flit_cap), dtype=np.int64)
@@ -449,17 +556,318 @@ def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
     for b, table in enumerate(tables):
         position = 0
         per_flow = []
+        flow_delivered = []
         delivered = 0
-        completed = True
         makespan = int(finish[b].max()) if (finish[b] >= 0).any() else 0
         cycles = makespan if not active[b].any() else int(budgets[b])
         for q in table.flits:
             times = finish[b, position:position + q]
             delivered += int((times >= 0).sum())
-            per_flow.append(int(times.max()) if (times >= 0).all() else cycles)
+            complete = bool((times >= 0).all())
+            flow_delivered.append(complete)
+            per_flow.append(int(times.max()) if complete else cycles)
             position += q
         crossings = int(link_busy[b].sum())
         outputs.append((np.asarray(per_flow, dtype=np.int64),
+                        np.asarray(flow_delivered, dtype=bool),
+                        link_busy[b].copy(),
+                        int(flit_link_cycles[b]),
+                        crossings + int(entered[b].sum()),
+                        delivered, cycles))
+    return outputs
+
+
+# -- adaptive wormhole model --------------------------------------------------
+
+@dataclass
+class _AdaptiveGeometry:
+    """A topology's routing tables lowered to simulator form.
+
+    Links are split into two *directed* channels (``2 * link_index +
+    (0 if low->high else 1)``).  The same tables are exposed twice —
+    plain dicts for the pure-Python scalar reference and dense padded
+    arrays for the batched implementation — built from one source
+    (:meth:`Topology.routing_table` / :meth:`Topology.escape_hop`), so
+    the two simulators cannot disagree on admissible outports.
+    """
+
+    dir_count: int
+    dir_latency: np.ndarray          # [dir] link latency
+    dir_link: np.ndarray             # [dir] undirected link index
+    dir_head: np.ndarray             # [dir] downstream router
+    # Scalar-side tables: (node, dest) -> ((neighbour, dir), ...) and
+    # (node, dest) -> (escape neighbour, escape dir).
+    candidates: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]]
+    escape: Dict[Tuple[int, int], Tuple[int, int]]
+    # Batched-side tables, -1 padded: [node, dest, K] and [node, dest].
+    cand_node: np.ndarray
+    cand_dir: np.ndarray
+    escape_dir: np.ndarray
+
+
+def _adaptive_geometry(topology: Topology) -> _AdaptiveGeometry:
+    """Build (and memoise on the topology) the adaptive routing tables."""
+    cached = getattr(topology, "_adaptive_geometry", None)
+    if cached is not None:
+        return cached
+    count = topology.node_count
+    dir_count = 2 * topology.link_count
+    dir_latency = np.zeros(dir_count, dtype=np.int64)
+    dir_link = np.zeros(dir_count, dtype=np.int64)
+    dir_head = np.zeros(dir_count, dtype=np.int64)
+    dir_id: Dict[Tuple[int, int], int] = {}
+    for index, link in enumerate(topology.links):
+        low, high = link.endpoints
+        for half, (tail, head) in enumerate(((low, high), (high, low))):
+            channel = 2 * index + half
+            dir_id[(tail, head)] = channel
+            dir_latency[channel] = link.latency
+            dir_link[channel] = index
+            dir_head[channel] = head
+
+    width = max(topology.max_degree(), 1)
+    candidates: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+    escape: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    cand_node = np.full((count, count, width), -1, dtype=np.int64)
+    cand_dir = np.full((count, count, width), -1, dtype=np.int64)
+    escape_dir = np.full((count, count), -1, dtype=np.int64)
+    for dest in range(count):
+        for node, outports in topology.routing_table(dest).items():
+            entries = tuple((n, dir_id[(node, n)]) for n in outports)
+            candidates[(node, dest)] = entries
+            for slot, (n, channel) in enumerate(entries):
+                cand_node[node, dest, slot] = n
+                cand_dir[node, dest, slot] = channel
+            hop = topology.escape_hop(node, dest)
+            escape[(node, dest)] = (hop, dir_id[(node, hop)])
+            escape_dir[node, dest] = dir_id[(node, hop)]
+
+    geometry = _AdaptiveGeometry(
+        dir_count=dir_count, dir_latency=dir_latency, dir_link=dir_link,
+        dir_head=dir_head, candidates=candidates, escape=escape,
+        cand_node=cand_node, cand_dir=cand_dir, escape_dir=escape_dir)
+    topology._adaptive_geometry = geometry
+    return geometry
+
+
+def _wormhole_adaptive_scalar(table: _FlowTable, geometry: _AdaptiveGeometry,
+                              link_count: int, max_cycles: int,
+                              depth: int = ADAPTIVE_BUFFER_DEPTH
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                         int, int, int, int]:
+    """Reference adaptive wormhole simulation (pure-Python loops).
+
+    Per cycle: every ready flit scores its minimal outports by credits
+    (``depth`` minus the flits occupying the directed link — in flight
+    or parked in its downstream input buffer) and requests the credit-
+    richest one, ties toward the lowest neighbour id; with no credits
+    anywhere it requests the escape channel, which is always admissible.
+    One flit per *link* then moves (whichever direction it requested),
+    lowest global flit id first — links carry one flit per cycle exactly
+    as in the static model, so the two models compare at matched
+    bandwidth.
+    """
+    flit_flow: List[int] = []
+    flit_ready: List[int] = []
+    for flow, q in enumerate(table.flits):
+        flit_flow.extend([flow] * q)
+        flit_ready.extend(_injection_times(q, table.burst))
+    total = len(flit_flow)
+    node = [table.sources[flow] for flow in flit_flow]
+    dest = [table.dests[flow] for flow in flit_flow]
+    arrive = list(flit_ready)
+    last_dir = [-1] * total
+    finish = [-1] * total
+    entered = [False] * total
+    link_busy = [0] * link_count
+    flit_link_cycles = 0
+    remaining = total
+    # Zero-hop flows (both agents on one router) deliver at injection.
+    for flit in range(total):
+        if node[flit] == dest[flit]:
+            finish[flit] = arrive[flit]
+            remaining -= 1
+    cycle = 0
+    while remaining and cycle < max_cycles:
+        occupancy = [0] * geometry.dir_count
+        for flit in range(total):
+            channel = last_dir[flit]
+            if channel >= 0 and (finish[flit] < 0 or finish[flit] > cycle):
+                occupancy[channel] += 1
+        winners: Dict[int, int] = {}
+        for flit in range(total):
+            if finish[flit] >= 0 or arrive[flit] > cycle:
+                continue
+            key = (node[flit], dest[flit])
+            best: Optional[Tuple[Tuple[int, int], int]] = None
+            for neighbour, channel in geometry.candidates[key]:
+                credits = depth - occupancy[channel]
+                if credits <= 0:
+                    continue
+                score = (credits, -neighbour)
+                if best is None or score > best[0]:
+                    best = (score, channel)
+            channel = best[1] if best is not None else geometry.escape[key][1]
+            link = int(geometry.dir_link[channel])
+            if link not in winners:
+                winners[link] = (flit, channel)
+        for flit, channel in winners.values():
+            latency = int(geometry.dir_latency[channel])
+            arrive[flit] = cycle + latency
+            node[flit] = int(geometry.dir_head[channel])
+            last_dir[flit] = channel
+            entered[flit] = True
+            link_busy[int(geometry.dir_link[channel])] += 1
+            flit_link_cycles += latency
+            if node[flit] == dest[flit]:
+                finish[flit] = arrive[flit]
+                remaining -= 1
+        cycle += 1
+    makespan = max((t for t in finish if t >= 0), default=0)
+    cycles = makespan if remaining == 0 else max_cycles
+    per_flow = []
+    flow_delivered = []
+    offset = 0
+    delivered = 0
+    for flow, q in enumerate(table.flits):
+        times = finish[offset:offset + q]
+        delivered += sum(1 for t in times if t >= 0)
+        complete = all(t >= 0 for t in times)
+        flow_delivered.append(complete)
+        per_flow.append(max(times) if complete else cycles)
+        offset += q
+    crossings = sum(link_busy)
+    return (np.asarray(per_flow, dtype=np.int64),
+            np.asarray(flow_delivered, dtype=bool),
+            np.asarray(link_busy, dtype=np.int64),
+            flit_link_cycles, crossings + sum(entered), delivered, cycles)
+
+
+def _wormhole_adaptive_batched(tables: Sequence[_FlowTable],
+                               geometry: _AdaptiveGeometry, link_count: int,
+                               max_cycles_per_table: Sequence[int],
+                               depth: int = ADAPTIVE_BUFFER_DEPTH
+                               ) -> List[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, int, int, int, int]]:
+    """Vectorized adaptive wormhole simulation over a batch of tables.
+
+    The same cycle structure as :func:`_wormhole_adaptive_scalar` on
+    ``[B, F]`` state arrays.  Outport selection encodes the scalar's
+    ``(credits, -neighbour)`` ranking as one integer key
+    (``credits * (nodes + 1) - neighbour``) so a single ``argmax``
+    reproduces the scalar choice exactly; arbitration is the same
+    ``np.minimum.at`` lowest-flit-id scatter as the static model.
+    """
+    batch = len(tables)
+    if batch == 0:
+        return []
+    flow_counts = [table.flow_count for table in tables]
+    totals = [table.total_flits for table in tables]
+    flit_cap = max(totals) if totals else 0
+    if flit_cap == 0:
+        return [(np.zeros(count, dtype=np.int64),
+                 np.ones(count, dtype=bool),
+                 np.zeros(link_count, dtype=np.int64), 0, 0, 0, 0)
+                for count in flow_counts]
+
+    node_count = geometry.dir_head.max(initial=0) + 1 if geometry.dir_count \
+        else 1
+    flit_flow = np.zeros((batch, flit_cap), dtype=np.int64)
+    arrive = np.zeros((batch, flit_cap), dtype=np.int64)
+    node = np.zeros((batch, flit_cap), dtype=np.int64)
+    dest = np.zeros((batch, flit_cap), dtype=np.int64)
+    active = np.zeros((batch, flit_cap), dtype=bool)
+    for b, table in enumerate(tables):
+        position = 0
+        for flow, q in enumerate(table.flits):
+            flit_flow[b, position:position + q] = flow
+            arrive[b, position:position + q] = _injection_times(q, table.burst)
+            node[b, position:position + q] = table.sources[flow]
+            dest[b, position:position + q] = table.dests[flow]
+            active[b, position:position + q] = True
+            position += q
+    last_dir = np.full((batch, flit_cap), -1, dtype=np.int64)
+    finish = np.full((batch, flit_cap), -1, dtype=np.int64)
+    entered = np.zeros((batch, flit_cap), dtype=bool)
+    link_busy = np.zeros((batch, link_count), dtype=np.int64)
+    flit_link_cycles = np.zeros(batch, dtype=np.int64)
+    budgets = np.asarray(max_cycles_per_table, dtype=np.int64)
+
+    # Zero-hop flows deliver at injection without touching the network.
+    zero_hop = active & (node == dest)
+    finish[zero_hop] = arrive[zero_hop]
+    active[zero_hop] = False
+
+    cycle = 0
+    while True:
+        in_budget = (cycle < budgets)[:, None]
+        if not (active & in_budget).any():
+            break
+        ready = active & (arrive <= cycle) & in_budget
+        if ready.any():
+            occupying = (last_dir >= 0) & (active | (finish > cycle))
+            occupancy = np.zeros((batch, geometry.dir_count), dtype=np.int64)
+            occ_b, occ_f = np.nonzero(occupying)
+            np.add.at(occupancy, (occ_b, last_dir[occ_b, occ_f]), 1)
+
+            r_b, r_f = np.nonzero(ready)
+            here = node[r_b, r_f]
+            there = dest[r_b, r_f]
+            cands = geometry.cand_node[here, there]        # [R, K]
+            cand_channels = geometry.cand_dir[here, there]  # [R, K]
+            credits = depth - occupancy[
+                r_b[:, None], np.where(cand_channels >= 0, cand_channels, 0)]
+            admissible = (cands >= 0) & (credits > 0)
+            # Integer encoding of the scalar's (credits, -neighbour)
+            # ranking; 0 marks inadmissible, so all-zero rows escape.
+            score = np.where(admissible,
+                             credits * (node_count + 1) - cands, 0)
+            choice = np.argmax(score, axis=1)
+            rows = np.arange(len(r_b))
+            adaptive = score[rows, choice] > 0
+            requested = np.where(adaptive, cand_channels[rows, choice],
+                                 geometry.escape_dir[here, there])
+
+            # One flit per undirected link per cycle (matching the
+            # static model's capacity): arbitrate on the link, then
+            # recover the winner's own requested direction.
+            requested_channel = np.full((batch, flit_cap), -1, dtype=np.int64)
+            requested_channel[r_b, r_f] = requested
+            winners = np.full((batch, link_count), flit_cap, dtype=np.int64)
+            np.minimum.at(winners, (r_b, geometry.dir_link[requested]), r_f)
+            won_b, won_l = np.nonzero(winners < flit_cap)
+            won_f = winners[won_b, won_l]
+            won_d = requested_channel[won_b, won_f]
+            latency = geometry.dir_latency[won_d]
+            arrive[won_b, won_f] = cycle + latency
+            node[won_b, won_f] = geometry.dir_head[won_d]
+            last_dir[won_b, won_f] = won_d
+            entered[won_b, won_f] = True
+            np.add.at(link_busy, (won_b, geometry.dir_link[won_d]), 1)
+            np.add.at(flit_link_cycles, won_b, latency)
+            done = geometry.dir_head[won_d] == dest[won_b, won_f]
+            finish[won_b[done], won_f[done]] = arrive[won_b[done], won_f[done]]
+            active[won_b[done], won_f[done]] = False
+        cycle += 1
+
+    outputs = []
+    for b, table in enumerate(tables):
+        position = 0
+        per_flow = []
+        flow_delivered = []
+        delivered = 0
+        makespan = int(finish[b].max()) if (finish[b] >= 0).any() else 0
+        cycles = makespan if not active[b].any() else int(budgets[b])
+        for q in table.flits:
+            times = finish[b, position:position + q]
+            delivered += int((times >= 0).sum())
+            complete = bool((times >= 0).all())
+            flow_delivered.append(complete)
+            per_flow.append(int(times.max()) if complete else cycles)
+            position += q
+        crossings = int(link_busy[b].sum())
+        outputs.append((np.asarray(per_flow, dtype=np.int64),
+                        np.asarray(flow_delivered, dtype=bool),
                         link_busy[b].copy(),
                         int(flit_link_cycles[b]),
                         crossings + int(entered[b].sum()),
@@ -472,18 +880,24 @@ def _wormhole_batched(tables: Sequence[_FlowTable], link_count: int,
 def _package(topology: Topology, traffic: TrafficMatrix, model: str,
              raw: Tuple[np.ndarray, np.ndarray, int, int],
              delivered: Optional[int] = None,
-             cycles: Optional[int] = None) -> NocSimResult:
+             cycles: Optional[int] = None,
+             delivered_flows: Optional[np.ndarray] = None) -> NocSimResult:
     per_flow, loads, flit_link_cycles, crossings = raw
     total_flits = traffic.total_flits
     if cycles is None:
         cycles = int(per_flow.max()) if per_flow.size else 0
     if delivered is None:
         delivered = total_flits
-    # The analytic model flags saturation from its utilisation estimate;
-    # the wormhole model observes it directly as undelivered flits.
+    if delivered_flows is None:
+        delivered_flows = np.ones(per_flow.shape, dtype=bool)
+    # Undelivered flits are direct evidence of saturation; the peak-link
+    # utilisation check catches the rest — the analytic estimate, and
+    # wormhole runs whose flit cap scaled the offered load down to what
+    # the busiest link can just barely carry (delivering every capped
+    # flit over the knee must still read as saturated).
     peak = int(loads.max()) if loads.size else 0
     saturated = delivered < total_flits
-    if model == "analytic" and cycles > 0:
+    if cycles > 0:
         saturated = saturated or peak / cycles > SATURATION_UTILISATION
     return NocSimResult(
         topology_name=topology.name,
@@ -494,6 +908,7 @@ def _package(topology: Topology, traffic: TrafficMatrix, model: str,
         delivered_flits=delivered,
         cycles=cycles,
         per_flow_latency=per_flow,
+        per_flow_delivered=delivered_flows,
         link_loads=loads,
         flit_link_cycles=flit_link_cycles,
         flit_router_crossings=crossings,
@@ -523,10 +938,15 @@ def simulate(topology: Topology, traffic: TrafficMatrix,
         return _package(topology, traffic, "analytic",
                         _analytic_scalar(table, topology.link_count))
     budget = max_cycles if max_cycles is not None else default_cycle_budget(table)
-    per_flow, busy, flc, frc, delivered, cycles = _wormhole_scalar(
-        table, topology.link_count, budget)
-    return _package(topology, traffic, "wormhole",
-                    (per_flow, busy, flc, frc), delivered, cycles)
+    if model == "wormhole_adaptive":
+        raw = _wormhole_adaptive_scalar(table, _adaptive_geometry(topology),
+                                        topology.link_count, budget)
+    else:
+        raw = _wormhole_scalar(table, topology.link_count, budget)
+    per_flow, flow_delivered, busy, flc, frc, delivered, cycles = raw
+    return _package(topology, traffic, model,
+                    (per_flow, busy, flc, frc), delivered, cycles,
+                    flow_delivered)
 
 
 def simulate_batched(topology: Topology, traffics: Sequence[TrafficMatrix],
@@ -564,7 +984,11 @@ def simulate_batched(topology: Topology, traffics: Sequence[TrafficMatrix],
               for traffic in traffics]
     budgets = [max_cycles if max_cycles is not None
                else default_cycle_budget(table) for table in tables]
-    raws = _wormhole_batched(tables, topology.link_count, budgets)
-    return [_package(topology, traffic, "wormhole",
-                     raw[:4], raw[4], raw[5])
+    if model == "wormhole_adaptive":
+        raws = _wormhole_adaptive_batched(tables, _adaptive_geometry(topology),
+                                          topology.link_count, budgets)
+    else:
+        raws = _wormhole_batched(tables, topology.link_count, budgets)
+    return [_package(topology, traffic, model,
+                     (raw[0], raw[2], raw[3], raw[4]), raw[5], raw[6], raw[1])
             for traffic, raw in zip(traffics, raws)]

@@ -100,6 +100,8 @@ class Topology:
         for neighbours in self._adjacency.values():
             neighbours.sort()
         self._route_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self._distance_cache: Dict[int, Dict[int, int]] = {}
+        self._table_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
 
     # -- structure --------------------------------------------------------
     @property
@@ -177,6 +179,87 @@ class Topology:
                 path.append(came_from[path[-1]])
             routes[sink] = tuple(reversed(path))
         return routes
+
+    # -- adaptive routing tables ------------------------------------------
+    def latency_distance(self, a: int, b: int) -> int:
+        """Minimum link-latency distance between two routers (no router
+        cycles) — the weight the minimal routing tables are built from."""
+        distances = self._distances_to(b)
+        try:
+            return distances[a]
+        except KeyError:
+            raise ConfigurationError(
+                f"router {b} is unreachable from {a} "
+                f"on topology {self.name!r}") from None
+
+    def _distances_to(self, dest: int) -> Dict[int, int]:
+        """Cached single-destination link-latency distances (Dijkstra)."""
+        distances = self._distance_cache.get(dest)
+        if distances is not None:
+            return distances
+        distances = {dest: 0}
+        frontier: List[Tuple[int, int]] = [(0, dest)]
+        while frontier:
+            cost, current = heapq.heappop(frontier)
+            if cost > distances[current]:
+                continue
+            for neighbour, latency in self._adjacency[current]:
+                candidate = cost + latency
+                if candidate < distances.get(neighbour, math.inf):
+                    distances[neighbour] = candidate
+                    heapq.heappush(frontier, (candidate, neighbour))
+        self._distance_cache[dest] = distances
+        return distances
+
+    def minimal_outports(self, node: int, dest: int) -> Tuple[int, ...]:
+        """All equal-weight minimal next hops from ``node`` toward ``dest``.
+
+        A neighbour is admissible when stepping to it lies on *some*
+        minimum-latency path — i.e. the link's latency plus the
+        neighbour's distance to ``dest`` equals ``node``'s distance.
+        Every admissible hop strictly decreases the distance, so a
+        walk that only takes table entries can never cycle.  Returned
+        in ascending neighbour-id order; empty when ``node == dest``.
+        """
+        if node == dest:
+            return ()
+        distances = self._distances_to(dest)
+        if node not in distances:
+            raise ConfigurationError(
+                f"router {dest} is unreachable from {node} "
+                f"on topology {self.name!r}")
+        here = distances[node]
+        return tuple(neighbour for neighbour, latency in self._adjacency[node]
+                     if distances.get(neighbour, math.inf) + latency == here)
+
+    def routing_table(self, dest: int) -> Dict[int, Tuple[int, ...]]:
+        """Per-router minimal outports toward one destination.
+
+        The weighted-table form of the deterministic routes: for every
+        router that can reach ``dest``, the tuple of all equal-weight
+        minimal next hops (the adaptive simulator picks among them by
+        credits; the deterministic :meth:`route` is always one of them).
+        """
+        table = self._table_cache.get(dest)
+        if table is not None:
+            return table
+        table = {node: self.minimal_outports(node, dest)
+                 for node in self._distances_to(dest) if node != dest}
+        self._table_cache[dest] = table
+        return table
+
+    def escape_hop(self, node: int, dest: int) -> int:
+        """The deterministic escape next hop from ``node`` toward ``dest``.
+
+        The first step of the static :meth:`route` — one entry of the
+        minimal table, so it also strictly decreases the latency distance
+        to ``dest``.  The escape hops toward any one destination therefore
+        form a DAG, which is what makes the escape channel deadlock-free.
+        """
+        if node == dest:
+            raise ConfigurationError(
+                f"router {node} needs no escape hop to itself")
+        return self.route(node, dest)[1]
 
     def hop_distance(self, a: int, b: int) -> int:
         """Links crossed by the deterministic route between two routers."""

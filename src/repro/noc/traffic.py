@@ -53,15 +53,29 @@ def _flits(bits: float, flit_bits: int = FLIT_BITS) -> int:
 
 @dataclass
 class TrafficMatrix:
-    """Flit counts between named agents: ``flits[i, j]`` from i to j."""
+    """Flit counts between named agents: ``flits[i, j]`` from i to j.
+
+    ``burst`` is an optional ``(on, off)`` duty cycle: every flow injects
+    one flit per cycle for ``on`` cycles, then idles for ``off`` cycles,
+    synchronised across all flows — the bursty variant of a pattern the
+    cycle-stepped wormhole simulators honour (the closed-form analytic
+    model ignores injection timing).
+    """
 
     agents: Tuple[str, ...]
     flits: np.ndarray
     name: str = "traffic"
+    burst: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         self.agents = tuple(self.agents)
         self.flits = np.asarray(self.flits, dtype=np.int64)
+        if self.burst is not None:
+            on, off = self.burst
+            if on < 1 or off < 0:
+                raise ConfigurationError(
+                    f"burst duty cycle {self.burst} needs on >= 1, off >= 0")
+            self.burst = (int(on), int(off))
         count = len(self.agents)
         if len(set(self.agents)) != count:
             raise ConfigurationError(f"duplicate agent names in {self.agents}")
@@ -121,7 +135,21 @@ class TrafficMatrix:
         # Integer ceiling division: float ceil(flits * cap/peak) can land
         # one flit over the cap when cap/peak rounds up.
         scaled = (self.flits * max_flits_per_flow + peak - 1) // peak
-        return TrafficMatrix(self.agents, scaled, name=self.name)
+        return TrafficMatrix(self.agents, scaled, name=self.name,
+                             burst=self.burst)
+
+    def with_burst(self, on: int, off: int,
+                   name: Optional[str] = None) -> "TrafficMatrix":
+        """The same flows injected on an ``on``/``off`` duty cycle."""
+        return TrafficMatrix(self.agents, self.flits, burst=(on, off),
+                             name=name or f"{self.name}_burst{on}_{off}")
+
+    def renamed(self, name: str) -> "TrafficMatrix":
+        """The same matrix carrying a different reporting name."""
+        if name == self.name:
+            return self
+        return TrafficMatrix(self.agents, self.flits, name=name,
+                             burst=self.burst)
 
     def merged_with(self, other: "TrafficMatrix",
                     name: Optional[str] = None) -> "TrafficMatrix":
@@ -130,8 +158,13 @@ class TrafficMatrix:
             raise ConfigurationError(
                 f"cannot merge traffic over different agents: "
                 f"{self.agents} vs {other.agents}")
+        if other.burst != self.burst:
+            raise ConfigurationError(
+                f"cannot merge traffic with different burst duty cycles: "
+                f"{self.burst} vs {other.burst}")
         return TrafficMatrix(self.agents, self.flits + other.flits,
-                             name=name or f"{self.name}+{other.name}")
+                             name=name or f"{self.name}+{other.name}",
+                             burst=self.burst)
 
     def __repr__(self) -> str:
         return (f"TrafficMatrix({self.name!r}, agents={self.agent_count}, "
@@ -414,6 +447,49 @@ def tornado_traffic(agent_count: int, flits_per_flow: int = 4,
             matrix[index, partner] = flits_per_flow
     return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
                          name=name)
+
+
+#: The adversarial patterns accepted by :func:`adversarial_traffic` /
+#: :func:`burst_traffic` — the stress set of the saturation benchmarks.
+ADVERSARIAL_PATTERNS = ("transpose", "shuffle", "tornado", "hotspot")
+
+
+def adversarial_traffic(pattern: str, agent_count: int,
+                        flits_per_flow: int = 4,
+                        name: Optional[str] = None) -> TrafficMatrix:
+    """One of the named adversarial patterns, by string.
+
+    Dispatches over :data:`ADVERSARIAL_PATTERNS` so sweeps and benches
+    can iterate the stress set without hard-coding the constructors
+    (``hotspot`` centres on agent ``0`` — a corner router under the
+    linear placement on meshes, the worst-served position).
+    """
+    if pattern == "transpose":
+        return transpose_traffic(agent_count, flits_per_flow,
+                                 name=name or pattern)
+    if pattern == "shuffle":
+        return shuffle_traffic(agent_count, flits_per_flow,
+                               name=name or pattern)
+    if pattern == "tornado":
+        return tornado_traffic(agent_count, flits_per_flow,
+                               name=name or pattern)
+    if pattern == "hotspot":
+        return hotspot_traffic(agent_count, 0,
+                               flits_per_flow, name=name or pattern)
+    raise ConfigurationError(
+        f"unknown adversarial pattern {pattern!r}; expected one of "
+        f"{ADVERSARIAL_PATTERNS}")
+
+
+def burst_traffic(pattern: str, agent_count: int, flits_per_flow: int = 4,
+                  burst_on: int = 4, burst_off: int = 12,
+                  name: Optional[str] = None) -> TrafficMatrix:
+    """Burst variant of an adversarial pattern: synchronised on/off
+    injection (all flows fire together for ``burst_on`` cycles, then idle
+    ``burst_off``), the duty-cycled load shape of frame-synchronous video
+    traffic."""
+    base = adversarial_traffic(pattern, agent_count, flits_per_flow)
+    return base.with_burst(burst_on, burst_off, name=name)
 
 
 def shuffle_traffic(agent_count: int, flits_per_flow: int = 4,

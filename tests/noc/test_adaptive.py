@@ -1,0 +1,213 @@
+"""Congestion-aware adaptive routing: table properties, deadlock
+freedom on adversarial patterns at full injection, and the headline
+adaptive-beats-static result the benchmarks pin."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.sim import ADAPTIVE_BUFFER_DEPTH, simulate
+from repro.noc.topology import (
+    HubAndSpoke,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    Torus2D,
+)
+from repro.noc.traffic import (
+    ADVERSARIAL_PATTERNS,
+    adversarial_traffic,
+    burst_traffic,
+    hotspot_traffic,
+    tornado_traffic,
+    transpose_traffic,
+)
+
+TOPOLOGIES = [Mesh2D(3, 3), Torus2D(3, 4), Ring(8), Mesh3D(2, 2, layers=2),
+              HubAndSpoke(6)]
+
+
+class TestRoutingTables:
+    """Per-hop minimal outport tables derived from the weighted routes."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: t.name)
+    def test_every_outport_strictly_approaches_the_destination(
+            self, topology):
+        for dest in range(topology.node_count):
+            table = topology.routing_table(dest)
+            for node, outports in table.items():
+                assert outports, (node, dest)
+                here = topology.latency_distance(node, dest)
+                for neighbour in outports:
+                    gain = here - topology.latency_distance(neighbour, dest)
+                    assert gain == topology.link_latency(node, neighbour)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: t.name)
+    def test_table_covers_every_node_except_the_destination(self, topology):
+        for dest in range(topology.node_count):
+            table = topology.routing_table(dest)
+            assert set(table) == set(range(topology.node_count)) - {dest}
+
+    def test_torus_offers_path_diversity(self):
+        # Opposite corners of a torus reach the destination through
+        # several equally minimal first hops; a mesh corner flow along
+        # one edge has exactly one.
+        torus = Torus2D(4, 4)
+        assert len(torus.minimal_outports(0, 10)) >= 2
+        mesh = Mesh2D(3, 3)
+        assert mesh.minimal_outports(0, 2) == (1,)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: t.name)
+    def test_escape_hop_is_the_static_route_first_hop(self, topology):
+        for dest in range(topology.node_count):
+            for node in range(topology.node_count):
+                if node == dest:
+                    with pytest.raises(ConfigurationError):
+                        topology.escape_hop(node, dest)
+                    continue
+                assert (topology.escape_hop(node, dest)
+                        == topology.route(node, dest)[1])
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: t.name)
+    def test_escape_hop_is_always_a_minimal_outport(self, topology):
+        # The escape channel routes along the deterministic shortest
+        # path, so it always appears in the adaptive candidate set —
+        # falling back to it never lengthens a journey.
+        for dest in range(topology.node_count):
+            for node in range(topology.node_count):
+                if node != dest:
+                    assert (topology.escape_hop(node, dest)
+                            in topology.minimal_outports(node, dest))
+
+    def test_minimal_outports_at_destination_is_empty(self):
+        assert Mesh2D(2, 2).minimal_outports(3, 3) == ()
+
+
+class TestDeadlockFreedom:
+    """Full-injection adversarial patterns must always drain: every
+    outport strictly decreases the distance to the destination, so the
+    routing graph per destination is a DAG and the lowest outstanding
+    flit always advances."""
+
+    CASES = [
+        (Mesh2D(3, 3), "transpose"),
+        (Mesh2D(3, 3), "tornado"),
+        (Mesh2D(4, 4), "transpose"),
+        (Torus2D(3, 4), "tornado"),
+        (Torus2D(4, 4), "shuffle"),
+        (Ring(8), "tornado"),
+        (Mesh3D(2, 2, layers=2), "hotspot"),
+        (HubAndSpoke(6), "hotspot"),
+    ]
+
+    @pytest.mark.parametrize("topology,pattern", CASES,
+                             ids=lambda v: getattr(v, "name", v))
+    def test_full_injection_always_drains(self, topology, pattern):
+        # 64 flits per flow with every flow injecting from cycle zero —
+        # sustained 1.0 injection rate, far beyond every knee.
+        traffic = adversarial_traffic(pattern, topology.node_count,
+                                      flits_per_flow=64)
+        result = simulate(topology, traffic, model="wormhole_adaptive")
+        assert result.delivered_flits == result.total_flits
+        assert result.censored_flow_count == 0
+        assert result.cycles < result.total_flits * 4  # finite, not stalled
+
+    @pytest.mark.parametrize("topology,pattern", CASES,
+                             ids=lambda v: getattr(v, "name", v))
+    def test_burst_variant_also_drains(self, topology, pattern):
+        traffic = burst_traffic(pattern, topology.node_count,
+                                flits_per_flow=16, burst_on=4, burst_off=12)
+        result = simulate(topology, traffic, model="wormhole_adaptive")
+        assert result.delivered_flits == result.total_flits
+
+
+class TestAdaptiveBeatsStatic:
+    """The congestion-aware router's reason to exist, pinned: lower
+    delivered latency than deterministic routing on a corner hotspot."""
+
+    def test_hotspot_mean_delivered_latency(self):
+        traffic = hotspot_traffic(9, 0, 16)
+        static = simulate(Mesh2D(3, 3), traffic, model="wormhole")
+        adaptive = simulate(Mesh2D(3, 3), traffic,
+                            model="wormhole_adaptive")
+        assert static.delivered_flits == static.total_flits
+        assert adaptive.delivered_flits == adaptive.total_flits
+        assert (adaptive.delivered_mean_latency_cycles
+                < static.delivered_mean_latency_cycles)
+
+    def test_torus_tornado_mean_delivered_latency(self):
+        traffic = tornado_traffic(12, 16)
+        static = simulate(Torus2D(3, 4), traffic, model="wormhole")
+        adaptive = simulate(Torus2D(3, 4), traffic,
+                            model="wormhole_adaptive")
+        assert (adaptive.delivered_mean_latency_cycles
+                < static.delivered_mean_latency_cycles)
+
+    def test_mesh_transpose_mean_delivered_latency(self):
+        traffic = transpose_traffic(16, 16)
+        static = simulate(Mesh2D(4, 4), traffic, model="wormhole")
+        adaptive = simulate(Mesh2D(4, 4), traffic,
+                            model="wormhole_adaptive")
+        assert (adaptive.delivered_mean_latency_cycles
+                < static.delivered_mean_latency_cycles)
+
+    def test_adaptive_never_loses_on_a_contention_free_flow(self):
+        # A single flow has nothing to adapt around: both models must
+        # deliver at the identical zero-load latency.
+        agents = tuple(f"n{i}" for i in range(9))
+        flits = np.zeros((9, 9), dtype=np.int64)
+        flits[0, 8] = 8
+        from repro.noc.traffic import TrafficMatrix
+        traffic = TrafficMatrix(agents, flits, name="single")
+        static = simulate(Mesh2D(3, 3), traffic, model="wormhole")
+        adaptive = simulate(Mesh2D(3, 3), traffic,
+                            model="wormhole_adaptive")
+        assert (adaptive.per_flow_latency.tolist()
+                == static.per_flow_latency.tolist())
+
+
+class TestBurstInjection:
+    def test_bursts_stretch_the_makespan(self):
+        base = transpose_traffic(9, 16)
+        bursty = base.with_burst(2, 14)
+        contiguous = simulate(Mesh2D(3, 3), base,
+                              model="wormhole_adaptive")
+        spread = simulate(Mesh2D(3, 3), bursty,
+                          model="wormhole_adaptive")
+        assert spread.cycles > contiguous.cycles
+        assert spread.delivered_flits == contiguous.delivered_flits
+
+    def test_off_cycles_relieve_contention(self):
+        # With long idle gaps each burst drains before the next fires,
+        # so the busiest link is idle most of the time.
+        bursty = burst_traffic("transpose", 9, flits_per_flow=16,
+                               burst_on=1, burst_off=15)
+        result = simulate(Mesh2D(3, 3), bursty, model="wormhole_adaptive")
+        assert result.delivered_flits == result.total_flits
+        assert result.peak_link_utilisation < 0.5
+
+    def test_analytic_model_ignores_burst_timing(self):
+        base = transpose_traffic(9, 16)
+        plain = simulate(Mesh2D(3, 3), base, model="analytic")
+        bursty = simulate(Mesh2D(3, 3), base.with_burst(2, 14),
+                          model="analytic")
+        assert plain.cycles == bursty.cycles
+        assert plain.mean_latency_cycles == bursty.mean_latency_cycles
+
+    def test_all_adversarial_patterns_have_burst_variants(self):
+        for pattern in ADVERSARIAL_PATTERNS:
+            traffic = burst_traffic(pattern, 8, flits_per_flow=4,
+                                    burst_on=3, burst_off=5)
+            assert traffic.burst == (3, 5)
+            assert traffic.name.endswith("burst3_5")
+
+
+class TestBufferDepth:
+    def test_depth_is_small_and_positive(self):
+        # The credit loop only adapts while buffers can fill; a huge
+        # depth would degenerate to static shortest-path routing.
+        assert 1 <= ADAPTIVE_BUFFER_DEPTH <= 16

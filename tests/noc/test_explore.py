@@ -7,10 +7,17 @@ from repro.noc.explore import (
     DesignPoint,
     pareto_by_workload,
     pareto_front,
+    saturation_curve,
+    saturation_curves,
     sweep,
 )
 from repro.noc.topology import TOPOLOGY_FAMILIES, Mesh2D, Ring
-from repro.noc.traffic import hotspot_traffic, transpose_traffic, uniform_traffic
+from repro.noc.traffic import (
+    burst_traffic,
+    hotspot_traffic,
+    transpose_traffic,
+    uniform_traffic,
+)
 
 
 def small_sweep():
@@ -125,3 +132,79 @@ class TestParetoFront:
         for workload, front in fronts.items():
             assert front
             assert all(point.workload == workload for point in front)
+
+class TestSaturationCurve:
+    def curve(self, model="wormhole_adaptive"):
+        return saturation_curve(Mesh2D(3, 3),
+                                burst_traffic("transpose", 9, 64, 1, 7),
+                                levels=(1, 2, 4, 8, 16), model=model)
+
+    def test_points_cover_the_levels_in_order(self):
+        curve = self.curve()
+        assert [point.level for point in curve.points] == [1, 2, 4, 8, 16]
+        assert curve.topology == "mesh_3x3"
+        assert curve.model == "wormhole_adaptive"
+
+    def test_levels_are_deduplicated_and_sorted(self):
+        curve = saturation_curve(Mesh2D(3, 3),
+                                 burst_traffic("transpose", 9, 64, 1, 7),
+                                 levels=(8, 2, 8, 2), model="wormhole")
+        assert [point.level for point in curve.points] == [2, 8]
+
+    def test_knee_is_the_largest_unsaturated_level(self):
+        curve = self.curve()
+        unsaturated = [p.level for p in curve.points if not p.saturated]
+        assert curve.knee == max(unsaturated)
+
+    def test_knee_is_none_when_every_level_saturates(self):
+        curve = saturation_curve(Mesh2D(3, 3), hotspot_traffic(9, 0, 64),
+                                 levels=(4, 16, 64), model="wormhole")
+        assert all(point.saturated for point in curve.points)
+        assert curve.knee is None
+
+    def test_points_match_individual_simulation(self):
+        from repro.noc.sim import simulate
+        curve = self.curve()
+        traffic = burst_traffic("transpose", 9, 64, 1, 7)
+        for point in curve.points:
+            alone = simulate(Mesh2D(3, 3), traffic.scaled_to(point.level),
+                             model="wormhole_adaptive")
+            assert point.delivered_flits == alone.delivered_flits
+            assert point.mean_latency_cycles == alone.mean_latency_cycles
+            assert (point.delivered_mean_latency_cycles
+                    == alone.delivered_mean_latency_cycles)
+            assert point.saturated == alone.saturated
+
+    def test_latency_grows_with_injection_level(self):
+        curve = self.curve()
+        delivered = [point.delivered_mean_latency_cycles
+                     for point in curve.points]
+        assert delivered == sorted(delivered)
+
+    def test_summary_round_trips(self):
+        summary = self.curve().summary()
+        assert summary["knee"] == self.curve().knee
+        assert len(summary["points"]) == 5
+        assert summary["points"][0]["level"] == 1
+
+    def test_analytic_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.curve(model="analytic")
+
+    def test_empty_or_invalid_levels_rejected(self):
+        traffic = uniform_traffic(4, 8)
+        with pytest.raises(ConfigurationError):
+            saturation_curve(Mesh2D(2, 2), traffic, levels=())
+        with pytest.raises(ConfigurationError):
+            saturation_curve(Mesh2D(2, 2), traffic, levels=(0, 2))
+
+    def test_plural_covers_the_product(self):
+        curves = saturation_curves(
+            [Mesh2D(2, 2), Ring(4)],
+            {"uniform": uniform_traffic(4, 16),
+             "transpose": transpose_traffic(4, 16)},
+            levels=(1, 4), model="wormhole")
+        assert len(curves) == 4
+        assert {(c.topology, c.workload) for c in curves} == {
+            ("mesh_2x2", "uniform"), ("mesh_2x2", "transpose"),
+            ("ring_4", "uniform"), ("ring_4", "transpose")}

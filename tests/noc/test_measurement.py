@@ -1,0 +1,124 @@
+"""Regression tests for saturated-NoC measurement fixes.
+
+Each test pins a behaviour that was wrong before this change: censored
+flows used to drag the reported mean latency toward the cycle budget
+with no way to see it, the utilisation-knee saturation check silently
+skipped the cycle-stepped models, and out-of-range placements crashed
+deep inside the simulator instead of naming the bad agent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.sim import SATURATION_UTILISATION, simulate
+from repro.noc.topology import Mesh2D, Ring
+from repro.noc.traffic import TrafficMatrix, transpose_traffic, uniform_traffic
+
+
+def heavy_matrix(agent_count, flits):
+    agents = tuple(f"n{i}" for i in range(agent_count))
+    matrix = np.full((agent_count, agent_count), flits, dtype=np.int64)
+    np.fill_diagonal(matrix, 0)
+    return TrafficMatrix(agents, matrix, name="heavy")
+
+
+class TestCensoredLatency:
+    """Budget-censored flows must not masquerade as delivered latency."""
+
+    def test_saturated_run_separates_delivered_from_censored(self):
+        # A budget far too small to drain the matrix: some flows finish,
+        # the rest are recorded at the budget.
+        result = simulate(Mesh2D(3, 3), heavy_matrix(9, 6),
+                          model="wormhole", max_cycles=12)
+        assert result.censored_flow_count > 0
+        assert result.delivered_flits < result.total_flits
+        # The censored flows sit exactly at the budget, so the mean over
+        # all flows is inflated; the delivered-only mean is not.
+        assert (result.delivered_mean_latency_cycles
+                < result.mean_latency_cycles)
+        delivered = result.per_flow_latency[result.per_flow_delivered]
+        assert result.delivered_mean_latency_cycles == float(
+            delivered.mean())
+
+    def test_unsaturated_run_has_no_censoring(self):
+        result = simulate(Mesh2D(3, 3), uniform_traffic(9, 2),
+                          model="wormhole")
+        assert result.censored_flow_count == 0
+        assert (result.delivered_mean_latency_cycles
+                == result.mean_latency_cycles)
+
+    def test_fully_censored_run_reports_zero_delivered_mean(self):
+        result = simulate(Mesh2D(3, 3), heavy_matrix(9, 6),
+                          model="wormhole", max_cycles=1)
+        assert result.censored_flow_count == result.flow_count
+        assert result.delivered_mean_latency_cycles == 0.0
+
+    def test_summary_carries_both_statistics(self):
+        summary = simulate(Mesh2D(3, 3), heavy_matrix(9, 6),
+                           model="wormhole", max_cycles=12).summary()
+        assert summary["censored_flows"] > 0
+        assert (summary["delivered_mean_latency_cycles"]
+                < summary["mean_latency_cycles"])
+
+
+class TestSaturationFlag:
+    """The utilisation knee applies to every model, not just analytic."""
+
+    @pytest.mark.parametrize("model", ["wormhole", "wormhole_adaptive"])
+    def test_over_the_knee_wormhole_run_is_flagged(self, model):
+        # Everything is delivered (no budget censoring), but the busiest
+        # link runs nearly every cycle: the network is past its knee and
+        # the cycle-stepped models must say so.
+        result = simulate(Ring(4), transpose_traffic(4, 32), model=model)
+        assert result.delivered_flits == result.total_flits
+        assert result.peak_link_utilisation > SATURATION_UTILISATION
+        assert result.saturated
+
+    @pytest.mark.parametrize("model", ["analytic", "wormhole",
+                                       "wormhole_adaptive"])
+    def test_light_load_is_not_flagged(self, model):
+        # One flit over several hops: each link is busy a single cycle
+        # of a multi-cycle journey, well under the knee in every model.
+        agents = tuple(f"n{i}" for i in range(8))
+        flits = np.zeros((8, 8), dtype=np.int64)
+        flits[0, 4] = 1
+        traffic = TrafficMatrix(agents, flits, name="light")
+        result = simulate(Ring(8), traffic, model=model)
+        assert not result.saturated
+
+    def test_flag_agrees_with_the_published_threshold(self):
+        result = simulate(Ring(4), transpose_traffic(4, 32),
+                          model="wormhole")
+        assert result.saturated == (
+            result.delivered_flits < result.total_flits
+            or result.peak_link_utilisation > SATURATION_UTILISATION)
+
+
+class TestPlacementValidation:
+    """Agents must land on routers the topology actually has."""
+
+    def test_router_beyond_the_topology_is_rejected_by_name(self):
+        traffic = uniform_traffic(4, 1)
+        placement = {agent: index for index, agent in
+                     enumerate(traffic.agents)}
+        placement[traffic.agents[2]] = 99
+        with pytest.raises(ConfigurationError) as error:
+            simulate(Mesh2D(2, 2), traffic, placement=placement)
+        assert traffic.agents[2] in str(error.value)
+        assert "99" in str(error.value)
+
+    def test_negative_router_is_rejected(self):
+        traffic = uniform_traffic(4, 1)
+        placement = {agent: index for index, agent in
+                     enumerate(traffic.agents)}
+        placement[traffic.agents[0]] = -1
+        with pytest.raises(ConfigurationError):
+            simulate(Mesh2D(2, 2), traffic, placement=placement)
+
+    def test_valid_placement_still_accepted(self):
+        traffic = uniform_traffic(4, 1)
+        placement = {agent: 3 - index for index, agent in
+                     enumerate(traffic.agents)}
+        result = simulate(Mesh2D(2, 2), traffic, placement=placement)
+        assert result.delivered_flits == result.total_flits

@@ -53,8 +53,13 @@ def random_traffic_batch(rng, agent_count, batch):
 
 def assert_results_identical(scalar, batched):
     assert np.array_equal(scalar.per_flow_latency, batched.per_flow_latency)
+    assert np.array_equal(scalar.per_flow_delivered,
+                          batched.per_flow_delivered)
     assert np.array_equal(scalar.link_loads, batched.link_loads)
     assert scalar.delivered_flits == batched.delivered_flits
+    assert scalar.censored_flow_count == batched.censored_flow_count
+    assert (scalar.delivered_mean_latency_cycles
+            == batched.delivered_mean_latency_cycles)
     assert scalar.cycles == batched.cycles
     assert scalar.flit_link_cycles == batched.flit_link_cycles
     assert scalar.flit_router_crossings == batched.flit_router_crossings
@@ -127,6 +132,67 @@ class TestWormholeParity:
             scalar = simulate(topology, traffic, model="wormhole",
                               max_flits_per_flow=6)
             assert_results_identical(scalar, result)
+
+
+class TestAdaptiveWormholeParity:
+    """Congestion-aware routing decisions must be bit-identical between
+    the scalar reference and the batched implementation: same outport
+    choices, same escape fallbacks, same link arbitration."""
+
+    @pytest.mark.parametrize("seed", range(13))
+    def test_random_cases(self, seed):
+        """>= 52 random (topology, batch) draws across every family."""
+        rng = np.random.default_rng(7000 + seed)
+        for _ in range(4):                        # 52 drawn batches
+            topology = random_topology(rng)
+            agent_count = int(rng.integers(2, topology.node_count + 1))
+            batch = int(rng.integers(1, 4))
+            traffics = random_traffic_batch(rng, agent_count, batch)
+            batched = simulate_batched(topology, traffics,
+                                       model="wormhole_adaptive")
+            for traffic, result in zip(traffics, batched):
+                scalar = simulate(topology, traffic,
+                                  model="wormhole_adaptive")
+                assert_results_identical(scalar, result)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parity_under_exhausted_cycle_budget(self, seed):
+        """Censoring under a tiny budget must match flit for flit."""
+        rng = np.random.default_rng(7500 + seed)
+        topology = random_topology(rng)
+        agent_count = topology.node_count
+        agents = tuple(f"n{i}" for i in range(agent_count))
+        traffics = []
+        for index in range(3):
+            matrix = rng.integers(5, 12, (agent_count, agent_count))
+            np.fill_diagonal(matrix, 0)
+            traffics.append(TrafficMatrix(agents, matrix, name=f"t{index}"))
+        budget = int(rng.integers(2, 9))
+        batched = simulate_batched(topology, traffics,
+                                   model="wormhole_adaptive",
+                                   max_cycles=budget)
+        for traffic, result in zip(traffics, batched):
+            scalar = simulate(topology, traffic, model="wormhole_adaptive",
+                              max_cycles=budget)
+            assert_results_identical(scalar, result)
+            assert scalar.saturated
+            assert scalar.delivered_flits < scalar.total_flits
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parity_with_burst_injection(self, seed):
+        """Duty-cycled injection must replay identically in both
+        implementations (and in the static wormhole model)."""
+        rng = np.random.default_rng(7800 + seed)
+        topology = random_topology(rng)
+        agent_count = int(rng.integers(2, topology.node_count + 1))
+        traffics = [t.with_burst(int(rng.integers(1, 5)),
+                                 int(rng.integers(0, 9)))
+                    for t in random_traffic_batch(rng, agent_count, 2)]
+        for model in ("wormhole", "wormhole_adaptive"):
+            batched = simulate_batched(topology, traffics, model=model)
+            for traffic, result in zip(traffics, batched):
+                scalar = simulate(topology, traffic, model=model)
+                assert_results_identical(scalar, result)
 
 
 class TestModelAgreement:
