@@ -1,0 +1,84 @@
+"""Shared plumbing for the ``run_bench_*`` harnesses.
+
+Every runner used to hand-roll the same three things: a best-of timing
+loop, a JSON record stamped with the generation time and environment,
+and the final write-plus-print.  They live here once now — and every
+benchmarked section additionally runs under :mod:`repro.obs` tracing so
+its virtual-time ``trace_digest`` lands in the record, tying each
+benchmark number to the exact deterministic schedule that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def best_of(workload: Callable[[], object], repeats: int) -> float:
+    """Minimum wall seconds of ``workload`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def new_record(benchmark: str, **extra) -> Dict:
+    """A fresh benchmark record with the environment stamp every runner
+    used to assemble by hand."""
+    import numpy as np
+
+    record: Dict = {
+        "benchmark": benchmark,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    record.update(extra)
+    return record
+
+
+def traced(workload: Callable[[], object]) -> Tuple[object, str]:
+    """Run ``workload`` under a fresh tracer; return ``(result, digest)``.
+
+    The digest covers only the virtual clock domain, so it identifies
+    the deterministic schedule the benchmark exercised — identical
+    across repeats, backends, and machines.
+    """
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        result = workload()
+    return result, obs.trace_digest(tracer)
+
+
+def run_sections(record: Dict,
+                 sections: Iterable[Tuple[str, Callable[[], Dict]]]) -> Dict:
+    """Run named benchmark sections into ``record["benchmarks"]``, each
+    traced and stamped with its ``trace_digest``."""
+    benchmarks = record.setdefault("benchmarks", {})
+    for name, bench in sections:
+        print(f"running {name} ...", flush=True)
+        section, digest = traced(bench)
+        if isinstance(section, dict):
+            section.setdefault("trace_digest", digest)
+        benchmarks[name] = section
+    return record
+
+
+def write_record(path, record: Dict, sort_keys: bool = False) -> Path:
+    """Write the record as indented JSON and announce the path."""
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=sort_keys) + "\n")
+    print(f"wrote {path}")
+    return path

@@ -23,24 +23,14 @@ Run with:  python benchmarks/run_bench.py [--output BENCH_engine.json]
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
+from bench_record import best_of as _best_of
+from bench_record import new_record, run_sections, write_record
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def bench_dct_flow(repeats: int) -> dict:
@@ -48,10 +38,17 @@ def bench_dct_flow(repeats: int) -> dict:
     from repro.core.simulator import DataflowSimulator
     from repro.dct import MixedRomDCT, dct_implementations
     from repro.engine import default_op_for, program_for_netlist
-    from repro.flow import compile_many
+    from repro.flow import FlowCache, compile_many
 
     compile_seconds = _best_of(
         lambda: compile_many(dct_implementations(), cache=None), repeats)
+
+    # The same workload through a FlowCache: the second pass must be all
+    # hits, and the stats land in the record (cache-health trend line).
+    cache = FlowCache()
+    compile_many(dct_implementations(), cache=cache)
+    warm_seconds = _best_of(
+        lambda: compile_many(dct_implementations(), cache=cache), repeats)
 
     netlist = MixedRomDCT().build_netlist()
     inputs = [node.name for node in netlist.nodes
@@ -83,6 +80,8 @@ def bench_dct_flow(repeats: int) -> dict:
         "description": f"compile 5 DCT designs; simulate mixed_rom netlist, "
                        f"{streams} streams x {cycles} cycles",
         "compile_seconds": round(compile_seconds, 4),
+        "cached_compile_seconds": round(warm_seconds, 4),
+        "cache_stats": cache.stats(),
         "legacy_seconds": round(legacy_seconds, 4),
         "engine_seconds": round(engine_seconds, 4),
         "speedup": round(legacy_seconds / engine_seconds, 2),
@@ -173,23 +172,21 @@ def main() -> None:
                         help="repetitions per measurement (best-of)")
     arguments = parser.parse_args()
 
-    record = {
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "benchmarks": {},
-    }
-    for name, bench in (("dct_flow", bench_dct_flow),
-                        ("full_search_me", bench_full_search_me),
-                        ("encode_5_frames", bench_encode)):
-        print(f"running {name} ...", flush=True)
-        record["benchmarks"][name] = bench(arguments.repeats)
-        result = record["benchmarks"][name]
+    record = new_record("engine")
+    run_sections(record, (
+        ("dct_flow", lambda: bench_dct_flow(arguments.repeats)),
+        ("full_search_me", lambda: bench_full_search_me(arguments.repeats)),
+        ("encode_5_frames", lambda: bench_encode(arguments.repeats)),
+    ))
+    for result in record["benchmarks"].values():
         print(f"  legacy {result['legacy_seconds']}s -> engine "
               f"{result['engine_seconds']}s ({result['speedup']}x)")
+    cache_stats = record["benchmarks"]["dct_flow"]["cache_stats"]
+    print(f"  flow cache: {cache_stats['hits']} hits / "
+          f"{cache_stats['misses']} misses / "
+          f"{cache_stats['evictions']} evictions")
 
-    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {arguments.output}")
+    write_record(arguments.output, record)
 
 
 if __name__ == "__main__":

@@ -22,11 +22,10 @@ Run with:  python benchmarks/run_bench_fleet.py [--output BENCH_fleet.json]
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
 from pathlib import Path
+
+from bench_record import new_record, traced, write_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -164,27 +163,24 @@ def main() -> None:
     from repro.serve import KernelLibrary
 
     library = KernelLibrary()
-    scaling = scaling_curve(library)
-    headline = headline_capacity_run(library)
-    identity = bit_identity_check(library)
-    sweep = slo_sweep(library)
-    autoscale = autoscale_savings(library)
+    sections = {}
+    trace_digests = {}
+    for name, section in (
+            ("scaling_curve", lambda: scaling_curve(library)),
+            ("headline_capacity_run",
+             lambda: headline_capacity_run(library)),
+            ("bit_identity", lambda: bit_identity_check(library)),
+            ("slo_sweep", lambda: slo_sweep(library)),
+            ("autoscale", lambda: autoscale_savings(library))):
+        sections[name], trace_digests[name] = traced(section)
+    scaling = sections["scaling_curve"]
+    headline = sections["headline_capacity_run"]
+    sweep = sections["slo_sweep"]
+    autoscale = sections["autoscale"]
 
-    record = {
-        "benchmark": "fleet",
-        "generated": datetime.now(timezone.utc).isoformat(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "seed": SEED,
-        "scaling_curve": scaling,
-        "headline_capacity_run": headline,
-        "bit_identity": identity,
-        "slo_sweep": sweep,
-        "autoscale": autoscale,
-    }
-    output = Path(arguments.output)
-    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {output}")
+    record = new_record("fleet", seed=SEED, trace_digests=trace_digests,
+                        **sections)
+    output = write_record(arguments.output, record, sort_keys=True)
 
     print("\nfleet-size scaling (20k jobs, overloaded):")
     for row in scaling:

@@ -20,29 +20,17 @@ Run with:  python benchmarks/run_bench_gop.py [--output BENCH_gop.json]
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import time
-from datetime import datetime, timezone
 from pathlib import Path
 
-import numpy as np
+from bench_record import best_of as _best_of
+from bench_record import new_record, run_sections, write_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 FRAME_COUNT = 32
 GOP_SIZE = 8
 WORKERS = 4
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def benchmark_sequence():
@@ -196,25 +184,20 @@ def main() -> None:
                         help="repetitions per measurement (best-of)")
     arguments = parser.parse_args()
 
-    record = {
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "benchmarks": {},
-    }
-    for name, bench in (("gop_parallel_encode", bench_gop_parallel),
-                        ("rate_control", bench_rate_control),
-                        ("scene_suite", bench_scene_suite)):
-        print(f"running {name} ...", flush=True)
-        record["benchmarks"][name] = bench(arguments.repeats)
+    record = new_record("gop")
+    run_sections(record, (
+        ("gop_parallel_encode",
+         lambda: bench_gop_parallel(arguments.repeats)),
+        ("rate_control", lambda: bench_rate_control(arguments.repeats)),
+        ("scene_suite", lambda: bench_scene_suite(arguments.repeats)),
+    ))
     headline = record["benchmarks"]["gop_parallel_encode"]
     print(f"  serial {headline['serial_seconds']}s -> "
           f"{headline['auto_strategy']} "
           f"{headline[headline['auto_strategy'] + '_seconds']}s "
           f"({headline['speedup']}x), threads {headline['threads_seconds']}s")
 
-    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {arguments.output}")
+    write_record(arguments.output, record)
 
 
 if __name__ == "__main__":

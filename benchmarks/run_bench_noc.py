@@ -20,13 +20,13 @@ Run with:  python benchmarks/run_bench_noc.py [--output BENCH_noc.json]
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
+
+from bench_record import best_of as _best_of
+from bench_record import new_record, run_sections, write_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -35,15 +35,6 @@ FRAME_HEIGHT = 96
 FRAME_WIDTH = 112
 GOP_SIZE = 8
 WORKERS = 4
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def extract_workloads() -> dict:
@@ -264,20 +255,15 @@ def main() -> None:
                         help="repetitions per measurement (best-of)")
     arguments = parser.parse_args()
 
-    record = {
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "benchmarks": {},
-    }
-    for name, bench in (("pareto_sweep", bench_pareto_sweep),
-                        ("simulator", lambda: bench_simulator(arguments.repeats)),
-                        ("adaptive_routing", bench_adaptive_routing),
-                        ("saturation_curves", bench_saturation_curves),
-                        ("flow_integration",
-                         lambda: bench_flow_integration(arguments.repeats))):
-        print(f"running {name} ...", flush=True)
-        record["benchmarks"][name] = bench()
+    record = new_record("noc")
+    run_sections(record, (
+        ("pareto_sweep", bench_pareto_sweep),
+        ("simulator", lambda: bench_simulator(arguments.repeats)),
+        ("adaptive_routing", bench_adaptive_routing),
+        ("saturation_curves", bench_saturation_curves),
+        ("flow_integration",
+         lambda: bench_flow_integration(arguments.repeats)),
+    ))
 
     sweep_record = record["benchmarks"]["pareto_sweep"]
     simulator = record["benchmarks"]["simulator"]
@@ -290,8 +276,7 @@ def main() -> None:
           f"{simulator['wormhole_adaptive']['speedup']}x vs scalar; "
           f"adaptive routing wins {wins}/{len(adaptive)} adversarial cases")
 
-    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {arguments.output}")
+    write_record(arguments.output, record)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Observability overhead benchmark: the cost of the tracer, measured.
+
+Runs an instrumented smoke of the gop + serve + fleet stack three ways —
+tracer disabled (twice, interleaved) and enabled — via
+:func:`repro.obs.measure_overhead`, and *asserts* the repo's overhead
+budgets: the disabled tracer must cost < 5% (measured as the ratio
+between the two disabled passes, which bounds measurement noise and the
+``enabled``-guard cost together) and enabling it must cost < 15%.
+
+Also exercises the headline acceptance path: one traced fleet run,
+serial and process-partitioned, must produce the identical
+``trace_digest()``, and the merged trace is exported as Chrome
+trace-event JSON (the CI artifact — load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+
+Run with:  python benchmarks/run_bench_obs.py [--output BENCH_obs.json]
+                                              [--trace-output trace_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from bench_record import new_record, write_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: CI-asserted overhead budgets (ratios over the disabled baseline).
+DISABLED_BUDGET = 1.05
+ENABLED_BUDGET = 1.15
+
+FLEET_JOBS = 400
+FLEET_SOCS = 4
+
+
+def stack_smoke() -> None:
+    """One pass through the instrumented gop + serve + fleet stack."""
+    import numpy as np
+
+    from repro.fleet import FleetSettings, simulate_fleet, synthetic_trace
+    from repro.serve import ServeSettings, generate_jobs, serve
+    from repro.video.gop import encode_sequence_parallel
+    from repro.video.scenes import scene_frames
+
+    frames = scene_frames("pan", count=8, height=48, width=48, seed=2026)
+    encode_sequence_parallel(frames, strategy="lockstep", gop_size=4)
+
+    jobs = generate_jobs("bursty_mixed", job_count=24, seed=2026)
+    serve(jobs, ServeSettings(queue_capacity=16, max_batch=4))
+
+    trace = synthetic_trace("flash_crowd", FLEET_JOBS, seed=2026)
+    simulate_fleet(trace, FleetSettings(soc_count=FLEET_SOCS, steal=True,
+                                        autoscale=True))
+
+
+def traced_fleet_export(trace_path: Path) -> dict:
+    """Serial vs partitioned fleet digests + the Chrome-trace artifact."""
+    from repro import obs
+    from repro.fleet import (
+        FleetSettings,
+        simulate_fleet_partitioned,
+        synthetic_trace,
+    )
+
+    jobs = synthetic_trace("flash_crowd", FLEET_JOBS, seed=2026)
+    settings = FleetSettings(soc_count=FLEET_SOCS, steal=True)
+
+    with obs.tracing() as serial_tracer:
+        simulate_fleet_partitioned(jobs, settings, partitions=2,
+                                   parallel="serial")
+    serial_digest = obs.trace_digest(serial_tracer)
+
+    with obs.tracing() as partitioned_tracer:
+        simulate_fleet_partitioned(jobs, settings, partitions=2,
+                                   parallel="processes")
+    partitioned_digest = obs.trace_digest(partitioned_tracer)
+
+    assert serial_digest == partitioned_digest, (
+        "partitioned fleet trace diverged from serial: "
+        f"{serial_digest} != {partitioned_digest}")
+
+    obs.write_chrome_trace(trace_path, partitioned_tracer)
+    document = json.loads(trace_path.read_text())
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert phases <= {"X", "i", "M"}, f"unexpected trace phases {phases}"
+
+    return {
+        "jobs": FLEET_JOBS,
+        "socs": FLEET_SOCS,
+        "partitions": 2,
+        "trace_digest": serial_digest,
+        "digest_identical_serial_vs_partitioned": True,
+        "trace_events": len(document["traceEvents"]),
+        "trace_file": trace_path.name,
+        "metrics": obs.metrics_snapshot(partitioned_tracer)["counters"],
+    }
+
+
+def main() -> None:
+    from repro.obs import measure_overhead
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_obs.json",
+                        help="where to write the benchmark record")
+    parser.add_argument("--trace-output", type=Path,
+                        default=REPO_ROOT / "trace_obs.json",
+                        help="where to write the Chrome trace artifact")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="repetitions per measurement (best-of)")
+    arguments = parser.parse_args()
+
+    print("measuring tracer overhead (gop + serve + fleet smoke) ...",
+          flush=True)
+    overhead = measure_overhead(stack_smoke, repeats=arguments.repeats)
+    print(f"  disabled {overhead['disabled_seconds']}s "
+          f"(ratio {overhead['disabled_ratio']}, budget {DISABLED_BUDGET}), "
+          f"enabled {overhead['enabled_seconds']}s "
+          f"(ratio {overhead['enabled_ratio']}, budget {ENABLED_BUDGET}), "
+          f"{overhead['events_per_run']} events/run")
+    assert overhead["disabled_ratio"] < DISABLED_BUDGET, (
+        f"disabled-tracer overhead {overhead['disabled_ratio']} exceeds "
+        f"the {DISABLED_BUDGET} budget")
+    assert overhead["enabled_ratio"] < ENABLED_BUDGET, (
+        f"enabled-tracer overhead {overhead['enabled_ratio']} exceeds "
+        f"the {ENABLED_BUDGET} budget")
+
+    print("exporting the traced fleet run ...", flush=True)
+    export = traced_fleet_export(arguments.trace_output)
+    print(f"  {export['trace_events']} trace events, digest "
+          f"{export['trace_digest'][:16]}… identical serial vs partitioned")
+
+    record = new_record(
+        "obs",
+        budgets={"disabled_ratio": DISABLED_BUDGET,
+                 "enabled_ratio": ENABLED_BUDGET},
+        overhead=overhead,
+        fleet_trace=export,
+    )
+    write_record(arguments.output, record)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,14 +24,11 @@ Run with:  python benchmarks/run_bench_par.py [--output BENCH_par.json]
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import time
-from datetime import datetime, timezone
 from pathlib import Path
 
-import numpy as np
+from bench_record import best_of as _best_of
+from bench_record import new_record, run_sections, write_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -43,15 +40,6 @@ FLEET_SOCS = 8
 
 #: Scaling floors asserted when the host has at least this many cores.
 SPEEDUP_TARGETS = {2: 1.7, 4: 3.0}
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - started)
-    return best
 
 
 def _assert_scaling(section: str, speedups: dict) -> None:
@@ -236,27 +224,19 @@ def main() -> None:
                         help="repetitions per measurement (best-of)")
     arguments = parser.parse_args()
 
-    record = {
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpu_count": os.cpu_count(),
-        "worker_sweep": list(WORKER_SWEEP),
-        "benchmarks": {},
-    }
-    for name, bench in (("gop", bench_gop),
-                        ("fleet", bench_fleet),
-                        ("compile", bench_compile)):
-        print(f"running {name} ...", flush=True)
-        record["benchmarks"][name] = bench(arguments.repeats)
-        section = record["benchmarks"][name]
+    record = new_record("par", worker_sweep=list(WORKER_SWEEP))
+    run_sections(record, (
+        ("gop", lambda: bench_gop(arguments.repeats)),
+        ("fleet", lambda: bench_fleet(arguments.repeats)),
+        ("compile", lambda: bench_compile(arguments.repeats)),
+    ))
+    for section in record["benchmarks"].values():
         sweep = ", ".join(
             f"{workers}w {entry['speedup']}x"
             for workers, entry in section["workers"].items())
         print(f"  serial {section['serial_seconds']}s | {sweep}")
 
-    arguments.output.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {arguments.output}")
+    write_record(arguments.output, record)
 
 
 if __name__ == "__main__":

@@ -20,11 +20,10 @@ Run with:  python benchmarks/run_bench_serve.py [--output BENCH_serve.json]
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
 from pathlib import Path
+
+from bench_record import new_record, traced, write_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -123,26 +122,25 @@ def main() -> None:
 
     library = KernelLibrary()
     digests = serial_reference()
-    mixes = {mix: run_mix(mix, library, digests) for mix in MIX_SETTINGS}
+    mixes = {}
+    for mix in MIX_SETTINGS:
+        mixes[mix], trace_digest = traced(
+            lambda m=mix: run_mix(m, library, digests))
+        mixes[mix]["trace_digest"] = trace_digest
 
     wins = affinity_wins(mixes)
     assert wins, ("the reconfiguration-aware policy beat FIFO on no mix — "
                   "the serving model lost its residency sensitivity")
 
-    record = {
-        "benchmark": "serve",
-        "generated": datetime.now(timezone.utc).isoformat(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "job_count_per_mix": JOB_COUNT,
-        "seed": SEED,
-        "kernel_bitstream_bits": kernel_table(library),
-        "mixes": mixes,
-        "affinity_beats_fifo_on": wins,
-    }
-    output = Path(arguments.output)
-    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {output}")
+    record = new_record(
+        "serve",
+        job_count_per_mix=JOB_COUNT,
+        seed=SEED,
+        kernel_bitstream_bits=kernel_table(library),
+        mixes=mixes,
+        affinity_beats_fifo_on=wins,
+    )
+    output = write_record(arguments.output, record, sort_keys=True)
     for mix, data in mixes.items():
         print(f"\n{mix}:")
         for policy, summary in data["policies"].items():

@@ -14,13 +14,20 @@ Either way the completed payloads are bit-identical to executing every
 job alone on one SoC — scheduling moves where and when a job runs,
 never what it computes (asserted below).
 
-Run with:  python examples/fleet_scale_serving.py
+Run with:  python examples/fleet_scale_serving.py [--trace trace_fleet.json]
+
+Pass ``--trace`` to record the whole sweep with :mod:`repro.obs` and
+write a Chrome trace-event file — open it at ``chrome://tracing`` or
+https://ui.perfetto.dev to see every fleet's batches, steals, sheds and
+gatings on the virtual-time axis, plus a per-layer metrics table here.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
+from repro import obs
 from repro.fleet import (
     FleetSettings,
     execute_fleet_serial,
@@ -38,6 +45,14 @@ SLO_TARGET = 60_000
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record the sweep and write a Chrome "
+                             "trace-event JSON file to PATH")
+    arguments = parser.parse_args()
+    if arguments.trace:
+        obs.enable()
+
     library = KernelLibrary()
     jobs = synthetic_trace("flash_crowd", JOB_COUNT, seed=SEED,
                            mean_gap=MEAN_GAP)
@@ -81,6 +96,19 @@ def main() -> None:
                     "(virtual cycles; bit-exactness asserted)"))
     print("Small fleets shed low-value work to hold the SLO; large fleets\n"
           "absorb the crowd and spend the quiet stretches power-gated.")
+
+    if arguments.trace:
+        tracer = obs.TRACER
+        path = obs.write_chrome_trace(arguments.trace, tracer)
+        print(f"\n{len(tracer.events()):,} trace events "
+              f"(digest {obs.trace_digest(tracer)[:16]}…) -> {path}")
+        print(format_table(
+            [{"metric": row["metric"], "kind": row["kind"],
+              "value": row.get("value", row.get("count"))}
+             for row in obs.metrics_rows(tracer)],
+            title="exported counters (load the trace in Perfetto or "
+                  "chrome://tracing)"))
+        obs.disable()
 
 
 if __name__ == "__main__":

@@ -27,6 +27,9 @@ Top-level subpackages
 ``repro.filters`` FIR and DWT kernels for the DA array
 ``repro.video``   synthetic sequences, macroblocks, encoder loop, PSNR
 ``repro.power``   switching activity and the array-vs-FPGA cost models
+``repro.obs``     cross-cutting observability: wall/virtual clock-domain
+                  tracer, typed metrics, Chrome-trace export, stable
+                  trace digests, cross-process trace propagation
 """
 
 __version__ = "0.1.0"

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.fleet.ledger import percentile_array
 from repro.fleet.runtime import FleetReport, FleetSettings, simulate_fleet
+from repro.obs import tracer as obs_tracer
 from repro.par.pool import ProcessBackend, available_cpus, run_tasks
 
 #: Execution backends :func:`simulate_fleet_partitioned` accepts.
@@ -142,7 +144,11 @@ def _simulate_partition(index: int, jobs: Sequence,
     """
     from repro.serve.kernels import KernelLibrary
 
-    report = simulate_fleet(jobs, settings, library=KernelLibrary())
+    # The track scope labels this partition's lane in the merged trace;
+    # tracks are excluded from trace_digest(), so serial and multiprocess
+    # partitioned runs still hash identically.
+    with obs_tracer.TRACER.track_scope(f"partition{index}"):
+        report = simulate_fleet(jobs, settings, library=KernelLibrary())
     return _extract(index, settings, report, jobs)
 
 
@@ -276,23 +282,31 @@ def simulate_fleet_partitioned(jobs: Sequence,
     per_partition = [_partition_settings(settings, count)
                      for count in soc_counts]
 
+    tracer = obs_tracer.TRACER
+    wall_started = perf_counter()
     if parallel == "serial" or partitions == 1:
         results = [_simulate_partition(index, shard, part_settings)
                    for index, (shard, part_settings)
                    in enumerate(zip(shards, per_partition))]
-        return PartitionedFleetReport(settings=settings, parallel=parallel,
-                                      partitions=results)
+        report = PartitionedFleetReport(settings=settings, parallel=parallel,
+                                        partitions=results)
+    else:
+        from repro.flow import cache as flow_cache
 
-    from repro.flow import cache as flow_cache
-
-    tasks = [(index, shard, part_settings)
-             for index, (shard, part_settings)
-             in enumerate(zip(shards, per_partition))]
-    labels = [f"fleet partition {index}/{partitions} "
-              f"({len(shard)} jobs, {part_settings.soc_count} SoCs)"
-              for index, shard, part_settings in tasks]
-    results = run_tasks(_simulate_partition, tasks, labels,
-                        workers=partitions, timeout=timeout,
-                        cache=flow_cache.DEFAULT_CACHE, backend=backend)
-    return PartitionedFleetReport(settings=settings, parallel="processes",
-                                  partitions=results)
+        tasks = [(index, shard, part_settings)
+                 for index, (shard, part_settings)
+                 in enumerate(zip(shards, per_partition))]
+        labels = [f"fleet partition {index}/{partitions} "
+                  f"({len(shard)} jobs, {part_settings.soc_count} SoCs)"
+                  for index, shard, part_settings in tasks]
+        results = run_tasks(_simulate_partition, tasks, labels,
+                            workers=partitions, timeout=timeout,
+                            cache=flow_cache.DEFAULT_CACHE, backend=backend)
+        report = PartitionedFleetReport(settings=settings,
+                                        parallel="processes",
+                                        partitions=results)
+    if tracer.enabled:
+        tracer.wall_span_at("fleet.partitioned", "fleet", wall_started,
+                            perf_counter() - wall_started,
+                            {"partitions": partitions, "parallel": parallel})
+    return report

@@ -61,6 +61,7 @@ from repro.fleet.prewarm import PrewarmDriver
 from repro.fleet.synthetic import execute_fleet_batch
 from repro.noc.topology import Topology, topology_by_name
 from repro.noc.traffic import FLIT_BITS, PIXEL_BITS
+from repro.obs import tracer as obs_tracer
 from repro.power.models import noc_transfer_energy, serving_compute_energy
 from repro.serve.kernels import KernelLibrary
 from repro.serve.policies import policy_by_name
@@ -325,6 +326,9 @@ class _FleetSimulation:
                                   slots=self.slots)
         self.last_completion = 0
         self.clock = 0
+        # Bound once per run: the event loop is the hottest path in the
+        # repo, and a module-global lookup per event would show up.
+        self._tracer = obs_tracer.TRACER
 
     # -- helpers -------------------------------------------------------------
     def _estimate(self, job) -> int:
@@ -363,6 +367,11 @@ class _FleetSimulation:
             self.report.gatings += 1
             self.idle_thieves.discard(index)
             self._asleep[index] = 1
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.count("fleet.gatings")
+                tracer.virtual_event("fleet.gate", "fleet", now,
+                                     {"soc": index})
         else:
             # The check went stale (work touched the SoC since it was
             # armed) — re-arm from the current idle stretch, if any.
@@ -370,8 +379,13 @@ class _FleetSimulation:
 
     # -- admission -----------------------------------------------------------
     def _admit(self, job, now: int) -> None:
+        tracer = self._tracer
         if self.driver is not None:
+            firings = self.driver.firings
             self.driver.observe(list(job.kernels.values()))
+            if tracer.enabled and self.driver.firings > firings:
+                tracer.count("fleet.prewarms")
+                tracer.virtual_event("fleet.prewarm", "fleet", now, None)
         if self.settings.admission_prewarm:
             self.library.prewarm(list(job.kernels.values()))
         choice = self.balancer.assign_vectorized(
@@ -392,6 +406,10 @@ class _FleetSimulation:
             slot = self.slots[fallback]
             if len(slot.queue) >= self.settings.queue_capacity:
                 self.ledger.mark_rejected(job.job_id)
+                if tracer.enabled:
+                    tracer.count("fleet.rejected")
+                    tracer.virtual_event("fleet.reject", "fleet", now,
+                                         {"job": job.job_id})
                 return
         if (self.settings.slo_target_p99 is not None
                 and not self._admit_slo(slot, job, now)):
@@ -412,12 +430,18 @@ class _FleetSimulation:
         wake = (0 if slot.power.awake else self.scaler.wake_latency)
         fixed = (max(0, slot.soc.free_at - now) + wake
                  + self.settings.batch_setup_cycles + self._estimate(job))
+        tracer = self._tracer
         while fixed + slot.backlog_cycles > target:
             victim = min(
                 slot.queue + [job],
                 key=lambda j: (float(getattr(j, "value", 1.0)),
                                -j.arrival_cycle, -j.job_id))
             self.ledger.mark_shed(victim.job_id)
+            if tracer.enabled:
+                tracer.count("fleet.sheds")
+                tracer.virtual_event("fleet.shed", "fleet", now,
+                                     {"job": victim.job_id,
+                                      "soc": slot.index})
             if victim is job:
                 return False
             slot.queue.remove(victim)
@@ -506,6 +530,13 @@ class _FleetSimulation:
             slot.steals += 1
             self.scaler.note_activity(victim.index)
             victim.last_activity = now
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.count("fleet.steals")
+                tracer.virtual_event("fleet.steal", "fleet", now,
+                                     {"victim": victim.index,
+                                      "thief": slot.index,
+                                      "jobs": len(batch)})
         else:
             self._go_idle(slot, now)
             return
@@ -556,6 +587,15 @@ class _FleetSimulation:
         self.heap.push(completion, COMPLETION, slot.index)
         self.last_completion = max(self.last_completion, completion)
         report = self.report
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.count("fleet.batches")
+            tracer.observe("fleet.batch_size", len(batch))
+            tracer.virtual_span("fleet.batch", "fleet", now,
+                                completion - now,
+                                {"batch": report.batches,
+                                 "soc": slot.index, "jobs": len(batch),
+                                 "stolen": int(migration is not None)})
         report.batches += 1
         report.reconfigurations += switches
         report.reconfiguration_cycles += reconfig_cycles
@@ -571,6 +611,7 @@ class _FleetSimulation:
         if not self.trace:
             return self.report
         first_arrival = self.trace[0].arrival_cycle
+        tracer_enabled = self._tracer.enabled
         self._push_next_arrival()
         for slot in self.slots:
             self._maybe_schedule_gate(slot, 0)
@@ -588,6 +629,10 @@ class _FleetSimulation:
                     job = self.trace[self._arrival_index]
                     self._arrival_index += 1
                     self._push_next_arrival()
+                    if tracer_enabled:
+                        self._tracer.count("fleet.arrivals")
+                        self._tracer.virtual_event("fleet.arrival", "fleet",
+                                                   now, {"job": job.job_id})
                     self._admit(job, now)
                 elif kind == COMPLETION:
                     self.slots[key].last_activity = now
@@ -597,6 +642,10 @@ class _FleetSimulation:
                     self._asleep[key] = 0
                     self.slots[key].last_activity = now
                     self.ready.add(key)
+                    if tracer_enabled:
+                        self._tracer.count("fleet.wakes")
+                        self._tracer.virtual_event("fleet.wake", "fleet",
+                                                   now, {"soc": key})
                 else:
                     self._handle_gate(key, now)
             for index in sorted(self.ready):

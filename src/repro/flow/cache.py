@@ -25,6 +25,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.fabric import Fabric
 from repro.core.netlist import Netlist
 from repro.flow.pipeline import Flow, FlowResult
+from repro.obs import tracer as obs_tracer
 
 #: Version stamp of the :meth:`FlowCache.export_state` wire format.
 #: Bump whenever the envelope layout or the pickled artifact contracts
@@ -86,6 +87,7 @@ class FlowCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[str, FlowResult]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -95,36 +97,49 @@ class FlowCache:
 
     def get(self, key: str) -> Optional[FlowResult]:
         """Cached result for a precomputed key, or ``None``."""
+        tracer = obs_tracer.TRACER
         with self._lock:
             result = self._entries.get(key)
             if result is None:
                 self.misses += 1
+                if tracer.enabled:
+                    tracer.count("flow.cache.misses")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return result
+        if tracer.enabled:
+            tracer.count("flow.cache.hits")
+        return result
 
     def put(self, key: str, result: FlowResult) -> None:
         """Record a freshly compiled result, evicting the least recent."""
+        tracer = obs_tracer.TRACER
+        evicted = 0
         with self._lock:
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted and tracer.enabled:
+            tracer.count("flow.cache.evictions", evicted)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters for reporting."""
+        """Hit/miss/eviction/size counters for reporting."""
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries)}
 
     def keys(self) -> Set[str]:

@@ -37,6 +37,7 @@ from repro.core.router import MeshRouter, RoutingResult
 from repro.core.scheduler import ListScheduler, Schedule
 from repro.core.verification import VerificationReport, verify_mapped_design
 from repro.flow.design import Design, as_design, resolve_fabric
+from repro.obs import tracer as obs_tracer
 
 
 @dataclass
@@ -304,6 +305,10 @@ class FlowResult:
     noc: Optional[object] = None
     stage_timings: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
+    #: True when this result was served from a :class:`FlowCache` rather
+    #: than compiled in this call.  ``stage_timings`` then describe the
+    #: *original* compile; :attr:`compile_seconds` is what this call cost.
+    from_cache: bool = False
 
     @property
     def usage(self) -> ClusterUsage:
@@ -316,8 +321,15 @@ class FlowResult:
 
     @property
     def total_seconds(self) -> float:
-        """Wall-clock time spent across all stages."""
+        """Wall-clock time the stages took when the design was compiled —
+        on a cache hit, that's the *original* compile's time."""
         return sum(self.stage_timings.values())
+
+    @property
+    def compile_seconds(self) -> float:
+        """Wall-clock compilation cost of *this* call: 0.0 for a cache
+        hit, :attr:`total_seconds` for a cold compile."""
+        return 0.0 if self.from_cache else self.total_seconds
 
     def summary(self) -> Dict[str, object]:
         """Flat dictionary of the headline numbers for reporting."""
@@ -326,7 +338,8 @@ class FlowResult:
             "fabric": self.fabric_name,
             "total_clusters": self.usage.total_clusters,
             "cache_hit": self.cache_hit,
-            "flow_seconds": round(self.total_seconds, 4),
+            "from_cache": self.from_cache,
+            "flow_seconds": round(self.compile_seconds, 4),
         }
         if self.metrics is not None:
             summary.update(self.metrics.summary())
@@ -442,6 +455,7 @@ class Flow:
         design = as_design(design)
         netlist = design.build_netlist()
         fabric = resolve_fabric(design, fabric)
+        tracer = obs_tracer.TRACER
 
         key = None
         if cache is not None:
@@ -454,7 +468,10 @@ class Flow:
                 # design_name is restamped: the key covers only netlist
                 # content, and two designs may wrap the same netlist under
                 # different names.
-                return replace(hit, cache_hit=True,
+                if tracer.enabled:
+                    tracer.wall_event("flow.cache_hit", "flow",
+                                      {"design": design.name})
+                return replace(hit, cache_hit=True, from_cache=True,
                                design_name=design.name,
                                stage_timings=dict(hit.stage_timings))
 
@@ -464,6 +481,16 @@ class Flow:
             started = time.perf_counter()
             stage.run(context)
             timings[stage.name] = time.perf_counter() - started
+            # Wall spans only: process workers recompile what the parent
+            # already cached, so any virtual event here would differ
+            # between serial and multiprocess runs and break digest
+            # identity.
+            if tracer.enabled:
+                tracer.wall_span_at(f"flow.{stage.name}", "flow",
+                                    started, timings[stage.name],
+                                    {"design": design.name})
+        if tracer.enabled:
+            tracer.count("flow.compiles")
 
         result = FlowResult(
             design_name=design.name,

@@ -51,6 +51,7 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.noc.topology import ROUTER_CYCLES, Topology, place_agents
 from repro.noc.traffic import TrafficMatrix
+from repro.obs import tracer as obs_tracer
 
 #: Simulation models accepted by :func:`simulate` / :func:`simulate_batched`.
 MODELS = ("analytic", "wormhole", "wormhole_adaptive")
@@ -899,6 +900,22 @@ def _package(topology: Topology, traffic: TrafficMatrix, model: str,
     saturated = delivered < total_flits
     if cycles > 0:
         saturated = saturated or peak / cycles > SATURATION_UTILISATION
+    tracer = obs_tracer.TRACER
+    if tracer.enabled:
+        # Both simulate() and simulate_batched() funnel through here, so
+        # scalar and batched runs of the same matrices emit identical
+        # virtual events — the parity discipline extends to the trace.
+        censored = int((~delivered_flows).sum())
+        tracer.count("noc.runs")
+        if censored:
+            tracer.count("noc.censored_flows", censored)
+        if cycles > 0:
+            tracer.observe("noc.link_utilisation", peak / cycles)
+        tracer.virtual_span(
+            "noc.sim", "noc", 0, cycles,
+            {"topology": topology.name, "traffic": traffic.name,
+             "model": model, "delivered": delivered,
+             "flits": total_flits, "censored": censored})
     return NocSimResult(
         topology_name=topology.name,
         traffic_name=traffic.name,

@@ -1,0 +1,58 @@
+"""repro.obs — unified tracing, metrics, and Chrome-trace export.
+
+One observability layer for the whole stack (flow → engine → gop → noc
+→ serve → fleet → par):
+
+* :mod:`repro.obs.tracer` — span/event tracer with explicit **wall** and
+  **virtual** clock domains behind a no-op-when-disabled null tracer.
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
+  nearest-rank percentile summaries shared with ``fleet.ledger``.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto loadable),
+  flat metric rows for ``reporting.format_table``, and the stable
+  virtual-domain :func:`trace_digest` used for conformance.
+* :mod:`repro.obs.propagate` — merge traces recorded inside
+  ``repro.par`` worker processes back into the parent's tracer.
+* :mod:`repro.obs.overhead` — the traced-vs-untraced measurement
+  asserted by the CI obs job.
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        report = simulate_fleet(trace, settings)
+    obs.write_chrome_trace("trace_fleet.json", tracer)
+    print(obs.trace_digest(tracer))
+
+``obs.TRACER`` always names the currently-bound tracer (the shared
+:data:`NULL_TRACER` when disabled); instrumented hot paths hoist it once
+per call and guard inner loops with ``tracer.enabled``.
+"""
+
+from repro.obs.export import (chrome_trace_events, metrics_rows,
+                              metrics_snapshot, trace_digest,
+                              write_chrome_trace)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.overhead import best_of, measure_overhead
+from repro.obs.propagate import OBS_STATE_VERSION, export_state, merge_state
+from repro.obs.tracer import (NULL_SPAN, NULL_TRACER, VIRTUAL, WALL,
+                              NullTracer, SpanEvent, Tracer, disable,
+                              enable, tracing)
+from repro.obs import tracer as _tracer_module
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_SPAN", "NULL_TRACER", "NullTracer", "OBS_STATE_VERSION",
+    "SpanEvent", "TRACER", "Tracer", "VIRTUAL", "WALL",
+    "best_of", "chrome_trace_events", "disable", "enable",
+    "export_state", "measure_overhead", "merge_state", "metrics_rows",
+    "metrics_snapshot", "trace_digest", "tracing", "write_chrome_trace",
+]
+
+
+def __getattr__(name):
+    # ``TRACER`` is rebound by enable()/disable(); forward dynamically so
+    # ``obs.TRACER`` never goes stale (PEP 562).
+    if name == "TRACER":
+        return _tracer_module.TRACER
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

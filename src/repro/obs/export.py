@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace-event JSON, flat metric rows, trace digest.
+
+* :func:`write_chrome_trace` emits the Chrome trace-event format that
+  both ``chrome://tracing`` and Perfetto load: ``X`` complete events for
+  spans, ``i`` instants for point events, with one synthetic process per
+  clock domain and one thread lane per track label.
+* :func:`trace_digest` hashes only the **virtual** clock domain, sorted
+  canonically with track labels excluded — the digest is therefore
+  identical for serial, threaded, multiprocess, and partitioned
+  executions of the same deterministic schedule, no matter the
+  interleaving in which events were recorded.
+* :func:`metrics_rows` flattens the registry for
+  :func:`repro.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.tracer import VIRTUAL, WALL, NullTracer, Tracer
+
+TracerLike = Union[Tracer, NullTracer]
+
+_WALL_PID = 1
+_VIRTUAL_PID = 2
+_DOMAIN_PIDS = {WALL: _WALL_PID, VIRTUAL: _VIRTUAL_PID}
+
+
+def trace_digest(tracer: TracerLike) -> str:
+    """SHA-256 over the canonicalized virtual-domain events."""
+    keys = sorted(event.key() for event in tracer.events()
+                  if event.domain == VIRTUAL)
+    payload = "\n".join(repr(key) for key in keys)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def chrome_trace_events(tracer: TracerLike) -> List[Dict]:
+    """Render events as Chrome trace-event dicts.
+
+    Wall timestamps are normalized to the earliest wall event and scaled
+    seconds→µs; virtual timestamps map one simulated cycle/tick to 1 µs
+    so both domains get readable zoom levels in the viewer.
+    """
+    events = tracer.events()
+    out: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": _WALL_PID, "tid": 0,
+         "args": {"name": "wall clock"}},
+        {"name": "process_name", "ph": "M", "pid": _VIRTUAL_PID, "tid": 0,
+         "args": {"name": "virtual time"}},
+    ]
+    wall_starts = [event.ts for event in events if event.domain == WALL]
+    wall_zero = min(wall_starts) if wall_starts else 0.0
+
+    tracks: Dict[str, int] = {}
+    for event in events:
+        tid = tracks.get(event.track)
+        if tid is None:
+            tid = tracks[event.track] = len(tracks) + 1
+        pid = _DOMAIN_PIDS[event.domain]
+        if event.domain == WALL:
+            ts = (event.ts - wall_zero) * 1e6
+            dur = None if event.dur is None else event.dur * 1e6
+        else:
+            ts = float(event.ts)
+            dur = None if event.dur is None else float(event.dur)
+        rendered: Dict = {"name": event.name, "cat": event.category,
+                          "pid": pid, "tid": tid, "ts": ts}
+        if dur is None:
+            rendered["ph"] = "i"
+            rendered["s"] = "t"
+        else:
+            rendered["ph"] = "X"
+            rendered["dur"] = dur
+        if event.args:
+            rendered["args"] = dict(event.args)
+        out.append(rendered)
+
+    for label, tid in sorted(tracks.items(), key=lambda item: item[1]):
+        for pid in (_WALL_PID, _VIRTUAL_PID):
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": label}})
+    return out
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: TracerLike) -> Path:
+    """Write a ``chrome://tracing`` / Perfetto loadable JSON file."""
+    path = Path(path)
+    document = {"traceEvents": chrome_trace_events(tracer),
+                "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(document, indent=1) + "\n")
+    return path
+
+
+def metrics_snapshot(tracer: TracerLike) -> Dict[str, Dict]:
+    """Structured counters/gauges/histogram-summaries snapshot."""
+    if not tracer.enabled:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    return tracer.metrics.snapshot()
+
+
+def metrics_rows(tracer: TracerLike) -> List[Dict[str, object]]:
+    """Flatten the registry into rows for ``reporting.format_table``."""
+    snapshot = metrics_snapshot(tracer)
+    rows: List[Dict[str, object]] = []
+    for name, value in snapshot["counters"].items():
+        rows.append({"metric": name, "kind": "counter", "value": value})
+    for name, value in snapshot["gauges"].items():
+        rows.append({"metric": name, "kind": "gauge", "value": value})
+    for name, summary in snapshot["histograms"].items():
+        row: Dict[str, object] = {"metric": name, "kind": "histogram"}
+        row.update(summary)
+        rows.append(row)
+    return rows

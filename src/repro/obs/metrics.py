@@ -1,0 +1,151 @@
+"""Typed counters, gauges, and histograms with a merging registry.
+
+Histogram summaries reuse the fleet ledger's nearest-rank percentile
+(:func:`repro.fleet.ledger.percentile_array`) so observability numbers
+stay comparable digit-for-digit with the serving/fleet reports.  The
+import is lazy — ``repro.obs`` sits below every instrumented layer and
+must not import them at module load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depths, utilisation levels)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Raw-sample histogram with nearest-rank percentile summaries."""
+
+    __slots__ = ("name", "values")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(value)
+
+    def summary(self) -> Dict[str, Number]:
+        if not self.values:
+            return {"count": 0}
+        import numpy as np
+
+        from repro.fleet.ledger import percentile_array
+
+        values = np.asarray(self.values, dtype=np.float64)
+        return {
+            "count": int(values.size),
+            "mean": float(values.mean()),
+            "p50": float(percentile_array(values, 0.50)),
+            "p95": float(percentile_array(values, 0.95)),
+            "p99": float(percentile_array(values, 0.99)),
+            "max": float(values.max()),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(name)
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{factory.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Structured snapshot: counters/gauges as scalars, histograms as
+        percentile summaries."""
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.summary()
+        return out
+
+    def export_state(self) -> Dict[str, Dict]:
+        """Raw, mergeable state (histograms keep their samples)."""
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = list(metric.values)
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_state(self, state: Dict[str, Dict]) -> None:
+        """Fold a worker's exported state in: counters add, histograms
+        concatenate samples, gauges take the incoming value."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).increment(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            self.histogram(name).values.extend(values)
+
+    def clear(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,58 @@
+"""Tracer overhead measurement for the CI obs job.
+
+The contract asserted in CI (``benchmarks/run_bench_obs.py``): with the
+tracer **disabled** an instrumented workload must run within 5% of
+itself — measured as the ratio between two interleaved disabled passes,
+which bounds the measurement noise *and* the cost of the ``enabled``
+guards together — and **enabling** the tracer must cost < 15% on the
+smoke workload.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict
+
+from repro.obs.tracer import disable, tracing
+
+
+def best_of(workload: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall seconds over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = perf_counter()
+        workload()
+        elapsed = perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_overhead(workload: Callable[[], object],
+                     repeats: int = 3) -> Dict[str, float]:
+    """Time ``workload`` disabled (twice, interleaved) and enabled.
+
+    Returns wall seconds plus the two overhead ratios asserted in CI.
+    A warmup run happens first so one-time costs (kernel compiles
+    filling the FlowCache) don't masquerade as tracer overhead.
+    """
+    disable()
+    workload()  # warmup
+
+    disabled_a = best_of(workload, repeats)
+    with tracing() as tracer:
+        enabled_seconds = best_of(workload, repeats)
+        events = len(tracer.events()) // max(1, repeats)
+    disabled_b = best_of(workload, repeats)
+
+    baseline = min(disabled_a, disabled_b)
+    disabled_ratio = max(disabled_a, disabled_b) / baseline
+    enabled_ratio = enabled_seconds / baseline
+    return {
+        "repeats": repeats,
+        "events_per_run": events,
+        "disabled_seconds": round(baseline, 6),
+        "enabled_seconds": round(enabled_seconds, 6),
+        "disabled_ratio": round(disabled_ratio, 4),
+        "enabled_ratio": round(enabled_ratio, 4),
+    }

@@ -1,0 +1,47 @@
+"""Cross-process trace propagation.
+
+``repro.par`` pool workers run in spawned processes with their own
+module globals: a tracer enabled in the parent does not exist there.
+The pool passes an ``obs_on`` flag to each shard; the worker enables its
+local tracer, runs the task, then drains events + metrics into a plain
+picklable state dict (:func:`export_state`) shipped back alongside the
+payload.  The parent folds every shard's state into its own tracer with
+:func:`merge_state`, yielding one merged trace whose virtual-domain
+digest is identical to the serial run's.
+
+State dicts are version-tagged like ``FlowCache.export_state`` so a
+parent never silently merges an incompatible layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.tracer import SpanEvent, Tracer
+
+OBS_STATE_VERSION = 1
+
+
+def export_state(tracer: Tracer) -> Dict:
+    """Snapshot a tracer into a plain picklable dict."""
+    return {
+        "version": OBS_STATE_VERSION,
+        "events": [
+            (event.domain, event.name, event.category, event.ts,
+             event.dur, event.args, event.track)
+            for event in tracer.events()
+        ],
+        "metrics": tracer.metrics.export_state(),
+    }
+
+
+def merge_state(tracer: Tracer, state: Dict) -> None:
+    """Fold an exported state into ``tracer`` (events append, counters
+    add, histogram samples concatenate)."""
+    version = state.get("version")
+    if version != OBS_STATE_VERSION:
+        raise ValueError(
+            f"incompatible obs state version {version!r}; "
+            f"expected {OBS_STATE_VERSION}")
+    tracer.extend(SpanEvent(*fields) for fields in state["events"])
+    tracer.metrics.merge_state(state["metrics"])

@@ -1,0 +1,259 @@
+"""Span/event tracer with explicit clock domains.
+
+The tracer records two kinds of time:
+
+* **wall** spans — ``time.perf_counter`` seconds around compilation and
+  pool work.  They describe this particular run of this particular
+  machine and are excluded from conformance digests.
+* **virtual** spans/events — deterministic simulated time (engine
+  cycles, virtual-time ticks, frame indices) emitted from the
+  deterministic event loops.  They are bit-reproducible across runs and
+  across serial-vs-partitioned execution, and are the sole input to
+  :func:`repro.obs.export.trace_digest`.
+
+Hot paths are instrumented behind a no-op-when-disabled API: the module
+global :data:`TRACER` is bound to the :data:`NULL_TRACER` singleton until
+:func:`enable` swaps in an active :class:`Tracer`.  Instrumented code
+hoists ``tracer = obs_tracer.TRACER`` once per call and guards inner
+loops with ``if tracer.enabled:`` — when disabled this costs one
+attribute load and a branch, with zero allocations per event.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+WALL = "wall"
+VIRTUAL = "virtual"
+
+Number = Union[int, float]
+ArgValue = Union[int, float, str]
+
+
+class SpanEvent:
+    """One trace event.  ``dur is None`` marks an instant event."""
+
+    __slots__ = ("domain", "name", "category", "ts", "dur", "args", "track")
+
+    def __init__(self, domain: str, name: str, category: str, ts: Number,
+                 dur: Optional[Number] = None,
+                 args: Optional[Dict[str, ArgValue]] = None,
+                 track: str = "main") -> None:
+        self.domain = domain
+        self.name = name
+        self.category = category
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+        self.track = track
+
+    def key(self) -> Tuple:
+        """Canonical identity for digesting — ``track`` is excluded so the
+        same virtual schedule hashes identically no matter which worker,
+        partition, or thread emitted each event."""
+        items = tuple(sorted(self.args.items())) if self.args else ()
+        return (self.name, self.category, self.ts,
+                -1 if self.dur is None else self.dur, items)
+
+    def __repr__(self) -> str:
+        return (f"SpanEvent({self.domain!r}, {self.name!r}, "
+                f"{self.category!r}, ts={self.ts!r}, dur={self.dur!r}, "
+                f"args={self.args!r}, track={self.track!r})")
+
+
+class _NullSpan:
+    """Singleton no-op context manager returned by every disabled span
+    call — identity-checked by the tier-1 overhead tests."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every method is a fixed-signature no-op that
+    allocates nothing and returns a shared singleton where a context
+    manager is expected."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: Number) -> None:
+        return None
+
+    def observe(self, name: str, value: Number) -> None:
+        return None
+
+    def virtual_event(self, name, category, ts, args=None) -> None:
+        return None
+
+    def virtual_span(self, name, category, ts, dur, args=None) -> None:
+        return None
+
+    def wall_event(self, name, category, args=None) -> None:
+        return None
+
+    def wall_span_at(self, name, category, start, dur, args=None) -> None:
+        return None
+
+    def wall_span(self, name: str, category: str, args=None) -> _NullSpan:
+        return NULL_SPAN
+
+    def track_scope(self, label: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def events(self) -> Tuple[SpanEvent, ...]:
+        return ()
+
+    def clear(self) -> None:
+        return None
+
+
+class Tracer:
+    """Active tracer: lock-guarded event list + typed metrics registry.
+
+    Thread-safe — GOP thread strategies and partition workers append
+    concurrently; ``track_scope`` labels are thread-local so concurrent
+    scopes never bleed into each other.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list = []
+        self._local = threading.local()
+        self.metrics = MetricsRegistry()
+
+    # -- track labels -------------------------------------------------
+    def _track(self) -> str:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else "main"
+
+    @contextmanager
+    def track_scope(self, label: str) -> Iterator["Tracer"]:
+        """Attribute events emitted inside the scope to ``label`` (shown
+        as a Chrome-trace thread lane; excluded from digests)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(label)
+        try:
+            yield self
+        finally:
+            stack.pop()
+
+    # -- metrics ------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        self.metrics.counter(name).increment(value)
+
+    def gauge(self, name: str, value: Number) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- virtual clock domain -----------------------------------------
+    def virtual_event(self, name, category, ts, args=None) -> None:
+        event = SpanEvent(VIRTUAL, name, category, ts, None, args,
+                          self._track())
+        with self._lock:
+            self._events.append(event)
+
+    def virtual_span(self, name, category, ts, dur, args=None) -> None:
+        event = SpanEvent(VIRTUAL, name, category, ts, dur, args,
+                          self._track())
+        with self._lock:
+            self._events.append(event)
+
+    # -- wall clock domain --------------------------------------------
+    def wall_event(self, name, category, args=None) -> None:
+        event = SpanEvent(WALL, name, category, perf_counter(), None, args,
+                          self._track())
+        with self._lock:
+            self._events.append(event)
+
+    def wall_span_at(self, name, category, start, dur, args=None) -> None:
+        """Record a wall span from an already-measured interval (the flow
+        pipeline measures stage timings anyway — no double clocking)."""
+        event = SpanEvent(WALL, name, category, start, dur, args,
+                          self._track())
+        with self._lock:
+            self._events.append(event)
+
+    @contextmanager
+    def wall_span(self, name: str, category: str, args=None) -> Iterator["Tracer"]:
+        start = perf_counter()
+        try:
+            yield self
+        finally:
+            self.wall_span_at(name, category, start, perf_counter() - start,
+                              args)
+
+    # -- access / merge ------------------------------------------------
+    def events(self) -> Tuple[SpanEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def extend(self, events) -> None:
+        with self._lock:
+            self._events.extend(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+        self.metrics.clear()
+
+
+NULL_TRACER = NullTracer()
+
+#: The tracer consulted by every instrumented hot path.  Rebound (never
+#: mutated in place) by :func:`enable` / :func:`disable`.
+TRACER: Union[NullTracer, Tracer] = NULL_TRACER
+
+
+def enable() -> Tracer:
+    """Swap in an active tracer (idempotent — an already-active tracer
+    is kept, preserving its events)."""
+    global TRACER
+    if TRACER.enabled:
+        return TRACER  # type: ignore[return-value]
+    TRACER = Tracer()
+    return TRACER
+
+
+def disable() -> None:
+    """Swap the null tracer back in.  Any reference obtained from
+    :func:`enable` stays valid for export."""
+    global TRACER
+    TRACER = NULL_TRACER
+
+
+@contextmanager
+def tracing() -> Iterator[Tracer]:
+    """Enable tracing for the duration of the block, restoring the
+    previous binding afterwards."""
+    global TRACER
+    previous = TRACER
+    active = previous if previous.enabled else Tracer()
+    TRACER = active
+    try:
+        yield active  # type: ignore[misc]
+    finally:
+        TRACER = previous

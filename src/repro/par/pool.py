@@ -38,6 +38,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
+from repro.obs import propagate as obs_propagate
+from repro.obs import tracer as obs_tracer
 from repro.par.errors import WorkerFailure, WorkerTimeout
 
 
@@ -54,25 +56,44 @@ def spawn_context():
 # -- worker side --------------------------------------------------------------
 
 def _run_shard(fn: Callable, label: str, cache_blob: Optional[bytes],
-               args: Tuple) -> Tuple:
+               obs_on: bool, args: Tuple) -> Tuple:
     """Worker body: warm the cache, run one shard, report failures as data.
 
-    Returns ``("ok", payload, cache_delta)`` or ``("error", label, type,
-    message, traceback)`` — exception chains cannot cross the process
-    boundary intact, so failures travel as strings and the parent
-    re-raises with shard context.
+    Returns ``("ok", payload, cache_delta, obs_state)`` or ``("error",
+    label, type, message, traceback)`` — exception chains cannot cross
+    the process boundary intact, so failures travel as strings and the
+    parent re-raises with shard context.
+
+    When the parent traced this batch (``obs_on``), the worker's local
+    tracer records the shard under a wall span and the events travel
+    back as an :mod:`repro.obs.propagate` state dict, drained per shard
+    so a reused pool worker never re-ships old events.
     """
     from repro.flow import cache as flow_cache
+    from repro.obs import propagate as obs_propagate
+    from repro.obs import tracer as obs_tracer
 
     try:
         worker_cache = flow_cache.DEFAULT_CACHE
         if cache_blob is not None:
             worker_cache.import_state(cache_blob)
-        before = worker_cache.keys()
-        payload = fn(*args)
+        obs_state = None
+        if obs_on:
+            tracer = obs_tracer.enable()
+            before = worker_cache.keys()
+            with tracer.wall_span("par.shard", "par", {"shard": label}):
+                payload = fn(*args)
+            obs_state = obs_propagate.export_state(tracer)
+            tracer.clear()
+        else:
+            # A pool worker outlives its shards: make sure a tracer
+            # enabled by an earlier traced batch stays off for this one.
+            obs_tracer.disable()
+            before = worker_cache.keys()
+            payload = fn(*args)
         added = worker_cache.keys() - before
         delta = worker_cache.export_state(keys=added) if added else None
-        return ("ok", payload, delta)
+        return ("ok", payload, delta, obs_state)
     except BaseException as error:
         return ("error", label, type(error).__name__, str(error),
                 traceback.format_exc())
@@ -153,6 +174,8 @@ def run_tasks(fn: Callable, task_args: Sequence[Tuple], labels: Sequence[str],
     if not task_args:
         return []
     cache_blob = cache.export_state() if cache is not None else None
+    parent_tracer = obs_tracer.TRACER
+    obs_on = parent_tracer.enabled
 
     own_pool = backend is None
     if own_pool:
@@ -164,7 +187,8 @@ def run_tasks(fn: Callable, task_args: Sequence[Tuple], labels: Sequence[str],
 
     broken = False
     try:
-        futures = [pool.submit(_run_shard, fn, label, cache_blob, args)
+        futures = [pool.submit(_run_shard, fn, label, cache_blob, obs_on,
+                               args)
                    for label, args in zip(labels, task_args)]
         done, pending = wait(futures, timeout=timeout)
         if pending:
@@ -191,9 +215,12 @@ def run_tasks(fn: Callable, task_args: Sequence[Tuple], labels: Sequence[str],
                 raise WorkerFailure(context, original_type=kind,
                                     original_message=message,
                                     worker_traceback=worker_tb)
-            _, payload, delta = outcome
+            _, payload, delta, obs_state = outcome
             if cache is not None and delta is not None:
                 cache.import_state(delta)
+            if obs_on and obs_state is not None:
+                obs_propagate.merge_state(parent_tracer, obs_state)
+                parent_tracer.count("par.shards")
             results.append(payload)
         return results
     finally:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.exceptions import ConfigurationError
+from repro.obs import tracer as obs_tracer
 from repro.power.models import serving_compute_energy
 from repro.serve.execution import ExecutionResult, execute_batch
 from repro.serve.kernels import KernelLibrary
@@ -210,6 +211,11 @@ def _admit(job, queue: List, report: ServeReport,
            settings: ServeSettings, library: KernelLibrary) -> None:
     if len(queue) >= settings.queue_capacity:
         report.rejected_job_ids.append(job.job_id)
+        tracer = obs_tracer.TRACER
+        if tracer.enabled:
+            tracer.count("serve.rejected")
+            tracer.virtual_event("serve.reject", "serve", job.arrival_cycle,
+                                 {"job": job.job_id})
         return
     queue.append(job)
     if settings.prewarm:
@@ -274,6 +280,14 @@ def _dispatch(batch: List, soc: ServingSoC, start: int, batch_id: int,
     report.reconfigurations += switches
     report.reconfiguration_cycles += reconfig_cycles
     report.reconfiguration_energy += reconfig_energy
+    tracer = obs_tracer.TRACER
+    if tracer.enabled:
+        tracer.count("serve.batches")
+        tracer.observe("serve.batch_size", len(batch))
+        tracer.virtual_span("serve.batch", "serve", start, service,
+                            {"batch": batch_id, "soc": soc.index,
+                             "jobs": len(batch),
+                             "reconfigurations": switches})
     return completion
 
 

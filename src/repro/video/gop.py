@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +55,7 @@ from repro.dct.reference import dct_2d_batched, idct_2d_batched
 from repro.engine.kernels import displacement_grid, full_search_winners
 from repro.engine.sharding import batch_groups
 from repro.me.sad import saturated_sad
+from repro.obs import tracer as obs_tracer
 from repro.video.blocks import (
     MACROBLOCK_SIZE,
     macroblock_positions,
@@ -350,6 +352,8 @@ def encode_sequence_parallel(frames: Sequence[np.ndarray],
         return GopEncodeOutcome(statistics=[], gops=[], strategy="serial",
                                 workers=workers)
     resolved = _resolve_strategy(strategy, configuration, workers, len(gops))
+    tracer = obs_tracer.TRACER
+    wall_started = perf_counter()
     compiled = compile_gop_kernels(configuration) if compile_kernels else 0
 
     if resolved == "serial" or len(gops) == 1:
@@ -374,6 +378,28 @@ def encode_sequence_parallel(frames: Sequence[np.ndarray],
                                        rate_controller, workers)
 
     statistics = [stats for shard in shards for stats in shard[0]]
+    if tracer.enabled:
+        # Virtual spans are derived post-merge from the bit-identical
+        # statistics stream (the virtual axis is the frame index), never
+        # emitted inside strategy-specific worker bodies — that keeps
+        # trace_digest() identical for serial, threads, lockstep, and
+        # processes runs of the same sequence.  The strategy is recorded
+        # on the wall span only.
+        for gop, shard in zip(gops, shards):
+            tracer.virtual_span(
+                "gop.encode", "gop", gop.start, gop.length,
+                {"gop": gop.index, "frames": gop.length,
+                 "bits": sum(stats.estimated_bits for stats in shard[0])})
+        tracer.virtual_span(
+            "gop.sequence", "gop", 0, len(frames),
+            {"gops": len(gops),
+             "bits": sum(stats.estimated_bits for stats in statistics)})
+        tracer.count("gop.gops", len(gops))
+        tracer.count("gop.frames", len(statistics))
+        tracer.wall_span_at("gop.encode_sequence", "gop", wall_started,
+                            perf_counter() - wall_started,
+                            {"strategy": resolved, "workers": workers,
+                             "gops": len(gops)})
     return GopEncodeOutcome(statistics=statistics, gops=gops,
                             strategy=resolved, workers=workers,
                             final_reference=shards[-1][1],

@@ -1,0 +1,95 @@
+"""Trace projection: ``BatchTraceEntry`` capture vs the legacy
+single-stream ``TraceEntry`` view (``VectorEngine.trace_for_stream``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import ClusterKind
+from repro.core.exceptions import SimulationError
+from repro.core.netlist import Netlist
+from repro.engine import AccumulateOp, SumOp, VectorEngine
+from repro.engine.trace import BatchTraceEntry, TraceEntry
+
+
+def adder_chain() -> Netlist:
+    netlist = Netlist("adder_chain")
+    netlist.add_node("in0", ClusterKind.ADD_SHIFT)
+    netlist.add_node("in1", ClusterKind.ADD_SHIFT)
+    netlist.add_node("sum", ClusterKind.ADD_SHIFT, role="adder")
+    netlist.add_node("acc", ClusterKind.ADD_SHIFT, role="accumulator")
+    netlist.connect("in0", "sum")
+    netlist.connect("in1", "sum")
+    netlist.connect("sum", "acc")
+    return netlist
+
+
+def traced_engine(batch=3, cycles=4):
+    engine = VectorEngine(adder_chain(), batch=batch)
+    engine.record_trace = True
+    engine.bind("sum", SumOp())
+    engine.bind("acc", AccumulateOp())
+    for _ in range(cycles):
+        engine.drive("in0", np.arange(1, batch + 1))
+        engine.drive("in1", np.full(batch, 10))
+        engine.step()
+    return engine
+
+
+class TestBatchTrace:
+    def test_entries_are_batch_wide_arrays_per_cycle(self):
+        engine = traced_engine(batch=3, cycles=4)
+        assert len(engine.trace) == 4
+        for cycle, entry in enumerate(engine.trace, start=1):
+            assert isinstance(entry, BatchTraceEntry)
+            assert entry.cycle == cycle
+            assert set(entry.values) == {"in0", "in1", "sum", "acc"}
+            assert entry.values["sum"].shape == (3,)
+        assert engine.trace[-1].values["sum"].tolist() == [11, 12, 13]
+        # The accumulator integrates over cycles, per stream.
+        assert engine.trace[-1].values["acc"].tolist() == [44, 48, 52]
+
+    def test_nothing_recorded_unless_enabled(self):
+        engine = VectorEngine(adder_chain(), batch=2)
+        engine.bind("sum", SumOp())
+        engine.bind_constant("in0", 1)
+        engine.bind_constant("in1", 2)
+        engine.run(cycles=3)
+        assert engine.trace == []
+        assert engine.trace_for_stream(0) == []
+
+    def test_reset_clears_the_trace(self):
+        engine = traced_engine(cycles=2)
+        engine.reset()
+        assert engine.trace == []
+
+
+class TestStreamProjection:
+    def test_projection_matches_the_batch_entry_column(self):
+        engine = traced_engine(batch=3, cycles=4)
+        for stream in range(3):
+            projected = engine.trace_for_stream(stream)
+            assert len(projected) == len(engine.trace)
+            for legacy, batch_entry in zip(projected, engine.trace):
+                assert isinstance(legacy, TraceEntry)
+                assert legacy.cycle == batch_entry.cycle
+                assert legacy.values == {
+                    name: int(values[stream])
+                    for name, values in batch_entry.values.items()}
+
+    def test_projected_values_are_python_ints(self):
+        engine = traced_engine(batch=2, cycles=1)
+        entry = engine.trace_for_stream(1)[0]
+        assert all(type(value) is int for value in entry.values.values())
+
+    def test_streams_differ_when_inputs_differ(self):
+        engine = traced_engine(batch=2, cycles=2)
+        first = engine.trace_for_stream(0)
+        second = engine.trace_for_stream(1)
+        assert first[-1].values["sum"] == 11
+        assert second[-1].values["sum"] == 12
+
+    @pytest.mark.parametrize("stream", [-1, 2, 100])
+    def test_out_of_range_stream_is_rejected(self, stream):
+        engine = traced_engine(batch=2, cycles=1)
+        with pytest.raises(SimulationError, match="outside batch"):
+            engine.trace_for_stream(stream)

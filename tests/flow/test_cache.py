@@ -60,7 +60,8 @@ class TestFlowCache:
         second = compile(MixedRomDCT(), cache=cache)
         assert not first.cache_hit
         assert second.cache_hit
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "entries": 1}
         assert second.table_row() == first.table_row()
         assert second.placement is first.placement
 
@@ -128,12 +129,17 @@ class TestFlowCache:
         cache = FlowCache(max_entries=2)
         compile_many(dct_implementations(), cache=cache, max_workers=4)
         assert len(cache) == 2
+        # Every compile was a miss and a put; all but the two survivors
+        # were evicted, and stats() exposes the count.
+        stats = cache.stats()
+        assert stats["evictions"] == stats["misses"] - 2
 
     def test_clear_resets_counters(self):
         cache = FlowCache()
         compile(MixedRomDCT(), cache=cache)
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                                 "entries": 0}
 
     def test_zero_capacity_cache_is_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,14 @@
+"""Shared fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off_after_each_test():
+    """The module-global tracer must never leak between tests."""
+    yield
+    obs.disable()

@@ -1,0 +1,123 @@
+"""Trace-digest conformance: execution backends never change the trace.
+
+``trace_digest()`` hashes only the virtual clock domain with tracks
+excluded, so for one seeded workload every backend — serial, threads,
+process pool, partitioned — must hash to the same digest.  These tests
+draw randomized cases and assert exactly that, plus the anchor cases the
+ISSUE names (``partitions=1`` equals the plain runtime; NoC batched
+equals scalar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fleet import (
+    FLEET_PATTERNS,
+    FleetSettings,
+    simulate_fleet,
+    simulate_fleet_partitioned,
+    synthetic_trace,
+)
+from repro.par import ProcessBackend
+from repro.video.gop import encode_sequence_parallel, stream_digest
+from repro.video.scenes import SCENE_KINDS, scene_frames
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    with ProcessBackend(workers=2) as backend:
+        yield backend
+
+
+def _run_traced(workload):
+    """Run ``workload`` under a fresh tracer; return (digest, result)."""
+    with obs.tracing() as tracer:
+        result = workload()
+    return obs.trace_digest(tracer), result
+
+
+class TestGopDigestConformance:
+    @pytest.mark.parametrize("case_index", range(3))
+    def test_digest_identical_across_all_strategies(self, case_index,
+                                                    process_backend):
+        rng = np.random.default_rng([2026, 11, case_index])
+        kind = SCENE_KINDS[case_index % len(SCENE_KINDS)]
+        frames = scene_frames(kind, count=int(rng.integers(6, 10)),
+                              height=32, width=32, seed=case_index)
+        gop_size = int(rng.integers(2, 5))
+
+        digests = {}
+        streams = {}
+        for strategy in ("serial", "threads", "lockstep", "processes"):
+            digest, result = _run_traced(lambda: encode_sequence_parallel(
+                frames, workers=2, strategy=strategy, gop_size=gop_size,
+                backend=process_backend))
+            digests[strategy] = digest
+            streams[strategy] = stream_digest(result.statistics)
+        assert len(set(digests.values())) == 1, digests
+        # Tracing must not perturb the encoded stream either.
+        assert len(set(streams.values())) == 1, streams
+
+    def test_stream_digest_unchanged_by_tracing(self):
+        frames = scene_frames("pan", count=6, height=32, width=32)
+        untraced = encode_sequence_parallel(frames, strategy="serial",
+                                            gop_size=3)
+        _, traced = _run_traced(lambda: encode_sequence_parallel(
+            frames, strategy="serial", gop_size=3))
+        assert stream_digest(traced.statistics) \
+            == stream_digest(untraced.statistics)
+
+
+class TestFleetDigestConformance:
+    @pytest.mark.parametrize("case_index", range(3))
+    def test_partitioned_serial_matches_processes(self, case_index,
+                                                  process_backend):
+        rng = np.random.default_rng([2026, 12, case_index])
+        pattern = FLEET_PATTERNS[case_index % len(FLEET_PATTERNS)]
+        jobs = synthetic_trace(pattern, int(rng.integers(30, 60)),
+                               seed=case_index)
+        settings = FleetSettings(
+            soc_count=4, steal=bool(case_index % 2),
+            autoscale=case_index == 1,
+            slo_target_p99=3_000_000 if case_index == 2 else None)
+
+        serial_digest, serial = _run_traced(
+            lambda: simulate_fleet_partitioned(jobs, settings, partitions=2,
+                                               parallel="serial"))
+        process_digest, parallel = _run_traced(
+            lambda: simulate_fleet_partitioned(jobs, settings, partitions=2,
+                                               parallel="processes",
+                                               backend=process_backend))
+        assert serial_digest == process_digest
+        assert serial.digests == parallel.digests
+
+    def test_one_partition_equals_the_plain_runtime(self):
+        jobs = synthetic_trace("steady", 40, seed=5)
+        settings = FleetSettings(soc_count=3)
+        partitioned_digest, _ = _run_traced(
+            lambda: simulate_fleet_partitioned(jobs, settings, partitions=1,
+                                               parallel="serial"))
+        plain_digest, _ = _run_traced(
+            lambda: simulate_fleet(jobs, settings))
+        assert partitioned_digest == plain_digest
+
+
+class TestNocDigestConformance:
+    def test_batched_runs_hash_like_scalar_runs(self):
+        from repro.noc.sim import simulate, simulate_batched
+        from repro.noc.topology import topology_by_name
+        from repro.noc.traffic import uniform_traffic
+
+        topology = topology_by_name("mesh", 9)
+        cases = [uniform_traffic(9, flits_per_flow=2 + index,
+                                 name=f"uniform{index}")
+                 for index in (1, 2)]
+        scalar_digest, _ = _run_traced(
+            lambda: [simulate(topology, traffic, model="wormhole")
+                     for traffic in cases])
+        batched_digest, _ = _run_traced(
+            lambda: simulate_batched(topology, cases, model="wormhole"))
+        assert scalar_digest == batched_digest

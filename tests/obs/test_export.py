@@ -1,0 +1,160 @@
+"""Exporters: trace digests, Chrome trace-event JSON, metric rows,
+cross-process propagation state."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import propagate
+from repro.obs.tracer import Tracer
+
+
+def _emit_schedule(tracer, track=None, shuffle=False):
+    """A small fixed virtual schedule, optionally under a track scope and
+    in reversed emission order."""
+    calls = [
+        lambda: tracer.virtual_span("batch", "serve", 100, 50, {"jobs": 4}),
+        lambda: tracer.virtual_event("reject", "serve", 120, {"job": 9}),
+        lambda: tracer.virtual_span("batch", "serve", 150, 25, {"jobs": 2}),
+    ]
+    if shuffle:
+        calls = list(reversed(calls))
+    if track is not None:
+        with tracer.track_scope(track):
+            for call in calls:
+                call()
+    else:
+        for call in calls:
+            call()
+
+
+class TestTraceDigest:
+    def test_digest_is_stable_and_order_insensitive(self):
+        one = Tracer()
+        _emit_schedule(one)
+        other = Tracer()
+        _emit_schedule(other, shuffle=True)
+        assert obs.trace_digest(one) == obs.trace_digest(other)
+
+    def test_digest_ignores_track_labels(self):
+        main = Tracer()
+        _emit_schedule(main)
+        partitioned = Tracer()
+        _emit_schedule(partitioned, track="partition3")
+        assert obs.trace_digest(main) == obs.trace_digest(partitioned)
+
+    def test_digest_ignores_wall_events(self):
+        bare = Tracer()
+        _emit_schedule(bare)
+        noisy = Tracer()
+        _emit_schedule(noisy)
+        noisy.wall_span_at("compile", "flow", 1.0, 0.5)
+        noisy.wall_event("hit", "flow")
+        assert obs.trace_digest(bare) == obs.trace_digest(noisy)
+
+    def test_digest_changes_with_the_virtual_schedule(self):
+        one = Tracer()
+        _emit_schedule(one)
+        other = Tracer()
+        _emit_schedule(other)
+        other.virtual_event("extra", "serve", 1)
+        assert obs.trace_digest(one) != obs.trace_digest(other)
+
+    def test_empty_and_null_tracers_share_a_digest(self):
+        assert obs.trace_digest(Tracer()) == obs.trace_digest(obs.NULL_TRACER)
+
+
+class TestChromeExport:
+    def test_events_carry_phases_pids_and_track_lanes(self):
+        tracer = Tracer()
+        tracer.wall_span_at("compile", "flow", 10.0, 0.25, {"design": "dct"})
+        _emit_schedule(tracer, track="partition0")
+        rendered = obs.chrome_trace_events(tracer)
+
+        metadata = [event for event in rendered if event["ph"] == "M"]
+        names = {(event["name"], event["pid"]) for event in metadata}
+        assert ("process_name", 1) in names and ("process_name", 2) in names
+        lanes = {event["args"]["name"] for event in metadata
+                 if event["name"] == "thread_name"}
+        assert {"main", "partition0"} <= lanes
+
+        spans = [event for event in rendered if event["ph"] == "X"]
+        instants = [event for event in rendered if event["ph"] == "i"]
+        assert len(spans) == 3 and len(instants) == 1
+        assert instants[0]["s"] == "t"
+
+        wall = next(event for event in spans if event["name"] == "compile")
+        assert wall["pid"] == 1
+        assert wall["ts"] == 0.0  # normalized to the earliest wall event
+        assert wall["dur"] == pytest.approx(0.25e6)  # seconds -> µs
+
+        virtual = next(event for event in spans if event["ts"] == 100.0)
+        assert virtual["pid"] == 2 and virtual["dur"] == 50.0
+        assert virtual["args"] == {"jobs": 4}
+
+    def test_write_chrome_trace_emits_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        _emit_schedule(tracer)
+        path = obs.write_chrome_trace(tmp_path / "trace.json", tracer)
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+class TestMetricsExport:
+    def test_snapshot_of_a_disabled_tracer_is_empty(self):
+        snapshot = obs.metrics_snapshot(obs.NULL_TRACER)
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_rows_flatten_for_format_table(self):
+        from repro.reporting import format_table
+
+        tracer = Tracer()
+        tracer.count("serve.batches", 3)
+        tracer.gauge("queue.depth", 7)
+        tracer.observe("serve.batch_size", 4)
+        tracer.observe("serve.batch_size", 8)
+        rows = obs.metrics_rows(tracer)
+        by_name = {row["metric"]: row for row in rows}
+        assert by_name["serve.batches"] == {
+            "metric": "serve.batches", "kind": "counter", "value": 3}
+        assert by_name["queue.depth"]["value"] == 7
+        assert by_name["serve.batch_size"]["count"] == 2
+        assert by_name["serve.batch_size"]["max"] == 8.0
+        table = format_table([{"metric": row["metric"],
+                               "kind": row["kind"]} for row in rows])
+        assert "serve.batches" in table
+
+
+class TestPropagation:
+    def test_round_trip_preserves_digest_and_metrics(self):
+        worker = Tracer()
+        _emit_schedule(worker, track="partition1")
+        worker.count("flow.cache.hits", 4)
+        worker.observe("fleet.batch_size", 6)
+
+        parent = Tracer()
+        propagate.merge_state(parent, propagate.export_state(worker))
+        assert obs.trace_digest(parent) == obs.trace_digest(worker)
+        assert parent.events()[0].track == "partition1"
+        assert parent.metrics.counter("flow.cache.hits").value == 4
+        assert parent.metrics.histogram("fleet.batch_size").values == [6]
+
+    def test_state_survives_pickling(self):
+        import pickle
+
+        worker = Tracer()
+        _emit_schedule(worker)
+        state = pickle.loads(pickle.dumps(propagate.export_state(worker)))
+        parent = Tracer()
+        propagate.merge_state(parent, state)
+        assert obs.trace_digest(parent) == obs.trace_digest(worker)
+
+    def test_version_mismatch_is_rejected(self):
+        state = propagate.export_state(Tracer())
+        state["version"] = 99
+        with pytest.raises(ValueError, match="incompatible obs state"):
+            propagate.merge_state(Tracer(), state)

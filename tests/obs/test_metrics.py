@@ -1,0 +1,97 @@
+"""Typed metrics: counters, gauges, histograms, registry merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestMetricTypes:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_gauge_keeps_the_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_summary_uses_nearest_rank_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        # Nearest-rank: ceil(q * n)-th smallest sample, matching
+        # repro.fleet.ledger.percentile_array digit for digit.
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+
+    def test_empty_histogram_summary_is_just_a_count(self):
+        assert Histogram("h").summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert "a" in registry and len(registry) == 1
+
+    def test_kind_mismatch_raises_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="'a' is a counter, not a gauge"):
+            registry.gauge("a")
+        with pytest.raises(TypeError, match="not a histogram"):
+            registry.histogram("a")
+
+    def test_snapshot_groups_by_kind_in_sorted_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").increment(2)
+        registry.counter("a.count").increment(1)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(10)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.count", "z.count"]
+        assert snapshot["counters"]["z.count"] == 2
+        assert snapshot["gauges"] == {"depth": 7}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_merge_adds_counters_and_concatenates_samples(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").increment(3)
+        parent.histogram("lat").observe(1)
+        parent.gauge("depth").set(2)
+
+        worker = MetricsRegistry()
+        worker.counter("hits").increment(2)
+        worker.counter("new").increment(1)
+        worker.histogram("lat").observe(9)
+        worker.gauge("depth").set(5)
+
+        parent.merge_state(worker.export_state())
+        assert parent.counter("hits").value == 5
+        assert parent.counter("new").value == 1
+        assert parent.histogram("lat").values == [1, 9]
+        assert parent.gauge("depth").value == 5  # gauges: incoming wins
+
+    def test_export_state_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.histogram("h").observe(2.5)
+        state = registry.export_state()
+        assert state == {"counters": {"c": 1}, "gauges": {},
+                         "histograms": {"h": [2.5]}}
+
+    def test_clear_empties_the_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.clear()
+        assert len(registry) == 0 and "c" not in registry

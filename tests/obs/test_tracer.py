@@ -1,0 +1,197 @@
+"""Tracer core: clock domains, track scopes, enable/disable, overhead.
+
+The overhead tests are the tier-1 contract of the no-op-when-disabled
+API: the disabled hot path must return shared singletons (identity
+checks) and add **zero** net allocations per event.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import tracer as obs_tracer
+
+
+class TestDomains:
+    def test_virtual_span_and_event_record_the_virtual_domain(self):
+        with obs.tracing() as tracer:
+            tracer.virtual_span("a", "cat", 10, 5, {"k": 1})
+            tracer.virtual_event("b", "cat", 3)
+        spans = tracer.events()
+        assert [event.domain for event in spans] == [obs.VIRTUAL, obs.VIRTUAL]
+        assert spans[0].dur == 5 and spans[1].dur is None
+
+    def test_wall_span_measures_a_positive_duration(self):
+        with obs.tracing() as tracer:
+            with tracer.wall_span("work", "cat"):
+                sum(range(100))
+        (event,) = tracer.events()
+        assert event.domain == obs.WALL
+        assert event.dur >= 0
+
+    def test_wall_span_at_records_premeasured_intervals(self):
+        with obs.tracing() as tracer:
+            tracer.wall_span_at("stage", "flow", 12.5, 0.25, {"d": "x"})
+        (event,) = tracer.events()
+        assert (event.ts, event.dur) == (12.5, 0.25)
+
+    def test_wall_event_is_an_instant(self):
+        with obs.tracing() as tracer:
+            tracer.wall_event("hit", "flow")
+        (event,) = tracer.events()
+        assert event.domain == obs.WALL and event.dur is None
+
+
+class TestTrackScopes:
+    def test_nested_scopes_label_and_restore(self):
+        with obs.tracing() as tracer:
+            tracer.virtual_event("before", "t", 0)
+            with tracer.track_scope("partition0"):
+                tracer.virtual_event("inside", "t", 1)
+                with tracer.track_scope("deep"):
+                    tracer.virtual_event("deeper", "t", 2)
+            tracer.virtual_event("after", "t", 3)
+        tracks = [event.track for event in tracer.events()]
+        assert tracks == ["main", "partition0", "deep", "main"]
+
+    def test_scopes_are_thread_local(self):
+        seen = {}
+        with obs.tracing() as tracer:
+            def worker():
+                tracer.virtual_event("from-thread", "t", 0)
+                seen["track"] = tracer.events()[-1].track
+
+            with tracer.track_scope("main-scope"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen["track"] == "main"
+
+    def test_track_is_excluded_from_the_event_key(self):
+        one = obs.SpanEvent(obs.VIRTUAL, "n", "c", 1, 2, {"a": 1}, "main")
+        other = obs.SpanEvent(obs.VIRTUAL, "n", "c", 1, 2, {"a": 1}, "p7")
+        assert one.key() == other.key()
+
+
+class TestEnableDisable:
+    def test_module_global_swaps_between_null_and_active(self):
+        assert obs.TRACER is obs.NULL_TRACER
+        tracer = obs.enable()
+        assert obs.TRACER is tracer and tracer.enabled
+        assert obs.enable() is tracer  # idempotent, events preserved
+        obs.disable()
+        assert obs.TRACER is obs.NULL_TRACER
+
+    def test_tracing_restores_the_previous_binding(self):
+        with obs.tracing() as tracer:
+            assert obs.TRACER is tracer
+        assert obs.TRACER is obs.NULL_TRACER
+
+    def test_tracing_reuses_an_already_active_tracer(self):
+        active = obs.enable()
+        with obs.tracing() as tracer:
+            assert tracer is active
+        assert obs.TRACER is active
+        obs.disable()
+
+    def test_events_survive_disable_via_the_held_reference(self):
+        tracer = obs.enable()
+        tracer.virtual_event("kept", "t", 0)
+        obs.disable()
+        assert len(tracer.events()) == 1
+
+    def test_clear_drops_events_and_metrics(self):
+        with obs.tracing() as tracer:
+            tracer.virtual_event("x", "t", 0)
+            tracer.count("c")
+            tracer.clear()
+            assert tracer.events() == ()
+            assert len(tracer.metrics) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_lose_nothing(self):
+        with obs.tracing() as tracer:
+            def emit(base):
+                for i in range(200):
+                    tracer.virtual_event(f"e{base}-{i}", "t", i)
+
+            threads = [threading.Thread(target=emit, args=(n,))
+                       for n in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(tracer.events()) == 800
+
+
+class TestDisabledOverhead:
+    """The tier-1 null-tracer contract."""
+
+    def test_null_tracer_is_a_shared_singleton(self):
+        assert obs.NULL_TRACER.enabled is False
+        assert obs.TRACER is obs.NULL_TRACER
+
+    def test_disabled_span_calls_return_the_null_span_singleton(self):
+        tracer = obs.NULL_TRACER
+        assert tracer.wall_span("a", "b") is obs.NULL_SPAN
+        assert tracer.track_scope("x") is obs.NULL_SPAN
+        with tracer.wall_span("a", "b") as span:
+            assert span is obs.NULL_SPAN
+
+    def test_disabled_methods_return_none_and_record_nothing(self):
+        tracer = obs.NULL_TRACER
+        assert tracer.count("c") is None
+        assert tracer.observe("h", 1.0) is None
+        assert tracer.gauge("g", 2) is None
+        assert tracer.virtual_event("n", "c", 0) is None
+        assert tracer.virtual_span("n", "c", 0, 1) is None
+        assert tracer.wall_event("n", "c") is None
+        assert tracer.wall_span_at("n", "c", 0.0, 1.0) is None
+        assert tracer.events() == ()
+
+    @staticmethod
+    def _min_block_delta(hot_loop, iterations=1000, passes=5):
+        """Best-of-``passes`` net allocated-block delta around the loop.
+
+        The allocator occasionally drifts by a block or two for reasons
+        unrelated to the loop body; a loop that allocated *per event*
+        would show >= ``iterations`` blocks on every pass, so the
+        minimum over a few passes isolates the per-event cost.
+        """
+        hot_loop(iterations)  # warm up allocator caches and code objects
+        deltas = []
+        for _ in range(passes):
+            before = sys.getallocatedblocks()
+            hot_loop(iterations)
+            deltas.append(sys.getallocatedblocks() - before)
+        return min(deltas)
+
+    @pytest.mark.skipif(not hasattr(sys, "getallocatedblocks"),
+                        reason="needs CPython allocation accounting")
+    def test_disabled_hot_path_adds_zero_net_allocations(self):
+        """The instrumented-loop idiom (hoist + ``enabled`` guard) must
+        not allocate when tracing is off."""
+        def hot_loop(iterations):
+            tracer = obs_tracer.TRACER
+            for i in range(iterations):
+                if tracer.enabled:
+                    tracer.virtual_event("never", "t", i)
+
+        assert self._min_block_delta(hot_loop) <= 0
+
+    @pytest.mark.skipif(not hasattr(sys, "getallocatedblocks"),
+                        reason="needs CPython allocation accounting")
+    def test_disabled_null_calls_add_zero_net_allocations(self):
+        """Even un-guarded null-tracer calls allocate nothing."""
+        def hot_loop(iterations):
+            tracer = obs_tracer.TRACER
+            for i in range(iterations):
+                tracer.count("c")
+                tracer.virtual_event("never", "t", i)
+
+        assert self._min_block_delta(hot_loop) <= 0

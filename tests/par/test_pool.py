@@ -71,13 +71,13 @@ class TestCacheWarmth:
     def test_run_shard_in_process_contract(self):
         # The worker body itself, without a process: ok tuples carry the
         # payload and a delta of added keys only.
-        outcome = _run_shard(helpers.echo, "label", None, ("payload",))
+        outcome = _run_shard(helpers.echo, "label", None, False, ("payload",))
         assert outcome[0] == "ok"
         assert outcome[1] == "payload"
 
     def test_run_shard_reports_errors_as_data(self):
         outcome = _run_shard(helpers.raise_value_error, "shard 3", None,
-                             ("boom",))
+                             False, ("boom",))
         kind, label, error_type, message, worker_tb = outcome
         assert kind == "error"
         assert label == "shard 3"
