@@ -210,12 +210,83 @@ def bench_saturation_curves() -> dict:
                                          model=model)
                 curves[f"{topology.name}/{pattern}/{model}"] = curve.summary()
     return {
-        "description": "delivered latency vs scaled_to injection level for "
-                       "the adversarial patterns on a 1/8 duty cycle; the "
-                       "knee is the largest level absorbed without "
-                       "saturating",
+        "description": "delivered latency vs scaled_peak injection level "
+                       "(the peak flow rescaled to exactly each level, up "
+                       "or down) for the adversarial patterns on a 1/8 duty "
+                       "cycle; the knee is the largest level absorbed "
+                       "without saturating",
         "levels": list(levels),
         "curves": curves,
+    }
+
+
+def bench_hierarchical_grid() -> dict:
+    """Thousand-point hierarchical topology grid with Pareto fronts."""
+    from repro.noc import (
+        ADVERSARIAL_PATTERNS,
+        adversarial_traffic,
+        clustered_traffic,
+        default_grid,
+        grid_sweep,
+        pareto_by_workload,
+        uniform_traffic,
+    )
+
+    agent_count = 16
+    workloads = {pattern: adversarial_traffic(pattern, agent_count,
+                                              flits_per_flow=4)
+                 for pattern in ADVERSARIAL_PATTERNS}
+    workloads["uniform"] = uniform_traffic(agent_count, 2)
+    workloads["uniform_light"] = uniform_traffic(agent_count, 1)
+    workloads["clustered4"] = clustered_traffic(agent_count, cluster_size=4)
+    workloads["clustered2"] = clustered_traffic(agent_count, cluster_size=2,
+                                                local_flits=4)
+
+    # The widened knob grid: cluster geometry x hub clocking, pillar
+    # density x TSV pricing, express stride and IO-column pricing.
+    specs = list(default_grid(agent_count,
+                              cluster_sides=(2, 3),
+                              hub_speedups=(1, 2, 3),
+                              pillar_strides=(1, 2, 3, 4),
+                              tsv_latencies=(2, 3, 4),
+                              express_strides=(2, 3, 4, 5),
+                              io_latencies=(1, 2, 3),
+                              hub_counts=(1, 2, 3)))
+    placements = ("linear", "spread", "hub")
+
+    started = time.perf_counter()
+    serial = grid_sweep(workloads, specs=specs, placements=placements)
+    serial_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = grid_sweep(workloads, specs=specs, placements=placements,
+                          parallel="processes")
+    parallel_seconds = time.perf_counter() - started
+    if parallel != serial:
+        raise AssertionError(
+            "process-parallel grid sweep diverged from the serial sweep")
+
+    fronts = pareto_by_workload(serial)
+    return {
+        "description": "hierarchical knob grid (cluster side x hub speedup, "
+                       "pillar stride x TSV latency, express stride, IO "
+                       "pricing) x linear/spread/hub placement over the "
+                       "adversarial set plus uniform and clustered traffic; "
+                       "process-parallel sweep asserted bit-identical to "
+                       "serial",
+        "specs": len(specs),
+        "placements": list(placements),
+        "workloads": {name: {"agents": len(traffic.agents),
+                             "flows": traffic.flow_count,
+                             "flits": traffic.total_flits}
+                      for name, traffic in workloads.items()},
+        "points_evaluated": len(serial),
+        "serial_seconds": round(serial_seconds, 4),
+        "processes_seconds": round(parallel_seconds, 4),
+        "processes_identical": True,
+        "pareto_front_sizes": {name: len(front)
+                               for name, front in fronts.items()},
+        "pareto_fronts": {name: [point.summary() for point in front]
+                          for name, front in fronts.items()},
     }
 
 
@@ -261,6 +332,7 @@ def main() -> None:
         ("simulator", lambda: bench_simulator(arguments.repeats)),
         ("adaptive_routing", bench_adaptive_routing),
         ("saturation_curves", bench_saturation_curves),
+        ("hierarchical_grid", bench_hierarchical_grid),
         ("flow_integration",
          lambda: bench_flow_integration(arguments.repeats)),
     ))
@@ -268,13 +340,17 @@ def main() -> None:
     sweep_record = record["benchmarks"]["pareto_sweep"]
     simulator = record["benchmarks"]["simulator"]
     adaptive = record["benchmarks"]["adaptive_routing"]["patterns"]
+    grid = record["benchmarks"]["hierarchical_grid"]
     wins = sum(1 for row in adaptive.values() if row["adaptive_wins"])
     print(f"  {sweep_record['points_evaluated']} design points in "
           f"{sweep_record['sweep_seconds']}s; batched analytic "
           f"{simulator['analytic']['speedup']}x, wormhole "
           f"{simulator['wormhole']['speedup']}x, adaptive "
           f"{simulator['wormhole_adaptive']['speedup']}x vs scalar; "
-          f"adaptive routing wins {wins}/{len(adaptive)} adversarial cases")
+          f"adaptive routing wins {wins}/{len(adaptive)} adversarial cases; "
+          f"hierarchical grid {grid['points_evaluated']} points "
+          f"(serial {grid['serial_seconds']}s, processes "
+          f"{grid['processes_seconds']}s, identical)")
 
     write_record(arguments.output, record)
 

@@ -13,7 +13,12 @@ import pytest
 from repro.noc import (
     Mesh2D,
     TrafficMatrix,
+    clustered_traffic,
+    default_grid,
+    grid_sweep,
     pareto_by_workload,
+    pareto_front,
+    pareto_front_reference,
     simulate,
     simulate_batched,
     sweep,
@@ -62,3 +67,19 @@ def test_sweep_produces_a_front_per_workload(benchmark):
     fronts = pareto_by_workload(points)
     assert set(fronts) == set(workloads)
     assert all(front for front in fronts.values())
+
+
+@pytest.mark.benchmark(group="noc")
+def test_grid_sweep_scales_to_the_knob_grid(benchmark):
+    workloads = {"uniform": uniform_traffic(16, 2),
+                 "clustered": clustered_traffic(16, cluster_size=4)}
+    specs = list(default_grid(16))
+    points = benchmark.pedantic(
+        lambda: grid_sweep(workloads, specs=specs,
+                           placements=("linear", "spread")),
+        rounds=3, iterations=1)
+    assert len(points) == len(specs) * 2 * 2
+    front = pareto_front(points)
+    assert front == pareto_front_reference(points)
+    print(f"\nNoC grid sweep: {len(specs)} specs -> {len(points)} points, "
+          f"front of {len(front)}")

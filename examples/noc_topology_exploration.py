@@ -18,6 +18,8 @@ from repro.dct import MixedRomDCT
 from repro.flow import Flow
 from repro.flow import compile as flow_compile
 from repro.noc import (
+    default_grid,
+    grid_sweep,
     pareto_by_workload,
     standard_topologies,
     sweep,
@@ -73,6 +75,21 @@ def show_pareto(workloads) -> None:
                   "(minimise latency, energy, router area)"))
 
 
+def show_grid_sweep(workloads) -> None:
+    """The thousand-point path: knob grids over the hierarchical families."""
+    largest = max(traffic.agent_count for traffic in workloads.values())
+    specs = list(default_grid(largest))
+    points = grid_sweep(workloads, specs=specs)
+    print(f"\nGrid sweep: {len(specs)} (family, knobs) specs -> "
+          f"{len(points)} design points; pass parallel='processes' to "
+          "shard over worker processes (bit-identical results).")
+    for workload, front in pareto_by_workload(points).items():
+        best = min(front, key=lambda point: point.mean_latency_cycles)
+        print(f"  {workload}: front of {len(front)}, lowest mean latency "
+              f"{best.mean_latency_cycles:.1f} cycles on {best.topology} "
+              f"({best.placement})")
+
+
 def show_flow_integration() -> None:
     result = Flow.with_noc(tiles=(3, 3)).compile(MixedRomDCT())
     print("\nFlow.with_noc() folds communication cost into the metrics:")
@@ -87,6 +104,7 @@ def main() -> None:
     largest = max(traffic.agent_count for traffic in workloads.values())
     show_topology_zoo(largest)
     show_pareto(workloads)
+    show_grid_sweep(workloads)
     show_flow_integration()
 
 

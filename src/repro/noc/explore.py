@@ -8,25 +8,53 @@ agent set are simulated through one batched call per topology/placement,
 so the sweep cost is dominated by the number of *topologies*, not the
 number of traffic matrices.
 
+:func:`grid_sweep` scales the same evaluation to parameter grids:
+thousands of (family, knob, placement, workload) points enumerated from
+picklable ``(family, params)`` specs — :func:`default_grid` builds the
+standard grid over cluster side, hub speedup, pillar density, express
+stride and TSV latency — with an optional ``parallel="processes"`` path
+over :mod:`repro.par` that shards the spec list across worker processes
+and is bit-identical to the serial order.  :func:`pareto_front` reduces
+any such sweep with a vectorized skyline scan that matches the O(n²)
+dominance reference point for point.
+
 :func:`saturation_curve` adds the load axis: one workload swept over
-``scaled_to`` injection levels through a single batched cycle-stepped
-simulation, reporting delivered-only latency per level and the knee —
-the last level the network absorbs before the saturation flag trips.
+``scaled_peak`` injection levels (the peak flow rescaled *to* each
+level, up or down) through a single batched cycle-stepped simulation,
+reporting delivered-only latency per level and the knee — the last
+level the network absorbs before the saturation flag trips.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.noc.sim import NocSimResult, resolve_flit_cap, simulate_batched
 from repro.noc.topology import (
+    HUB_LINK_CYCLES,
+    TSV_CYCLES,
     Topology,
+    _near_square,
+    build_topology,
     place_agents,
     standard_topologies,
 )
 from repro.noc.traffic import TrafficMatrix
+
+#: A picklable topology description: ``(family, constructor_params)``.
+TopologySpec = Tuple[str, Dict[str, int]]
 
 #: Objectives a :func:`pareto_front` can minimise, mapped to the
 #: :class:`DesignPoint` attribute carrying them.
@@ -132,26 +160,246 @@ def sweep(workloads: Mapping[str, TrafficMatrix],
         largest = max(traffic.agent_count for traffic in named)
         topologies = standard_topologies(largest)
 
-    groups: Dict[Tuple[str, ...], List[TrafficMatrix]] = {}
-    for traffic in named:
-        groups.setdefault(traffic.agents, []).append(traffic)
-
     points: List[DesignPoint] = []
+    groups = _group_by_agents(named)
     for topology in topologies:
-        for placement_name in placements:
-            for agents, group in groups.items():
-                placement = place_agents(agents, topology, placement_name)
-                results = simulate_batched(
-                    topology, group, placement=placement, model=model,
-                    max_flits_per_flow=max_flits_per_flow)
-                points.extend(_point(topology, placement_name, result)
-                              for result in results)
+        points.extend(_evaluate_topology(topology, groups, placements,
+                                         model, max_flits_per_flow))
     return points
+
+
+def _group_by_agents(traffics: Sequence[TrafficMatrix]
+                     ) -> Dict[Tuple[str, ...], List[TrafficMatrix]]:
+    """Workloads keyed by agent tuple, preserving input order."""
+    groups: Dict[Tuple[str, ...], List[TrafficMatrix]] = {}
+    for traffic in traffics:
+        groups.setdefault(traffic.agents, []).append(traffic)
+    return groups
+
+
+def _evaluate_topology(topology: Topology,
+                       groups: Mapping[Tuple[str, ...],
+                                       Sequence[TrafficMatrix]],
+                       placements: Sequence[str], model: str,
+                       max_flits_per_flow: Optional[int]
+                       ) -> List[DesignPoint]:
+    """All placement x workload points of one topology (batched sim)."""
+    points: List[DesignPoint] = []
+    for placement_name in placements:
+        for agents, group in groups.items():
+            placement = place_agents(agents, topology, placement_name)
+            results = simulate_batched(
+                topology, group, placement=placement, model=model,
+                max_flits_per_flow=max_flits_per_flow)
+            points.extend(_point(topology, placement_name, result)
+                          for result in results)
+    return points
+
+
+# --------------------------------------------------------------------------
+# Parameter-grid sweeps over the hierarchical families
+# --------------------------------------------------------------------------
+
+def default_grid(node_count: int, *,
+                 cluster_sides: Sequence[int] = (2, 3),
+                 hub_speedups: Sequence[int] = (1, 2),
+                 pillar_strides: Sequence[int] = (1, 2, 3),
+                 tsv_latencies: Sequence[int] = (TSV_CYCLES,),
+                 express_strides: Sequence[int] = (2, 3),
+                 io_latencies: Sequence[int] = (HUB_LINK_CYCLES,),
+                 hub_counts: Sequence[int] = (1,),
+                 families: Optional[Sequence[str]] = None
+                 ) -> List[TopologySpec]:
+    """The standard knob grid, sized for ``node_count`` agents.
+
+    Enumerates one spec per knob combination of each family: cluster
+    side x hub speedup for ``cluster_hub``, pillar stride x TSV latency
+    for the stacked families, express stride for ``express``, IO-link
+    latency for ``mesh_io``, hub count for ``hub``, and the single
+    canonical instance of the flat families.  Every spec is a picklable
+    ``(family, params)`` pair accepted by
+    :func:`repro.noc.topology.build_topology`.
+    """
+    if node_count < 1:
+        raise ConfigurationError("a grid needs at least one agent")
+    chosen = set(TOPOLOGY_GRID_FAMILIES if families is None else families)
+    unknown = chosen - set(TOPOLOGY_GRID_FAMILIES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown grid families {sorted(unknown)}; expected a subset "
+            f"of {TOPOLOGY_GRID_FAMILIES}")
+    rows, cols = _near_square(node_count)
+    half_rows, half_cols = _near_square(-(-node_count // 2))
+    specs: List[TopologySpec] = []
+    if "mesh" in chosen:
+        specs.append(("mesh", {"rows": rows, "cols": cols}))
+    if "torus" in chosen:
+        specs.append(("torus", {"rows": rows, "cols": cols}))
+    if "ring" in chosen:
+        specs.append(("ring", {"count": max(3, node_count)}))
+    if "mesh3d" in chosen:
+        specs.extend(("mesh3d", {"rows": half_rows, "cols": half_cols,
+                                 "layers": 2, "tsv_latency": tsv})
+                     for tsv in tsv_latencies)
+    if "hub" in chosen:
+        specs.extend(("hub", {"spokes": max(1, node_count - hubs),
+                              "hubs": hubs})
+                     for hubs in hub_counts)
+    if "cluster_hub" in chosen:
+        for side in cluster_sides:
+            clusters = -(-node_count // side ** 2)
+            cluster_rows, cluster_cols = _near_square(clusters)
+            specs.extend(("cluster_hub",
+                          {"cluster_rows": cluster_rows,
+                           "cluster_cols": cluster_cols,
+                           "cluster_side": side, "hub_speedup": speedup})
+                         for speedup in hub_speedups)
+    if "mesh3d_sparse" in chosen:
+        specs.extend(("mesh3d_sparse",
+                      {"rows": half_rows, "cols": half_cols, "layers": 2,
+                       "pillar_stride": stride, "tsv_latency": tsv})
+                     for stride in pillar_strides for tsv in tsv_latencies)
+    if "pillar_torus" in chosen:
+        specs.extend(("pillar_torus",
+                      {"rows": half_rows, "cols": half_cols, "layers": 2,
+                       "pillar_stride": stride, "tsv_latency": tsv})
+                     for stride in pillar_strides for tsv in tsv_latencies)
+    if "express" in chosen:
+        specs.extend(("express", {"rows": rows, "cols": cols,
+                                  "stride": stride})
+                     for stride in express_strides)
+    if "mesh_io" in chosen:
+        specs.extend(("mesh_io", {"rows": rows, "cols": max(2, cols),
+                                  "io_link_latency": latency})
+                     for latency in io_latencies)
+    return specs
+
+
+#: Families :func:`default_grid` can enumerate (insertion order is the
+#: spec order of the grid).
+TOPOLOGY_GRID_FAMILIES = ("mesh", "torus", "ring", "mesh3d", "hub",
+                          "cluster_hub", "mesh3d_sparse", "pillar_torus",
+                          "express", "mesh_io")
+
+
+def _evaluate_spec(spec: TopologySpec,
+                   groups: Mapping[Tuple[str, ...],
+                                   Sequence[TrafficMatrix]],
+                   placements: Sequence[str], model: str,
+                   max_flits_per_flow: Optional[int],
+                   agent_floor: int) -> List[DesignPoint]:
+    """Build one spec's topology and evaluate it over the workloads."""
+    family, params = spec
+    topology = build_topology(family, **params)
+    if topology.node_count < agent_floor:
+        raise ConfigurationError(
+            f"grid spec {family}:{params} produced {topology.node_count} "
+            f"routers for {agent_floor} agents")
+    return _evaluate_topology(topology, groups, placements, model,
+                              max_flits_per_flow)
+
+
+def _grid_shard(specs: Sequence[TopologySpec],
+                groups: Mapping[Tuple[str, ...], Sequence[TrafficMatrix]],
+                placements: Sequence[str], model: str,
+                max_flits_per_flow: Optional[int],
+                agent_floor: int) -> List[DesignPoint]:
+    """One worker's contiguous slice of the spec list (module-level so
+    the processes backend can pickle it)."""
+    points: List[DesignPoint] = []
+    for spec in specs:
+        points.extend(_evaluate_spec(spec, groups, placements, model,
+                                     max_flits_per_flow, agent_floor))
+    return points
+
+
+def grid_sweep(workloads: Mapping[str, TrafficMatrix],
+               specs: Optional[Sequence[TopologySpec]] = None,
+               placements: Sequence[str] = ("linear", "spread"),
+               model: str = "analytic",
+               max_flits_per_flow="auto",
+               parallel: Optional[str] = None,
+               workers: Optional[int] = None,
+               backend=None) -> List[DesignPoint]:
+    """Evaluate a parameter grid of topology specs over the workloads.
+
+    The grid-scale form of :func:`sweep`: ``specs`` is a list of
+    picklable ``(family, params)`` pairs (default: the
+    :func:`default_grid` sized for the largest workload), evaluated
+    spec-major then placement then workload, exactly like the serial
+    sweep order.
+
+    ``parallel="processes"`` shards the spec list contiguously across
+    worker processes via :mod:`repro.par` and concatenates the shard
+    results in order — the returned points are bit-identical to the
+    serial path because every shard runs the same batched simulator on
+    the same specs in the same order.  ``workers`` defaults to the
+    available CPUs; pass a warm ``backend``
+    (:class:`repro.par.ProcessBackend`) to reuse a spawned pool.
+    """
+    max_flits_per_flow = resolve_flit_cap(model, max_flits_per_flow)
+    if not workloads:
+        raise ConfigurationError("a grid sweep needs at least one workload")
+    named = [TrafficMatrix(traffic.agents, traffic.flits, name=name)
+             for name, traffic in workloads.items()]
+    largest = max(traffic.agent_count for traffic in named)
+    if specs is None:
+        specs = default_grid(largest)
+    specs = [(family, dict(params)) for family, params in specs]
+    if not specs:
+        raise ConfigurationError("a grid sweep needs at least one spec")
+    groups = _group_by_agents(named)
+
+    if parallel in (None, "serial"):
+        return _grid_shard(specs, groups, placements, model,
+                           max_flits_per_flow, largest)
+    if parallel != "processes":
+        raise ConfigurationError(
+            f"unknown parallel mode {parallel!r}; expected None, 'serial' "
+            f"or 'processes'")
+    from repro.engine.sharding import shard_slices
+    from repro.par.pool import available_cpus, run_tasks
+
+    worker_count = max(1, min(workers or available_cpus(), len(specs)))
+    slices = [(start, stop)
+              for start, stop in shard_slices(len(specs), worker_count)
+              if stop > start]
+    shards = run_tasks(
+        _grid_shard,
+        [(specs[start:stop], groups, placements, model, max_flits_per_flow,
+          largest) for start, stop in slices],
+        labels=[f"grid[{start}:{stop}]" for start, stop in slices],
+        workers=worker_count, backend=backend)
+    return [point for shard in shards for point in shard]
 
 
 def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
     """True when ``a`` is no worse than ``b`` everywhere and better once."""
     return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def _pareto_mask(coordinates: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask of the non-dominated rows of ``coordinates``.
+
+    Vectorized skyline scan: candidates are visited in ascending
+    coordinate-sum order (a dominator's sum can never exceed its
+    victim's), and each surviving candidate eliminates everything it
+    dominates with one broadcast comparison against the whole set.
+    Dominated rows never eliminate a front member — domination requires
+    being strictly better somewhere — so visiting one early only
+    removes points its own dominator would have removed anyway
+    (dominance is transitive), and the mask is order-independent.
+    """
+    count = coordinates.shape[0]
+    keep = np.ones(count, dtype=bool)
+    for index in np.argsort(coordinates.sum(axis=1), kind="stable"):
+        if not keep[index]:
+            continue
+        mine = coordinates[index]
+        dominated = ((coordinates >= mine).all(axis=1)
+                     & (coordinates > mine).any(axis=1))
+        keep &= ~dominated
+    return keep
 
 
 def pareto_front(points: Iterable[DesignPoint],
@@ -162,8 +410,25 @@ def pareto_front(points: Iterable[DesignPoint],
     A point is kept when no other point is at least as good on every
     objective and strictly better on one.  Saturated points only survive
     if no unsaturated point dominates them (saturation is treated as an
-    extra, worst-valued objective).
+    extra, worst-valued objective).  Reduced with the vectorized
+    :func:`_pareto_mask` skyline, which keeps fronts over thousands of
+    grid points sub-second; :func:`pareto_front_reference` is the
+    original O(n²) scan kept as the conformance oracle.
     """
+    points = list(points)
+    if not points:
+        return []
+    coordinates = np.asarray(
+        [point.objectives(objectives) + (float(point.saturated),)
+         for point in points], dtype=np.float64)
+    keep = _pareto_mask(coordinates)
+    return [point for point, kept in zip(points, keep) if kept]
+
+
+def pareto_front_reference(points: Iterable[DesignPoint],
+                           objectives: Sequence[str] = DEFAULT_OBJECTIVES
+                           ) -> List[DesignPoint]:
+    """O(n²) dominance scan — the oracle :func:`pareto_front` must match."""
     points = list(points)
     coordinates = [point.objectives(objectives) + (float(point.saturated),)
                    for point in points]
@@ -193,8 +458,9 @@ def pareto_by_workload(points: Sequence[DesignPoint],
 # Latency-vs-injection-rate saturation curves
 # --------------------------------------------------------------------------
 
-#: Default ``scaled_to`` injection levels for :func:`saturation_curve`:
-#: doubling flow caps from a near-idle network to well past saturation.
+#: Default ``scaled_peak`` injection levels for :func:`saturation_curve`:
+#: doubling peak-flow sizes from a near-idle network to well past
+#: saturation.
 DEFAULT_INJECTION_LEVELS = (1, 2, 4, 8, 16, 32, 64)
 
 
@@ -267,13 +533,16 @@ def saturation_curve(topology: Topology, traffic: TrafficMatrix,
                      model: str = "wormhole_adaptive",
                      placement: Optional[Mapping[str, int]] = None,
                      max_cycles: Optional[int] = None) -> SaturationCurve:
-    """Sweep one workload over ``scaled_to`` injection levels.
+    """Sweep one workload over ``scaled_peak`` injection levels.
 
-    Each level caps the workload's largest flow at ``level`` flits
-    (preserving the flow structure), and all levels run through a single
-    batched cycle-stepped simulation.  The curve's knee is the largest
-    level whose result is unsaturated — the classic latency-vs-injection
-    plot reduced to one number per topology x workload pair.
+    Each level rescales the workload so its largest flow carries exactly
+    ``level`` flits — up *or* down, preserving the flow structure — and
+    all levels run through a single batched cycle-stepped simulation.
+    The curve's knee is the largest level whose result is unsaturated —
+    the classic latency-vs-injection plot reduced to one number per
+    topology x workload pair.  (Scaling up matters: with the shrink-only
+    ``scaled_to``, levels above the workload's natural peak re-simulated
+    identical traffic and inflated the reported knee.)
     """
     if not levels:
         raise ConfigurationError(
@@ -286,7 +555,7 @@ def saturation_curve(topology: Topology, traffic: TrafficMatrix,
         raise ConfigurationError(
             "saturation curves need a cycle-stepped model; the analytic "
             "model has no queueing and never exhibits a knee")
-    scaled = [traffic.scaled_to(level).renamed(f"{traffic.name}@{level}")
+    scaled = [traffic.scaled_peak(level).renamed(f"{traffic.name}@{level}")
               for level in ordered]
     results = simulate_batched(topology, scaled, placement=placement,
                                model=model, max_flits_per_flow=None,

@@ -4,17 +4,29 @@ The intra-fabric segmented mesh (:mod:`repro.core.interconnect`) wires
 clusters *inside* one array; this module models the level above it — the
 on-chip network that moves frames, residuals, GOP shards and
 reconfiguration bitstreams between the SoC's agents (CPU, frame memory,
-the ME / DA / filter arrays, IO).  Five topology families are provided,
+the ME / DA / filter arrays, IO).  Ten topology families are provided,
 mirroring the comparison harnesses of the related NoC repos (3-D mesh and
-torus variants, chiplet-style hub layouts):
+torus variants, chiplet-style hub layouts, hierarchical cluster and
+express designs):
 
-``mesh``     2-D mesh — the baseline tile grid,
-``torus``    2-D torus — the mesh plus wraparound links,
-``ring``     a single cycle — minimal routers, long paths,
-``mesh3d``   a stacked (two or more layer) mesh whose vertical TSV links
-             are slower than in-plane links,
-``hub``      chiplet-style hub-and-spoke — every spoke hangs off one (or
-             a few fully connected) central IO-hub router(s).
+``mesh``           2-D mesh — the baseline tile grid,
+``torus``          2-D torus — the mesh plus wraparound links,
+``ring``           a single cycle — minimal routers, long paths,
+``mesh3d``         a stacked (two or more layer) mesh whose vertical TSV
+                   links are slower than in-plane links,
+``hub``            chiplet-style hub-and-spoke — every spoke hangs off
+                   one (or a few fully connected) central IO-hub
+                   router(s),
+``cluster_hub``    leaf clusters star-connected to per-cluster hub
+                   routers that run faster than the leaves and mesh
+                   among themselves,
+``mesh3d_sparse``  the stacked mesh with TSV pillars only at a
+                   configurable density instead of under every tile,
+``pillar_torus``   torus planes joined by the same sparse TSV pillars,
+``express``        a 2-D mesh plus express links that skip a
+                   configurable stride of routers per hop,
+``mesh_io``        a chiplet grid with a column of IO routers through
+                   the center (the Mesh_IO_Center arrangement).
 
 Every topology exposes the same surface: integer node ids, undirected
 latency-annotated links, deterministic shortest-latency routes, hop and
@@ -499,11 +511,280 @@ class HubAndSpoke(Topology):
         return list(range(self.spokes, self.spokes + self.hubs))
 
 
+class ClusterHubMesh(Topology):
+    """Hierarchical cluster-hub mesh: leaf clusters feeding fast hubs.
+
+    The chip is a ``cluster_rows x cluster_cols`` grid of clusters; each
+    cluster is ``cluster_side ** 2`` leaf routers star-connected to one
+    hub router, and the hubs form a 2-D mesh among themselves.  The hubs
+    run ``hub_speedup``x faster than the leaf tiles, so with all
+    latencies expressed in hub cycles a hub-hub hop costs
+    :data:`LINK_CYCLES` while a leaf-hub hop costs ``hub_speedup``
+    cycles — the 2x2-cluster-plus-fast-hub design of the 3-D NoC
+    comparison repo.
+
+    Leaves are routers ``0 .. leaf_count - 1`` (cluster-major, so leaves
+    of cluster ``c`` are contiguous); hubs follow, one per cluster in
+    row-major cluster order.
+    """
+
+    def __init__(self, cluster_rows: int, cluster_cols: int,
+                 cluster_side: int = 2, hub_speedup: int = 2) -> None:
+        if cluster_rows <= 0 or cluster_cols <= 0:
+            raise ConfigurationError("cluster grid dimensions must be positive")
+        if cluster_side <= 0:
+            raise ConfigurationError("cluster side must be positive")
+        if hub_speedup <= 0:
+            raise ConfigurationError("hub speedup must be positive")
+        self.cluster_rows = cluster_rows
+        self.cluster_cols = cluster_cols
+        self.cluster_side = cluster_side
+        self.hub_speedup = hub_speedup
+        self.cluster_count = cluster_rows * cluster_cols
+        self.leaves_per_cluster = cluster_side ** 2
+        self.leaf_count = self.cluster_count * self.leaves_per_cluster
+        links = [Link(cluster * self.leaves_per_cluster + leaf,
+                      self.hub_of(cluster), latency=hub_speedup)
+                 for cluster in range(self.cluster_count)
+                 for leaf in range(self.leaves_per_cluster)]
+        links.extend(_grid_links(
+            cluster_rows, cluster_cols,
+            lambda row, col: self.hub_of(row * cluster_cols + col)))
+        super().__init__(
+            f"chub_{cluster_rows}x{cluster_cols}s{cluster_side}f{hub_speedup}",
+            self.leaf_count + self.cluster_count, links)
+
+    def hub_of(self, cluster: int) -> int:
+        """Router id of the hub serving ``cluster``."""
+        return self.leaf_count + cluster
+
+    def hub_nodes(self) -> List[int]:
+        """Router ids of the per-cluster hubs."""
+        return list(range(self.leaf_count, self.node_count))
+
+    def cluster_of(self, node: int) -> int:
+        """Cluster index a router (leaf or hub) belongs to."""
+        if node >= self.leaf_count:
+            return node - self.leaf_count
+        return node // self.leaves_per_cluster
+
+
+def _pillar_links(rows: int, cols: int, layers: int, stride: int,
+                  latency: int,
+                  node_at: Callable[[int, int, int], int]) -> List[Link]:
+    """Vertical TSV links at every pillar site of a stacked topology.
+
+    Pillars sit where both coordinates are multiples of ``stride``;
+    ``(0, 0)`` always qualifies, so the layers stay connected at any
+    density, and ``stride == 1`` recovers a TSV under every tile.
+    """
+    return [Link(node_at(layer, row, col), node_at(layer + 1, row, col),
+                 latency=latency)
+            for layer in range(layers - 1)
+            for row in range(0, rows, stride)
+            for col in range(0, cols, stride)]
+
+
+class Mesh3DSparse(Topology):
+    """A stacked mesh with TSV pillars only at a configurable density.
+
+    Like :class:`Mesh3D`, but vertical TSVs exist only at pillar sites —
+    grid positions whose row *and* column are multiples of
+    ``pillar_stride`` — so in-plane detours to the nearest pillar are
+    part of every cross-layer route.  ``pillar_stride=1`` recovers the
+    fully-pillared :class:`Mesh3D` structure.
+    """
+
+    def __init__(self, rows: int, cols: int, layers: int = 2,
+                 pillar_stride: int = 2,
+                 tsv_latency: int = TSV_CYCLES) -> None:
+        if rows <= 0 or cols <= 0 or layers <= 0:
+            raise ConfigurationError("mesh3d dimensions must be positive")
+        if pillar_stride <= 0:
+            raise ConfigurationError("pillar stride must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.layers = layers
+        self.pillar_stride = pillar_stride
+        self.tsv_latency = tsv_latency
+        links: List[Link] = []
+        for layer in range(layers):
+            links.extend(_grid_links(
+                rows, cols,
+                lambda row, col, layer=layer: self.node_at(layer, row, col)))
+        links.extend(_pillar_links(rows, cols, layers, pillar_stride,
+                                   tsv_latency, self.node_at))
+        super().__init__(f"mesh3ds_{rows}x{cols}x{layers}p{pillar_stride}",
+                         rows * cols * layers, links)
+
+    def node_at(self, layer: int, row: int, col: int) -> int:
+        """Router id of stacked grid position ``(layer, row, col)``."""
+        return layer * self.rows * self.cols + row * self.cols + col
+
+    def pillar_sites(self) -> List[Tuple[int, int]]:
+        """In-plane ``(row, col)`` positions that carry a TSV pillar."""
+        return [(row, col)
+                for row in range(0, self.rows, self.pillar_stride)
+                for col in range(0, self.cols, self.pillar_stride)]
+
+
+class PillarTorus(Topology):
+    """Torus planes joined by sparse TSV pillars.
+
+    Each layer is a 2-D torus (wraparound links on dimensions longer
+    than two, as in :class:`Torus2D`); layers connect through the same
+    pillar sites as :class:`Mesh3DSparse`, so the wraparound shortcuts
+    and the pillar detours trade off against each other.
+    """
+
+    def __init__(self, rows: int, cols: int, layers: int = 2,
+                 pillar_stride: int = 2,
+                 tsv_latency: int = TSV_CYCLES) -> None:
+        if rows <= 0 or cols <= 0 or layers <= 0:
+            raise ConfigurationError("pillar-torus dimensions must be positive")
+        if pillar_stride <= 0:
+            raise ConfigurationError("pillar stride must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.layers = layers
+        self.pillar_stride = pillar_stride
+        self.tsv_latency = tsv_latency
+        links: List[Link] = []
+        for layer in range(layers):
+            def node_at(row: int, col: int, layer: int = layer) -> int:
+                return self.node_at(layer, row, col)
+            links.extend(_grid_links(rows, cols, node_at))
+            # Same rule as Torus2D: a wraparound on a dimension of
+            # length <= 2 would duplicate an existing mesh link.
+            if cols > 2:
+                links.extend(Link(node_at(row, 0), node_at(row, cols - 1))
+                             for row in range(rows))
+            if rows > 2:
+                links.extend(Link(node_at(0, col), node_at(rows - 1, col))
+                             for col in range(cols))
+        links.extend(_pillar_links(rows, cols, layers, pillar_stride,
+                                   tsv_latency, self.node_at))
+        super().__init__(f"ptorus_{rows}x{cols}x{layers}p{pillar_stride}",
+                         rows * cols * layers, links)
+
+    def node_at(self, layer: int, row: int, col: int) -> int:
+        """Router id of stacked grid position ``(layer, row, col)``."""
+        return layer * self.rows * self.cols + row * self.cols + col
+
+    def pillar_sites(self) -> List[Tuple[int, int]]:
+        """In-plane ``(row, col)`` positions that carry a TSV pillar."""
+        return [(row, col)
+                for row in range(0, self.rows, self.pillar_stride)
+                for col in range(0, self.cols, self.pillar_stride)]
+
+
+class ExpressMesh(Topology):
+    """A 2-D mesh plus express links that skip ``stride`` routers a hop.
+
+    Express channels join every ``stride``-th router along each row and
+    column (the small-world express-link design of the related NoC
+    repos).  An express hop's link costs ``express_latency`` cycles —
+    default ``stride``, since the wire still spans ``stride`` tiles —
+    but crosses a single router, so a long haul over it skips
+    ``stride - 1`` router traversals compared to the local path.
+    """
+
+    def __init__(self, rows: int, cols: int, stride: int = 2,
+                 express_latency: Optional[int] = None) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("mesh dimensions must be positive")
+        if stride < 2:
+            raise ConfigurationError(
+                "express stride must be at least 2 (stride-1 links would "
+                "duplicate the mesh)")
+        self.rows = rows
+        self.cols = cols
+        self.stride = stride
+        self.express_latency = stride if express_latency is None \
+            else express_latency
+        links = _grid_links(rows, cols, self.node_at)
+        for row in range(rows):
+            for col in range(0, cols - stride, stride):
+                links.append(Link(self.node_at(row, col),
+                                  self.node_at(row, col + stride),
+                                  latency=self.express_latency))
+        for col in range(cols):
+            for row in range(0, rows - stride, stride):
+                links.append(Link(self.node_at(row, col),
+                                  self.node_at(row + stride, col),
+                                  latency=self.express_latency))
+        super().__init__(f"xmesh_{rows}x{cols}e{stride}", rows * cols, links)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Router id of grid position ``(row, col)``."""
+        return row * self.cols + col
+
+
+class MeshIoCenter(Topology):
+    """Chiplet grid with a column of IO routers through the center.
+
+    ``rows x cols`` compute chiplets with an extra column of IO dies
+    inserted in the middle, giving a ``rows x (cols + 1)`` router grid —
+    the Mesh_IO_Center arrangement of the chiplet-config repo.  A link
+    between an IO router and a horizontal compute neighbour crosses a
+    die boundary and costs ``io_link_latency`` cycles; every other grid
+    link (compute-compute, and IO-IO down the center column) costs
+    :data:`LINK_CYCLES`.
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 io_link_latency: int = HUB_LINK_CYCLES) -> None:
+        if rows <= 0:
+            raise ConfigurationError("mesh_io needs at least one row")
+        if cols < 2:
+            raise ConfigurationError(
+                "mesh_io needs at least two compute columns around the "
+                "IO column")
+        self.rows = rows
+        self.cols = cols
+        self.grid_cols = cols + 1
+        self.io_col = self.grid_cols // 2
+        self.io_link_latency = io_link_latency
+        links: List[Link] = []
+        for row in range(rows):
+            for col in range(self.grid_cols):
+                here = self.node_at(row, col)
+                if col + 1 < self.grid_cols:
+                    crossing = self.io_col in (col, col + 1)
+                    links.append(Link(
+                        here, self.node_at(row, col + 1),
+                        latency=io_link_latency if crossing
+                        else LINK_CYCLES))
+                if row + 1 < rows:
+                    links.append(Link(here, self.node_at(row + 1, col)))
+        super().__init__(f"meshio_{rows}x{cols}", rows * self.grid_cols,
+                         links)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Router id of grid position ``(row, col)`` (IO column included)."""
+        return row * self.grid_cols + col
+
+    def io_nodes(self) -> List[int]:
+        """Router ids of the center IO column, top to bottom."""
+        return [self.node_at(row, self.io_col) for row in range(self.rows)]
+
+
 def _near_square(count: int) -> Tuple[int, int]:
-    """Rows/cols of the most square grid holding at least ``count`` nodes."""
-    rows = max(1, int(math.sqrt(count)))
+    """Rows/cols of the most square grid holding at least ``count`` nodes.
+
+    Rows are the *nearest* integer to the square root (not the floor):
+    3 nodes get a 2x2 grid rather than a degenerate 1x3 strip, and 8
+    nodes a 3x3 rather than a 2x4.
+    """
+    rows = max(1, round(math.sqrt(count)))
     cols = -(-count // rows)
     return rows, cols
+
+
+def _io_grid(count: int) -> Tuple[int, int]:
+    """Compute-grid rows/cols for a :class:`MeshIoCenter` of ``count``."""
+    rows, cols = _near_square(count)
+    return rows, max(2, cols)
 
 
 #: Topology families by short name, each a ``node_count -> Topology``
@@ -514,7 +795,47 @@ TOPOLOGY_FAMILIES: Dict[str, Callable[[int], Topology]] = {
     "ring": lambda n: Ring(max(3, n)),
     "mesh3d": lambda n: Mesh3D(*_near_square(-(-n // 2)), layers=2),
     "hub": lambda n: HubAndSpoke(max(1, n - 1), hubs=1),
+    "cluster_hub": lambda n: ClusterHubMesh(*_near_square(-(-n // 4)),
+                                            cluster_side=2),
+    "mesh3d_sparse": lambda n: Mesh3DSparse(*_near_square(-(-n // 2)),
+                                            layers=2, pillar_stride=2),
+    "pillar_torus": lambda n: PillarTorus(*_near_square(-(-n // 2)),
+                                          layers=2, pillar_stride=2),
+    "express": lambda n: ExpressMesh(*_near_square(n), stride=2),
+    "mesh_io": lambda n: MeshIoCenter(*_io_grid(n)),
 }
+
+#: Topology classes by family name — the explicit-parameter counterpart
+#: of :data:`TOPOLOGY_FAMILIES` used by :func:`build_topology`.
+TOPOLOGY_CLASSES: Dict[str, type] = {
+    "mesh": Mesh2D,
+    "torus": Torus2D,
+    "ring": Ring,
+    "mesh3d": Mesh3D,
+    "hub": HubAndSpoke,
+    "cluster_hub": ClusterHubMesh,
+    "mesh3d_sparse": Mesh3DSparse,
+    "pillar_torus": PillarTorus,
+    "express": ExpressMesh,
+    "mesh_io": MeshIoCenter,
+}
+
+
+def build_topology(family: str, **params: int) -> Topology:
+    """Instantiate a family from explicit constructor parameters.
+
+    The picklable spec form the grid explorer uses: a ``(family,
+    params)`` pair travels to worker processes as plain data and
+    rebuilds the exact same topology on the other side (structure is
+    what matters — :meth:`Topology.fingerprint` covers every link).
+    """
+    try:
+        cls = TOPOLOGY_CLASSES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology family {family!r}; expected one of "
+            f"{sorted(TOPOLOGY_CLASSES)}") from None
+    return cls(**params)
 
 
 def topology_by_name(family: str, node_count: int) -> Topology:
@@ -543,6 +864,22 @@ def standard_topologies(node_count: int) -> List[Topology]:
 PLACEMENT_STRATEGIES = ("linear", "spread", "hub")
 
 
+def _nearest_free(intended: int, taken: set, node_count: int) -> int:
+    """Closest unoccupied router to ``intended`` (ties toward higher ids).
+
+    Rounding collisions in the spread placement resolve by probing
+    outward from the intended slot — never by wrapping around the id
+    range, which would teleport a late agent from the top of the range
+    to router 0 (the opposite of "spread").
+    """
+    for offset in range(node_count):
+        for candidate in (intended + offset, intended - offset):
+            if 0 <= candidate < node_count and candidate not in taken:
+                return candidate
+    raise ConfigurationError(
+        f"no free router among {node_count} for another agent")
+
+
 def place_agents(agents: Sequence[str], topology: Topology,
                  strategy: str = "linear") -> Dict[str, int]:
     """Deterministically assign each named agent to a router.
@@ -566,9 +903,8 @@ def place_agents(agents: Sequence[str], topology: Topology,
         span = topology.node_count - 1
         denominator = max(1, len(agents) - 1)
         for index, agent in enumerate(agents):
-            node = round(index * span / denominator)
-            while node in taken:        # rounding collision: next free id
-                node = (node + 1) % topology.node_count
+            node = _nearest_free(round(index * span / denominator), taken,
+                                 topology.node_count)
             placement[agent] = node
             taken.add(node)
         return placement

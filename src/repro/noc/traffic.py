@@ -138,6 +138,30 @@ class TrafficMatrix:
         return TrafficMatrix(self.agents, scaled, name=self.name,
                              burst=self.burst)
 
+    def scaled_peak(self, peak_flits: int) -> "TrafficMatrix":
+        """Proportionally rescale so the largest flow carries exactly
+        ``peak_flits`` flits — scaling **up or down** as needed.
+
+        This is the injection-level knob of
+        :func:`repro.noc.explore.saturation_curve`: unlike
+        :meth:`scaled_to` (a shrink-only cap for pre-simulation load
+        reduction), a level above the matrix's natural peak genuinely
+        inflates the traffic, so successive levels always inject more
+        flits.  Relative flow intensities are preserved up to integer
+        ceiling rounding, and non-zero flows stay non-zero.
+        """
+        if peak_flits <= 0:
+            raise ConfigurationError("peak_flits must be positive")
+        peak = int(self.flits.max()) if self.flits.size else 0
+        if peak == 0 or peak == peak_flits:
+            return self
+        # Same integer ceiling division as scaled_to, without the
+        # shrink-only early-out: the peak flow lands exactly on
+        # peak_flits in both directions.
+        scaled = (self.flits * peak_flits + peak - 1) // peak
+        return TrafficMatrix(self.agents, scaled, name=self.name,
+                             burst=self.burst)
+
     def with_burst(self, on: int, off: int,
                    name: Optional[str] = None) -> "TrafficMatrix":
         """The same flows injected on an ``on``/``off`` duty cycle."""
@@ -445,6 +469,38 @@ def tornado_traffic(agent_count: int, flits_per_flow: int = 4,
         partner = (index + offset) % agent_count
         if partner != index:
             matrix[index, partner] = flits_per_flow
+    return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
+                         name=name)
+
+
+def clustered_traffic(agent_count: int, cluster_size: int = 4,
+                      local_flits: int = 8, global_flits: int = 1,
+                      name: str = "clustered") -> TrafficMatrix:
+    """Hierarchical locality pattern: heavy intra-cluster, light global.
+
+    Agents partition into consecutive blocks of ``cluster_size``; every
+    ordered pair inside a block exchanges ``local_flits``, and each
+    agent additionally sends ``global_flits`` to its counterpart in the
+    next cluster (``(i + cluster_size) % agent_count``).  The workload
+    shape the hierarchical families (cluster hubs, sparse pillars) are
+    built for: most traffic stays local, a thin stream crosses.
+    """
+    if agent_count < 2:
+        raise ConfigurationError("clustered traffic needs at least two agents")
+    if cluster_size < 1:
+        raise ConfigurationError("cluster size must be positive")
+    if local_flits < 0 or global_flits < 0:
+        raise ConfigurationError("flit counts cannot be negative")
+    matrix = np.zeros((agent_count, agent_count), dtype=np.int64)
+    for index in range(agent_count):
+        cluster = index // cluster_size
+        for other in range(cluster * cluster_size,
+                           min((cluster + 1) * cluster_size, agent_count)):
+            if other != index:
+                matrix[index, other] += local_flits
+        partner = (index + cluster_size) % agent_count
+        if partner != index:
+            matrix[index, partner] += global_flits
     return TrafficMatrix(tuple(f"n{i}" for i in range(agent_count)), matrix,
                          name=name)
 

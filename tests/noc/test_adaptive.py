@@ -8,9 +8,14 @@ import pytest
 from repro.core.exceptions import ConfigurationError
 from repro.noc.sim import ADAPTIVE_BUFFER_DEPTH, simulate
 from repro.noc.topology import (
+    ClusterHubMesh,
+    ExpressMesh,
     HubAndSpoke,
     Mesh2D,
     Mesh3D,
+    Mesh3DSparse,
+    MeshIoCenter,
+    PillarTorus,
     Ring,
     Torus2D,
 )
@@ -24,7 +29,10 @@ from repro.noc.traffic import (
 )
 
 TOPOLOGIES = [Mesh2D(3, 3), Torus2D(3, 4), Ring(8), Mesh3D(2, 2, layers=2),
-              HubAndSpoke(6)]
+              HubAndSpoke(6), ClusterHubMesh(2, 2, cluster_side=2),
+              Mesh3DSparse(3, 3, layers=2, pillar_stride=2),
+              PillarTorus(3, 3, layers=2, pillar_stride=2),
+              ExpressMesh(3, 4, stride=2), MeshIoCenter(3, 3)]
 
 
 class TestRoutingTables:

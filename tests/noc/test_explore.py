@@ -1,12 +1,16 @@
-"""Design-space explorer: sweeps and Pareto-front properties."""
+"""Design-space explorer: sweeps, grids and Pareto-front properties."""
 
 import pytest
 
 from repro.core.exceptions import ConfigurationError
 from repro.noc.explore import (
+    TOPOLOGY_GRID_FAMILIES,
     DesignPoint,
+    default_grid,
+    grid_sweep,
     pareto_by_workload,
     pareto_front,
+    pareto_front_reference,
     saturation_curve,
     saturation_curves,
     sweep,
@@ -14,6 +18,7 @@ from repro.noc.explore import (
 from repro.noc.topology import TOPOLOGY_FAMILIES, Mesh2D, Ring
 from repro.noc.traffic import (
     burst_traffic,
+    clustered_traffic,
     hotspot_traffic,
     transpose_traffic,
     uniform_traffic,
@@ -30,7 +35,8 @@ class TestSweep:
     def test_covers_every_family_and_workload(self):
         points = small_sweep()
         assert {point.topology.split("_")[0] for point in points} == \
-            {"mesh", "torus", "ring", "mesh3d", "hub"}
+            {"mesh", "torus", "ring", "mesh3d", "hub",
+             "chub", "mesh3ds", "ptorus", "xmesh", "meshio"}
         assert {point.workload for point in points} == {"uniform", "hotspot"}
         assert len(points) == len(TOPOLOGY_FAMILIES) * 2
 
@@ -66,6 +72,71 @@ class TestSweep:
     def test_empty_sweep_rejected(self):
         with pytest.raises(ConfigurationError):
             sweep({})
+
+
+class TestGridSweep:
+    def workloads(self):
+        return {"uniform": uniform_traffic(8, 3),
+                "clustered": clustered_traffic(8, 4)}
+
+    def test_default_grid_covers_every_family(self):
+        specs = default_grid(16)
+        assert {family for family, _ in specs} == set(TOPOLOGY_GRID_FAMILIES)
+        assert set(TOPOLOGY_GRID_FAMILIES) == set(TOPOLOGY_FAMILIES)
+
+    def test_default_grid_enumerates_the_knob_product(self):
+        specs = default_grid(16, families=("mesh3d_sparse",),
+                             pillar_strides=(1, 2, 3),
+                             tsv_latencies=(2, 4))
+        assert len(specs) == 6
+        assert {(p["pillar_stride"], p["tsv_latency"])
+                for _, p in specs} == {(s, t) for s in (1, 2, 3)
+                                       for t in (2, 4)}
+
+    def test_default_grid_rejects_unknown_families(self):
+        with pytest.raises(ConfigurationError):
+            default_grid(16, families=("hypercube",))
+
+    def test_point_count_is_the_full_product(self):
+        specs = default_grid(8)
+        points = grid_sweep(self.workloads(), specs=specs,
+                            placements=("linear", "spread"))
+        assert len(points) == len(specs) * 2 * 2
+
+    def test_matches_sweep_on_identical_topologies(self):
+        from repro.noc.topology import build_topology
+
+        specs = [("mesh", {"rows": 3, "cols": 3}),
+                 ("ring", {"count": 8})]
+        from_grid = grid_sweep(self.workloads(), specs=specs,
+                               placements=("linear",))
+        from_sweep = sweep(self.workloads(),
+                           topologies=[build_topology(family, **params)
+                                       for family, params in specs],
+                           placements=("linear",))
+        assert from_grid == from_sweep
+
+    def test_processes_path_is_bit_identical_to_serial(self):
+        specs = default_grid(8)
+        serial = grid_sweep(self.workloads(), specs=specs)
+        parallel = grid_sweep(self.workloads(), specs=specs,
+                              parallel="processes", workers=2)
+        assert parallel == serial
+
+    def test_unknown_parallel_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(self.workloads(), parallel="threads")
+
+    def test_undersized_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(self.workloads(),
+                       specs=[("mesh", {"rows": 2, "cols": 2})])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep({})
+        with pytest.raises(ConfigurationError):
+            grid_sweep(self.workloads(), specs=[])
 
 
 class TestParetoFront:
@@ -133,6 +204,42 @@ class TestParetoFront:
             assert front
             assert all(point.workload == workload for point in front)
 
+    def test_vectorized_front_matches_the_reference_on_random_points(self):
+        # Conformance oracle for the skyline scan: on randomized point
+        # sets (small integer coordinates force heavy ties, duplicates
+        # and dominance chains) the vectorized front must equal the
+        # O(n^2) scan exactly — same points, same input order.
+        import numpy as np
+
+        rng = np.random.default_rng(2004)
+        for trial in range(25):
+            count = int(rng.integers(1, 120))
+            points = [
+                DesignPoint(f"t{i}", "linear", "w", 4, 4,
+                            int(rng.integers(1, 6)),
+                            float(rng.integers(1, 6)),
+                            float(rng.integers(1, 6)),
+                            float(rng.integers(1, 6)),
+                            0.5, bool(rng.integers(0, 2)))
+                for i in range(count)]
+            assert pareto_front(points) == pareto_front_reference(points)
+
+    def test_vectorized_front_matches_the_reference_on_a_real_sweep(self):
+        points = small_sweep()
+        assert pareto_front(points) == pareto_front_reference(points)
+
+    def test_empty_front(self):
+        assert pareto_front([]) == []
+        assert pareto_front_reference([]) == []
+
+    def test_duplicate_points_all_survive(self):
+        point = DesignPoint("mesh", "linear", "w", 4, 4, 10, 5.0, 10.0, 10.0,
+                            0.5, False)
+        twin = DesignPoint("mesh", "linear", "w", 4, 4, 10, 5.0, 10.0, 10.0,
+                           0.5, False)
+        assert pareto_front([point, twin]) == [point, twin]
+        assert pareto_front_reference([point, twin]) == [point, twin]
+
 class TestSaturationCurve:
     def curve(self, model="wormhole_adaptive"):
         return saturation_curve(Mesh2D(3, 3),
@@ -167,7 +274,7 @@ class TestSaturationCurve:
         curve = self.curve()
         traffic = burst_traffic("transpose", 9, 64, 1, 7)
         for point in curve.points:
-            alone = simulate(Mesh2D(3, 3), traffic.scaled_to(point.level),
+            alone = simulate(Mesh2D(3, 3), traffic.scaled_peak(point.level),
                              model="wormhole_adaptive")
             assert point.delivered_flits == alone.delivered_flits
             assert point.mean_latency_cycles == alone.mean_latency_cycles

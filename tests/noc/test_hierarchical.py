@@ -1,0 +1,327 @@
+"""Hierarchical topology families: structure and randomized invariants.
+
+Covers the five hierarchical families (cluster-hub mesh, sparse-pillar
+3-D mesh, pillar torus, express mesh, center-IO chiplet grid) with the
+same invariant battery the flat families pass — route symmetry,
+strictly-decreasing minimal-outport distances, the escape-hop DAG
+property — over randomly drawn knob settings, plus scalar-vs-batched
+simulator parity on at least one instance of every new family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.noc.sim import simulate, simulate_batched
+from repro.noc.topology import (
+    HUB_LINK_CYCLES,
+    LINK_CYCLES,
+    TSV_CYCLES,
+    ClusterHubMesh,
+    ExpressMesh,
+    Mesh3D,
+    Mesh3DSparse,
+    MeshIoCenter,
+    PillarTorus,
+    Torus2D,
+)
+from repro.noc.traffic import TrafficMatrix
+
+
+def random_instances(seed):
+    """One randomly-knobbed instance of every hierarchical family."""
+    rng = np.random.default_rng(seed)
+    return [
+        ClusterHubMesh(int(rng.integers(1, 3)), int(rng.integers(1, 3)),
+                       cluster_side=int(rng.integers(1, 4)),
+                       hub_speedup=int(rng.integers(1, 4))),
+        Mesh3DSparse(int(rng.integers(2, 5)), int(rng.integers(2, 5)),
+                     layers=int(rng.integers(2, 4)),
+                     pillar_stride=int(rng.integers(1, 4)),
+                     tsv_latency=int(rng.integers(1, 4))),
+        PillarTorus(int(rng.integers(2, 5)), int(rng.integers(2, 5)),
+                    layers=2, pillar_stride=int(rng.integers(1, 4)),
+                    tsv_latency=int(rng.integers(1, 4))),
+        ExpressMesh(int(rng.integers(2, 6)), int(rng.integers(3, 7)),
+                    stride=int(rng.integers(2, 5))),
+        MeshIoCenter(int(rng.integers(1, 5)), int(rng.integers(2, 6)),
+                     io_link_latency=int(rng.integers(1, 4))),
+    ]
+
+
+class TestRandomizedInvariants:
+    """The uniform-surface battery over random knob draws."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_routes_are_minimal_symmetric_valid_walks(self, seed):
+        # Links are undirected, so the latency distance is symmetric and
+        # every deterministic route must achieve it exactly.  (The hop
+        # count may legitimately differ per direction when an express
+        # bypass ties a multi-hop local path on latency.)
+        for topology in random_instances(seed):
+            for a in range(topology.node_count):
+                for b in range(a + 1, topology.node_count):
+                    distance = topology.latency_distance(a, b)
+                    assert distance == topology.latency_distance(b, a)
+                    for source, sink in ((a, b), (b, a)):
+                        path = topology.route(source, sink)
+                        assert path[0] == source and path[-1] == sink
+                        assert len(set(path)) == len(path)
+                        links = sum(topology.link_latency(x, y)
+                                    for x, y in zip(path, path[1:]))
+                        assert links == distance
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minimal_outports_strictly_decrease_the_distance(self, seed):
+        for topology in random_instances(seed):
+            for dest in range(topology.node_count):
+                table = topology.routing_table(dest)
+                assert set(table) == \
+                    set(range(topology.node_count)) - {dest}
+                for node, outports in table.items():
+                    assert outports
+                    here = topology.latency_distance(node, dest)
+                    for neighbour in outports:
+                        there = topology.latency_distance(neighbour, dest)
+                        assert there < here
+                        assert (here - there
+                                == topology.link_latency(node, neighbour))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_escape_hops_form_a_dag_reaching_the_destination(self, seed):
+        # Following only escape hops must reach the destination with the
+        # latency distance strictly decreasing at every step — the walk
+        # can never revisit a node, so the escape channel is a DAG and
+        # deadlock-free on every hierarchical family.
+        for topology in random_instances(seed):
+            for dest in range(topology.node_count):
+                for start in range(topology.node_count):
+                    node, steps = start, 0
+                    while node != dest:
+                        there = topology.escape_hop(node, dest)
+                        assert (topology.latency_distance(there, dest)
+                                < topology.latency_distance(node, dest))
+                        node = there
+                        steps += 1
+                        assert steps <= topology.node_count
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_degree_sums_to_twice_link_count(self, seed):
+        for topology in random_instances(seed):
+            total = sum(topology.degree(node)
+                        for node in range(topology.node_count))
+            assert total == 2 * topology.link_count
+
+
+class TestSimulatorParity:
+    """Scalar vs batched integer identity on each hierarchical family."""
+
+    @pytest.mark.parametrize("model", ["analytic", "wormhole",
+                                       "wormhole_adaptive"])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_batched_matches_scalar(self, model, seed):
+        rng = np.random.default_rng(7000 + seed)
+        for topology in random_instances(seed):
+            agent_count = int(rng.integers(2, topology.node_count + 1))
+            agents = tuple(f"n{i}" for i in range(agent_count))
+            batch = []
+            for index in range(3):
+                flits = rng.integers(0, 6, (agent_count, agent_count))
+                np.fill_diagonal(flits, 0)
+                batch.append(TrafficMatrix(agents, flits.astype(np.int64),
+                                           name=f"t{index}"))
+            batched = simulate_batched(topology, batch, model=model,
+                                       max_flits_per_flow=None)
+            for traffic, result in zip(batch, batched):
+                scalar = simulate(topology, traffic, model=model,
+                                  max_flits_per_flow=None)
+                assert np.array_equal(scalar.per_flow_latency,
+                                      result.per_flow_latency)
+                assert np.array_equal(scalar.link_loads, result.link_loads)
+                assert scalar.delivered_flits == result.delivered_flits
+                assert scalar.cycles == result.cycles
+                assert scalar.energy == result.energy
+                assert scalar.saturated == result.saturated
+
+
+class TestClusterHubMesh:
+    def test_structure_and_latencies(self):
+        chub = ClusterHubMesh(2, 3, cluster_side=2, hub_speedup=3)
+        assert chub.cluster_count == 6
+        assert chub.leaf_count == 24
+        assert chub.node_count == 30
+        assert chub.name == "chub_2x3s2f3"
+        # Leaf 0 hangs off its cluster's hub at the leaf-clock latency;
+        # adjacent hubs talk at the fast hub clock.
+        assert chub.link_latency(0, chub.hub_of(0)) == 3
+        assert chub.link_latency(chub.hub_of(0), chub.hub_of(1)) == 1
+        assert chub.hub_nodes() == list(range(24, 30))
+
+    def test_leaf_to_leaf_goes_through_the_hubs(self):
+        chub = ClusterHubMesh(1, 2, cluster_side=2, hub_speedup=2)
+        path = chub.route(0, chub.leaves_per_cluster)  # cluster 0 -> 1
+        assert path == (0, chub.hub_of(0), chub.hub_of(1),
+                        chub.leaves_per_cluster)
+
+    def test_cluster_of_maps_leaves_and_hubs(self):
+        chub = ClusterHubMesh(2, 2, cluster_side=2)
+        assert chub.cluster_of(0) == 0
+        assert chub.cluster_of(chub.leaves_per_cluster) == 1
+        assert chub.cluster_of(chub.hub_of(3)) == 3
+
+    def test_router_area_grows_with_hub_degree(self):
+        # A bigger cluster side concentrates more leaf ports on each
+        # hub: the hub degree rises and the quadratic crossbar model
+        # must charge more total router area per router.
+        small = ClusterHubMesh(2, 2, cluster_side=2)
+        large = ClusterHubMesh(2, 2, cluster_side=3)
+        assert large.max_degree() > small.max_degree()
+        assert (large.router_area_elements() / large.node_count
+                > small.router_area_elements() / small.node_count)
+
+    def test_speedup_changes_the_fingerprint_not_the_node_count(self):
+        slow = ClusterHubMesh(2, 2, cluster_side=2, hub_speedup=1)
+        fast = ClusterHubMesh(2, 2, cluster_side=2, hub_speedup=3)
+        assert slow.node_count == fast.node_count
+        assert slow.fingerprint() != fast.fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterHubMesh(0, 2)
+        with pytest.raises(ConfigurationError):
+            ClusterHubMesh(2, 2, cluster_side=0)
+        with pytest.raises(ConfigurationError):
+            ClusterHubMesh(2, 2, hub_speedup=0)
+
+
+class TestMesh3DSparse:
+    def test_full_stride_recovers_mesh3d(self):
+        sparse = Mesh3DSparse(3, 3, layers=2, pillar_stride=1)
+        full = Mesh3D(3, 3, layers=2)
+        assert sparse.link_count == full.link_count
+        assert sparse.pillar_sites() == [(r, c) for r in range(3)
+                                         for c in range(3)]
+
+    def test_sparse_pillars_thin_the_verticals(self):
+        sparse = Mesh3DSparse(3, 3, layers=2, pillar_stride=2)
+        assert sparse.pillar_sites() == [(0, 0), (0, 2), (2, 0), (2, 2)]
+        full = Mesh3D(3, 3, layers=2)
+        assert full.link_count - sparse.link_count == 9 - 4
+
+    def test_origin_is_always_a_pillar(self):
+        sparse = Mesh3DSparse(2, 2, layers=3, pillar_stride=5)
+        assert sparse.pillar_sites() == [(0, 0)]
+        # Still connected: every pair routes through the lone pillar.
+        assert sparse.hop_distance(sparse.node_at(0, 1, 1),
+                                   sparse.node_at(2, 1, 1)) > 0
+
+    def test_cross_layer_routes_detour_via_a_pillar(self):
+        sparse = Mesh3DSparse(3, 3, layers=2, pillar_stride=2,
+                              tsv_latency=1)
+        path = sparse.route(sparse.node_at(0, 1, 1),
+                            sparse.node_at(1, 1, 1))
+        pillar_ids = {sparse.node_at(layer, row, col)
+                      for layer in range(2)
+                      for row, col in sparse.pillar_sites()}
+        assert pillar_ids & set(path)        # must touch a pillar
+        assert len(path) > 2                 # no direct vertical exists
+
+    def test_tsv_latency_prices_the_pillars(self):
+        sparse = Mesh3DSparse(2, 2, layers=2, pillar_stride=1,
+                              tsv_latency=4)
+        assert sparse.link_latency(sparse.node_at(0, 0, 0),
+                                   sparse.node_at(1, 0, 0)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mesh3DSparse(0, 3)
+        with pytest.raises(ConfigurationError):
+            Mesh3DSparse(3, 3, pillar_stride=0)
+
+
+class TestPillarTorus:
+    def test_wraparound_plus_pillars(self):
+        ptorus = PillarTorus(3, 3, layers=2, pillar_stride=2)
+        per_plane = Torus2D(3, 3).link_count
+        assert ptorus.link_count == 2 * per_plane + 4
+        assert ptorus.name == "ptorus_3x3x2p2"
+
+    def test_wraparound_shortens_in_plane_paths(self):
+        ptorus = PillarTorus(4, 4, layers=2, pillar_stride=2)
+        assert ptorus.hop_distance(ptorus.node_at(0, 0, 0),
+                                   ptorus.node_at(0, 0, 3)) == 1
+
+    def test_short_dimensions_get_no_duplicate_links(self):
+        ptorus = PillarTorus(2, 2, layers=2, pillar_stride=1)
+        # 2x2 planes are fully mesh-connected; no wraparounds to add.
+        assert ptorus.link_count == 2 * 4 + 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PillarTorus(2, 0)
+        with pytest.raises(ConfigurationError):
+            PillarTorus(2, 2, pillar_stride=-1)
+
+
+class TestExpressMesh:
+    def test_express_links_skip_routers(self):
+        xmesh = ExpressMesh(1, 7, stride=3)
+        # Express hop 0->3 crosses one router instead of three.
+        assert xmesh.hop_distance(0, 3) == 1
+        assert xmesh.link_latency(0, 3) == 3
+        plain = ExpressMesh(1, 7, stride=6)   # express span too long to land
+        assert plain.hop_distance(0, 3) == 3
+
+    def test_express_beats_local_hops_on_route_latency(self):
+        xmesh = ExpressMesh(1, 7, stride=3, express_latency=2)
+        # 0 -> 6: two express hops at 2 cycles each strictly beat six
+        # local hops, so the deterministic route must ride the bypass.
+        assert xmesh.hop_distance(0, 6) == 2
+        assert xmesh.route_latency(0, 6) < 6 * (1 + LINK_CYCLES)
+
+    def test_link_count_adds_the_express_channels(self):
+        xmesh = ExpressMesh(4, 4, stride=2)
+        mesh_links = 4 * 3 * 2
+        express = 4 * 1 + 4 * 1                # one per row + one per column
+        assert xmesh.link_count == mesh_links + express
+
+    def test_custom_express_latency(self):
+        xmesh = ExpressMesh(1, 5, stride=2, express_latency=1)
+        assert xmesh.link_latency(0, 2) == 1
+
+    def test_stride_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExpressMesh(3, 3, stride=1)
+
+    def test_tiny_mesh_has_no_express_links(self):
+        xmesh = ExpressMesh(2, 2, stride=2)
+        assert xmesh.link_count == 4           # plain 2x2 mesh
+
+
+class TestMeshIoCenter:
+    def test_io_column_sits_in_the_middle(self):
+        meshio = MeshIoCenter(3, 4)
+        assert meshio.node_count == 3 * 5
+        assert meshio.io_col == 2
+        assert meshio.io_nodes() == [2, 7, 12]
+
+    def test_die_crossing_links_cost_more(self):
+        meshio = MeshIoCenter(2, 2, io_link_latency=3)
+        io = meshio.io_nodes()[0]
+        assert meshio.link_latency(io - 1, io) == 3       # compute -> IO
+        assert meshio.link_latency(io, io + 1) == 3       # IO -> compute
+        assert meshio.link_latency(meshio.node_at(0, 0),
+                                   meshio.node_at(1, 0)) == LINK_CYCLES
+        assert meshio.link_latency(meshio.io_nodes()[0],
+                                   meshio.io_nodes()[1]) == LINK_CYCLES
+
+    def test_default_latency_is_the_chiplet_crossing(self):
+        meshio = MeshIoCenter(2, 2)
+        io = meshio.io_nodes()[0]
+        assert meshio.link_latency(io - 1, io) == HUB_LINK_CYCLES
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MeshIoCenter(0, 4)
+        with pytest.raises(ConfigurationError):
+            MeshIoCenter(3, 1)

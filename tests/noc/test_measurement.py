@@ -3,17 +3,24 @@
 Each test pins a behaviour that was wrong before this change: censored
 flows used to drag the reported mean latency toward the cycle budget
 with no way to see it, the utilisation-knee saturation check silently
-skipped the cycle-stepped models, and out-of-range placements crashed
-deep inside the simulator instead of naming the bad agent.
+skipped the cycle-stepped models, out-of-range placements crashed deep
+inside the simulator instead of naming the bad agent, and saturation
+curves re-simulated identical traffic at every level above the
+workload's natural peak, inflating the reported knee.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.exceptions import ConfigurationError
+from repro.noc.explore import saturation_curve
 from repro.noc.sim import SATURATION_UTILISATION, simulate
 from repro.noc.topology import Mesh2D, Ring
-from repro.noc.traffic import TrafficMatrix, transpose_traffic, uniform_traffic
+from repro.noc.traffic import (
+    TrafficMatrix,
+    transpose_traffic,
+    uniform_traffic,
+)
 
 
 def heavy_matrix(agent_count, flits):
@@ -93,6 +100,51 @@ class TestSaturationFlag:
         assert result.saturated == (
             result.delivered_flits < result.total_flits
             or result.peak_link_utilisation > SATURATION_UTILISATION)
+
+
+class TestSaturationKnee:
+    """Levels above the workload's natural peak must inject more flits.
+
+    The curve used to scale each level with the shrink-only
+    ``scaled_to``, so a workload whose largest flow was 2 flits
+    re-simulated the *same* traffic at levels 4/8/16/32/64 — every
+    point above the peak inherited the light load's unsaturated flag
+    and the knee read as the top level swept instead of the level the
+    network can actually absorb.
+    """
+
+    LEVELS = (1, 2, 4, 8, 16, 32, 64)
+
+    def curve(self):
+        # Two flows, natural peak of 2 flits, swept far past it.  Light
+        # levels idle the busiest link most of the journey; heavy levels
+        # stream it nearly every cycle, so the knee sits strictly inside
+        # the sweep.
+        agents = tuple(f"n{i}" for i in range(9))
+        flits = np.zeros((9, 9), dtype=np.int64)
+        flits[0, 8] = 2
+        flits[2, 6] = 1
+        traffic = TrafficMatrix(agents, flits, name="sparse")
+        return saturation_curve(Mesh2D(3, 3), traffic,
+                                levels=self.LEVELS, model="wormhole")
+
+    def test_injected_flits_grow_with_the_level(self):
+        totals = [point.total_flits for point in self.curve().points]
+        assert totals == sorted(set(totals)), \
+            "levels above the natural peak re-simulated identical traffic"
+        # The peak flow carries exactly ``level`` flits and the 1-flit
+        # flow scales with the same ceiling ratio.
+        assert totals == [level + (level + 1) // 2 for level in self.LEVELS]
+
+    def test_knee_does_not_exceed_achievable_injection(self):
+        curve = self.curve()
+        # 64 flits per flow is far past the knee; with the shrink-only
+        # scaling every level above the natural peak of 2 cloned the
+        # unsaturated 2-flit run and the knee was reported as 64.
+        assert curve.points[-1].saturated
+        assert curve.knee is not None
+        assert curve.knee < max(self.LEVELS)
+        assert not curve.points[0].saturated
 
 
 class TestPlacementValidation:

@@ -13,9 +13,14 @@ import pytest
 
 from repro.noc.sim import simulate, simulate_batched
 from repro.noc.topology import (
+    ClusterHubMesh,
+    ExpressMesh,
     HubAndSpoke,
     Mesh2D,
     Mesh3D,
+    Mesh3DSparse,
+    MeshIoCenter,
+    PillarTorus,
     Ring,
     Torus2D,
 )
@@ -23,7 +28,7 @@ from repro.noc.traffic import TrafficMatrix
 
 
 def random_topology(rng):
-    kind = int(rng.integers(0, 5))
+    kind = int(rng.integers(0, 10))
     if kind == 0:
         return Mesh2D(int(rng.integers(2, 4)), int(rng.integers(2, 4)))
     if kind == 1:
@@ -33,6 +38,24 @@ def random_topology(rng):
     if kind == 3:
         return Mesh3D(int(rng.integers(1, 3)), int(rng.integers(2, 4)),
                       layers=2)
+    if kind == 4:
+        return ClusterHubMesh(int(rng.integers(1, 3)),
+                              int(rng.integers(1, 3)),
+                              cluster_side=int(rng.integers(1, 3)),
+                              hub_speedup=int(rng.integers(1, 4)))
+    if kind == 5:
+        return Mesh3DSparse(int(rng.integers(2, 4)), int(rng.integers(2, 4)),
+                            layers=2,
+                            pillar_stride=int(rng.integers(1, 4)))
+    if kind == 6:
+        return PillarTorus(int(rng.integers(2, 4)), int(rng.integers(2, 4)),
+                           layers=2,
+                           pillar_stride=int(rng.integers(1, 4)))
+    if kind == 7:
+        return ExpressMesh(int(rng.integers(2, 5)), int(rng.integers(3, 6)),
+                           stride=int(rng.integers(2, 4)))
+    if kind == 8:
+        return MeshIoCenter(int(rng.integers(1, 4)), int(rng.integers(2, 5)))
     return HubAndSpoke(int(rng.integers(2, 8)),
                        hubs=int(rng.integers(1, 3)))
 

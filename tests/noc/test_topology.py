@@ -145,14 +145,35 @@ class TestHubAndSpoke:
 
 class TestRegistry:
     def test_families_cover_the_issue_set(self):
-        assert set(TOPOLOGY_FAMILIES) == {"mesh", "torus", "ring", "mesh3d",
-                                          "hub"}
+        assert set(TOPOLOGY_FAMILIES) == {
+            "mesh", "torus", "ring", "mesh3d", "hub",
+            "cluster_hub", "mesh3d_sparse", "pillar_torus", "express",
+            "mesh_io"}
+
+    def test_classes_mirror_the_family_registry(self):
+        from repro.noc.topology import TOPOLOGY_CLASSES
+
+        assert set(TOPOLOGY_CLASSES) == set(TOPOLOGY_FAMILIES)
 
     @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
     def test_factories_fit_requested_agents(self, family):
-        for count in (3, 5, 9, 16):
+        for count in (1, 3, 5, 9, 16, 25):
             topology = topology_by_name(family, count)
             assert topology.node_count >= count
+
+    def test_build_topology_matches_the_class(self):
+        from repro.noc.topology import ClusterHubMesh, build_topology
+
+        built = build_topology("cluster_hub", cluster_rows=2, cluster_cols=2,
+                               cluster_side=2, hub_speedup=3)
+        direct = ClusterHubMesh(2, 2, cluster_side=2, hub_speedup=3)
+        assert built.fingerprint() == direct.fingerprint()
+
+    def test_build_topology_rejects_unknown_family(self):
+        from repro.noc.topology import build_topology
+
+        with pytest.raises(ConfigurationError):
+            build_topology("hypercube", rows=2, cols=2)
 
     def test_standard_topologies_instantiates_every_family(self):
         names = [topology.name for topology in standard_topologies(8)]
@@ -173,6 +194,41 @@ class TestRegistry:
             Link(1, 1)
 
 
+class TestNearSquare:
+    """Regression: the grid sizer rounds to the *nearest* square root.
+
+    Truncating ``sqrt`` gave 3 agents a degenerate 1x3 strip and 8
+    agents a 2x4 — the nearest-root grids are 2x2 and 3x3.
+    """
+
+    @pytest.mark.parametrize("count,shape", [
+        (1, (1, 1)), (2, (1, 2)), (3, (2, 2)), (4, (2, 2)), (5, (2, 3)),
+        (6, (2, 3)), (7, (3, 3)), (8, (3, 3)), (9, (3, 3)), (12, (3, 4)),
+        (13, (4, 4)), (16, (4, 4))])
+    def test_pinned_shapes(self, count, shape):
+        from repro.noc.topology import _near_square
+
+        assert _near_square(count) == shape
+        assert shape[0] * shape[1] >= count
+
+    def test_mesh_names_reflect_the_new_shapes(self):
+        assert topology_by_name("mesh", 3).name == "mesh_2x2"
+        assert topology_by_name("mesh", 8).name == "mesh_3x3"
+
+    def test_changed_shapes_change_cache_keys_safely(self):
+        # The 8-agent mesh is now structurally a 3x3: its fingerprint —
+        # the digest NocMapPass signatures and FlowCache keys hang off —
+        # must equal a directly built 3x3 and differ from the old 2x4,
+        # so stale cached metrics cannot be served for the new shape.
+        from repro.noc.passes import NocMapPass
+
+        resized = topology_by_name("mesh", 8)
+        assert resized.fingerprint() == Mesh2D(3, 3).fingerprint()
+        assert resized.fingerprint() != Mesh2D(2, 4).fingerprint()
+        assert (NocMapPass(topology=resized).signature()
+                != NocMapPass(topology=Mesh2D(2, 4)).signature())
+
+
 class TestPlacement:
     def test_linear_takes_ids_in_order(self):
         placement = place_agents(["a", "b", "c"], Mesh2D(2, 2))
@@ -186,6 +242,39 @@ class TestPlacement:
         agents = [f"a{i}" for i in range(5)]
         placement = place_agents(agents, Mesh2D(2, 3), strategy="spread")
         assert len(set(placement.values())) == len(agents)
+
+    def test_spread_is_deterministic_injective_and_in_range(self):
+        # Property test over many (node_count, agent_count) pairs: the
+        # spread placement never collides, never leaves the id range,
+        # and is a pure function of its inputs.
+        for node_count in range(1, 30):
+            topology = Ring(node_count) if node_count >= 3 \
+                else Mesh2D(1, node_count)
+            for agent_count in range(1, node_count + 1):
+                agents = [f"a{i}" for i in range(agent_count)]
+                first = place_agents(agents, topology, strategy="spread")
+                second = place_agents(agents, topology, strategy="spread")
+                assert first == second
+                nodes = list(first.values())
+                assert len(set(nodes)) == agent_count
+                assert all(0 <= node < node_count for node in nodes)
+                # Endpoint agents anchor the ends of the id range.
+                assert first[agents[0]] == 0
+                if agent_count > 1:
+                    assert first[agents[-1]] == node_count - 1
+
+    def test_collisions_probe_outward_not_around(self):
+        # Regression: the old resolver wrapped (node + 1) % count, which
+        # teleported a late agent from the top of the id range to router
+        # 0.  The probe must find the *closest* free slot instead.
+        from repro.noc.topology import _nearest_free
+
+        assert _nearest_free(7, {7, 6}, 8) == 5      # walks down, not to 0
+        assert _nearest_free(4, {4}, 8) == 5         # ties prefer higher ids
+        assert _nearest_free(0, {0, 1}, 8) == 2
+        assert _nearest_free(3, set(), 8) == 3
+        with pytest.raises(ConfigurationError):
+            _nearest_free(0, {0, 1}, 2)
 
     def test_hub_strategy_puts_first_agent_on_highest_degree(self):
         hub = HubAndSpoke(5)

@@ -65,6 +65,38 @@ class TestTrafficMatrix:
         for cap in (6, 13, 64):
             assert matrix.scaled_to(cap).flits.max() == cap
 
+    def test_scaled_peak_scales_up_as_well_as_down(self):
+        matrix = TrafficMatrix(("a", "b", "c"),
+                               np.array([[0, 8, 1], [0, 0, 4], [0, 0, 0]]))
+        up = matrix.scaled_peak(32)
+        assert up.flits.max() == 32
+        assert up.flits[1, 2] == 16                    # ratios preserved
+        assert up.flits[0, 2] == 4
+        down = matrix.scaled_peak(2)
+        assert down.flits.max() == 2
+        assert down.flow_count == matrix.flow_count    # small flows survive
+
+    def test_scaled_peak_is_identity_at_the_natural_peak(self):
+        matrix = uniform_traffic(4, 3)
+        assert matrix.scaled_peak(3) is matrix
+        empty = TrafficMatrix(("a", "b"), np.zeros((2, 2), dtype=np.int64))
+        assert empty.scaled_peak(10) is empty          # nothing to scale
+
+    def test_scaled_peak_lands_exactly_on_the_level(self):
+        matrix = TrafficMatrix(("a", "b"), np.array([[0, 187], [0, 0]]))
+        for level in (6, 13, 187, 500):
+            assert matrix.scaled_peak(level).flits.max() == level
+
+    def test_scaled_peak_preserves_the_duty_cycle(self):
+        bursty = uniform_traffic(4, 2).with_burst(2, 6)
+        assert bursty.scaled_peak(16).burst == (2, 6)
+
+    def test_scaled_peak_rejects_nonpositive_levels(self):
+        with pytest.raises(ConfigurationError):
+            uniform_traffic(4, 2).scaled_peak(0)
+        with pytest.raises(ConfigurationError):
+            uniform_traffic(4, 2).scaled_peak(-3)
+
     def test_merge_requires_same_agents(self):
         with pytest.raises(ConfigurationError):
             uniform_traffic(3).merged_with(uniform_traffic(4))
@@ -337,3 +369,38 @@ class TestSyntheticPatterns:
             tornado_traffic(1)
         with pytest.raises(ConfigurationError):
             shuffle_traffic(1)
+
+    def test_clustered_is_local_heavy_global_light(self):
+        from repro.noc.traffic import clustered_traffic
+
+        traffic = clustered_traffic(8, cluster_size=4, local_flits=8,
+                                    global_flits=1)
+        flows = {(source, sink): flits
+                 for source, sink, flits in traffic.flows()}
+        assert flows[(0, 1)] == 8                      # same cluster
+        assert flows[(0, 4)] == 1                      # next-cluster stream
+        assert flows[(5, 1)] == 1                      # wraps around
+        assert (1, 5) not in {pair for pair in flows
+                              if flows[pair] == 8}     # no cross-cluster bulk
+        # 8 agents, 2 clusters: 2 * 4*3 local pairs + 8 global streams.
+        assert traffic.total_flits == 2 * 12 * 8 + 8 * 1
+
+    def test_clustered_ragged_tail_cluster(self):
+        from repro.noc.traffic import clustered_traffic
+
+        traffic = clustered_traffic(6, cluster_size=4, local_flits=2,
+                                    global_flits=1)
+        flows = {(source, sink): flits
+                 for source, sink, flits in traffic.flows()}
+        assert flows[(4, 5)] == 2                      # 2-agent tail cluster
+        assert flows[(4, 2)] == 1                      # global stream wraps
+
+    def test_clustered_validation(self):
+        from repro.noc.traffic import clustered_traffic
+
+        with pytest.raises(ConfigurationError):
+            clustered_traffic(1)
+        with pytest.raises(ConfigurationError):
+            clustered_traffic(8, cluster_size=0)
+        with pytest.raises(ConfigurationError):
+            clustered_traffic(8, local_flits=-1)
